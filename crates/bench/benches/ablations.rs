@@ -1,0 +1,162 @@
+//! **Ablations** — design choices the paper calls out but does not
+//! evaluate, measured here (DESIGN.md experiment index, "Ablations"):
+//!
+//! 1. `writers_per_target` — §III-B3: "one might use 2 or 3 simultaneous
+//!    writers per storage location ... We have not experimented with
+//!    these generalizations." We do.
+//! 2. Work stealing on/off — adaptive vs the authors' earlier stagger
+//!    method under asymmetric load.
+//! 3. Coordinator scheduling — round-robin across writing SCs (the
+//!    paper's "spread evenly") vs draining one SC to completion.
+//! 4. Steal-from-tail vs steal-from-head of the waiting queue.
+//! 5. Stagger-open of the sub-coordinator files (metadata relief).
+
+use adios_core::{AdaptiveOpts, DataSpec, Interference, Method, RunSpec};
+use iostats::{Summary, Table};
+use managed_io_bench::{base_seed, fmt_gibps, samples, scaled, ExperimentLog};
+use simcore::units::MIB;
+use storesim::params::jaguar;
+use workloads::campaign::sample_results;
+
+fn bw(machine: &storesim::MachineConfig, n: usize, bytes: u64, method: &Method,
+      interference: &Interference, k: usize, seed: u64) -> Summary {
+    let rs = sample_results(machine, n, bytes, method, interference, k, seed);
+    Summary::of(&rs.iter().map(|r| r.aggregate_bandwidth()).collect::<Vec<_>>())
+}
+
+fn main() {
+    let machine = jaguar();
+    let n_samples = samples(5);
+    let seed = base_seed();
+    let mut log = ExperimentLog::new("ablations");
+    let n = scaled(8192, 256);
+    let bytes = 128 * MIB;
+    let interference = Interference::paper_default();
+
+    println!("Ablations — Pixie3D-large-like workload, {n} procs x 128 MB, Jaguar, under interference\n");
+    let mut table = Table::new(vec!["variant", "avg GiB/s", "min", "max"]);
+
+    let variants: Vec<(String, AdaptiveOpts)> = vec![
+        ("adaptive (paper defaults)".into(), AdaptiveOpts::default()),
+        (
+            "writers_per_target = 2".into(),
+            AdaptiveOpts {
+                writers_per_target: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "writers_per_target = 3".into(),
+            AdaptiveOpts {
+                writers_per_target: 3,
+                ..Default::default()
+            },
+        ),
+        (
+            "no work stealing (stagger)".into(),
+            AdaptiveOpts {
+                work_stealing: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "drain-first coordinator".into(),
+            AdaptiveOpts {
+                drain_first: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "steal from queue head".into(),
+            AdaptiveOpts {
+                steal_from_tail: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "staggered SC opens".into(),
+            AdaptiveOpts {
+                stagger_opens: true,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    for (name, opts) in variants {
+        let method = Method::Adaptive { targets: 512, opts };
+        let s = bw(&machine, n, bytes, &method, &interference, n_samples, seed);
+        table.row(vec![
+            name.clone(),
+            fmt_gibps(s.mean),
+            fmt_gibps(s.min),
+            fmt_gibps(s.max),
+        ]);
+        log.row(serde_json::json!({
+            "experiment": "ablation",
+            "variant": name,
+            "procs": n,
+            "avg_bps": s.mean,
+            "min_bps": s.min,
+            "max_bps": s.max,
+            "samples": n_samples,
+        }));
+    }
+
+    // Reference baselines.
+    for (name, method) in [
+        ("MPI-IO 160-stripe baseline", Method::MpiIo { stripe_count: 160 }),
+        ("POSIX file-per-process", Method::Posix { targets: 512 }),
+    ] {
+        let s = bw(&machine, n, bytes, &method, &interference, n_samples, seed);
+        table.row(vec![
+            name.to_string(),
+            fmt_gibps(s.mean),
+            fmt_gibps(s.min),
+            fmt_gibps(s.max),
+        ]);
+        log.row(serde_json::json!({
+            "experiment": "ablation",
+            "variant": name,
+            "procs": n,
+            "avg_bps": s.mean,
+            "samples": n_samples,
+        }));
+    }
+    println!("{}", table.render());
+
+    // Cache-size sensitivity: how the write-back cache shapes the
+    // 8 MB-vs-128 MB behaviour of Fig. 1.
+    println!("\nCache-eligibility sweep (POSIX, 8 MB/writer, writers = {n}):");
+    let mut cache_table = Table::new(vec!["cache_max_request", "avg GiB/s"]);
+    for max_req in [0u64, 8 * MIB, 64 * MIB] {
+        let mut m = machine.clone();
+        m.ost.cache_max_request = max_req;
+        let spec_bw = bw(
+            &m,
+            n,
+            8 * MIB,
+            &Method::Posix { targets: 512 },
+            &Interference::None,
+            n_samples,
+            seed + 5,
+        );
+        cache_table.row(vec![format!("{} MiB", max_req / MIB), fmt_gibps(spec_bw.mean)]);
+        log.row(serde_json::json!({
+            "experiment": "cache-sweep",
+            "cache_max_request": max_req,
+            "avg_bps": spec_bw.mean,
+        }));
+    }
+    println!("{}", cache_table.render());
+
+    // Keep RunSpec/DataSpec in the public surface exercised.
+    let _unused = RunSpec {
+        machine: machine.clone(),
+        nprocs: 8,
+        data: DataSpec::Uniform(MIB),
+        method: Method::Posix { targets: 8 },
+        interference: Interference::None,
+        seed,
+    };
+    log.flush();
+}

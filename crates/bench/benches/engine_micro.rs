@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks of the simulation engine's hot paths: event
+//! queue throughput, OST fluid-model settling, and a complete small
+//! adaptive run. These guard the *wall-clock* cost of regenerating the
+//! paper's figures (a full 16384-rank sample must stay well under a
+//! second).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use adios_core::{run, AdaptiveOpts, DataSpec, Interference, Method, RunSpec};
+use simcore::units::MIB;
+use simcore::{EventQueue, Rng, SimTime};
+use storesim::layout::OstId;
+use storesim::ost::{OpKind, Ost, RequestId};
+use storesim::params::{jaguar, testbed};
+use storesim::StorageSystem;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter_batched(
+            || Rng::new(7),
+            |mut rng| {
+                let mut q = EventQueue::new();
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_nanos(rng.below(1_000_000)), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ost_settle(c: &mut Criterion) {
+    c.bench_function("ost_32_stream_drain", |b| {
+        b.iter(|| {
+            let mut ost = Ost::new(testbed().ost);
+            for i in 0..32u64 {
+                ost.submit(SimTime::ZERO, RequestId(i), 16 * MIB, OpKind::WriteDirect);
+            }
+            let mut done = 0;
+            while let Some(at) = ost.next_completion() {
+                done += ost.advance(at).len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn bench_storage_system(c: &mut Criterion) {
+    c.bench_function("storage_512_writes_jaguar", |b| {
+        b.iter(|| {
+            let mut sys = StorageSystem::new(jaguar(), 3);
+            for i in 0..512u64 {
+                sys.submit_ost_write(
+                    SimTime::ZERO,
+                    OstId((i % 512) as usize),
+                    8 * MIB,
+                    i,
+                );
+            }
+            let done = sys.run_until_quiet(SimTime::from_secs_f64(1e5));
+            black_box(done.len())
+        })
+    });
+}
+
+fn bench_adaptive_run(c: &mut Criterion) {
+    c.bench_function("adaptive_run_512_ranks", |b| {
+        b.iter(|| {
+            let out = run(RunSpec {
+                machine: jaguar(),
+                nprocs: 512,
+                data: DataSpec::Uniform(8 * MIB),
+                method: Method::Adaptive {
+                    targets: 512,
+                    opts: AdaptiveOpts::default(),
+                },
+                interference: Interference::None,
+                seed: 11,
+            });
+            black_box(out.result.records.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_queue, bench_ost_settle, bench_storage_system, bench_adaptive_run
+}
+criterion_main!(benches);

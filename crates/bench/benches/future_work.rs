@@ -1,0 +1,111 @@
+//! **§VI — Future work, implemented**: "Our future work will examine the
+//! benefits of adaptive IO on systems beyond Lustre at ORNL, including
+//! Franklin at NERSC, PanFS on Sandia's XTP, and perhaps, GPFS on a
+//! BlueGene/P machine."
+//!
+//! This harness runs the Fig. 5(b)-style MPI-vs-adaptive comparison on
+//! all four machine presets, plus the failure-injection scenario §V
+//! attributes to NERSC (a few slow targets dominating IO time).
+
+use adios_core::{AdaptiveOpts, Interference, Method};
+use iostats::Table;
+use managed_io_bench::{base_seed, fmt_gibps, samples, scaled, ExperimentLog};
+use simcore::units::MIB;
+use storesim::params::{bluegene_gpfs, franklin, jaguar, xtp, MachineConfig};
+use workloads::campaign::compare_at_scale;
+
+fn main() {
+    let n_samples = samples(5);
+    let seed = base_seed();
+    let mut log = ExperimentLog::new("future_work");
+
+    let machines: [(MachineConfig, usize); 4] = [
+        (jaguar(), 512),
+        (franklin(), 96),
+        (xtp(), 40),
+        (bluegene_gpfs(), 128),
+    ];
+
+    println!("§VI future work: adaptive IO beyond Jaguar/Lustre");
+    println!("(128 MB/process, writers = 8x adaptive targets, base + interference)\n");
+    let mut table = Table::new(vec![
+        "machine", "env", "MPI GiB/s", "Adaptive GiB/s", "gain",
+    ]);
+    for (machine, targets) in &machines {
+        let n = scaled(8 * targets, 64);
+        for (env, interference) in [
+            ("base", Interference::None),
+            ("interference", Interference::paper_default()),
+        ] {
+            let rows = compare_at_scale(
+                machine,
+                n,
+                128 * MIB,
+                *targets,
+                &interference,
+                n_samples,
+                seed + *targets as u64,
+            );
+            let mpi = rows[0].bandwidth.mean;
+            let adaptive = rows[1].bandwidth.mean;
+            table.row(vec![
+                machine.name.clone(),
+                env.to_string(),
+                fmt_gibps(mpi),
+                fmt_gibps(adaptive),
+                format!("{:+.0}%", 100.0 * (adaptive / mpi - 1.0)),
+            ]);
+            log.row(serde_json::json!({
+                "experiment": "future-work",
+                "machine": machine.name,
+                "environment": env,
+                "procs": n,
+                "mpi_bps": mpi,
+                "adaptive_bps": adaptive,
+            }));
+        }
+    }
+    println!("{}", table.render());
+
+    // §V failure scenario: a few crippled targets.
+    println!("§V slow-target scenario (2 targets at 10% capability, Jaguar):");
+    let machine = jaguar();
+    let n = scaled(4096, 128);
+    let degraded = Interference::DegradedOsts {
+        osts: vec![0, 1],
+        factor: 0.1,
+    };
+    let mut t2 = Table::new(vec!["method", "avg GiB/s"]);
+    for (name, method) in [
+        ("MPI", Method::MpiIo { stripe_count: 160 }),
+        (
+            "Adaptive",
+            Method::Adaptive {
+                targets: 512,
+                opts: AdaptiveOpts::default(),
+            },
+        ),
+        ("Stagger (no shifting)", Method::Stagger { targets: 512 }),
+    ] {
+        let rs = workloads::campaign::sample_results(
+            &machine,
+            n,
+            128 * MIB,
+            &method,
+            &degraded,
+            n_samples,
+            seed + 7000,
+        );
+        let s = iostats::Summary::of(
+            &rs.iter().map(|r| r.aggregate_bandwidth()).collect::<Vec<_>>(),
+        );
+        t2.row(vec![name.to_string(), fmt_gibps(s.mean)]);
+        log.row(serde_json::json!({
+            "experiment": "slow-targets",
+            "method": name,
+            "avg_bps": s.mean,
+        }));
+    }
+    println!("{}", t2.render());
+    log.flush();
+}

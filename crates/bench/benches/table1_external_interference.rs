@@ -1,0 +1,111 @@
+//! **Table I** — IO Performance Variability due to External Interference —
+//! and **Figure 2** — histograms of the same bandwidth samples (§II-2).
+//!
+//! Hourly-style IOR probes (POSIX, one file per writer, one writer per
+//! storage target):
+//!
+//! * Jaguar — 512 writers on the production-noisy preset (the paper used
+//!   469 hourly samples);
+//! * Franklin — 80 writers (NERSC's monitoring configuration);
+//! * XTP with a second competing IOR job;
+//! * XTP quiet.
+//!
+//! Paper bands to reproduce: coefficient of variation ("covariance")
+//! 40–60 % on the busy production systems, ~43 % on XTP with the
+//! competing job, small without it.
+
+use adios_core::Interference;
+use iostats::{Histogram, Summary, Table};
+use managed_io_bench::{base_seed, fmt_mibps, samples, ExperimentLog};
+use simcore::units::MIB;
+use storesim::params::{franklin, jaguar, xtp, xtp_with_competing_ior, MachineConfig};
+use workloads::ior::aggregate_bandwidths;
+use workloads::IorConfig;
+
+struct Case {
+    machine: MachineConfig,
+    writers: usize,
+    osts: usize,
+    samples: usize,
+}
+
+fn main() {
+    let n = samples(60);
+    let seed = base_seed();
+    let mut log = ExperimentLog::new("table1");
+
+    let cases = [
+        Case {
+            machine: jaguar(),
+            writers: 512,
+            osts: 512,
+            samples: n.max(40), // the paper used 469 Jaguar samples
+        },
+        Case {
+            machine: franklin(),
+            writers: 80,
+            osts: 80,
+            samples: n,
+        },
+        Case {
+            machine: xtp_with_competing_ior(),
+            writers: 512,
+            osts: 40,
+            samples: n,
+        },
+        Case {
+            machine: xtp(),
+            writers: 512,
+            osts: 40,
+            samples: n,
+        },
+    ];
+
+    println!("Table I: IO Performance Variability due to External Interference");
+    println!("(IOR POSIX, 128 MB per writer; 'covariance' = coefficient of variation)\n");
+    let mut table = Table::new(vec![
+        "Machine",
+        "Samples",
+        "Avg IO BW (MiB/s)",
+        "Std Dev (MiB/s)",
+        "Covariance",
+    ]);
+    let mut histograms = Vec::new();
+
+    for case in &cases {
+        let cfg = IorConfig {
+            writers: case.writers,
+            bytes_per_writer: 128 * MIB,
+            osts: case.osts,
+        };
+        let rs = cfg.run_samples(&case.machine, &Interference::None, case.samples, seed);
+        let bws = aggregate_bandwidths(&rs);
+        let s = Summary::of(&bws);
+        table.row(vec![
+            case.machine.name.clone(),
+            s.n.to_string(),
+            fmt_mibps(s.mean),
+            fmt_mibps(s.std_dev),
+            format!("{:.1}%", s.cv() * 100.0),
+        ]);
+        log.row(serde_json::json!({
+            "table": "I",
+            "machine": case.machine.name,
+            "samples": s.n,
+            "avg_bps": s.mean,
+            "std_bps": s.std_dev,
+            "cv": s.cv(),
+        }));
+        let mibs: Vec<f64> = bws.iter().map(|b| b / MIB as f64).collect();
+        histograms.push((case.machine.name.clone(), Histogram::of(&mibs, 12)));
+    }
+    println!("{}", table.render());
+    println!("(paper: Jaguar/Franklin 40-60 %, XTP with Int. ~43 %, XTP quiet small)\n");
+
+    println!("Figure 2: IO bandwidth histograms (MiB/s)");
+    for (name, h) in histograms {
+        println!("\n--- {name} ---");
+        print!("{}", h.render(36));
+    }
+    log.flush();
+}

@@ -1,0 +1,94 @@
+//! Quick calibration probe (not a paper artifact): checks the headline
+//! shapes at paper scale before the full benchmark harnesses run.
+
+use adios_core::{AdaptiveOpts, Interference, Method};
+use iostats::Summary;
+use managed_io_bench::{fmt_gibps, fmt_mibps, size_label};
+use simcore::units::{GIB, MIB};
+use storesim::params::{jaguar, xtp, xtp_with_competing_ior};
+use workloads::campaign::{mean_imbalance, sample_results};
+use workloads::IorConfig;
+
+fn main() {
+    let machine = jaguar();
+    let t0 = std::time::Instant::now();
+
+    println!("== Fig1 probe: IOR POSIX, 512 OSTs, Jaguar ==");
+    for &size in &[MIB, 8 * MIB, 128 * MIB] {
+        for &writers in &[512usize, 1024, 2048, 4096, 8192, 16384] {
+            let cfg = IorConfig {
+                writers,
+                bytes_per_writer: size,
+                osts: 512,
+            };
+            let rs = cfg.run_samples(&machine, &Interference::None, 4, 100);
+            let agg = Summary::of(&workloads::ior::aggregate_bandwidths(&rs));
+            let per = Summary::of(&workloads::ior::mean_per_writer_bandwidths(&rs));
+            println!(
+                "  {:>7} x {:>8}: agg {:>7} GiB/s (min {} max {})  per-writer {:>7} MiB/s",
+                writers,
+                size_label(size),
+                fmt_gibps(agg.mean),
+                fmt_gibps(agg.min),
+                fmt_gibps(agg.max),
+                fmt_mibps(per.mean),
+            );
+        }
+    }
+
+    println!("== TableI probe: 512 writers x 128 MB, 1/OST ==");
+    let ior = IorConfig {
+        writers: 512,
+        bytes_per_writer: 128 * MIB,
+        osts: 512,
+    };
+    let rs = ior.run_samples(&machine, &Interference::None, 40, 900);
+    let s = Summary::of(&workloads::ior::aggregate_bandwidths(&rs));
+    println!(
+        "  Jaguar: avg {} GiB/s, CV {:.0}%, imbalance avg {:.2}",
+        fmt_gibps(s.mean),
+        s.cv() * 100.0,
+        mean_imbalance(&rs)
+    );
+    let xtp_m = xtp();
+    let ior_x = IorConfig {
+        writers: 512,
+        bytes_per_writer: 128 * MIB,
+        osts: 40,
+    };
+    let rq = ior_x.run_samples(&xtp_m, &Interference::None, 30, 1500);
+    let sq = Summary::of(&workloads::ior::aggregate_bandwidths(&rq));
+    let ri = ior_x.run_samples(&xtp_with_competing_ior(), &Interference::None, 30, 1600);
+    let si = Summary::of(&workloads::ior::aggregate_bandwidths(&ri));
+    println!(
+        "  XTP quiet: avg {} GiB/s CV {:.0}% | with Int: avg {} GiB/s CV {:.0}%",
+        fmt_gibps(sq.mean),
+        sq.cv() * 100.0,
+        fmt_gibps(si.mean),
+        si.cv() * 100.0
+    );
+
+    println!("== Fig5 probe: Pixie3D, MPI vs Adaptive ==");
+    for (label, size) in [("small 2MB", 2 * MIB), ("large 128MB", 128 * MIB), ("XL 1GB", GIB)] {
+        for &n in &[512usize, 2048, 8192, 16384] {
+            let mut line = format!("  {label:>12} n={n:>5}:");
+            for (name, method) in [
+                ("MPI", Method::MpiIo { stripe_count: 160 }),
+                (
+                    "Adpt",
+                    Method::Adaptive {
+                        targets: 512,
+                        opts: AdaptiveOpts::default(),
+                    },
+                ),
+            ] {
+                let rs = sample_results(&machine, n, size, &method, &Interference::None, 3, 300);
+                let agg =
+                    Summary::of(&rs.iter().map(|r| r.aggregate_bandwidth()).collect::<Vec<_>>());
+                line += &format!("  {} {:>7} GiB/s", name, fmt_gibps(agg.mean));
+            }
+            println!("{line}");
+        }
+    }
+    println!("total {:?}", t0.elapsed());
+}

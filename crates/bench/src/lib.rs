@@ -1,0 +1,123 @@
+//! Shared plumbing for the benchmark harnesses that regenerate the
+//! paper's tables and figures.
+//!
+//! Every harness prints the paper-style text table to stdout and appends
+//! a machine-readable JSON line per row to `target/experiments/<id>.jsonl`
+//! so EXPERIMENTS.md can be regenerated from artifacts.
+//!
+//! Sample counts default to paper-faithful values scaled down to keep a
+//! full `cargo bench` run tractable; set `MANAGED_IO_SAMPLES` to raise
+//! them (e.g. to the paper's 40 for Fig. 1).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use simcore::units::{GIB, MIB};
+
+/// Samples per configuration, from `MANAGED_IO_SAMPLES` (default
+/// `default`).
+pub fn samples(default: usize) -> usize {
+    std::env::var("MANAGED_IO_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Base RNG seed, from `MANAGED_IO_SEED` (default 2010 — the paper year).
+pub fn base_seed() -> u64 {
+    std::env::var("MANAGED_IO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2010)
+}
+
+/// Scale factor for process counts, from `MANAGED_IO_SCALE` in
+/// (0, 1]. The full paper sweep (up to 16 384 writers) runs by default;
+/// set e.g. `MANAGED_IO_SCALE=0.25` for a quick pass.
+pub fn scale() -> f64 {
+    std::env::var("MANAGED_IO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|f: f64| f.clamp(0.01, 1.0))
+        .unwrap_or(1.0)
+}
+
+/// Apply the scale factor to a process count, keeping at least `min`.
+pub fn scaled(n: usize, min: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(min)
+}
+
+/// Format bytes/sec as GiB/s with 2 decimals.
+pub fn fmt_gibps(bps: f64) -> String {
+    format!("{:.2}", bps / GIB as f64)
+}
+
+/// Format bytes/sec as MiB/s.
+pub fn fmt_mibps(bps: f64) -> String {
+    format!("{:.1}", bps / MIB as f64)
+}
+
+/// Format a byte size the way the paper labels series ("128 MB").
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{} GB", bytes / GIB)
+    } else {
+        format!("{} MB", bytes / MIB)
+    }
+}
+
+/// Append JSON rows for experiment `id` under `target/experiments/`.
+pub struct ExperimentLog {
+    path: PathBuf,
+    rows: Vec<serde_json::Value>,
+}
+
+impl ExperimentLog {
+    /// Open (truncate) the log for an experiment id like `"fig1a"`.
+    pub fn new(id: &str) -> Self {
+        let dir = PathBuf::from("target/experiments");
+        let _ = fs::create_dir_all(&dir);
+        ExperimentLog {
+            path: dir.join(format!("{id}.jsonl")),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Record one row.
+    pub fn row(&mut self, value: serde_json::Value) {
+        self.rows.push(value);
+    }
+
+    /// Flush all rows to disk (one JSON object per line).
+    pub fn flush(&self) {
+        if let Ok(mut f) = fs::File::create(&self.path) {
+            for r in &self.rows {
+                let _ = writeln!(f, "{r}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels_match_paper_style() {
+        assert_eq!(size_label(MIB), "1 MB");
+        assert_eq!(size_label(128 * MIB), "128 MB");
+        assert_eq!(size_label(GIB), "1 GB");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_gibps(GIB as f64), "1.00");
+        assert_eq!(fmt_mibps(1.5 * MIB as f64), "1.5");
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        assert!(scaled(512, 16) >= 16);
+    }
+}

@@ -1,0 +1,216 @@
+//! Attributes: small named metadata values attached to an output step —
+//! the BP format's second self-description channel next to variables
+//! (units, physical time, code version, run configuration).
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Magic opening a serialized attribute set.
+pub const ATTR_MAGIC: u32 = 0x4250_4154; // "BPAT"
+
+/// An attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit integer.
+    I64(i64),
+    /// Double.
+    F64(f64),
+    /// Vector of doubles (e.g. axis coordinates).
+    F64Vec(Vec<f64>),
+}
+
+impl AttrValue {
+    fn tag(&self) -> u8 {
+        match self {
+            AttrValue::Str(_) => 0,
+            AttrValue::I64(_) => 1,
+            AttrValue::F64(_) => 2,
+            AttrValue::F64Vec(_) => 3,
+        }
+    }
+}
+
+/// A named attribute set, preserving insertion order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Attributes {
+    entries: Vec<(String, AttrValue)>,
+}
+
+impl Attributes {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace an attribute.
+    pub fn set(&mut self, name: impl Into<String>, value: AttrValue) -> &mut Self {
+        let name = name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+        self
+    }
+
+    /// Look up an attribute.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Serialize.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(ATTR_MAGIC);
+        w.u32(self.entries.len() as u32);
+        for (name, value) in &self.entries {
+            w.str(name);
+            w.u8(value.tag());
+            match value {
+                AttrValue::Str(s) => w.str(s),
+                AttrValue::I64(v) => w.u64(*v as u64),
+                AttrValue::F64(v) => w.f64(*v),
+                AttrValue::F64Vec(vs) => {
+                    w.u32(vs.len() as u32);
+                    for v in vs {
+                        w.f64(*v);
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parse a serialized attribute set.
+    pub fn parse(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let magic = r.u32()?;
+        if magic != ATTR_MAGIC {
+            return Err(WireError::BadMagic {
+                expected: ATTR_MAGIC as u64,
+                found: magic as u64,
+            });
+        }
+        let n = r.u32()? as usize;
+        let mut out = Attributes::new();
+        for _ in 0..n {
+            let name = r.str()?;
+            let value = match r.u8()? {
+                0 => AttrValue::Str(r.str()?),
+                1 => AttrValue::I64(r.u64()? as i64),
+                2 => AttrValue::F64(r.f64()?),
+                3 => {
+                    let k = r.u32()? as usize;
+                    let mut vs = Vec::with_capacity(k.min(1 << 20));
+                    for _ in 0..k {
+                        vs.push(r.f64()?);
+                    }
+                    AttrValue::F64Vec(vs)
+                }
+                other => return Err(WireError::BadEnum(other)),
+            };
+            out.entries.push((name, value));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Attributes {
+        let mut a = Attributes::new();
+        a.set("code", AttrValue::Str("pixie3d".into()))
+            .set("step", AttrValue::I64(42))
+            .set("time", AttrValue::F64(1.5e-3))
+            .set("zaxis", AttrValue::F64Vec(vec![0.0, 0.5, 1.0]));
+        a
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let back = Attributes::parse(&a.serialize()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn get_and_replace() {
+        let mut a = sample();
+        assert_eq!(a.get("step"), Some(&AttrValue::I64(42)));
+        a.set("step", AttrValue::I64(43));
+        assert_eq!(a.get("step"), Some(&AttrValue::I64(43)));
+        assert_eq!(a.len(), 4, "replace does not duplicate");
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let a = sample();
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["code", "step", "time", "zaxis"]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().serialize();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Attributes::parse(&bytes),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut a = Attributes::new();
+        a.set("x", AttrValue::I64(1));
+        let mut bytes = a.serialize();
+        // Corrupt the type tag (follows magic(4) + count(4) + "x"(2+1)).
+        bytes[11] = 99;
+        assert!(matches!(
+            Attributes::parse(&bytes),
+            Err(WireError::BadEnum(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().serialize();
+        for cut in [3, 9, bytes.len() - 1] {
+            assert!(Attributes::parse(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let a = Attributes::new();
+        assert!(a.is_empty());
+        assert_eq!(Attributes::parse(&a.serialize()).unwrap(), a);
+    }
+
+    #[test]
+    fn negative_integers_survive() {
+        let mut a = Attributes::new();
+        a.set("v", AttrValue::I64(-12345));
+        let back = Attributes::parse(&a.serialize()).unwrap();
+        assert_eq!(back.get("v"), Some(&AttrValue::I64(-12345)));
+    }
+}

@@ -1,0 +1,308 @@
+//! Data characteristics: the per-block statistics the BP format embeds in
+//! its indices.
+//!
+//! The paper (§III-3) relies on these to make the interim
+//! search-instead-of-global-index workable: "the inclusion of the data
+//! characteristics aid this search by enabling quickly searching for both
+//! the content as well as the logical location of the data of interest."
+//! We record min / max / count / sum (sum enables mean queries without
+//! touching payloads).
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Element types a variable payload can carry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DType {
+    /// IEEE-754 double precision (the paper's codes write doubles).
+    F64,
+    /// 64-bit signed integer.
+    I64,
+    /// Raw bytes (opaque payloads; characteristics carry count only).
+    U8,
+}
+
+impl DType {
+    /// Element size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            DType::F64 | DType::I64 => 8,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Wire discriminant.
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            DType::F64 => 0,
+            DType::I64 => 1,
+            DType::U8 => 2,
+        }
+    }
+
+    pub(crate) fn from_wire(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(DType::F64),
+            1 => Ok(DType::I64),
+            2 => Ok(DType::U8),
+            other => Err(WireError::BadEnum(other)),
+        }
+    }
+}
+
+/// Min/max/count/sum statistics of one variable block.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Characteristics {
+    /// Smallest element (`NaN` when not applicable, e.g. raw bytes or an
+    /// empty block).
+    pub min: f64,
+    /// Largest element (`NaN` when not applicable).
+    pub max: f64,
+    /// Element count.
+    pub count: u64,
+    /// Sum of elements (`NaN` when not applicable).
+    pub sum: f64,
+}
+
+impl Characteristics {
+    /// Characteristics of an empty/opaque block.
+    pub fn opaque(count: u64) -> Self {
+        Characteristics {
+            min: f64::NAN,
+            max: f64::NAN,
+            count,
+            sum: f64::NAN,
+        }
+    }
+
+    /// Compute from a slice of doubles.
+    pub fn of_f64(data: &[f64]) -> Self {
+        if data.is_empty() {
+            return Self::opaque(0);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        Characteristics {
+            min,
+            max,
+            count: data.len() as u64,
+            sum,
+        }
+    }
+
+    /// Compute from a slice of i64 (statistics widen to f64).
+    pub fn of_i64(data: &[i64]) -> Self {
+        if data.is_empty() {
+            return Self::opaque(0);
+        }
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        let mut sum = 0.0;
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x as f64;
+        }
+        Characteristics {
+            min: min as f64,
+            max: max as f64,
+            count: data.len() as u64,
+            sum,
+        }
+    }
+
+    /// Compute from a raw payload interpreted as `dtype`.
+    ///
+    /// Panics if the payload length is not a multiple of the element size
+    /// (a corrupt write; callers control payloads).
+    pub fn of_payload(dtype: DType, payload: &[u8]) -> Self {
+        let es = dtype.size() as usize;
+        assert_eq!(
+            payload.len() % es,
+            0,
+            "payload length {} not a multiple of element size {es}",
+            payload.len()
+        );
+        match dtype {
+            DType::U8 => Self::opaque(payload.len() as u64),
+            DType::F64 => {
+                let vals: Vec<f64> = payload
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("len 8")))
+                    .collect();
+                Self::of_f64(&vals)
+            }
+            DType::I64 => {
+                let vals: Vec<i64> = payload
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("len 8")))
+                    .collect();
+                Self::of_i64(&vals)
+            }
+        }
+    }
+
+    /// Mean of the block, if defined.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 || self.sum.is_nan() {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Merge with another block's characteristics (for global summaries).
+    pub fn merge(&self, other: &Characteristics) -> Characteristics {
+        let pick = |a: f64, b: f64, f: fn(f64, f64) -> f64| {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => f64::NAN,
+                (true, false) => b,
+                (false, true) => a,
+                (false, false) => f(a, b),
+            }
+        };
+        Characteristics {
+            min: pick(self.min, other.min, f64::min),
+            max: pick(self.max, other.max, f64::max),
+            count: self.count + other.count,
+            sum: pick(self.sum, other.sum, |a, b| a + b),
+        }
+    }
+
+    /// True if `[min, max]` overlaps `[lo, hi]` — the characteristics-based
+    /// content query used by the interim index search.
+    pub fn may_contain_range(&self, lo: f64, hi: f64) -> bool {
+        if self.min.is_nan() || self.max.is_nan() {
+            // Opaque blocks cannot rule anything out.
+            return self.count > 0;
+        }
+        self.min <= hi && self.max >= lo
+    }
+
+    pub(crate) fn write(&self, w: &mut WireWriter) {
+        w.f64(self.min);
+        w.f64(self.max);
+        w.u64(self.count);
+        w.f64(self.sum);
+    }
+
+    pub(crate) fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Characteristics {
+            min: r.f64()?,
+            max: r.f64()?,
+            count: r.u64()?,
+            sum: r.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireReader, WireWriter};
+
+    #[test]
+    fn f64_stats() {
+        let c = Characteristics::of_f64(&[3.0, -1.0, 2.0]);
+        assert_eq!(c.min, -1.0);
+        assert_eq!(c.max, 3.0);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.sum, 4.0);
+        assert_eq!(c.mean(), Some(4.0 / 3.0));
+    }
+
+    #[test]
+    fn i64_stats() {
+        let c = Characteristics::of_i64(&[10, -5, 0]);
+        assert_eq!(c.min, -5.0);
+        assert_eq!(c.max, 10.0);
+        assert_eq!(c.count, 3);
+    }
+
+    #[test]
+    fn empty_is_opaque() {
+        let c = Characteristics::of_f64(&[]);
+        assert!(c.min.is_nan());
+        assert_eq!(c.count, 0);
+        assert_eq!(c.mean(), None);
+    }
+
+    #[test]
+    fn payload_interpretation_matches_direct() {
+        let vals = [1.5f64, -2.5, 100.0];
+        let mut payload = Vec::new();
+        for v in &vals {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let c = Characteristics::of_payload(DType::F64, &payload);
+        assert_eq!(c, Characteristics::of_f64(&vals));
+    }
+
+    #[test]
+    fn u8_payload_is_opaque_with_count() {
+        let c = Characteristics::of_payload(DType::U8, &[1, 2, 3, 4]);
+        assert_eq!(c.count, 4);
+        assert!(c.min.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_payload_panics() {
+        Characteristics::of_payload(DType::F64, &[0u8; 7]);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let a = Characteristics::of_f64(&[1.0, 2.0]);
+        let b = Characteristics::of_f64(&[-3.0, 5.0]);
+        let m = a.merge(&b);
+        assert_eq!(m.min, -3.0);
+        assert_eq!(m.max, 5.0);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, 5.0);
+    }
+
+    #[test]
+    fn merge_with_opaque_keeps_stats() {
+        let a = Characteristics::of_f64(&[1.0]);
+        let b = Characteristics::opaque(10);
+        let m = a.merge(&b);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.count, 11);
+    }
+
+    #[test]
+    fn range_query_semantics() {
+        let c = Characteristics::of_f64(&[2.0, 8.0]);
+        assert!(c.may_contain_range(7.0, 9.0));
+        assert!(c.may_contain_range(0.0, 2.0));
+        assert!(!c.may_contain_range(8.1, 100.0));
+        assert!(!c.may_contain_range(-5.0, 1.9));
+        // Opaque can't be excluded.
+        assert!(Characteristics::opaque(5).may_contain_range(0.0, 1.0));
+        assert!(!Characteristics::opaque(0).may_contain_range(0.0, 1.0));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let c = Characteristics::of_f64(&[1.0, 2.0, 3.0]);
+        let mut w = WireWriter::new();
+        c.write(&mut w);
+        let buf = w.into_bytes();
+        let back = Characteristics::read(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn dtype_wire_roundtrip() {
+        for d in [DType::F64, DType::I64, DType::U8] {
+            assert_eq!(DType::from_wire(d.to_wire()).unwrap(), d);
+        }
+        assert!(DType::from_wire(9).is_err());
+    }
+}

@@ -1,0 +1,425 @@
+//! File-local and global indices.
+//!
+//! Each adaptive-IO subfile ends with a **local index**: one entry per
+//! variable block written into that file (including blocks that arrived
+//! adaptively from other groups), sorted, followed by a fixed footer that
+//! locates the index. The coordinator then merges every subfile's local
+//! index into a **global index** that maps any variable block to
+//! `(subfile, offset)` — "access to any data can be performed using a
+//! single lookup into the index and then a direct read" (§IV-C).
+
+use crate::chars::{Characteristics, DType};
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Magic number in every index footer.
+pub const FOOTER_MAGIC: u64 = 0x4250_494E_4458_3130; // "BPINDX10"
+/// Footer byte size: index_offset + index_len + magic.
+pub const FOOTER_LEN: u64 = 24;
+/// Magic opening a serialized global index.
+pub const GLOBAL_MAGIC: u64 = 0x4250_474C_4F42_4C31; // "BPGLOBL1"
+
+/// One variable block's index record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexEntry {
+    /// Variable name.
+    pub var: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Originating writer rank.
+    pub rank: u32,
+    /// Output step.
+    pub step: u32,
+    /// Byte offset of the payload within the subfile.
+    pub file_offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// Global array dimensions.
+    pub global_dims: Vec<u64>,
+    /// Offsets of this block in the global array.
+    pub offsets: Vec<u64>,
+    /// Local block dimensions.
+    pub local_dims: Vec<u64>,
+    /// Data characteristics.
+    pub chars: Characteristics,
+}
+
+impl IndexEntry {
+    /// Shift the entry by a base file offset (used when a PG is placed at
+    /// an assigned position in a subfile).
+    pub fn rebased(mut self, base: u64) -> Self {
+        self.file_offset += base;
+        self
+    }
+
+    fn write(&self, w: &mut WireWriter) {
+        w.str(&self.var);
+        w.u8(self.dtype.to_wire());
+        w.u32(self.rank);
+        w.u32(self.step);
+        w.u64(self.file_offset);
+        w.u64(self.payload_len);
+        for dims in [&self.global_dims, &self.offsets, &self.local_dims] {
+            w.u8(dims.len() as u8);
+            for &d in dims.iter() {
+                w.u64(d);
+            }
+        }
+        self.chars.write(w);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let var = r.str()?;
+        let dtype = DType::from_wire(r.u8()?)?;
+        let rank = r.u32()?;
+        let step = r.u32()?;
+        let file_offset = r.u64()?;
+        let payload_len = r.u64()?;
+        let mut dims3 = [vec![], vec![], vec![]];
+        for d in &mut dims3 {
+            let n = r.u8()? as usize;
+            d.reserve(n);
+            for _ in 0..n {
+                d.push(r.u64()?);
+            }
+        }
+        let [global_dims, offsets, local_dims] = dims3;
+        let chars = Characteristics::read(r)?;
+        Ok(IndexEntry {
+            var,
+            dtype,
+            rank,
+            step,
+            file_offset,
+            payload_len,
+            global_dims,
+            offsets,
+            local_dims,
+            chars,
+        })
+    }
+}
+
+/// The sorted per-subfile index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LocalIndex {
+    /// Entries sorted by `(var, step, rank)`.
+    pub entries: Vec<IndexEntry>,
+}
+
+impl LocalIndex {
+    /// Build from unsorted entries (the sub-coordinator's "sort and merge
+    /// the index pieces" step, Algorithm 2 line 31).
+    pub fn from_pieces(mut entries: Vec<IndexEntry>) -> Self {
+        entries.sort_by(|a, b| {
+            (a.var.as_str(), a.step, a.rank).cmp(&(b.var.as_str(), b.step, b.rank))
+        });
+        LocalIndex { entries }
+    }
+
+    /// Serialize as the tail of a subfile whose data region is
+    /// `data_len` bytes: returns `index bytes || footer`.
+    pub fn serialize_with_footer(&self, data_len: u64) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.write(&mut w);
+        }
+        let index_len = w.len();
+        w.u64(data_len);
+        w.u64(index_len);
+        w.u64(FOOTER_MAGIC);
+        w.into_bytes()
+    }
+
+    /// Parse the local index out of a complete subfile.
+    pub fn parse(file: &[u8]) -> Result<Self, WireError> {
+        if (file.len() as u64) < FOOTER_LEN {
+            return Err(WireError::Truncated {
+                need: FOOTER_LEN as usize,
+                have: file.len(),
+            });
+        }
+        let foot = &file[file.len() - FOOTER_LEN as usize..];
+        let mut r = WireReader::new(foot);
+        let index_offset = r.u64()?;
+        let index_len = r.u64()?;
+        let magic = r.u64()?;
+        if magic != FOOTER_MAGIC {
+            return Err(WireError::BadMagic {
+                expected: FOOTER_MAGIC,
+                found: magic,
+            });
+        }
+        let start = index_offset as usize;
+        let end = start + index_len as usize;
+        if end > file.len() {
+            return Err(WireError::Truncated {
+                need: end,
+                have: file.len(),
+            });
+        }
+        let mut r = WireReader::new(&file[start..end]);
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(IndexEntry::read(&mut r)?);
+        }
+        Ok(LocalIndex { entries })
+    }
+
+    /// All entries for one variable.
+    pub fn find<'a>(&'a self, var: &'a str) -> impl Iterator<Item = &'a IndexEntry> + 'a {
+        self.entries.iter().filter(move |e| e.var == var)
+    }
+}
+
+/// The merged, cross-subfile index written by the coordinator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GlobalIndex {
+    /// Subfile names, indexed by slot.
+    pub files: Vec<String>,
+    /// `(file slot, entry)` pairs sorted by `(var, step, rank)`.
+    pub entries: Vec<(u32, IndexEntry)>,
+}
+
+impl GlobalIndex {
+    /// Merge local indices, one per subfile.
+    pub fn merge(parts: Vec<(String, LocalIndex)>) -> Self {
+        let mut files = Vec::with_capacity(parts.len());
+        let mut entries = Vec::new();
+        for (slot, (name, local)) in parts.into_iter().enumerate() {
+            files.push(name);
+            for e in local.entries {
+                entries.push((slot as u32, e));
+            }
+        }
+        entries.sort_by(|(_, a), (_, b)| {
+            (a.var.as_str(), a.step, a.rank).cmp(&(b.var.as_str(), b.step, b.rank))
+        });
+        GlobalIndex { files, entries }
+    }
+
+    /// All blocks of a variable: `(subfile name, entry)`.
+    pub fn find<'a>(
+        &'a self,
+        var: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a IndexEntry)> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(_, e)| e.var == var)
+            .map(move |(slot, e)| (self.files[*slot as usize].as_str(), e))
+    }
+
+    /// Blocks of a variable whose value range may intersect `[lo, hi]` —
+    /// the characteristics-driven content query (§III-3).
+    pub fn find_range<'a>(
+        &'a self,
+        var: &'a str,
+        lo: f64,
+        hi: f64,
+    ) -> impl Iterator<Item = (&'a str, &'a IndexEntry)> + 'a {
+        self.find(var)
+            .filter(move |(_, e)| e.chars.may_contain_range(lo, hi))
+    }
+
+    /// The single block of `var` at `step` covering global coordinate
+    /// `point` (logical-location query).
+    pub fn find_at<'a>(
+        &'a self,
+        var: &'a str,
+        step: u32,
+        point: &[u64],
+    ) -> Option<(&'a str, &'a IndexEntry)> {
+        self.find(var).find(|(_, e)| {
+            e.step == step
+                && e.offsets.len() == point.len()
+                && e.offsets
+                    .iter()
+                    .zip(&e.local_dims)
+                    .zip(point)
+                    .all(|((&o, &d), &p)| p >= o && p < o + d)
+        })
+    }
+
+    /// Serialize (the coordinator's "write global index file").
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(GLOBAL_MAGIC);
+        w.u32(self.files.len() as u32);
+        for f in &self.files {
+            w.str(f);
+        }
+        w.u32(self.entries.len() as u32);
+        for (slot, e) in &self.entries {
+            w.u32(*slot);
+            e.write(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Parse a serialized global index.
+    pub fn parse(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let magic = r.u64()?;
+        if magic != GLOBAL_MAGIC {
+            return Err(WireError::BadMagic {
+                expected: GLOBAL_MAGIC,
+                found: magic,
+            });
+        }
+        let nf = r.u32()? as usize;
+        let mut files = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            files.push(r.str()?);
+        }
+        let ne = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let slot = r.u32()?;
+            entries.push((slot, IndexEntry::read(&mut r)?));
+        }
+        Ok(GlobalIndex { files, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(var: &str, rank: u32, offset: u64, min: f64, max: f64) -> IndexEntry {
+        IndexEntry {
+            var: var.to_string(),
+            dtype: DType::F64,
+            rank,
+            step: 0,
+            file_offset: offset,
+            payload_len: 64,
+            global_dims: vec![16],
+            offsets: vec![rank as u64 * 8],
+            local_dims: vec![8],
+            chars: Characteristics {
+                min,
+                max,
+                count: 8,
+                sum: (min + max) * 4.0,
+            },
+        }
+    }
+
+    #[test]
+    fn local_index_sorts_pieces() {
+        let idx = LocalIndex::from_pieces(vec![
+            entry("b", 1, 100, 0.0, 1.0),
+            entry("a", 2, 200, 0.0, 1.0),
+            entry("a", 0, 0, 0.0, 1.0),
+        ]);
+        let order: Vec<(&str, u32)> = idx
+            .entries
+            .iter()
+            .map(|e| (e.var.as_str(), e.rank))
+            .collect();
+        assert_eq!(order, vec![("a", 0), ("a", 2), ("b", 1)]);
+    }
+
+    #[test]
+    fn local_index_footer_roundtrip() {
+        let idx = LocalIndex::from_pieces(vec![
+            entry("x", 0, 0, -1.0, 1.0),
+            entry("x", 1, 64, 2.0, 3.0),
+        ]);
+        let data = vec![0u8; 128]; // pretend payload region
+        let tail = idx.serialize_with_footer(data.len() as u64);
+        let mut file = data;
+        file.extend_from_slice(&tail);
+        let back = LocalIndex::parse(&file).unwrap();
+        assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn parse_rejects_bad_footer() {
+        let idx = LocalIndex::default();
+        let mut file = idx.serialize_with_footer(0);
+        let n = file.len();
+        file[n - 1] ^= 0xFF;
+        assert!(matches!(
+            LocalIndex::parse(&file),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_short_file() {
+        assert!(matches!(
+            LocalIndex::parse(&[0u8; 10]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rebase_shifts_offset() {
+        let e = entry("x", 0, 16, 0.0, 1.0).rebased(1000);
+        assert_eq!(e.file_offset, 1016);
+    }
+
+    #[test]
+    fn global_merge_and_find() {
+        let l0 = LocalIndex::from_pieces(vec![entry("x", 0, 0, 0.0, 1.0)]);
+        let l1 = LocalIndex::from_pieces(vec![
+            entry("x", 1, 0, 5.0, 9.0),
+            entry("y", 1, 64, 0.0, 0.0),
+        ]);
+        let g = GlobalIndex::merge(vec![("f0".into(), l0), ("f1".into(), l1)]);
+        let hits: Vec<(&str, u32)> = g.find("x").map(|(f, e)| (f, e.rank)).collect();
+        assert_eq!(hits, vec![("f0", 0), ("f1", 1)]);
+        assert_eq!(g.find("y").count(), 1);
+        assert_eq!(g.find("z").count(), 0);
+    }
+
+    #[test]
+    fn global_range_query_prunes() {
+        let l0 = LocalIndex::from_pieces(vec![entry("x", 0, 0, 0.0, 1.0)]);
+        let l1 = LocalIndex::from_pieces(vec![entry("x", 1, 0, 5.0, 9.0)]);
+        let g = GlobalIndex::merge(vec![("f0".into(), l0), ("f1".into(), l1)]);
+        let hits: Vec<u32> = g.find_range("x", 6.0, 7.0).map(|(_, e)| e.rank).collect();
+        assert_eq!(hits, vec![1]);
+        assert_eq!(g.find_range("x", 100.0, 200.0).count(), 0);
+    }
+
+    #[test]
+    fn global_point_query_locates_block() {
+        let l0 = LocalIndex::from_pieces(vec![entry("x", 0, 0, 0.0, 1.0)]); // covers [0,8)
+        let l1 = LocalIndex::from_pieces(vec![entry("x", 1, 0, 5.0, 9.0)]); // covers [8,16)
+        let g = GlobalIndex::merge(vec![("f0".into(), l0), ("f1".into(), l1)]);
+        let (f, e) = g.find_at("x", 0, &[11]).unwrap();
+        assert_eq!(f, "f1");
+        assert_eq!(e.rank, 1);
+        assert!(g.find_at("x", 0, &[16]).is_none());
+        assert!(g.find_at("x", 1, &[3]).is_none(), "wrong step");
+    }
+
+    #[test]
+    fn global_serialize_roundtrip() {
+        let l0 = LocalIndex::from_pieces(vec![entry("x", 0, 0, -2.0, 2.0)]);
+        let g = GlobalIndex::merge(vec![("sub-0.bp".into(), l0)]);
+        let bytes = g.serialize();
+        let back = GlobalIndex::parse(&bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn global_parse_rejects_bad_magic() {
+        let g = GlobalIndex::default();
+        let mut bytes = g.serialize();
+        bytes[0] ^= 1;
+        assert!(GlobalIndex::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn global_entries_sorted_across_files() {
+        let l0 = LocalIndex::from_pieces(vec![entry("z", 5, 0, 0.0, 0.0)]);
+        let l1 = LocalIndex::from_pieces(vec![entry("a", 9, 0, 0.0, 0.0)]);
+        let g = GlobalIndex::merge(vec![("f0".into(), l0), ("f1".into(), l1)]);
+        assert_eq!(g.entries[0].1.var, "a");
+        assert_eq!(g.entries[1].1.var, "z");
+    }
+}

@@ -1,0 +1,35 @@
+//! # bpfmt — a BP-style self-describing output format
+//!
+//! The managed-io reproduction of the ADIOS BP format layer the paper's
+//! adaptive method writes into: process groups with per-variable data
+//! characteristics, a sorted local index + footer per subfile, and a
+//! merged global index across subfiles (Algorithms 1–3's index plumbing).
+//!
+//! * [`wire`] — little-endian encoding primitives.
+//! * [`chars`] — data characteristics (min/max/count/sum) and the
+//!   characteristics-based content queries of §III-3.
+//! * [`pg`] — process groups ([`pg::VarBlock`], [`pg::encode_pg`]).
+//! * [`index`] — [`index::LocalIndex`] (subfile tail + footer) and
+//!   [`index::GlobalIndex`] (coordinator-merged, with range and point
+//!   queries).
+//! * [`writer`] — append-mode [`writer::SubfileWriter`] and the adaptive
+//!   [`writer::SubfileAssembler`] with offset reservation.
+//! * [`reader`] — single-lookup block reads and restart-style global
+//!   reconstruction.
+
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod chars;
+pub mod index;
+pub mod pg;
+pub mod reader;
+pub mod wire;
+pub mod writer;
+
+pub use attrs::{AttrValue, Attributes};
+pub use chars::{Characteristics, DType};
+pub use index::{GlobalIndex, IndexEntry, LocalIndex};
+pub use pg::{decode_pg, encode_pg, pg_encoded_size, VarBlock};
+pub use reader::{read_f64, read_global_f64, read_payload, SubfileSource};
+pub use writer::{SubfileAssembler, SubfileWriter};

@@ -1,0 +1,264 @@
+//! Process groups: the self-describing unit one writer emits per output
+//! step, mirroring ADIOS BP's process-group blocks.
+//!
+//! A process group (PG) carries a header (writer rank, output step) and a
+//! sequence of variable blocks, each with its name, type, local/global
+//! dimensions, offsets within the global array, and payload. Encoding a PG
+//! also produces the index entries that will later be merged into the
+//! file-local and global indices — with payload offsets *relative to the
+//! PG start*, so whoever assigns the PG its position in a file (a
+//! sub-coordinator, in the adaptive method) just adds the base offset.
+
+use crate::chars::{Characteristics, DType};
+use crate::index::IndexEntry;
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Magic number opening every process group.
+pub const PG_MAGIC: u32 = 0x5047_4D49; // "PGMI"
+
+/// One variable's contribution to a process group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarBlock {
+    /// Variable name (e.g. `"Bx"`).
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Global array dimensions (empty for local-only arrays).
+    pub global_dims: Vec<u64>,
+    /// This block's offsets within the global array.
+    pub offsets: Vec<u64>,
+    /// This block's local dimensions.
+    pub local_dims: Vec<u64>,
+    /// Raw little-endian payload.
+    pub payload: Vec<u8>,
+}
+
+impl VarBlock {
+    /// Build an f64 block from values.
+    pub fn from_f64(
+        name: impl Into<String>,
+        global_dims: Vec<u64>,
+        offsets: Vec<u64>,
+        local_dims: Vec<u64>,
+        values: &[f64],
+    ) -> Self {
+        let expected: u64 = local_dims.iter().product();
+        assert_eq!(values.len() as u64, expected, "payload/dims mismatch");
+        let mut payload = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        VarBlock {
+            name: name.into(),
+            dtype: DType::F64,
+            global_dims,
+            offsets,
+            local_dims,
+            payload,
+        }
+    }
+
+    /// Element count of this block.
+    pub fn element_count(&self) -> u64 {
+        self.payload.len() as u64 / self.dtype.size()
+    }
+
+    /// Decode the payload as f64 values (panics on wrong dtype).
+    pub fn as_f64(&self) -> Vec<f64> {
+        assert_eq!(self.dtype, DType::F64);
+        self.payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("len 8")))
+            .collect()
+    }
+}
+
+fn write_dims(w: &mut WireWriter, dims: &[u64]) {
+    w.u8(dims.len() as u8);
+    for &d in dims {
+        w.u64(d);
+    }
+}
+
+fn read_dims(r: &mut WireReader<'_>) -> Result<Vec<u64>, WireError> {
+    let n = r.u8()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+/// Encode a process group. Returns the PG bytes and one [`IndexEntry`] per
+/// variable, with `file_offset` relative to the start of the PG.
+pub fn encode_pg(rank: u32, step: u32, blocks: &[VarBlock]) -> (Vec<u8>, Vec<IndexEntry>) {
+    let mut w = WireWriter::new();
+    w.u32(PG_MAGIC);
+    w.u32(rank);
+    w.u32(step);
+    w.u32(blocks.len() as u32);
+    let mut entries = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        w.str(&b.name);
+        w.u8(b.dtype.to_wire());
+        write_dims(&mut w, &b.global_dims);
+        write_dims(&mut w, &b.offsets);
+        write_dims(&mut w, &b.local_dims);
+        w.u64(b.payload.len() as u64);
+        let payload_at = w.len();
+        w.bytes(&b.payload);
+        entries.push(IndexEntry {
+            var: b.name.clone(),
+            dtype: b.dtype,
+            rank,
+            step,
+            file_offset: payload_at,
+            payload_len: b.payload.len() as u64,
+            global_dims: b.global_dims.clone(),
+            offsets: b.offsets.clone(),
+            local_dims: b.local_dims.clone(),
+            chars: Characteristics::of_payload(b.dtype, &b.payload),
+        });
+    }
+    (w.into_bytes(), entries)
+}
+
+/// Decode a process group from bytes (self-description path — readers that
+/// have no index can still walk PGs).
+pub fn decode_pg(buf: &[u8]) -> Result<(u32, u32, Vec<VarBlock>), WireError> {
+    let mut r = WireReader::new(buf);
+    let magic = r.u32()?;
+    if magic != PG_MAGIC {
+        return Err(WireError::BadMagic {
+            expected: PG_MAGIC as u64,
+            found: magic as u64,
+        });
+    }
+    let rank = r.u32()?;
+    let step = r.u32()?;
+    let nvars = r.u32()? as usize;
+    let mut blocks = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let name = r.str()?;
+        let dtype = DType::from_wire(r.u8()?)?;
+        let global_dims = read_dims(&mut r)?;
+        let offsets = read_dims(&mut r)?;
+        let local_dims = read_dims(&mut r)?;
+        let plen = r.u64()? as usize;
+        let payload = r.bytes(plen)?.to_vec();
+        blocks.push(VarBlock {
+            name,
+            dtype,
+            global_dims,
+            offsets,
+            local_dims,
+            payload,
+        });
+    }
+    Ok((rank, step, blocks))
+}
+
+/// Total encoded size of a PG holding the given blocks, without building
+/// the bytes (writers need the size up front to request an offset from
+/// their sub-coordinator).
+pub fn pg_encoded_size(blocks: &[VarBlock]) -> u64 {
+    let mut n = 4 + 4 + 4 + 4; // magic, rank, step, count
+    for b in blocks {
+        n += 2 + b.name.len() as u64; // str
+        n += 1; // dtype
+        n += 1 + 8 * b.global_dims.len() as u64;
+        n += 1 + 8 * b.offsets.len() as u64;
+        n += 1 + 8 * b.local_dims.len() as u64;
+        n += 8; // payload len
+        n += b.payload.len() as u64;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_blocks() -> Vec<VarBlock> {
+        vec![
+            VarBlock::from_f64("rho", vec![8, 8], vec![0, 4], vec![4, 4], &[1.0; 16]),
+            VarBlock::from_f64("vx", vec![8, 8], vec![4, 0], vec![2, 8], &[2.5; 16]),
+        ]
+    }
+
+    #[test]
+    fn pg_roundtrip() {
+        let blocks = sample_blocks();
+        let (bytes, _) = encode_pg(3, 7, &blocks);
+        let (rank, step, back) = decode_pg(&bytes).unwrap();
+        assert_eq!(rank, 3);
+        assert_eq!(step, 7);
+        assert_eq!(back, blocks);
+    }
+
+    #[test]
+    fn index_entries_point_at_payloads() {
+        let blocks = sample_blocks();
+        let (bytes, entries) = encode_pg(0, 0, &blocks);
+        assert_eq!(entries.len(), 2);
+        for (e, b) in entries.iter().zip(&blocks) {
+            let at = e.file_offset as usize;
+            let len = e.payload_len as usize;
+            assert_eq!(&bytes[at..at + len], &b.payload[..]);
+        }
+    }
+
+    #[test]
+    fn entries_carry_characteristics() {
+        let blocks = vec![VarBlock::from_f64(
+            "t",
+            vec![4],
+            vec![0],
+            vec![4],
+            &[1.0, -2.0, 3.0, 0.0],
+        )];
+        let (_, entries) = encode_pg(0, 0, &blocks);
+        assert_eq!(entries[0].chars.min, -2.0);
+        assert_eq!(entries[0].chars.max, 3.0);
+        assert_eq!(entries[0].chars.count, 4);
+    }
+
+    #[test]
+    fn encoded_size_matches_actual() {
+        let blocks = sample_blocks();
+        let (bytes, _) = encode_pg(1, 2, &blocks);
+        assert_eq!(pg_encoded_size(&blocks), bytes.len() as u64);
+    }
+
+    #[test]
+    fn empty_pg_roundtrips() {
+        let (bytes, entries) = encode_pg(9, 1, &[]);
+        assert!(entries.is_empty());
+        let (rank, step, blocks) = decode_pg(&bytes).unwrap();
+        assert_eq!((rank, step), (9, 1));
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (mut bytes, _) = encode_pg(0, 0, &[]);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode_pg(&bytes),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload/dims mismatch")]
+    fn dims_mismatch_panics() {
+        VarBlock::from_f64("x", vec![4], vec![0], vec![4], &[1.0; 3]);
+    }
+
+    #[test]
+    fn as_f64_roundtrip() {
+        let b = VarBlock::from_f64("x", vec![3], vec![0], vec![3], &[1.0, 2.0, 3.0]);
+        assert_eq!(b.as_f64(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.element_count(), 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! Reading data back through the indices.
+//!
+//! A reader locates blocks via a [`LocalIndex`] or [`GlobalIndex`] and
+//! fetches payload bytes directly — one index lookup, one contiguous read,
+//! as the paper describes for the global-index access path (§IV-C). A
+//! restart-style "read everything" helper reconstructs a full global
+//! variable from its blocks.
+
+use crate::chars::DType;
+use crate::index::{GlobalIndex, IndexEntry};
+
+/// Raw payload bytes of one indexed block.
+pub fn read_payload<'a>(file: &'a [u8], entry: &IndexEntry) -> &'a [u8] {
+    let start = entry.file_offset as usize;
+    let end = start + entry.payload_len as usize;
+    &file[start..end]
+}
+
+/// Decode one indexed block as f64 values.
+pub fn read_f64(file: &[u8], entry: &IndexEntry) -> Vec<f64> {
+    assert_eq!(entry.dtype, DType::F64, "block is not f64");
+    read_payload(file, entry)
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("len 8")))
+        .collect()
+}
+
+/// A set of subfiles addressed by name (the reader-side view of an output
+/// set: N subfiles + one global index).
+pub trait SubfileSource {
+    /// Complete bytes of one subfile.
+    fn subfile(&self, name: &str) -> Option<&[u8]>;
+}
+
+impl SubfileSource for std::collections::HashMap<String, Vec<u8>> {
+    fn subfile(&self, name: &str) -> Option<&[u8]> {
+        self.get(name).map(|v| v.as_slice())
+    }
+}
+
+/// Reconstruct a full global 1-D..3-D variable at `step` from its blocks,
+/// in row-major order. Returns `None` if the variable has no blocks at
+/// that step or a subfile is missing.
+///
+/// This is the restart read: "a restart-style read of all of the data"
+/// (§V, PLFS discussion) — every block is fetched via one index lookup and
+/// one contiguous read, then scattered into the global array.
+pub fn read_global_f64(
+    index: &GlobalIndex,
+    source: &impl SubfileSource,
+    var: &str,
+    step: u32,
+) -> Option<Vec<f64>> {
+    let blocks: Vec<(&str, &IndexEntry)> =
+        index.find(var).filter(|(_, e)| e.step == step).collect();
+    let (_, first) = blocks.first()?;
+    let gdims = &first.global_dims;
+    assert!(
+        (1..=3).contains(&gdims.len()),
+        "read_global_f64 supports 1-3 dims"
+    );
+    let total: u64 = gdims.iter().product();
+    let mut out = vec![f64::NAN; total as usize];
+    for (file_name, e) in blocks {
+        let file = source.subfile(file_name)?;
+        let vals = read_f64(file, e);
+        scatter(&mut out, gdims, &e.offsets, &e.local_dims, &vals);
+    }
+    Some(out)
+}
+
+/// Scatter a row-major local block into a row-major global array.
+fn scatter(out: &mut [f64], gdims: &[u64], offsets: &[u64], ldims: &[u64], vals: &[f64]) {
+    match gdims.len() {
+        1 => {
+            let o = offsets[0] as usize;
+            out[o..o + vals.len()].copy_from_slice(vals);
+        }
+        2 => {
+            let (gy, _gx) = (gdims[0], gdims[1]);
+            let _ = gy;
+            let gx = gdims[1] as usize;
+            let (oy, ox) = (offsets[0] as usize, offsets[1] as usize);
+            let (ly, lx) = (ldims[0] as usize, ldims[1] as usize);
+            for y in 0..ly {
+                let src = y * lx;
+                let dst = (oy + y) * gx + ox;
+                out[dst..dst + lx].copy_from_slice(&vals[src..src + lx]);
+            }
+        }
+        3 => {
+            let (gy, gx) = (gdims[1] as usize, gdims[2] as usize);
+            let (oz, oy, ox) = (
+                offsets[0] as usize,
+                offsets[1] as usize,
+                offsets[2] as usize,
+            );
+            let (lz, ly, lx) = (ldims[0] as usize, ldims[1] as usize, ldims[2] as usize);
+            for z in 0..lz {
+                for y in 0..ly {
+                    let src = (z * ly + y) * lx;
+                    let dst = ((oz + z) * gy + (oy + y)) * gx + ox;
+                    out[dst..dst + lx].copy_from_slice(&vals[src..src + lx]);
+                }
+            }
+        }
+        _ => unreachable!("dim count validated by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::LocalIndex;
+    use crate::pg::VarBlock;
+    use crate::writer::SubfileWriter;
+    use std::collections::HashMap;
+
+    /// Build a 2-subfile output set: a global 1-D var of 8 elements split
+    /// in halves, one half per subfile.
+    fn build_set() -> (GlobalIndex, HashMap<String, Vec<u8>>) {
+        let mut files = HashMap::new();
+        let mut parts = Vec::new();
+        for (i, range) in [(0u32, 0..4u64), (1u32, 4..8u64)] {
+            let vals: Vec<f64> = range.clone().map(|x| x as f64 * 10.0).collect();
+            let b = VarBlock::from_f64("u", vec![8], vec![range.start], vec![4], &vals);
+            let mut w = SubfileWriter::new();
+            w.append(i, 0, &[b]);
+            let (bytes, local) = w.finalize();
+            let name = format!("sub-{i}.bp");
+            files.insert(name.clone(), bytes);
+            parts.push((name, local));
+        }
+        (GlobalIndex::merge(parts), files)
+    }
+
+    #[test]
+    fn single_lookup_single_read() {
+        let (g, files) = build_set();
+        let (fname, entry) = g.find_at("u", 0, &[6]).expect("block covering 6");
+        let file = files.subfile(fname).unwrap();
+        let vals = read_f64(file, entry);
+        assert_eq!(vals, vec![40.0, 50.0, 60.0, 70.0]);
+    }
+
+    #[test]
+    fn restart_read_reconstructs_global_array() {
+        let (g, files) = build_set();
+        let all = read_global_f64(&g, &files, "u", 0).unwrap();
+        let expect: Vec<f64> = (0..8).map(|x| x as f64 * 10.0).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn missing_var_returns_none() {
+        let (g, files) = build_set();
+        assert!(read_global_f64(&g, &files, "nope", 0).is_none());
+        assert!(read_global_f64(&g, &files, "u", 9).is_none());
+    }
+
+    #[test]
+    fn missing_subfile_returns_none() {
+        let (g, mut files) = build_set();
+        files.remove("sub-1.bp");
+        assert!(read_global_f64(&g, &files, "u", 0).is_none());
+    }
+
+    #[test]
+    fn restart_read_3d_domain_decomposition() {
+        // 2x2x2 global cube split into 8 unit blocks, one per "rank",
+        // spread over 2 subfiles — a miniature Pixie3D output set.
+        let mut files = HashMap::new();
+        let mut parts = Vec::new();
+        for sub in 0..2u32 {
+            let mut w = SubfileWriter::new();
+            for k in 0..4u32 {
+                let rank = sub * 4 + k;
+                let (z, y, x) = ((rank >> 2) & 1, (rank >> 1) & 1, rank & 1);
+                let b = VarBlock::from_f64(
+                    "rho",
+                    vec![2, 2, 2],
+                    vec![z as u64, y as u64, x as u64],
+                    vec![1, 1, 1],
+                    &[rank as f64],
+                );
+                w.append(rank, 0, &[b]);
+            }
+            let (bytes, local) = w.finalize();
+            let name = format!("s{sub}");
+            files.insert(name.clone(), bytes);
+            parts.push((name, local));
+        }
+        let g = GlobalIndex::merge(parts);
+        let all = read_global_f64(&g, &files, "rho", 0).unwrap();
+        // Row-major (z,y,x): value == rank == z*4 + y*2 + x.
+        assert_eq!(all, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn read_2d_blocks() {
+        let mut w = SubfileWriter::new();
+        // 2x4 global, two 2x2 blocks.
+        w.append(
+            0,
+            0,
+            &[VarBlock::from_f64(
+                "m",
+                vec![2, 4],
+                vec![0, 0],
+                vec![2, 2],
+                &[1.0, 2.0, 5.0, 6.0],
+            )],
+        );
+        w.append(
+            1,
+            0,
+            &[VarBlock::from_f64(
+                "m",
+                vec![2, 4],
+                vec![0, 2],
+                vec![2, 2],
+                &[3.0, 4.0, 7.0, 8.0],
+            )],
+        );
+        let (bytes, local) = w.finalize();
+        let mut files = HashMap::new();
+        files.insert("f".to_string(), bytes);
+        let g = GlobalIndex::merge(vec![("f".to_string(), local)]);
+        let all = read_global_f64(&g, &files, "m", 0).unwrap();
+        assert_eq!(all, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn local_index_read_path_matches() {
+        let mut w = SubfileWriter::new();
+        w.append(3, 2, &[VarBlock::from_f64("q", vec![2], vec![0], vec![2], &[8.0, 9.0])]);
+        let (file, _) = w.finalize();
+        let idx = LocalIndex::parse(&file).unwrap();
+        let e = idx.find("q").next().unwrap();
+        assert_eq!(e.rank, 3);
+        assert_eq!(e.step, 2);
+        assert_eq!(read_f64(&file, e), vec![8.0, 9.0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Little-endian wire primitives for the BP-style format.
+//!
+//! Hand-rolled (no serde) because the on-disk format must be
+//! self-describing and stable — readers locate data through the embedded
+//! index, exactly like ADIOS's BP format, rather than through Rust type
+//! knowledge.
+
+/// Cursor-style writer over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string (u16 length).
+    pub fn str(&mut self, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "string too long for wire");
+        self.u16(s.len() as u16);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Errors raised while decoding.
+#[derive(Debug, PartialEq, Eq, Clone)]
+pub enum WireError {
+    /// Ran off the end of the buffer.
+    Truncated {
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A magic number or tag did not match.
+    BadMagic {
+        /// What we expected.
+        expected: u64,
+        /// What we found.
+        found: u64,
+    },
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An enum discriminant was out of range.
+    BadEnum(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated: need {need} bytes, have {have}")
+            }
+            WireError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:#x}, found {found:#x}")
+            }
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 string"),
+            WireError::BadEnum(v) => write!(f, "invalid enum discriminant {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor-style reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.f64(-1.25e10);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.f64().unwrap(), -1.25e10);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn string_roundtrips() {
+        let mut w = WireWriter::new();
+        w.str("temperature");
+        w.str("");
+        w.str("μ-var");
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.str().unwrap(), "temperature");
+        assert_eq!(r.str().unwrap(), "");
+        assert_eq!(r.str().unwrap(), "μ-var");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = WireWriter::new();
+        w.u32(1);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        r.u16().unwrap();
+        let err = r.u32().unwrap_err();
+        assert!(matches!(err, WireError::Truncated { need: 4, have: 2 }));
+    }
+
+    #[test]
+    fn bad_utf8_is_detected() {
+        let mut w = WireWriter::new();
+        w.u16(2);
+        w.bytes(&[0xFF, 0xFE]);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.str().unwrap_err(), WireError::BadUtf8);
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut w = WireWriter::new();
+        w.u64(1);
+        w.u64(2);
+        assert_eq!(w.len(), 16);
+        let buf = w.into_bytes();
+        let mut r = WireReader::new(&buf);
+        r.u64().unwrap();
+        assert_eq!(r.pos(), 8);
+        assert_eq!(r.remaining(), 8);
+    }
+}

@@ -1,0 +1,207 @@
+//! Subfile assembly: building BP-style subfiles from process groups.
+//!
+//! Two construction modes mirror the two ways the middleware produces
+//! files:
+//!
+//! * [`SubfileWriter`] — single-writer append mode (POSIX / MPI-IO style):
+//!   PGs are appended in arrival order.
+//! * [`SubfileAssembler`] — offset-assignment mode (adaptive style): the
+//!   sub-coordinator *reserves* a region for each incoming PG (possibly
+//!   from a writer belonging to another group) and the PG bytes are placed
+//!   at the reserved offset later, in any order. This is exactly the
+//!   offset bookkeeping of Algorithms 2–3.
+
+use crate::index::{IndexEntry, LocalIndex};
+use crate::pg::{encode_pg, VarBlock};
+
+/// Append-mode subfile builder.
+#[derive(Debug, Default)]
+pub struct SubfileWriter {
+    data: Vec<u8>,
+    pieces: Vec<IndexEntry>,
+}
+
+impl SubfileWriter {
+    /// Empty subfile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one process group; returns its base offset.
+    pub fn append(&mut self, rank: u32, step: u32, blocks: &[VarBlock]) -> u64 {
+        let base = self.data.len() as u64;
+        let (bytes, entries) = encode_pg(rank, step, blocks);
+        self.data.extend_from_slice(&bytes);
+        self.pieces
+            .extend(entries.into_iter().map(|e| e.rebased(base)));
+        base
+    }
+
+    /// Bytes of payload data so far.
+    pub fn data_len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Finish: sort/merge the index, append it plus the footer, and return
+    /// the complete subfile bytes with its local index.
+    pub fn finalize(self) -> (Vec<u8>, LocalIndex) {
+        let index = LocalIndex::from_pieces(self.pieces);
+        let mut file = self.data;
+        let tail = index.serialize_with_footer(file.len() as u64);
+        file.extend_from_slice(&tail);
+        (file, index)
+    }
+}
+
+/// Offset-assignment subfile builder (the adaptive sub-coordinator's
+/// view of its file).
+#[derive(Debug, Default)]
+pub struct SubfileAssembler {
+    /// Reserved high-water mark of the data region.
+    reserved: u64,
+    /// Placed fragments: (offset, bytes).
+    fragments: Vec<(u64, Vec<u8>)>,
+    pieces: Vec<IndexEntry>,
+}
+
+impl SubfileAssembler {
+    /// Empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve `size` bytes for an incoming PG; returns the assigned base
+    /// offset. This is what a sub-coordinator does when it signals a
+    /// writer with `(target, offset)`.
+    pub fn reserve(&mut self, size: u64) -> u64 {
+        let at = self.reserved;
+        self.reserved += size;
+        at
+    }
+
+    /// Current reserved data length (the "final offset" the coordinator
+    /// notes when a sub-coordinator completes, Algorithm 3).
+    pub fn reserved_len(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Place a PG's bytes at a previously reserved offset and record its
+    /// index pieces (already rebased by the caller or raw from
+    /// [`encode_pg`] — pass `rebase = true` for raw pieces).
+    pub fn place(&mut self, offset: u64, bytes: Vec<u8>, entries: Vec<IndexEntry>, rebase: bool) {
+        assert!(
+            offset + bytes.len() as u64 <= self.reserved,
+            "placement outside reserved region"
+        );
+        self.pieces.extend(entries.into_iter().map(|e| {
+            if rebase {
+                e.rebased(offset)
+            } else {
+                e
+            }
+        }));
+        self.fragments.push((offset, bytes));
+    }
+
+    /// Finish: materialise the data region (zero-filling unplaced gaps —
+    /// in the simulator most experiments track sizes only), sort/merge the
+    /// index, append the footer.
+    pub fn finalize(self) -> (Vec<u8>, LocalIndex) {
+        let mut file = vec![0u8; self.reserved as usize];
+        for (at, bytes) in self.fragments {
+            file[at as usize..at as usize + bytes.len()].copy_from_slice(&bytes);
+        }
+        let index = LocalIndex::from_pieces(self.pieces);
+        let tail = index.serialize_with_footer(file.len() as u64);
+        file.extend_from_slice(&tail);
+        (file, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pg::pg_encoded_size;
+    use crate::reader::read_f64;
+
+    fn block(name: &str, vals: &[f64]) -> VarBlock {
+        VarBlock::from_f64(
+            name,
+            vec![vals.len() as u64],
+            vec![0],
+            vec![vals.len() as u64],
+            vals,
+        )
+    }
+
+    #[test]
+    fn append_mode_roundtrip() {
+        let mut w = SubfileWriter::new();
+        w.append(0, 0, &[block("a", &[1.0, 2.0])]);
+        w.append(1, 0, &[block("a", &[3.0, 4.0])]);
+        let (file, index) = w.finalize();
+        let parsed = LocalIndex::parse(&file).unwrap();
+        assert_eq!(parsed, index);
+        let entries: Vec<_> = parsed.find("a").collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(read_f64(&file, entries[0]), vec![1.0, 2.0]);
+        assert_eq!(read_f64(&file, entries[1]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn assembler_places_out_of_order() {
+        let b0 = [block("v", &[1.0; 4])];
+        let b1 = [block("v", &[2.0; 4])];
+        let (bytes0, e0) = encode_pg(0, 0, &b0);
+        let (bytes1, e1) = encode_pg(1, 0, &b1);
+
+        let mut asm = SubfileAssembler::new();
+        let at0 = asm.reserve(bytes0.len() as u64);
+        let at1 = asm.reserve(bytes1.len() as u64);
+        assert_eq!(at0, 0);
+        assert_eq!(at1, bytes0.len() as u64);
+        // Place in reverse order.
+        asm.place(at1, bytes1, e1, true);
+        asm.place(at0, bytes0, e0, true);
+        let (file, index) = asm.finalize();
+        let parsed = LocalIndex::parse(&file).unwrap();
+        assert_eq!(parsed, index);
+        let vals: Vec<Vec<f64>> = parsed.find("v").map(|e| read_f64(&file, e)).collect();
+        assert_eq!(vals, vec![vec![1.0; 4], vec![2.0; 4]]);
+    }
+
+    #[test]
+    fn reserve_matches_encoded_size() {
+        let blocks = [block("x", &[0.5; 8])];
+        let (bytes, _) = encode_pg(0, 0, &blocks);
+        assert_eq!(pg_encoded_size(&blocks), bytes.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside reserved region")]
+    fn placement_outside_reservation_panics() {
+        let mut asm = SubfileAssembler::new();
+        asm.reserve(4);
+        asm.place(0, vec![0u8; 8], vec![], false);
+    }
+
+    #[test]
+    fn unplaced_gap_is_zero_filled() {
+        let mut asm = SubfileAssembler::new();
+        let _gap = asm.reserve(16); // reserved but never placed
+        let (bytes, e) = encode_pg(0, 0, &[block("x", &[9.0])]);
+        let at = asm.reserve(bytes.len() as u64);
+        asm.place(at, bytes, e, true);
+        let (file, index) = asm.finalize();
+        assert_eq!(&file[..16], &[0u8; 16]);
+        let entry = index.find("x").next().unwrap();
+        assert_eq!(read_f64(&file, entry), vec![9.0]);
+    }
+
+    #[test]
+    fn empty_subfile_finalizes() {
+        let (file, index) = SubfileWriter::new().finalize();
+        assert!(index.entries.is_empty());
+        assert_eq!(LocalIndex::parse(&file).unwrap(), index);
+    }
+}

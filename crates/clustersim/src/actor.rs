@@ -1,0 +1,194 @@
+//! The actor model for simulated ranks.
+//!
+//! Each MPI-style rank is an [`Actor`]: an event-driven state machine that
+//! reacts to messages from other ranks, storage completions and timers. The
+//! paper's adaptive IO protocol (writers, sub-coordinators, coordinator) is
+//! implemented as exactly such state machines in `adios-core`.
+//!
+//! Actors interact with the world only through [`Ctx`], which exposes
+//! simulated time, messaging (with a latency/bandwidth cost model), the
+//! storage system, timers and a deterministic RNG.
+
+use simcore::{Rng, SimDuration, SimTime};
+use storesim::layout::{FileId, OstId, StripeSpec};
+use storesim::system::CompletionKind;
+use storesim::StorageSystem;
+
+use crate::sim::PendingEvent;
+
+/// A rank index within the simulated job.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rank(pub u32);
+
+/// A finished storage operation, delivered to the submitting actor.
+#[derive(Clone, Copy, Debug)]
+pub struct IoComplete {
+    /// The actor-chosen tag passed at submission.
+    pub tag: u32,
+    /// Bytes moved (zero for metadata operations).
+    pub bytes: u64,
+    /// When the operation was submitted.
+    pub submitted: SimTime,
+    /// When it finished.
+    pub finished: SimTime,
+    /// Operation class.
+    pub kind: CompletionKind,
+}
+
+impl IoComplete {
+    /// Elapsed service time of the operation.
+    pub fn elapsed(&self) -> SimDuration {
+        self.finished - self.submitted
+    }
+}
+
+/// Behaviour of one simulated rank. `Msg` is the application-level message
+/// type exchanged between ranks.
+pub trait Actor {
+    /// Message type delivered between ranks.
+    type Msg;
+
+    /// Called once at simulation start.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// A message from another rank has arrived.
+    fn on_message(&mut self, from: Rank, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A storage operation this rank submitted has completed.
+    fn on_io_complete(&mut self, _done: IoComplete, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// A timer this rank set has fired.
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, Self::Msg>) {}
+}
+
+/// The world as seen by one actor during one event dispatch.
+pub struct Ctx<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) rank: Rank,
+    pub(crate) storage: &'a mut StorageSystem,
+    pub(crate) queue: &'a mut simcore::EventQueue<PendingEvent<M>>,
+    pub(crate) rng: &'a mut Rng,
+    pub(crate) msg_latency: f64,
+    pub(crate) msg_bandwidth: f64,
+    pub(crate) finished: &'a mut u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Deterministic RNG shared by the simulation.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    /// Latency of a `bytes`-sized message under the network cost model.
+    pub fn message_delay(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.msg_latency + bytes as f64 / self.msg_bandwidth)
+    }
+
+    /// Send `msg` (costing `bytes` on the wire) to another rank. Delivery
+    /// is reliable, ordered per sender-receiver pair (FIFO by schedule
+    /// time) and delayed by the network cost model.
+    pub fn send(&mut self, to: Rank, msg: M, bytes: u64) {
+        let at = self.now + self.message_delay(bytes);
+        self.queue.schedule(
+            at,
+            PendingEvent::Deliver {
+                from: self.rank,
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// Send a small control message (fixed 64-byte wire cost).
+    pub fn send_control(&mut self, to: Rank, msg: M) {
+        self.send(to, msg, 64);
+    }
+
+    /// Set a timer that fires after `delay` with `tag`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.queue.schedule(
+            self.now + delay,
+            PendingEvent::Timer {
+                rank: self.rank,
+                tag,
+            },
+        );
+    }
+
+    fn io_tag(&self, tag: u32) -> u64 {
+        ((self.rank.0 as u64) << 32) | tag as u64
+    }
+
+    /// Submit a write to a byte range of a striped file. Completion is
+    /// delivered to this actor with `tag`.
+    pub fn write_file(&mut self, file: FileId, offset: u64, len: u64, tag: u32) {
+        let t = self.io_tag(tag);
+        self.storage.submit_file_write(self.now, file, offset, len, t);
+    }
+
+    /// Submit a read of a byte range of a striped file.
+    pub fn read_file(&mut self, file: FileId, offset: u64, len: u64, tag: u32) {
+        let t = self.io_tag(tag);
+        self.storage.submit_file_read(self.now, file, offset, len, t);
+    }
+
+    /// Submit a write of `bytes` directly to one storage target.
+    pub fn write_ost(&mut self, ost: OstId, bytes: u64, tag: u32) {
+        let t = self.io_tag(tag);
+        self.storage.submit_ost_write(self.now, ost, bytes, t);
+    }
+
+    /// Submit a file open/create to the metadata server.
+    pub fn open(&mut self, tag: u32) {
+        let t = self.io_tag(tag);
+        self.storage.submit_open(self.now, t);
+    }
+
+    /// Submit a file close to the metadata server.
+    pub fn close(&mut self, tag: u32) {
+        let t = self.io_tag(tag);
+        self.storage.submit_close(self.now, t);
+    }
+
+    /// Create a file in the layout layer (instantaneous bookkeeping; the
+    /// metadata *cost* is modelled by [`Ctx::open`]).
+    pub fn create_file(&mut self, name: impl Into<String>, spec: StripeSpec) -> FileId {
+        self.storage.fs_mut().create(name, spec)
+    }
+
+    /// Create a file with an explicit stripe size (ADIOS MPI-IO sets the
+    /// stripe width to the per-rank buffer size).
+    pub fn create_file_with_stripe_size(
+        &mut self,
+        name: impl Into<String>,
+        spec: StripeSpec,
+        stripe_size: u64,
+    ) -> FileId {
+        self.storage
+            .create_file_with_stripe_size(name, spec, stripe_size)
+    }
+
+    /// Read-only access to the storage system (diagnostics).
+    pub fn storage(&self) -> &StorageSystem {
+        self.storage
+    }
+
+    /// Signal that this actor's goal is reached. [`crate::Simulation`]'s
+    /// `run_until` stops once enough finish signals have accumulated —
+    /// essential on machines with perpetual background activity (noise,
+    /// interference streams), where the event queue never drains on its
+    /// own.
+    pub fn finish(&mut self) {
+        *self.finished += 1;
+    }
+}

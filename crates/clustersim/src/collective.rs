@@ -1,0 +1,118 @@
+//! Collective-operation building blocks for actor protocols.
+//!
+//! MPI-style transports need barriers (IOR separates its open and write
+//! phases; `MPI_File_open` is collective) and reductions. This module
+//! provides a small, reusable state machine for a centralised barrier
+//! with an optional reduced value, plus cost helpers for tree-structured
+//! collectives whose message traffic isn't worth simulating hop by hop.
+
+use crate::actor::{Ctx, Rank};
+use simcore::SimDuration;
+
+/// Root rank of centralised collectives.
+pub const ROOT: Rank = Rank(0);
+
+/// A reusable centralised barrier: every rank reports to rank 0, which
+/// releases everyone once all have arrived. The caller owns message
+/// delivery; this struct only tracks arrival state on the root.
+#[derive(Clone, Debug)]
+pub struct Barrier {
+    expected: usize,
+    arrived: usize,
+    /// Accumulator for an optional max-reduction piggybacked on arrival.
+    max_value: u64,
+}
+
+impl Barrier {
+    /// A barrier over `expected` ranks (including the root).
+    pub fn new(expected: usize) -> Self {
+        assert!(expected > 0);
+        Barrier {
+            expected,
+            arrived: 0,
+            max_value: 0,
+        }
+    }
+
+    /// Record one arrival carrying `value`; returns `Some(max)` when this
+    /// arrival completes the barrier.
+    pub fn arrive(&mut self, value: u64) -> Option<u64> {
+        assert!(self.arrived < self.expected, "barrier over-arrived");
+        self.arrived += 1;
+        self.max_value = self.max_value.max(value);
+        if self.arrived == self.expected {
+            Some(self.max_value)
+        } else {
+            None
+        }
+    }
+
+    /// Arrivals so far.
+    pub fn arrived(&self) -> usize {
+        self.arrived
+    }
+
+    /// Reset for reuse (multi-step protocols).
+    pub fn reset(&mut self) {
+        self.arrived = 0;
+        self.max_value = 0;
+    }
+}
+
+/// Latency of a tree-structured collective over `n` ranks under `ctx`'s
+/// network cost model: `2 · ceil(log2 n)` small-message hops (up the
+/// reduction tree and back down the broadcast), the standard model for
+/// `MPI_Scan`/`MPI_Allreduce`-style offset agreement.
+pub fn tree_collective_delay<M>(ctx: &Ctx<'_, M>, n: usize) -> SimDuration {
+    let hops = 2 * crate::topology::log2_ceil(n as u64) as u64;
+    ctx.message_delay(64) * hops.max(1)
+}
+
+/// Broadcast a message from the root to every other rank (the release
+/// half of a centralised barrier). The closure builds a fresh message per
+/// destination.
+pub fn broadcast_from_root<M>(ctx: &mut Ctx<'_, M>, n: usize, mut mk: impl FnMut() -> M) {
+    debug_assert_eq!(ctx.rank(), ROOT, "broadcast must run on the root");
+    for r in 1..n as u32 {
+        let msg = mk();
+        ctx.send_control(Rank(r), msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_completes_exactly_once() {
+        let mut b = Barrier::new(3);
+        assert_eq!(b.arrive(5), None);
+        assert_eq!(b.arrive(9), None);
+        assert_eq!(b.arrive(2), Some(9), "max-reduction over arrivals");
+    }
+
+    #[test]
+    #[should_panic(expected = "over-arrived")]
+    fn over_arrival_panics() {
+        let mut b = Barrier::new(1);
+        b.arrive(0);
+        b.arrive(0);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let mut b = Barrier::new(2);
+        b.arrive(1);
+        assert_eq!(b.arrive(2), Some(2));
+        b.reset();
+        assert_eq!(b.arrived(), 0);
+        b.arrive(7);
+        assert_eq!(b.arrive(3), Some(7));
+    }
+
+    #[test]
+    fn single_rank_barrier_is_immediate() {
+        let mut b = Barrier::new(1);
+        assert_eq!(b.arrive(42), Some(42));
+    }
+}

@@ -1,0 +1,21 @@
+//! # clustersim — compute-cluster half of the co-simulation
+//!
+//! Simulated MPI-style ranks as event-driven [`Actor`]s, message passing
+//! with a latency/bandwidth cost model, timers, and the [`Simulation`]
+//! driver that couples the rank world with a
+//! [`storesim::StorageSystem`] under one deterministic clock.
+//!
+//! The paper's coordinator / sub-coordinator / writer protocol (Fig. 4,
+//! Algorithms 1–3) is built on exactly this actor interface in
+//! `adios-core`.
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod collective;
+pub mod sim;
+pub mod topology;
+
+pub use actor::{Actor, Ctx, IoComplete, Rank};
+pub use collective::Barrier;
+pub use sim::{PendingEvent, RunStats, Simulation, TraceRecord};

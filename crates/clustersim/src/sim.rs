@@ -1,0 +1,551 @@
+//! The co-simulation driver: couples a vector of actors with a
+//! [`StorageSystem`] under one global clock.
+//!
+//! Event sources are (a) the cluster event queue (message deliveries,
+//! timers) and (b) the storage system's internal schedule (completions,
+//! noise flips). The driver always advances to the earlier of the two; on
+//! ties, storage completions dispatch first (a write that finishes at the
+//! same instant a message arrives is observed before the message — the
+//! choice is arbitrary but fixed, which is what determinism requires).
+
+use simcore::{EventQueue, Rng, SimTime, SplitMix64};
+use storesim::{MachineConfig, StorageSystem};
+
+use crate::actor::{Actor, Ctx, IoComplete, Rank};
+
+/// Boxed message-labelling closure used by traces.
+type MsgLabeler<M> = Box<dyn Fn(&M) -> String>;
+
+/// Internal cluster events.
+#[derive(Debug)]
+pub enum PendingEvent<M> {
+    /// A message in flight.
+    Deliver {
+        /// Sender.
+        from: Rank,
+        /// Receiver.
+        to: Rank,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer set by `rank`.
+    Timer {
+        /// Owner of the timer.
+        rank: Rank,
+        /// Actor-chosen discriminator.
+        tag: u64,
+    },
+}
+
+/// One recorded simulation event (tracing enabled via
+/// [`Simulation::enable_trace`]). The managed-io `fig4_walkthrough`
+/// example uses this to print the adaptive protocol's message flow — the
+/// observable form of the paper's Fig. 4 organisation.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// When the event was dispatched.
+    pub at: SimTime,
+    /// Receiving/owning rank.
+    pub rank: Rank,
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Outcome of a completed simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Time of the last processed event.
+    pub end_time: SimTime,
+    /// Number of cluster events (messages + timers) processed.
+    pub cluster_events: u64,
+    /// Number of storage completions delivered to actors.
+    pub io_completions: u64,
+}
+
+/// The simulation: actors + storage under one clock.
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    storage: StorageSystem,
+    queue: EventQueue<PendingEvent<A::Msg>>,
+    rng: Rng,
+    msg_latency: f64,
+    msg_bandwidth: f64,
+    started: bool,
+    finished: u64,
+    /// Recorded events (when tracing): (buffer, capacity).
+    trace: Option<(Vec<TraceRecord>, usize)>,
+    /// Message labeller used by traces (defaults to the message type
+    /// name; [`Simulation::enable_trace_with`] installs a custom one).
+    labeler: Option<MsgLabeler<A::Msg>>,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Build a simulation over `actors` (rank i = index i) on a machine.
+    /// Storage noise and the shared RNG derive from `seed`.
+    pub fn new(cfg: MachineConfig, actors: Vec<A>, seed: u64) -> Self {
+        let storage = StorageSystem::new(cfg.clone(), seed);
+        Self::with_storage(cfg, actors, seed, storage)
+    }
+
+    /// Like [`Simulation::new`], but adopt a pre-built storage system —
+    /// used when files must be created (and their ids handed to actors)
+    /// before the run starts.
+    pub fn with_storage(
+        cfg: MachineConfig,
+        actors: Vec<A>,
+        seed: u64,
+        storage: StorageSystem,
+    ) -> Self {
+        let msg_latency = cfg.msg_latency;
+        let msg_bandwidth = cfg.msg_bandwidth;
+        let mut seeder = SplitMix64::new(seed ^ 0xC1A5_7E25_11D3_0001);
+        let rng = seeder.stream();
+        Simulation {
+            actors,
+            storage,
+            queue: EventQueue::new(),
+            rng,
+            msg_latency,
+            msg_bandwidth,
+            started: false,
+            finished: 0,
+            trace: None,
+            labeler: None,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Access an actor (e.g. to read results after a run).
+    pub fn actor(&self, rank: Rank) -> &A {
+        &self.actors[rank.0 as usize]
+    }
+
+    /// Iterate all actors (results collection).
+    pub fn actors(&self) -> impl Iterator<Item = &A> {
+        self.actors.iter()
+    }
+
+    /// Mutable access to the storage system (pre-run setup: file creation,
+    /// background interference streams).
+    pub fn storage_mut(&mut self) -> &mut StorageSystem {
+        &mut self.storage
+    }
+
+    /// Read access to the storage system.
+    pub fn storage(&self) -> &StorageSystem {
+        &self.storage
+    }
+
+    fn dispatch_start(&mut self) {
+        let Simulation {
+            actors,
+            storage,
+            queue,
+            rng,
+            msg_latency,
+            msg_bandwidth,
+            finished,
+            ..
+        } = self;
+        for (i, a) in actors.iter_mut().enumerate() {
+            let mut ctx = Ctx {
+                now: SimTime::ZERO,
+                rank: Rank(i as u32),
+                storage,
+                queue,
+                rng,
+                msg_latency: *msg_latency,
+                msg_bandwidth: *msg_bandwidth,
+                finished,
+            };
+            a.on_start(&mut ctx);
+        }
+    }
+
+    /// How many [`Ctx::finish`] signals actors have raised so far.
+    pub fn finish_count(&self) -> u64 {
+        self.finished
+    }
+
+    /// Record up to `cap` dispatched events (message deliveries, timers,
+    /// IO completions) for later inspection via
+    /// [`Simulation::take_trace`]. Messages are labelled with their type
+    /// name; use [`Simulation::enable_trace_with`] for richer labels.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some((Vec::with_capacity(cap.min(4096)), cap));
+        self.labeler = None;
+    }
+
+    /// Like [`Simulation::enable_trace`], with a custom message labeller
+    /// (e.g. `|m| format!("{m:?}")` for `Debug` messages).
+    pub fn enable_trace_with(&mut self, cap: usize, labeler: impl Fn(&A::Msg) -> String + 'static) {
+        self.trace = Some((Vec::with_capacity(cap.min(4096)), cap));
+        self.labeler = Some(Box::new(labeler));
+    }
+
+    /// Drain the recorded trace.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.trace.take().map(|(v, _)| v).unwrap_or_default()
+    }
+
+    fn record(trace: &mut Option<(Vec<TraceRecord>, usize)>, at: SimTime, rank: Rank, what: String) {
+        if let Some((buf, cap)) = trace {
+            if buf.len() < *cap {
+                buf.push(TraceRecord { at, rank, what });
+            }
+        }
+    }
+
+    /// Run until `finish_target` actors have called [`Ctx::finish`], both
+    /// event sources are exhausted, or `deadline` passes — whichever comes
+    /// first. The finish target is the only reliable stop condition on
+    /// machines with perpetual background activity (production noise,
+    /// interference streams), where events never run dry.
+    pub fn run_until(&mut self, finish_target: u64, deadline: SimTime) -> RunStats {
+        self.run_inner(Some(finish_target), deadline)
+    }
+
+    /// Run until both event sources are exhausted or `deadline` passes.
+    /// Returns run statistics.
+    pub fn run(&mut self, deadline: SimTime) -> RunStats {
+        self.run_inner(None, deadline)
+    }
+
+    fn run_inner(&mut self, finish_target: Option<u64>, deadline: SimTime) -> RunStats {
+        if !self.started {
+            self.started = true;
+            self.dispatch_start();
+        }
+        if let Some(t) = finish_target {
+            if self.finished >= t {
+                return RunStats {
+                    end_time: SimTime::ZERO,
+                    cluster_events: 0,
+                    io_completions: 0,
+                };
+            }
+        }
+        let mut stats = RunStats {
+            end_time: SimTime::ZERO,
+            cluster_events: 0,
+            io_completions: 0,
+        };
+        loop {
+            if let Some(t) = finish_target {
+                if self.finished >= t {
+                    break;
+                }
+            }
+            let tq = self.queue.peek_time();
+            let ts = self.storage.next_event_time();
+            let t = match (tq, ts) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if t > deadline {
+                break;
+            }
+            stats.end_time = t;
+            // Storage first on ties.
+            if ts.is_some_and(|s| s <= t) {
+                let completions = self.storage.advance_to(t);
+                for c in completions {
+                    stats.io_completions += 1;
+                    let rank = Rank((c.tag >> 32) as u32);
+                    let done = IoComplete {
+                        tag: (c.tag & 0xFFFF_FFFF) as u32,
+                        bytes: c.bytes,
+                        submitted: c.submitted,
+                        finished: c.finished,
+                        kind: c.kind,
+                    };
+                    let Simulation {
+                        actors,
+                        storage,
+                        queue,
+                        rng,
+                        msg_latency,
+                        msg_bandwidth,
+                        finished,
+                        trace,
+                        ..
+                    } = self;
+                    Self::record(
+                        trace,
+                        c.finished,
+                        rank,
+                        format!("io-complete {:?} {} B (tag {})", done.kind, done.bytes, done.tag),
+                    );
+                    let mut ctx = Ctx {
+                        now: c.finished,
+                        rank,
+                        storage,
+                        queue,
+                        rng,
+                        msg_latency: *msg_latency,
+                        msg_bandwidth: *msg_bandwidth,
+                        finished,
+                    };
+                    actors[rank.0 as usize].on_io_complete(done, &mut ctx);
+                }
+                // Re-evaluate sources; the storage advance may have been a
+                // pure noise flip producing no completions.
+                if self.queue.peek_time() != tq || tq != Some(t) {
+                    continue;
+                }
+            }
+            // Deliver at most one cluster event per iteration if it is due.
+            if tq == Some(t) {
+                let (at, ev) = self.queue.pop().expect("peeked event exists");
+                stats.cluster_events += 1;
+                let Simulation {
+                    actors,
+                    storage,
+                    queue,
+                    rng,
+                    msg_latency,
+                    msg_bandwidth,
+                    finished,
+                    trace,
+                    labeler,
+                    ..
+                } = self;
+                match ev {
+                    PendingEvent::Deliver { from, to, msg } => {
+                        if trace.is_some() {
+                            let label = match labeler {
+                                Some(f) => f(&msg),
+                                None => std::any::type_name::<A::Msg>()
+                                    .rsplit("::")
+                                    .next()
+                                    .unwrap_or("msg")
+                                    .to_string(),
+                            };
+                            Self::record(trace, at, to, format!("recv from {}: {label}", from.0));
+                        }
+                        let mut ctx = Ctx {
+                            now: at,
+                            rank: to,
+                            storage,
+                            queue,
+                            rng,
+                            msg_latency: *msg_latency,
+                            msg_bandwidth: *msg_bandwidth,
+                            finished,
+                        };
+                        actors[to.0 as usize].on_message(from, msg, &mut ctx);
+                    }
+                    PendingEvent::Timer { rank, tag } => {
+                        Self::record(trace, at, rank, format!("timer {tag}"));
+                        let mut ctx = Ctx {
+                            now: at,
+                            rank,
+                            storage,
+                            queue,
+                            rng,
+                            msg_latency: *msg_latency,
+                            msg_bandwidth: *msg_bandwidth,
+                            finished,
+                        };
+                        actors[rank.0 as usize].on_timer(tag, &mut ctx);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Run with a generous default deadline (10^7 simulated seconds) —
+    /// effectively "run to completion" for well-formed protocols; a stuck
+    /// protocol shows up as hitting the deadline, which callers assert on.
+    pub fn run_to_completion(&mut self) -> RunStats {
+        self.run(SimTime::from_secs_f64(1.0e7))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MIB;
+    use simcore::SimDuration;
+    use storesim::layout::{OstId, StripeSpec};
+    use storesim::params::testbed;
+
+    /// Ping-pong: rank 0 sends a counter to rank 1 and back N times.
+    struct PingPong {
+        hits: u32,
+        limit: u32,
+        last_seen: Option<SimTime>,
+    }
+
+    impl Actor for PingPong {
+        type Msg = u32;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if ctx.rank() == Rank(0) {
+                ctx.send_control(Rank(1), 0);
+            }
+        }
+        fn on_message(&mut self, from: Rank, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.hits += 1;
+            self.last_seen = Some(ctx.now());
+            if msg < self.limit {
+                ctx.send_control(from, msg + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mk = || PingPong {
+            hits: 0,
+            limit: 9,
+            last_seen: None,
+        };
+        let mut sim = Simulation::new(testbed(), vec![mk(), mk()], 1);
+        let stats = sim.run_to_completion();
+        // msgs 0..=9 → 10 deliveries total, 5 per rank.
+        assert_eq!(stats.cluster_events, 10);
+        assert_eq!(sim.actor(Rank(0)).hits + sim.actor(Rank(1)).hits, 10);
+        // Each hop costs at least the base latency.
+        let end = sim.actor(Rank(1)).last_seen.unwrap();
+        assert!(end.as_secs_f64() >= 9.0 * testbed().msg_latency);
+    }
+
+    /// Writer: writes one block on start, records the completion.
+    struct OneWrite {
+        bytes: u64,
+        done: Option<IoComplete>,
+    }
+
+    impl Actor for OneWrite {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            let r = ctx.rank().0 as usize;
+            ctx.write_ost(OstId(r % 8), self.bytes, 7);
+        }
+        fn on_message(&mut self, _f: Rank, _m: (), _c: &mut Ctx<'_, ()>) {}
+        fn on_io_complete(&mut self, done: IoComplete, _ctx: &mut Ctx<'_, ()>) {
+            assert_eq!(done.tag, 7);
+            self.done = Some(done);
+        }
+    }
+
+    #[test]
+    fn io_completions_route_to_the_right_rank() {
+        let actors: Vec<OneWrite> = (0..16)
+            .map(|i| OneWrite {
+                bytes: (i + 1) * MIB,
+                done: None,
+            })
+            .collect();
+        let mut sim = Simulation::new(testbed(), actors, 2);
+        let stats = sim.run_to_completion();
+        assert_eq!(stats.io_completions, 16);
+        for (i, a) in sim.actors().enumerate() {
+            let d = a.done.expect("every rank completed");
+            assert_eq!(d.bytes, (i as u64 + 1) * MIB);
+            assert!(d.finished > d.submitted);
+        }
+    }
+
+    /// Timer echo.
+    struct TimerUser {
+        fired: Vec<u64>,
+    }
+    impl Actor for TimerUser {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+            ctx.set_timer(SimDuration::from_millis(1), 2);
+        }
+        fn on_message(&mut self, _f: Rank, _m: (), _c: &mut Ctx<'_, ()>) {}
+        fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_, ()>) {
+            self.fired.push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulation::new(testbed(), vec![TimerUser { fired: vec![] }], 3);
+        sim.run_to_completion();
+        assert_eq!(sim.actor(Rank(0)).fired, vec![2, 1]);
+    }
+
+    /// Rank 0 writes, then messages rank 1, which writes in response —
+    /// exercises interleaved IO and messaging.
+    struct Chained {
+        wrote: bool,
+        finished_at: Option<SimTime>,
+    }
+    impl Actor for Chained {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if ctx.rank() == Rank(0) {
+                let f = ctx.create_file("chain0", StripeSpec::Pinned(vec![OstId(0)]));
+                ctx.write_file(f, 0, 4 * MIB, 0);
+                self.wrote = true;
+            }
+        }
+        fn on_message(&mut self, _f: Rank, _m: (), ctx: &mut Ctx<'_, ()>) {
+            let f = ctx.create_file("chain1", StripeSpec::Pinned(vec![OstId(1)]));
+            ctx.write_file(f, 0, 4 * MIB, 1);
+            self.wrote = true;
+        }
+        fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, ()>) {
+            self.finished_at = Some(done.finished);
+            if ctx.rank() == Rank(0) {
+                ctx.send_control(Rank(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn io_and_messages_interleave() {
+        let mk = || Chained {
+            wrote: false,
+            finished_at: None,
+        };
+        let mut sim = Simulation::new(testbed(), vec![mk(), mk()], 4);
+        sim.run_to_completion();
+        let t0 = sim.actor(Rank(0)).finished_at.unwrap();
+        let t1 = sim.actor(Rank(1)).finished_at.unwrap();
+        assert!(sim.actor(Rank(1)).wrote);
+        assert!(t1 > t0, "rank 1 wrote strictly after rank 0 finished");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let actors: Vec<OneWrite> = (0..32)
+                .map(|i| OneWrite {
+                    bytes: (i % 7 + 1) * MIB,
+                    done: None,
+                })
+                .collect();
+            let mut sim = Simulation::new(testbed(), actors, seed);
+            sim.run_to_completion();
+            sim.actors()
+                .map(|a| a.done.unwrap().finished.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn deadline_stops_early() {
+        let actors = vec![OneWrite {
+            bytes: 1024 * MIB,
+            done: None,
+        }];
+        let mut sim = Simulation::new(testbed(), actors, 6);
+        let stats = sim.run(SimTime::from_secs_f64(0.001));
+        assert_eq!(stats.io_completions, 0);
+        assert!(sim.actor(Rank(0)).done.is_none());
+    }
+}

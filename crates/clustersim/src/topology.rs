@@ -1,0 +1,92 @@
+//! Rank-placement helpers.
+//!
+//! The paper's role assignment leans on sequential rank-to-core placement:
+//! "process IDs are typically assigned sequentially to cores in a node,
+//! grouping them as illustrated reduces the network contention on the
+//! node" (§III-B). These helpers compute node membership and the
+//! contiguous writer groups used by the adaptive method.
+
+use crate::actor::Rank;
+
+/// Which node a rank lives on under sequential placement.
+pub fn node_of(rank: Rank, cores_per_node: usize) -> usize {
+    assert!(cores_per_node > 0);
+    rank.0 as usize / cores_per_node
+}
+
+/// Split `n` ranks into `groups` contiguous groups as evenly as possible
+/// (the first `n % groups` groups get one extra rank). Returns half-open
+/// rank ranges. This is the writer→sub-coordinator grouping of Fig. 4.
+pub fn contiguous_groups(n: usize, groups: usize) -> Vec<std::ops::Range<u32>> {
+    assert!(groups > 0 && n >= groups, "need at least one rank per group");
+    let base = n / groups;
+    let extra = n % groups;
+    let mut out = Vec::with_capacity(groups);
+    let mut start = 0u32;
+    for g in 0..groups {
+        let len = base + usize::from(g < extra);
+        out.push(start..start + len as u32);
+        start += len as u32;
+    }
+    out
+}
+
+/// Ceil(log2(n)) — the hop count of tree-structured collectives, used to
+/// cost MPI_Scan-style offset exchanges in the MPI-IO baseline.
+pub fn log2_ceil(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_placement_is_sequential() {
+        assert_eq!(node_of(Rank(0), 12), 0);
+        assert_eq!(node_of(Rank(11), 12), 0);
+        assert_eq!(node_of(Rank(12), 12), 1);
+        assert_eq!(node_of(Rank(25), 12), 2);
+    }
+
+    #[test]
+    fn groups_cover_all_ranks_without_overlap() {
+        for (n, g) in [(16, 4), (17, 4), (512, 8), (100, 7), (5, 5)] {
+            let groups = contiguous_groups(n, g);
+            assert_eq!(groups.len(), g);
+            let mut next = 0u32;
+            for r in &groups {
+                assert_eq!(r.start, next, "contiguous");
+                assert!(r.end > r.start, "non-empty");
+                next = r.end;
+            }
+            assert_eq!(next as usize, n, "full coverage");
+        }
+    }
+
+    #[test]
+    fn groups_are_balanced() {
+        let groups = contiguous_groups(18, 4);
+        let sizes: Vec<usize> = groups.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![5, 5, 4, 4]);
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank per group")]
+    fn more_groups_than_ranks_panics() {
+        contiguous_groups(3, 4);
+    }
+}

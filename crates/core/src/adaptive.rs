@@ -1,0 +1,784 @@
+//! The adaptive IO method — paper §III, Algorithms 1–3, implemented as an
+//! actor state machine per rank.
+//!
+//! Every rank is a **writer**. The first rank of each group additionally
+//! acts as **sub-coordinator (SC)** for that group's file (one file pinned
+//! per storage target). Rank 0 additionally acts as the **coordinator
+//! (C)**. Writers and the coordinator communicate only through SCs.
+//!
+//! * A writer waits for a `(target, offset)` assignment, writes its
+//!   process group, notifies the triggering SC (and the target SC when
+//!   they differ) and ships its index pieces to the target SC
+//!   (Algorithm 1).
+//! * An SC feeds its own file one writer at a time (`writers_per_target`
+//!   generalises this, §III-B3's untested extension), counts expected
+//!   index bodies, reports completion to C, diverts waiting writers on
+//!   `AdaptiveWriteStart`, or answers `WritersBusy` (Algorithm 2). After
+//!   `OverallWriteComplete` it sorts/merges its index pieces, writes the
+//!   local index into its file and forwards the index to C.
+//! * C sits idle until SC completions arrive, then shifts work from
+//!   still-writing groups onto completed (fast) files, one active adaptive
+//!   write per file, spreading requests round-robin over writing SCs
+//!   (Algorithm 3). When all groups complete and no adaptive request is
+//!   outstanding it broadcasts `OverallWriteComplete`, gathers local
+//!   indices and writes the global index.
+//!
+//! With `work_stealing: false` the same machinery degrades to the
+//! authors' earlier *stagger* method (serialised per-target writes, no
+//! shifting), which we use as an ablation baseline.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bpfmt::{encode_pg, GlobalIndex, IndexEntry, LocalIndex, VarBlock};
+use clustersim::{Actor, Ctx, IoComplete, Rank};
+use simcore::{SimDuration, SimTime};
+use storesim::layout::FileId;
+use storesim::system::CompletionKind;
+use storesim::ObjectStore;
+
+use crate::plan::OutputPlan;
+use crate::protocol::{Assignment, Msg, INDEX_ENTRY_BYTES};
+use crate::record::WriteRecord;
+
+/// IO tag values (per-rank scoped).
+const TAG_OPEN: u32 = 1;
+const TAG_WRITE: u32 = 2;
+const TAG_INDEX: u32 = 3;
+const TAG_GLOBAL_INDEX: u32 = 4;
+const TAG_CLOSE: u32 = 5;
+/// Timer used by staggered opens.
+const TIMER_OPEN: u64 = 1;
+
+/// Tuning knobs of the adaptive method.
+#[derive(Clone, Debug)]
+pub struct AdaptiveOpts {
+    /// Simultaneous local writers an SC keeps active on its own file
+    /// (paper uses 1; >1 is the generalisation of §III-B3).
+    pub writers_per_target: usize,
+    /// Divert waiting writers from the tail of the queue (`true`, default)
+    /// or the head (`false`) — scheduling-policy ablation.
+    pub steal_from_tail: bool,
+    /// Stagger SC file opens to spare the metadata server (CUG'09 stagger
+    /// technique).
+    pub stagger_opens: bool,
+    /// Gap between staggered opens.
+    pub stagger_gap: SimDuration,
+    /// Enable coordinator work-shifting. `false` degrades to the stagger
+    /// method (serialised per-target writes only).
+    pub work_stealing: bool,
+    /// Coordinator ablation: instead of round-robining adaptive requests
+    /// over writing SCs, keep draining the same SC until it reports busy.
+    pub drain_first: bool,
+}
+
+impl Default for AdaptiveOpts {
+    fn default() -> Self {
+        AdaptiveOpts {
+            writers_per_target: 1,
+            steal_from_tail: true,
+            stagger_opens: false,
+            stagger_gap: SimDuration::from_millis(2),
+            work_stealing: true,
+            drain_first: false,
+        }
+    }
+}
+
+/// Per-rank protocol message counters (received messages by class),
+/// used to verify the paper's §III-B3 scaling claim: the coordinator's
+/// load grows with the number of storage targets, not with the number of
+/// writers, and writers/coordinator never exchange messages directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MsgStats {
+    /// `WriteNow` assignments received (writer role).
+    pub write_now: u64,
+    /// `WriteComplete` notifications received (SC role).
+    pub write_complete: u64,
+    /// `IndexBody` messages received (SC role).
+    pub index_body: u64,
+    /// `AdaptiveWriteStart` requests received (SC role).
+    pub adaptive_start: u64,
+    /// `OverallWriteComplete` broadcasts received (SC role).
+    pub overall: u64,
+    /// Coordinator-bound messages received (`ScComplete`,
+    /// `AdaptiveComplete`, `WritersBusy`, `IndexToC`) — coordinator role.
+    pub coordinator_inbox: u64,
+}
+
+impl MsgStats {
+    /// Total messages received by this rank.
+    pub fn total(&self) -> u64 {
+        self.write_now
+            + self.write_complete
+            + self.index_body
+            + self.adaptive_start
+            + self.overall
+            + self.coordinator_inbox
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ScPhase {
+    Writing,
+    Busy,
+    Complete,
+}
+
+/// Sub-coordinator state.
+struct ScState {
+    group: u32,
+    /// Members not yet assigned anywhere.
+    waiting: VecDeque<u32>,
+    /// Writes currently in flight to my own file.
+    local_active: usize,
+    /// Member completions not yet observed.
+    members_remaining: usize,
+    /// Local offset high-water mark (local assignments only).
+    next_offset: u64,
+    /// File high-water mark including adaptive writes into my file.
+    file_high: u64,
+    /// WriteComplete(target=me) seen minus IndexBody received.
+    missing_indices: i64,
+    /// Writes into my file (sizes the synthetic index).
+    writes_into_file: u64,
+    /// OverallWriteComplete received.
+    overall_seen: bool,
+    /// Local index flushed to storage.
+    index_written: bool,
+    sc_complete_sent: bool,
+    /// Collected index pieces (real-bytes mode).
+    pieces: Vec<IndexEntry>,
+    /// Whether the file has been opened (scheduling gate).
+    opened: bool,
+}
+
+/// Coordinator state.
+struct CoordState {
+    phase: Vec<ScPhase>,
+    noted_offset: Vec<u64>,
+    /// Completed targets currently free to host an adaptive write.
+    free_targets: VecDeque<u32>,
+    outstanding: usize,
+    /// High-water mark of simultaneous adaptive requests (paper §III-B3:
+    /// strictly bounded by SC count − 1).
+    max_outstanding: usize,
+    rr_cursor: usize,
+    overall_sent: bool,
+    indices_received: usize,
+    index_parts: Vec<(String, LocalIndex)>,
+    /// Built after all indices arrive (real-bytes mode).
+    global_index: Option<GlobalIndex>,
+    /// Time the global index write completed.
+    finished_at: Option<SimTime>,
+    /// Total adaptive writes successfully issued and completed.
+    adaptive_completed: usize,
+}
+
+/// One rank of the adaptive method.
+pub struct AdaptiveActor {
+    plan: Rc<OutputPlan>,
+    opts: Rc<AdaptiveOpts>,
+    /// File of each group (index = group).
+    files: Rc<Vec<FileId>>,
+    /// Extra file for the coordinator's global index.
+    global_index_file: FileId,
+    /// Real-bytes payload for this rank (None ⇒ synthetic mode).
+    blocks: Option<Vec<VarBlock>>,
+    /// Shared "disk contents" in real-bytes mode.
+    store: Option<Rc<RefCell<ObjectStore>>>,
+    /// Output step stamped on process groups.
+    step: u32,
+
+    // Writer state.
+    me: u32,
+    assignment: Option<Assignment>,
+    write_started: Option<SimTime>,
+    /// Completed writes by this rank.
+    pub records: Vec<WriteRecord>,
+    /// Received-message counters.
+    pub msg_stats: MsgStats,
+
+    sc: Option<ScState>,
+    coord: Option<CoordState>,
+}
+
+impl AdaptiveActor {
+    /// Build the actor for `rank`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: u32,
+        plan: Rc<OutputPlan>,
+        opts: Rc<AdaptiveOpts>,
+        files: Rc<Vec<FileId>>,
+        global_index_file: FileId,
+        blocks: Option<Vec<VarBlock>>,
+        store: Option<Rc<RefCell<ObjectStore>>>,
+        step: u32,
+    ) -> Self {
+        let r = Rank(rank);
+        let group = plan.group_of[rank as usize];
+        let sc = if plan.is_sc(r) {
+            let members: VecDeque<u32> = plan.members(group).map(|m| m.0).collect();
+            Some(ScState {
+                group,
+                members_remaining: members.len(),
+                waiting: members,
+                local_active: 0,
+                next_offset: 0,
+                file_high: 0,
+                missing_indices: 0,
+                writes_into_file: 0,
+                overall_seen: false,
+                index_written: false,
+                sc_complete_sent: false,
+                pieces: Vec::new(),
+                opened: false,
+            })
+        } else {
+            None
+        };
+        let coord = if r == plan.coordinator() {
+            Some(CoordState {
+                phase: vec![ScPhase::Writing; plan.targets],
+                noted_offset: vec![0; plan.targets],
+                free_targets: VecDeque::new(),
+                outstanding: 0,
+                max_outstanding: 0,
+                rr_cursor: 0,
+                overall_sent: false,
+                indices_received: 0,
+                index_parts: Vec::new(),
+                global_index: None,
+                finished_at: None,
+                adaptive_completed: 0,
+            })
+        } else {
+            None
+        };
+        AdaptiveActor {
+            plan,
+            opts,
+            files,
+            global_index_file,
+            blocks,
+            store,
+            step,
+            me: rank,
+            assignment: None,
+            write_started: None,
+            records: Vec::new(),
+            msg_stats: MsgStats::default(),
+            sc,
+            coord,
+        }
+    }
+
+    /// The coordinator's merged global index (real-bytes mode), available
+    /// after the run.
+    pub fn global_index(&self) -> Option<&GlobalIndex> {
+        self.coord.as_ref().and_then(|c| c.global_index.as_ref())
+    }
+
+    /// When the full operation (including indices) finished — coordinator
+    /// only.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.coord.as_ref().and_then(|c| c.finished_at)
+    }
+
+    /// Adaptive writes observed by the coordinator.
+    pub fn adaptive_completed(&self) -> Option<usize> {
+        self.coord.as_ref().map(|c| c.adaptive_completed)
+    }
+
+    /// High-water mark of simultaneous adaptive requests (coordinator
+    /// only). The paper bounds this by `SC count − 1`.
+    pub fn max_outstanding(&self) -> Option<usize> {
+        self.coord.as_ref().map(|c| c.max_outstanding)
+    }
+
+    fn bytes_of(&self, rank: u32) -> u64 {
+        self.plan.rank_bytes[rank as usize]
+    }
+
+    // ---- writer role ------------------------------------------------------
+
+    fn start_write(&mut self, a: Assignment, ctx: &mut Ctx<'_, Msg>) {
+        debug_assert!(self.assignment.is_none(), "writer double-assigned");
+        self.assignment = Some(a);
+        self.write_started = Some(ctx.now());
+        let bytes = self.bytes_of(self.me);
+        ctx.write_file(a.file, a.offset, bytes, TAG_WRITE);
+    }
+
+    fn finish_write(&mut self, done: IoComplete, ctx: &mut Ctx<'_, Msg>) {
+        let a = self.assignment.take().expect("completion without assignment");
+        let started = self.write_started.take().expect("write start recorded");
+        self.records.push(WriteRecord {
+            rank: self.me,
+            bytes: done.bytes,
+            start: started,
+            end: done.finished,
+            ost: a.ost,
+            file: a.file,
+            offset: a.offset,
+            adaptive: a.is_adaptive(),
+        });
+        // Real-bytes mode: the PG is durable now; place it.
+        let mut pieces: Vec<IndexEntry> = Vec::new();
+        if let Some(blocks) = &self.blocks {
+            let (bytes, entries) = encode_pg(self.me, self.step, blocks);
+            debug_assert_eq!(bytes.len() as u64, done.bytes, "plan/payload size drift");
+            if let Some(store) = &self.store {
+                store.borrow_mut().put(a.file, a.offset, &bytes);
+            }
+            pieces = entries.into_iter().map(|e| e.rebased(a.offset)).collect();
+        }
+        // Algorithm 1 lines 4–8.
+        let trig_sc = self.plan.sc_of(a.triggering_group);
+        let msg = Msg::WriteComplete {
+            assignment: a,
+            bytes: done.bytes,
+        };
+        ctx.send(trig_sc, msg.clone(), msg.wire_bytes());
+        let target_sc = self.plan.sc_of(a.target_group);
+        if a.is_adaptive() {
+            let m2 = Msg::WriteComplete {
+                assignment: a,
+                bytes: done.bytes,
+            };
+            ctx.send(target_sc, m2.clone(), m2.wire_bytes());
+        }
+        let idx = Msg::IndexBody {
+            target_group: a.target_group,
+            pieces,
+        };
+        let wire = idx.wire_bytes();
+        ctx.send(target_sc, idx, wire);
+    }
+
+    // ---- sub-coordinator role ----------------------------------------------
+
+    fn sc_open(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.open(TAG_OPEN);
+    }
+
+    fn sc_schedule_local(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Pull assignments out of the SC state first (borrow discipline:
+        // `start_write` needs `&mut self`).
+        let mut to_assign: Vec<(u32, Assignment)> = Vec::new();
+        {
+            let plan = Rc::clone(&self.plan);
+            let sc = self.sc.as_mut().expect("sc role");
+            if !sc.opened {
+                return;
+            }
+            let k = self.opts.writers_per_target.max(1);
+            while sc.local_active < k {
+                let Some(w) = sc.waiting.pop_front() else {
+                    break;
+                };
+                let bytes = plan.rank_bytes[w as usize];
+                let a = Assignment {
+                    triggering_group: sc.group,
+                    target_group: sc.group,
+                    file: self.files[sc.group as usize],
+                    ost: plan.ost_of_group[sc.group as usize],
+                    offset: sc.next_offset,
+                };
+                sc.next_offset += bytes;
+                sc.file_high = sc.file_high.max(sc.next_offset);
+                sc.local_active += 1;
+                to_assign.push((w, a));
+            }
+        }
+        for (w, a) in to_assign {
+            if w == self.me {
+                self.start_write(a, ctx);
+            } else {
+                let m = Msg::WriteNow(a);
+                let wire = m.wire_bytes();
+                ctx.send(Rank(w), m, wire);
+            }
+        }
+    }
+
+    fn sc_on_write_complete(&mut self, a: Assignment, bytes: u64, ctx: &mut Ctx<'_, Msg>) {
+        let coordinator = self.plan.coordinator();
+        let my_group = self.sc.as_ref().expect("sc role").group;
+        let mut send_to_c: Vec<Msg> = Vec::new();
+        let mut reschedule = false;
+        {
+            let sc = self.sc.as_mut().expect("sc role");
+            if a.target_group == my_group {
+                // A write landed in my file: expect its index body.
+                sc.missing_indices += 1;
+                sc.writes_into_file += 1;
+                sc.file_high = sc.file_high.max(a.offset + bytes);
+            }
+            if a.triggering_group == my_group {
+                // Source is one of mine.
+                sc.members_remaining -= 1;
+                if a.target_group != my_group {
+                    // Adaptive completion: tell C (Algorithm 2 line 6).
+                    send_to_c.push(Msg::AdaptiveComplete {
+                        target_group: a.target_group,
+                        bytes,
+                    });
+                } else {
+                    sc.local_active -= 1;
+                    reschedule = true;
+                }
+                if sc.members_remaining == 0 && !sc.sc_complete_sent {
+                    sc.sc_complete_sent = true;
+                    send_to_c.push(Msg::ScComplete {
+                        group: my_group,
+                        final_offset: sc.next_offset,
+                    });
+                }
+            }
+        }
+        for m in send_to_c {
+            let wire = m.wire_bytes();
+            ctx.send(coordinator, m, wire);
+        }
+        if reschedule {
+            self.sc_schedule_local(ctx);
+        }
+        self.sc_maybe_write_index(ctx);
+    }
+
+    fn sc_on_adaptive_start(
+        &mut self,
+        target_group: u32,
+        file: FileId,
+        ost: storesim::layout::OstId,
+        offset: u64,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        let coordinator = self.plan.coordinator();
+        let (victim, my_group) = {
+            let sc = self.sc.as_mut().expect("sc role");
+            let v = if self.opts.steal_from_tail {
+                sc.waiting.pop_back()
+            } else {
+                sc.waiting.pop_front()
+            };
+            (v, sc.group)
+        };
+        match victim {
+            None => {
+                // Algorithm 2 line 22.
+                let m = Msg::WritersBusy {
+                    group: my_group,
+                    target_group,
+                };
+                let wire = m.wire_bytes();
+                ctx.send(coordinator, m, wire);
+            }
+            Some(w) => {
+                let a = Assignment {
+                    triggering_group: my_group,
+                    target_group,
+                    file,
+                    ost,
+                    offset,
+                };
+                if w == self.me {
+                    self.start_write(a, ctx);
+                } else {
+                    let m = Msg::WriteNow(a);
+                    let wire = m.wire_bytes();
+                    ctx.send(Rank(w), m, wire);
+                }
+            }
+        }
+    }
+
+    fn sc_on_index_body(&mut self, pieces: Vec<IndexEntry>, ctx: &mut Ctx<'_, Msg>) {
+        {
+            let sc = self.sc.as_mut().expect("sc role");
+            sc.missing_indices -= 1;
+            sc.pieces.extend(pieces);
+        }
+        self.sc_maybe_write_index(ctx);
+    }
+
+    fn sc_on_overall_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.sc.as_mut().expect("sc role").overall_seen = true;
+        self.sc_maybe_write_index(ctx);
+    }
+
+    /// Algorithm 2 lines 31–33: once done and no indices are missing, sort
+    /// and merge the pieces, write the local index, send it to C.
+    fn sc_maybe_write_index(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let (file, index_bytes, offset) = {
+            let sc = self.sc.as_mut().expect("sc role");
+            if !(sc.overall_seen && sc.missing_indices == 0 && !sc.index_written) {
+                return;
+            }
+            sc.index_written = true;
+            let index_bytes = if self.blocks.is_some() {
+                // Real size once serialized; estimate now, write exact later.
+                let idx = LocalIndex::from_pieces(std::mem::take(&mut sc.pieces));
+                let tail = idx.serialize_with_footer(sc.file_high);
+                let n = tail.len() as u64;
+                if let Some(store) = &self.store {
+                    store
+                        .borrow_mut()
+                        .put(self.files[sc.group as usize], sc.file_high, &tail);
+                }
+                sc.pieces = idx.entries; // keep sorted entries for C
+                n
+            } else {
+                sc.writes_into_file * INDEX_ENTRY_BYTES + 64
+            };
+            (self.files[sc.group as usize], index_bytes, sc.file_high)
+        };
+        ctx.write_file(file, offset, index_bytes, TAG_INDEX);
+    }
+
+    fn sc_on_index_flushed(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let coordinator = self.plan.coordinator();
+        let (group, pieces, wire_bytes) = {
+            let sc = self.sc.as_mut().expect("sc role");
+            let pieces = if self.blocks.is_some() {
+                std::mem::take(&mut sc.pieces)
+            } else {
+                Vec::new()
+            };
+            (
+                sc.group,
+                pieces,
+                sc.writes_into_file * INDEX_ENTRY_BYTES + 64,
+            )
+        };
+        let m = Msg::IndexToC {
+            group,
+            pieces,
+            wire_bytes,
+        };
+        let wire = m.wire_bytes();
+        ctx.send(coordinator, m, wire);
+        // Close the subfile (metadata cost modelled, excluded from the
+        // measured write span per the paper's methodology).
+        ctx.close(TAG_CLOSE);
+    }
+
+    // ---- coordinator role ---------------------------------------------------
+
+    fn c_try_issue(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let targets = self.plan.targets;
+        let mut issues: Vec<(Rank, Msg)> = Vec::new();
+        if self.opts.work_stealing {
+            let c = self.coord.as_mut().expect("coordinator role");
+            loop {
+                if c.free_targets.is_empty() {
+                    break;
+                }
+                // Next writing SC (round-robin, or drain-first ablation).
+                let mut chosen: Option<usize> = None;
+                for probe in 0..targets {
+                    let idx = if self.opts.drain_first {
+                        probe
+                    } else {
+                        (c.rr_cursor + probe) % targets
+                    };
+                    if c.phase[idx] == ScPhase::Writing {
+                        chosen = Some(idx);
+                        break;
+                    }
+                }
+                let Some(sc_idx) = chosen else {
+                    break;
+                };
+                if !self.opts.drain_first {
+                    c.rr_cursor = (sc_idx + 1) % targets;
+                }
+                let t = c.free_targets.pop_front().expect("non-empty");
+                c.outstanding += 1;
+                c.max_outstanding = c.max_outstanding.max(c.outstanding);
+                let m = Msg::AdaptiveWriteStart {
+                    target_group: t,
+                    file: self.files[t as usize],
+                    ost: self.plan.ost_of_group[t as usize],
+                    offset: c.noted_offset[t as usize],
+                };
+                issues.push((self.plan.sc_of(sc_idx as u32), m));
+            }
+        }
+        for (to, m) in issues {
+            let wire = m.wire_bytes();
+            ctx.send(to, m, wire);
+        }
+        self.c_check_done(ctx);
+    }
+
+    fn c_check_done(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let broadcast = {
+            let c = self.coord.as_mut().expect("coordinator role");
+            let all_complete = c.phase.iter().all(|&p| p == ScPhase::Complete);
+            if all_complete && c.outstanding == 0 && !c.overall_sent {
+                c.overall_sent = true;
+                true
+            } else {
+                false
+            }
+        };
+        if broadcast {
+            for g in 0..self.plan.targets as u32 {
+                let to = self.plan.sc_of(g);
+                let m = Msg::OverallWriteComplete;
+                let wire = m.wire_bytes();
+                ctx.send(to, m, wire);
+            }
+        }
+    }
+
+    fn c_on_sc_complete(&mut self, group: u32, final_offset: u64, ctx: &mut Ctx<'_, Msg>) {
+        {
+            let c = self.coord.as_mut().expect("coordinator role");
+            c.phase[group as usize] = ScPhase::Complete;
+            c.noted_offset[group as usize] = c.noted_offset[group as usize].max(final_offset);
+            c.free_targets.push_back(group);
+        }
+        self.c_try_issue(ctx);
+    }
+
+    fn c_on_adaptive_complete(&mut self, target_group: u32, bytes: u64, ctx: &mut Ctx<'_, Msg>) {
+        {
+            let c = self.coord.as_mut().expect("coordinator role");
+            c.noted_offset[target_group as usize] += bytes;
+            c.free_targets.push_back(target_group);
+            c.outstanding -= 1;
+            c.adaptive_completed += 1;
+        }
+        self.c_try_issue(ctx);
+    }
+
+    fn c_on_writers_busy(&mut self, group: u32, target_group: u32, ctx: &mut Ctx<'_, Msg>) {
+        {
+            let c = self.coord.as_mut().expect("coordinator role");
+            if c.phase[group as usize] == ScPhase::Writing {
+                c.phase[group as usize] = ScPhase::Busy;
+            }
+            c.free_targets.push_back(target_group);
+            c.outstanding -= 1;
+        }
+        self.c_try_issue(ctx);
+    }
+
+    fn c_on_index(&mut self, group: u32, pieces: Vec<IndexEntry>, ctx: &mut Ctx<'_, Msg>) {
+        let write_global = {
+            let c = self.coord.as_mut().expect("coordinator role");
+            c.indices_received += 1;
+            if !pieces.is_empty() || self.blocks.is_some() {
+                c.index_parts
+                    .push((format!("sub-{group}.bp"), LocalIndex { entries: pieces }));
+            }
+            c.indices_received == self.plan.targets
+        };
+        if write_global {
+            let bytes = {
+                let c = self.coord.as_mut().expect("coordinator role");
+                if self.blocks.is_some() {
+                    c.index_parts.sort_by(|a, b| a.0.cmp(&b.0));
+                    let g = GlobalIndex::merge(std::mem::take(&mut c.index_parts));
+                    let bytes = g.serialize();
+                    let n = bytes.len() as u64;
+                    if let Some(store) = &self.store {
+                        store.borrow_mut().put(self.global_index_file, 0, &bytes);
+                    }
+                    c.global_index = Some(g);
+                    n
+                } else {
+                    // Synthetic: size scales with total writes.
+                    self.plan.nprocs as u64 * INDEX_ENTRY_BYTES + 64
+                }
+            };
+            ctx.write_file(self.global_index_file, 0, bytes, TAG_GLOBAL_INDEX);
+        }
+    }
+}
+
+impl Actor for AdaptiveActor {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(sc) = &self.sc {
+            if self.opts.stagger_opens {
+                let delay = self.opts.stagger_gap * sc.group as u64;
+                ctx.set_timer(delay, TIMER_OPEN);
+            } else {
+                self.sc_open(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        if tag == TIMER_OPEN {
+            self.sc_open(ctx);
+        }
+    }
+
+    fn on_message(&mut self, _from: Rank, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match &msg {
+            Msg::WriteNow(_) => self.msg_stats.write_now += 1,
+            Msg::WriteComplete { .. } => self.msg_stats.write_complete += 1,
+            Msg::IndexBody { .. } => self.msg_stats.index_body += 1,
+            Msg::AdaptiveWriteStart { .. } => self.msg_stats.adaptive_start += 1,
+            Msg::OverallWriteComplete => self.msg_stats.overall += 1,
+            Msg::AdaptiveComplete { .. }
+            | Msg::ScComplete { .. }
+            | Msg::WritersBusy { .. }
+            | Msg::IndexToC { .. } => self.msg_stats.coordinator_inbox += 1,
+        }
+        match msg {
+            Msg::WriteNow(a) => self.start_write(a, ctx),
+            Msg::WriteComplete { assignment, bytes } => {
+                self.sc_on_write_complete(assignment, bytes, ctx)
+            }
+            Msg::IndexBody { pieces, .. } => self.sc_on_index_body(pieces, ctx),
+            Msg::AdaptiveComplete {
+                target_group,
+                bytes,
+            } => self.c_on_adaptive_complete(target_group, bytes, ctx),
+            Msg::ScComplete {
+                group,
+                final_offset,
+            } => self.c_on_sc_complete(group, final_offset, ctx),
+            Msg::WritersBusy {
+                group,
+                target_group,
+            } => self.c_on_writers_busy(group, target_group, ctx),
+            Msg::IndexToC { group, pieces, .. } => self.c_on_index(group, pieces, ctx),
+            Msg::AdaptiveWriteStart {
+                target_group,
+                file,
+                ost,
+                offset,
+            } => self.sc_on_adaptive_start(target_group, file, ost, offset, ctx),
+            Msg::OverallWriteComplete => self.sc_on_overall_complete(ctx),
+        }
+    }
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, Msg>) {
+        match (done.tag, done.kind) {
+            (TAG_OPEN, CompletionKind::Open) => {
+                self.sc.as_mut().expect("sc role").opened = true;
+                self.sc_schedule_local(ctx);
+            }
+            (TAG_WRITE, CompletionKind::Write) => self.finish_write(done, ctx),
+            (TAG_INDEX, CompletionKind::Write) => self.sc_on_index_flushed(ctx),
+            (TAG_GLOBAL_INDEX, CompletionKind::Write) => {
+                self.coord.as_mut().expect("coordinator role").finished_at = Some(done.finished);
+                // The coordinator's finish ends the run: every data write,
+                // local index and the global index are durable by now.
+                ctx.finish();
+            }
+            (TAG_CLOSE, CompletionKind::Close) => {}
+            other => panic!("unexpected IO completion {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # adios-core — managed, adaptive IO middleware
+//!
+//! The primary contribution of *Managing Variability in the IO Performance
+//! of Petascale Storage Systems* (Lofstead et al., SC 2010), reimplemented
+//! over the managed-io simulation substrate. The middleware exposes a set
+//! of transport methods selected per output operation:
+//!
+//! * [`posix`] — POSIX file-per-process (the paper's IOR measurement mode).
+//! * [`mpiio`] — the tuned ADIOS MPI-IO base transport: one shared file,
+//!   ≤160-target striping, buffered, all-concurrent writes (§III-A).
+//! * Stagger — serialised per-target writes with staggered opens (the
+//!   authors' CUG'09 technique; [`adaptive`] with work stealing off).
+//! * [`adaptive`] — the paper's method: writer / sub-coordinator /
+//!   coordinator roles, one active writer per target file, and dynamic
+//!   work shifting from slow to fast targets (Algorithms 1–3), with full
+//!   BP-style local/global index production.
+//!
+//! [`runner`] is the public entry point: build a [`runner::RunSpec`], call
+//! [`runner::run`], inspect the [`record::OutputResult`].
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod mpiio;
+pub mod multistep;
+pub mod plan;
+pub mod posix;
+pub mod protocol;
+pub mod readback;
+pub mod record;
+pub mod runner;
+pub mod staging;
+
+pub use adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
+pub use multistep::{replay, required_bandwidth, AppModel, Timeline};
+pub use plan::OutputPlan;
+pub use readback::{run_restart_read, ReadPlan, ReadResult};
+pub use staging::{run_staged, StagingOpts, StagingResult};
+pub use record::{OutputResult, WriteRecord};
+pub use runner::{run, DataSpec, Interference, Method, ProtocolStats, RunOutput, RunSpec};

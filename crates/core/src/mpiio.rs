@@ -1,0 +1,176 @@
+//! The MPI-IO (ADIOS base transport) baseline — paper §III-A.
+//!
+//! One shared file for all ranks, striped over at most 160 targets (the
+//! Lustre 1.6 single-file limit the paper calls out as a 28 GB/s
+//! structural ceiling). Following the tuned ADIOS MPI method, the stripe
+//! width is set to the per-rank buffer size so each rank's region maps to
+//! exactly one target. Output is fully buffered; ranks agree on offsets
+//! with an `MPI_Scan`-style exchange (modelled as a log₂(n) message-hop
+//! delay) and then all write **concurrently** — at scale this means
+//! `n / stripe_count` simultaneous streams per target, which is the
+//! internal interference the adaptive method avoids.
+
+use std::rc::Rc;
+
+use clustersim::topology::log2_ceil;
+use clustersim::{Actor, Ctx, IoComplete, Rank};
+use simcore::SimTime;
+use storesim::layout::{FileId, OstId};
+use storesim::system::CompletionKind;
+
+use crate::plan::OutputPlan;
+use crate::posix::BarrierMsg;
+use crate::record::WriteRecord;
+
+const TAG_OPEN: u32 = 1;
+const TAG_WRITE: u32 = 2;
+const TAG_CLOSE: u32 = 3;
+const TIMER_SCAN: u64 = 1;
+
+/// One rank of the MPI-IO baseline.
+pub struct MpiIoActor {
+    plan: Rc<OutputPlan>,
+    /// The shared striped file.
+    file: FileId,
+    /// Precomputed byte offset of this rank within the shared file
+    /// (prefix sum over rank sizes, stripe-aligned).
+    offset: u64,
+    /// The target this rank's region lands on (for records).
+    ost: OstId,
+    me: u32,
+    write_started: Option<SimTime>,
+    /// Barrier arrivals seen (rank 0 only).
+    arrivals: usize,
+    /// Completed writes.
+    pub records: Vec<WriteRecord>,
+    /// Set when the close completes.
+    pub closed_at: Option<SimTime>,
+}
+
+impl MpiIoActor {
+    /// Build the actor for `rank`; `offset` comes from
+    /// [`stripe_aligned_offsets`] and `ost` from the file's stripe map.
+    pub fn new(rank: u32, plan: Rc<OutputPlan>, file: FileId, offset: u64, ost: OstId) -> Self {
+        MpiIoActor {
+            plan,
+            file,
+            offset,
+            ost,
+            me: rank,
+            write_started: None,
+            arrivals: 0,
+            records: Vec::new(),
+            closed_at: None,
+        }
+    }
+
+    /// `MPI_File_open` is collective: after the barrier, model the
+    /// MPI_Scan offset agreement as a log₂(n)-hop delay, then write.
+    fn after_barrier(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        let hops = 2 * log2_ceil(self.plan.nprocs as u64) as u64;
+        let delay = ctx.message_delay(64) * hops.max(1);
+        ctx.set_timer(delay, TIMER_SCAN);
+    }
+
+    fn note_arrival(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        debug_assert_eq!(self.me, 0, "barrier root is rank 0");
+        self.arrivals += 1;
+        if self.arrivals == self.plan.nprocs {
+            for r in 1..self.plan.nprocs as u32 {
+                ctx.send_control(Rank(r), BarrierMsg::Go);
+            }
+            self.after_barrier(ctx);
+        }
+    }
+}
+
+/// Stripe-aligned per-rank offsets: each rank's region is padded to the
+/// stripe width so it lands wholly on one target (the ADIOS MPI method's
+/// Lustre optimisation).
+pub fn stripe_aligned_offsets(rank_bytes: &[u64], stripe_size: u64) -> Vec<u64> {
+    assert!(stripe_size > 0);
+    let mut offsets = Vec::with_capacity(rank_bytes.len());
+    let mut at = 0u64;
+    for &b in rank_bytes {
+        offsets.push(at);
+        let padded = b.div_ceil(stripe_size) * stripe_size;
+        at += padded;
+    }
+    offsets
+}
+
+impl Actor for MpiIoActor {
+    type Msg = BarrierMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        ctx.open(TAG_OPEN);
+    }
+
+    fn on_message(&mut self, _from: Rank, msg: BarrierMsg, ctx: &mut Ctx<'_, BarrierMsg>) {
+        match msg {
+            BarrierMsg::Arrive => self.note_arrival(ctx),
+            BarrierMsg::Go => self.after_barrier(ctx),
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, BarrierMsg>) {
+        debug_assert_eq!(tag, TIMER_SCAN);
+        self.write_started = Some(ctx.now());
+        let bytes = self.plan.rank_bytes[self.me as usize];
+        ctx.write_file(self.file, self.offset, bytes, TAG_WRITE);
+    }
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, BarrierMsg>) {
+        match (done.tag, done.kind) {
+            (TAG_OPEN, CompletionKind::Open) => {
+                if self.me == 0 {
+                    self.note_arrival(ctx);
+                } else {
+                    ctx.send_control(Rank(0), BarrierMsg::Arrive);
+                }
+            }
+            (TAG_WRITE, CompletionKind::Write) => {
+                let started = self.write_started.take().expect("write started");
+                self.records.push(WriteRecord {
+                    rank: self.me,
+                    bytes: done.bytes,
+                    start: started,
+                    end: done.finished,
+                    ost: self.ost,
+                    file: self.file,
+                    offset: self.offset,
+                    adaptive: false,
+                });
+                ctx.close(TAG_CLOSE);
+            }
+            (TAG_CLOSE, CompletionKind::Close) => {
+                self.closed_at = Some(done.finished);
+                ctx.finish();
+            }
+            other => panic!("unexpected IO completion {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_stripe_aligned_prefix_sums() {
+        let offs = stripe_aligned_offsets(&[100, 100, 100], 64);
+        assert_eq!(offs, vec![0, 128, 256]);
+    }
+
+    #[test]
+    fn exact_multiples_pack_tightly() {
+        let offs = stripe_aligned_offsets(&[128, 128], 64);
+        assert_eq!(offs, vec![0, 128]);
+    }
+
+    #[test]
+    fn empty_ranks_take_no_space() {
+        let offs = stripe_aligned_offsets(&[0, 100], 64);
+        assert_eq!(offs, vec![0, 0]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-step application timelines: the §II-3 asynchronous-IO analysis.
+//!
+//! Petascale codes alternate 15–30 minute compute phases with output
+//! bursts (§I). The paper argues (§II-3) that asynchronous IO only hides
+//! variability while buffer space lasts: "asynchronicity is limited by
+//! the total and limited amounts of buffer space available on the
+//! machine, which typically extends to only one or at most a few
+//! simulation output steps. Such near-synchronous IO, therefore, still
+//! causes applications to block on IO when IO performance is
+//! consistently too low."
+//!
+//! This module makes that argument quantitative. Given a sequence of
+//! measured per-step IO drain times (from any transport's runs), it
+//! replays an application timeline where output drains asynchronously
+//! through a buffer of `buffer_steps` outstanding outputs, and reports
+//! how much wall time the application spends blocked. It also evaluates
+//! the §I budget rule: IO must stay within ~5 % of wall-clock time.
+
+use serde::{Deserialize, Serialize};
+
+/// Application cadence parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Compute time between outputs, seconds (paper: 15–30 min).
+    pub compute_secs: f64,
+    /// How many output steps can be buffered/in flight at once (§II-3:
+    /// "one or at most a few"). 0 means fully synchronous.
+    pub buffer_steps: usize,
+}
+
+impl AppModel {
+    /// The paper's canonical cadence: 30-minute steps, one buffered step.
+    pub fn paper_default() -> Self {
+        AppModel {
+            compute_secs: 1800.0,
+            buffer_steps: 1,
+        }
+    }
+}
+
+/// Replayed timeline of one multi-step run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Wall time at which each step's output was handed off (after any
+    /// blocking).
+    pub submit: Vec<f64>,
+    /// Wall time each step's drain finished.
+    pub drain_end: Vec<f64>,
+    /// Blocking the app suffered before each handoff, seconds.
+    pub blocked: Vec<f64>,
+    /// Total wall time (last compute end + any terminal block; drains may
+    /// finish later).
+    pub app_wall: f64,
+}
+
+impl Timeline {
+    /// Total time the application was blocked on IO.
+    pub fn total_blocked(&self) -> f64 {
+        self.blocked.iter().sum()
+    }
+
+    /// Fraction of application wall time spent blocked on IO (the §I
+    /// "within 5 %" budget applies to this number).
+    pub fn io_fraction(&self) -> f64 {
+        self.total_blocked() / self.app_wall
+    }
+}
+
+/// Replay an application that computes `model.compute_secs`, then hands
+/// off an output whose drain takes `io_times[k]` seconds, with at most
+/// `model.buffer_steps` outputs in flight (0 ⇒ the app itself waits for
+/// each drain).
+///
+/// A single drain channel is assumed (outputs drain in order), matching
+/// one shared file system path.
+pub fn replay(io_times: &[f64], model: AppModel) -> Timeline {
+    assert!(!io_times.is_empty());
+    assert!(model.compute_secs >= 0.0);
+    let n = io_times.len();
+    let mut submit = vec![0.0; n];
+    let mut drain_end = vec![0.0; n];
+    let mut blocked = vec![0.0; n];
+    let mut clock = 0.0; // application's own clock
+    for k in 0..n {
+        clock += model.compute_secs;
+        // The app may hand off only if fewer than buffer_steps drains are
+        // outstanding; with buffer_steps == 0 it waits for its own drain.
+        let gate = if model.buffer_steps == 0 {
+            // Synchronous: wait for this step's drain (computed below),
+            // handled by blocking until the previous drain finished, then
+            // draining inline.
+            if k > 0 {
+                drain_end[k - 1]
+            } else {
+                0.0
+            }
+        } else if k >= model.buffer_steps {
+            // Must wait until the (k - buffer_steps)'th drain completes.
+            drain_end[k - model.buffer_steps]
+        } else {
+            0.0
+        };
+        let start = clock.max(gate);
+        blocked[k] = start - clock;
+        clock = start;
+        submit[k] = clock;
+        let drain_start = if k == 0 {
+            submit[k]
+        } else {
+            submit[k].max(drain_end[k - 1])
+        };
+        drain_end[k] = drain_start + io_times[k];
+        if model.buffer_steps == 0 {
+            // Synchronous: the app also waits for its own drain.
+            let wait = drain_end[k] - clock;
+            blocked[k] += wait;
+            clock = drain_end[k];
+        }
+    }
+    Timeline {
+        submit,
+        drain_end,
+        blocked,
+        app_wall: clock,
+    }
+}
+
+/// The §I bandwidth budget: the minimum sustained IO rate needed to keep
+/// IO within `budget` (e.g. 0.05) of wall time, for `bytes_per_step`
+/// output every `compute_secs`.
+pub fn required_bandwidth(bytes_per_step: u64, compute_secs: f64, budget: f64) -> f64 {
+    assert!(budget > 0.0 && budget < 1.0);
+    // io_time <= budget * (compute + io_time)  =>
+    // io_time <= compute * budget / (1 - budget)
+    let max_io = compute_secs * budget / (1.0 - budget);
+    bytes_per_step as f64 / max_io
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::{GIB, TIB};
+
+    #[test]
+    fn fast_io_never_blocks() {
+        let t = replay(&[10.0; 8], AppModel { compute_secs: 100.0, buffer_steps: 1 });
+        assert_eq!(t.total_blocked(), 0.0);
+        assert!((t.app_wall - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synchronous_mode_blocks_every_step() {
+        let t = replay(&[10.0; 4], AppModel { compute_secs: 100.0, buffer_steps: 0 });
+        assert!((t.total_blocked() - 40.0).abs() < 1e-9);
+        assert!((t.app_wall - 440.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_io_eventually_blocks_buffered_apps() {
+        // Drains take longer than compute: with 1 buffered step the app
+        // blocks from step 1 on (the paper's "near-synchronous" point).
+        let t = replay(&[150.0; 6], AppModel { compute_secs: 100.0, buffer_steps: 1 });
+        assert_eq!(t.blocked[0], 0.0, "first step fits the buffer");
+        assert!(t.blocked[1] > 0.0, "second step must wait");
+        // Steady state: each step effectively costs max(compute, io).
+        assert!((t.app_wall - (100.0 + 5.0 * 150.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deeper_buffers_absorb_transients() {
+        // One slow outlier in otherwise fast drains.
+        let mut io = vec![10.0; 10];
+        io[3] = 500.0;
+        let shallow = replay(&io, AppModel { compute_secs: 100.0, buffer_steps: 1 });
+        let deep = replay(&io, AppModel { compute_secs: 100.0, buffer_steps: 4 });
+        assert!(
+            deep.total_blocked() < shallow.total_blocked(),
+            "deep {} vs shallow {}",
+            deep.total_blocked(),
+            shallow.total_blocked()
+        );
+    }
+
+    #[test]
+    fn consistently_slow_io_defeats_any_finite_buffer() {
+        // §II-3: consistently low performance blocks regardless of buffer.
+        let io = vec![200.0; 40];
+        let model = AppModel { compute_secs: 100.0, buffer_steps: 8 };
+        let t = replay(&io, model);
+        assert!(
+            t.total_blocked() > 1000.0,
+            "sustained deficit must block: {}",
+            t.total_blocked()
+        );
+    }
+
+    #[test]
+    fn io_fraction_tracks_budget() {
+        let t = replay(&[50.0; 10], AppModel { compute_secs: 1000.0, buffer_steps: 0 });
+        assert!((t.io_fraction() - 50.0 / 1050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_bandwidth_budget() {
+        // §I: 150k procs x 200 MB every 30 min within 5 % => ~35 GB/s.
+        // (The paper quotes decimal GB and ~3 TB per step.)
+        let bytes = 3 * TIB;
+        let bw = required_bandwidth(bytes, 1800.0, 0.05);
+        let gibs = bw / GIB as f64;
+        assert!(
+            (30.0..42.0).contains(&gibs),
+            "§I budget should be ~35 GB/s, got {gibs}"
+        );
+    }
+
+    #[test]
+    fn timeline_serde_roundtrip() {
+        let t = replay(&[1.0, 2.0], AppModel { compute_secs: 5.0, buffer_steps: 1 });
+        let j = serde_json::to_string(&t).unwrap();
+        let back: Timeline = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.app_wall, t.app_wall);
+    }
+}

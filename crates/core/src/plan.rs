@@ -1,0 +1,141 @@
+//! Output planning: who writes what, to which target, under which
+//! sub-coordinator.
+//!
+//! The adaptive method's organisation (paper Fig. 4): ranks are split into
+//! contiguous groups, one group per output file, one file pinned per
+//! storage target; the first rank of each group doubles as the
+//! sub-coordinator (SC); rank 0 additionally plays the coordinator (C).
+//! Contiguity matters because ranks are placed sequentially on cores, so a
+//! group shares nodes and its intra-group traffic stays cheap (§III-B).
+
+use clustersim::topology::contiguous_groups;
+use clustersim::Rank;
+use storesim::layout::OstId;
+
+/// The static plan for one collective output operation.
+#[derive(Clone, Debug)]
+pub struct OutputPlan {
+    /// Total ranks participating.
+    pub nprocs: usize,
+    /// Number of groups == output files == storage targets used.
+    pub targets: usize,
+    /// Bytes each rank contributes (weak scaling ⇒ all equal, but the
+    /// protocol supports heterogeneous sizes).
+    pub rank_bytes: Vec<u64>,
+    /// Group membership as contiguous rank ranges.
+    pub groups: Vec<std::ops::Range<u32>>,
+    /// Group index of each rank.
+    pub group_of: Vec<u32>,
+    /// Storage target of each group's file.
+    pub ost_of_group: Vec<OstId>,
+}
+
+impl OutputPlan {
+    /// Build a plan: `nprocs` ranks over `targets` files/OSTs on a machine
+    /// with `ost_count` targets. If there are fewer ranks than requested
+    /// targets, the plan shrinks to one rank per group.
+    pub fn new(nprocs: usize, targets: usize, ost_count: usize, rank_bytes: Vec<u64>) -> Self {
+        assert_eq!(rank_bytes.len(), nprocs);
+        assert!(nprocs > 0 && targets > 0);
+        let targets = targets.min(nprocs).min(ost_count);
+        let groups = contiguous_groups(nprocs, targets);
+        let mut group_of = vec![0u32; nprocs];
+        for (g, r) in groups.iter().enumerate() {
+            for rank in r.clone() {
+                group_of[rank as usize] = g as u32;
+            }
+        }
+        let ost_of_group = (0..targets).map(|g| OstId(g % ost_count)).collect();
+        OutputPlan {
+            nprocs,
+            targets,
+            rank_bytes,
+            groups,
+            group_of,
+            ost_of_group,
+        }
+    }
+
+    /// Uniform weak-scaling plan: every rank writes `bytes_per_rank`.
+    pub fn uniform(nprocs: usize, targets: usize, ost_count: usize, bytes_per_rank: u64) -> Self {
+        Self::new(nprocs, targets, ost_count, vec![bytes_per_rank; nprocs])
+    }
+
+    /// Sub-coordinator rank of a group (its first member).
+    pub fn sc_of(&self, group: u32) -> Rank {
+        Rank(self.groups[group as usize].start)
+    }
+
+    /// The coordinator rank (rank 0 — also SC of group 0 and a writer).
+    pub fn coordinator(&self) -> Rank {
+        Rank(0)
+    }
+
+    /// Is this rank a sub-coordinator?
+    pub fn is_sc(&self, rank: Rank) -> bool {
+        let g = self.group_of[rank.0 as usize];
+        self.sc_of(g) == rank
+    }
+
+    /// Members of a group in rank order.
+    pub fn members(&self, group: u32) -> impl Iterator<Item = Rank> + '_ {
+        self.groups[group as usize].clone().map(Rank)
+    }
+
+    /// Total bytes across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.rank_bytes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_shapes() {
+        let p = OutputPlan::uniform(16, 4, 8, 1024);
+        assert_eq!(p.targets, 4);
+        assert_eq!(p.groups.len(), 4);
+        assert_eq!(p.sc_of(0), Rank(0));
+        assert_eq!(p.sc_of(1), Rank(4));
+        assert!(p.is_sc(Rank(0)));
+        assert!(p.is_sc(Rank(4)));
+        assert!(!p.is_sc(Rank(5)));
+        assert_eq!(p.coordinator(), Rank(0));
+        assert_eq!(p.total_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn targets_clamp_to_ranks_and_osts() {
+        let p = OutputPlan::uniform(3, 512, 8, 1);
+        assert_eq!(p.targets, 3, "no empty groups");
+        let p = OutputPlan::uniform(100, 512, 8, 1);
+        assert_eq!(p.targets, 8, "no more targets than OSTs");
+    }
+
+    #[test]
+    fn group_of_is_consistent() {
+        let p = OutputPlan::uniform(17, 4, 16, 1);
+        for g in 0..p.targets as u32 {
+            for r in p.members(g) {
+                assert_eq!(p.group_of[r.0 as usize], g);
+            }
+        }
+    }
+
+    #[test]
+    fn ost_assignment_wraps() {
+        let p = OutputPlan::uniform(32, 16, 8, 1);
+        assert_eq!(p.targets, 8);
+        assert_eq!(p.ost_of_group[7], OstId(7));
+    }
+
+    #[test]
+    fn heterogeneous_sizes_kept() {
+        let sizes: Vec<u64> = (1..=8).collect();
+        let p = OutputPlan::new(8, 2, 8, sizes.clone());
+        assert_eq!(p.rank_bytes, sizes);
+        assert_eq!(p.total_bytes(), 36);
+    }
+}

@@ -1,0 +1,130 @@
+//! POSIX file-per-process transport — the IOR measurement mode of §II.
+//!
+//! Every rank creates its own file pinned to one storage target (writers
+//! split evenly across the chosen targets, as in the paper's internal- and
+//! external-interference experiments), opens it, writes its whole buffer
+//! in one call, and closes.
+//!
+//! Like IOR itself, the open phase is separated from the timed write
+//! phase by a barrier (rank 0 collects arrivals, then broadcasts go):
+//! otherwise the metadata server's open storm staggers the writers and
+//! hides exactly the concurrent-stream interference the benchmark is
+//! supposed to measure. The barrier cost never enters the measured write
+//! span.
+
+use std::rc::Rc;
+
+use clustersim::{Actor, Ctx, IoComplete, Rank};
+use simcore::SimTime;
+use storesim::layout::FileId;
+use storesim::system::CompletionKind;
+
+use crate::plan::OutputPlan;
+use crate::record::WriteRecord;
+
+const TAG_OPEN: u32 = 1;
+const TAG_WRITE: u32 = 2;
+const TAG_CLOSE: u32 = 3;
+
+/// Barrier messages between ranks (rank 0 is the barrier root).
+#[derive(Clone, Copy, Debug)]
+pub enum BarrierMsg {
+    /// A rank finished its open.
+    Arrive,
+    /// All ranks arrived; start writing.
+    Go,
+}
+
+/// One rank of the POSIX file-per-process mode.
+pub struct PosixActor {
+    plan: Rc<OutputPlan>,
+    /// This rank's own file (pre-created, pinned to its target).
+    file: FileId,
+    me: u32,
+    write_started: Option<SimTime>,
+    /// Barrier arrivals seen (rank 0 only).
+    arrivals: usize,
+    /// Completed writes (exactly one after a successful run).
+    pub records: Vec<WriteRecord>,
+    /// Set when the close completes.
+    pub closed_at: Option<SimTime>,
+}
+
+impl PosixActor {
+    /// Build the actor for `rank` writing to `file`.
+    pub fn new(rank: u32, plan: Rc<OutputPlan>, file: FileId) -> Self {
+        PosixActor {
+            plan,
+            file,
+            me: rank,
+            write_started: None,
+            arrivals: 0,
+            records: Vec::new(),
+            closed_at: None,
+        }
+    }
+
+    fn begin_write(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        self.write_started = Some(ctx.now());
+        let bytes = self.plan.rank_bytes[self.me as usize];
+        ctx.write_file(self.file, 0, bytes, TAG_WRITE);
+    }
+
+    fn note_arrival(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        debug_assert_eq!(self.me, 0, "barrier root is rank 0");
+        self.arrivals += 1;
+        if self.arrivals == self.plan.nprocs {
+            for r in 1..self.plan.nprocs as u32 {
+                ctx.send_control(Rank(r), BarrierMsg::Go);
+            }
+            self.begin_write(ctx);
+        }
+    }
+}
+
+impl Actor for PosixActor {
+    type Msg = BarrierMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        ctx.open(TAG_OPEN);
+    }
+
+    fn on_message(&mut self, _from: Rank, msg: BarrierMsg, ctx: &mut Ctx<'_, BarrierMsg>) {
+        match msg {
+            BarrierMsg::Arrive => self.note_arrival(ctx),
+            BarrierMsg::Go => self.begin_write(ctx),
+        }
+    }
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, BarrierMsg>) {
+        match (done.tag, done.kind) {
+            (TAG_OPEN, CompletionKind::Open) => {
+                if self.me == 0 {
+                    self.note_arrival(ctx);
+                } else {
+                    ctx.send_control(Rank(0), BarrierMsg::Arrive);
+                }
+            }
+            (TAG_WRITE, CompletionKind::Write) => {
+                let started = self.write_started.take().expect("write started");
+                let group = self.plan.group_of[self.me as usize];
+                self.records.push(WriteRecord {
+                    rank: self.me,
+                    bytes: done.bytes,
+                    start: started,
+                    end: done.finished,
+                    ost: self.plan.ost_of_group[group as usize],
+                    file: self.file,
+                    offset: 0,
+                    adaptive: false,
+                });
+                ctx.close(TAG_CLOSE);
+            }
+            (TAG_CLOSE, CompletionKind::Close) => {
+                self.closed_at = Some(done.finished);
+                ctx.finish();
+            }
+            other => panic!("unexpected IO completion {other:?}"),
+        }
+    }
+}

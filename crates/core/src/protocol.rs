@@ -1,0 +1,183 @@
+//! Messages of the managed-IO protocols (paper Algorithms 1–3).
+//!
+//! Writers and the coordinator never talk to each other directly — all
+//! traffic flows through sub-coordinators ("this isolates the messaging
+//! reducing the message load on any particular part of the system",
+//! §III-B). The message set below is the paper's, plus the index bodies
+//! that carry real `bpfmt` pieces in real-bytes mode.
+
+use bpfmt::IndexEntry;
+use storesim::layout::{FileId, OstId};
+
+/// Wire size used for small control messages.
+pub const CTRL_BYTES: u64 = 64;
+
+/// Approximate wire size of one index entry (name + dims + stats).
+pub const INDEX_ENTRY_BYTES: u64 = 96;
+
+/// A writer's assignment: where to put its process group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Group whose sub-coordinator issued the assignment (the
+    /// "triggering" SC).
+    pub triggering_group: u32,
+    /// Group owning the target file (== triggering for local writes).
+    pub target_group: u32,
+    /// Target file.
+    pub file: FileId,
+    /// Storage target backing the file.
+    pub ost: OstId,
+    /// Byte offset within the target file.
+    pub offset: u64,
+}
+
+impl Assignment {
+    /// True when this assignment shifted work to another group's file.
+    pub fn is_adaptive(&self) -> bool {
+        self.triggering_group != self.target_group
+    }
+}
+
+/// All protocol messages.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    // ---- sub-coordinator -> writer --------------------------------------
+    /// "Wait for message (target, offset)" — Algorithm 1 line 1.
+    WriteNow(Assignment),
+
+    // ---- writer -> sub-coordinator --------------------------------------
+    /// Algorithm 1 lines 4–6: sent to the triggering SC, and to the target
+    /// SC when they differ.
+    WriteComplete {
+        /// The writer's assignment (lets both SCs classify the message).
+        assignment: Assignment,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// Algorithm 1 line 8: the writer's local index, sent to the target SC.
+    IndexBody {
+        /// Group owning the file the index describes.
+        target_group: u32,
+        /// Index pieces (already rebased to the assigned offset). Empty in
+        /// synthetic (sizes-only) mode.
+        pieces: Vec<IndexEntry>,
+    },
+
+    // ---- sub-coordinator -> coordinator ----------------------------------
+    /// An adaptive write that one of my writers performed elsewhere has
+    /// completed (Algorithm 2 line 6).
+    AdaptiveComplete {
+        /// Group whose file received the data.
+        target_group: u32,
+        /// Bytes written (advances the coordinator's offset note).
+        bytes: u64,
+    },
+    /// All of my writers have completed (Algorithm 2 line 13). Carries the
+    /// file's final local offset so the coordinator can hand out adaptive
+    /// offsets (Algorithm 3 "note final offset").
+    ScComplete {
+        /// The completing group.
+        group: u32,
+        /// High-water offset of its file.
+        final_offset: u64,
+    },
+    /// I have no waiting writers to divert (Algorithm 2 line 22).
+    WritersBusy {
+        /// The replying group.
+        group: u32,
+        /// The adaptive target that went unused (so C can free it).
+        target_group: u32,
+    },
+    /// My sorted local index, for the global merge (Algorithm 2 line 33).
+    IndexToC {
+        /// The group the index belongs to.
+        group: u32,
+        /// Sorted local index entries (empty in synthetic mode).
+        pieces: Vec<IndexEntry>,
+        /// Serialized size on the wire (drives message timing even in
+        /// synthetic mode).
+        wire_bytes: u64,
+    },
+
+    // ---- coordinator -> sub-coordinator ----------------------------------
+    /// Divert one waiting writer to `target_group`'s file (Algorithm 2
+    /// line 20 receives this).
+    AdaptiveWriteStart {
+        /// Group owning the target file.
+        target_group: u32,
+        /// Target file.
+        file: FileId,
+        /// Target OST.
+        ost: OstId,
+        /// Assigned offset.
+        offset: u64,
+    },
+    /// Everything is written; write your index (Algorithm 2 line 27).
+    OverallWriteComplete,
+}
+
+impl Msg {
+    /// Wire cost of this message in bytes (control messages are small;
+    /// index bodies scale with entry count).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Msg::IndexBody { pieces, .. } => {
+                CTRL_BYTES + (pieces.len().max(1) as u64) * INDEX_ENTRY_BYTES
+            }
+            Msg::IndexToC { pieces, wire_bytes, .. } => {
+                CTRL_BYTES + (*wire_bytes).max(pieces.len() as u64 * INDEX_ENTRY_BYTES)
+            }
+            _ => CTRL_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(trig: u32, target: u32) -> Assignment {
+        Assignment {
+            triggering_group: trig,
+            target_group: target,
+            file: FileId(target),
+            ost: OstId(target as usize),
+            offset: 0,
+        }
+    }
+
+    #[test]
+    fn adaptive_detection() {
+        assert!(!asg(3, 3).is_adaptive());
+        assert!(asg(3, 5).is_adaptive());
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert_eq!(Msg::WriteNow(asg(0, 0)).wire_bytes(), CTRL_BYTES);
+        assert_eq!(
+            Msg::ScComplete {
+                group: 0,
+                final_offset: 0
+            }
+            .wire_bytes(),
+            CTRL_BYTES
+        );
+    }
+
+    #[test]
+    fn index_bodies_scale_with_entries() {
+        let small = Msg::IndexBody {
+            target_group: 0,
+            pieces: vec![],
+        };
+        let b = small.wire_bytes();
+        assert!(b >= CTRL_BYTES + INDEX_ENTRY_BYTES);
+        let big = Msg::IndexToC {
+            group: 0,
+            pieces: vec![],
+            wire_bytes: 10_000,
+        };
+        assert_eq!(big.wire_bytes(), CTRL_BYTES + 10_000);
+    }
+}

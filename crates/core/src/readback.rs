@@ -1,0 +1,281 @@
+//! Restart-style read-back: the consumer side of an output set.
+//!
+//! The paper's §V (PLFS discussion) raises the question whether
+//! log-structured many-file layouts hurt restart reads; §IV-C argues
+//! the global index keeps reads a single lookup plus a direct read. This
+//! module measures that on the simulated timeline: a set of reader ranks
+//! (a restarting simulation, or an analysis cluster) opens the subfiles
+//! and reads every data block through the index layout produced by a
+//! previous write.
+
+use std::rc::Rc;
+
+use clustersim::{Actor, Ctx, IoComplete, Rank, Simulation};
+use simcore::SimTime;
+use storesim::layout::{FileId, OstId, StripeSpec};
+use storesim::system::CompletionKind;
+use storesim::MachineConfig;
+
+use crate::record::WriteRecord;
+
+const TAG_OPEN: u32 = 1;
+const TAG_READ: u32 = 2;
+const TAG_CLOSE: u32 = 3;
+
+/// Where one block of a previous output lives.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockLocation {
+    /// Subfile index (0..files).
+    pub file_slot: u32,
+    /// Byte offset of the block.
+    pub offset: u64,
+    /// Block length.
+    pub len: u64,
+    /// Target backing the subfile (for file re-creation).
+    pub ost: OstId,
+}
+
+/// The read plan: which reader fetches which blocks.
+#[derive(Clone, Debug)]
+pub struct ReadPlan {
+    /// Per-reader block lists.
+    pub per_reader: Vec<Vec<BlockLocation>>,
+    /// Distinct subfiles: slot -> OST.
+    pub files: Vec<OstId>,
+}
+
+impl ReadPlan {
+    /// Build from a previous run's write records, fanning blocks out over
+    /// `readers` ranks round-robin — the paper's restart read ("all of
+    /// the data").
+    pub fn from_records(records: &[WriteRecord], readers: usize) -> Self {
+        assert!(readers > 0 && !records.is_empty());
+        // Map the write run's FileIds onto dense slots.
+        let mut files: Vec<(FileId, OstId)> = Vec::new();
+        let mut slot_of = std::collections::HashMap::new();
+        for r in records {
+            slot_of.entry(r.file).or_insert_with(|| {
+                files.push((r.file, r.ost));
+                (files.len() - 1) as u32
+            });
+        }
+        let mut per_reader: Vec<Vec<BlockLocation>> = vec![Vec::new(); readers];
+        for (i, r) in records.iter().enumerate() {
+            per_reader[i % readers].push(BlockLocation {
+                file_slot: slot_of[&r.file],
+                offset: r.offset,
+                len: r.bytes,
+                ost: r.ost,
+            });
+        }
+        ReadPlan {
+            per_reader,
+            files: files.into_iter().map(|(_, o)| o).collect(),
+        }
+    }
+
+    /// Total bytes the plan reads.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_reader
+            .iter()
+            .flat_map(|blocks| blocks.iter().map(|b| b.len))
+            .sum()
+    }
+}
+
+/// One reader rank: open, fetch my blocks one at a time (index lookup +
+/// direct read), close.
+struct ReadActor {
+    blocks: Rc<Vec<BlockLocation>>,
+    files: Rc<Vec<FileId>>,
+    next: usize,
+    me: u32,
+    started: Option<SimTime>,
+    /// (start, end, bytes) of this rank's whole read phase.
+    pub span: Option<(SimTime, SimTime, u64)>,
+    read_bytes: u64,
+    closed: bool,
+}
+
+impl ReadActor {
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if self.next >= self.blocks.len() {
+            ctx.close(TAG_CLOSE);
+            return;
+        }
+        let b = self.blocks[self.next];
+        self.next += 1;
+        ctx.read_file(self.files[b.file_slot as usize], b.offset, b.len, TAG_READ);
+    }
+}
+
+impl Actor for ReadActor {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.open(TAG_OPEN);
+    }
+
+    fn on_message(&mut self, _f: Rank, _m: (), _c: &mut Ctx<'_, ()>) {}
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, ()>) {
+        match (done.tag, done.kind) {
+            (TAG_OPEN, CompletionKind::Open) => {
+                self.started = Some(ctx.now());
+                self.issue_next(ctx);
+            }
+            (TAG_READ, CompletionKind::Read) => {
+                self.read_bytes += done.bytes;
+                self.span = Some((
+                    self.started.expect("read phase started"),
+                    done.finished,
+                    self.read_bytes,
+                ));
+                self.issue_next(ctx);
+            }
+            (TAG_CLOSE, CompletionKind::Close) => {
+                self.closed = true;
+                ctx.finish();
+            }
+            other => panic!("unexpected IO completion for reader {}: {other:?}", self.me),
+        }
+    }
+}
+
+/// Result of a restart read.
+#[derive(Clone, Debug)]
+pub struct ReadResult {
+    /// Per-reader (start, end, bytes).
+    pub per_reader: Vec<(SimTime, SimTime, u64)>,
+    /// Total bytes read.
+    pub total_bytes: u64,
+}
+
+impl ReadResult {
+    /// Aggregate read bandwidth over the full span, bytes/sec.
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        let start = self.per_reader.iter().map(|&(s, _, _)| s).min().expect("readers");
+        let end = self.per_reader.iter().map(|&(_, e, _)| e).max().expect("readers");
+        self.total_bytes as f64 / (end - start).as_secs_f64()
+    }
+}
+
+/// Execute a restart read of `plan` on `machine`.
+pub fn run_restart_read(machine: &MachineConfig, plan: &ReadPlan, seed: u64) -> ReadResult {
+    let mut storage = storesim::StorageSystem::new(machine.clone(), seed);
+    // Recreate the subfiles with their original placement, sized by the
+    // plan (the data itself is simulated).
+    let files: Vec<FileId> = plan
+        .files
+        .iter()
+        .enumerate()
+        .map(|(slot, &ost)| {
+            storage
+                .fs_mut()
+                .create(format!("restart-sub-{slot}.bp"), StripeSpec::Pinned(vec![ost]))
+        })
+        .collect();
+    let files = Rc::new(files);
+    let actors: Vec<ReadActor> = plan
+        .per_reader
+        .iter()
+        .enumerate()
+        .map(|(i, blocks)| ReadActor {
+            blocks: Rc::new(blocks.clone()),
+            files: Rc::clone(&files),
+            next: 0,
+            me: i as u32,
+            started: None,
+            span: None,
+            read_bytes: 0,
+            closed: false,
+        })
+        .collect();
+    let readers = actors.len() as u64;
+    let mut sim = Simulation::with_storage(machine.clone(), actors, seed, storage);
+    sim.run_until(readers, SimTime::from_secs_f64(1e6));
+    assert_eq!(sim.finish_count(), readers, "restart read stalled");
+    let per_reader: Vec<(SimTime, SimTime, u64)> = sim
+        .actors()
+        .map(|a| {
+            a.span.unwrap_or((SimTime::ZERO, SimTime::ZERO, 0))
+        })
+        .collect();
+    let total_bytes = per_reader.iter().map(|&(_, _, b)| b).sum();
+    ReadResult {
+        per_reader,
+        total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, DataSpec, Interference, Method, RunSpec};
+    use crate::AdaptiveOpts;
+    use simcore::units::MIB;
+    use storesim::params::testbed;
+
+    fn write_then_plan(readers: usize) -> (ReadPlan, u64) {
+        let out = run(RunSpec {
+            machine: testbed(),
+            nprocs: 16,
+            data: DataSpec::Uniform(4 * MIB),
+            method: Method::Adaptive {
+                targets: 4,
+                opts: AdaptiveOpts::default(),
+            },
+            interference: Interference::None,
+            seed: 3,
+        });
+        let total = out.result.total_bytes;
+        (ReadPlan::from_records(&out.result.records, readers), total)
+    }
+
+    #[test]
+    fn plan_covers_all_blocks() {
+        let (plan, total) = write_then_plan(4);
+        assert_eq!(plan.total_bytes(), total);
+        let n_blocks: usize = plan.per_reader.iter().map(|b| b.len()).sum();
+        assert_eq!(n_blocks, 16);
+        assert!(plan.files.len() <= 5, "subfiles + global index file");
+    }
+
+    #[test]
+    fn restart_read_completes_and_reads_everything() {
+        let (plan, total) = write_then_plan(4);
+        let res = run_restart_read(&testbed(), &plan, 7);
+        assert_eq!(res.total_bytes, total);
+        assert!(res.aggregate_bandwidth() > 0.0);
+        assert_eq!(res.per_reader.len(), 4);
+    }
+
+    #[test]
+    fn single_reader_restart_works() {
+        let (plan, total) = write_then_plan(1);
+        let res = run_restart_read(&testbed(), &plan, 9);
+        assert_eq!(res.total_bytes, total);
+    }
+
+    #[test]
+    fn more_readers_speed_up_the_restart() {
+        let (plan1, _) = write_then_plan(1);
+        let (plan8, _) = write_then_plan(8);
+        let slow = run_restart_read(&testbed(), &plan1, 11);
+        let fast = run_restart_read(&testbed(), &plan8, 11);
+        assert!(
+            fast.aggregate_bandwidth() > 2.0 * slow.aggregate_bandwidth(),
+            "parallel restart should scale: {} vs {}",
+            slow.aggregate_bandwidth(),
+            fast.aggregate_bandwidth()
+        );
+    }
+
+    #[test]
+    fn read_plan_is_deterministic() {
+        let (a, _) = write_then_plan(3);
+        let (b, _) = write_then_plan(3);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        assert_eq!(a.files.len(), b.files.len());
+    }
+}

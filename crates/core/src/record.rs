@@ -1,0 +1,163 @@
+//! Measurement records and aggregated results for one output operation.
+//!
+//! Following the paper's methodology: "the times reported only include the
+//! actual write, flush, and file close operations to remove the
+//! variability due to the metadata server" (§IV). Records keep every
+//! phase; the aggregate result reports the write phase the way the paper
+//! does.
+
+use simcore::SimTime;
+use storesim::layout::{FileId, OstId};
+
+/// One completed data write by one rank.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteRecord {
+    /// Writing rank.
+    pub rank: u32,
+    /// Bytes written.
+    pub bytes: u64,
+    /// Write start (assignment receipt / submission).
+    pub start: SimTime,
+    /// Write completion.
+    pub end: SimTime,
+    /// Target storage target.
+    pub ost: OstId,
+    /// Target file.
+    pub file: FileId,
+    /// Byte offset within the target file.
+    pub offset: u64,
+    /// Whether this was an adaptively diverted write.
+    pub adaptive: bool,
+}
+
+impl WriteRecord {
+    /// Elapsed write time in seconds.
+    pub fn elapsed(&self) -> f64 {
+        (self.end - self.start).as_secs_f64()
+    }
+}
+
+/// Aggregated outcome of one collective output.
+#[derive(Clone, Debug)]
+pub struct OutputResult {
+    /// Per-write records, in rank order (then by completion for ranks with
+    /// several writes).
+    pub records: Vec<WriteRecord>,
+    /// Total bytes written (data only, indices excluded).
+    pub total_bytes: u64,
+    /// Earliest write start.
+    pub start: SimTime,
+    /// Latest write end — overall write time is set by the slowest writer
+    /// (§II-2).
+    pub end: SimTime,
+    /// Number of adaptive (work-shifted) writes.
+    pub adaptive_writes: usize,
+    /// Wall time of the complete operation including index/metadata
+    /// wrap-up (for comparisons the paper excludes).
+    pub full_span: f64,
+}
+
+impl OutputResult {
+    /// Build from records (panics if empty — an output with no writes is a
+    /// harness bug).
+    pub fn from_records(records: Vec<WriteRecord>, full_span: f64) -> Self {
+        assert!(!records.is_empty(), "no write records");
+        let total_bytes = records.iter().map(|r| r.bytes).sum();
+        let start = records.iter().map(|r| r.start).min().expect("non-empty");
+        let end = records.iter().map(|r| r.end).max().expect("non-empty");
+        let adaptive_writes = records.iter().filter(|r| r.adaptive).count();
+        OutputResult {
+            records,
+            total_bytes,
+            start,
+            end,
+            adaptive_writes,
+            full_span,
+        }
+    }
+
+    /// The paper's measured span: first write start to last write end.
+    pub fn write_span(&self) -> f64 {
+        (self.end - self.start).as_secs_f64()
+    }
+
+    /// Aggregate bandwidth over the write span, bytes/sec.
+    pub fn aggregate_bandwidth(&self) -> f64 {
+        let s = self.write_span();
+        assert!(s > 0.0, "zero write span");
+        self.total_bytes as f64 / s
+    }
+
+    /// Per-writer elapsed times in seconds (one entry per record).
+    pub fn per_writer_times(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.elapsed()).collect()
+    }
+
+    /// Per-writer achieved bandwidths, bytes/sec.
+    pub fn per_writer_bandwidths(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.bytes as f64 / r.elapsed())
+            .collect()
+    }
+
+    /// Imbalance factor of this action (slowest / fastest write time).
+    pub fn imbalance_factor(&self) -> f64 {
+        iostats::imbalance_factor(&self.per_writer_times())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: u32, start: f64, end: f64, bytes: u64, adaptive: bool) -> WriteRecord {
+        WriteRecord {
+            rank,
+            bytes,
+            start: SimTime::from_secs_f64(start),
+            end: SimTime::from_secs_f64(end),
+            ost: OstId(0),
+            file: FileId(0),
+            offset: 0,
+            adaptive,
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let r = OutputResult::from_records(
+            vec![
+                rec(0, 0.0, 2.0, 100, false),
+                rec(1, 0.5, 4.0, 100, true),
+            ],
+            5.0,
+        );
+        assert_eq!(r.total_bytes, 200);
+        assert_eq!(r.write_span(), 4.0);
+        assert_eq!(r.aggregate_bandwidth(), 50.0);
+        assert_eq!(r.adaptive_writes, 1);
+        assert_eq!(r.per_writer_times(), vec![2.0, 3.5]);
+    }
+
+    #[test]
+    fn imbalance() {
+        let r = OutputResult::from_records(
+            vec![rec(0, 0.0, 1.0, 1, false), rec(1, 0.0, 3.0, 1, false)],
+            3.0,
+        );
+        assert!((r.imbalance_factor() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_writer_bandwidths() {
+        let r = OutputResult::from_records(vec![rec(0, 0.0, 2.0, 100, false)], 2.0);
+        assert_eq!(r.per_writer_bandwidths(), vec![50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no write records")]
+    fn empty_records_panic() {
+        OutputResult::from_records(vec![], 0.0);
+    }
+}

@@ -1,0 +1,463 @@
+//! The experiment runner: the public entry point that sets up a machine,
+//! a workload and a transport method, runs the co-simulation, and returns
+//! the paper's measurements.
+//!
+//! ```
+//! use adios_core::runner::{run, DataSpec, Interference, Method, RunSpec};
+//! use simcore::units::MIB;
+//! use storesim::params::testbed;
+//!
+//! let spec = RunSpec {
+//!     machine: testbed(),
+//!     nprocs: 16,
+//!     data: DataSpec::Uniform(4 * MIB),
+//!     method: Method::Adaptive {
+//!         targets: 8,
+//!         opts: Default::default(),
+//!     },
+//!     interference: Interference::None,
+//!     seed: 42,
+//! };
+//! let out = run(spec);
+//! assert_eq!(out.result.records.len(), 16);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bpfmt::{pg_encoded_size, GlobalIndex, VarBlock};
+use clustersim::Simulation;
+use simcore::units::GIB;
+use simcore::SimTime;
+use storesim::layout::{OstId, StripeSpec};
+use storesim::{MachineConfig, ObjectStore};
+
+use crate::adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
+use crate::mpiio::{stripe_aligned_offsets, MpiIoActor};
+use crate::plan::OutputPlan;
+use crate::posix::PosixActor;
+use crate::record::{OutputResult, WriteRecord};
+
+/// Hard cap on simulated time for one output operation (10⁶ simulated
+/// seconds — far beyond any sane IO phase; hitting it means the protocol
+/// stalled, which the runner asserts on).
+const RUN_DEADLINE: SimTime = SimTime::from_nanos(1_000_000_000_000_000);
+
+/// Which transport method to run.
+#[derive(Clone, Debug)]
+pub enum Method {
+    /// POSIX file-per-process over `targets` storage targets (IOR mode).
+    Posix {
+        /// Storage targets the writers spread over.
+        targets: usize,
+    },
+    /// MPI-IO / ADIOS base transport: one shared file striped over
+    /// `stripe_count` targets (clamped to the machine's per-file limit —
+    /// 160 on Lustre 1.6).
+    MpiIo {
+        /// Requested stripe count.
+        stripe_count: usize,
+    },
+    /// The stagger method (CUG'09): grouped, serialised per-target writes,
+    /// staggered opens, no work shifting.
+    Stagger {
+        /// Output files / targets.
+        targets: usize,
+    },
+    /// The paper's adaptive method (Algorithms 1–3).
+    Adaptive {
+        /// Output files / targets (512 in the paper's runs).
+        targets: usize,
+        /// Tuning knobs.
+        opts: AdaptiveOpts,
+    },
+}
+
+/// Artificial external interference, as in §IV: a separate program
+/// continuously writing to a handful of targets.
+#[derive(Clone, Debug)]
+pub enum Interference {
+    /// Quiet system (only the machine's own production noise, if enabled).
+    None,
+    /// `streams_per_ost` perpetual writers on each of `osts` targets,
+    /// `bytes` per write.
+    CompetingStreams {
+        /// Number of targets hit.
+        osts: usize,
+        /// Concurrent streams per target.
+        streams_per_ost: usize,
+        /// Bytes per (continuously repeated) write.
+        bytes: u64,
+    },
+    /// Permanently degrade specific targets (failure injection: dying
+    /// disks, rebuilding RAID sets) — NERSC's observation that "a small
+    /// number of slow storage targets greatly increased total IO time"
+    /// (§V, Antypas & Uselton).
+    DegradedOsts {
+        /// Target indices to degrade.
+        osts: Vec<usize>,
+        /// Remaining capability fraction (0, 1].
+        factor: f64,
+    },
+    /// Like [`Interference::CompetingStreams`], but each stream idles for
+    /// an exponential gap between bursts — a competing application's
+    /// duty-cycled IO phases (the "two simultaneous IOR jobs" setup of
+    /// the XTP experiments).
+    BurstyStreams {
+        /// Number of targets hit.
+        osts: usize,
+        /// Streams per target.
+        streams_per_ost: usize,
+        /// Bytes per burst.
+        bytes: u64,
+        /// Mean idle gap between bursts, seconds.
+        mean_gap: f64,
+    },
+}
+
+impl Interference {
+    /// The paper's configuration: a file striped over 8 targets, three
+    /// processes per target continuously writing 1 GiB each (24 procs).
+    pub fn paper_default() -> Self {
+        Interference::CompetingStreams {
+            osts: 8,
+            streams_per_ost: 3,
+            bytes: GIB,
+        }
+    }
+}
+
+/// Per-rank output data.
+#[derive(Clone, Debug)]
+pub enum DataSpec {
+    /// Weak scaling: every rank writes this many bytes (synthetic —
+    /// sizes move through the simulator, no payload bytes exist).
+    Uniform(u64),
+    /// Heterogeneous synthetic sizes.
+    PerRank(Vec<u64>),
+    /// Real-bytes mode: each rank writes these variable blocks as a BP
+    /// process group; payloads land in an in-memory object store and the
+    /// full index machinery runs. Only supported by the adaptive/stagger
+    /// methods (the ones that write the BP format).
+    Real(Vec<Vec<VarBlock>>),
+}
+
+/// Everything needed for one run.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Machine preset (see `storesim::params`).
+    pub machine: MachineConfig,
+    /// Rank count.
+    pub nprocs: usize,
+    /// What each rank writes.
+    pub data: DataSpec,
+    /// Transport method.
+    pub method: Method,
+    /// Artificial interference.
+    pub interference: Interference,
+    /// Seed for all stochastic elements.
+    pub seed: u64,
+}
+
+/// Result of one run.
+pub struct RunOutput {
+    /// The paper-facing measurements.
+    pub result: OutputResult,
+    /// The merged global index (real-bytes adaptive runs only).
+    pub global_index: Option<GlobalIndex>,
+    /// Subfile bytes by name (real-bytes runs only) — usable with
+    /// `bpfmt::read_global_f64` for read-back verification.
+    pub subfiles: Option<HashMap<String, Vec<u8>>>,
+    /// Protocol statistics (adaptive/stagger runs only).
+    pub protocol: Option<ProtocolStats>,
+}
+
+/// Aggregated protocol statistics of one adaptive run (§III-B3's
+/// scalability analysis, measured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolStats {
+    /// Messages the coordinator received (`ScComplete` +
+    /// `AdaptiveComplete` + `WritersBusy` + `IndexToC`).
+    pub coordinator_inbox: u64,
+    /// High-water mark of simultaneous adaptive requests (paper bound:
+    /// targets − 1).
+    pub max_outstanding_adaptive: usize,
+    /// Total messages received across all ranks.
+    pub total_messages: u64,
+    /// Messages received by the busiest single rank.
+    pub busiest_rank_inbox: u64,
+}
+
+fn rank_bytes_of(data: &DataSpec, nprocs: usize) -> Vec<u64> {
+    match data {
+        DataSpec::Uniform(b) => vec![*b; nprocs],
+        DataSpec::PerRank(v) => {
+            assert_eq!(v.len(), nprocs);
+            v.clone()
+        }
+        DataSpec::Real(blocks) => {
+            assert_eq!(blocks.len(), nprocs);
+            blocks.iter().map(|b| pg_encoded_size(b)).collect()
+        }
+    }
+}
+
+fn apply_interference(sim_storage: &mut storesim::StorageSystem, interference: &Interference) {
+    let ost_count = sim_storage.config().ost_count;
+    match interference {
+        Interference::None => {}
+        Interference::CompetingStreams {
+            osts,
+            streams_per_ost,
+            bytes,
+        } => {
+            for o in 0..*osts {
+                for _ in 0..*streams_per_ost {
+                    sim_storage.add_background_stream(SimTime::ZERO, OstId(o % ost_count), *bytes);
+                }
+            }
+        }
+        Interference::BurstyStreams {
+            osts,
+            streams_per_ost,
+            bytes,
+            mean_gap,
+        } => {
+            for o in 0..*osts {
+                for _ in 0..*streams_per_ost {
+                    sim_storage.add_bursty_stream(
+                        SimTime::ZERO,
+                        OstId(o % ost_count),
+                        *bytes,
+                        *mean_gap,
+                    );
+                }
+            }
+        }
+        Interference::DegradedOsts { osts, factor } => {
+            for &o in osts {
+                sim_storage.degrade_ost(SimTime::ZERO, OstId(o % ost_count), *factor);
+            }
+        }
+    }
+}
+
+/// Execute one run to completion.
+pub fn run(spec: RunSpec) -> RunOutput {
+    let nprocs = spec.nprocs;
+    let rank_bytes = rank_bytes_of(&spec.data, nprocs);
+    match &spec.method {
+        Method::Posix { targets } => run_posix(&spec, rank_bytes, *targets),
+        Method::MpiIo { stripe_count } => run_mpiio(&spec, rank_bytes, *stripe_count),
+        Method::Stagger { targets } => {
+            let opts = AdaptiveOpts {
+                work_stealing: false,
+                stagger_opens: true,
+                ..Default::default()
+            };
+            run_adaptive(&spec, rank_bytes, *targets, opts)
+        }
+        Method::Adaptive { targets, opts } => {
+            run_adaptive(&spec, rank_bytes, *targets, opts.clone())
+        }
+    }
+}
+
+fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize) -> RunOutput {
+    assert!(
+        matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
+        "real-bytes mode requires the adaptive/stagger methods"
+    );
+    let ost_count = spec.machine.ost_count;
+    let plan = Rc::new(OutputPlan::new(spec.nprocs, targets, ost_count, rank_bytes));
+    let mut storage = storesim::StorageSystem::new(spec.machine.clone(), spec.seed);
+    let mut actors = Vec::with_capacity(spec.nprocs);
+    for r in 0..spec.nprocs as u32 {
+        let g = plan.group_of[r as usize];
+        let ost = plan.ost_of_group[g as usize];
+        let file = storage
+            .fs_mut()
+            .create(format!("ior-{r}.dat"), StripeSpec::Pinned(vec![ost]));
+        actors.push(PosixActor::new(r, Rc::clone(&plan), file));
+    }
+    let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
+    apply_interference(sim.storage_mut(), &spec.interference);
+    sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
+    assert_eq!(
+        sim.finish_count(),
+        spec.nprocs as u64,
+        "POSIX run stalled before every rank closed"
+    );
+    let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
+    let mut full_end = SimTime::ZERO;
+    for a in sim.actors() {
+        assert_eq!(a.records.len(), 1, "rank failed to write");
+        records.extend_from_slice(&a.records);
+        full_end = full_end.max(a.closed_at.expect("rank failed to close"));
+    }
+    records.sort_by_key(|r| r.rank);
+    let result = OutputResult::from_records(records, full_end.as_secs_f64());
+    RunOutput {
+        result,
+        global_index: None,
+        subfiles: None,
+        protocol: None,
+    }
+}
+
+fn run_mpiio(spec: &RunSpec, rank_bytes: Vec<u64>, stripe_count: usize) -> RunOutput {
+    assert!(
+        matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
+        "real-bytes mode requires the adaptive/stagger methods"
+    );
+    let ost_count = spec.machine.ost_count;
+    let stripe_count = stripe_count
+        .min(spec.machine.max_stripe_count)
+        .min(ost_count)
+        .min(spec.nprocs);
+    // ADIOS MPI method on Lustre: stripe width = the (largest) per-rank
+    // buffer, so each rank's region lands on one target.
+    let stripe_size = rank_bytes.iter().copied().max().expect("nprocs > 0").max(1);
+    let plan = Rc::new(OutputPlan::new(
+        spec.nprocs,
+        stripe_count,
+        ost_count,
+        rank_bytes.clone(),
+    ));
+    let mut storage = storesim::StorageSystem::new(spec.machine.clone(), spec.seed);
+    let file =
+        storage.create_file_with_stripe_size("shared.bp", StripeSpec::Count(stripe_count), stripe_size);
+    let file_osts = storage.fs().meta(file).osts.clone();
+    let offsets = stripe_aligned_offsets(&rank_bytes, stripe_size);
+    let mut actors = Vec::with_capacity(spec.nprocs);
+    for r in 0..spec.nprocs as u32 {
+        let stripe_idx = (offsets[r as usize] / stripe_size) as usize % file_osts.len();
+        actors.push(MpiIoActor::new(
+            r,
+            Rc::clone(&plan),
+            file,
+            offsets[r as usize],
+            file_osts[stripe_idx],
+        ));
+    }
+    let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
+    apply_interference(sim.storage_mut(), &spec.interference);
+    sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
+    assert_eq!(
+        sim.finish_count(),
+        spec.nprocs as u64,
+        "MPI-IO run stalled before every rank closed"
+    );
+    let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
+    let mut full_end = SimTime::ZERO;
+    for a in sim.actors() {
+        assert_eq!(a.records.len(), 1, "rank failed to write");
+        records.extend_from_slice(&a.records);
+        full_end = full_end.max(a.closed_at.expect("rank failed to close"));
+    }
+    records.sort_by_key(|r| r.rank);
+    let result = OutputResult::from_records(records, full_end.as_secs_f64());
+    RunOutput {
+        result,
+        global_index: None,
+        subfiles: None,
+        protocol: None,
+    }
+}
+
+fn run_adaptive(
+    spec: &RunSpec,
+    rank_bytes: Vec<u64>,
+    targets: usize,
+    opts: AdaptiveOpts,
+) -> RunOutput {
+    let ost_count = spec.machine.ost_count;
+    let plan = Rc::new(OutputPlan::new(spec.nprocs, targets, ost_count, rank_bytes));
+    let opts = Rc::new(opts);
+    let (real_blocks, store) = match &spec.data {
+        DataSpec::Real(blocks) => (
+            Some(blocks.clone()),
+            Some(Rc::new(RefCell::new(ObjectStore::new()))),
+        ),
+        _ => (None, None),
+    };
+    let mut storage = storesim::StorageSystem::new(spec.machine.clone(), spec.seed);
+    let mut files = Vec::with_capacity(plan.targets);
+    for g in 0..plan.targets {
+        let ost = plan.ost_of_group[g];
+        files.push(
+            storage
+                .fs_mut()
+                .create(format!("sub-{g}.bp"), StripeSpec::Pinned(vec![ost])),
+        );
+    }
+    let gidx_file = storage
+        .fs_mut()
+        .create("global-index.bp", StripeSpec::Pinned(vec![OstId(0)]));
+    let files = Rc::new(files);
+    let mut actors = Vec::with_capacity(spec.nprocs);
+    for r in 0..spec.nprocs as u32 {
+        let blocks = real_blocks.as_ref().map(|b| b[r as usize].clone());
+        actors.push(AdaptiveActor::new(
+            r,
+            Rc::clone(&plan),
+            Rc::clone(&opts),
+            Rc::clone(&files),
+            gidx_file,
+            blocks,
+            store.clone(),
+            0,
+        ));
+    }
+    let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
+    apply_interference(sim.storage_mut(), &spec.interference);
+    // The coordinator's single finish signal marks the whole operation
+    // (data + local indices + global index) durable.
+    sim.run_until(1, RUN_DEADLINE);
+    let coordinator = sim.actor(clustersim::Rank(0));
+    let finished = coordinator
+        .finished_at()
+        .expect("adaptive protocol stalled: coordinator never finished");
+    let global_index = coordinator.global_index().cloned();
+    let max_outstanding = coordinator.max_outstanding().unwrap_or(0);
+    let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
+    let mut total_messages = 0u64;
+    let mut busiest = 0u64;
+    let mut coordinator_inbox = 0u64;
+    for a in sim.actors() {
+        assert_eq!(a.records.len(), 1, "rank failed to write exactly once");
+        records.extend_from_slice(&a.records);
+        let s: MsgStats = a.msg_stats;
+        total_messages += s.total();
+        busiest = busiest.max(s.total());
+        coordinator_inbox += s.coordinator_inbox;
+    }
+    records.sort_by_key(|r| r.rank);
+    let protocol = Some(ProtocolStats {
+        coordinator_inbox,
+        max_outstanding_adaptive: max_outstanding,
+        total_messages,
+        busiest_rank_inbox: busiest,
+    });
+    let result = OutputResult::from_records(records, finished.as_secs_f64());
+    // Materialise subfile bytes for read-back verification.
+    let subfiles = store.map(|store| {
+        let store = store.borrow();
+        let mut out = HashMap::new();
+        for (g, &f) in files.iter().enumerate() {
+            let size = store.size(f);
+            if size > 0 {
+                let bytes = store.get(f, 0, size).expect("full file readable").to_vec();
+                out.insert(format!("sub-{g}.bp"), bytes);
+            }
+        }
+        out
+    });
+    RunOutput {
+        result,
+        global_index,
+        subfiles,
+        protocol,
+    }
+}

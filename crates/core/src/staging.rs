@@ -1,0 +1,456 @@
+//! Data staging — the alternative the paper examines in §II-3.
+//!
+//! "Data staging moves output from a large number of compute nodes to a
+//! smaller number of staging nodes before writing it to disk. However,
+//! the total buffer space available in the staging area is limited,
+//! thereby limiting the achievable degree of asynchronicity. Further,
+//! large staging areas ... will still lead to internal or external
+//! interference."
+//!
+//! Model: `stagers` extra ranks each own `buffer_bytes` of staging memory
+//! and one output file. App ranks ship their buffers over the network to
+//! their stager (rank-striped). A stager that has room accepts
+//! immediately — the app's visible "IO time" is just the network
+//! transfer — and drains accepted buffers to storage one at a time. A
+//! stager with a full buffer makes the app wait (the blocking the paper
+//! predicts when output outpaces the drain).
+//!
+//! The run reports both the app-visible span (what the application
+//! blocks on) and the drain span (when data is actually durable), so the
+//! asynchronicity *and* its buffer limit are measurable.
+
+use std::collections::VecDeque;
+
+use clustersim::{Actor, Ctx, IoComplete, Rank, Simulation};
+use simcore::SimTime;
+use storesim::layout::{FileId, StripeSpec};
+use storesim::system::CompletionKind;
+use storesim::MachineConfig;
+
+use crate::plan::OutputPlan;
+use crate::record::WriteRecord;
+
+const TAG_WRITE: u32 = 2;
+
+/// Staging configuration.
+#[derive(Clone, Debug)]
+pub struct StagingOpts {
+    /// Number of staging ranks (appended after the app ranks).
+    pub stagers: usize,
+    /// Buffer capacity per stager, bytes.
+    pub buffer_bytes: u64,
+    /// Storage targets the stagers write to (one file per stager, striped
+    /// round-robin over these).
+    pub targets: usize,
+}
+
+/// Messages between app ranks and stagers.
+#[derive(Clone, Copy, Debug)]
+pub enum StageMsg {
+    /// App rank ships its buffer (wire cost = the payload size).
+    Data {
+        /// Originating app rank.
+        app: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Stager accepted the buffer; the app is unblocked.
+    Ack,
+}
+
+enum Role {
+    App {
+        stager: Rank,
+        bytes: u64,
+        sent_at: Option<SimTime>,
+        acked_at: Option<SimTime>,
+    },
+    Stager {
+        file: FileId,
+        ost: storesim::layout::OstId,
+        capacity: u64,
+        used: u64,
+        next_offset: u64,
+        /// Buffers accepted and waiting to drain (app, bytes).
+        drain_queue: VecDeque<(u32, u64)>,
+        /// Requests that arrived while the buffer was full.
+        blocked: VecDeque<(u32, u64)>,
+        draining: bool,
+        expected: usize,
+        received: usize,
+        drained: usize,
+        /// (app rank, drain start, drain end, bytes).
+        drains: Vec<WriteRecord>,
+        last_drain_started: Option<SimTime>,
+        current: Option<(u32, u64)>,
+    },
+}
+
+/// One rank of the staging transport (app or stager).
+pub struct StagingActor {
+    role: Role,
+    me: u32,
+}
+
+impl StagingActor {
+    fn stager_try_drain(&mut self, ctx: &mut Ctx<'_, StageMsg>) {
+        if let Role::Stager {
+            file,
+            drain_queue,
+            draining,
+            next_offset,
+            last_drain_started,
+            current,
+            ..
+        } = &mut self.role
+        {
+            if *draining {
+                return;
+            }
+            if let Some((app, bytes)) = drain_queue.pop_front() {
+                *draining = true;
+                *last_drain_started = Some(ctx.now());
+                *current = Some((app, bytes));
+                let off = *next_offset;
+                *next_offset += bytes;
+                ctx.write_file(*file, off, bytes, TAG_WRITE);
+            }
+        }
+    }
+
+    fn stager_accept(&mut self, app: u32, bytes: u64, ctx: &mut Ctx<'_, StageMsg>) {
+        let accepted = if let Role::Stager {
+            capacity,
+            used,
+            drain_queue,
+            blocked,
+            received,
+            ..
+        } = &mut self.role
+        {
+            *received += 1;
+            if *used + bytes <= *capacity {
+                *used += bytes;
+                drain_queue.push_back((app, bytes));
+                true
+            } else {
+                blocked.push_back((app, bytes));
+                false
+            }
+        } else {
+            unreachable!("data sent to an app rank")
+        };
+        if accepted {
+            ctx.send_control(Rank(app), StageMsg::Ack);
+            self.stager_try_drain(ctx);
+        }
+    }
+
+    fn stager_drain_done(&mut self, done: IoComplete, ctx: &mut Ctx<'_, StageMsg>) {
+        let mut unblocked: Option<(u32, u64)> = None;
+        if let Role::Stager {
+            capacity,
+            used,
+            draining,
+            drained,
+            expected,
+            drains,
+            last_drain_started,
+            blocked,
+            ost,
+            file,
+            current,
+            ..
+        } = &mut self.role
+        {
+            *draining = false;
+            *drained += 1;
+            let (app, _) = current.take().expect("drain in flight");
+            drains.push(WriteRecord {
+                rank: app,
+                bytes: done.bytes,
+                start: last_drain_started.take().expect("drain started"),
+                end: done.finished,
+                ost: *ost,
+                file: *file,
+                offset: 0, // informational; stager tracks real offsets internally
+                adaptive: false,
+            });
+            *used -= done.bytes;
+            // Admit one blocked request if it now fits.
+            if let Some(&(_, bytes)) = blocked.front() {
+                if *used + bytes <= *capacity {
+                    unblocked = blocked.pop_front();
+                }
+            }
+            if *drained == *expected {
+                ctx.finish();
+            }
+        }
+        if let Some((app, bytes)) = unblocked {
+            self.stager_accept(app, bytes, ctx);
+        }
+        self.stager_try_drain(ctx);
+    }
+}
+
+impl Actor for StagingActor {
+    type Msg = StageMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, StageMsg>) {
+        if let Role::App {
+            stager,
+            bytes,
+            sent_at,
+            ..
+        } = &mut self.role
+        {
+            *sent_at = Some(ctx.now());
+            let msg = StageMsg::Data {
+                app: self.me,
+                bytes: *bytes,
+            };
+            let wire = *bytes;
+            ctx.send(*stager, msg, wire);
+        }
+    }
+
+    fn on_message(&mut self, _from: Rank, msg: StageMsg, ctx: &mut Ctx<'_, StageMsg>) {
+        match msg {
+            StageMsg::Data { app, bytes } => self.stager_accept(app, bytes, ctx),
+            StageMsg::Ack => {
+                if let Role::App { acked_at, .. } = &mut self.role {
+                    *acked_at = Some(ctx.now());
+                    ctx.finish();
+                } else {
+                    unreachable!("ack sent to a stager")
+                }
+            }
+        }
+    }
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, StageMsg>) {
+        debug_assert_eq!(done.tag, TAG_WRITE);
+        debug_assert_eq!(done.kind, CompletionKind::Write);
+        self.stager_drain_done(done, ctx);
+    }
+}
+
+/// Result of a staging run.
+#[derive(Clone, Debug)]
+pub struct StagingResult {
+    /// Per-app (send, ack) — the app-visible IO window.
+    pub app_spans: Vec<(SimTime, SimTime)>,
+    /// Stager drain records (data actually durable).
+    pub drains: Vec<WriteRecord>,
+    /// Total bytes.
+    pub total_bytes: u64,
+}
+
+impl StagingResult {
+    /// App-visible span: first send to last ack.
+    pub fn app_span(&self) -> f64 {
+        let s = self.app_spans.iter().map(|&(s, _)| s).min().expect("apps");
+        let e = self.app_spans.iter().map(|&(_, e)| e).max().expect("apps");
+        (e - s).as_secs_f64()
+    }
+
+    /// Durability span: first send to last drain completion.
+    pub fn drain_span(&self) -> f64 {
+        let s = self.app_spans.iter().map(|&(s, _)| s).min().expect("apps");
+        let e = self.drains.iter().map(|r| r.end).max().expect("drains");
+        (e - s).as_secs_f64()
+    }
+
+    /// Apparent (app-visible) bandwidth, bytes/sec.
+    pub fn apparent_bandwidth(&self) -> f64 {
+        self.total_bytes as f64 / self.app_span()
+    }
+
+    /// Durable bandwidth, bytes/sec.
+    pub fn durable_bandwidth(&self) -> f64 {
+        self.total_bytes as f64 / self.drain_span()
+    }
+}
+
+/// Run one staged output: `plan.nprocs` app ranks ship to
+/// `opts.stagers` staging ranks which drain to storage.
+pub fn run_staged(
+    machine: &MachineConfig,
+    plan: &OutputPlan,
+    opts: &StagingOpts,
+    seed: u64,
+) -> StagingResult {
+    assert!(opts.stagers > 0 && opts.buffer_bytes > 0);
+    let mut storage = storesim::StorageSystem::new(machine.clone(), seed);
+    let napp = plan.nprocs;
+    let nstage = opts.stagers;
+    let targets = opts.targets.min(machine.ost_count).max(1);
+    let mut actors: Vec<StagingActor> = Vec::with_capacity(napp + nstage);
+    for r in 0..napp as u32 {
+        let stager = Rank((napp + (r as usize % nstage)) as u32);
+        actors.push(StagingActor {
+            role: Role::App {
+                stager,
+                bytes: plan.rank_bytes[r as usize],
+                sent_at: None,
+                acked_at: None,
+            },
+            me: r,
+        });
+    }
+    for s in 0..nstage {
+        let ost = storesim::layout::OstId(s % targets);
+        let file = storage
+            .fs_mut()
+            .create(format!("staged-{s}.bp"), StripeSpec::Pinned(vec![ost]));
+        let expected = (0..napp).filter(|r| r % nstage == s).count();
+        actors.push(StagingActor {
+            role: Role::Stager {
+                file,
+                ost,
+                capacity: opts.buffer_bytes,
+                used: 0,
+                next_offset: 0,
+                drain_queue: VecDeque::new(),
+                blocked: VecDeque::new(),
+                draining: false,
+                expected,
+                received: 0,
+                drained: 0,
+                drains: Vec::new(),
+                last_drain_started: None,
+                current: None,
+            },
+            me: (napp + s) as u32,
+        });
+    }
+    let mut sim = Simulation::with_storage(machine.clone(), actors, seed, storage);
+    // Every app acks (napp finishes) + every stager drains fully (nstage).
+    let target = (napp + nstage) as u64;
+    sim.run_until(target, SimTime::from_secs_f64(1e6));
+    assert_eq!(sim.finish_count(), target, "staging stalled");
+    let mut app_spans = Vec::with_capacity(napp);
+    let mut drains = Vec::new();
+    let mut total_bytes = 0;
+    for a in sim.actors() {
+        match &a.role {
+            Role::App {
+                sent_at,
+                acked_at,
+                bytes,
+                ..
+            } => {
+                app_spans.push((
+                    sent_at.expect("app sent"),
+                    acked_at.expect("app acked"),
+                ));
+                total_bytes += *bytes;
+            }
+            Role::Stager { drains: d, .. } => drains.extend_from_slice(d),
+        }
+    }
+    StagingResult {
+        app_spans,
+        drains,
+        total_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::{GIB, MIB};
+    use storesim::params::testbed;
+
+    fn plan(nprocs: usize, bytes: u64) -> OutputPlan {
+        OutputPlan::uniform(nprocs, 8, 8, bytes)
+    }
+
+    #[test]
+    fn staging_completes_and_drains_everything() {
+        let p = plan(16, 4 * MIB);
+        let opts = StagingOpts {
+            stagers: 4,
+            buffer_bytes: GIB,
+            targets: 4,
+        };
+        let res = run_staged(&testbed(), &p, &opts, 1);
+        assert_eq!(res.app_spans.len(), 16);
+        assert_eq!(res.drains.len(), 16);
+        assert_eq!(res.total_bytes, 16 * 4 * MIB);
+        assert!(res.drain_span() >= res.app_span());
+    }
+
+    #[test]
+    fn big_buffers_make_apps_fast() {
+        // With room for everything, the app-visible span is network-bound
+        // and much shorter than the durability span.
+        let p = plan(16, 32 * MIB);
+        let opts = StagingOpts {
+            stagers: 2,
+            buffer_bytes: GIB,
+            targets: 2,
+        };
+        let res = run_staged(&testbed(), &p, &opts, 2);
+        assert!(
+            res.apparent_bandwidth() > 3.0 * res.durable_bandwidth(),
+            "asynchronicity: apparent {} vs durable {}",
+            res.apparent_bandwidth(),
+            res.durable_bandwidth()
+        );
+    }
+
+    #[test]
+    fn tiny_buffers_block_apps() {
+        // §II-3: "asynchronicity is limited by the total and limited
+        // amounts of buffer space" — one buffered write's worth of space
+        // collapses apparent bandwidth toward durable bandwidth.
+        let p = plan(16, 32 * MIB);
+        let roomy = StagingOpts {
+            stagers: 2,
+            buffer_bytes: GIB,
+            targets: 2,
+        };
+        let tight = StagingOpts {
+            stagers: 2,
+            buffer_bytes: 33 * MIB,
+            targets: 2,
+        };
+        let fast = run_staged(&testbed(), &p, &roomy, 3);
+        let slow = run_staged(&testbed(), &p, &tight, 3);
+        assert!(
+            slow.app_span() > 3.0 * fast.app_span(),
+            "tight buffers must block: roomy {} vs tight {}",
+            fast.app_span(),
+            slow.app_span()
+        );
+    }
+
+    #[test]
+    fn drains_conserve_bytes() {
+        let p = plan(12, 8 * MIB);
+        let opts = StagingOpts {
+            stagers: 3,
+            buffer_bytes: 64 * MIB,
+            targets: 3,
+        };
+        let res = run_staged(&testbed(), &p, &opts, 4);
+        let drained: u64 = res.drains.iter().map(|d| d.bytes).sum();
+        assert_eq!(drained, res.total_bytes);
+    }
+
+    #[test]
+    fn staging_is_deterministic() {
+        let p = plan(8, 4 * MIB);
+        let opts = StagingOpts {
+            stagers: 2,
+            buffer_bytes: 16 * MIB,
+            targets: 2,
+        };
+        let a = run_staged(&testbed(), &p, &opts, 9);
+        let b = run_staged(&testbed(), &p, &opts, 9);
+        assert_eq!(a.drain_span(), b.drain_span());
+        assert_eq!(a.app_span(), b.app_span());
+    }
+}

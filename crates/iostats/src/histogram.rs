@@ -1,0 +1,150 @@
+//! Fixed-bin histograms (Figure 2 of the paper: the distribution of IO
+//! bandwidth samples under external interference).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of the first bin.
+    pub lo: f64,
+    /// Upper edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Samples below `lo` (kept, not dropped).
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Build with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "bad histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Build covering the full range of `samples` with `bins` bins, then
+    /// fill it.
+    pub fn of(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty());
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if hi <= lo {
+            hi = lo + 1.0; // degenerate: all samples equal
+        }
+        // Nudge hi so the max sample lands in the last bin, not overflow.
+        let mut h = Histogram::new(lo, hi * (1.0 + 1e-12) + 1e-300, bins);
+        for &x in samples {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Insert one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Centre value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Render as ASCII rows: `center | #### count`, scaled to `width`.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().cloned().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = (c as usize * width) / max as usize;
+            out.push_str(&format!(
+                "{:>12.1} | {:<w$} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar_len),
+                c,
+                w = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.add(x);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.5);
+        h.add(1.0);
+        h.add(2.0);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn of_covers_all_samples() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::of(&samples, 10);
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn of_handles_constant_samples() {
+        let h = Histogram::of(&[5.0; 10], 4);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.underflow + h.overflow, 0);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_shows_all_bins() {
+        let h = Histogram::of(&[1.0, 2.0, 2.0, 3.0], 3);
+        let r = h.render(20);
+        assert_eq!(r.lines().count(), 3);
+        assert!(r.contains('#'));
+    }
+}

@@ -1,0 +1,99 @@
+//! Imbalance factors.
+//!
+//! §II-2 of the paper: "we define the imbalance factor of each IO action
+//! to be the ratio of the slowest vs. fastest write times across all
+//! writers." The paper's external-interference tests observed per-sample
+//! factors of 3.44 and 1.18 three minutes apart, and an overall average
+//! of 3.79.
+
+/// Imbalance factor of one IO action: slowest / fastest per-writer time.
+///
+/// Panics on empty input or non-positive times (both indicate a broken
+/// experiment harness, not a data condition).
+pub fn imbalance_factor(per_writer_times: &[f64]) -> f64 {
+    assert!(!per_writer_times.is_empty(), "no writer times");
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    for &t in per_writer_times {
+        assert!(t > 0.0, "non-positive write time {t}");
+        min = min.min(t);
+        max = max.max(t);
+    }
+    max / min
+}
+
+/// Mean imbalance factor across many IO actions (the paper's 3.79).
+pub fn mean_imbalance(actions: &[Vec<f64>]) -> f64 {
+    assert!(!actions.is_empty());
+    actions.iter().map(|a| imbalance_factor(a)).sum::<f64>() / actions.len() as f64
+}
+
+/// How much more data the fastest writer's target could have absorbed than
+/// the slowest's in the same wall time (§II-2: "nearly twice as much data
+/// could be written to the faster storage target"). Equal to the imbalance
+/// factor under equal per-writer sizes; provided separately for sizes that
+/// differ.
+pub fn capacity_ratio(bytes: &[u64], times: &[f64]) -> f64 {
+    assert_eq!(bytes.len(), times.len());
+    assert!(!bytes.is_empty());
+    let mut fastest = 0.0f64;
+    let mut slowest = f64::INFINITY;
+    for (&b, &t) in bytes.iter().zip(times) {
+        assert!(t > 0.0);
+        let bw = b as f64 / t;
+        fastest = fastest.max(bw);
+        slowest = slowest.min(bw);
+    }
+    fastest / slowest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_of_uniform_times_is_one() {
+        assert_eq!(imbalance_factor(&[2.0, 2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn factor_matches_paper_example() {
+        // A 3.44x spread like the paper's Test 1.
+        let f = imbalance_factor(&[1.0, 2.0, 3.44]);
+        assert!((f - 3.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_actions() {
+        let m = mean_imbalance(&[vec![1.0, 2.0], vec![1.0, 4.0]]);
+        assert!((m - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_ratio_equal_sizes_matches_imbalance() {
+        let times = [1.0, 1.7, 2.6];
+        let bytes = [128u64 << 20; 3];
+        let c = capacity_ratio(&bytes, &times);
+        let f = imbalance_factor(&times);
+        assert!((c - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_ratio_uneven_sizes() {
+        // Writer 0: 100 B in 1 s = 100 B/s; writer 1: 400 B in 2 s = 200 B/s.
+        let c = capacity_ratio(&[100, 400], &[1.0, 2.0]);
+        assert!((c - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no writer times")]
+    fn empty_panics() {
+        imbalance_factor(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_time_panics() {
+        imbalance_factor(&[0.0, 1.0]);
+    }
+}

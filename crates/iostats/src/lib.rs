@@ -1,0 +1,18 @@
+//! # iostats — statistics for the IO variability experiments
+//!
+//! The quantities the paper reports: sample summaries (average bandwidth,
+//! standard deviation, and Table I's "covariance" — the coefficient of
+//! variation), histograms (Fig. 2), imbalance factors (§II-2, Fig. 3),
+//! plus the text/CSV table rendering every benchmark harness uses.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod imbalance;
+pub mod summary;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use imbalance::{capacity_ratio, imbalance_factor, mean_imbalance};
+pub use summary::{quantile, Summary};
+pub use table::{fmt_mibps, Table};

@@ -1,0 +1,143 @@
+//! Summary statistics over bandwidth/time samples.
+//!
+//! Matches what the paper reports: average, standard deviation, and the
+//! "covariance" column of Table I — which, from the numbers shown, is the
+//! *coefficient of variation* (stddev / mean, as a percentage). We keep
+//! the paper's terminology in table headers but name the quantity
+//! correctly in the API.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one sample set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute over a slice. Panics on an empty slice (a summary of
+    /// nothing is a caller bug in an experiment harness).
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of empty sample set");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean) — the paper's
+    /// "covariance" column, as a fraction (0.43 = 43 %).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample set, by linear interpolation
+/// on the sorted samples.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let pos = q * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let frac = pos - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.std_dev - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_matches_ratio() {
+        let s = Summary::of(&[10.0, 20.0, 30.0]);
+        assert!((s.cv() - s.std_dev / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_of_zero_mean_is_zero() {
+        let s = Summary::of(&[-1.0, 1.0]);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+        // Interpolated.
+        assert!((quantile(&xs, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+}

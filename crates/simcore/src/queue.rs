@@ -1,0 +1,271 @@
+//! The event queue: a timestamped priority queue with stable ordering and
+//! cancellation.
+//!
+//! Two properties matter for reproducibility and model correctness:
+//!
+//! 1. **Stable tie-breaking** — events scheduled for the same instant pop in
+//!    the order they were scheduled (FIFO), so simulation results never
+//!    depend on heap internals.
+//! 2. **Cancellation** — processor-sharing servers must *re-plan* completion
+//!    events whenever their load changes. Cancelling by [`EventToken`]
+//!    lazily marks entries dead; dead entries are skipped on pop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Handle identifying one scheduled event, usable to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    token: EventToken,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time (then lowest
+        // seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Tokens of scheduled events that have neither fired nor been
+    /// cancelled. Membership here is the single source of truth for
+    /// liveness; heap entries whose token is absent are skipped on pop.
+    pending: HashSet<EventToken>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `time`, returning a cancellation
+    /// token.
+    ///
+    /// Panics if `time` is in the past (before the last popped event): a
+    /// DES must never schedule backwards.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+        assert!(
+            time >= self.now,
+            "scheduled event at {time:?} before now {:?}",
+            self.now
+        );
+        let token = EventToken(self.next_seq);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            token,
+            event,
+        });
+        self.next_seq += 1;
+        self.pending.insert(token);
+        token
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now dead), `false` if it had already fired or
+    /// been cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.pending.remove(&token)
+    }
+
+    /// Pop the next live event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.pending.remove(&entry.token) {
+                continue; // cancelled event
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Peek at the timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain dead entries from the top so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.token) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop().unwrap(), (t(10), "a"));
+        assert_eq!(q.pop().unwrap(), (t(20), "b"));
+        assert_eq!(q.pop().unwrap(), (t(30), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.schedule(t(20), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), t(10));
+        q.pop();
+        assert_eq!(q.now(), t(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel returns false");
+        assert_eq!(q.pop().unwrap(), (t(20), "b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), ());
+        q.schedule(t(20), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), ());
+        q.schedule(t(20), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(20)));
+    }
+
+    #[test]
+    fn cancel_of_fired_event_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), ());
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // Schedule relative to now.
+        let next = q.now() + SimDuration::from_nanos(5);
+        q.schedule(next, 2);
+        assert_eq!(q.pop().unwrap(), (t(15), 2));
+    }
+
+    #[test]
+    fn large_volume_ordering() {
+        let mut q = EventQueue::new();
+        let mut rng = crate::rng::Rng::new(99);
+        for i in 0..10_000u64 {
+            q.schedule(t(rng.below(1000)), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((time, _)) = q.pop() {
+            assert!(time >= last);
+            last = time;
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic random number generation and distributions.
+//!
+//! The simulators need many *independent, reproducible* random streams: one
+//! per OST noise process, one per workload, one per interference job. We use
+//! SplitMix64 to derive stream seeds from a master seed and xoshiro256** as
+//! the stream generator (the same construction the `rand` ecosystem
+//! recommends for simulation work; implemented locally so the exact bit
+//! streams are pinned by this crate, not by an external crate version).
+//!
+//! Distribution sampling (exponential, normal, lognormal, bounded Pareto)
+//! lives here too because every storage model parameter is expressed in
+//! terms of these.
+
+/// SplitMix64: a tiny, high-quality 64-bit PRNG used to expand one master
+/// seed into arbitrarily many independent stream seeds.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a seed-expander from a master seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derive a fresh, independent [`Rng`] stream.
+    pub fn stream(&mut self) -> Rng {
+        Rng::from_seed([
+            self.next_u64(),
+            self.next_u64(),
+            self.next_u64(),
+            self.next_u64(),
+        ])
+    }
+}
+
+/// xoshiro256** — the workhorse stream generator.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush; ideal for
+/// simulation (not for cryptography).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Construct from a single `u64` seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64::new(seed).stream()
+    }
+
+    /// Construct directly from 256 bits of state.
+    ///
+    /// All-zero state is invalid for xoshiro; it is remapped to a fixed
+    /// non-zero constant.
+    pub fn from_seed(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s = [0xDEAD_BEEF, 0xCAFE_F00D, 0x0123_4567, 0x89AB_CDEF];
+        }
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's unbiased method.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential variate with the given mean (`mean = 1/λ`).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Avoid ln(0): f64() < 1 so 1 - f64() > 0.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal variate (Box–Muller; one value per call for
+    /// simplicity — service-time sampling is not a hot path).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.f64(); // (0, 1]
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal variate with given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Lognormal variate parameterised by the *underlying* normal's
+    /// `mu`/`sigma` (i.e. `exp(N(mu, sigma))`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Bounded Pareto variate on `[lo, hi]` with shape `alpha`.
+    ///
+    /// Heavy-tailed; used for interference burst depths. Inverse-CDF
+    /// sampling of the truncated Pareto.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // F^{-1}(u) for truncated Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose from empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should differ almost everywhere");
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = Rng::from_seed([0; 4]);
+        // Must not be a constant-zero generator.
+        let xs: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(xs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::new(11);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = r.below(10) as usize;
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = Rng::new(13);
+        let n = 200_000;
+        let mean = 3.0;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let est = sum / n as f64;
+        assert!((est - mean).abs() < 0.05 * mean, "exp mean {est} vs {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = Rng::new(17);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = Rng::new(19);
+        for _ in 0..10_000 {
+            assert!(r.lognormal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut r = Rng::new(23);
+        for _ in 0..10_000 {
+            let x = r.bounded_pareto(1.5, 1.0, 100.0);
+            assert!((1.0..=100.0 + 1e-9).contains(&x), "pareto out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed_but_mostly_small() {
+        let mut r = Rng::new(29);
+        let n = 50_000;
+        let big = (0..n)
+            .filter(|_| r.bounded_pareto(1.5, 1.0, 100.0) > 10.0)
+            .count();
+        // For alpha=1.5 on [1,100], P(X>10) ≈ 3%.
+        let frac = big as f64 / n as f64;
+        assert!(frac > 0.005 && frac < 0.10, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(31);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut r = Rng::new(37);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(r.choose(&xs)));
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Rng::new(41);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "chance frac {frac}");
+    }
+}

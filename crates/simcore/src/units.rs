@@ -1,0 +1,196 @@
+//! Byte-size and bandwidth units.
+//!
+//! The paper reports sizes in binary megabytes (MB == MiB throughout HPC
+//! practice of the era) and bandwidths in MB/sec or GB/sec. We keep sizes as
+//! `u64` bytes and bandwidths as a newtype over `f64` bytes/second.
+
+use core::fmt;
+
+use crate::time::SimDuration;
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: u64 = 1 << 10;
+/// One mebibyte (2^20 bytes).
+pub const MIB: u64 = 1 << 20;
+/// One gibibyte (2^30 bytes).
+pub const GIB: u64 = 1 << 30;
+/// One tebibyte (2^40 bytes).
+pub const TIB: u64 = 1 << 40;
+
+/// A data rate in bytes per second.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// From raw bytes/second.
+    #[inline]
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        debug_assert!(bps.is_finite() && bps >= 0.0, "bad bandwidth {bps}");
+        Bandwidth(bps)
+    }
+
+    /// From MiB/second (the paper's MB/sec).
+    #[inline]
+    pub fn from_mib_per_sec(mibps: f64) -> Self {
+        Self::from_bytes_per_sec(mibps * MIB as f64)
+    }
+
+    /// From GiB/second (the paper's GB/sec).
+    #[inline]
+    pub fn from_gib_per_sec(gibps: f64) -> Self {
+        Self::from_bytes_per_sec(gibps * GIB as f64)
+    }
+
+    /// Raw bytes/second.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// MiB/second.
+    #[inline]
+    pub fn mib_per_sec(self) -> f64 {
+        self.0 / MIB as f64
+    }
+
+    /// GiB/second.
+    #[inline]
+    pub fn gib_per_sec(self) -> f64 {
+        self.0 / GIB as f64
+    }
+
+    /// Time needed to move `bytes` at this rate.
+    ///
+    /// Panics if the bandwidth is zero (a model should never divide by a
+    /// zero service rate; stalled transfers are represented by rescheduling,
+    /// not by infinite durations).
+    #[inline]
+    pub fn time_for(self, bytes: u64) -> SimDuration {
+        assert!(self.0 > 0.0, "time_for on zero bandwidth");
+        SimDuration::from_secs_f64(bytes as f64 / self.0)
+    }
+
+    /// Scale by a dimensionless factor (e.g. an interference slowdown).
+    #[inline]
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.0 * factor)
+    }
+}
+
+/// Compute the achieved bandwidth of moving `bytes` in `elapsed`.
+///
+/// Returns zero bandwidth for a zero duration (degenerate but safe; only
+/// hit by zero-size operations).
+pub fn achieved(bytes: u64, elapsed: SimDuration) -> Bandwidth {
+    if elapsed.is_zero() {
+        return Bandwidth::ZERO;
+    }
+    Bandwidth::from_bytes_per_sec(bytes as f64 / elapsed.as_secs_f64())
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= GIB as f64 {
+            write!(f, "{:.2} GiB/s", self.gib_per_sec())
+        } else if b >= MIB as f64 {
+            write!(f, "{:.2} MiB/s", self.mib_per_sec())
+        } else {
+            write!(f, "{b:.0} B/s")
+        }
+    }
+}
+
+/// Render a byte count with a binary-unit suffix (for tables/logs).
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= TIB && bytes.is_multiple_of(TIB) {
+        format!("{} TiB", bytes / TIB)
+    } else if bytes >= GIB && bytes.is_multiple_of(GIB) {
+        format!("{} GiB", bytes / GIB)
+    } else if bytes >= MIB && bytes.is_multiple_of(MIB) {
+        format!("{} MiB", bytes / MIB)
+    } else if bytes >= KIB && bytes.is_multiple_of(KIB) {
+        format!("{} KiB", bytes / KIB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(KIB, 1024);
+        assert_eq!(MIB, 1024 * 1024);
+        assert_eq!(GIB, 1024 * MIB);
+        assert_eq!(TIB, 1024 * GIB);
+    }
+
+    #[test]
+    fn bandwidth_conversions_roundtrip() {
+        let b = Bandwidth::from_mib_per_sec(180.0);
+        assert!((b.mib_per_sec() - 180.0).abs() < 1e-9);
+        let g = Bandwidth::from_gib_per_sec(2.0);
+        assert!((g.mib_per_sec() - 2048.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_for_is_exact() {
+        let b = Bandwidth::from_mib_per_sec(100.0);
+        let d = b.time_for(200 * MIB);
+        assert!((d.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn achieved_inverts_time_for() {
+        let b = Bandwidth::from_mib_per_sec(180.0);
+        let bytes = 128 * MIB;
+        let d = b.time_for(bytes);
+        let back = achieved(bytes, d);
+        assert!((back.mib_per_sec() - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn achieved_zero_duration_is_zero() {
+        assert_eq!(achieved(100, SimDuration::ZERO).bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn scaled_applies_factor() {
+        let b = Bandwidth::from_mib_per_sec(100.0).scaled(0.5);
+        assert!((b.mib_per_sec() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(
+            format!("{}", Bandwidth::from_gib_per_sec(1.5)),
+            "1.50 GiB/s"
+        );
+        assert_eq!(
+            format!("{}", Bandwidth::from_mib_per_sec(12.0)),
+            "12.00 MiB/s"
+        );
+        assert_eq!(format!("{}", Bandwidth::from_bytes_per_sec(10.0)), "10 B/s");
+    }
+
+    #[test]
+    fn fmt_bytes_picks_unit() {
+        assert_eq!(fmt_bytes(2 * MIB), "2 MiB");
+        assert_eq!(fmt_bytes(GIB), "1 GiB");
+        assert_eq!(fmt_bytes(3 * TIB), "3 TiB");
+        assert_eq!(fmt_bytes(1536), "1536 B");
+        assert_eq!(fmt_bytes(4 * KIB), "4 KiB");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn time_for_zero_bandwidth_panics() {
+        Bandwidth::ZERO.time_for(1);
+    }
+}

@@ -1,0 +1,306 @@
+//! File layout: striping of logical files across storage targets.
+//!
+//! Mirrors Lustre 1.6 semantics as the paper relies on them:
+//!
+//! * a file has a stripe size, a stripe count and an ordered list of OSTs;
+//! * **stripe count is capped at 160 for a single file** (paper §I — the
+//!   structural reason the MPI-IO baseline cannot exceed ~28 GB/s);
+//! * OSTs are assigned round-robin from a moving allocation cursor (so
+//!   files spread across the system), or pinned explicitly (the adaptive
+//!   method pins one file per target).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a storage target within a machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct OstId(pub usize);
+
+/// Handle to a created file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// How a new file should be striped.
+#[derive(Clone, Debug)]
+pub enum StripeSpec {
+    /// Use the file system's default stripe count, allocated round-robin.
+    Default,
+    /// Stripe over `count` targets (clamped to the per-file maximum),
+    /// allocated round-robin.
+    Count(usize),
+    /// Pin the file to exactly these targets, in order (clamped to the
+    /// per-file maximum). Used by the adaptive method (one file per OST)
+    /// and by IOR file-per-process placement.
+    Pinned(Vec<OstId>),
+}
+
+/// Metadata of one created file.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    /// Path-like name (for diagnostics and the object store).
+    pub name: String,
+    /// Stripe width in bytes.
+    pub stripe_size: u64,
+    /// Targets, in stripe order.
+    pub osts: Vec<OstId>,
+    /// Current size (high-water mark of writes).
+    pub size: u64,
+    /// The stripe count originally requested (before clamping).
+    pub requested_stripes: usize,
+}
+
+/// The striping/allocation layer of the simulated file system.
+#[derive(Clone, Debug)]
+pub struct FileSystem {
+    ost_count: usize,
+    max_stripe_count: usize,
+    default_stripe_count: usize,
+    default_stripe_size: u64,
+    alloc_cursor: usize,
+    files: Vec<FileMeta>,
+}
+
+impl FileSystem {
+    /// Create an empty file system over `ost_count` targets.
+    pub fn new(
+        ost_count: usize,
+        max_stripe_count: usize,
+        default_stripe_count: usize,
+        default_stripe_size: u64,
+    ) -> Self {
+        assert!(ost_count > 0 && default_stripe_count > 0 && default_stripe_size > 0);
+        FileSystem {
+            ost_count,
+            max_stripe_count: max_stripe_count.min(ost_count),
+            default_stripe_count: default_stripe_count.min(ost_count),
+            default_stripe_size,
+            alloc_cursor: 0,
+            files: Vec::new(),
+        }
+    }
+
+    /// Number of files created so far.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The per-file stripe-count limit (Lustre 1.6: 160).
+    pub fn max_stripe_count(&self) -> usize {
+        self.max_stripe_count
+    }
+
+    /// Create a file; returns its handle.
+    pub fn create(&mut self, name: impl Into<String>, spec: StripeSpec) -> FileId {
+        let (osts, requested) = match spec {
+            StripeSpec::Default => (self.alloc_round_robin(self.default_stripe_count), self.default_stripe_count),
+            StripeSpec::Count(c) => {
+                let granted = c.min(self.max_stripe_count).max(1);
+                (self.alloc_round_robin(granted), c)
+            }
+            StripeSpec::Pinned(list) => {
+                assert!(!list.is_empty(), "pinned stripe list empty");
+                let requested = list.len();
+                let mut osts = list;
+                for o in &osts {
+                    assert!(o.0 < self.ost_count, "OST {o:?} out of range");
+                }
+                osts.truncate(self.max_stripe_count);
+                (osts, requested)
+            }
+        };
+        let id = FileId(self.files.len() as u32);
+        self.files.push(FileMeta {
+            name: name.into(),
+            stripe_size: self.default_stripe_size,
+            osts,
+            size: 0,
+            requested_stripes: requested,
+        });
+        id
+    }
+
+    fn alloc_round_robin(&mut self, count: usize) -> Vec<OstId> {
+        let count = count.min(self.ost_count);
+        let mut osts = Vec::with_capacity(count);
+        for i in 0..count {
+            osts.push(OstId((self.alloc_cursor + i) % self.ost_count));
+        }
+        self.alloc_cursor = (self.alloc_cursor + count) % self.ost_count;
+        osts
+    }
+
+    /// Look up a file's metadata.
+    pub fn meta(&self, id: FileId) -> &FileMeta {
+        &self.files[id.0 as usize]
+    }
+
+    /// Override a file's stripe size (must happen before any data lands;
+    /// Lustre fixes striping at create time, and so do we).
+    pub fn set_stripe_size(&mut self, id: FileId, stripe_size: u64) {
+        let meta = &mut self.files[id.0 as usize];
+        assert_eq!(meta.size, 0, "cannot restripe a non-empty file");
+        assert!(stripe_size > 0);
+        meta.stripe_size = stripe_size;
+    }
+
+    /// Map a contiguous byte range of a file onto per-OST byte counts,
+    /// aggregated per target and sorted by OST id (deterministic).
+    ///
+    /// Also bumps the file's size high-water mark (ranges model writes; for
+    /// reads the bump is a harmless no-op because reads land within the
+    /// existing size in all our workloads).
+    pub fn map_range(&mut self, id: FileId, offset: u64, len: u64) -> Vec<(OstId, u64)> {
+        let meta = &mut self.files[id.0 as usize];
+        meta.size = meta.size.max(offset + len);
+        map_stripes(meta.stripe_size, &meta.osts, offset, len)
+    }
+}
+
+/// Pure striping arithmetic: how many bytes of `[offset, offset+len)` land
+/// on each OST of a `stripe_size`-striped file.
+pub fn map_stripes(stripe_size: u64, osts: &[OstId], offset: u64, len: u64) -> Vec<(OstId, u64)> {
+    assert!(!osts.is_empty());
+    if len == 0 {
+        return Vec::new();
+    }
+    let n = osts.len() as u64;
+    let mut per_ost: Vec<u64> = vec![0; osts.len()];
+    // Walk stripe-aligned pieces. For large ranges this is
+    // O(len/stripe_size); ranges in the simulator are at most a few GiB
+    // with MiB stripes, i.e. a few thousand iterations.
+    let mut pos = offset;
+    let end = offset + len;
+    while pos < end {
+        let stripe_idx = pos / stripe_size;
+        let within = pos % stripe_size;
+        let take = (stripe_size - within).min(end - pos);
+        let ost_slot = (stripe_idx % n) as usize;
+        per_ost[ost_slot] += take;
+        pos += take;
+    }
+    osts.iter()
+        .zip(per_ost)
+        .filter(|&(_, b)| b > 0)
+        .map(|(&o, b)| (o, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MIB;
+
+    fn fs() -> FileSystem {
+        FileSystem::new(16, 8, 4, MIB)
+    }
+
+    #[test]
+    fn default_striping_uses_default_count() {
+        let mut f = fs();
+        let id = f.create("a", StripeSpec::Default);
+        assert_eq!(f.meta(id).osts.len(), 4);
+    }
+
+    #[test]
+    fn stripe_count_is_clamped_to_max() {
+        let mut f = fs(); // max stripe 8
+        let id = f.create("big", StripeSpec::Count(160));
+        assert_eq!(f.meta(id).osts.len(), 8, "Lustre clamps to the limit");
+        assert_eq!(f.meta(id).requested_stripes, 160);
+    }
+
+    #[test]
+    fn round_robin_allocation_moves_cursor() {
+        let mut f = fs();
+        let a = f.create("a", StripeSpec::Count(4));
+        let b = f.create("b", StripeSpec::Count(4));
+        assert_eq!(f.meta(a).osts, vec![OstId(0), OstId(1), OstId(2), OstId(3)]);
+        assert_eq!(f.meta(b).osts, vec![OstId(4), OstId(5), OstId(6), OstId(7)]);
+    }
+
+    #[test]
+    fn allocation_wraps_around() {
+        let mut f = FileSystem::new(4, 4, 2, MIB);
+        f.create("a", StripeSpec::Count(3));
+        let b = f.create("b", StripeSpec::Count(3));
+        assert_eq!(f.meta(b).osts, vec![OstId(3), OstId(0), OstId(1)]);
+    }
+
+    #[test]
+    fn pinned_placement_is_respected() {
+        let mut f = fs();
+        let id = f.create("pin", StripeSpec::Pinned(vec![OstId(7)]));
+        assert_eq!(f.meta(id).osts, vec![OstId(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pinned_out_of_range_panics() {
+        let mut f = fs();
+        f.create("bad", StripeSpec::Pinned(vec![OstId(99)]));
+    }
+
+    #[test]
+    fn map_range_single_stripe() {
+        let mut f = fs();
+        let id = f.create("x", StripeSpec::Pinned(vec![OstId(3)]));
+        let m = f.map_range(id, 0, 10 * MIB);
+        assert_eq!(m, vec![(OstId(3), 10 * MIB)]);
+    }
+
+    #[test]
+    fn map_range_distributes_evenly_when_aligned() {
+        let mut f = fs();
+        let id = f.create("x", StripeSpec::Count(4));
+        let m = f.map_range(id, 0, 8 * MIB); // 8 stripes over 4 OSTs
+        assert_eq!(m.len(), 4);
+        for &(_, b) in &m {
+            assert_eq!(b, 2 * MIB);
+        }
+    }
+
+    #[test]
+    fn map_range_handles_unaligned_offsets() {
+        let osts = vec![OstId(0), OstId(1)];
+        // 1 MiB stripes; range [512 KiB, 1.5 MiB) = 512 KiB on stripe 0
+        // (OST 0) + 512 KiB on stripe 1 (OST 1).
+        let m = map_stripes(MIB, &osts, MIB / 2, MIB);
+        assert_eq!(m, vec![(OstId(0), MIB / 2), (OstId(1), MIB / 2)]);
+    }
+
+    #[test]
+    fn map_range_total_bytes_conserved() {
+        let osts: Vec<OstId> = (0..7).map(OstId).collect();
+        for (off, len) in [(0u64, 13 * MIB + 7), (MIB * 3 + 123, 29 * MIB + 1), (5, 1)] {
+            let m = map_stripes(MIB, &osts, off, len);
+            let total: u64 = m.iter().map(|&(_, b)| b).sum();
+            assert_eq!(total, len, "off {off} len {len}");
+        }
+    }
+
+    #[test]
+    fn map_range_empty_for_zero_len() {
+        let m = map_stripes(MIB, &[OstId(0)], 10, 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn size_high_water_mark_grows() {
+        let mut f = fs();
+        let id = f.create("x", StripeSpec::Default);
+        f.map_range(id, 0, MIB);
+        assert_eq!(f.meta(id).size, MIB);
+        f.map_range(id, 10 * MIB, MIB);
+        assert_eq!(f.meta(id).size, 11 * MIB);
+        f.map_range(id, 0, MIB); // rewrite below high-water mark
+        assert_eq!(f.meta(id).size, 11 * MIB);
+    }
+
+    #[test]
+    fn stripe_walk_is_round_robin() {
+        let osts = vec![OstId(5), OstId(9), OstId(2)];
+        let m = map_stripes(MIB, &osts, 0, 3 * MIB);
+        // Preserves the file's OST order, sorted output only by position in
+        // the stripe list.
+        assert_eq!(m, vec![(OstId(5), MIB), (OstId(9), MIB), (OstId(2), MIB)]);
+    }
+}

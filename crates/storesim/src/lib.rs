@@ -1,0 +1,36 @@
+//! # storesim — petascale parallel-storage simulator
+//!
+//! The storage substrate of the managed-io reproduction of *Managing
+//! Variability in the IO Performance of Petascale Storage Systems*
+//! (Lofstead et al., SC 2010). The paper measured real Lustre and PanFS
+//! deployments; this crate provides a deterministic, discrete-event model
+//! of the same phenomena:
+//!
+//! * [`ost`] — storage targets as processor-sharing servers with write-back
+//!   caches, per-stream caps, contention penalties (**internal
+//!   interference**) and external-noise scaling (**external interference**).
+//! * [`noise`] — per-OST Markov-modulated slowdown processes.
+//! * [`mds`] — the metadata server (open storms, stagger-open motivation).
+//! * [`layout`] — striped files and the Lustre 160-OST single-file limit.
+//! * [`system`] — the composed [`StorageSystem`](system::StorageSystem)
+//!   with a co-simulation interface (submit / next_event_time / advance_to)
+//!   and the paper's artificial-interference background streams.
+//! * [`object`] — an in-memory object store for real-byte format tests.
+//! * [`params`] — every model constant, with machine presets for Jaguar,
+//!   Franklin, XTP and a small testbed.
+
+#![warn(missing_docs)]
+
+pub mod jobs;
+pub mod layout;
+pub mod mds;
+pub mod noise;
+pub mod object;
+pub mod ost;
+pub mod params;
+pub mod system;
+
+pub use layout::{FileId, FileSystem, OstId, StripeSpec};
+pub use object::ObjectStore;
+pub use params::{JobNoiseParams, MachineConfig, MdsParams, MicroNoiseParams, NoiseParams, OstParams};
+pub use system::{CompletionKind, StorageCompletion, StorageSystem};

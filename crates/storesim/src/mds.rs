@@ -1,0 +1,265 @@
+//! The metadata server (MDS) model.
+//!
+//! Lustre 1.6 has a single metadata server; file opens/creates serialise
+//! through it. The paper's measurements deliberately *exclude* open/close
+//! times, but the middleware still pays them, and the stagger-open
+//! technique (referenced from the authors' CUG'09 work, implemented here as
+//! an ablation) exists precisely because a 100k-process open storm melts
+//! the MDS.
+//!
+//! Model: a single FIFO server. Service time of an operation admitted with
+//! queue depth `d` is `base * (1 + slowdown * log2(1 + d))` — deeper queues
+//! make *each* operation slower (lock contention, log pressure), which is
+//! the observed superlinear open-storm behaviour, without going fully
+//! quadratic.
+
+use std::collections::VecDeque;
+
+use simcore::{SimDuration, SimTime};
+
+use crate::ost::RequestId;
+use crate::params::MdsParams;
+
+/// Metadata operation kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetaOp {
+    /// Open-or-create of one file.
+    Open,
+    /// Close (cheap, but not free).
+    Close,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Waiting {
+    id: RequestId,
+    op: MetaOp,
+    /// Queue depth observed at admission (sets the service time).
+    depth_at_admit: usize,
+    submitted: SimTime,
+}
+
+/// A finished metadata operation.
+#[derive(Clone, Copy, Debug)]
+pub struct MdsCompletion {
+    /// The request that finished.
+    pub id: RequestId,
+    /// Admission time.
+    pub submitted: SimTime,
+    /// The operation performed.
+    pub op: MetaOp,
+}
+
+/// The metadata server.
+#[derive(Clone, Debug)]
+pub struct Mds {
+    params: MdsParams,
+    queue: VecDeque<Waiting>,
+    /// Currently served operation and its absolute finish time.
+    in_service: Option<(Waiting, SimTime)>,
+}
+
+impl Mds {
+    /// An idle MDS.
+    pub fn new(params: MdsParams) -> Self {
+        Mds {
+            params,
+            queue: VecDeque::new(),
+            in_service: None,
+        }
+    }
+
+    /// Queue depth including the in-service operation.
+    pub fn depth(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    fn service_time(&self, w: &Waiting) -> SimDuration {
+        let base = match w.op {
+            MetaOp::Open => self.params.open_base,
+            MetaOp::Close => self.params.close_base,
+        };
+        let slow = self.params.open_per_queued / self.params.open_base.max(1e-12);
+        let t = base * (1.0 + slow * ((1 + w.depth_at_admit) as f64).log2());
+        SimDuration::from_secs_f64(t)
+    }
+
+    fn maybe_start(&mut self, now: SimTime) {
+        if self.in_service.is_none() {
+            if let Some(w) = self.queue.pop_front() {
+                let done = now + self.service_time(&w);
+                self.in_service = Some((w, done));
+            }
+        }
+    }
+
+    /// Admit a metadata operation.
+    pub fn submit(&mut self, now: SimTime, id: RequestId, op: MetaOp) {
+        let w = Waiting {
+            id,
+            op,
+            depth_at_admit: self.depth(),
+            submitted: now,
+        };
+        self.queue.push_back(w);
+        self.maybe_start(now);
+    }
+
+    /// Absolute time of the next completion, if any.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.in_service.as_ref().map(|&(_, done)| done)
+    }
+
+    /// Complete everything finished by `now`.
+    pub fn advance(&mut self, now: SimTime) -> Vec<MdsCompletion> {
+        let mut out = Vec::new();
+        while let Some(&(w, done)) = self.in_service.as_ref() {
+            if done > now {
+                break;
+            }
+            out.push(MdsCompletion {
+                id: w.id,
+                submitted: w.submitted,
+                op: w.op,
+            });
+            self.in_service = None;
+            // The next op starts when the previous finished, not at `now`.
+            if let Some(next) = self.queue.pop_front() {
+                let next_done = done + self.service_time(&next);
+                self.in_service = Some((next, next_done));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::testbed;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn mds() -> Mds {
+        Mds::new(testbed().mds)
+    }
+
+    #[test]
+    fn single_open_takes_base_time() {
+        let p = testbed().mds;
+        let mut m = mds();
+        m.submit(SimTime::ZERO, RequestId(1), MetaOp::Open);
+        let done = m.next_completion().unwrap();
+        assert!((done.as_secs_f64() - p.open_base).abs() < 1e-9);
+        let c = m.advance(done);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].id, RequestId(1));
+    }
+
+    #[test]
+    fn close_is_cheaper_than_open() {
+        let mut m1 = mds();
+        m1.submit(SimTime::ZERO, RequestId(1), MetaOp::Open);
+        let open_done = m1.next_completion().unwrap();
+        let mut m2 = mds();
+        m2.submit(SimTime::ZERO, RequestId(1), MetaOp::Close);
+        let close_done = m2.next_completion().unwrap();
+        assert!(close_done < open_done);
+    }
+
+    #[test]
+    fn fifo_ordering() {
+        let mut m = mds();
+        for i in 0..5 {
+            m.submit(SimTime::ZERO, RequestId(i), MetaOp::Open);
+        }
+        let mut got = Vec::new();
+        while let Some(done) = m.next_completion() {
+            for c in m.advance(done) {
+                got.push(c.id.0);
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn open_storm_degrades_per_op_service() {
+        let p = testbed().mds;
+        // 64 simultaneous opens.
+        let mut m = mds();
+        for i in 0..64 {
+            m.submit(SimTime::ZERO, RequestId(i), MetaOp::Open);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(done) = m.next_completion() {
+            m.advance(done);
+            last = done;
+        }
+        let serial_floor = 64.0 * p.open_base;
+        assert!(
+            last.as_secs_f64() > 1.5 * serial_floor,
+            "storm should be superlinear: {last} vs floor {serial_floor}"
+        );
+    }
+
+    #[test]
+    fn staggered_opens_beat_the_storm() {
+        let p = testbed().mds;
+        // Same 64 opens, but arriving spaced out (stagger-open).
+        let gap = p.open_base * 1.5;
+        let mut m = mds();
+        let mut finish = SimTime::ZERO;
+        for i in 0..64u64 {
+            let at = t(i as f64 * gap);
+            m.submit(at, RequestId(i), MetaOp::Open);
+            while let Some(done) = m.next_completion() {
+                if done > at {
+                    break;
+                }
+                m.advance(done);
+                finish = done;
+            }
+        }
+        while let Some(done) = m.next_completion() {
+            m.advance(done);
+            finish = done;
+        }
+        // Staggered total ≈ 64*gap + base; a storm takes much longer per op.
+        let mut storm = mds();
+        for i in 0..64 {
+            storm.submit(SimTime::ZERO, RequestId(i), MetaOp::Open);
+        }
+        let mut storm_finish = SimTime::ZERO;
+        while let Some(done) = storm.next_completion() {
+            storm.advance(done);
+            storm_finish = done;
+        }
+        // Per-op *service* cost under stagger is lower even if wall time is
+        // dominated by the deliberate gaps.
+        let storm_per_op = storm_finish.as_secs_f64() / 64.0;
+        assert!(storm_per_op > p.open_base * 1.5);
+        assert!(finish.as_secs_f64() <= 64.0 * gap + p.open_base * 4.0);
+    }
+
+    #[test]
+    fn depth_counts_in_service() {
+        let mut m = mds();
+        assert_eq!(m.depth(), 0);
+        m.submit(SimTime::ZERO, RequestId(1), MetaOp::Open);
+        assert_eq!(m.depth(), 1);
+        m.submit(SimTime::ZERO, RequestId(2), MetaOp::Open);
+        assert_eq!(m.depth(), 2);
+        let done = m.next_completion().unwrap();
+        m.advance(done);
+        assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn advance_before_completion_returns_nothing() {
+        let mut m = mds();
+        m.submit(SimTime::ZERO, RequestId(1), MetaOp::Open);
+        assert!(m.advance(t(1e-9)).is_empty());
+        assert!(m.next_completion().is_some());
+    }
+}

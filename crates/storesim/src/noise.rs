@@ -1,0 +1,209 @@
+//! Per-OST micro-jitter: a shallow Markov-modulated slowdown.
+//!
+//! This is the *small* component of external interference: background
+//! scrubbing, RAID activity, uneven placement. It desynchronises targets
+//! so no two OSTs are ever exactly alike, but its depths are shallow
+//! (≤ ~1.4×). The paper's big transients — one target suddenly 3–4×
+//! slower — come from the competing-job model in [`crate::jobs`].
+//!
+//! Dwell times in each state are exponential; initial state is drawn from
+//! the stationary distribution so measurements need no warm-up.
+
+use simcore::{Rng, SimDuration};
+
+use crate::params::MicroNoiseParams;
+
+/// State of one OST's micro-jitter process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NoiseState {
+    /// No extra activity on this target.
+    Quiet,
+    /// Background activity shaving some throughput.
+    Busy,
+}
+
+/// One OST's micro-jitter process.
+#[derive(Clone, Debug)]
+pub struct NoiseProcess {
+    params: MicroNoiseParams,
+    state: NoiseState,
+    factor: f64,
+}
+
+impl NoiseProcess {
+    /// Create a process in its stationary distribution, returning the
+    /// process and the delay until its first transition. Disabled jitter
+    /// returns a quiet process with no transitions (`None`).
+    pub fn new(params: &MicroNoiseParams, rng: &mut Rng) -> (Self, Option<SimDuration>) {
+        if !params.enabled {
+            return (
+                NoiseProcess {
+                    params: params.clone(),
+                    state: NoiseState::Quiet,
+                    factor: 1.0,
+                },
+                None,
+            );
+        }
+        let p_busy = params.mean_busy / (params.mean_busy + params.mean_quiet);
+        let (state, factor) = if rng.chance(p_busy) {
+            (NoiseState::Busy, Self::draw_factor(params, rng))
+        } else {
+            (NoiseState::Quiet, 1.0)
+        };
+        let dwell = match state {
+            NoiseState::Quiet => params.mean_quiet,
+            NoiseState::Busy => params.mean_busy,
+        };
+        let delay = SimDuration::from_secs_f64(rng.exp(dwell));
+        (
+            NoiseProcess {
+                params: params.clone(),
+                state,
+                factor,
+            },
+            Some(delay),
+        )
+    }
+
+    fn draw_factor(params: &MicroNoiseParams, rng: &mut Rng) -> f64 {
+        if params.max_depth <= 1.0 {
+            return 1.0;
+        }
+        let depth = rng.bounded_pareto(params.depth_shape, 1.0, params.max_depth);
+        (1.0 / depth).clamp(1.0 / params.max_depth, 1.0)
+    }
+
+    /// Flip to the other state; returns the new slowdown factor and the
+    /// delay until the next transition.
+    pub fn transition(&mut self, rng: &mut Rng) -> (f64, SimDuration) {
+        match self.state {
+            NoiseState::Quiet => {
+                self.state = NoiseState::Busy;
+                self.factor = Self::draw_factor(&self.params, rng);
+                (
+                    self.factor,
+                    SimDuration::from_secs_f64(rng.exp(self.params.mean_busy)),
+                )
+            }
+            NoiseState::Busy => {
+                self.state = NoiseState::Quiet;
+                self.factor = 1.0;
+                (
+                    self.factor,
+                    SimDuration::from_secs_f64(rng.exp(self.params.mean_quiet)),
+                )
+            }
+        }
+    }
+
+    /// Current slowdown factor in (0, 1].
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Current state.
+    pub fn state(&self) -> NoiseState {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{jaguar, NoiseParams};
+    use simcore::Rng;
+
+    fn micro() -> MicroNoiseParams {
+        jaguar().noise.micro
+    }
+
+    #[test]
+    fn disabled_noise_is_quiet_forever() {
+        let mut rng = Rng::new(1);
+        let (p, delay) = NoiseProcess::new(&NoiseParams::quiet().micro, &mut rng);
+        assert_eq!(p.state(), NoiseState::Quiet);
+        assert_eq!(p.factor(), 1.0);
+        assert!(delay.is_none());
+    }
+
+    #[test]
+    fn factors_stay_shallow() {
+        let params = micro();
+        let mut rng = Rng::new(2);
+        let (mut p, _) = NoiseProcess::new(&params, &mut rng);
+        for _ in 0..1000 {
+            let (f, _) = p.transition(&mut rng);
+            assert!(f > 0.0 && f <= 1.0, "factor {f}");
+            assert!(
+                f >= 1.0 / params.max_depth - 1e-9,
+                "micro jitter must stay shallow: {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternates_states() {
+        let params = micro();
+        let mut rng = Rng::new(3);
+        let (mut p, _) = NoiseProcess::new(&params, &mut rng);
+        let first = p.state();
+        p.transition(&mut rng);
+        assert_ne!(p.state(), first);
+        p.transition(&mut rng);
+        assert_eq!(p.state(), first);
+    }
+
+    #[test]
+    fn quiet_state_has_unit_factor() {
+        let params = micro();
+        let mut rng = Rng::new(4);
+        let (mut p, _) = NoiseProcess::new(&params, &mut rng);
+        for _ in 0..10 {
+            p.transition(&mut rng);
+            if p.state() == NoiseState::Quiet {
+                assert_eq!(p.factor(), 1.0);
+            } else {
+                assert!(p.factor() < 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_initialisation_mixes_states() {
+        let params = micro();
+        let mut quiet = 0;
+        let mut busy = 0;
+        for seed in 0..500 {
+            let mut rng = Rng::new(seed);
+            let (p, _) = NoiseProcess::new(&params, &mut rng);
+            match p.state() {
+                NoiseState::Quiet => quiet += 1,
+                NoiseState::Busy => busy += 1,
+            }
+        }
+        // Stationary busy probability = 20/(20+45) ≈ 0.31.
+        assert!(busy > 80 && quiet > 250, "quiet {quiet} busy {busy}");
+    }
+
+    #[test]
+    fn dwell_times_match_means_roughly() {
+        let params = micro();
+        let mut rng = Rng::new(8);
+        let (mut p, _) = NoiseProcess::new(&params, &mut rng);
+        let mut busy_sum = 0.0;
+        let mut busy_n = 0;
+        for _ in 0..4000 {
+            let (_, dwell) = p.transition(&mut rng);
+            if p.state() == NoiseState::Busy {
+                busy_sum += dwell.as_secs_f64();
+                busy_n += 1;
+            }
+        }
+        let mean = busy_sum / busy_n as f64;
+        assert!(
+            (mean - params.mean_busy).abs() < 0.15 * params.mean_busy,
+            "busy dwell mean {mean}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! In-memory object store for real-byte mode.
+//!
+//! The discrete-event experiments move only byte *counts*; format-level
+//! correctness (BP indices, data characteristics, read-back) needs real
+//! bytes. The object store is the "disk contents" half of the simulated
+//! file system: a sparse byte array per [`FileId`], deliberately decoupled
+//! from timing so it can also back plain unit tests.
+
+use std::collections::HashMap;
+
+use crate::layout::FileId;
+
+/// A sparse in-memory backing store keyed by file.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectStore {
+    files: HashMap<u32, Vec<u8>>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write `data` at `offset` of `file`, growing the file (zero-filled)
+    /// as needed.
+    pub fn put(&mut self, file: FileId, offset: u64, data: &[u8]) {
+        let buf = self.files.entry(file.0).or_default();
+        let end = offset as usize + data.len();
+        if buf.len() < end {
+            buf.resize(end, 0);
+        }
+        buf[offset as usize..end].copy_from_slice(data);
+    }
+
+    /// Read `len` bytes at `offset`. Returns `None` if the range extends
+    /// past the end of the file (or the file does not exist).
+    pub fn get(&self, file: FileId, offset: u64, len: u64) -> Option<&[u8]> {
+        let buf = self.files.get(&file.0)?;
+        let start = offset as usize;
+        let end = start.checked_add(len as usize)?;
+        buf.get(start..end)
+    }
+
+    /// Current size of a file (0 if never written).
+    pub fn size(&self, file: FileId) -> u64 {
+        self.files.get(&file.0).map_or(0, |b| b.len() as u64)
+    }
+
+    /// Whether the file has ever been written.
+    pub fn exists(&self, file: FileId) -> bool {
+        self.files.contains_key(&file.0)
+    }
+
+    /// Total bytes held across all files (for memory accounting in tests).
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|b| b.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(n: u32) -> FileId {
+        FileId(n)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = ObjectStore::new();
+        s.put(f(0), 0, b"hello");
+        assert_eq!(s.get(f(0), 0, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn sparse_write_zero_fills_gap() {
+        let mut s = ObjectStore::new();
+        s.put(f(0), 4, b"xy");
+        assert_eq!(s.size(f(0)), 6);
+        assert_eq!(s.get(f(0), 0, 4).unwrap(), &[0, 0, 0, 0]);
+        assert_eq!(s.get(f(0), 4, 2).unwrap(), b"xy");
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let mut s = ObjectStore::new();
+        s.put(f(0), 0, b"aaaa");
+        s.put(f(0), 1, b"bb");
+        assert_eq!(s.get(f(0), 0, 4).unwrap(), b"abba");
+    }
+
+    #[test]
+    fn out_of_range_read_is_none() {
+        let mut s = ObjectStore::new();
+        s.put(f(0), 0, b"abc");
+        assert!(s.get(f(0), 1, 3).is_none());
+        assert!(s.get(f(1), 0, 1).is_none());
+    }
+
+    #[test]
+    fn files_are_independent() {
+        let mut s = ObjectStore::new();
+        s.put(f(0), 0, b"one");
+        s.put(f(1), 0, b"two");
+        assert_eq!(s.get(f(0), 0, 3).unwrap(), b"one");
+        assert_eq!(s.get(f(1), 0, 3).unwrap(), b"two");
+        assert_eq!(s.total_bytes(), 6);
+    }
+
+    #[test]
+    fn exists_and_size_defaults() {
+        let s = ObjectStore::new();
+        assert!(!s.exists(f(9)));
+        assert_eq!(s.size(f(9)), 0);
+    }
+}

@@ -1,0 +1,521 @@
+//! Model parameters and machine presets.
+//!
+//! Every constant that shapes simulated behaviour lives here, with the
+//! paper-facing justification next to it. Presets mirror the three machines
+//! of the paper's Section II:
+//!
+//! * [`jaguar`] — ORNL Jaguar XT5 scratch: 672-OST Lustre shared across the
+//!   centre; busy production noise.
+//! * [`franklin`] — NERSC Franklin XT4: 96-OST Lustre, also production-busy.
+//! * [`xtp`] — Sandia XTP: 40-target PanFS, non-production (quiet unless a
+//!   competing job is injected), low internal contention penalty.
+//! * [`testbed`] — a small, fast-to-simulate configuration for unit tests.
+
+use serde::{Deserialize, Serialize};
+use simcore::units::{Bandwidth, GIB, MIB};
+use simcore::SimDuration;
+
+/// Parameters of a single storage target (OST / StorageBlade).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OstParams {
+    /// Peak sequential write bandwidth of the backing storage, bytes/sec.
+    /// Paper §I: "per storage target theoretical maximum performance of
+    /// around 180 MB/sec"; sustained effective peak is lower.
+    pub disk_peak: f64,
+    /// Per-stream client-side cap (single writer cannot saturate a target
+    /// through one connection), bytes/sec.
+    pub stream_cap: f64,
+    /// Contention penalty: effective disk bandwidth with `n` concurrent
+    /// streams is `disk_peak / (1 + alpha * (n-1)^gamma)`. Models
+    /// seek/interleave losses that make aggregate bandwidth *decline* past a
+    /// few writers per target (paper Fig. 1).
+    pub contention_alpha: f64,
+    /// Exponent of the contention penalty.
+    pub contention_gamma: f64,
+    /// Write-back cache capacity, bytes. Paper §IV-A: bursts well under the
+    /// ~2 GB cache never touch the disk regime.
+    pub cache_capacity: u64,
+    /// Largest single request the write-back cache will absorb. Paper
+    /// Fig. 1: the 1 MB and 8 MB series benefit from OST caches while
+    /// 64 MB+ behave disk-bound from the start — large transfers are
+    /// written through.
+    pub cache_max_request: u64,
+    /// Peak cache-ingest bandwidth (absorbing writes into cache), bytes/sec.
+    pub cache_ingest_peak: f64,
+    /// Mild ingest contention: ingest with `k` concurrent cache streams is
+    /// `cache_ingest_peak / (1 + ingest_alpha * (k-1))`.
+    pub ingest_alpha: f64,
+    /// Cache drain rate to disk when the disk is otherwise idle, bytes/sec.
+    pub cache_drain: f64,
+    /// Fixed per-request overhead (RPC setup, allocation), seconds. Hits
+    /// small writes hardest — why per-writer bandwidth in Fig. 1(b) falls
+    /// with writer count even in the cache regime.
+    pub request_overhead: f64,
+}
+
+impl OstParams {
+    /// Effective disk bandwidth with `n` concurrent disk streams, before
+    /// external-noise scaling.
+    pub fn disk_eff(&self, n: usize) -> f64 {
+        if n == 0 {
+            return self.disk_peak;
+        }
+        self.disk_peak / (1.0 + self.contention_alpha * ((n - 1) as f64).powf(self.contention_gamma))
+    }
+
+    /// Effective cache-ingest bandwidth with `k` concurrent cache streams.
+    pub fn ingest_eff(&self, k: usize) -> f64 {
+        if k == 0 {
+            return self.cache_ingest_peak;
+        }
+        self.cache_ingest_peak / (1.0 + self.ingest_alpha * (k - 1) as f64)
+    }
+}
+
+/// Per-OST micro-jitter: a shallow two-state Markov modulation that
+/// desynchronises otherwise-identical targets (RAID rebuilds, scrubbing,
+/// uneven placement). Depths are small; the big transients come from
+/// [`JobNoiseParams`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MicroNoiseParams {
+    /// Whether micro-jitter is active.
+    pub enabled: bool,
+    /// Mean dwell in the quiet state, seconds.
+    pub mean_quiet: f64,
+    /// Mean dwell in the jittery state, seconds.
+    pub mean_busy: f64,
+    /// Pareto shape of the (shallow) slowdown depth.
+    pub depth_shape: f64,
+    /// Maximum micro slowdown depth (e.g. 1.35 ⇒ at worst 74 % speed).
+    pub max_depth: f64,
+}
+
+/// Competing-job load: Poisson arrivals of other applications'
+/// IO phases, each covering a stripe-width-sized contiguous OST range for
+/// an exponential duration with a bounded-Pareto depth. This is the
+/// paper's external interference: transient, localized, sometimes deep
+/// (imbalance 3.44), often absent (imbalance 1.18 three minutes later).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobNoiseParams {
+    /// Whether competing jobs are generated.
+    pub enabled: bool,
+    /// Mean time between job arrivals, seconds.
+    pub mean_interarrival: f64,
+    /// Mean duration of one job's IO phase, seconds.
+    pub mean_duration: f64,
+    /// Pareto shape of the slowdown depth (higher = lighter tail).
+    pub depth_shape: f64,
+    /// Minimum slowdown depth of an episode.
+    pub min_depth: f64,
+    /// Maximum slowdown depth.
+    pub max_depth: f64,
+    /// Stripe widths competing jobs use (sampled uniformly).
+    pub stripe_choices: Vec<u32>,
+}
+
+/// External-interference noise: micro-jitter plus competing jobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NoiseParams {
+    /// Shallow per-OST jitter.
+    pub micro: MicroNoiseParams,
+    /// Job-structured transients.
+    pub jobs: JobNoiseParams,
+}
+
+impl NoiseParams {
+    /// A completely quiet system (unit tests, controlled experiments).
+    pub fn quiet() -> Self {
+        NoiseParams {
+            micro: MicroNoiseParams {
+                enabled: false,
+                mean_quiet: 1.0,
+                mean_busy: 1.0,
+                depth_shape: 1.0,
+                max_depth: 1.0,
+            },
+            jobs: JobNoiseParams {
+                enabled: false,
+                mean_interarrival: 0.0,
+                mean_duration: 0.0,
+                depth_shape: 1.0,
+                min_depth: 1.0,
+                max_depth: 1.0,
+                stripe_choices: vec![4],
+            },
+        }
+    }
+}
+
+/// Metadata server parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MdsParams {
+    /// Base service time of one open/create, seconds.
+    pub open_base: f64,
+    /// Additional service time per already-queued operation, seconds —
+    /// models the serialisation the paper's stagger-open technique avoids.
+    pub open_per_queued: f64,
+    /// Base service time of a close, seconds.
+    pub close_base: f64,
+}
+
+/// A whole-machine configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable name for tables.
+    pub name: String,
+    /// Number of storage targets.
+    pub ost_count: usize,
+    /// Maximum stripe count for a single file (Lustre 1.6 limit: 160).
+    pub max_stripe_count: usize,
+    /// Default stripe count for newly created files (Jaguar default: 4).
+    pub default_stripe_count: usize,
+    /// Stripe width, bytes.
+    pub stripe_size: u64,
+    /// Per-target parameters.
+    pub ost: OstParams,
+    /// External-interference noise.
+    pub noise: NoiseParams,
+    /// Metadata server.
+    pub mds: MdsParams,
+    /// One-way latency of a control message between ranks, seconds.
+    pub msg_latency: f64,
+    /// Bandwidth applied to message payload sizes, bytes/sec.
+    pub msg_bandwidth: f64,
+    /// Cores per compute node (role placement groups consecutive ranks;
+    /// Jaguar XT5: 12).
+    pub cores_per_node: usize,
+}
+
+impl MachineConfig {
+    /// Theoretical aggregate peak (all OSTs at disk peak), for table
+    /// headers.
+    pub fn theoretical_peak(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.ost.disk_peak * self.ost_count as f64)
+    }
+
+    /// Convenience: typical duration to write `bytes` at the theoretical
+    /// peak (lower bound for sanity checks).
+    pub fn floor_time(&self, bytes: u64) -> SimDuration {
+        self.theoretical_peak().time_for(bytes)
+    }
+}
+
+fn lustre_ost() -> OstParams {
+    OstParams {
+        disk_peak: 140.0 * MIB as f64,
+        stream_cap: 110.0 * MIB as f64,
+        contention_alpha: 0.05,
+        contention_gamma: 0.8,
+        cache_capacity: 2 * GIB,
+        cache_max_request: 16 * MIB,
+        cache_ingest_peak: 170.0 * MIB as f64,
+        ingest_alpha: 0.006,
+        cache_drain: 120.0 * MIB as f64,
+        request_overhead: 0.0015,
+    }
+}
+
+fn production_micro() -> MicroNoiseParams {
+    MicroNoiseParams {
+        enabled: true,
+        mean_quiet: 45.0,
+        mean_busy: 20.0,
+        depth_shape: 2.2,
+        max_depth: 1.4,
+    }
+}
+
+/// ORNL Jaguar XT5 + 672-OST Lustre scratch (shared, production-busy).
+pub fn jaguar() -> MachineConfig {
+    MachineConfig {
+        name: "Jaguar/Lustre".to_string(),
+        ost_count: 672,
+        max_stripe_count: 160,
+        default_stripe_count: 4,
+        stripe_size: MIB,
+        ost: lustre_ost(),
+        noise: NoiseParams {
+            micro: production_micro(),
+            jobs: JobNoiseParams {
+                enabled: true,
+                mean_interarrival: 230.0,
+                mean_duration: 300.0,
+                depth_shape: 1.1,
+                min_depth: 1.5,
+                max_depth: 14.0,
+                stripe_choices: vec![4, 4, 8, 8, 16, 32, 64, 160],
+            },
+        },
+        mds: MdsParams {
+            open_base: 0.00008,
+            open_per_queued: 0.00003,
+            close_base: 0.00005,
+        },
+        msg_latency: 6.0e-6,
+        msg_bandwidth: 1.6e9,
+        cores_per_node: 12,
+    }
+}
+
+/// NERSC Franklin XT4 + 96-OST Lustre scratch (production-busy).
+pub fn franklin() -> MachineConfig {
+    MachineConfig {
+        name: "Franklin/Lustre".to_string(),
+        ost_count: 96,
+        max_stripe_count: 96,
+        default_stripe_count: 4,
+        stripe_size: MIB,
+        ost: lustre_ost(),
+        noise: NoiseParams {
+            micro: production_micro(),
+            jobs: JobNoiseParams {
+                enabled: true,
+                mean_interarrival: 200.0,
+                mean_duration: 260.0,
+                depth_shape: 1.25,
+                min_depth: 1.4,
+                max_depth: 10.0,
+                stripe_choices: vec![4, 4, 8, 16, 32, 96],
+            },
+        },
+        mds: MdsParams {
+            open_base: 0.00025,
+            open_per_queued: 0.00008,
+            close_base: 0.0001,
+        },
+        msg_latency: 8.0e-6,
+        msg_bandwidth: 1.2e9,
+        cores_per_node: 4,
+    }
+}
+
+/// Sandia XTP + 40-blade PanFS: small, quiet (non-production), and with a
+/// much gentler internal contention curve (paper §II-1 observed <5 %
+/// degradation). PanFS has no Lustre-style single-file stripe limit that
+/// matters at this scale.
+pub fn xtp() -> MachineConfig {
+    MachineConfig {
+        name: "XTP/PanFS".to_string(),
+        ost_count: 40,
+        max_stripe_count: 40,
+        default_stripe_count: 4,
+        stripe_size: MIB,
+        ost: OstParams {
+            disk_peak: 150.0 * MIB as f64,
+            stream_cap: 115.0 * MIB as f64,
+            contention_alpha: 0.0012,
+            contention_gamma: 1.1,
+            cache_capacity: 4 * GIB,
+            cache_max_request: 16 * MIB,
+            cache_ingest_peak: 190.0 * MIB as f64,
+            ingest_alpha: 0.004,
+            cache_drain: 140.0 * MIB as f64,
+            request_overhead: 0.0025,
+        },
+        noise: NoiseParams {
+            // Non-production: shallow micro-jitter only; interference is
+            // injected explicitly when an experiment wants it.
+            micro: MicroNoiseParams {
+                enabled: true,
+                mean_quiet: 60.0,
+                mean_busy: 15.0,
+                depth_shape: 2.5,
+                max_depth: 1.2,
+            },
+            jobs: JobNoiseParams {
+                enabled: false,
+                mean_interarrival: 0.0,
+                mean_duration: 0.0,
+                depth_shape: 1.0,
+                min_depth: 1.0,
+                max_depth: 1.0,
+                stripe_choices: vec![4],
+            },
+        },
+        mds: MdsParams {
+            open_base: 0.0002,
+            open_per_queued: 0.00006,
+            close_base: 0.00008,
+        },
+        msg_latency: 6.0e-6,
+        msg_bandwidth: 1.6e9,
+        cores_per_node: 12,
+    }
+}
+
+/// Sandia XTP while a second IOR job runs alongside (Table I's "XTP with
+/// Int." row): the competing job's IO phases appear as job-noise episodes
+/// striped over 8 targets, alternating with idle windows — which is what
+/// makes repeated samples vary by ~40 % instead of uniformly slowing
+/// them.
+pub fn xtp_with_competing_ior() -> MachineConfig {
+    let mut cfg = xtp();
+    cfg.name = "XTP/PanFS (with Int.)".to_string();
+    cfg.noise.jobs = JobNoiseParams {
+        enabled: true,
+        mean_interarrival: 90.0,
+        mean_duration: 55.0,
+        depth_shape: 1.3,
+        min_depth: 1.8,
+        max_depth: 7.0,
+        stripe_choices: vec![8],
+    };
+    cfg
+}
+
+/// A BlueGene/P-class machine with a GPFS file system — the paper's §VI
+/// future-work target ("perhaps, GPFS on a BlueGene/P machine"). GPFS
+/// NSD servers behave like fewer, fatter targets with no Lustre-style
+/// single-file stripe limit and dedicated IO-forwarding nodes in front
+/// (so per-stream caps are lower but contention is gentler).
+pub fn bluegene_gpfs() -> MachineConfig {
+    MachineConfig {
+        name: "BG-P/GPFS".to_string(),
+        ost_count: 128,
+        max_stripe_count: 128,
+        default_stripe_count: 8,
+        stripe_size: 4 * MIB,
+        ost: OstParams {
+            disk_peak: 300.0 * MIB as f64,
+            stream_cap: 60.0 * MIB as f64,
+            contention_alpha: 0.02,
+            contention_gamma: 0.7,
+            cache_capacity: 4 * GIB,
+            cache_max_request: 32 * MIB,
+            cache_ingest_peak: 340.0 * MIB as f64,
+            ingest_alpha: 0.004,
+            cache_drain: 260.0 * MIB as f64,
+            request_overhead: 0.002,
+        },
+        noise: NoiseParams {
+            micro: production_micro(),
+            jobs: JobNoiseParams {
+                enabled: true,
+                mean_interarrival: 260.0,
+                mean_duration: 300.0,
+                depth_shape: 1.4,
+                min_depth: 1.4,
+                max_depth: 8.0,
+                stripe_choices: vec![8, 16, 32, 64, 128],
+            },
+        },
+        mds: MdsParams {
+            open_base: 0.0003,
+            open_per_queued: 0.0001,
+            close_base: 0.0001,
+        },
+        msg_latency: 3.5e-6,
+        msg_bandwidth: 0.8e9,
+        cores_per_node: 4,
+    }
+}
+
+/// Tiny, quiet machine for fast unit tests.
+pub fn testbed() -> MachineConfig {
+    MachineConfig {
+        name: "Testbed".to_string(),
+        ost_count: 8,
+        max_stripe_count: 4,
+        default_stripe_count: 2,
+        stripe_size: MIB,
+        ost: OstParams {
+            disk_peak: 100.0 * MIB as f64,
+            stream_cap: 80.0 * MIB as f64,
+            contention_alpha: 0.01,
+            contention_gamma: 1.2,
+            cache_capacity: 64 * MIB,
+            cache_max_request: 32 * MIB,
+            cache_ingest_peak: 300.0 * MIB as f64,
+            ingest_alpha: 0.02,
+            cache_drain: 90.0 * MIB as f64,
+            request_overhead: 0.001,
+        },
+        noise: NoiseParams::quiet(),
+        mds: MdsParams {
+            open_base: 0.002,
+            open_per_queued: 0.001,
+            close_base: 0.0005,
+        },
+        msg_latency: 5.0e-6,
+        msg_bandwidth: 2.0e9,
+        cores_per_node: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_eff_declines_with_streams() {
+        let p = lustre_ost();
+        let e1 = p.disk_eff(1);
+        let e4 = p.disk_eff(4);
+        let e16 = p.disk_eff(16);
+        let e32 = p.disk_eff(32);
+        assert!(e1 > e4 && e4 > e16 && e16 > e32);
+        // Calibration band: 16 -> 32 streams should lose roughly 16-35 %
+        // (paper §II-1: 16-28 % degradation 8192 -> 16384 writers).
+        let loss = 1.0 - e32 / e16;
+        assert!((0.10..0.40).contains(&loss), "loss {loss}");
+    }
+
+    #[test]
+    fn disk_eff_zero_streams_is_peak() {
+        let p = lustre_ost();
+        assert_eq!(p.disk_eff(0), p.disk_peak);
+        assert_eq!(p.disk_eff(1), p.disk_peak);
+    }
+
+    #[test]
+    fn ingest_eff_mildly_declines() {
+        let p = lustre_ost();
+        assert!(p.ingest_eff(32) > 0.5 * p.ingest_eff(1));
+    }
+
+    #[test]
+    fn cache_eligibility_matches_fig1_series() {
+        let p = lustre_ost();
+        assert!(MIB <= p.cache_max_request, "1 MB series is cache-helped");
+        assert!(8 * MIB <= p.cache_max_request, "8 MB series is cache-helped");
+        assert!(
+            64 * MIB > p.cache_max_request,
+            "64 MB+ series are disk-bound"
+        );
+    }
+
+    #[test]
+    fn xtp_contention_is_gentle() {
+        let x = xtp().ost;
+        let loss = 1.0 - x.disk_eff(2) / x.disk_eff(1);
+        assert!(loss < 0.05, "XTP §II-1: <5 % degradation, got {loss}");
+    }
+
+    #[test]
+    fn presets_have_paper_shapes() {
+        assert_eq!(jaguar().ost_count, 672);
+        assert_eq!(jaguar().max_stripe_count, 160);
+        assert_eq!(franklin().ost_count, 96);
+        assert_eq!(xtp().ost_count, 40);
+        assert!(jaguar().noise.jobs.enabled);
+        assert!(!xtp().noise.jobs.enabled, "XTP is not production-shared");
+        assert!(!testbed().noise.micro.enabled);
+    }
+
+    #[test]
+    fn theoretical_peak_scales_with_osts() {
+        let j = jaguar();
+        let per_ost = j.ost.disk_peak;
+        let peak = j.theoretical_peak().bytes_per_sec();
+        assert!((peak - per_ost * 672.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let j = jaguar();
+        let s = serde_json::to_string(&j).unwrap();
+        let back: MachineConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.name, j.name);
+        assert_eq!(back.ost_count, j.ost_count);
+    }
+}

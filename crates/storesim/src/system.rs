@@ -1,0 +1,836 @@
+//! The composed storage system: OSTs + metadata server + noise field +
+//! competing-job load + file layout, exposed through a co-simulation
+//! interface.
+//!
+//! The owning driver (the cluster simulator) holds global time. It asks
+//! [`StorageSystem::next_event_time`] when the storage system next changes
+//! state, and calls [`StorageSystem::advance_to`] to move it forward and
+//! collect finished operations. Internally the system keeps its own event
+//! queue for noise transitions, competing-job arrivals/departures and
+//! re-planned completion wake-ups (OST completion times shift whenever
+//! load or noise changes; stale wake-ups are cancelled).
+//!
+//! Operations are submitted with a caller-chosen `tag`; completions carry
+//! the tag back so the driver can route them to the right simulated rank.
+
+use std::collections::HashMap;
+
+use simcore::{EventQueue, EventToken, Rng, SimDuration, SimTime, SplitMix64};
+
+use crate::jobs::{combined_factor, CompetingLoad, JobLoadModel};
+use crate::layout::{FileId, FileSystem, OstId, StripeSpec};
+use crate::mds::{Mds, MetaOp};
+use crate::noise::NoiseProcess;
+use crate::ost::{OpKind, Ost, RequestId};
+use crate::params::MachineConfig;
+
+/// A finished storage operation, surfaced to the driver.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageCompletion {
+    /// Caller-provided correlation tag.
+    pub tag: u64,
+    /// Total bytes moved (zero for metadata ops).
+    pub bytes: u64,
+    /// Submission time of the whole operation.
+    pub submitted: SimTime,
+    /// Completion time (of the last constituent chunk).
+    pub finished: SimTime,
+    /// What finished.
+    pub kind: CompletionKind,
+}
+
+/// Discriminates data from metadata completions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompletionKind {
+    /// A write (file- or OST-level).
+    Write,
+    /// A read.
+    Read,
+    /// An open/create.
+    Open,
+    /// A close.
+    Close,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Internal {
+    OstWake(usize),
+    MdsWake,
+    MicroFlip(usize),
+    JobArrival,
+    JobDeparture(u64),
+    RenewStream(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OpState {
+    tag: u64,
+    pending: usize,
+    total_bytes: u64,
+    submitted: SimTime,
+    kind: CompletionKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BgSpec {
+    ost: OstId,
+    bytes: u64,
+    /// Mean idle gap between bursts, seconds (`None` = continuous).
+    mean_gap: Option<f64>,
+}
+
+/// The storage half of the co-simulation.
+pub struct StorageSystem {
+    cfg: MachineConfig,
+    osts: Vec<Ost>,
+    fs: FileSystem,
+    mds: Mds,
+    micro: Vec<NoiseProcess>,
+    micro_factor: Vec<f64>,
+    jobs_model: JobLoadModel,
+    active_jobs: HashMap<u64, CompetingLoad>,
+    next_job_id: u64,
+    queue: EventQueue<Internal>,
+    ost_token: Vec<Option<EventToken>>,
+    mds_token: Option<EventToken>,
+    ops: HashMap<u64, OpState>,
+    req_to_op: HashMap<u64, u64>,
+    /// Background streams currently in flight: request id -> spec.
+    background: HashMap<u64, BgSpec>,
+    /// Background streams waiting out a burst gap: token -> spec.
+    pending_renew: HashMap<u64, BgSpec>,
+    /// Injected permanent degradations: ost index -> factor.
+    degraded: HashMap<usize, f64>,
+    next_req: u64,
+    next_op: u64,
+    rng: Rng,
+    out: Vec<StorageCompletion>,
+}
+
+impl StorageSystem {
+    /// Build a storage system for `cfg`, seeding all stochastic elements
+    /// from `seed`.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+        let mut seeder = SplitMix64::new(seed);
+        let mut rng = seeder.stream();
+        let mut queue = EventQueue::new();
+        let mut osts = Vec::with_capacity(cfg.ost_count);
+        let mut micro = Vec::with_capacity(cfg.ost_count);
+        let mut micro_factor = Vec::with_capacity(cfg.ost_count);
+        for i in 0..cfg.ost_count {
+            let ost = Ost::new(cfg.ost.clone());
+            let (proc_, first) = NoiseProcess::new(&cfg.noise.micro, &mut rng);
+            micro_factor.push(proc_.factor());
+            if let Some(delay) = first {
+                queue.schedule(SimTime::ZERO + delay, Internal::MicroFlip(i));
+            }
+            osts.push(ost);
+            micro.push(proc_);
+        }
+        let jobs_model = JobLoadModel::new(cfg.noise.jobs.clone(), cfg.ost_count);
+        let fs = FileSystem::new(
+            cfg.ost_count,
+            cfg.max_stripe_count,
+            cfg.default_stripe_count,
+            cfg.stripe_size,
+        );
+        let mds = Mds::new(cfg.mds.clone());
+        let ost_token = vec![None; cfg.ost_count];
+        let mut sys = StorageSystem {
+            cfg,
+            osts,
+            fs,
+            mds,
+            micro,
+            micro_factor,
+            jobs_model,
+            active_jobs: HashMap::new(),
+            next_job_id: 0,
+            queue,
+            ost_token,
+            mds_token: None,
+            ops: HashMap::new(),
+            req_to_op: HashMap::new(),
+            background: HashMap::new(),
+            pending_renew: HashMap::new(),
+            degraded: HashMap::new(),
+            next_req: 0,
+            next_op: 0,
+            rng,
+            out: Vec::new(),
+        };
+        sys.init_jobs();
+        // Apply initial noise to every OST.
+        for i in 0..sys.osts.len() {
+            let f = sys.combined(i);
+            sys.osts[i].set_noise(SimTime::ZERO, f);
+        }
+        sys
+    }
+
+    /// Seed the stationary competing-job population (memoryless residual
+    /// durations) and the arrival stream.
+    fn init_jobs(&mut self) {
+        if !self.jobs_model.enabled() {
+            return;
+        }
+        // Poisson(expected_active) initial jobs, Knuth's method.
+        let lambda = self.jobs_model.expected_active();
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= self.rng.f64();
+            if p <= l {
+                break;
+            }
+            k += 1;
+            if k > 64 {
+                break; // guard against pathological parameters
+            }
+        }
+        for _ in 0..k {
+            let (job, dur) = self.jobs_model.spawn(&mut self.rng);
+            let id = self.next_job_id;
+            self.next_job_id += 1;
+            self.active_jobs.insert(id, job);
+            self.queue
+                .schedule(SimTime::ZERO + dur, Internal::JobDeparture(id));
+        }
+        let first = self.jobs_model.next_arrival(&mut self.rng);
+        self.queue.schedule(SimTime::ZERO + first, Internal::JobArrival);
+    }
+
+    /// Current combined slowdown factor of one OST.
+    fn combined(&self, i: usize) -> f64 {
+        let micro = self.micro_factor[i] * self.degraded.get(&i).copied().unwrap_or(1.0);
+        combined_factor(
+            self.active_jobs
+                .values()
+                .filter(|j| j.osts(self.cfg.ost_count).any(|o| o == i))
+                .map(|j| j.factor),
+            micro,
+        )
+    }
+
+    fn apply_noise(&mut self, i: usize, now: SimTime) {
+        let f = self.combined(i);
+        self.osts[i].set_noise(now, f);
+        self.replan_ost(i, now);
+    }
+
+    /// The machine configuration this system was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the layout layer (file creation).
+    pub fn fs_mut(&mut self) -> &mut FileSystem {
+        &mut self.fs
+    }
+
+    /// Read access to the layout layer.
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// Current external-noise factor of one OST (diagnostics).
+    pub fn ost_noise(&self, ost: OstId) -> f64 {
+        self.osts[ost.0].noise_factor()
+    }
+
+    /// In-flight stream count on one OST (diagnostics).
+    pub fn ost_streams(&self, ost: OstId) -> usize {
+        self.osts[ost.0].active_streams()
+    }
+
+    /// Number of competing jobs currently active (diagnostics).
+    pub fn active_job_count(&self) -> usize {
+        self.active_jobs.len()
+    }
+
+    fn fresh_req(&mut self) -> RequestId {
+        let id = RequestId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    fn replan_ost(&mut self, i: usize, now: SimTime) {
+        if let Some(tok) = self.ost_token[i].take() {
+            self.queue.cancel(tok);
+        }
+        if let Some(t) = self.osts[i].next_completion() {
+            let t = t.max(now);
+            self.ost_token[i] = Some(self.queue.schedule(t, Internal::OstWake(i)));
+        }
+    }
+
+    fn replan_mds(&mut self, now: SimTime) {
+        if let Some(tok) = self.mds_token.take() {
+            self.queue.cancel(tok);
+        }
+        if let Some(t) = self.mds.next_completion() {
+            let t = t.max(now);
+            self.mds_token = Some(self.queue.schedule(t, Internal::MdsWake));
+        }
+    }
+
+    /// Submit a write covering `[offset, offset+len)` of `file`.
+    /// Completion fires when every constituent OST chunk finishes.
+    ///
+    /// Contract (all submit methods): `now` must be non-decreasing across
+    /// calls touching the same target — the co-simulation driver
+    /// dispatches in global time order, which guarantees it.
+    pub fn submit_file_write(
+        &mut self,
+        now: SimTime,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        tag: u64,
+    ) {
+        let chunks = self.fs.map_range(file, offset, len);
+        self.submit_chunks(now, &chunks, len, tag, OpKind::Write, CompletionKind::Write);
+    }
+
+    /// Submit a read of `[offset, offset+len)` of `file`.
+    pub fn submit_file_read(&mut self, now: SimTime, file: FileId, offset: u64, len: u64, tag: u64) {
+        let chunks = self.fs.map_range(file, offset, len);
+        self.submit_chunks(now, &chunks, len, tag, OpKind::Read, CompletionKind::Read);
+    }
+
+    /// Submit a write of `bytes` directly to one OST (bypassing the layout
+    /// layer — used by models that manage placement themselves).
+    pub fn submit_ost_write(&mut self, now: SimTime, ost: OstId, bytes: u64, tag: u64) {
+        let chunks = [(ost, bytes)];
+        self.submit_chunks(now, &chunks, bytes, tag, OpKind::Write, CompletionKind::Write);
+    }
+
+    fn submit_chunks(
+        &mut self,
+        now: SimTime,
+        chunks: &[(OstId, u64)],
+        total: u64,
+        tag: u64,
+        kind: OpKind,
+        ck: CompletionKind,
+    ) {
+        assert!(!chunks.is_empty(), "write with no chunks");
+        let op_id = self.next_op;
+        self.next_op += 1;
+        self.ops.insert(
+            op_id,
+            OpState {
+                tag,
+                pending: chunks.len(),
+                total_bytes: total,
+                submitted: now,
+                kind: ck,
+            },
+        );
+        for &(ost, bytes) in chunks {
+            let rid = self.fresh_req();
+            self.req_to_op.insert(rid.0, op_id);
+            self.osts[ost.0].submit(now, rid, bytes, kind);
+            self.replan_ost(ost.0, now);
+        }
+    }
+
+    /// Submit an open/create to the metadata server.
+    pub fn submit_open(&mut self, now: SimTime, tag: u64) {
+        self.submit_meta(now, tag, MetaOp::Open, CompletionKind::Open);
+    }
+
+    /// Submit a close to the metadata server.
+    pub fn submit_close(&mut self, now: SimTime, tag: u64) {
+        self.submit_meta(now, tag, MetaOp::Close, CompletionKind::Close);
+    }
+
+    fn submit_meta(&mut self, now: SimTime, tag: u64, op: MetaOp, ck: CompletionKind) {
+        let op_id = self.next_op;
+        self.next_op += 1;
+        self.ops.insert(
+            op_id,
+            OpState {
+                tag,
+                pending: 1,
+                total_bytes: 0,
+                submitted: now,
+                kind: ck,
+            },
+        );
+        let rid = self.fresh_req();
+        self.req_to_op.insert(rid.0, op_id);
+        self.mds.submit(now, rid, op);
+        self.replan_mds(now);
+    }
+
+    /// Degrade one OST to a fixed fraction of its capability from `now`
+    /// on (failure injection: a dying disk, a rebuilding RAID set). The
+    /// factor multiplies into the noise combination and persists until
+    /// [`StorageSystem::restore_ost`].
+    pub fn degrade_ost(&mut self, now: SimTime, ost: OstId, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0);
+        self.degraded.insert(ost.0, factor);
+        self.apply_noise(ost.0, now);
+    }
+
+    /// Lift a previous [`StorageSystem::degrade_ost`].
+    pub fn restore_ost(&mut self, now: SimTime, ost: OstId) {
+        self.degraded.remove(&ost.0);
+        self.apply_noise(ost.0, now);
+    }
+
+    /// Install a perpetual background stream on `ost`: a `bytes`-sized
+    /// direct write that immediately resubmits itself on completion. This
+    /// is the paper's artificial external interference (§IV: three 1 GiB
+    /// writers per target on 8 targets).
+    pub fn add_background_stream(&mut self, now: SimTime, ost: OstId, bytes: u64) {
+        self.start_background(now, BgSpec {
+            ost,
+            bytes,
+            mean_gap: None,
+        });
+    }
+
+    /// Install a bursty background stream: after each completed burst the
+    /// stream idles for an exponential gap (mean `mean_gap_secs`) before
+    /// writing again — a competing application's duty-cycled IO phases.
+    pub fn add_bursty_stream(&mut self, now: SimTime, ost: OstId, bytes: u64, mean_gap_secs: f64) {
+        self.start_background(now, BgSpec {
+            ost,
+            bytes,
+            mean_gap: Some(mean_gap_secs),
+        });
+    }
+
+    fn start_background(&mut self, now: SimTime, spec: BgSpec) {
+        let rid = self.fresh_req();
+        self.background.insert(rid.0, spec);
+        self.osts[spec.ost.0].submit(now, rid, spec.bytes, OpKind::WriteDirect);
+        self.replan_ost(spec.ost.0, now);
+    }
+
+    /// When the storage system next changes state on its own.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Advance internal state to `deadline` (inclusive), returning every
+    /// operation completion with `finished <= deadline`, in completion
+    /// order.
+    pub fn advance_to(&mut self, deadline: SimTime) -> Vec<StorageCompletion> {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event exists");
+            match ev {
+                Internal::OstWake(i) => {
+                    self.ost_token[i] = None;
+                    let done = self.osts[i].advance(t);
+                    for c in done {
+                        self.finish_request(t, c.id);
+                    }
+                    self.replan_ost(i, t);
+                }
+                Internal::MdsWake => {
+                    self.mds_token = None;
+                    let done = self.mds.advance(t);
+                    for c in done {
+                        self.finish_request(t, c.id);
+                    }
+                    self.replan_mds(t);
+                }
+                Internal::MicroFlip(i) => {
+                    let (factor, delay) = self.micro[i].transition(&mut self.rng);
+                    self.micro_factor[i] = factor;
+                    self.queue.schedule(t + delay, Internal::MicroFlip(i));
+                    self.apply_noise(i, t);
+                }
+                Internal::JobArrival => {
+                    let (job, dur) = self.jobs_model.spawn(&mut self.rng);
+                    let id = self.next_job_id;
+                    self.next_job_id += 1;
+                    let covered: Vec<usize> = job.osts(self.cfg.ost_count).collect();
+                    self.active_jobs.insert(id, job);
+                    self.queue.schedule(t + dur, Internal::JobDeparture(id));
+                    let next = self.jobs_model.next_arrival(&mut self.rng);
+                    self.queue.schedule(t + next, Internal::JobArrival);
+                    for i in covered {
+                        self.apply_noise(i, t);
+                    }
+                }
+                Internal::JobDeparture(id) => {
+                    if let Some(job) = self.active_jobs.remove(&id) {
+                        let covered: Vec<usize> = job.osts(self.cfg.ost_count).collect();
+                        for i in covered {
+                            self.apply_noise(i, t);
+                        }
+                    }
+                }
+                Internal::RenewStream(token) => {
+                    if let Some(spec) = self.pending_renew.remove(&token) {
+                        self.start_background(t, spec);
+                    }
+                }
+            }
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    fn finish_request(&mut self, now: SimTime, rid: RequestId) {
+        if let Some(spec) = self.background.remove(&rid.0) {
+            match spec.mean_gap {
+                None => self.start_background(now, spec),
+                Some(gap) => {
+                    let token = self.next_req;
+                    self.next_req += 1;
+                    self.pending_renew.insert(token, spec);
+                    let delay = SimDuration::from_secs_f64(self.rng.exp(gap));
+                    self.queue.schedule(now + delay, Internal::RenewStream(token));
+                }
+            }
+            return;
+        }
+        let op_id = self
+            .req_to_op
+            .remove(&rid.0)
+            .expect("completion for unknown request");
+        let op = self.ops.get_mut(&op_id).expect("op state exists");
+        op.pending -= 1;
+        if op.pending == 0 {
+            let op = self.ops.remove(&op_id).expect("op state exists");
+            self.out.push(StorageCompletion {
+                tag: op.tag,
+                bytes: op.total_bytes,
+                submitted: op.submitted,
+                finished: now,
+                kind: op.kind,
+            });
+        }
+    }
+
+    /// Convenience for non-cluster experiments (pure storage tests): run
+    /// until all submitted operations complete or `deadline` passes,
+    /// returning completions.
+    pub fn run_until_quiet(&mut self, deadline: SimTime) -> Vec<StorageCompletion> {
+        let mut all = Vec::new();
+        loop {
+            if self.ops.is_empty() {
+                break;
+            }
+            match self.next_event_time() {
+                Some(t) if t <= deadline => {
+                    all.extend(self.advance_to(t));
+                }
+                _ => break,
+            }
+        }
+        all
+    }
+
+    /// Create a file with an explicit stripe size (the ADIOS MPI-IO method
+    /// sets the stripe width to the per-rank buffer size so each rank's
+    /// region maps to a single OST).
+    pub fn create_file_with_stripe_size(
+        &mut self,
+        name: impl Into<String>,
+        spec: StripeSpec,
+        stripe_size: u64,
+    ) -> FileId {
+        let id = self.fs.create(name, spec);
+        self.fs.set_stripe_size(id, stripe_size);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{jaguar, testbed};
+    use simcore::units::MIB;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn drain(sys: &mut StorageSystem) -> Vec<StorageCompletion> {
+        sys.run_until_quiet(t(1e6))
+    }
+
+    #[test]
+    fn single_write_completes_once() {
+        let mut sys = StorageSystem::new(testbed(), 1);
+        let f = sys.fs_mut().create("a", StripeSpec::Pinned(vec![OstId(0)]));
+        sys.submit_file_write(SimTime::ZERO, f, 0, 8 * MIB, 77);
+        let done = drain(&mut sys);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 77);
+        assert_eq!(done[0].bytes, 8 * MIB);
+        assert!(done[0].finished > SimTime::ZERO);
+    }
+
+    #[test]
+    fn striped_write_waits_for_all_chunks() {
+        let mut sys = StorageSystem::new(testbed(), 2);
+        let f = sys
+            .fs_mut()
+            .create("s", StripeSpec::Pinned(vec![OstId(0), OstId(1)]));
+        sys.submit_file_write(SimTime::ZERO, f, 0, 4 * MIB, 1);
+        let done = drain(&mut sys);
+        assert_eq!(done.len(), 1, "one completion for the whole op");
+        assert_eq!(done[0].bytes, 4 * MIB);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_ost_interfere() {
+        // Time for 1 writer alone vs 8 writers sharing one OST
+        // (disk-lane sizes): per-writer time grows superlinearly.
+        let cfg = testbed();
+        let bytes = 128 * MIB; // > testbed cache
+        let mut solo = StorageSystem::new(cfg.clone(), 3);
+        solo.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+        let solo_done = drain(&mut solo);
+        let solo_time = (solo_done[0].finished - solo_done[0].submitted).as_secs_f64();
+
+        let mut shared = StorageSystem::new(cfg, 3);
+        for i in 0..8 {
+            shared.submit_ost_write(SimTime::ZERO, OstId(0), bytes, i);
+        }
+        let done = drain(&mut shared);
+        let max_time = done
+            .iter()
+            .map(|c| (c.finished - c.submitted).as_secs_f64())
+            .fold(0.0, f64::max);
+        // 8-way sharing with contention penalty: slower than 5x solo even
+        // though solo itself is stream-capped below the disk peak.
+        assert!(
+            max_time > 5.0 * solo_time,
+            "internal interference: solo {solo_time}, 8-way {max_time}"
+        );
+    }
+
+    #[test]
+    fn writers_on_distinct_osts_do_not_interfere() {
+        let cfg = testbed();
+        let bytes = 128 * MIB;
+        let mut sys = StorageSystem::new(cfg.clone(), 4);
+        for i in 0..4 {
+            sys.submit_ost_write(SimTime::ZERO, OstId(i as usize), bytes, i);
+        }
+        let done = drain(&mut sys);
+        let mut solo = StorageSystem::new(cfg, 4);
+        solo.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+        let solo_done = drain(&mut solo);
+        let solo_time = (solo_done[0].finished - solo_done[0].submitted).as_secs_f64();
+        for c in done {
+            let time = (c.finished - c.submitted).as_secs_f64();
+            assert!(
+                (time - solo_time).abs() < 0.05 * solo_time,
+                "parallel targets should behave like solo: {time} vs {solo_time}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_and_close_complete() {
+        let mut sys = StorageSystem::new(testbed(), 5);
+        sys.submit_open(SimTime::ZERO, 10);
+        sys.submit_close(t(1.0), 11);
+        let done = drain(&mut sys);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].kind, CompletionKind::Open);
+        assert_eq!(done[1].kind, CompletionKind::Close);
+    }
+
+    #[test]
+    fn background_stream_slows_foreground() {
+        let cfg = testbed();
+        // Larger than the testbed cache so the foreground write shares the
+        // disk lane with the background stream.
+        let bytes = 128 * MIB;
+        let mut quiet = StorageSystem::new(cfg.clone(), 6);
+        quiet.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+        let qd = drain(&mut quiet);
+        let q_time = (qd[0].finished - qd[0].submitted).as_secs_f64();
+
+        let mut busy = StorageSystem::new(cfg, 6);
+        busy.add_background_stream(SimTime::ZERO, OstId(0), 512 * MIB);
+        busy.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+        let bd = drain(&mut busy);
+        assert_eq!(bd.len(), 1, "background never surfaces completions");
+        let b_time = (bd[0].finished - bd[0].submitted).as_secs_f64();
+        assert!(
+            b_time > 1.5 * q_time,
+            "external interference: quiet {q_time}, busy {b_time}"
+        );
+    }
+
+    #[test]
+    fn background_stream_renews_itself() {
+        let cfg = testbed();
+        let mut sys = StorageSystem::new(cfg, 7);
+        sys.add_background_stream(SimTime::ZERO, OstId(0), MIB);
+        // Let many renewal cycles pass; the OST must still be busy.
+        let mut now = SimTime::ZERO;
+        for _ in 0..50 {
+            let next = sys.next_event_time().expect("background keeps events flowing");
+            now = next;
+            sys.advance_to(next);
+        }
+        assert!(sys.ost_streams(OstId(0)) >= 1);
+        assert!(now > SimTime::ZERO);
+    }
+
+    #[test]
+    fn bursty_stream_has_idle_gaps() {
+        let cfg = testbed();
+        let mut sys = StorageSystem::new(cfg, 8);
+        // Bursts of 8 MiB with generous gaps.
+        sys.add_bursty_stream(SimTime::ZERO, OstId(0), 8 * MIB, 1.0);
+        let mut idle_seen = false;
+        for _ in 0..40 {
+            let Some(next) = sys.next_event_time() else {
+                break;
+            };
+            sys.advance_to(next);
+            if sys.ost_streams(OstId(0)) == 0 {
+                idle_seen = true;
+            }
+        }
+        assert!(idle_seen, "bursty stream must leave idle windows");
+    }
+
+    #[test]
+    fn jobs_populate_and_churn_on_production_machines() {
+        let mut sys = StorageSystem::new(jaguar(), 11);
+        // Stationary initialisation plus churn over ten minutes.
+        let mut seen_active = sys.active_job_count();
+        let mut max_active = seen_active;
+        let end = t(600.0);
+        while let Some(next) = sys.next_event_time() {
+            if next > end {
+                break;
+            }
+            sys.advance_to(next);
+            seen_active = sys.active_job_count();
+            max_active = max_active.max(seen_active);
+        }
+        assert!(max_active >= 1, "competing jobs should appear within 10 min");
+    }
+
+    #[test]
+    fn job_noise_slows_covered_osts_only() {
+        // Construct a system and force a job manually via the arrival path:
+        // run until an arrival fires, then check factors.
+        let mut sys = StorageSystem::new(jaguar(), 13);
+        let end = t(1200.0);
+        while let Some(next) = sys.next_event_time() {
+            if next > end {
+                break;
+            }
+            sys.advance_to(next);
+            if sys.active_job_count() > 0 {
+                break;
+            }
+        }
+        if sys.active_job_count() > 0 {
+            let slowed = (0..672)
+                .filter(|&i| sys.ost_noise(OstId(i)) < 0.99)
+                .count();
+            assert!(slowed > 0, "a job must slow some OSTs");
+            assert!(slowed < 672, "but not the whole machine");
+        }
+    }
+
+    #[test]
+    fn noise_makes_identical_runs_vary_across_seeds() {
+        let cfg = jaguar();
+        let bytes = 128 * MIB;
+        let mut times = Vec::new();
+        for seed in 0..8 {
+            let mut sys = StorageSystem::new(cfg.clone(), seed);
+            sys.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+            let done = drain(&mut sys);
+            times.push((done[0].finished - done[0].submitted).as_secs_f64());
+        }
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max / min > 1.02,
+            "production noise should vary service times: {times:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let run = |seed: u64| {
+            let mut sys = StorageSystem::new(jaguar(), seed);
+            for i in 0..16 {
+                sys.submit_ost_write(SimTime::ZERO, OstId(i % 4), 32 * MIB, i as u64);
+            }
+            drain(&mut sys)
+                .iter()
+                .map(|c| (c.tag, c.finished.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn degraded_ost_slows_and_restores() {
+        let cfg = testbed();
+        let bytes = 128 * MIB;
+        let time_of = |degrade: bool| {
+            let mut sys = StorageSystem::new(cfg.clone(), 12);
+            if degrade {
+                sys.degrade_ost(SimTime::ZERO, OstId(0), 0.1);
+            }
+            sys.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+            let d = sys.run_until_quiet(t(1e6));
+            (d[0].finished - d[0].submitted).as_secs_f64()
+        };
+        let healthy = time_of(false);
+        let degraded = time_of(true);
+        assert!(
+            degraded > 5.0 * healthy,
+            "degradation must bite: {healthy} vs {degraded}"
+        );
+        // Restore mid-flight speeds recovery.
+        let mut sys = StorageSystem::new(cfg, 12);
+        sys.degrade_ost(SimTime::ZERO, OstId(0), 0.1);
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+        sys.restore_ost(t(healthy), OstId(0));
+        let d = sys.run_until_quiet(t(1e6));
+        let partial = (d[0].finished - d[0].submitted).as_secs_f64();
+        assert!(partial < degraded && partial > healthy);
+    }
+
+    #[test]
+    fn run_until_quiet_respects_deadline() {
+        let mut sys = StorageSystem::new(testbed(), 9);
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), 1024 * MIB, 0);
+        let done = sys.run_until_quiet(t(0.001));
+        assert!(done.is_empty(), "deadline too early for completion");
+    }
+
+    #[test]
+    fn completions_are_time_ordered() {
+        let mut sys = StorageSystem::new(testbed(), 10);
+        for i in 0..20u64 {
+            sys.submit_ost_write(
+                SimTime::ZERO + SimDuration::from_millis(i),
+                OstId((i % 8) as usize),
+                (i + 1) * MIB,
+                i,
+            );
+        }
+        let done = drain(&mut sys);
+        assert_eq!(done.len(), 20);
+        for w in done.windows(2) {
+            assert!(w[0].finished <= w[1].finished);
+        }
+    }
+}

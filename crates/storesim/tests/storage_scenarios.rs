@@ -1,0 +1,183 @@
+//! Deeper storage-substrate scenarios: conservation under load mixes,
+//! stripe fan-out, metadata storms, and noise/failure interplay.
+
+use simcore::units::{GIB, MIB};
+use simcore::{Rng, SimTime};
+use storesim::layout::{OstId, StripeSpec};
+use storesim::params::{jaguar, testbed, xtp};
+use storesim::system::CompletionKind;
+use storesim::StorageSystem;
+
+fn t(secs: f64) -> SimTime {
+    SimTime::from_secs_f64(secs)
+}
+
+#[test]
+fn thousand_random_ops_all_complete_exactly_once() {
+    let mut sys = StorageSystem::new(testbed(), 99);
+    let mut rng = Rng::new(1);
+    let f = sys.fs_mut().create("mixed", StripeSpec::Count(4));
+    // Submissions must be time-ordered (the co-simulation driver
+    // guarantees this); draw random times, then sort.
+    let mut times: Vec<f64> = (0..1000).map(|_| rng.uniform(0.0, 5.0)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut expected = Vec::new();
+    for (i, &secs) in (0..1000u64).zip(times.iter()) {
+        let at = t(secs);
+        match i % 4 {
+            0 => sys.submit_ost_write(at, OstId(rng.below(8) as usize), rng.below(4 * MIB) + 1, i),
+            1 => sys.submit_file_write(at, f, (i % 64) * MIB, MIB, i),
+            2 => sys.submit_file_read(at, f, 0, rng.below(MIB) + 1, i),
+            _ => sys.submit_open(at, i),
+        }
+        expected.push(i);
+    }
+    let done = sys.run_until_quiet(t(1e6));
+    let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+    tags.sort_unstable();
+    assert_eq!(tags, expected, "every op completes exactly once");
+    for c in &done {
+        assert!(c.finished >= c.submitted);
+    }
+}
+
+#[test]
+fn wide_stripe_write_touches_every_target_once() {
+    let mut sys = StorageSystem::new(jaguar(), 3);
+    let f = sys.fs_mut().create("wide", StripeSpec::Count(160));
+    // 160 MiB over 160 one-MiB stripes: one chunk per OST.
+    sys.submit_file_write(SimTime::ZERO, f, 0, 160 * MIB, 7);
+    let osts = sys.fs().meta(f).osts.clone();
+    assert_eq!(osts.len(), 160);
+    for &o in &osts {
+        assert_eq!(sys.ost_streams(o), 1, "one chunk on {o:?}");
+    }
+    let done = sys.run_until_quiet(t(1e6));
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].bytes, 160 * MIB);
+}
+
+#[test]
+fn open_storm_is_slower_per_op_than_staggered_opens() {
+    // 256 opens at once vs spaced 5 ms apart: the storm's last completion
+    // is later than base service alone would predict.
+    let storm_end = {
+        let mut sys = StorageSystem::new(testbed(), 5);
+        for i in 0..256 {
+            sys.submit_open(SimTime::ZERO, i);
+        }
+        sys.run_until_quiet(t(1e6)).last().unwrap().finished
+    };
+    let base = testbed().mds.open_base;
+    assert!(
+        storm_end.as_secs_f64() > 256.0 * base * 1.5,
+        "storm serialises superlinearly: {storm_end}"
+    );
+}
+
+#[test]
+fn reads_and_writes_share_the_disk_lane() {
+    let cfg = testbed();
+    let bytes = 64 * MIB;
+    // Write alone (direct: bypass cache to hit the disk lane).
+    let solo = {
+        let mut sys = StorageSystem::new(cfg.clone(), 8);
+        let f = sys.fs_mut().create("a", StripeSpec::Pinned(vec![OstId(0)]));
+        sys.submit_file_read(SimTime::ZERO, f, 0, bytes, 0);
+        let d = sys.run_until_quiet(t(1e6));
+        (d[0].finished - d[0].submitted).as_secs_f64()
+    };
+    // Read with three competing reads on the same target.
+    let shared = {
+        let mut sys = StorageSystem::new(cfg, 8);
+        let f = sys.fs_mut().create("a", StripeSpec::Pinned(vec![OstId(0)]));
+        for i in 0..4 {
+            sys.submit_file_read(SimTime::ZERO, f, 0, bytes, i);
+        }
+        let d = sys.run_until_quiet(t(1e6));
+        d.iter()
+            .map(|c| (c.finished - c.submitted).as_secs_f64())
+            .fold(0.0, f64::max)
+    };
+    assert!(
+        shared > 3.0 * solo,
+        "4-way read sharing must contend: {solo} vs {shared}"
+    );
+}
+
+#[test]
+fn degradation_composes_with_job_noise() {
+    // A degraded OST on a production machine is never faster than its
+    // degradation factor allows, regardless of job noise.
+    let mut sys = StorageSystem::new(jaguar(), 21);
+    sys.degrade_ost(SimTime::ZERO, OstId(0), 0.2);
+    assert!(
+        sys.ost_noise(OstId(0)) <= 0.2 + 1e-12,
+        "noise factor caps at the degradation: {}",
+        sys.ost_noise(OstId(0))
+    );
+}
+
+#[test]
+fn xtp_is_steadier_than_jaguar_for_identical_work() {
+    let run_spread = |cfg: storesim::MachineConfig| {
+        let mut maxes = Vec::new();
+        for seed in 0..10 {
+            let mut sys = StorageSystem::new(cfg.clone(), seed);
+            for i in 0..32u64 {
+                sys.submit_ost_write(SimTime::ZERO, OstId((i % 32) as usize), 128 * MIB, i);
+            }
+            let d = sys.run_until_quiet(t(1e6));
+            maxes.push(
+                d.iter()
+                    .map(|c| (c.finished - c.submitted).as_secs_f64())
+                    .fold(0.0, f64::max),
+            );
+        }
+        let mean = maxes.iter().sum::<f64>() / maxes.len() as f64;
+        let var = maxes.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / maxes.len() as f64;
+        var.sqrt() / mean
+    };
+    let jaguar_cv = run_spread(jaguar());
+    let xtp_cv = run_spread(xtp());
+    assert!(
+        jaguar_cv > 2.0 * xtp_cv,
+        "production Jaguar must be far noisier: jaguar {jaguar_cv}, xtp {xtp_cv}"
+    );
+}
+
+#[test]
+fn background_interference_is_invisible_to_completions() {
+    let mut sys = StorageSystem::new(testbed(), 4);
+    sys.add_background_stream(SimTime::ZERO, OstId(0), GIB);
+    sys.add_bursty_stream(SimTime::ZERO, OstId(1), 64 * MIB, 0.5);
+    sys.submit_ost_write(SimTime::ZERO, OstId(2), MIB, 42);
+    let done = sys.run_until_quiet(t(100.0));
+    assert_eq!(done.len(), 1, "only the foreground op surfaces");
+    assert_eq!(done[0].tag, 42);
+    assert_eq!(done[0].kind, CompletionKind::Write);
+}
+
+#[test]
+fn per_seed_noise_fields_are_uncorrelated_across_osts() {
+    // Micro-jitter and jobs shouldn't leave two OSTs in lockstep.
+    let sys = StorageSystem::new(jaguar(), 17);
+    let factors: Vec<f64> = (0..64).map(|i| sys.ost_noise(OstId(i))).collect();
+    let distinct: std::collections::HashSet<u64> =
+        factors.iter().map(|f| (f * 1e9) as u64).collect();
+    assert!(
+        distinct.len() > 8,
+        "expected varied noise field, got {} distinct values",
+        distinct.len()
+    );
+}
+
+#[test]
+fn file_sizes_track_high_water_marks() {
+    let mut sys = StorageSystem::new(testbed(), 6);
+    let f = sys.fs_mut().create("grow", StripeSpec::Count(2));
+    sys.submit_file_write(SimTime::ZERO, f, 0, 4 * MIB, 0);
+    sys.submit_file_write(SimTime::ZERO, f, 10 * MIB, 2 * MIB, 1);
+    sys.run_until_quiet(t(1e6));
+    assert_eq!(sys.fs().meta(f).size, 12 * MIB);
+}

@@ -1,0 +1,183 @@
+//! Campaign helpers: multi-sample method comparisons, the measurement
+//! pattern of the paper's §IV ("for all cases, at least five samples are
+//! generated").
+
+use adios_core::{run, AdaptiveOpts, DataSpec, Interference, Method, OutputResult, RunSpec};
+use iostats::Summary;
+use storesim::MachineConfig;
+
+/// Run `samples` runs of the same spec under consecutive seeds.
+pub fn sample_results(
+    machine: &MachineConfig,
+    nprocs: usize,
+    bytes_per_proc: u64,
+    method: &Method,
+    interference: &Interference,
+    samples: usize,
+    base_seed: u64,
+) -> Vec<OutputResult> {
+    (0..samples)
+        .map(|i| {
+            run(RunSpec {
+                machine: machine.clone(),
+                nprocs,
+                data: DataSpec::Uniform(bytes_per_proc),
+                method: method.clone(),
+                interference: interference.clone(),
+                seed: base_seed + i as u64,
+            })
+            .result
+        })
+        .collect()
+}
+
+/// Summary of aggregate bandwidth (bytes/sec) across samples.
+pub fn bandwidth_summary(results: &[OutputResult]) -> Summary {
+    let bws: Vec<f64> = results.iter().map(|r| r.aggregate_bandwidth()).collect();
+    Summary::of(&bws)
+}
+
+/// The paper's Fig. 7 metric: standard deviation of per-writer write
+/// times, averaged over samples.
+pub fn mean_write_time_std(results: &[OutputResult]) -> f64 {
+    let stds: Vec<f64> = results
+        .iter()
+        .map(|r| Summary::of(&r.per_writer_times()).std_dev)
+        .collect();
+    stds.iter().sum::<f64>() / stds.len() as f64
+}
+
+/// Mean imbalance factor across samples (§II-2's 3.79).
+pub fn mean_imbalance(results: &[OutputResult]) -> f64 {
+    let fs: Vec<f64> = results.iter().map(|r| r.imbalance_factor()).collect();
+    fs.iter().sum::<f64>() / fs.len() as f64
+}
+
+/// The paper's two contenders on a given workload: the tuned MPI-IO base
+/// transport (160-target stripe on Lustre) vs the adaptive method
+/// (512 targets in the paper; parameterised here).
+pub fn paper_methods(adaptive_targets: usize) -> [(&'static str, Method); 2] {
+    [
+        ("MPI", Method::MpiIo { stripe_count: 160 }),
+        (
+            "Adaptive",
+            Method::Adaptive {
+                targets: adaptive_targets,
+                opts: AdaptiveOpts::default(),
+            },
+        ),
+    ]
+}
+
+/// One row of a Fig. 5/6-style comparison.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Method label.
+    pub method: &'static str,
+    /// Process count.
+    pub nprocs: usize,
+    /// Aggregate bandwidth summary over samples (bytes/sec).
+    pub bandwidth: Summary,
+    /// Mean per-writer write-time standard deviation (Fig. 7).
+    pub write_time_std: f64,
+    /// Mean adaptive-write count per sample.
+    pub adaptive_writes: f64,
+}
+
+/// Run the method comparison at one scale.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_at_scale(
+    machine: &MachineConfig,
+    nprocs: usize,
+    bytes_per_proc: u64,
+    adaptive_targets: usize,
+    interference: &Interference,
+    samples: usize,
+    base_seed: u64,
+) -> Vec<ComparisonRow> {
+    paper_methods(adaptive_targets)
+        .into_iter()
+        .map(|(name, method)| {
+            let rs = sample_results(
+                machine,
+                nprocs,
+                bytes_per_proc,
+                &method,
+                interference,
+                samples,
+                base_seed,
+            );
+            let adaptive: f64 = rs.iter().map(|r| r.adaptive_writes as f64).sum::<f64>()
+                / rs.len() as f64;
+            ComparisonRow {
+                method: name,
+                nprocs,
+                bandwidth: bandwidth_summary(&rs),
+                write_time_std: mean_write_time_std(&rs),
+                adaptive_writes: adaptive,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MIB;
+    use storesim::params::testbed;
+
+    #[test]
+    fn sampling_produces_requested_count() {
+        let rs = sample_results(
+            &testbed(),
+            8,
+            2 * MIB,
+            &Method::Posix { targets: 8 },
+            &Interference::None,
+            3,
+            100,
+        );
+        assert_eq!(rs.len(), 3);
+        let s = bandwidth_summary(&rs);
+        assert_eq!(s.n, 3);
+        assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn write_time_std_is_finite_and_nonnegative() {
+        let rs = sample_results(
+            &testbed(),
+            16,
+            8 * MIB,
+            &Method::Adaptive {
+                targets: 4,
+                opts: AdaptiveOpts::default(),
+            },
+            &Interference::None,
+            2,
+            7,
+        );
+        let std = mean_write_time_std(&rs);
+        assert!(std.is_finite() && std >= 0.0);
+        assert!(mean_imbalance(&rs) >= 1.0);
+    }
+
+    #[test]
+    fn compare_at_scale_yields_both_methods() {
+        let rows = compare_at_scale(
+            &testbed(),
+            16,
+            4 * MIB,
+            8,
+            &Interference::None,
+            2,
+            50,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].method, "MPI");
+        assert_eq!(rows[1].method, "Adaptive");
+        for r in rows {
+            assert!(r.bandwidth.mean > 0.0);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! IOR-style benchmark harness — the measurement tool of the paper's §II.
+//!
+//! Matches the paper's configurations: POSIX-IO, one file per writer,
+//! writers split evenly across a fixed set of storage targets, weak
+//! scaling of the per-writer size. Used for the internal-interference
+//! scaling sweep (Fig. 1), the external-interference variability study
+//! (Table I / Fig. 2) and the imbalance illustration (Fig. 3).
+
+use adios_core::{run, DataSpec, Interference, Method, OutputResult, RunSpec};
+use storesim::MachineConfig;
+
+/// One IOR configuration.
+#[derive(Clone, Debug)]
+pub struct IorConfig {
+    /// Concurrent writers.
+    pub writers: usize,
+    /// Bytes each writer outputs.
+    pub bytes_per_writer: u64,
+    /// Storage targets the writers spread over (512 in the paper's Jaguar
+    /// tests, one writer per target in the hourly external tests).
+    pub osts: usize,
+}
+
+impl IorConfig {
+    /// Run one sample.
+    pub fn run_once(
+        &self,
+        machine: &MachineConfig,
+        interference: &Interference,
+        seed: u64,
+    ) -> OutputResult {
+        let spec = RunSpec {
+            machine: machine.clone(),
+            nprocs: self.writers,
+            data: DataSpec::Uniform(self.bytes_per_writer),
+            method: Method::Posix {
+                targets: self.osts,
+            },
+            interference: interference.clone(),
+            seed,
+        };
+        run(spec).result
+    }
+
+    /// Run `samples` independent samples (seeds `base_seed..`), as the
+    /// paper does with its 40-sample error bars and 469 hourly probes.
+    pub fn run_samples(
+        &self,
+        machine: &MachineConfig,
+        interference: &Interference,
+        samples: usize,
+        base_seed: u64,
+    ) -> Vec<OutputResult> {
+        (0..samples)
+            .map(|i| self.run_once(machine, interference, base_seed + i as u64))
+            .collect()
+    }
+}
+
+/// Aggregate-bandwidth series (bytes/sec) over samples.
+pub fn aggregate_bandwidths(results: &[OutputResult]) -> Vec<f64> {
+    results.iter().map(|r| r.aggregate_bandwidth()).collect()
+}
+
+/// Mean per-writer bandwidth (bytes/sec) of each sample.
+pub fn mean_per_writer_bandwidths(results: &[OutputResult]) -> Vec<f64> {
+    results
+        .iter()
+        .map(|r| {
+            let bws = r.per_writer_bandwidths();
+            bws.iter().sum::<f64>() / bws.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MIB;
+    use storesim::params::testbed;
+
+    fn cfg() -> IorConfig {
+        IorConfig {
+            writers: 16,
+            bytes_per_writer: 4 * MIB,
+            osts: 8,
+        }
+    }
+
+    #[test]
+    fn one_sample_produces_all_writers() {
+        let r = cfg().run_once(&testbed(), &Interference::None, 1);
+        assert_eq!(r.records.len(), 16);
+        assert_eq!(r.total_bytes, 16 * 4 * MIB);
+        assert!(r.aggregate_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn samples_are_independent_seeds() {
+        let rs = cfg().run_samples(&testbed(), &Interference::None, 3, 10);
+        assert_eq!(rs.len(), 3);
+        // Quiet testbed: identical stats across seeds are fine; just
+        // verify each sample is complete.
+        for r in &rs {
+            assert_eq!(r.records.len(), 16);
+        }
+    }
+
+    #[test]
+    fn bandwidth_helpers_have_sample_length() {
+        let rs = cfg().run_samples(&testbed(), &Interference::None, 4, 20);
+        assert_eq!(aggregate_bandwidths(&rs).len(), 4);
+        assert_eq!(mean_per_writer_bandwidths(&rs).len(), 4);
+    }
+
+    #[test]
+    fn more_writers_per_target_hurts_per_writer_bandwidth() {
+        // 128 MiB writes exceed the testbed cache — disk-lane contention.
+        let light = IorConfig {
+            writers: 8,
+            bytes_per_writer: 128 * MIB,
+            osts: 8,
+        };
+        let heavy = IorConfig {
+            writers: 32,
+            bytes_per_writer: 128 * MIB,
+            osts: 8,
+        };
+        let l = light.run_once(&testbed(), &Interference::None, 5);
+        let h = heavy.run_once(&testbed(), &Interference::None, 5);
+        let lb = mean_per_writer_bandwidths(&[l])[0];
+        let hb = mean_per_writer_bandwidths(&[h])[0];
+        assert!(
+            hb < 0.5 * lb,
+            "internal interference: 1/target {lb} vs 4/target {hb}"
+        );
+    }
+
+    #[test]
+    fn competing_job_reduces_aggregate_bandwidth() {
+        let c = IorConfig {
+            writers: 8,
+            bytes_per_writer: 128 * MIB,
+            osts: 8,
+        };
+        let quiet = c.run_once(&testbed(), &Interference::None, 7);
+        let busy = c.run_once(
+            &testbed(),
+            &Interference::CompetingStreams {
+                osts: 4,
+                streams_per_ost: 3,
+                bytes: 256 * MIB,
+            },
+            7,
+        );
+        assert!(
+            busy.aggregate_bandwidth() < quiet.aggregate_bandwidth(),
+            "external interference must cost bandwidth"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # workloads — application IO kernels and measurement harnesses
+//!
+//! The workloads the paper evaluates with, reproduced over the managed-io
+//! middleware:
+//!
+//! * [`ior`] — the IOR benchmark in the paper's POSIX file-per-process
+//!   configuration (§II's interference measurements).
+//! * [`pixie3d`] — the Pixie3D MHD IO kernel: eight double-precision 3-D
+//!   arrays at 32/128/256-cube sizes (2 MB / 128 MB / 1 GB per process).
+//! * [`xgc1`] — the XGC1 gyrokinetic PIC kernel at 38 MB/process.
+//! * [`s3d`] — an S3D-style combustion checkpoint (the paper's size
+//!   calibration reference).
+//! * [`campaign`] — multi-sample method-comparison harnesses (Figs. 5–7).
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod ior;
+pub mod pixie3d;
+pub mod s3d;
+pub mod xgc1;
+
+pub use campaign::{compare_at_scale, ComparisonRow};
+pub use ior::IorConfig;
+pub use pixie3d::Pixie3dConfig;
+pub use s3d::S3dConfig;
+pub use xgc1::Xgc1Config;

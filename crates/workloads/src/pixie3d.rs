@@ -1,0 +1,215 @@
+//! Pixie3D IO kernel (paper §IV-A).
+//!
+//! Pixie3D is a 3-D extended MHD code; its output per process is "eight
+//! double-precision, 3D arrays". The paper's three configurations are
+//! per-process cubes of 32³ (small, 2 MB/process), 128³ (large,
+//! 128 MB/process) and 256³ (extra large, 1 GB/process), weak-scaled.
+//!
+//! This module reproduces that kernel: the eight MHD state arrays
+//! (density, momentum x3, magnetic field x3, temperature), each a cube of
+//! doubles, laid out over a 3-D domain decomposition.
+
+use bpfmt::VarBlock;
+use simcore::Rng;
+
+/// The eight double-precision fields Pixie3D emits.
+pub const FIELDS: [&str; 8] = ["rho", "px", "py", "pz", "bx", "by", "bz", "temp"];
+
+/// One Pixie3D run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Pixie3dConfig {
+    /// Per-process, per-variable cube edge (32 / 128 / 256 in the paper).
+    pub cube: usize,
+    /// Number of processes (weak scaling).
+    pub nprocs: usize,
+}
+
+impl Pixie3dConfig {
+    /// The paper's "small" model: 32-cubes, 2 MB/process.
+    pub fn small(nprocs: usize) -> Self {
+        Pixie3dConfig { cube: 32, nprocs }
+    }
+
+    /// The paper's "large" model: 128-cubes, 128 MB/process.
+    pub fn large(nprocs: usize) -> Self {
+        Pixie3dConfig { cube: 128, nprocs }
+    }
+
+    /// The paper's "extra large" model: 256-cubes, 1 GB/process.
+    pub fn extra_large(nprocs: usize) -> Self {
+        Pixie3dConfig { cube: 256, nprocs }
+    }
+
+    /// Raw payload bytes per process: 8 fields × cube³ doubles.
+    pub fn bytes_per_process(&self) -> u64 {
+        8 * (self.cube as u64).pow(3) * 8
+    }
+
+    /// Total output per IO action.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_process() * self.nprocs as u64
+    }
+
+    /// 3-D processor grid (px, py, pz) with px·py·pz == nprocs, as cubic
+    /// as possible — the domain decomposition Pixie3D uses.
+    pub fn proc_grid(&self) -> (usize, usize, usize) {
+        let n = self.nprocs;
+        let mut best = (n, 1, 1);
+        let mut best_score = usize::MAX;
+        let mut x = 1;
+        while x * x * x <= n {
+            if n.is_multiple_of(x) {
+                let rem = n / x;
+                let mut y = x;
+                while y * y <= rem {
+                    if rem.is_multiple_of(y) {
+                        let z = rem / y;
+                        let score = z - x; // minimise spread
+                        if score < best_score {
+                            best_score = score;
+                            best = (x, y, z);
+                        }
+                    }
+                    y += 1;
+                }
+            }
+            x += 1;
+        }
+        best
+    }
+
+    /// Global array dimensions implied by the decomposition.
+    pub fn global_dims(&self) -> [u64; 3] {
+        let (px, py, pz) = self.proc_grid();
+        [
+            (pz * self.cube) as u64,
+            (py * self.cube) as u64,
+            (px * self.cube) as u64,
+        ]
+    }
+
+    /// This rank's (z, y, x) offsets in the global array.
+    pub fn offsets_of(&self, rank: usize) -> [u64; 3] {
+        let (px, py, _pz) = self.proc_grid();
+        let x = rank % px;
+        let y = (rank / px) % py;
+        let z = rank / (px * py);
+        [
+            (z * self.cube) as u64,
+            (y * self.cube) as u64,
+            (x * self.cube) as u64,
+        ]
+    }
+
+    /// Generate this rank's real variable blocks (for real-bytes runs;
+    /// keep `cube` small or memory explodes). Field values are smooth
+    /// functions of global position plus noise, so data characteristics
+    /// are meaningful.
+    pub fn blocks_of(&self, rank: usize, rng: &mut Rng) -> Vec<VarBlock> {
+        let c = self.cube;
+        let gdims = self.global_dims().to_vec();
+        let offs = self.offsets_of(rank).to_vec();
+        let ldims = vec![c as u64; 3];
+        let mut blocks = Vec::with_capacity(FIELDS.len());
+        for (fi, name) in FIELDS.iter().enumerate() {
+            let mut vals = Vec::with_capacity(c * c * c);
+            for z in 0..c {
+                for y in 0..c {
+                    for x in 0..c {
+                        let gz = offs[0] as usize + z;
+                        let gy = offs[1] as usize + y;
+                        let gx = offs[2] as usize + x;
+                        let base = (gz + 2 * gy + 3 * gx) as f64 * 0.001 + fi as f64;
+                        vals.push(base + 0.01 * rng.normal());
+                    }
+                }
+            }
+            blocks.push(VarBlock::from_f64(
+                *name,
+                gdims.clone(),
+                offs.clone(),
+                ldims.clone(),
+                &vals,
+            ));
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::{GIB, MIB};
+
+    #[test]
+    fn paper_sizes_match() {
+        assert_eq!(Pixie3dConfig::small(512).bytes_per_process(), 2 * MIB);
+        assert_eq!(Pixie3dConfig::large(512).bytes_per_process(), 128 * MIB);
+        assert_eq!(Pixie3dConfig::extra_large(512).bytes_per_process(), GIB);
+    }
+
+    #[test]
+    fn paper_16tb_case() {
+        // §I: 16384 processes × 1 GB = 16 TB per IO.
+        let xl = Pixie3dConfig::extra_large(16384);
+        assert_eq!(xl.total_bytes(), 16384 * GIB);
+    }
+
+    #[test]
+    fn proc_grid_covers_n() {
+        for n in [1, 8, 12, 64, 100, 512, 729] {
+            let cfg = Pixie3dConfig::small(n);
+            let (x, y, z) = cfg.proc_grid();
+            assert_eq!(x * y * z, n, "grid for {n}");
+        }
+    }
+
+    #[test]
+    fn cubic_counts_get_cubic_grids() {
+        assert_eq!(Pixie3dConfig::small(8).proc_grid(), (2, 2, 2));
+        assert_eq!(Pixie3dConfig::small(64).proc_grid(), (4, 4, 4));
+    }
+
+    #[test]
+    fn offsets_tile_the_domain_without_overlap() {
+        let cfg = Pixie3dConfig {
+            cube: 4,
+            nprocs: 8,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..8 {
+            let o = cfg.offsets_of(r);
+            assert!(seen.insert(o), "duplicate offset {o:?}");
+            let g = cfg.global_dims();
+            for d in 0..3 {
+                assert!(o[d] + 4 <= g[d], "rank {r} out of bounds");
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_have_eight_fields_with_correct_shape() {
+        let cfg = Pixie3dConfig { cube: 4, nprocs: 8 };
+        let mut rng = Rng::new(1);
+        let blocks = cfg.blocks_of(3, &mut rng);
+        assert_eq!(blocks.len(), 8);
+        for b in &blocks {
+            assert_eq!(b.local_dims, vec![4, 4, 4]);
+            assert_eq!(b.element_count(), 64);
+        }
+        let names: Vec<&str> = blocks.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, FIELDS.to_vec());
+    }
+
+    #[test]
+    fn field_values_are_position_dependent() {
+        let cfg = Pixie3dConfig { cube: 4, nprocs: 8 };
+        let mut rng = Rng::new(2);
+        let a = cfg.blocks_of(0, &mut rng);
+        let b = cfg.blocks_of(7, &mut rng);
+        // Different ranks see different value ranges (smooth ramp).
+        let ca = bpfmt::Characteristics::of_payload(bpfmt::DType::F64, &a[0].payload);
+        let cb = bpfmt::Characteristics::of_payload(bpfmt::DType::F64, &b[0].payload);
+        assert!(cb.min > ca.min);
+    }
+}

@@ -1,0 +1,86 @@
+//! S3D-style combustion workload (referenced in §IV-A as a size
+//! calibration point: the Pixie3D small model "is maybe 10% of a typical
+//! data size for an application like the S3D combustion simulation").
+//!
+//! S3D checkpoints a 3-D structured grid with many species: the state
+//! vector is velocity (3), temperature, pressure and `n_species` mass
+//! fractions, all double precision. With the paper's calibration (small
+//! Pixie3D ≈ 10 % of typical S3D), a typical S3D process writes ~20 MB.
+
+/// One S3D run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct S3dConfig {
+    /// Per-process grid edge (cubic local domain).
+    pub cube: usize,
+    /// Number of chemical species tracked.
+    pub n_species: usize,
+    /// Number of processes.
+    pub nprocs: usize,
+}
+
+impl S3dConfig {
+    /// A typical production-sized configuration: 48³ local grid with a
+    /// 52-species n-heptane mechanism ≈ 48 MB/process; the paper also
+    /// mentions "smaller S3D runs" around 10 MB (see [`S3dConfig::small`]).
+    pub fn typical(nprocs: usize) -> Self {
+        S3dConfig {
+            cube: 48,
+            n_species: 52,
+            nprocs,
+        }
+    }
+
+    /// A smaller ethylene-mechanism run (~10 MB/process, the hybrid
+    /// MPI/OpenMP point of §IV-A).
+    pub fn small(nprocs: usize) -> Self {
+        S3dConfig {
+            cube: 32,
+            n_species: 35,
+            nprocs,
+        }
+    }
+
+    /// Fields per grid point: u, v, w, T, P + species.
+    pub fn fields(&self) -> usize {
+        5 + self.n_species
+    }
+
+    /// Bytes per process.
+    pub fn bytes_per_process(&self) -> u64 {
+        (self.cube as u64).pow(3) * self.fields() as u64 * 8
+    }
+
+    /// Total bytes per IO action.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_process() * self.nprocs as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MIB;
+
+    #[test]
+    fn typical_is_tens_of_mb() {
+        let b = S3dConfig::typical(1).bytes_per_process();
+        assert!(b > 40 * MIB && b < 60 * MIB, "typical S3D {b}");
+    }
+
+    #[test]
+    fn small_is_around_ten_mb() {
+        let b = S3dConfig::small(1).bytes_per_process();
+        assert!(b > 8 * MIB && b < 12 * MIB, "small S3D {b}");
+    }
+
+    #[test]
+    fn fields_count_species() {
+        assert_eq!(S3dConfig::typical(1).fields(), 57);
+    }
+
+    #[test]
+    fn total_scales_with_procs() {
+        let c = S3dConfig::small(100);
+        assert_eq!(c.total_bytes(), c.bytes_per_process() * 100);
+    }
+}

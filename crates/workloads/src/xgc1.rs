@@ -1,0 +1,108 @@
+//! XGC1 IO kernel (paper §IV-B).
+//!
+//! XGC1 is a gyrokinetic particle-in-cell code for edge-plasma physics.
+//! The paper's tests use a configuration producing **38 MB per process**,
+//! weak-scaled. Per-process output is particle phase-space data: a set of
+//! double-precision arrays over the local particle population.
+
+use bpfmt::VarBlock;
+use simcore::units::MIB;
+use simcore::Rng;
+
+/// Particle phase-space fields XGC1 checkpoints.
+pub const FIELDS: [&str; 10] = [
+    "r", "z", "phi", "rho_parallel", "w1", "w2", "mu", "w0", "f0", "psi",
+];
+
+/// One XGC1 run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Xgc1Config {
+    /// Particles per process.
+    pub particles_per_proc: u64,
+    /// Number of processes.
+    pub nprocs: usize,
+}
+
+impl Xgc1Config {
+    /// The paper's configuration: 38 MB per process. With 10 f64 fields
+    /// that is 498 073 particles per process (498073 × 10 × 8 ≈ 38 MiB).
+    pub fn paper(nprocs: usize) -> Self {
+        Xgc1Config {
+            particles_per_proc: 38 * MIB / (10 * 8),
+            nprocs,
+        }
+    }
+
+    /// Payload bytes per process.
+    pub fn bytes_per_process(&self) -> u64 {
+        self.particles_per_proc * FIELDS.len() as u64 * 8
+    }
+
+    /// Total bytes per IO action.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_process() * self.nprocs as u64
+    }
+
+    /// Generate this rank's real variable blocks (small particle counts
+    /// only). Particles form a 1-D global array partitioned by rank.
+    pub fn blocks_of(&self, rank: usize, rng: &mut Rng) -> Vec<VarBlock> {
+        let n = self.particles_per_proc;
+        let total = n * self.nprocs as u64;
+        let start = n * rank as u64;
+        let mut blocks = Vec::with_capacity(FIELDS.len());
+        for (fi, name) in FIELDS.iter().enumerate() {
+            let vals: Vec<f64> = (0..n)
+                .map(|i| {
+                    let gid = (start + i) as f64;
+                    gid * 1e-6 + fi as f64 * 10.0 + 0.1 * rng.normal()
+                })
+                .collect();
+            blocks.push(VarBlock::from_f64(
+                *name,
+                vec![total],
+                vec![start],
+                vec![n],
+                &vals,
+            ));
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_size_is_38mb() {
+        let cfg = Xgc1Config::paper(1024);
+        let b = cfg.bytes_per_process();
+        // Within one particle's rounding of 38 MiB.
+        assert!(
+            (b as i64 - (38 * MIB) as i64).unsigned_abs() < 80,
+            "per-proc bytes {b}"
+        );
+    }
+
+    #[test]
+    fn total_scales_weakly() {
+        let cfg = Xgc1Config::paper(2048);
+        assert_eq!(cfg.total_bytes(), cfg.bytes_per_process() * 2048);
+    }
+
+    #[test]
+    fn blocks_partition_particles() {
+        let cfg = Xgc1Config {
+            particles_per_proc: 100,
+            nprocs: 4,
+        };
+        let mut rng = Rng::new(3);
+        for r in 0..4 {
+            let blocks = cfg.blocks_of(r, &mut rng);
+            assert_eq!(blocks.len(), 10);
+            assert_eq!(blocks[0].offsets, vec![100 * r as u64]);
+            assert_eq!(blocks[0].global_dims, vec![400]);
+            assert_eq!(blocks[0].element_count(), 100);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! External-interference study (paper §II-2): hourly-style IOR probes on
+//! a busy machine, reporting the bandwidth distribution (Table I /
+//! Fig. 2) and per-writer imbalance (Fig. 3).
+//!
+//! ```sh
+//! cargo run --release --example interference_study
+//! ```
+
+use managed_io::adios::Interference;
+use managed_io::iostats::{imbalance_factor, Histogram, Summary};
+use managed_io::simcore::units::MIB;
+use managed_io::storesim::params::{jaguar, xtp, xtp_with_competing_ior};
+use managed_io::workloads::ior::aggregate_bandwidths;
+use managed_io::workloads::IorConfig;
+
+fn main() {
+    let samples = 60; // scaled-down stand-in for the paper's 469 probes
+
+    // Jaguar: production noise only.
+    let jaguar_cfg = IorConfig {
+        writers: 512,
+        bytes_per_writer: 128 * MIB,
+        osts: 512,
+    };
+    let rs = jaguar_cfg.run_samples(&jaguar(), &Interference::None, samples, 1);
+    let bws = aggregate_bandwidths(&rs);
+    let s = Summary::of(&bws);
+    println!(
+        "Jaguar/Lustre: {} samples, avg {:.1} MiB/s, std {:.1}, CV {:.0}%",
+        s.n,
+        s.mean / MIB as f64,
+        s.std_dev / MIB as f64,
+        s.cv() * 100.0
+    );
+    println!("bandwidth histogram (MiB/s):");
+    let h = Histogram::of(&bws.iter().map(|b| b / MIB as f64).collect::<Vec<_>>(), 12);
+    print!("{}", h.render(40));
+
+    // Per-writer imbalance: two consecutive probes (the paper's Fig. 3
+    // pair taken 3 minutes apart).
+    let t1 = jaguar_cfg.run_once(&jaguar(), &Interference::None, 101);
+    let t2 = jaguar_cfg.run_once(&jaguar(), &Interference::None, 102);
+    println!(
+        "\nimbalance factors of two consecutive probes: {:.2} vs {:.2}",
+        imbalance_factor(&t1.per_writer_times()),
+        imbalance_factor(&t2.per_writer_times()),
+    );
+
+    // XTP: quiet vs a second competing job.
+    let xtp_cfg = IorConfig {
+        writers: 40,
+        bytes_per_writer: 128 * MIB,
+        osts: 40,
+    };
+    for (label, machine) in [("without Int.", xtp()), ("with Int.", xtp_with_competing_ior())] {
+        let rs = xtp_cfg.run_samples(&machine, &Interference::None, samples, 500);
+        let s = Summary::of(&aggregate_bandwidths(&rs));
+        println!(
+            "XTP/PanFS ({label}): avg {:.1} MiB/s, std {:.1}, CV {:.0}%",
+            s.mean / MIB as f64,
+            s.std_dev / MIB as f64,
+            s.cv() * 100.0
+        );
+    }
+}

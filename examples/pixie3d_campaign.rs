@@ -1,0 +1,63 @@
+//! Pixie3D IO campaign: the paper's §IV-A comparison of the MPI-IO base
+//! transport vs the adaptive method, on the Jaguar preset.
+//!
+//! Defaults to a reduced scale so it runs in seconds; pass `--full` for
+//! the paper's process counts (512…16384).
+//!
+//! ```sh
+//! cargo run --release --example pixie3d_campaign [-- --full]
+//! ```
+
+use managed_io::adios::Interference;
+use managed_io::iostats::Table;
+use managed_io::simcore::units::GIB;
+use managed_io::storesim::params::jaguar;
+use managed_io::workloads::campaign::compare_at_scale;
+use managed_io::workloads::Pixie3dConfig;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let machine = jaguar();
+    let scales: &[usize] = if full {
+        &[512, 1024, 2048, 4096, 8192, 16384]
+    } else {
+        &[512, 1024, 2048]
+    };
+    let samples = if full { 5 } else { 3 };
+
+    type Model = (&'static str, fn(usize) -> Pixie3dConfig);
+    let models: [Model; 2] = [
+        ("small (2 MB/proc)", Pixie3dConfig::small),
+        ("large (128 MB/proc)", Pixie3dConfig::large),
+    ];
+    for (label, mk) in models {
+        println!("\nPixie3D {label} on {}:", machine.name);
+        let mut table = Table::new(vec![
+            "procs", "method", "avg GiB/s", "max GiB/s", "min GiB/s", "std(t) s",
+        ]);
+        for &n in scales {
+            let cfg = mk(n);
+            let rows = compare_at_scale(
+                &machine,
+                cfg.nprocs,
+                cfg.bytes_per_process(),
+                512,
+                &Interference::None,
+                samples,
+                7_000 + n as u64,
+            );
+            for r in rows {
+                table.row(vec![
+                    r.nprocs.to_string(),
+                    r.method.to_string(),
+                    format!("{:.2}", r.bandwidth.mean / GIB as f64),
+                    format!("{:.2}", r.bandwidth.max / GIB as f64),
+                    format!("{:.2}", r.bandwidth.min / GIB as f64),
+                    format!("{:.3}", r.write_time_std),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+    println!("(Adaptive uses 512 targets; MPI is limited to the 160-OST Lustre stripe cap.)");
+}

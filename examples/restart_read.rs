@@ -1,0 +1,52 @@
+//! Restart read: write an output set with the adaptive method, then read
+//! everything back through the index layout with a restarting job of a
+//! different size — the paper's §IV-C/§V read-path discussion.
+//!
+//! ```sh
+//! cargo run --release --example restart_read
+//! ```
+
+use managed_io::adios::readback::ReadPlan;
+use managed_io::adios::{
+    run, run_restart_read, AdaptiveOpts, DataSpec, Interference, Method, RunSpec,
+};
+use managed_io::simcore::units::{GIB, MIB};
+use managed_io::storesim::params::jaguar;
+
+fn main() {
+    let machine = jaguar();
+    let nprocs = 1024;
+
+    // Write a checkpoint with the adaptive method.
+    let out = run(RunSpec {
+        machine: machine.clone(),
+        nprocs,
+        data: DataSpec::Uniform(64 * MIB),
+        method: Method::Adaptive {
+            targets: 256,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed: 7,
+    });
+    println!(
+        "checkpoint: {} GiB written at {:.2} GiB/s ({} adaptive writes, {} subfile targets)",
+        out.result.total_bytes / GIB,
+        out.result.aggregate_bandwidth() / GIB as f64,
+        out.result.adaptive_writes,
+        256,
+    );
+
+    // Restart at several job sizes: each reader fetches its share of the
+    // blocks via one index lookup + one contiguous read per block.
+    for readers in [64usize, 256, 1024] {
+        let plan = ReadPlan::from_records(&out.result.records, readers);
+        let res = run_restart_read(&machine, &plan, 11);
+        println!(
+            "restart with {readers:>5} readers: {:.2} GiB/s ({} blocks over {} subfiles)",
+            res.aggregate_bandwidth() / GIB as f64,
+            plan.per_reader.iter().map(|b| b.len()).sum::<usize>(),
+            plan.files.len(),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! XGC1 IO campaign (paper §IV-B): 38 MB/process fusion PIC output,
+//! MPI-IO vs adaptive, under a quiet system and under the paper's
+//! artificial interference (three 1 GiB streamers on each of 8 targets).
+//!
+//! ```sh
+//! cargo run --release --example xgc1_campaign [-- --full]
+//! ```
+
+use managed_io::adios::Interference;
+use managed_io::iostats::Table;
+use managed_io::simcore::units::GIB;
+use managed_io::storesim::params::jaguar;
+use managed_io::workloads::campaign::compare_at_scale;
+use managed_io::workloads::Xgc1Config;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let machine = jaguar();
+    let scales: &[usize] = if full {
+        &[512, 1024, 2048, 4096, 8192]
+    } else {
+        &[512, 1024]
+    };
+    let samples = if full { 5 } else { 3 };
+
+    for (env, interference) in [
+        ("base", Interference::None),
+        ("interference", Interference::paper_default()),
+    ] {
+        println!("\nXGC1 (38 MB/proc) on {} — {env}:", machine.name);
+        let mut table = Table::new(vec![
+            "procs", "method", "avg GiB/s", "max GiB/s", "std(t) s", "adaptive writes",
+        ]);
+        for &n in scales {
+            let cfg = Xgc1Config::paper(n);
+            let rows = compare_at_scale(
+                &machine,
+                cfg.nprocs,
+                cfg.bytes_per_process(),
+                512,
+                &interference,
+                samples,
+                9_000 + n as u64,
+            );
+            for r in rows {
+                table.row(vec![
+                    r.nprocs.to_string(),
+                    r.method.to_string(),
+                    format!("{:.2}", r.bandwidth.mean / GIB as f64),
+                    format!("{:.2}", r.bandwidth.max / GIB as f64),
+                    format!("{:.3}", r.write_time_std),
+                    format!("{:.1}", r.adaptive_writes),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+}

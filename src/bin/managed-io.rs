@@ -1,0 +1,349 @@
+//! `managed-io` — command-line front end to the reproduction.
+//!
+//! ```text
+//! managed-io run      --machine jaguar --method adaptive --procs 4096 \
+//!                     --mb-per-proc 128 --targets 512 [--interference] [--seed N]
+//! managed-io sweep    --machine jaguar --method adaptive --mb-per-proc 128 \
+//!                     --procs 512,2048,8192 [--samples 5]
+//! managed-io table1   [--samples 60]
+//! managed-io machines
+//! ```
+//!
+//! Everything the subcommands print is also available programmatically;
+//! the CLI exists so the experiments can be driven without writing Rust.
+
+use managed_io::adios::{
+    run, AdaptiveOpts, DataSpec, Interference, Method, OutputResult, RunSpec,
+};
+use managed_io::iostats::{Summary, Table};
+use managed_io::simcore::units::{GIB, MIB};
+use managed_io::storesim::params::{
+    bluegene_gpfs, franklin, jaguar, testbed, xtp, xtp_with_competing_ior, MachineConfig,
+};
+use managed_io::workloads::ior::aggregate_bandwidths;
+use managed_io::workloads::IorConfig;
+
+/// Minimal `--key value` / `--flag` argument map.
+#[derive(Debug, Default)]
+struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut argv = argv.peekable();
+        while let Some(a) = argv.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match argv.peek() {
+                    Some(v) if !v.starts_with("--") => Some(argv.next().expect("peeked")),
+                    _ => None,
+                };
+                out.options.push((key.to_string(), value));
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: bad number {v:?}")),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        Ok(self.get_u64(key, default as u64)? as usize)
+    }
+}
+
+fn machine_by_name(name: &str) -> Result<MachineConfig, String> {
+    match name {
+        "jaguar" => Ok(jaguar()),
+        "franklin" => Ok(franklin()),
+        "xtp" => Ok(xtp()),
+        "xtp-busy" => Ok(xtp_with_competing_ior()),
+        "bgp" => Ok(bluegene_gpfs()),
+        "testbed" => Ok(testbed()),
+        other => Err(format!(
+            "unknown machine {other:?} (jaguar | franklin | xtp | xtp-busy | bgp | testbed)"
+        )),
+    }
+}
+
+fn method_by_name(name: &str, targets: usize) -> Result<Method, String> {
+    match name {
+        "posix" => Ok(Method::Posix { targets }),
+        "mpiio" | "mpi" => Ok(Method::MpiIo {
+            stripe_count: targets,
+        }),
+        "stagger" => Ok(Method::Stagger { targets }),
+        "adaptive" => Ok(Method::Adaptive {
+            targets,
+            opts: AdaptiveOpts::default(),
+        }),
+        other => Err(format!(
+            "unknown method {other:?} (posix | mpiio | stagger | adaptive)"
+        )),
+    }
+}
+
+fn print_result(r: &OutputResult) {
+    println!(
+        "ranks {:>6}  bytes {:>8.1} GiB  span {:>8.3} s  aggregate {:>7.2} GiB/s  adaptive writes {}",
+        r.records.len(),
+        r.total_bytes as f64 / GIB as f64,
+        r.write_span(),
+        r.aggregate_bandwidth() / GIB as f64,
+        r.adaptive_writes,
+    );
+    let times = r.per_writer_times();
+    let s = Summary::of(&times);
+    println!(
+        "per-writer write time: mean {:.3} s, std {:.3} s, min {:.3}, max {:.3}, imbalance {:.2}",
+        s.mean,
+        s.std_dev,
+        s.min,
+        s.max,
+        r.imbalance_factor()
+    );
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let machine = machine_by_name(args.get("machine").unwrap_or("jaguar"))?;
+    let targets = args.get_usize("targets", 512)?;
+    let method = method_by_name(args.get("method").unwrap_or("adaptive"), targets)?;
+    let nprocs = args.get_usize("procs", 1024)?;
+    let mb = args.get_u64("mb-per-proc", 128)?;
+    let seed = args.get_u64("seed", 2010)?;
+    let interference = if args.flag("interference") {
+        Interference::paper_default()
+    } else {
+        Interference::None
+    };
+    let out = run(RunSpec {
+        machine,
+        nprocs,
+        data: DataSpec::Uniform(mb * MIB),
+        method,
+        interference,
+        seed,
+    });
+    print_result(&out.result);
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let machine = machine_by_name(args.get("machine").unwrap_or("jaguar"))?;
+    let targets = args.get_usize("targets", 512)?;
+    let method_name = args.get("method").unwrap_or("adaptive").to_string();
+    let mb = args.get_u64("mb-per-proc", 128)?;
+    let samples = args.get_usize("samples", 5)?;
+    let seed = args.get_u64("seed", 2010)?;
+    let procs: Vec<usize> = args
+        .get("procs")
+        .unwrap_or("512,2048,8192")
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad proc count {p:?}")))
+        .collect::<Result<_, _>>()?;
+    let interference = if args.flag("interference") {
+        Interference::paper_default()
+    } else {
+        Interference::None
+    };
+    let mut table = Table::new(vec!["procs", "avg GiB/s", "min", "max", "std(t) s"]);
+    for &n in &procs {
+        let method = method_by_name(&method_name, targets)?;
+        let mut bws = Vec::with_capacity(samples);
+        let mut stds = Vec::with_capacity(samples);
+        for k in 0..samples {
+            let out = run(RunSpec {
+                machine: machine.clone(),
+                nprocs: n,
+                data: DataSpec::Uniform(mb * MIB),
+                method: method.clone(),
+                interference: interference.clone(),
+                seed: seed + k as u64,
+            });
+            bws.push(out.result.aggregate_bandwidth());
+            stds.push(Summary::of(&out.result.per_writer_times()).std_dev);
+        }
+        let s = Summary::of(&bws);
+        table.row(vec![
+            n.to_string(),
+            format!("{:.2}", s.mean / GIB as f64),
+            format!("{:.2}", s.min / GIB as f64),
+            format!("{:.2}", s.max / GIB as f64),
+            format!("{:.3}", stds.iter().sum::<f64>() / stds.len() as f64),
+        ]);
+    }
+    println!(
+        "{} x {} MB/proc, method {}, {}:",
+        machine.name,
+        mb,
+        method_name,
+        if args.flag("interference") {
+            "with interference"
+        } else {
+            "base"
+        }
+    );
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_table1(args: &Args) -> Result<(), String> {
+    let samples = args.get_usize("samples", 60)?;
+    let seed = args.get_u64("seed", 2010)?;
+    let mut table = Table::new(vec!["Machine", "Samples", "Avg MiB/s", "Std", "CV"]);
+    let cases = [
+        (jaguar(), 512usize, 512usize),
+        (franklin(), 80, 80),
+        (xtp_with_competing_ior(), 512, 40),
+        (xtp(), 512, 40),
+    ];
+    for (machine, writers, osts) in cases {
+        let cfg = IorConfig {
+            writers,
+            bytes_per_writer: 128 * MIB,
+            osts,
+        };
+        let rs = cfg.run_samples(&machine, &Interference::None, samples, seed);
+        let s = Summary::of(&aggregate_bandwidths(&rs));
+        table.row(vec![
+            machine.name.clone(),
+            s.n.to_string(),
+            format!("{:.1}", s.mean / MIB as f64),
+            format!("{:.1}", s.std_dev / MIB as f64),
+            format!("{:.1}%", s.cv() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_machines() -> Result<(), String> {
+    let mut table = Table::new(vec!["name", "targets", "max stripe", "peak GiB/s", "noise"]);
+    for m in [jaguar(), franklin(), xtp(), xtp_with_competing_ior(), bluegene_gpfs(), testbed()] {
+        table.row(vec![
+            m.name.clone(),
+            m.ost_count.to_string(),
+            m.max_stripe_count.to_string(),
+            format!("{:.1}", m.theoretical_peak().gib_per_sec()),
+            if m.noise.jobs.enabled {
+                "production".to_string()
+            } else if m.noise.micro.enabled {
+                "quiet+jitter".to_string()
+            } else {
+                "none".to_string()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+const USAGE: &str = "managed-io <run | sweep | table1 | machines> [options]
+  run      --machine M --method (posix|mpiio|stagger|adaptive) --procs N
+           --mb-per-proc MB --targets T [--interference] [--seed S]
+  sweep    same options, --procs as a comma list, plus --samples K
+  table1   [--samples K] [--seed S]
+  machines list the machine presets";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_default();
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
+        "table1" => cmd_table1(&args),
+        "machines" => cmd_machines(),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let a = args("--machine xtp --procs 64 --interference --seed 7");
+        assert_eq!(a.get("machine"), Some("xtp"));
+        assert_eq!(a.get_usize("procs", 0).unwrap(), 64);
+        assert!(a.flag("interference"));
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 7);
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get_u64("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn bad_numbers_error() {
+        let a = args("--procs abc");
+        assert!(a.get_usize("procs", 0).is_err());
+    }
+
+    #[test]
+    fn machine_lookup() {
+        assert!(machine_by_name("jaguar").is_ok());
+        assert!(machine_by_name("bgp").is_ok());
+        assert!(machine_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn method_lookup() {
+        assert!(matches!(
+            method_by_name("adaptive", 8).unwrap(),
+            Method::Adaptive { targets: 8, .. }
+        ));
+        assert!(matches!(
+            method_by_name("mpi", 4).unwrap(),
+            Method::MpiIo { stripe_count: 4 }
+        ));
+        assert!(method_by_name("what", 1).is_err());
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let a = args("--machine testbed --method adaptive --procs 16 --mb-per-proc 4 --targets 8");
+        cmd_run(&a).unwrap();
+    }
+
+    #[test]
+    fn sweep_command_end_to_end() {
+        let a = args("--machine testbed --method posix --procs 8,16 --mb-per-proc 2 --targets 8 --samples 2");
+        cmd_sweep(&a).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # managed-io — facade crate
+//!
+//! Re-exports the full managed-io stack: the deterministic simulation
+//! engine, the petascale storage substrate, the cluster/actor runtime, the
+//! BP-style file format, the ADIOS-style middleware with the SC'10 adaptive
+//! transport, workload generators, and statistics helpers.
+//!
+//! See the individual crates for detail:
+//!
+//! * [`simcore`] — discrete-event engine, RNG, time, units.
+//! * [`storesim`] — OSTs, metadata server, striping, interference.
+//! * [`clustersim`] — ranks, actors, network, simulation runner.
+//! * [`bpfmt`] — self-describing output format with local/global indices.
+//! * [`adios`] (re-export of `adios-core`) — transports: POSIX, MPI-IO,
+//!   stagger, adaptive.
+//! * [`workloads`] — IOR, Pixie3D, XGC1, interference jobs.
+//! * [`iostats`] — summary statistics, histograms, imbalance factors.
+
+pub use adios_core as adios;
+pub use bpfmt;
+pub use clustersim;
+pub use iostats;
+pub use simcore;
+pub use storesim;
+pub use workloads;

@@ -1,0 +1,244 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use std::collections::HashMap;
+
+use managed_io::adios::{run, AdaptiveOpts, DataSpec, Interference, Method, RunSpec};
+use managed_io::bpfmt::{
+    decode_pg, encode_pg, read_f64, read_global_f64, GlobalIndex, LocalIndex, SubfileWriter,
+    VarBlock,
+};
+use managed_io::simcore::units::MIB;
+use managed_io::simcore::{EventQueue, SimTime};
+use managed_io::storesim::layout::{map_stripes, OstId};
+use managed_io::storesim::params::testbed;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue is a total order: any schedule pattern pops in
+    /// non-decreasing time with FIFO ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut count = 0;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t.as_nanos() > lt || (t.as_nanos() == lt && i > li),
+                    "order violated: ({lt},{li}) then ({},{i})", t.as_nanos());
+            }
+            last = Some((t.as_nanos(), i));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Striping conserves bytes and never assigns to targets outside the
+    /// file's stripe list.
+    #[test]
+    fn striping_conserves_bytes(
+        stripe_kib in 1u64..64,
+        n_osts in 1usize..12,
+        offset in 0u64..10_000_000,
+        len in 1u64..50_000_000,
+    ) {
+        let stripe = stripe_kib * 1024;
+        let osts: Vec<OstId> = (0..n_osts).map(OstId).collect();
+        let chunks = map_stripes(stripe, &osts, offset, len);
+        let total: u64 = chunks.iter().map(|&(_, b)| b).sum();
+        prop_assert_eq!(total, len);
+        for &(o, b) in &chunks {
+            prop_assert!(o.0 < n_osts);
+            prop_assert!(b > 0);
+        }
+    }
+
+    /// Process groups round-trip through the wire format for arbitrary
+    /// variable contents.
+    #[test]
+    fn pg_roundtrip(
+        rank in 0u32..10_000,
+        step in 0u32..100,
+        vals in prop::collection::vec(-1e12f64..1e12, 1..128),
+        name in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
+    ) {
+        let n = vals.len() as u64;
+        let block = VarBlock::from_f64(name, vec![n], vec![0], vec![n], &vals);
+        let (bytes, entries) = encode_pg(rank, step, std::slice::from_ref(&block));
+        let (r, s, back) = decode_pg(&bytes).unwrap();
+        prop_assert_eq!(r, rank);
+        prop_assert_eq!(s, step);
+        prop_assert_eq!(&back[0], &block);
+        // Index entry points exactly at the payload.
+        let e = &entries[0];
+        let payload = &bytes[e.file_offset as usize..(e.file_offset + e.payload_len) as usize];
+        prop_assert_eq!(payload, &block.payload[..]);
+    }
+
+    /// A subfile with any mix of appended process groups yields a
+    /// parseable index whose every entry reads back the original values.
+    #[test]
+    fn subfile_index_complete(
+        blocks in prop::collection::vec(
+            (0u32..64, prop::collection::vec(-1e6f64..1e6, 1..32)),
+            1..12,
+        ),
+    ) {
+        let mut w = SubfileWriter::new();
+        let mut originals: Vec<(u32, Vec<f64>)> = Vec::new();
+        for (rank, vals) in &blocks {
+            let n = vals.len() as u64;
+            let b = VarBlock::from_f64("v", vec![n], vec![0], vec![n], vals);
+            w.append(*rank, 0, &[b]);
+            originals.push((*rank, vals.clone()));
+        }
+        let (file, _) = w.finalize();
+        let idx = LocalIndex::parse(&file).unwrap();
+        prop_assert_eq!(idx.entries.len(), originals.len());
+        for (rank, vals) in &originals {
+            // There may be several blocks from the same rank; at least one
+            // must match exactly.
+            let found = idx.entries.iter()
+                .filter(|e| e.rank == *rank)
+                .any(|e| read_f64(&file, e) == *vals);
+            prop_assert!(found, "rank {rank} block lost");
+        }
+    }
+
+    /// Adaptive runs conserve bytes and keep per-file layouts gap-free
+    /// for arbitrary small configurations.
+    #[test]
+    fn adaptive_conserves_bytes_and_offsets(
+        nprocs in 2usize..24,
+        targets in 1usize..8,
+        size_mib in 1u64..16,
+        seed in 0u64..50,
+    ) {
+        let out = run(RunSpec {
+            machine: testbed(),
+            nprocs,
+            data: DataSpec::Uniform(size_mib * MIB),
+            method: Method::Adaptive { targets, opts: AdaptiveOpts::default() },
+            interference: Interference::None,
+            seed,
+        });
+        prop_assert_eq!(out.result.records.len(), nprocs);
+        prop_assert_eq!(out.result.total_bytes, nprocs as u64 * size_mib * MIB);
+        let mut by_file: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+        for r in &out.result.records {
+            by_file.entry(r.file.0).or_default().push((r.offset, r.bytes));
+        }
+        for (_, mut spans) in by_file {
+            spans.sort_unstable();
+            let mut at = 0u64;
+            for (offset, bytes) in spans {
+                prop_assert_eq!(offset, at, "gap/overlap in layout");
+                at = offset + bytes;
+            }
+        }
+    }
+
+    /// Real-bytes adaptive runs reconstruct the global array exactly, for
+    /// arbitrary rank/target splits.
+    #[test]
+    fn adaptive_real_roundtrip(
+        nprocs in 2usize..10,
+        targets in 1usize..6,
+        per in 4u64..64,
+        seed in 0u64..20,
+    ) {
+        let blocks: Vec<Vec<VarBlock>> = (0..nprocs).map(|r| {
+            let vals: Vec<f64> = (0..per).map(|i| (r as u64 * per + i) as f64).collect();
+            vec![VarBlock::from_f64(
+                "u",
+                vec![nprocs as u64 * per],
+                vec![r as u64 * per],
+                vec![per],
+                &vals,
+            )]
+        }).collect();
+        let out = run(RunSpec {
+            machine: testbed(),
+            nprocs,
+            data: DataSpec::Real(blocks),
+            method: Method::Adaptive { targets, opts: AdaptiveOpts::default() },
+            interference: Interference::None,
+            seed,
+        });
+        let gidx: GlobalIndex = out.global_index.unwrap();
+        let files = out.subfiles.unwrap();
+        let all = read_global_f64(&gidx, &files, "u", 0).unwrap();
+        let expect: Vec<f64> = (0..nprocs as u64 * per).map(|x| x as f64).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Summary statistics are scale-equivariant (sanity of the stats
+    /// layer under arbitrary data).
+    #[test]
+    fn summary_scale_equivariance(
+        xs in prop::collection::vec(0.001f64..1e9, 2..100),
+        k in 0.001f64..1000.0,
+    ) {
+        use managed_io::iostats::Summary;
+        let s = Summary::of(&xs);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let t = Summary::of(&scaled);
+        prop_assert!((t.mean - k * s.mean).abs() <= 1e-9 * t.mean.abs().max(1.0));
+        prop_assert!((t.std_dev - k * s.std_dev).abs() <= 1e-6 * (t.std_dev.abs() + 1.0));
+        prop_assert!((t.cv() - s.cv()).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Parser robustness: arbitrary bytes never panic the format parsers —
+    /// they return structured errors (or, for luck-crafted valid input, a
+    /// parse).
+    #[test]
+    fn parsers_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = managed_io::bpfmt::LocalIndex::parse(&bytes);
+        let _ = managed_io::bpfmt::GlobalIndex::parse(&bytes);
+        let _ = managed_io::bpfmt::decode_pg(&bytes);
+        let _ = managed_io::bpfmt::Attributes::parse(&bytes);
+    }
+
+    /// Truncation robustness: every prefix of a valid subfile either
+    /// parses (impossible for strict prefixes ending before the footer)
+    /// or errors cleanly.
+    #[test]
+    fn truncated_subfiles_error_cleanly(
+        vals in prop::collection::vec(-1e3f64..1e3, 1..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let n = vals.len() as u64;
+        let mut w = managed_io::bpfmt::SubfileWriter::new();
+        w.append(0, 0, &[VarBlock::from_f64("v", vec![n], vec![0], vec![n], &vals)]);
+        let (file, _) = w.finalize();
+        let cut = ((file.len() as f64) * cut_frac) as usize;
+        if cut < file.len() {
+            prop_assert!(managed_io::bpfmt::LocalIndex::parse(&file[..cut]).is_err());
+        }
+    }
+
+    /// Attribute sets round-trip for arbitrary contents.
+    #[test]
+    fn attributes_roundtrip(
+        entries in prop::collection::vec(
+            ("[a-z]{1,12}", -1e9f64..1e9),
+            0..16,
+        ),
+    ) {
+        use managed_io::bpfmt::{AttrValue, Attributes};
+        let mut a = Attributes::new();
+        for (name, v) in &entries {
+            a.set(name.clone(), AttrValue::F64(*v));
+        }
+        let back = Attributes::parse(&a.serialize()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+}
