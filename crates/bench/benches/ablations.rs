@@ -91,7 +91,7 @@ fn main() {
             fmt_gibps(s.min),
             fmt_gibps(s.max),
         ]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "experiment": "ablation",
             "variant": name,
             "procs": n,
@@ -114,7 +114,7 @@ fn main() {
             fmt_gibps(s.min),
             fmt_gibps(s.max),
         ]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "experiment": "ablation",
             "variant": name,
             "procs": n,
@@ -141,7 +141,7 @@ fn main() {
             seed + 5,
         );
         cache_table.row(vec![format!("{} MiB", max_req / MIB), fmt_gibps(spec_bw.mean)]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "experiment": "cache-sweep",
             "cache_max_request": max_req,
             "avg_bps": spec_bw.mean,

@@ -84,7 +84,7 @@ fn main() {
                 format!("{:.0}", t.total_blocked()),
                 format!("{:.2}%", t.io_fraction() * 100.0),
             ]);
-            log.row(serde_json::json!({
+            log.row(minijson::json!({
                 "experiment": "async-io",
                 "method": name,
                 "buffer_steps": buffer_steps,
@@ -119,7 +119,7 @@ fn main() {
             fmt_gibps(res.durable_bandwidth()),
             format!("{:.1}x", res.apparent_bandwidth() / res.durable_bandwidth()),
         ]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "experiment": "staging",
             "buffer_bytes": buffer,
             "apparent_bps": res.apparent_bandwidth(),
@@ -152,7 +152,7 @@ fn main() {
             fmt_gibps(res.aggregate_bandwidth()),
             format!("{:.2}x", res.aggregate_bandwidth() / write_bw),
         ]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "experiment": "restart-read",
             "readers": readers,
             "read_bps": res.aggregate_bandwidth(),

@@ -1,96 +1,244 @@
-//! Criterion microbenchmarks of the simulation engine's hot paths: event
-//! queue throughput, OST fluid-model settling, and a complete small
-//! adaptive run. These guard the *wall-clock* cost of regenerating the
-//! paper's figures (a full 16384-rank sample must stay well under a
-//! second).
+//! Microbenchmarks of the simulation engine's hot paths: event-queue
+//! schedule/cancel/pop churn, OST fluid-model settling, storage-system
+//! replan storms, a complete adaptive run, and a Fig. 7-style multi-seed
+//! sweep. These guard the *wall-clock* cost of regenerating the paper's
+//! figures (a full 16384-rank sample must stay well under a second).
+//!
+//! Timing is hand-rolled (`std::time::Instant`, min-of-N after warmup) —
+//! the workspace builds offline with no criterion. Results merge into
+//! `BENCH_engine.json` at the workspace root, keyed by bench name and
+//! engine variant, so running twice gives before/after in one artifact:
+//!
+//! ```text
+//! cargo bench --bench engine_micro                      # optimized engine
+//! cargo bench --bench engine_micro --features baseline  # pre-optimization engine
+//! ```
+//!
+//! The queue microbenchmarks compare both implementations inside a
+//! single binary (the baseline queue module is always compiled); the
+//! system-level benchmarks report under whichever engine the `baseline`
+//! feature selected.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use adios_core::{run, AdaptiveOpts, DataSpec, Interference, Method, RunSpec};
+use managed_io_bench::par_replicates;
+use minijson::{json, Value};
+use simcore::queue::{baseline::BaselineEventQueue, slab::SlabEventQueue};
 use simcore::units::MIB;
-use simcore::{EventQueue, Rng, SimTime};
+use simcore::{Rng, SimTime};
 use storesim::layout::OstId;
 use storesim::ost::{OpKind, Ost, RequestId};
 use storesim::params::{jaguar, testbed};
 use storesim::StorageSystem;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_10k_schedule_pop", |b| {
-        b.iter_batched(
-            || Rng::new(7),
-            |mut rng| {
-                let mut q = EventQueue::new();
-                for i in 0..10_000u64 {
-                    q.schedule(SimTime::from_nanos(rng.below(1_000_000)), i);
+/// Which engine the system-level benchmarks ran against.
+const VARIANT: &str = if cfg!(feature = "baseline") {
+    "baseline"
+} else {
+    "optimized"
+};
+
+/// Artifact lives at the workspace root regardless of cargo's CWD.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+
+struct Timing {
+    iters: usize,
+    min_s: f64,
+    mean_s: f64,
+}
+
+/// Warm up once, then time `iters` runs of `f`; keep min and mean.
+fn time_n<F: FnMut() -> u64>(iters: usize, mut f: F) -> Timing {
+    black_box(f());
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    Timing {
+        iters,
+        min_s: min,
+        mean_s: total / iters as f64,
+    }
+}
+
+/// The replan-storm access pattern both queue implementations must serve.
+/// Processor-sharing servers re-plan (cancel + reschedule) the predicted
+/// completion of *every* in-flight stream each time their load changes,
+/// so cancellations vastly outnumber pops: each round below cancels and
+/// reschedules all 10k pending wakes, then fires a few completions and
+/// polls the horizon. Generated identically for both implementations via
+/// the same seeded RNG.
+macro_rules! queue_churn {
+    ($name:ident, $queue:ty) => {
+        fn $name() -> u64 {
+            let mut rng = Rng::new(7);
+            let mut q: $queue = <$queue>::new();
+            let mut live = Vec::with_capacity(10_000);
+            let mut sum = 0u64;
+            for i in 0..10_000u64 {
+                live.push(q.schedule(SimTime::from_nanos(1 + rng.below(1 << 20)), i));
+            }
+            for _round in 0..25 {
+                // The storm: every pending wake is cancelled and replanned
+                // (tokens of already-fired events cancel as no-ops, exactly
+                // as in the simulator).
+                for k in 0..live.len() {
+                    q.cancel(live[k]);
+                    let t = q.now() + simcore::SimDuration::from_nanos(1 + rng.below(1 << 20));
+                    live[k] = q.schedule(t, k as u64);
                 }
-                let mut sum = 0u64;
-                while let Some((_, v)) = q.pop() {
-                    sum += v;
+                // A handful of completions actually fire between storms.
+                for _ in 0..live.len() / 16 {
+                    if let Some((_, v)) = q.pop() {
+                        sum = sum.wrapping_add(v);
+                    }
                 }
-                black_box(sum)
+                sum = sum.wrapping_add(q.peek_time().map_or(0, |t| t.as_nanos() as u64));
+            }
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        }
+    };
+}
+
+queue_churn!(churn_slab, SlabEventQueue<u64>);
+queue_churn!(churn_baseline, BaselineEventQueue<u64>);
+
+fn ost_settle() -> u64 {
+    let mut ost = Ost::new(testbed().ost);
+    for i in 0..32u64 {
+        ost.submit(SimTime::ZERO, RequestId(i), 16 * MIB, OpKind::WriteDirect);
+    }
+    let mut done = 0u64;
+    while let Some(at) = ost.next_completion() {
+        done += ost.advance(at).len() as u64;
+    }
+    done
+}
+
+fn storage_512_writes() -> u64 {
+    let mut sys = StorageSystem::new(jaguar(), 3);
+    for i in 0..512u64 {
+        sys.submit_ost_write(SimTime::ZERO, OstId((i % 512) as usize), 8 * MIB, i);
+    }
+    sys.run_until_quiet(SimTime::from_secs_f64(1e5)).len() as u64
+}
+
+fn adaptive_run_512() -> u64 {
+    let out = run(RunSpec {
+        machine: jaguar(),
+        nprocs: 512,
+        data: DataSpec::Uniform(8 * MIB),
+        method: Method::Adaptive {
+            targets: 512,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed: 11,
+    });
+    out.result.records.len() as u64
+}
+
+/// Fig. 7-style sweep: independent seeds of the same adaptive workload,
+/// fanned out through the campaign-level replicate runner.
+fn fig7_style_sweep() -> u64 {
+    let seeds: Vec<u64> = (0..6).collect();
+    let results = par_replicates(seeds, |seed| {
+        run(RunSpec {
+            machine: jaguar(),
+            nprocs: 256,
+            data: DataSpec::Uniform(8 * MIB),
+            method: Method::Adaptive {
+                targets: 256,
+                opts: AdaptiveOpts::default(),
             },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_ost_settle(c: &mut Criterion) {
-    c.bench_function("ost_32_stream_drain", |b| {
-        b.iter(|| {
-            let mut ost = Ost::new(testbed().ost);
-            for i in 0..32u64 {
-                ost.submit(SimTime::ZERO, RequestId(i), 16 * MIB, OpKind::WriteDirect);
-            }
-            let mut done = 0;
-            while let Some(at) = ost.next_completion() {
-                done += ost.advance(at).len();
-            }
-            black_box(done)
+            interference: Interference::paper_default(),
+            seed,
         })
+        .result
     });
+    results.iter().map(|r| r.records.len() as u64).sum()
 }
 
-fn bench_storage_system(c: &mut Criterion) {
-    c.bench_function("storage_512_writes_jaguar", |b| {
-        b.iter(|| {
-            let mut sys = StorageSystem::new(jaguar(), 3);
-            for i in 0..512u64 {
-                sys.submit_ost_write(
-                    SimTime::ZERO,
-                    OstId((i % 512) as usize),
-                    8 * MIB,
-                    i,
-                );
+/// Merge `rows` into BENCH_engine.json: `{bench: {variant: timing}}` plus
+/// recomputed `speedups` (baseline min / optimized min) where both
+/// variants are present.
+fn merge_into_artifact(rows: Vec<(String, &str, Timing)>) {
+    let mut root = std::fs::read_to_string(BENCH_PATH)
+        .ok()
+        .and_then(|s| Value::parse(&s).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let Value::Obj(entries) = &mut root else {
+        return;
+    };
+    entries.retain(|(k, _)| k != "speedups");
+    for (name, variant, t) in rows {
+        let row = json!({
+            "iters": t.iters,
+            "min_s": t.min_s,
+            "mean_s": t.mean_s,
+        });
+        let by_variant = match entries.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => v,
+            None => {
+                entries.push((name.clone(), Value::Obj(Vec::new())));
+                &mut entries.last_mut().unwrap().1
             }
-            let done = sys.run_until_quiet(SimTime::from_secs_f64(1e5));
-            black_box(done.len())
-        })
-    });
+        };
+        if let Value::Obj(pairs) = by_variant {
+            pairs.retain(|(k, _)| k != variant);
+            pairs.push((variant.to_string(), row));
+        }
+    }
+    let mut speedups = Vec::new();
+    for (name, v) in entries.iter() {
+        let base = v.get("baseline").and_then(|b| b.get("min_s")).and_then(Value::as_f64);
+        let opt = v.get("optimized").and_then(|o| o.get("min_s")).and_then(Value::as_f64);
+        if let (Some(b), Some(o)) = (base, opt) {
+            if o > 0.0 {
+                speedups.push((name.clone(), Value::Num(b / o)));
+            }
+        }
+    }
+    if !speedups.is_empty() {
+        entries.push(("speedups".to_string(), Value::Obj(speedups)));
+    }
+    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
 }
 
-fn bench_adaptive_run(c: &mut Criterion) {
-    c.bench_function("adaptive_run_512_ranks", |b| {
-        b.iter(|| {
-            let out = run(RunSpec {
-                machine: jaguar(),
-                nprocs: 512,
-                data: DataSpec::Uniform(8 * MIB),
-                method: Method::Adaptive {
-                    targets: 512,
-                    opts: AdaptiveOpts::default(),
-                },
-                interference: Interference::None,
-                seed: 11,
-            });
-            black_box(out.result.records.len())
-        })
-    });
-}
+fn main() {
+    println!("engine_micro — variant: {VARIANT}\n");
+    let mut rows: Vec<(String, &str, Timing)> = Vec::new();
+    let mut report = |name: &str, variant: &'static str, t: Timing| {
+        println!(
+            "{name:<34} [{variant:<9}] min {:>10.3} ms   mean {:>10.3} ms   ({} iters)",
+            t.min_s * 1e3,
+            t.mean_s * 1e3,
+            t.iters
+        );
+        rows.push((name.to_string(), variant, t));
+    };
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_event_queue, bench_ost_settle, bench_storage_system, bench_adaptive_run
+    // Queue churn: both implementations, one binary — the tentpole's
+    // schedule/cancel/pop microbenchmark.
+    report("queue_churn_10k", "optimized", time_n(10, churn_slab));
+    report("queue_churn_10k", "baseline", time_n(10, churn_baseline));
+
+    // System-level paths: reported under the compiled engine variant.
+    report("ost_32_stream_drain", VARIANT, time_n(10, ost_settle));
+    report("storage_512_writes_jaguar", VARIANT, time_n(5, storage_512_writes));
+    report("adaptive_run_512_ranks", VARIANT, time_n(5, adaptive_run_512));
+    report("fig7_sweep_6_seeds_256_ranks", VARIANT, time_n(3, fig7_style_sweep));
+
+    merge_into_artifact(rows);
+    println!("\nresults merged into {BENCH_PATH}");
 }
-criterion_main!(benches);

@@ -61,9 +61,9 @@ fn main() {
                 writers.to_string(),
                 fmt_mibps(per.mean),
             ]);
-            log.row(serde_json::json!({
+            log.row(minijson::json!({
                 "figure": "1",
-                "machine": machine.name,
+                "machine": machine.name.clone(),
                 "size_bytes": size,
                 "writers": writers,
                 "agg_mean_bps": agg.mean,
@@ -98,9 +98,9 @@ fn main() {
                 fmt_gibps(agg.mean),
                 fmt_mibps(per.mean),
             ]);
-            log.row(serde_json::json!({
+            log.row(minijson::json!({
                 "figure": "1-xtp",
-                "machine": xtp_machine.name,
+                "machine": xtp_machine.name.clone(),
                 "size_bytes": size,
                 "writers": writers,
                 "agg_mean_bps": agg.mean,

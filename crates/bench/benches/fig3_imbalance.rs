@@ -58,7 +58,7 @@ fn main() {
             format!("{:.2}", quantile(&times, 0.75)),
             format!("{:.2}", quantile(&times, 1.0)),
         ]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "figure": "3",
             "test": label,
             "imbalance": factors[idx],
@@ -68,6 +68,6 @@ fn main() {
     println!("{}", table.render());
     println!("mean imbalance factor over {n} probes: {mean:.2}");
     println!("(paper: Test 1 = 3.44, Test 2 = 1.18 three minutes later; overall average 3.79)");
-    log.row(serde_json::json!({"figure": "3", "mean_imbalance": mean, "samples": n}));
+    log.row(minijson::json!({"figure": "3", "mean_imbalance": mean, "samples": n}));
     log.flush();
 }

@@ -75,7 +75,7 @@ fn main() {
                         fmt_gibps(r.bandwidth.max),
                         format!("{:.0}", r.adaptive_writes),
                     ]);
-                    log.row(serde_json::json!({
+                    log.row(minijson::json!({
                         "figure": label,
                         "environment": env,
                         "procs": r.nprocs,

@@ -55,7 +55,7 @@ fn main() {
                     fmt_gibps(r.bandwidth.max),
                     gain,
                 ]);
-                log.row(serde_json::json!({
+                log.row(minijson::json!({
                     "figure": "6",
                     "environment": env,
                     "procs": r.nprocs,

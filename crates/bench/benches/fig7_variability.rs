@@ -64,7 +64,7 @@ fn main() {
                 format!("{adaptive:.3}"),
                 format!("{:+.0}%", 100.0 * (adaptive / mpi - 1.0)),
             ]);
-            log.row(serde_json::json!({
+            log.row(minijson::json!({
                 "figure": label,
                 "procs": n,
                 "mpi_std_s": mpi,

@@ -55,9 +55,9 @@ fn main() {
                 fmt_gibps(adaptive),
                 format!("{:+.0}%", 100.0 * (adaptive / mpi - 1.0)),
             ]);
-            log.row(serde_json::json!({
+            log.row(minijson::json!({
                 "experiment": "future-work",
-                "machine": machine.name,
+                "machine": machine.name.clone(),
                 "environment": env,
                 "procs": n,
                 "mpi_bps": mpi,
@@ -100,7 +100,7 @@ fn main() {
             &rs.iter().map(|r| r.aggregate_bandwidth()).collect::<Vec<_>>(),
         );
         t2.row(vec![name.to_string(), fmt_gibps(s.mean)]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "experiment": "slow-targets",
             "method": name,
             "avg_bps": s.mean,

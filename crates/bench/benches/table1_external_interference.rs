@@ -88,9 +88,9 @@ fn main() {
             fmt_mibps(s.std_dev),
             format!("{:.1}%", s.cv() * 100.0),
         ]);
-        log.row(serde_json::json!({
+        log.row(minijson::json!({
             "table": "I",
-            "machine": case.machine.name,
+            "machine": case.machine.name.clone(),
             "samples": s.n,
             "avg_bps": s.mean,
             "std_bps": s.std_dev,

@@ -67,10 +67,27 @@ pub fn size_label(bytes: u64) -> String {
     }
 }
 
+/// Run independent `(config, seed)` replicates across worker threads,
+/// merging results back in input order.
+///
+/// This is the campaign-level fan-out: each replicate is a whole
+/// simulation, so the merged output is byte-identical to running the
+/// replicates serially — `MANAGED_IO_THREADS=1` opts out of parallelism
+/// without changing any artifact. Thin wrapper over
+/// [`simcore::par::par_map`] so harnesses depend on one entry point.
+pub fn par_replicates<C, R, F>(configs: Vec<C>, run: F) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(C) -> R + Sync,
+{
+    simcore::par::par_map(configs, run)
+}
+
 /// Append JSON rows for experiment `id` under `target/experiments/`.
 pub struct ExperimentLog {
     path: PathBuf,
-    rows: Vec<serde_json::Value>,
+    rows: Vec<minijson::Value>,
 }
 
 impl ExperimentLog {
@@ -85,7 +102,7 @@ impl ExperimentLog {
     }
 
     /// Record one row.
-    pub fn row(&mut self, value: serde_json::Value) {
+    pub fn row(&mut self, value: minijson::Value) {
         self.rows.push(value);
     }
 

@@ -16,10 +16,10 @@
 //! how much wall time the application spends blocked. It also evaluates
 //! the §I budget rule: IO must stay within ~5 % of wall-clock time.
 
-use serde::{Deserialize, Serialize};
+use minijson::{json, Value};
 
 /// Application cadence parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AppModel {
     /// Compute time between outputs, seconds (paper: 15–30 min).
     pub compute_secs: f64,
@@ -39,7 +39,7 @@ impl AppModel {
 }
 
 /// Replayed timeline of one multi-step run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Timeline {
     /// Wall time at which each step's output was handed off (after any
     /// blocking).
@@ -54,6 +54,37 @@ pub struct Timeline {
 }
 
 impl Timeline {
+    /// Convert to a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "submit": self.submit.clone(),
+            "drain_end": self.drain_end.clone(),
+            "blocked": self.blocked.clone(),
+            "app_wall": self.app_wall,
+        })
+    }
+
+    /// Parse from a JSON object produced by [`Timeline::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let floats = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("missing or non-array field `{k}`"))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric entry in `{k}`")))
+                .collect::<Result<Vec<f64>, String>>()
+        };
+        Ok(Timeline {
+            submit: floats("submit")?,
+            drain_end: floats("drain_end")?,
+            blocked: floats("blocked")?,
+            app_wall: v
+                .get("app_wall")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| "missing or non-numeric field `app_wall`".to_string())?,
+        })
+    }
+
     /// Total time the application was blocked on IO.
     pub fn total_blocked(&self) -> f64 {
         self.blocked.iter().sum()
@@ -214,10 +245,11 @@ mod tests {
     }
 
     #[test]
-    fn timeline_serde_roundtrip() {
+    fn timeline_json_roundtrip() {
         let t = replay(&[1.0, 2.0], AppModel { compute_secs: 5.0, buffer_steps: 1 });
-        let j = serde_json::to_string(&t).unwrap();
-        let back: Timeline = serde_json::from_str(&j).unwrap();
+        let j = t.to_json().to_string();
+        let back = Timeline::from_json(&Value::parse(&j).unwrap()).unwrap();
         assert_eq!(back.app_wall, t.app_wall);
+        assert_eq!(back.blocked, t.blocked);
     }
 }

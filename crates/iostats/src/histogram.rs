@@ -1,10 +1,8 @@
 //! Fixed-bin histograms (Figure 2 of the paper: the distribution of IO
 //! bandwidth samples under external interference).
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram over `[lo, hi)` with equal-width bins.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     /// Lower edge of the first bin.
     pub lo: f64,

@@ -6,10 +6,10 @@
 //! the paper's terminology in table headers but name the quantity
 //! correctly in the API.
 
-use serde::{Deserialize, Serialize};
+use minijson::{json, Value};
 
 /// Summary of one sample set.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -44,6 +44,35 @@ impl Summary {
             min,
             max,
         }
+    }
+
+    /// Convert to a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "n": self.n,
+            "mean": self.mean,
+            "std_dev": self.std_dev,
+            "min": self.min,
+            "max": self.max,
+        })
+    }
+
+    /// Parse from a JSON object produced by [`Summary::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field `{k}`"))
+        };
+        Ok(Summary {
+            n: v.get("n")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| "missing or non-integer field `n`".to_string())?,
+            mean: f("mean")?,
+            std_dev: f("std_dev")?,
+            min: f("min")?,
+            max: f("max")?,
+        })
     }
 
     /// Coefficient of variation (stddev / mean) — the paper's
@@ -134,10 +163,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = Summary::of(&[1.0, 2.0]);
-        let j = serde_json::to_string(&s).unwrap();
-        let back: Summary = serde_json::from_str(&j).unwrap();
+        let j = s.to_json().to_string();
+        let back = Summary::from_json(&Value::parse(&j).unwrap()).unwrap();
         assert_eq!(back, s);
     }
 }

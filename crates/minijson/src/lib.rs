@@ -1,0 +1,642 @@
+//! # minijson — dependency-free JSON for experiment artifacts
+//!
+//! The benchmark harnesses and campaign runners emit one JSON object per
+//! experiment row (`target/experiments/*.jsonl`, `BENCH_*.json`), and a
+//! few model types round-trip through JSON for artifact storage. This
+//! crate provides exactly that much JSON — a [`Value`] tree, a compact
+//! emitter ([`std::fmt::Display`]), a strict recursive-descent
+//! [`parser`](Value::parse), and a [`json!`] macro for object literals —
+//! with zero external dependencies, so the whole workspace builds
+//! offline.
+//!
+//! Numbers are kept in two lexical families the way the harnesses use
+//! them: integers ([`Value::Int`]) print without a decimal point, floats
+//! ([`Value::Num`]) print via Rust's shortest-round-trip formatting.
+//!
+//! ```
+//! use minijson::{json, Value};
+//!
+//! let row = json!({ "figure": "1", "writers": 512, "agg_mean_bps": 1.5e9 });
+//! let text = row.to_string();
+//! let back = Value::parse(&text).unwrap();
+//! assert_eq!(back.get("writers").and_then(Value::as_u64), Some(512));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// A float (emitted with shortest-round-trip formatting).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Key insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key of an object (`None` for other variants or missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array.
+    pub fn at(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Arr(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (floats that are exact integers narrow).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Num(x) if x.fract() == 0.0 && x.abs() < 9.22e18 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document. The whole input must be consumed (trailing
+    /// whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, ParseError> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// Object keys (empty for other variants), for diagnostics.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Structural equality ignoring object key order and integer/float
+    /// representation (3 == 3.0). This is the right notion for "same
+    /// artifact" comparisons across emitters.
+    pub fn semantically_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Obj(a), Value::Obj(b)) => {
+                if a.len() != b.len() {
+                    return false;
+                }
+                let bm: BTreeMap<&str, &Value> = b.iter().map(|(k, v)| (k.as_str(), v)).collect();
+                a.iter().all(|(k, v)| {
+                    bm.get(k.as_str()).is_some_and(|w| v.semantically_eq(w))
+                })
+            }
+            (Value::Arr(a), Value::Arr(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.semantically_eq(y))
+            }
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => a == b,
+            },
+        }
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Num(x) => {
+                if x.is_finite() {
+                    // Keep floats lexically floats so parse() preserves
+                    // the variant for round numbers.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // JSON has no NaN/Inf; emit null like serde_json.
+                    f.write_str("null")
+                }
+            }
+            Value::Str(s) => escape_into(f, s),
+            Value::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// A parse failure: byte offset plus a short message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.pos, msg }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err("unexpected character"))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("bad \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our emitters;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8: step back and take the full char.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("bad number"));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Integer literal out of i64 range: keep it as a float.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| self.err("bad number")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ]")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected , or }")),
+            }
+        }
+    }
+}
+
+// ---- Conversions used by the json! macro ------------------------------
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Num(x)
+    }
+}
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        Value::Num(x as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::Str(s.clone())
+    }
+}
+macro_rules! int_from {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(i: $t) -> Value {
+                Value::Int(i as i64)
+            }
+        }
+    )*};
+}
+int_from!(i8, i16, i32, i64, u8, u16, u32, isize);
+impl From<u64> for Value {
+    fn from(i: u64) -> Value {
+        match i64::try_from(i) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::Num(i as f64),
+        }
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Value {
+        Value::from(i as u64)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Value {
+        Value::Arr(items.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Value {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+/// Build a [`Value`] from a JSON-shaped literal.
+///
+/// Supports object literals with string-literal keys, array literals,
+/// and arbitrary expressions in value position (converted with
+/// `Into<Value>`). Nest structures with nested `json!` calls:
+///
+/// ```
+/// use minijson::json;
+/// let v = json!({ "name": "fig1", "writers": 512, "series": json!([1, 2, 3]) });
+/// assert_eq!(v.get("writers").unwrap().as_u64(), Some(512));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Obj(vec![
+            $(($key.to_string(), $crate::Value::from($val))),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Arr(vec![ $($crate::Value::from($item)),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let v = Value::parse(text).unwrap();
+            assert_eq!(v.to_string(), text, "round-trip of {text}");
+        }
+    }
+
+    #[test]
+    fn ints_and_floats_are_distinct() {
+        assert_eq!(Value::parse("3").unwrap(), Value::Int(3));
+        assert_eq!(Value::parse("3.0").unwrap(), Value::Num(3.0));
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Num(3.0).to_string(), "3.0");
+    }
+
+    #[test]
+    fn float_emission_round_trips_exactly() {
+        for &x in &[1.5e9, 0.1, -2.75, 1.0 / 3.0, f64::MAX, 5e-324] {
+            let v = Value::Num(x);
+            let back = Value::parse(&v.to_string()).unwrap();
+            assert_eq!(back.as_f64(), Some(x), "round-trip of {x}");
+        }
+    }
+
+    #[test]
+    fn object_macro_and_access() {
+        let machine = "Jaguar/Lustre".to_string();
+        let v = json!({
+            "figure": "1",
+            "machine": machine,
+            "writers": 512usize,
+            "agg_mean_bps": 1.5e9,
+            "ok": true,
+        });
+        assert_eq!(v.get("figure").unwrap().as_str(), Some("1"));
+        assert_eq!(v.get("machine").unwrap().as_str(), Some("Jaguar/Lustre"));
+        assert_eq!(v.get("writers").unwrap().as_usize(), Some(512));
+        assert_eq!(v.get("agg_mean_bps").unwrap().as_f64(), Some(1.5e9));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn nested_macro_forms() {
+        let v = json!({
+            "series": json!([1, 2, 3]),
+            "inner": json!({ "a": json!(null), "b": json!([true, "x"]) }),
+        });
+        assert_eq!(v.get("series").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("inner").unwrap().get("a"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn emission_parses_back() {
+        let v = json!({
+            "s": "a \"quoted\" value\nwith newline",
+            "xs": json!([1.25, -3, 0]),
+            "t": json!({ "k": "v" }),
+        });
+        let text = v.to_string();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "1 2", "{\"a\":}"] {
+            assert!(Value::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode() {
+        let v = Value::parse(" { \"k\" : [ 1 , \"héllo\" ] } ").unwrap();
+        assert_eq!(v.get("k").unwrap().at(1).unwrap().as_str(), Some("héllo"));
+        let esc = Value::parse("\"\\u00e9\"").unwrap();
+        assert_eq!(esc.as_str(), Some("é"));
+    }
+
+    #[test]
+    fn semantic_equality_ignores_key_order_and_int_float() {
+        let a = Value::parse("{\"x\":1,\"y\":2.0}").unwrap();
+        let b = Value::parse("{\"y\":2,\"x\":1.0}").unwrap();
+        assert!(a.semantically_eq(&b));
+        let c = Value::parse("{\"x\":1,\"y\":3}").unwrap();
+        assert!(!a.semantically_eq(&c));
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn u64_beyond_i64_becomes_float() {
+        let v = Value::from(u64::MAX);
+        assert!(matches!(v, Value::Num(_)));
+    }
+}

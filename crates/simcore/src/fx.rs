@@ -1,0 +1,116 @@
+//! FxHash — the rustc-style multiply-xor hasher, plus map/set aliases.
+//!
+//! The storage and cluster simulators key bookkeeping maps by small dense
+//! integers (request ids, operation ids, job ids). `std`'s default
+//! SipHash is DoS-resistant but costs ~10× more per lookup than needed
+//! for trusted integer keys; FxHash (the hash used by rustc itself) is a
+//! single multiply per word. Implemented locally — the workspace builds
+//! offline with no external crates — and pinned so hash-order-independent
+//! code stays bit-reproducible across toolchains.
+//!
+//! Iteration order of [`FxHashMap`]/[`FxHashSet`] is still arbitrary; as
+//! with the std maps, simulation code must never let it influence event
+//! order.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived multiplier (same constant rustc's FxHash uses).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&17), Some(&"x"));
+        assert_eq!(m.remove(&17), Some("x"));
+        assert_eq!(m.get(&17), None);
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = Default::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            seen.insert(b.hash_one(i));
+        }
+        assert!(seen.len() > 9_990, "hash quality: {} distinct", seen.len());
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let a: BuildHasherDefault<FxHasher> = Default::default();
+        let b: BuildHasherDefault<FxHasher> = Default::default();
+        assert_eq!(a.hash_one(42u64), b.hash_one(42u64));
+        assert_eq!(a.hash_one("key"), b.hash_one("key"));
+    }
+}

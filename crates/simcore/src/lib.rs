@@ -3,8 +3,12 @@
 //! Foundation for the managed-io storage/cluster simulators. Provides:
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
-//! * [`EventQueue`] — a priority queue of timestamped events with stable
-//!   FIFO tie-breaking and O(log n) cancellation via [`EventToken`]s.
+//! * [`EventQueue`] — a slab-backed 4-ary heap of timestamped events with
+//!   stable FIFO tie-breaking and O(1) cancellation via generation-stamped
+//!   [`EventToken`]s (no hashing on the hot path).
+//! * [`fx`] — FxHash map/set aliases for trusted integer keys.
+//! * [`par`] — deterministic fork-join `par_map` over independent
+//!   replicates, honoring the `MANAGED_IO_THREADS` environment variable.
 //! * [`rng`] — seedable, reproducible random number generators
 //!   (SplitMix64 for seeding, xoshiro256** for streams) and the
 //!   distributions the storage models need (uniform, exponential, normal,
@@ -29,11 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub mod fx;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod units;
 
+pub use fx::{FxHashMap, FxHashSet};
 pub use queue::{EventQueue, EventToken};
 pub use rng::{Rng, SplitMix64};
 pub use time::{SimDuration, SimTime};

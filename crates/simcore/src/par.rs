@@ -1,0 +1,126 @@
+//! Deterministic fork-join parallelism for independent replicates.
+//!
+//! Simulation campaigns run many `(config, seed)` replicates that share
+//! no state; this module fans them out over a scoped thread pool while
+//! guaranteeing the merged output is **byte-identical** to a serial run:
+//! each input index owns a dedicated result slot, and the caller gets the
+//! results back in input order regardless of which worker finished first.
+//!
+//! Thread count comes from the `MANAGED_IO_THREADS` environment variable
+//! (`MANAGED_IO_THREADS=1` opts out of parallelism entirely), defaulting
+//! to [`std::thread::available_parallelism`]. Only `std` threads are
+//! used — no external runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable controlling the worker thread count.
+pub const THREADS_ENV: &str = "MANAGED_IO_THREADS";
+
+/// Resolve the worker thread count.
+///
+/// Reads [`THREADS_ENV`]; unset, empty, unparsable, or `0` falls back to
+/// the machine's available parallelism (itself falling back to 1).
+pub fn threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Map `f` over `items`, in parallel, preserving input order.
+///
+/// Equivalent to `items.into_iter().map(f).collect()` — including the
+/// exact order of the results — but runs on [`threads`] workers. `f`
+/// must be deterministic per item for the serial/parallel equivalence to
+/// be observable downstream; the merge itself is always index-ordered.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map_threads(threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (used by determinism tests
+/// to compare a 1-thread run against an n-thread run directly).
+pub fn par_map_threads<T, U, F>(nthreads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if nthreads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each item and each result gets its own slot; workers claim indices
+    // from a shared counter so the assignment of items to threads never
+    // affects which slot a result lands in.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|s| {
+        for _ in 0..nthreads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().unwrap().take().expect("item claimed once");
+                let out = f(item);
+                *outputs[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+
+    outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for nt in [1, 2, 3, 8] {
+            let got = par_map_threads(nt, items.clone(), |x| x * x);
+            assert_eq!(got, expect, "nthreads={nt}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_threads(4, empty, |x| x).is_empty());
+        assert_eq!(par_map_threads(4, vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let got = par_map_threads(16, vec![1, 2, 3], |x| x * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn non_clone_results_move_through() {
+        let got = par_map_threads(2, vec!["a", "bb", "ccc"], |s| s.to_string());
+        assert_eq!(got, vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]);
+    }
+}

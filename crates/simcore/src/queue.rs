@@ -8,264 +8,707 @@
 //!    depend on heap internals.
 //! 2. **Cancellation** — processor-sharing servers must *re-plan* completion
 //!    events whenever their load changes. Cancelling by [`EventToken`]
-//!    lazily marks entries dead; dead entries are skipped on pop.
-
-use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+//!    invalidates the entry; stale heap entries are skipped cheaply.
+//!
+//! # Implementation
+//!
+//! The default implementation ([`slab::SlabEventQueue`]) stores events in a
+//! slab of generation-stamped slots and orders them with an index-based
+//! 4-ary min-heap:
+//!
+//! * **O(1) cancellation, zero hashing.** A token encodes `(slot index,
+//!   generation)`; cancelling checks the slot directly — no `HashSet`, no
+//!   SipHash. The heap entry is left behind and recognised as dead because
+//!   the slot's globally-unique sequence number no longer matches.
+//! * **`&self` peek.** The queue maintains the invariant that the heap top
+//!   is always a *live* entry (dead tops are drained eagerly on `cancel`
+//!   and `pop`), so [`SlabEventQueue::peek_time`] needs no mutation.
+//! * **Bounded dead-entry bloat.** Replan-heavy workloads cancel far more
+//!   events than they pop. When more than half the heap (and at least 64
+//!   entries) is dead, the heap is compacted in O(n) — amortised O(1) per
+//!   cancellation.
+//! * **4-ary layout.** Shallower than a binary heap (half the levels), so
+//!   sift-down touches fewer cache lines per pop — the classic d-ary win
+//!   for queues that pop and push in waves.
+//!
+//! The pre-optimization implementation ([`baseline::BaselineEventQueue`],
+//! `BinaryHeap<Entry> + HashSet<EventToken>` with lazy dead-entry
+//! skipping) is kept compilable for differential tests and before/after
+//! benchmarks; building with the `baseline-engine` feature makes it the
+//! default [`EventQueue`] so whole-system speedups can be measured
+//! honestly.
 
 /// Handle identifying one scheduled event, usable to cancel it.
+///
+/// Tokens are opaque; internally they carry whatever the active queue
+/// implementation needs to find and validate the entry in O(1).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventToken(u64);
+pub struct EventToken(pub(crate) u64);
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    token: EventToken,
-    event: E,
-}
+/// The deterministic discrete-event queue used across the simulators.
+#[cfg(not(feature = "baseline-engine"))]
+pub type EventQueue<E> = slab::SlabEventQueue<E>;
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// The deterministic discrete-event queue used across the simulators
+/// (pinned to the baseline implementation by the `baseline-engine`
+/// feature).
+#[cfg(feature = "baseline-engine")]
+pub type EventQueue<E> = baseline::BaselineEventQueue<E>;
+
+pub mod slab {
+    //! Slab + 4-ary-heap event queue (the optimized default).
+
+    use super::EventToken;
+    use crate::time::SimTime;
+
+    /// One slab slot. A slot is *live* while its event is scheduled and
+    /// neither fired nor cancelled; freeing bumps `gen` so outstanding
+    /// tokens to the old occupant can never match again.
+    struct Slot<E> {
+        gen: u32,
+        /// Sequence number of the occupying event (globally unique, never
+        /// zero), used both for FIFO tie-breaking and to recognise stale
+        /// heap entries. Zero marks a vacant slot.
+        seq: u64,
+        event: Option<E>,
     }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest time (then lowest
-        // seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
-/// A deterministic discrete-event queue.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    /// Tokens of scheduled events that have neither fired nor been
-    /// cancelled. Membership here is the single source of truth for
-    /// liveness; heap entries whose token is absent are skipped on pop.
-    pending: HashSet<EventToken>,
-    next_seq: u64,
-    now: SimTime,
-}
-
-impl<E> Default for EventQueue<E> {
-    fn default() -> Self {
-        Self::new()
+    /// Heap entries carry the full ordering key inline so sift operations
+    /// never chase the slab.
+    #[derive(Clone, Copy)]
+    struct HeapEntry {
+        time: SimTime,
+        seq: u64,
+        slot: u32,
     }
-}
 
-impl<E> EventQueue<E> {
-    /// Create an empty queue at time zero.
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
+    impl HeapEntry {
+        /// Packed ordering key: time in the high bits, sequence number in
+        /// the low bits — one unsigned compare orders by (time, FIFO).
+        #[inline]
+        fn key(&self) -> u128 {
+            (u128::from(self.time.as_nanos()) << 64) | u128::from(self.seq)
         }
     }
 
-    /// Current simulated time: the timestamp of the most recently popped
-    /// event (or zero before the first pop).
-    pub fn now(&self) -> SimTime {
-        self.now
+    /// Heap arity. 4 halves the tree depth of a binary heap; benchmarks on
+    /// the replan-storm microbench favoured it over 2 and 8.
+    const ARITY: usize = 4;
+    /// Compact when the heap holds this many entries or more and over half
+    /// are dead.
+    const COMPACT_MIN: usize = 64;
+
+    /// A deterministic discrete-event queue: slab storage, generation
+    /// tokens, index-based 4-ary min-heap.
+    pub struct SlabEventQueue<E> {
+        slots: Vec<Slot<E>>,
+        /// Indices of vacant slots, reused LIFO.
+        free: Vec<u32>,
+        heap: Vec<HeapEntry>,
+        /// Heap entries whose slot has been cancelled (they are skipped
+        /// and eventually compacted away).
+        heap_dead: usize,
+        /// Live (scheduled, uncancelled, unfired) event count.
+        live: usize,
+        next_seq: u64,
+        now: SimTime,
     }
 
-    /// Number of live (non-cancelled) events pending.
-    pub fn len(&self) -> usize {
-        self.pending.len()
+    impl<E> Default for SlabEventQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
     }
 
-    /// True if no live events remain.
-    pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
-    }
+    impl<E> SlabEventQueue<E> {
+        /// Create an empty queue at time zero.
+        pub fn new() -> Self {
+            SlabEventQueue {
+                slots: Vec::new(),
+                free: Vec::new(),
+                heap: Vec::new(),
+                heap_dead: 0,
+                live: 0,
+                // Sequence numbers start at 1; zero is the vacant-slot
+                // sentinel.
+                next_seq: 1,
+                now: SimTime::ZERO,
+            }
+        }
 
-    /// Schedule `event` at absolute time `time`, returning a cancellation
-    /// token.
-    ///
-    /// Panics if `time` is in the past (before the last popped event): a
-    /// DES must never schedule backwards.
-    pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
-        assert!(
-            time >= self.now,
-            "scheduled event at {time:?} before now {:?}",
+        /// Current simulated time: the timestamp of the most recently
+        /// popped event (or zero before the first pop).
+        pub fn now(&self) -> SimTime {
             self.now
-        );
-        let token = EventToken(self.next_seq);
-        self.heap.push(Entry {
-            time,
-            seq: self.next_seq,
-            token,
-            event,
-        });
-        self.next_seq += 1;
-        self.pending.insert(token);
-        token
-    }
-
-    /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending (and is now dead), `false` if it had already fired or
-    /// been cancelled.
-    pub fn cancel(&mut self, token: EventToken) -> bool {
-        self.pending.remove(&token)
-    }
-
-    /// Pop the next live event, advancing `now` to its timestamp.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if !self.pending.remove(&entry.token) {
-                continue; // cancelled event
-            }
-            self.now = entry.time;
-            return Some((entry.time, entry.event));
         }
-        None
+
+        /// Number of live (non-cancelled) events pending.
+        pub fn len(&self) -> usize {
+            self.live
+        }
+
+        /// True if no live events remain.
+        pub fn is_empty(&self) -> bool {
+            self.live == 0
+        }
+
+        /// Schedule `event` at absolute time `time`, returning a
+        /// cancellation token.
+        ///
+        /// Panics if `time` is in the past (before the last popped event):
+        /// a DES must never schedule backwards.
+        pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+            assert!(
+                time >= self.now,
+                "scheduled event at {time:?} before now {:?}",
+                self.now
+            );
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let idx = match self.free.pop() {
+                Some(idx) => {
+                    let slot = &mut self.slots[idx as usize];
+                    slot.seq = seq;
+                    slot.event = Some(event);
+                    idx
+                }
+                None => {
+                    let idx = u32::try_from(self.slots.len()).expect("slab overflow");
+                    self.slots.push(Slot {
+                        gen: 0,
+                        seq,
+                        event: Some(event),
+                    });
+                    idx
+                }
+            };
+            let gen = self.slots[idx as usize].gen;
+            self.heap.push(HeapEntry { time, seq, slot: idx });
+            self.sift_up(self.heap.len() - 1);
+            self.live += 1;
+            EventToken(u64::from(gen) << 32 | u64::from(idx))
+        }
+
+        /// Cancel a previously scheduled event. Returns `true` if the
+        /// event was still pending (and is now dead), `false` if it had
+        /// already fired or been cancelled.
+        pub fn cancel(&mut self, token: EventToken) -> bool {
+            let idx = (token.0 & 0xFFFF_FFFF) as usize;
+            let gen = (token.0 >> 32) as u32;
+            let Some(slot) = self.slots.get_mut(idx) else {
+                return false;
+            };
+            // The generation bumps on every free, so a matching generation
+            // proves the slot is still occupied by this token's event.
+            if slot.gen != gen || slot.seq == 0 {
+                return false;
+            }
+            slot.seq = 0;
+            slot.event = None;
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(idx as u32);
+            self.live -= 1;
+            self.heap_dead += 1;
+            self.drain_dead_top();
+            self.maybe_compact();
+            true
+        }
+
+        /// Pop the next live event, advancing `now` to its timestamp.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            // Invariant: the heap top, when present and the queue is
+            // non-empty, is always live.
+            if self.live == 0 {
+                return None;
+            }
+            let top = self.remove_top().expect("live events imply a heap top");
+            let slot = &mut self.slots[top.slot as usize];
+            debug_assert!(slot.seq == top.seq, "heap top must be live");
+            let event = slot.event.take().expect("live slot holds an event");
+            slot.seq = 0;
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(top.slot);
+            self.live -= 1;
+            self.now = top.time;
+            self.drain_dead_top();
+            Some((top.time, event))
+        }
+
+        /// Peek at the timestamp of the next live event without popping
+        /// it. Requires only `&self`: the heap top is kept live eagerly.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            if self.live == 0 {
+                return None;
+            }
+            debug_assert!(self.entry_is_live(&self.heap[0]), "heap top must be live");
+            self.heap.first().map(|e| e.time)
+        }
+
+        #[inline]
+        fn entry_is_live(&self, e: &HeapEntry) -> bool {
+            // Sequence numbers are globally unique and never zero, so one
+            // compare both validates the slot and rejects stale entries.
+            self.slots[e.slot as usize].seq == e.seq
+        }
+
+        /// Remove and return the heap top, restoring heap order.
+        fn remove_top(&mut self) -> Option<HeapEntry> {
+            let n = self.heap.len();
+            if n == 0 {
+                return None;
+            }
+            let top = self.heap.swap_remove(0);
+            if !self.heap.is_empty() {
+                self.sift_down(0);
+            }
+            Some(top)
+        }
+
+        /// Restore the top-is-live invariant after a cancel or pop.
+        fn drain_dead_top(&mut self) {
+            while let Some(e) = self.heap.first() {
+                if self.entry_is_live(e) {
+                    break;
+                }
+                self.remove_top();
+                self.heap_dead -= 1;
+            }
+        }
+
+        /// Rebuild the heap without dead entries once they dominate.
+        fn maybe_compact(&mut self) {
+            if self.heap.len() < COMPACT_MIN || self.heap_dead * 2 <= self.heap.len() {
+                return;
+            }
+            let slots = &self.slots;
+            self.heap.retain(|e| slots[e.slot as usize].seq == e.seq);
+            self.heap_dead = 0;
+            // Floyd heapify: sift down every internal node.
+            let n = self.heap.len();
+            if n > 1 {
+                for i in (0..=(n - 2) / ARITY).rev() {
+                    self.sift_down(i);
+                }
+            }
+        }
+
+        /// Hole-based sift: the moved element is held in a register and
+        /// written once at its final position, so each level costs one
+        /// entry copy instead of a swap (two copies).
+        fn sift_up(&mut self, mut i: usize) {
+            let e = self.heap[i];
+            let k = e.key();
+            while i > 0 {
+                let parent = (i - 1) / ARITY;
+                let p = self.heap[parent];
+                if k < p.key() {
+                    self.heap[i] = p;
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+            self.heap[i] = e;
+        }
+
+        fn sift_down(&mut self, mut i: usize) {
+            let n = self.heap.len();
+            let e = self.heap[i];
+            let k = e.key();
+            loop {
+                let first = ARITY * i + 1;
+                if first >= n {
+                    break;
+                }
+                let end = (first + ARITY).min(n);
+                let mut min = first;
+                let mut min_key = self.heap[first].key();
+                for c in first + 1..end {
+                    let ck = self.heap[c].key();
+                    if ck < min_key {
+                        min = c;
+                        min_key = ck;
+                    }
+                }
+                if min_key < k {
+                    self.heap[i] = self.heap[min];
+                    i = min;
+                } else {
+                    break;
+                }
+            }
+            self.heap[i] = e;
+        }
+    }
+}
+
+pub mod baseline {
+    //! The pre-optimization event queue: `BinaryHeap` + `HashSet`
+    //! liveness, kept for differential testing and honest before/after
+    //! benchmarks.
+
+    use super::EventToken;
+    use crate::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+    use std::collections::HashSet;
+
+    struct Entry<E> {
+        time: SimTime,
+        seq: u64,
+        token: EventToken,
+        event: E,
     }
 
-    /// Peek at the timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain dead entries from the top so peek is accurate.
-        while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.token) {
-                return Some(entry.time);
-            }
-            self.heap.pop();
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
         }
-        None
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // BinaryHeap is a max-heap; invert so earliest time (then
+            // lowest seq) pops first.
+            other
+                .time
+                .cmp(&self.time)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    /// A deterministic discrete-event queue (baseline implementation).
+    pub struct BaselineEventQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        /// Tokens of scheduled events that have neither fired nor been
+        /// cancelled. Membership here is the single source of truth for
+        /// liveness; heap entries whose token is absent are skipped.
+        pending: HashSet<EventToken>,
+        next_seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> Default for BaselineEventQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> BaselineEventQueue<E> {
+        /// Create an empty queue at time zero.
+        pub fn new() -> Self {
+            BaselineEventQueue {
+                heap: BinaryHeap::new(),
+                pending: HashSet::new(),
+                next_seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        /// Current simulated time.
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Number of live (non-cancelled) events pending.
+        pub fn len(&self) -> usize {
+            self.pending.len()
+        }
+
+        /// True if no live events remain.
+        pub fn is_empty(&self) -> bool {
+            self.pending.is_empty()
+        }
+
+        /// Schedule `event` at absolute time `time`.
+        pub fn schedule(&mut self, time: SimTime, event: E) -> EventToken {
+            assert!(
+                time >= self.now,
+                "scheduled event at {time:?} before now {:?}",
+                self.now
+            );
+            let token = EventToken(self.next_seq);
+            self.heap.push(Entry {
+                time,
+                seq: self.next_seq,
+                token,
+                event,
+            });
+            self.next_seq += 1;
+            self.pending.insert(token);
+            token
+        }
+
+        /// Cancel a previously scheduled event.
+        pub fn cancel(&mut self, token: EventToken) -> bool {
+            let removed = self.pending.remove(&token);
+            if removed {
+                self.drain_dead_top();
+            }
+            removed
+        }
+
+        /// Pop the next live event, advancing `now` to its timestamp.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            while let Some(entry) = self.heap.pop() {
+                if !self.pending.remove(&entry.token) {
+                    continue; // cancelled event
+                }
+                self.now = entry.time;
+                self.drain_dead_top();
+                return Some((entry.time, entry.event));
+            }
+            None
+        }
+
+        /// Peek at the timestamp of the next live event. The heap top is
+        /// kept live by draining in `cancel`/`pop`, so `&self` suffices.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+
+        fn drain_dead_top(&mut self) {
+            while let Some(e) = self.heap.peek() {
+                if self.pending.contains(&e.token) {
+                    break;
+                }
+                self.heap.pop();
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SimDuration;
+    use crate::time::{SimDuration, SimTime};
 
     fn t(ns: u64) -> SimTime {
         SimTime::from_nanos(ns)
     }
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(t(30), "c");
-        q.schedule(t(10), "a");
-        q.schedule(t(20), "b");
-        assert_eq!(q.pop().unwrap(), (t(10), "a"));
-        assert_eq!(q.pop().unwrap(), (t(20), "b"));
-        assert_eq!(q.pop().unwrap(), (t(30), "c"));
-        assert!(q.pop().is_none());
+    // The shared unit suite runs against both implementations so the
+    // baseline stays a valid reference model.
+    macro_rules! queue_suite {
+        ($modname:ident, $q:ty) => {
+            mod $modname {
+                use super::*;
+
+                #[test]
+                fn pops_in_time_order() {
+                    let mut q = <$q>::new();
+                    q.schedule(t(30), "c");
+                    q.schedule(t(10), "a");
+                    q.schedule(t(20), "b");
+                    assert_eq!(q.pop().unwrap(), (t(10), "a"));
+                    assert_eq!(q.pop().unwrap(), (t(20), "b"));
+                    assert_eq!(q.pop().unwrap(), (t(30), "c"));
+                    assert!(q.pop().is_none());
+                }
+
+                #[test]
+                fn ties_break_fifo() {
+                    let mut q = <$q>::new();
+                    for i in 0..100 {
+                        q.schedule(t(5), i);
+                    }
+                    for i in 0..100 {
+                        assert_eq!(q.pop().unwrap().1, i);
+                    }
+                }
+
+                #[test]
+                fn now_advances_with_pops() {
+                    let mut q = <$q>::new();
+                    q.schedule(t(10), ());
+                    q.schedule(t(20), ());
+                    assert_eq!(q.now(), SimTime::ZERO);
+                    q.pop();
+                    assert_eq!(q.now(), t(10));
+                    q.pop();
+                    assert_eq!(q.now(), t(20));
+                }
+
+                #[test]
+                #[should_panic(expected = "before now")]
+                fn scheduling_in_the_past_panics() {
+                    let mut q = <$q>::new();
+                    q.schedule(t(10), ());
+                    q.pop();
+                    q.schedule(t(5), ());
+                }
+
+                #[test]
+                fn cancellation_skips_events() {
+                    let mut q = <$q>::new();
+                    let a = q.schedule(t(10), "a");
+                    q.schedule(t(20), "b");
+                    assert!(q.cancel(a));
+                    assert!(!q.cancel(a), "double-cancel returns false");
+                    assert_eq!(q.pop().unwrap(), (t(20), "b"));
+                    assert!(q.pop().is_none());
+                }
+
+                #[test]
+                fn len_tracks_live_events() {
+                    let mut q = <$q>::new();
+                    let a = q.schedule(t(10), ());
+                    q.schedule(t(20), ());
+                    assert_eq!(q.len(), 2);
+                    q.cancel(a);
+                    assert_eq!(q.len(), 1);
+                    q.pop();
+                    assert_eq!(q.len(), 0);
+                    assert!(q.is_empty());
+                }
+
+                #[test]
+                fn peek_time_skips_cancelled() {
+                    let mut q = <$q>::new();
+                    let a = q.schedule(t(10), ());
+                    q.schedule(t(20), ());
+                    q.cancel(a);
+                    assert_eq!(q.peek_time(), Some(t(20)));
+                }
+
+                #[test]
+                fn peek_is_immutable_and_consistent() {
+                    let mut q = <$q>::new();
+                    q.schedule(t(10), 1u32);
+                    let q_ref: &$q = &q;
+                    assert_eq!(q_ref.peek_time(), Some(t(10)));
+                    assert_eq!(q_ref.peek_time(), Some(t(10)));
+                    assert_eq!(q.pop().unwrap(), (t(10), 1));
+                    assert_eq!(q.peek_time(), None);
+                }
+
+                #[test]
+                fn cancel_of_fired_event_is_false() {
+                    let mut q = <$q>::new();
+                    let a = q.schedule(t(10), ());
+                    q.pop();
+                    assert!(!q.cancel(a));
+                }
+
+                #[test]
+                fn interleaved_schedule_and_pop() {
+                    let mut q = <$q>::new();
+                    q.schedule(t(10), 1);
+                    assert_eq!(q.pop().unwrap().1, 1);
+                    // Schedule relative to now.
+                    let next = q.now() + SimDuration::from_nanos(5);
+                    q.schedule(next, 2);
+                    assert_eq!(q.pop().unwrap(), (t(15), 2));
+                }
+
+                #[test]
+                fn large_volume_ordering() {
+                    let mut q = <$q>::new();
+                    let mut rng = crate::rng::Rng::new(99);
+                    for i in 0..10_000u64 {
+                        q.schedule(t(rng.below(1000)), i);
+                    }
+                    let mut last = SimTime::ZERO;
+                    let mut n = 0;
+                    while let Some((time, _)) = q.pop() {
+                        assert!(time >= last);
+                        last = time;
+                        n += 1;
+                    }
+                    assert_eq!(n, 10_000);
+                }
+
+                #[test]
+                fn cancel_storm_stays_consistent() {
+                    // Replan-style churn: repeatedly cancel + reschedule a
+                    // wake-up while other events flow.
+                    let mut q = <$q>::new();
+                    let mut rng = crate::rng::Rng::new(7);
+                    let mut wake = q.schedule(t(50), u64::MAX);
+                    for i in 0..5_000u64 {
+                        let at = q.now().as_nanos() + 1 + rng.below(100);
+                        q.schedule(t(at), i);
+                        assert!(q.cancel(wake));
+                        wake = q.schedule(t(at + rng.below(100)), u64::MAX);
+                        if rng.below(4) == 0 {
+                            q.pop();
+                        }
+                    }
+                    // Drain; times must stay monotone and the wake must
+                    // surface exactly once.
+                    let mut wakes = 0;
+                    let mut last = q.now();
+                    while let Some((time, v)) = q.pop() {
+                        assert!(time >= last);
+                        last = time;
+                        if v == u64::MAX {
+                            wakes += 1;
+                        }
+                    }
+                    assert_eq!(wakes, 1);
+                    assert!(q.is_empty());
+                }
+
+                #[test]
+                fn tokens_from_reused_slots_do_not_alias() {
+                    let mut q = <$q>::new();
+                    let a = q.schedule(t(10), "a");
+                    assert!(q.cancel(a));
+                    // Slot may be reused; the old token must stay dead.
+                    let _b = q.schedule(t(20), "b");
+                    assert!(!q.cancel(a), "stale token must not cancel the new event");
+                    assert_eq!(q.pop().unwrap(), (t(20), "b"));
+                }
+            }
+        };
     }
 
+    queue_suite!(slab_suite, slab::SlabEventQueue<_>);
+    queue_suite!(baseline_suite, baseline::BaselineEventQueue<_>);
+
+    /// Differential check: the slab queue and the baseline queue agree
+    /// event-for-event under random schedule/cancel/pop interleavings.
     #[test]
-    fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(t(5), i);
+    fn slab_matches_baseline_under_churn() {
+        let mut rng = crate::rng::Rng::new(2024);
+        for round in 0..20u64 {
+            let mut a = slab::SlabEventQueue::new();
+            let mut b = baseline::BaselineEventQueue::new();
+            let mut tokens: Vec<(EventToken, EventToken)> = Vec::new();
+            let mut next_id = 0u64;
+            for _ in 0..400 {
+                match rng.below(10) {
+                    0..=4 => {
+                        let at = t(a.now().as_nanos() + rng.below(1_000));
+                        let ta = a.schedule(at, next_id);
+                        let tb = b.schedule(at, next_id);
+                        tokens.push((ta, tb));
+                        next_id += 1;
+                    }
+                    5..=6 if !tokens.is_empty() => {
+                        let i = rng.below(tokens.len() as u64) as usize;
+                        let (ta, tb) = tokens.swap_remove(i);
+                        assert_eq!(a.cancel(ta), b.cancel(tb), "round {round}");
+                    }
+                    _ => {
+                        assert_eq!(a.pop(), b.pop(), "round {round}");
+                    }
+                }
+                assert_eq!(a.len(), b.len());
+                assert_eq!(a.peek_time(), b.peek_time());
+            }
+            loop {
+                let (pa, pb) = (a.pop(), b.pop());
+                assert_eq!(pa, pb);
+                if pa.is_none() {
+                    break;
+                }
+            }
         }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
-        }
-    }
-
-    #[test]
-    fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(t(10), ());
-        q.schedule(t(20), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), t(10));
-        q.pop();
-        assert_eq!(q.now(), t(20));
-    }
-
-    #[test]
-    #[should_panic(expected = "before now")]
-    fn scheduling_in_the_past_panics() {
-        let mut q = EventQueue::new();
-        q.schedule(t(10), ());
-        q.pop();
-        q.schedule(t(5), ());
-    }
-
-    #[test]
-    fn cancellation_skips_events() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(10), "a");
-        q.schedule(t(20), "b");
-        assert!(q.cancel(a));
-        assert!(!q.cancel(a), "double-cancel returns false");
-        assert_eq!(q.pop().unwrap(), (t(20), "b"));
-        assert!(q.pop().is_none());
-    }
-
-    #[test]
-    fn len_tracks_live_events() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(10), ());
-        q.schedule(t(20), ());
-        assert_eq!(q.len(), 2);
-        q.cancel(a);
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert_eq!(q.len(), 0);
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn peek_time_skips_cancelled() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(10), ());
-        q.schedule(t(20), ());
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(t(20)));
-    }
-
-    #[test]
-    fn cancel_of_fired_event_is_false() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(t(10), ());
-        q.pop();
-        assert!(!q.cancel(a));
-    }
-
-    #[test]
-    fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(t(10), 1);
-        assert_eq!(q.pop().unwrap().1, 1);
-        // Schedule relative to now.
-        let next = q.now() + SimDuration::from_nanos(5);
-        q.schedule(next, 2);
-        assert_eq!(q.pop().unwrap(), (t(15), 2));
-    }
-
-    #[test]
-    fn large_volume_ordering() {
-        let mut q = EventQueue::new();
-        let mut rng = crate::rng::Rng::new(99);
-        for i in 0..10_000u64 {
-            q.schedule(t(rng.below(1000)), i);
-        }
-        let mut last = SimTime::ZERO;
-        let mut n = 0;
-        while let Some((time, _)) = q.pop() {
-            assert!(time >= last);
-            last = time;
-            n += 1;
-        }
-        assert_eq!(n, 10_000);
     }
 }

@@ -9,14 +9,12 @@
 //!   files spread across the system), or pinned explicitly (the adaptive
 //!   method pins one file per target).
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a storage target within a machine.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct OstId(pub usize);
 
 /// Handle to a created file.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FileId(pub u32);
 
 /// How a new file should be striped.

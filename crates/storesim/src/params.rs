@@ -11,12 +11,51 @@
 //!   competing job is injected), low internal contention penalty.
 //! * [`testbed`] — a small, fast-to-simulate configuration for unit tests.
 
-use serde::{Deserialize, Serialize};
+use minijson::{json, Value};
 use simcore::units::{Bandwidth, GIB, MIB};
 use simcore::SimDuration;
 
+// JSON conversions are hand-written against minijson (the workspace
+// builds offline, so no serde). `from_json` is strict: a missing or
+// mistyped field is an error naming the field.
+
+fn jf(v: &Value, k: &str) -> Result<f64, String> {
+    v.get(k)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{k}`"))
+}
+
+fn ju(v: &Value, k: &str) -> Result<u64, String> {
+    v.get(k)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{k}`"))
+}
+
+fn jus(v: &Value, k: &str) -> Result<usize, String> {
+    v.get(k)
+        .and_then(Value::as_usize)
+        .ok_or_else(|| format!("missing or non-integer field `{k}`"))
+}
+
+fn jb(v: &Value, k: &str) -> Result<bool, String> {
+    v.get(k)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean field `{k}`"))
+}
+
+fn js(v: &Value, k: &str) -> Result<String, String> {
+    v.get(k)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field `{k}`"))
+}
+
+fn jobj<'v>(v: &'v Value, k: &str) -> Result<&'v Value, String> {
+    v.get(k).ok_or_else(|| format!("missing field `{k}`"))
+}
+
 /// Parameters of a single storage target (OST / StorageBlade).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct OstParams {
     /// Peak sequential write bandwidth of the backing storage, bytes/sec.
     /// Paper §I: "per storage target theoretical maximum performance of
@@ -54,6 +93,38 @@ pub struct OstParams {
 }
 
 impl OstParams {
+    /// Convert to a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "disk_peak": self.disk_peak,
+            "stream_cap": self.stream_cap,
+            "contention_alpha": self.contention_alpha,
+            "contention_gamma": self.contention_gamma,
+            "cache_capacity": self.cache_capacity,
+            "cache_max_request": self.cache_max_request,
+            "cache_ingest_peak": self.cache_ingest_peak,
+            "ingest_alpha": self.ingest_alpha,
+            "cache_drain": self.cache_drain,
+            "request_overhead": self.request_overhead,
+        })
+    }
+
+    /// Parse from a JSON object produced by [`OstParams::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(OstParams {
+            disk_peak: jf(v, "disk_peak")?,
+            stream_cap: jf(v, "stream_cap")?,
+            contention_alpha: jf(v, "contention_alpha")?,
+            contention_gamma: jf(v, "contention_gamma")?,
+            cache_capacity: ju(v, "cache_capacity")?,
+            cache_max_request: ju(v, "cache_max_request")?,
+            cache_ingest_peak: jf(v, "cache_ingest_peak")?,
+            ingest_alpha: jf(v, "ingest_alpha")?,
+            cache_drain: jf(v, "cache_drain")?,
+            request_overhead: jf(v, "request_overhead")?,
+        })
+    }
+
     /// Effective disk bandwidth with `n` concurrent disk streams, before
     /// external-noise scaling.
     pub fn disk_eff(&self, n: usize) -> f64 {
@@ -76,7 +147,7 @@ impl OstParams {
 /// desynchronises otherwise-identical targets (RAID rebuilds, scrubbing,
 /// uneven placement). Depths are small; the big transients come from
 /// [`JobNoiseParams`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MicroNoiseParams {
     /// Whether micro-jitter is active.
     pub enabled: bool,
@@ -90,12 +161,36 @@ pub struct MicroNoiseParams {
     pub max_depth: f64,
 }
 
+impl MicroNoiseParams {
+    /// Convert to a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "enabled": self.enabled,
+            "mean_quiet": self.mean_quiet,
+            "mean_busy": self.mean_busy,
+            "depth_shape": self.depth_shape,
+            "max_depth": self.max_depth,
+        })
+    }
+
+    /// Parse from a JSON object produced by [`MicroNoiseParams::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(MicroNoiseParams {
+            enabled: jb(v, "enabled")?,
+            mean_quiet: jf(v, "mean_quiet")?,
+            mean_busy: jf(v, "mean_busy")?,
+            depth_shape: jf(v, "depth_shape")?,
+            max_depth: jf(v, "max_depth")?,
+        })
+    }
+}
+
 /// Competing-job load: Poisson arrivals of other applications'
 /// IO phases, each covering a stripe-width-sized contiguous OST range for
 /// an exponential duration with a bounded-Pareto depth. This is the
 /// paper's external interference: transient, localized, sometimes deep
 /// (imbalance 3.44), often absent (imbalance 1.18 three minutes later).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobNoiseParams {
     /// Whether competing jobs are generated.
     pub enabled: bool,
@@ -113,8 +208,47 @@ pub struct JobNoiseParams {
     pub stripe_choices: Vec<u32>,
 }
 
+impl JobNoiseParams {
+    /// Convert to a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "enabled": self.enabled,
+            "mean_interarrival": self.mean_interarrival,
+            "mean_duration": self.mean_duration,
+            "depth_shape": self.depth_shape,
+            "min_depth": self.min_depth,
+            "max_depth": self.max_depth,
+            "stripe_choices": self.stripe_choices.clone(),
+        })
+    }
+
+    /// Parse from a JSON object produced by [`JobNoiseParams::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let stripes = v
+            .get("stripe_choices")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "missing or non-array field `stripe_choices`".to_string())?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .and_then(|u| u32::try_from(u).ok())
+                    .ok_or_else(|| "non-integer stripe choice".to_string())
+            })
+            .collect::<Result<Vec<u32>, String>>()?;
+        Ok(JobNoiseParams {
+            enabled: jb(v, "enabled")?,
+            mean_interarrival: jf(v, "mean_interarrival")?,
+            mean_duration: jf(v, "mean_duration")?,
+            depth_shape: jf(v, "depth_shape")?,
+            min_depth: jf(v, "min_depth")?,
+            max_depth: jf(v, "max_depth")?,
+            stripe_choices: stripes,
+        })
+    }
+}
+
 /// External-interference noise: micro-jitter plus competing jobs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NoiseParams {
     /// Shallow per-OST jitter.
     pub micro: MicroNoiseParams,
@@ -123,6 +257,22 @@ pub struct NoiseParams {
 }
 
 impl NoiseParams {
+    /// Convert to a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "micro": self.micro.to_json(),
+            "jobs": self.jobs.to_json(),
+        })
+    }
+
+    /// Parse from a JSON object produced by [`NoiseParams::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(NoiseParams {
+            micro: MicroNoiseParams::from_json(jobj(v, "micro")?)?,
+            jobs: JobNoiseParams::from_json(jobj(v, "jobs")?)?,
+        })
+    }
+
     /// A completely quiet system (unit tests, controlled experiments).
     pub fn quiet() -> Self {
         NoiseParams {
@@ -147,7 +297,7 @@ impl NoiseParams {
 }
 
 /// Metadata server parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MdsParams {
     /// Base service time of one open/create, seconds.
     pub open_base: f64,
@@ -158,8 +308,28 @@ pub struct MdsParams {
     pub close_base: f64,
 }
 
+impl MdsParams {
+    /// Convert to a JSON object.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "open_base": self.open_base,
+            "open_per_queued": self.open_per_queued,
+            "close_base": self.close_base,
+        })
+    }
+
+    /// Parse from a JSON object produced by [`MdsParams::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(MdsParams {
+            open_base: jf(v, "open_base")?,
+            open_per_queued: jf(v, "open_per_queued")?,
+            close_base: jf(v, "close_base")?,
+        })
+    }
+}
+
 /// A whole-machine configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Human-readable name for tables.
     pub name: String,
@@ -187,6 +357,40 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
+    /// Convert to a JSON object (artifact storage alongside results).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "name": self.name.clone(),
+            "ost_count": self.ost_count,
+            "max_stripe_count": self.max_stripe_count,
+            "default_stripe_count": self.default_stripe_count,
+            "stripe_size": self.stripe_size,
+            "ost": self.ost.to_json(),
+            "noise": self.noise.to_json(),
+            "mds": self.mds.to_json(),
+            "msg_latency": self.msg_latency,
+            "msg_bandwidth": self.msg_bandwidth,
+            "cores_per_node": self.cores_per_node,
+        })
+    }
+
+    /// Parse from a JSON object produced by [`MachineConfig::to_json`].
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(MachineConfig {
+            name: js(v, "name")?,
+            ost_count: jus(v, "ost_count")?,
+            max_stripe_count: jus(v, "max_stripe_count")?,
+            default_stripe_count: jus(v, "default_stripe_count")?,
+            stripe_size: ju(v, "stripe_size")?,
+            ost: OstParams::from_json(jobj(v, "ost")?)?,
+            noise: NoiseParams::from_json(jobj(v, "noise")?)?,
+            mds: MdsParams::from_json(jobj(v, "mds")?)?,
+            msg_latency: jf(v, "msg_latency")?,
+            msg_bandwidth: jf(v, "msg_bandwidth")?,
+            cores_per_node: jus(v, "cores_per_node")?,
+        })
+    }
+
     /// Theoretical aggregate peak (all OSTs at disk peak), for table
     /// headers.
     pub fn theoretical_peak(&self) -> Bandwidth {
@@ -511,11 +715,24 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
+    fn config_json_roundtrip() {
         let j = jaguar();
-        let s = serde_json::to_string(&j).unwrap();
-        let back: MachineConfig = serde_json::from_str(&s).unwrap();
+        let s = j.to_json().to_string();
+        let back = MachineConfig::from_json(&Value::parse(&s).unwrap()).unwrap();
         assert_eq!(back.name, j.name);
         assert_eq!(back.ost_count, j.ost_count);
+        assert_eq!(back.noise.jobs.stripe_choices, j.noise.jobs.stripe_choices);
+        assert_eq!(back.ost.disk_peak, j.ost.disk_peak);
+        assert!(back.to_json().semantically_eq(&j.to_json()));
+    }
+
+    #[test]
+    fn config_from_json_names_missing_fields() {
+        let mut v = jaguar().to_json();
+        if let Value::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "ost_count");
+        }
+        let err = MachineConfig::from_json(&v).unwrap_err();
+        assert!(err.contains("ost_count"), "error was: {err}");
     }
 }

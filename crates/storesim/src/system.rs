@@ -13,9 +13,7 @@
 //! Operations are submitted with a caller-chosen `tag`; completions carry
 //! the tag back so the driver can route them to the right simulated rank.
 
-use std::collections::HashMap;
-
-use simcore::{EventQueue, EventToken, Rng, SimDuration, SimTime, SplitMix64};
+use simcore::{EventQueue, EventToken, FxHashMap, Rng, SimDuration, SimTime, SplitMix64};
 
 use crate::jobs::{combined_factor, CompetingLoad, JobLoadModel};
 use crate::layout::{FileId, FileSystem, OstId, StripeSpec};
@@ -88,19 +86,21 @@ pub struct StorageSystem {
     micro: Vec<NoiseProcess>,
     micro_factor: Vec<f64>,
     jobs_model: JobLoadModel,
-    active_jobs: HashMap<u64, CompetingLoad>,
+    active_jobs: FxHashMap<u64, CompetingLoad>,
     next_job_id: u64,
     queue: EventQueue<Internal>,
-    ost_token: Vec<Option<EventToken>>,
-    mds_token: Option<EventToken>,
-    ops: HashMap<u64, OpState>,
-    req_to_op: HashMap<u64, u64>,
+    /// Per-OST planned wake-up: token plus the instant it fires at, so an
+    /// unchanged re-plan can be elided instead of cancelled + rescheduled.
+    ost_token: Vec<Option<(EventToken, SimTime)>>,
+    mds_token: Option<(EventToken, SimTime)>,
+    ops: FxHashMap<u64, OpState>,
+    req_to_op: FxHashMap<u64, u64>,
     /// Background streams currently in flight: request id -> spec.
-    background: HashMap<u64, BgSpec>,
+    background: FxHashMap<u64, BgSpec>,
     /// Background streams waiting out a burst gap: token -> spec.
-    pending_renew: HashMap<u64, BgSpec>,
-    /// Injected permanent degradations: ost index -> factor.
-    degraded: HashMap<usize, f64>,
+    pending_renew: FxHashMap<u64, BgSpec>,
+    /// Injected permanent degradation factor per OST (1.0 = healthy).
+    degraded: Vec<f64>,
     next_req: u64,
     next_op: u64,
     rng: Rng,
@@ -136,6 +136,7 @@ impl StorageSystem {
         );
         let mds = Mds::new(cfg.mds.clone());
         let ost_token = vec![None; cfg.ost_count];
+        let degraded = vec![1.0; cfg.ost_count];
         let mut sys = StorageSystem {
             cfg,
             osts,
@@ -144,16 +145,16 @@ impl StorageSystem {
             micro,
             micro_factor,
             jobs_model,
-            active_jobs: HashMap::new(),
+            active_jobs: FxHashMap::default(),
             next_job_id: 0,
             queue,
             ost_token,
             mds_token: None,
-            ops: HashMap::new(),
-            req_to_op: HashMap::new(),
-            background: HashMap::new(),
-            pending_renew: HashMap::new(),
-            degraded: HashMap::new(),
+            ops: FxHashMap::default(),
+            req_to_op: FxHashMap::default(),
+            background: FxHashMap::default(),
+            pending_renew: FxHashMap::default(),
+            degraded,
             next_req: 0,
             next_op: 0,
             rng,
@@ -203,7 +204,7 @@ impl StorageSystem {
 
     /// Current combined slowdown factor of one OST.
     fn combined(&self, i: usize) -> f64 {
-        let micro = self.micro_factor[i] * self.degraded.get(&i).copied().unwrap_or(1.0);
+        let micro = self.micro_factor[i] * self.degraded[i];
         combined_factor(
             self.active_jobs
                 .values()
@@ -255,23 +256,54 @@ impl StorageSystem {
         id
     }
 
+    /// Re-plan elision: when a load or noise change leaves the predicted
+    /// wake-up instant where it already is, keep the scheduled event
+    /// instead of cancel + reschedule. Replan storms (every submit,
+    /// completion and noise flip on a shared OST re-plans it) make this
+    /// the single hottest queue interaction; most re-plans are no-ops.
+    /// Disabled under `baseline-engine` so before/after benchmarks
+    /// measure the pre-optimization behaviour faithfully.
+    const REPLAN_ELISION: bool = !cfg!(feature = "baseline-engine");
+
     fn replan_ost(&mut self, i: usize, now: SimTime) {
-        if let Some(tok) = self.ost_token[i].take() {
-            self.queue.cancel(tok);
-        }
-        if let Some(t) = self.osts[i].next_completion() {
-            let t = t.max(now);
-            self.ost_token[i] = Some(self.queue.schedule(t, Internal::OstWake(i)));
+        let next = self.osts[i].next_completion().map(|t| t.max(now));
+        match (next, self.ost_token[i]) {
+            (Some(t), Some((tok, planned))) => {
+                if Self::REPLAN_ELISION && planned == t {
+                    return;
+                }
+                self.queue.cancel(tok);
+                self.ost_token[i] = Some((self.queue.schedule(t, Internal::OstWake(i)), t));
+            }
+            (Some(t), None) => {
+                self.ost_token[i] = Some((self.queue.schedule(t, Internal::OstWake(i)), t));
+            }
+            (None, Some((tok, _))) => {
+                self.queue.cancel(tok);
+                self.ost_token[i] = None;
+            }
+            (None, None) => {}
         }
     }
 
     fn replan_mds(&mut self, now: SimTime) {
-        if let Some(tok) = self.mds_token.take() {
-            self.queue.cancel(tok);
-        }
-        if let Some(t) = self.mds.next_completion() {
-            let t = t.max(now);
-            self.mds_token = Some(self.queue.schedule(t, Internal::MdsWake));
+        let next = self.mds.next_completion().map(|t| t.max(now));
+        match (next, self.mds_token) {
+            (Some(t), Some((tok, planned))) => {
+                if Self::REPLAN_ELISION && planned == t {
+                    return;
+                }
+                self.queue.cancel(tok);
+                self.mds_token = Some((self.queue.schedule(t, Internal::MdsWake), t));
+            }
+            (Some(t), None) => {
+                self.mds_token = Some((self.queue.schedule(t, Internal::MdsWake), t));
+            }
+            (None, Some((tok, _))) => {
+                self.queue.cancel(tok);
+                self.mds_token = None;
+            }
+            (None, None) => {}
         }
     }
 
@@ -371,13 +403,13 @@ impl StorageSystem {
     /// [`StorageSystem::restore_ost`].
     pub fn degrade_ost(&mut self, now: SimTime, ost: OstId, factor: f64) {
         assert!(factor > 0.0 && factor <= 1.0);
-        self.degraded.insert(ost.0, factor);
+        self.degraded[ost.0] = factor;
         self.apply_noise(ost.0, now);
     }
 
     /// Lift a previous [`StorageSystem::degrade_ost`].
     pub fn restore_ost(&mut self, now: SimTime, ost: OstId) {
-        self.degraded.remove(&ost.0);
+        self.degraded[ost.0] = 1.0;
         self.apply_noise(ost.0, now);
     }
 
@@ -412,7 +444,7 @@ impl StorageSystem {
     }
 
     /// When the storage system next changes state on its own.
-    pub fn next_event_time(&mut self) -> Option<SimTime> {
+    pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
     }
 

@@ -7,6 +7,10 @@ use iostats::Summary;
 use storesim::MachineConfig;
 
 /// Run `samples` runs of the same spec under consecutive seeds.
+///
+/// Replicates are independent simulations, so they fan out across worker
+/// threads ([`simcore::par`], `MANAGED_IO_THREADS` to control) and merge
+/// back in seed order — results are identical to a serial run.
 pub fn sample_results(
     machine: &MachineConfig,
     nprocs: usize,
@@ -16,19 +20,18 @@ pub fn sample_results(
     samples: usize,
     base_seed: u64,
 ) -> Vec<OutputResult> {
-    (0..samples)
-        .map(|i| {
-            run(RunSpec {
-                machine: machine.clone(),
-                nprocs,
-                data: DataSpec::Uniform(bytes_per_proc),
-                method: method.clone(),
-                interference: interference.clone(),
-                seed: base_seed + i as u64,
-            })
-            .result
+    let seeds: Vec<u64> = (0..samples as u64).map(|i| base_seed + i).collect();
+    simcore::par::par_map(seeds, |seed| {
+        run(RunSpec {
+            machine: machine.clone(),
+            nprocs,
+            data: DataSpec::Uniform(bytes_per_proc),
+            method: method.clone(),
+            interference: interference.clone(),
+            seed,
         })
-        .collect()
+        .result
+    })
 }
 
 /// Summary of aggregate bandwidth (bytes/sec) across samples.

@@ -44,6 +44,8 @@ impl IorConfig {
 
     /// Run `samples` independent samples (seeds `base_seed..`), as the
     /// paper does with its 40-sample error bars and 469 hourly probes.
+    /// Samples fan out across worker threads (`MANAGED_IO_THREADS`) and
+    /// merge back in seed order, identical to a serial run.
     pub fn run_samples(
         &self,
         machine: &MachineConfig,
@@ -51,9 +53,8 @@ impl IorConfig {
         samples: usize,
         base_seed: u64,
     ) -> Vec<OutputResult> {
-        (0..samples)
-            .map(|i| self.run_once(machine, interference, base_seed + i as u64))
-            .collect()
+        let seeds: Vec<u64> = (0..samples as u64).map(|i| base_seed + i).collect();
+        simcore::par::par_map(seeds, |seed| self.run_once(machine, interference, seed))
     }
 }
 

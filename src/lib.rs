@@ -15,9 +15,12 @@
 //!   stagger, adaptive.
 //! * [`workloads`] — IOR, Pixie3D, XGC1, interference jobs.
 //! * [`iostats`] — summary statistics, histograms, imbalance factors.
+//! * [`minijson`] — dependency-free JSON value/parser/emitter for
+//!   artifacts and config files.
 
 pub use adios_core as adios;
 pub use bpfmt;
+pub use minijson;
 pub use clustersim;
 pub use iostats;
 pub use simcore;

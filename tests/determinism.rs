@@ -1,0 +1,112 @@
+//! Determinism of the parallel replicate runner: campaign results for a
+//! given seed must be byte-identical whether replicates run serially
+//! (`MANAGED_IO_THREADS=1`) or fanned out across worker threads. The
+//! merge is in seed order and each replicate owns its RNG, so thread
+//! scheduling must never leak into artifacts.
+
+use managed_io::adios::{run, AdaptiveOpts, DataSpec, Interference, Method, OutputResult, RunSpec};
+use managed_io::iostats::Summary;
+use managed_io::minijson::{json, Value};
+use managed_io::simcore::par::{par_map_threads, THREADS_ENV};
+use managed_io::simcore::units::MIB;
+use managed_io::storesim::params::testbed;
+use managed_io::workloads::campaign::{bandwidth_summary, mean_write_time_std, sample_results};
+
+const SEED: u64 = 0xD15EA5E;
+
+fn replicate(seed: u64) -> OutputResult {
+    run(RunSpec {
+        machine: testbed(),
+        nprocs: 24,
+        data: DataSpec::Uniform(4 * MIB),
+        method: Method::Adaptive {
+            targets: 6,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed,
+    })
+    .result
+}
+
+/// Serialize everything an artifact row could carry — every record field
+/// and the derived summaries — so the comparison is byte-exact, not
+/// approximate.
+fn artifact(results: &[OutputResult]) -> String {
+    let rows: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            let records: Vec<Value> = r
+                .records
+                .iter()
+                .map(|w| {
+                    json!({
+                        "rank": w.rank,
+                        "bytes": w.bytes,
+                        "start_ns": w.start.as_nanos(),
+                        "end_ns": w.end.as_nanos(),
+                        "ost": w.ost.0,
+                        "file": w.file.0,
+                        "offset": w.offset,
+                        "adaptive": w.adaptive,
+                    })
+                })
+                .collect();
+            json!({
+                "total_bytes": r.total_bytes,
+                "adaptive_writes": r.adaptive_writes,
+                "write_time_summary": Summary::of(&r.per_writer_times()).to_json(),
+                "records": Value::Arr(records),
+            })
+        })
+        .collect();
+    format!(
+        "{}",
+        json!({
+            "bandwidth": bandwidth_summary(results).to_json(),
+            "write_time_std": mean_write_time_std(results),
+            "samples": Value::Arr(rows),
+        })
+    )
+}
+
+/// Core property: explicit 1-thread and 4-thread fan-outs of the same
+/// seeded replicates produce byte-identical artifacts.
+#[test]
+fn parallel_replicates_match_serial_bytes() {
+    let seeds: Vec<u64> = (0..6).map(|i| SEED + i).collect();
+    let serial = par_map_threads(1, seeds.clone(), replicate);
+    let parallel = par_map_threads(4, seeds, replicate);
+    let (a, b) = (artifact(&serial), artifact(&parallel));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "thread count leaked into campaign artifacts");
+}
+
+/// The env-driven path (`MANAGED_IO_THREADS`) that the fig1/fig7 and
+/// campaign harnesses use: summaries are byte-identical under 1 vs 4
+/// worker threads. This is the only test in this binary that touches the
+/// env var, so there is no cross-test race.
+#[test]
+fn campaign_summaries_identical_across_thread_counts() {
+    let run_campaign = || {
+        let rs = sample_results(
+            &testbed(),
+            16,
+            2 * MIB,
+            &Method::Adaptive {
+                targets: 4,
+                opts: AdaptiveOpts::default(),
+            },
+            &Interference::None,
+            5,
+            SEED,
+        );
+        artifact(&rs)
+    };
+    std::env::set_var(THREADS_ENV, "1");
+    let serial = run_campaign();
+    std::env::set_var(THREADS_ENV, "4");
+    let parallel = run_campaign();
+    std::env::remove_var(THREADS_ENV);
+    assert_eq!(serial, parallel, "MANAGED_IO_THREADS changed the artifact");
+}

@@ -1,4 +1,9 @@
 //! Property-based tests over the core invariants, spanning crates.
+//!
+//! Randomised with the workspace's own deterministic RNG
+//! ([`managed_io::simcore::Rng`]) rather than an external property-test
+//! framework: each property runs a fixed number of seeded cases, so
+//! failures are reproducible from the printed case parameters alone.
 
 use std::collections::HashMap;
 
@@ -8,18 +13,41 @@ use managed_io::bpfmt::{
     VarBlock,
 };
 use managed_io::simcore::units::MIB;
-use managed_io::simcore::{EventQueue, SimTime};
+use managed_io::simcore::{EventQueue, Rng, SimTime};
 use managed_io::storesim::layout::{map_stripes, OstId};
 use managed_io::storesim::params::testbed;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn case_rng(test_tag: u64, case: u64) -> Rng {
+    Rng::new(0x9e37_79b9_7f4a_7c15 ^ (test_tag << 32) ^ case)
+}
 
-    /// The event queue is a total order: any schedule pattern pops in
-    /// non-decreasing time with FIFO ties.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Uniform f64 in [lo, hi).
+fn uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    lo + rng.f64() * (hi - lo)
+}
+
+fn ascii_name(rng: &mut Rng, max_len: u64) -> String {
+    let first = b'a' + rng.below(26) as u8;
+    let mut s = String::from(first as char);
+    for _ in 0..rng.below(max_len) {
+        let c = match rng.below(3) {
+            0 => b'a' + rng.below(26) as u8,
+            1 => b'0' + rng.below(10) as u8,
+            _ => b'_',
+        };
+        s.push(c as char);
+    }
+    s
+}
+
+/// The event queue is a total order: any schedule pattern pops in
+/// non-decreasing time with FIFO ties.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..64 {
+        let mut rng = case_rng(1, case);
+        let n = 1 + rng.below(200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -28,106 +56,124 @@ proptest! {
         let mut count = 0;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t.as_nanos() > lt || (t.as_nanos() == lt && i > li),
-                    "order violated: ({lt},{li}) then ({},{i})", t.as_nanos());
+                assert!(
+                    t.as_nanos() > lt || (t.as_nanos() == lt && i > li),
+                    "case {case}: order violated: ({lt},{li}) then ({},{i})",
+                    t.as_nanos()
+                );
             }
             last = Some((t.as_nanos(), i));
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(count, times.len(), "case {case}");
     }
+}
 
-    /// Striping conserves bytes and never assigns to targets outside the
-    /// file's stripe list.
-    #[test]
-    fn striping_conserves_bytes(
-        stripe_kib in 1u64..64,
-        n_osts in 1usize..12,
-        offset in 0u64..10_000_000,
-        len in 1u64..50_000_000,
-    ) {
-        let stripe = stripe_kib * 1024;
+/// Striping conserves bytes and never assigns to targets outside the
+/// file's stripe list.
+#[test]
+fn striping_conserves_bytes() {
+    for case in 0..64 {
+        let mut rng = case_rng(2, case);
+        let stripe = (1 + rng.below(63)) * 1024;
+        let n_osts = 1 + rng.below(11) as usize;
+        let offset = rng.below(10_000_000);
+        let len = 1 + rng.below(50_000_000);
         let osts: Vec<OstId> = (0..n_osts).map(OstId).collect();
         let chunks = map_stripes(stripe, &osts, offset, len);
         let total: u64 = chunks.iter().map(|&(_, b)| b).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len, "case {case}: stripe {stripe}, {n_osts} osts");
         for &(o, b) in &chunks {
-            prop_assert!(o.0 < n_osts);
-            prop_assert!(b > 0);
+            assert!(o.0 < n_osts, "case {case}");
+            assert!(b > 0, "case {case}");
         }
     }
+}
 
-    /// Process groups round-trip through the wire format for arbitrary
-    /// variable contents.
-    #[test]
-    fn pg_roundtrip(
-        rank in 0u32..10_000,
-        step in 0u32..100,
-        vals in prop::collection::vec(-1e12f64..1e12, 1..128),
-        name in "[a-zA-Z][a-zA-Z0-9_]{0,12}",
-    ) {
-        let n = vals.len() as u64;
+/// Process groups round-trip through the wire format for arbitrary
+/// variable contents.
+#[test]
+fn pg_roundtrip() {
+    for case in 0..64 {
+        let mut rng = case_rng(3, case);
+        let rank = rng.below(10_000) as u32;
+        let step = rng.below(100) as u32;
+        let n = 1 + rng.below(127);
+        let vals: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -1e12, 1e12)).collect();
+        let name = ascii_name(&mut rng, 12);
         let block = VarBlock::from_f64(name, vec![n], vec![0], vec![n], &vals);
         let (bytes, entries) = encode_pg(rank, step, std::slice::from_ref(&block));
         let (r, s, back) = decode_pg(&bytes).unwrap();
-        prop_assert_eq!(r, rank);
-        prop_assert_eq!(s, step);
-        prop_assert_eq!(&back[0], &block);
+        assert_eq!(r, rank, "case {case}");
+        assert_eq!(s, step, "case {case}");
+        assert_eq!(&back[0], &block, "case {case}");
         // Index entry points exactly at the payload.
         let e = &entries[0];
         let payload = &bytes[e.file_offset as usize..(e.file_offset + e.payload_len) as usize];
-        prop_assert_eq!(payload, &block.payload[..]);
+        assert_eq!(payload, &block.payload[..], "case {case}");
     }
+}
 
-    /// A subfile with any mix of appended process groups yields a
-    /// parseable index whose every entry reads back the original values.
-    #[test]
-    fn subfile_index_complete(
-        blocks in prop::collection::vec(
-            (0u32..64, prop::collection::vec(-1e6f64..1e6, 1..32)),
-            1..12,
-        ),
-    ) {
+/// A subfile with any mix of appended process groups yields a parseable
+/// index whose every entry reads back the original values.
+#[test]
+fn subfile_index_complete() {
+    for case in 0..64 {
+        let mut rng = case_rng(4, case);
+        let n_blocks = 1 + rng.below(11) as usize;
         let mut w = SubfileWriter::new();
         let mut originals: Vec<(u32, Vec<f64>)> = Vec::new();
-        for (rank, vals) in &blocks {
-            let n = vals.len() as u64;
-            let b = VarBlock::from_f64("v", vec![n], vec![0], vec![n], vals);
-            w.append(*rank, 0, &[b]);
-            originals.push((*rank, vals.clone()));
+        for _ in 0..n_blocks {
+            let rank = rng.below(64) as u32;
+            let n = 1 + rng.below(31);
+            let vals: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -1e6, 1e6)).collect();
+            let b = VarBlock::from_f64("v", vec![n], vec![0], vec![n], &vals);
+            w.append(rank, 0, &[b]);
+            originals.push((rank, vals));
         }
         let (file, _) = w.finalize();
         let idx = LocalIndex::parse(&file).unwrap();
-        prop_assert_eq!(idx.entries.len(), originals.len());
+        assert_eq!(idx.entries.len(), originals.len(), "case {case}");
         for (rank, vals) in &originals {
             // There may be several blocks from the same rank; at least one
             // must match exactly.
-            let found = idx.entries.iter()
+            let found = idx
+                .entries
+                .iter()
                 .filter(|e| e.rank == *rank)
                 .any(|e| read_f64(&file, e) == *vals);
-            prop_assert!(found, "rank {rank} block lost");
+            assert!(found, "case {case}: rank {rank} block lost");
         }
     }
+}
 
-    /// Adaptive runs conserve bytes and keep per-file layouts gap-free
-    /// for arbitrary small configurations.
-    #[test]
-    fn adaptive_conserves_bytes_and_offsets(
-        nprocs in 2usize..24,
-        targets in 1usize..8,
-        size_mib in 1u64..16,
-        seed in 0u64..50,
-    ) {
+/// Adaptive runs conserve bytes and keep per-file layouts gap-free for
+/// arbitrary small configurations.
+#[test]
+fn adaptive_conserves_bytes_and_offsets() {
+    for case in 0..24 {
+        let mut rng = case_rng(5, case);
+        let nprocs = 2 + rng.below(22) as usize;
+        let targets = 1 + rng.below(7) as usize;
+        let size_mib = 1 + rng.below(15);
+        let seed = rng.below(50);
         let out = run(RunSpec {
             machine: testbed(),
             nprocs,
             data: DataSpec::Uniform(size_mib * MIB),
-            method: Method::Adaptive { targets, opts: AdaptiveOpts::default() },
+            method: Method::Adaptive {
+                targets,
+                opts: AdaptiveOpts::default(),
+            },
             interference: Interference::None,
             seed,
         });
-        prop_assert_eq!(out.result.records.len(), nprocs);
-        prop_assert_eq!(out.result.total_bytes, nprocs as u64 * size_mib * MIB);
+        assert_eq!(out.result.records.len(), nprocs, "case {case}");
+        assert_eq!(
+            out.result.total_bytes,
+            nprocs as u64 * size_mib * MIB,
+            "case {case}: nprocs {nprocs}, targets {targets}"
+        );
         let mut by_file: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
         for r in &out.result.records {
             by_file.entry(r.file.0).or_default().push((r.offset, r.bytes));
@@ -136,36 +182,43 @@ proptest! {
             spans.sort_unstable();
             let mut at = 0u64;
             for (offset, bytes) in spans {
-                prop_assert_eq!(offset, at, "gap/overlap in layout");
+                assert_eq!(offset, at, "case {case}: gap/overlap in layout");
                 at = offset + bytes;
             }
         }
     }
+}
 
-    /// Real-bytes adaptive runs reconstruct the global array exactly, for
-    /// arbitrary rank/target splits.
-    #[test]
-    fn adaptive_real_roundtrip(
-        nprocs in 2usize..10,
-        targets in 1usize..6,
-        per in 4u64..64,
-        seed in 0u64..20,
-    ) {
-        let blocks: Vec<Vec<VarBlock>> = (0..nprocs).map(|r| {
-            let vals: Vec<f64> = (0..per).map(|i| (r as u64 * per + i) as f64).collect();
-            vec![VarBlock::from_f64(
-                "u",
-                vec![nprocs as u64 * per],
-                vec![r as u64 * per],
-                vec![per],
-                &vals,
-            )]
-        }).collect();
+/// Real-bytes adaptive runs reconstruct the global array exactly, for
+/// arbitrary rank/target splits.
+#[test]
+fn adaptive_real_roundtrip() {
+    for case in 0..16 {
+        let mut rng = case_rng(6, case);
+        let nprocs = 2 + rng.below(8) as usize;
+        let targets = 1 + rng.below(5) as usize;
+        let per = 4 + rng.below(60);
+        let seed = rng.below(20);
+        let blocks: Vec<Vec<VarBlock>> = (0..nprocs)
+            .map(|r| {
+                let vals: Vec<f64> = (0..per).map(|i| (r as u64 * per + i) as f64).collect();
+                vec![VarBlock::from_f64(
+                    "u",
+                    vec![nprocs as u64 * per],
+                    vec![r as u64 * per],
+                    vec![per],
+                    &vals,
+                )]
+            })
+            .collect();
         let out = run(RunSpec {
             machine: testbed(),
             nprocs,
             data: DataSpec::Real(blocks),
-            method: Method::Adaptive { targets, opts: AdaptiveOpts::default() },
+            method: Method::Adaptive {
+                targets,
+                opts: AdaptiveOpts::default(),
+            },
             interference: Interference::None,
             seed,
         });
@@ -173,72 +226,87 @@ proptest! {
         let files = out.subfiles.unwrap();
         let all = read_global_f64(&gidx, &files, "u", 0).unwrap();
         let expect: Vec<f64> = (0..nprocs as u64 * per).map(|x| x as f64).collect();
-        prop_assert_eq!(all, expect);
-    }
-
-    /// Summary statistics are scale-equivariant (sanity of the stats
-    /// layer under arbitrary data).
-    #[test]
-    fn summary_scale_equivariance(
-        xs in prop::collection::vec(0.001f64..1e9, 2..100),
-        k in 0.001f64..1000.0,
-    ) {
-        use managed_io::iostats::Summary;
-        let s = Summary::of(&xs);
-        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
-        let t = Summary::of(&scaled);
-        prop_assert!((t.mean - k * s.mean).abs() <= 1e-9 * t.mean.abs().max(1.0));
-        prop_assert!((t.std_dev - k * s.std_dev).abs() <= 1e-6 * (t.std_dev.abs() + 1.0));
-        prop_assert!((t.cv() - s.cv()).abs() < 1e-9);
+        assert_eq!(all, expect, "case {case}: nprocs {nprocs}, targets {targets}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Summary statistics are scale-equivariant (sanity of the stats layer
+/// under arbitrary data).
+#[test]
+fn summary_scale_equivariance() {
+    use managed_io::iostats::Summary;
+    for case in 0..64 {
+        let mut rng = case_rng(7, case);
+        let n = 2 + rng.below(98) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| uniform(&mut rng, 0.001, 1e9)).collect();
+        let k = uniform(&mut rng, 0.001, 1000.0);
+        let s = Summary::of(&xs);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let t = Summary::of(&scaled);
+        assert!(
+            (t.mean - k * s.mean).abs() <= 1e-9 * t.mean.abs().max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (t.std_dev - k * s.std_dev).abs() <= 1e-6 * (t.std_dev.abs() + 1.0),
+            "case {case}"
+        );
+        assert!((t.cv() - s.cv()).abs() < 1e-9, "case {case}");
+    }
+}
 
-    /// Parser robustness: arbitrary bytes never panic the format parsers —
-    /// they return structured errors (or, for luck-crafted valid input, a
-    /// parse).
-    #[test]
-    fn parsers_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+/// Parser robustness: arbitrary bytes never panic the format parsers —
+/// they return structured errors (or, for luck-crafted valid input, a
+/// parse).
+#[test]
+fn parsers_never_panic_on_garbage() {
+    for case in 0..256 {
+        let mut rng = case_rng(8, case);
+        let len = rng.below(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
         let _ = managed_io::bpfmt::LocalIndex::parse(&bytes);
         let _ = managed_io::bpfmt::GlobalIndex::parse(&bytes);
         let _ = managed_io::bpfmt::decode_pg(&bytes);
         let _ = managed_io::bpfmt::Attributes::parse(&bytes);
     }
+}
 
-    /// Truncation robustness: every prefix of a valid subfile either
-    /// parses (impossible for strict prefixes ending before the footer)
-    /// or errors cleanly.
-    #[test]
-    fn truncated_subfiles_error_cleanly(
-        vals in prop::collection::vec(-1e3f64..1e3, 1..16),
-        cut_frac in 0.0f64..1.0,
-    ) {
-        let n = vals.len() as u64;
+/// Truncation robustness: every prefix of a valid subfile either parses
+/// (impossible for strict prefixes ending before the footer) or errors
+/// cleanly.
+#[test]
+fn truncated_subfiles_error_cleanly() {
+    for case in 0..256 {
+        let mut rng = case_rng(9, case);
+        let n = 1 + rng.below(15);
+        let vals: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -1e3, 1e3)).collect();
         let mut w = managed_io::bpfmt::SubfileWriter::new();
         w.append(0, 0, &[VarBlock::from_f64("v", vec![n], vec![0], vec![n], &vals)]);
         let (file, _) = w.finalize();
-        let cut = ((file.len() as f64) * cut_frac) as usize;
+        let cut = ((file.len() as f64) * rng.f64()) as usize;
         if cut < file.len() {
-            prop_assert!(managed_io::bpfmt::LocalIndex::parse(&file[..cut]).is_err());
+            assert!(
+                managed_io::bpfmt::LocalIndex::parse(&file[..cut]).is_err(),
+                "case {case}: truncated at {cut}/{} parsed",
+                file.len()
+            );
         }
     }
+}
 
-    /// Attribute sets round-trip for arbitrary contents.
-    #[test]
-    fn attributes_roundtrip(
-        entries in prop::collection::vec(
-            ("[a-z]{1,12}", -1e9f64..1e9),
-            0..16,
-        ),
-    ) {
-        use managed_io::bpfmt::{AttrValue, Attributes};
+/// Attribute sets round-trip for arbitrary contents.
+#[test]
+fn attributes_roundtrip() {
+    use managed_io::bpfmt::{AttrValue, Attributes};
+    for case in 0..256 {
+        let mut rng = case_rng(10, case);
+        let n = rng.below(16);
         let mut a = Attributes::new();
-        for (name, v) in &entries {
-            a.set(name.clone(), AttrValue::F64(*v));
+        for _ in 0..n {
+            let name = ascii_name(&mut rng, 11);
+            a.set(name, AttrValue::F64(uniform(&mut rng, -1e9, 1e9)));
         }
         let back = Attributes::parse(&a.serialize()).unwrap();
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "case {case}");
     }
 }
