@@ -1,0 +1,135 @@
+//! **Fault tolerance** — the robustness argument behind the paper's
+//! adaptive method, measured: under storage-target failures, stalls,
+//! brownouts, lossy control traffic and rank kills, the hardened
+//! adaptive protocol keeps landing every byte (work-shifted to the
+//! survivors) while the tuned MPI-IO baseline degrades to structured
+//! partial failure. Prints a scenario x method matrix of wrap-up time,
+//! written/lost bytes and completion status.
+
+use adios_core::{
+    run_with_faults, AdaptiveOpts, DataSpec, FaultConfig, Interference, Method, NetFaults, RunSpec,
+};
+use iostats::Table;
+use managed_io_bench::{base_seed, size_label, ExperimentLog};
+use simcore::units::MIB;
+use storesim::fault::FailMode;
+use storesim::params::testbed;
+use storesim::FaultScript;
+
+fn scenarios() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("no faults", FaultConfig::none()),
+        (
+            "brownout 0.1x on OST 0, 10 s",
+            FaultConfig {
+                storage: FaultScript::none().brownout(0.5, 0, 0.1, 10.0),
+                ..Default::default()
+            },
+        ),
+        (
+            "OST 2 dead (error) at 1 s",
+            FaultConfig {
+                storage: FaultScript::none().fail_ost(1.0, 2, FailMode::Error, None),
+                ..Default::default()
+            },
+        ),
+        (
+            "OST 3 stalled 1-20 s",
+            FaultConfig {
+                storage: FaultScript::none().fail_ost(1.0, 3, FailMode::Stall, Some(20.0)),
+                ..Default::default()
+            },
+        ),
+        (
+            "lossy network (30% dup, 30% delay)",
+            FaultConfig {
+                network: Some(NetFaults {
+                    dup_p: 0.3,
+                    delay_p: 0.3,
+                    delay_mean_secs: 0.05,
+                }),
+                ..Default::default()
+            },
+        ),
+        (
+            "sub-coordinator rank 4 killed at 1 s",
+            FaultConfig {
+                kills: vec![(1.0, 4)],
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let machine = testbed();
+    let seed = base_seed();
+    let nprocs = 32usize;
+    let bytes = 64 * MIB;
+    let targets = 8usize;
+    let mut log = ExperimentLog::new("fault_tolerance");
+
+    println!(
+        "Fault tolerance matrix — {nprocs} procs x {} over {targets} targets, testbed, seed {seed}\n",
+        size_label(bytes)
+    );
+    let mut table = Table::new(vec![
+        "scenario", "method", "time (s)", "written", "lost", "shifted", "status",
+    ]);
+
+    for (name, faults) in scenarios() {
+        for (mname, method) in [
+            ("mpi-io", Method::MpiIo { stripe_count: targets }),
+            (
+                "adaptive",
+                Method::Adaptive {
+                    targets,
+                    opts: AdaptiveOpts::default(),
+                },
+            ),
+        ] {
+            let out = run_with_faults(
+                RunSpec {
+                    machine: machine.clone(),
+                    nprocs,
+                    data: DataSpec::Uniform(bytes),
+                    method,
+                    interference: Interference::None,
+                    seed,
+                },
+                faults.clone(),
+            );
+            let status = if out.outcome.complete {
+                "complete".to_string()
+            } else {
+                format!("partial ({} errors)", out.errors.len())
+            };
+            table.row(vec![
+                name.to_string(),
+                mname.to_string(),
+                format!("{:.2}", out.result.full_span),
+                size_label(out.outcome.written_bytes),
+                size_label(out.outcome.lost_bytes),
+                format!("{}", out.result.adaptive_writes),
+                status,
+            ]);
+            log.row(minijson::json!({
+                "experiment": "fault-matrix",
+                "scenario": name,
+                "method": mname,
+                "full_span_s": out.result.full_span,
+                "written_bytes": out.outcome.written_bytes,
+                "lost_bytes": out.outcome.lost_bytes,
+                "adaptive_writes": out.result.adaptive_writes,
+                "complete": out.outcome.complete,
+                "errors": out.errors.len(),
+            }));
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Every adaptive row lands all bytes; MPI-IO loses whatever sat on a\n\
+         dead target because the baseline has no work shifting to fall back on."
+    );
+    log.flush();
+}

@@ -9,11 +9,12 @@
 //! simulated time, messaging (with a latency/bandwidth cost model), the
 //! storage system, timers and a deterministic RNG.
 
-use simcore::{Rng, SimDuration, SimTime};
+use simcore::{EventToken, Rng, SimDuration, SimTime};
 use storesim::layout::{FileId, OstId, StripeSpec};
 use storesim::system::CompletionKind;
 use storesim::StorageSystem;
 
+use crate::faultplane::{FaultPlane, SendFate};
 use crate::sim::PendingEvent;
 
 /// A rank index within the simulated job.
@@ -33,6 +34,9 @@ pub struct IoComplete {
     pub finished: SimTime,
     /// Operation class.
     pub kind: CompletionKind,
+    /// True if any part of the operation hit a failed storage target; the
+    /// bytes of the failed parts were **not** durably written.
+    pub error: bool,
 }
 
 impl IoComplete {
@@ -71,6 +75,7 @@ pub struct Ctx<'a, M> {
     pub(crate) msg_latency: f64,
     pub(crate) msg_bandwidth: f64,
     pub(crate) finished: &'a mut u64,
+    pub(crate) faults: &'a mut Option<FaultPlane>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -96,33 +101,70 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Send `msg` (costing `bytes` on the wire) to another rank. Delivery
     /// is reliable, ordered per sender-receiver pair (FIFO by schedule
-    /// time) and delayed by the network cost model.
-    pub fn send(&mut self, to: Rank, msg: M, bytes: u64) {
-        let at = self.now + self.message_delay(bytes);
-        self.queue.schedule(
-            at,
-            PendingEvent::Deliver {
-                from: self.rank,
-                to,
-                msg,
+    /// time) and delayed by the network cost model — unless a
+    /// [`FaultPlane`] is installed, in which case the message may be
+    /// dropped, delayed further, or duplicated per the plane's link rules.
+    pub fn send(&mut self, to: Rank, msg: M, bytes: u64)
+    where
+        M: Clone,
+    {
+        let base = self.now + self.message_delay(bytes);
+        let fate = match self.faults.as_mut() {
+            Some(plane) => plane.decide(self.rank, to),
+            None => SendFate::Deliver {
+                extra: SimDuration::ZERO,
+                duplicate: None,
             },
-        );
+        };
+        match fate {
+            SendFate::Drop => {}
+            SendFate::Deliver { extra, duplicate } => {
+                if let Some(dup_extra) = duplicate {
+                    self.queue.schedule(
+                        base + dup_extra,
+                        PendingEvent::Deliver {
+                            from: self.rank,
+                            to,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                self.queue.schedule(
+                    base + extra,
+                    PendingEvent::Deliver {
+                        from: self.rank,
+                        to,
+                        msg,
+                    },
+                );
+            }
+        }
     }
 
     /// Send a small control message (fixed 64-byte wire cost).
-    pub fn send_control(&mut self, to: Rank, msg: M) {
+    pub fn send_control(&mut self, to: Rank, msg: M)
+    where
+        M: Clone,
+    {
         self.send(to, msg, 64);
     }
 
-    /// Set a timer that fires after `delay` with `tag`.
-    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+    /// Set a timer that fires after `delay` with `tag`. The returned token
+    /// can cancel it via [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> EventToken {
         self.queue.schedule(
             self.now + delay,
             PendingEvent::Timer {
                 rank: self.rank,
                 tag,
             },
-        );
+        )
+    }
+
+    /// Cancel a timer set earlier. Returns false if it already fired or was
+    /// cancelled before.
+    pub fn cancel_timer(&mut self, token: EventToken) -> bool {
+        self.queue.cancel(token)
     }
 
     fn io_tag(&self, tag: u32) -> u64 {

@@ -71,7 +71,7 @@ pub fn tree_collective_delay<M>(ctx: &Ctx<'_, M>, n: usize) -> SimDuration {
 /// Broadcast a message from the root to every other rank (the release
 /// half of a centralised barrier). The closure builds a fresh message per
 /// destination.
-pub fn broadcast_from_root<M>(ctx: &mut Ctx<'_, M>, n: usize, mut mk: impl FnMut() -> M) {
+pub fn broadcast_from_root<M: Clone>(ctx: &mut Ctx<'_, M>, n: usize, mut mk: impl FnMut() -> M) {
     debug_assert_eq!(ctx.rank(), ROOT, "broadcast must run on the root");
     for r in 1..n as u32 {
         let msg = mk();

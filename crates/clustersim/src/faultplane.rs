@@ -1,0 +1,216 @@
+//! Seeded fault injection on the message layer.
+//!
+//! A [`FaultPlane`] sits between [`Ctx::send`](crate::Ctx::send) and the
+//! event queue: per sender→receiver link it can **drop**, **delay** or
+//! **duplicate** messages, and it can **kill** ranks at scheduled times
+//! (a killed rank receives no further messages, timers or IO completions).
+//! All randomness comes from the plane's own seeded RNG stream, so faulted
+//! runs remain byte-identical per seed and the main simulation RNG is
+//! untouched whether or not a plane is installed.
+
+use simcore::{Rng, SimDuration, SimTime};
+
+use crate::actor::Rank;
+
+/// Fault probabilities for one directed link (or the default for all).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a message is delayed beyond the base network cost.
+    pub delay_p: f64,
+    /// Mean of the exponential extra delay, in seconds.
+    pub delay_mean_secs: f64,
+}
+
+impl LinkFaults {
+    /// A perfectly healthy link.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_p: 0.0,
+        dup_p: 0.0,
+        delay_p: 0.0,
+        delay_mean_secs: 0.0,
+    };
+
+    /// A lossy-but-live link profile: occasional duplicates and delays.
+    /// (No drops: the adaptive protocol tolerates duplicated and delayed
+    /// control traffic end-to-end; dropped traffic surfaces through the
+    /// runner watchdog instead.)
+    pub fn flaky(dup_p: f64, delay_p: f64, delay_mean_secs: f64) -> LinkFaults {
+        LinkFaults {
+            drop_p: 0.0,
+            dup_p,
+            delay_p,
+            delay_mean_secs,
+        }
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::NONE
+    }
+}
+
+/// What the plane decided to do with one message.
+#[derive(Clone, Copy, Debug)]
+pub enum SendFate {
+    /// The message vanishes.
+    Drop,
+    /// The message is delivered with `extra` delay on top of the network
+    /// cost; if `duplicate` is set, a second copy arrives with that extra
+    /// delay too.
+    Deliver {
+        /// Extra delay of the primary copy.
+        extra: SimDuration,
+        /// Extra delay of the duplicate copy, if one is produced.
+        duplicate: Option<SimDuration>,
+    },
+}
+
+/// Seeded message-layer fault injector plus rank-kill schedule.
+#[derive(Debug)]
+pub struct FaultPlane {
+    rng: Rng,
+    default_rule: LinkFaults,
+    /// Per-link overrides, linearly scanned (fault sets are small).
+    links: Vec<((u32, u32), LinkFaults)>,
+    kills: Vec<(SimTime, Rank)>,
+}
+
+impl FaultPlane {
+    /// A plane with healthy defaults; compose with the builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlane {
+            rng: Rng::new(seed ^ 0xFA17_91A7_E00D_CAFE),
+            default_rule: LinkFaults::NONE,
+            links: Vec::new(),
+            kills: Vec::new(),
+        }
+    }
+
+    /// Set the fault rule applied to every link without an override.
+    pub fn with_default(mut self, rule: LinkFaults) -> Self {
+        self.default_rule = rule;
+        self
+    }
+
+    /// Override the rule for the directed link `from → to`.
+    pub fn link(mut self, from: u32, to: u32, rule: LinkFaults) -> Self {
+        self.links.push(((from, to), rule));
+        self
+    }
+
+    /// Schedule `rank` to die at `at_secs`: from then on it receives no
+    /// messages, timers or IO completions, and never acts again.
+    pub fn kill_at(mut self, at_secs: f64, rank: u32) -> Self {
+        self.kills.push((SimTime::from_secs_f64(at_secs), Rank(rank)));
+        self
+    }
+
+    pub(crate) fn kills(&self) -> &[(SimTime, Rank)] {
+        &self.kills
+    }
+
+    /// Decide the fate of one message on `from → to`.
+    pub(crate) fn decide(&mut self, from: Rank, to: Rank) -> SendFate {
+        let rule = self
+            .links
+            .iter()
+            .find(|&&((f, t), _)| f == from.0 && t == to.0)
+            .map(|&(_, r)| r)
+            .unwrap_or(self.default_rule);
+        if rule.drop_p > 0.0 && self.rng.chance(rule.drop_p) {
+            return SendFate::Drop;
+        }
+        let extra = if rule.delay_p > 0.0 && self.rng.chance(rule.delay_p) {
+            SimDuration::from_secs_f64(self.rng.exp(rule.delay_mean_secs.max(1e-9)))
+        } else {
+            SimDuration::ZERO
+        };
+        let duplicate = if rule.dup_p > 0.0 && self.rng.chance(rule.dup_p) {
+            Some(SimDuration::from_secs_f64(
+                self.rng.exp(rule.delay_mean_secs.max(1e-9)),
+            ))
+        } else {
+            None
+        };
+        SendFate::Deliver { extra, duplicate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plane_always_delivers_cleanly() {
+        let mut p = FaultPlane::new(1);
+        for _ in 0..100 {
+            match p.decide(Rank(0), Rank(1)) {
+                SendFate::Deliver { extra, duplicate } => {
+                    assert_eq!(extra, SimDuration::ZERO);
+                    assert!(duplicate.is_none());
+                }
+                SendFate::Drop => panic!("healthy plane dropped a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let mut p = FaultPlane::new(2).with_default(LinkFaults {
+            drop_p: 0.5,
+            ..LinkFaults::NONE
+        });
+        let drops = (0..1000)
+            .filter(|_| matches!(p.decide(Rank(0), Rank(1)), SendFate::Drop))
+            .count();
+        assert!((350..650).contains(&drops), "got {drops} drops of 1000");
+    }
+
+    #[test]
+    fn link_overrides_beat_default() {
+        let mut p = FaultPlane::new(3)
+            .with_default(LinkFaults::NONE)
+            .link(2, 3, LinkFaults {
+                drop_p: 1.0,
+                ..LinkFaults::NONE
+            });
+        assert!(matches!(p.decide(Rank(2), Rank(3)), SendFate::Drop));
+        assert!(matches!(
+            p.decide(Rank(3), Rank(2)),
+            SendFate::Deliver { .. }
+        ));
+        assert!(matches!(
+            p.decide(Rank(0), Rank(1)),
+            SendFate::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn decisions_are_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut p = FaultPlane::new(seed).with_default(LinkFaults {
+                drop_p: 0.3,
+                dup_p: 0.2,
+                delay_p: 0.4,
+                delay_mean_secs: 0.01,
+            });
+            (0..200)
+                .map(|i| format!("{:?}", p.decide(Rank(i % 4), Rank((i + 1) % 4))))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn kill_schedule_is_recorded() {
+        let p = FaultPlane::new(4).kill_at(1.5, 3).kill_at(0.5, 1);
+        assert_eq!(p.kills().len(), 2);
+        assert_eq!(p.kills()[0].1, Rank(3));
+    }
+}

@@ -13,9 +13,11 @@
 
 pub mod actor;
 pub mod collective;
+pub mod faultplane;
 pub mod sim;
 pub mod topology;
 
 pub use actor::{Actor, Ctx, IoComplete, Rank};
 pub use collective::Barrier;
+pub use faultplane::{FaultPlane, LinkFaults, SendFate};
 pub use sim::{PendingEvent, RunStats, Simulation, TraceRecord};

@@ -12,6 +12,7 @@ use simcore::{EventQueue, Rng, SimTime, SplitMix64};
 use storesim::{MachineConfig, StorageSystem};
 
 use crate::actor::{Actor, Ctx, IoComplete, Rank};
+use crate::faultplane::FaultPlane;
 
 /// Boxed message-labelling closure used by traces.
 type MsgLabeler<M> = Box<dyn Fn(&M) -> String>;
@@ -34,6 +35,11 @@ pub enum PendingEvent<M> {
         rank: Rank,
         /// Actor-chosen discriminator.
         tag: u64,
+    },
+    /// A scheduled rank death (fault injection).
+    Kill {
+        /// The rank that dies.
+        rank: Rank,
     },
 }
 
@@ -72,6 +78,10 @@ pub struct Simulation<A: Actor> {
     msg_bandwidth: f64,
     started: bool,
     finished: u64,
+    /// Installed message-layer fault injector, if any.
+    faults: Option<FaultPlane>,
+    /// Ranks that have been killed (no further event dispatch).
+    dead: Vec<bool>,
     /// Recorded events (when tracing): (buffer, capacity).
     trace: Option<(Vec<TraceRecord>, usize)>,
     /// Message labeller used by traces (defaults to the message type
@@ -100,6 +110,7 @@ impl<A: Actor> Simulation<A> {
         let msg_bandwidth = cfg.msg_bandwidth;
         let mut seeder = SplitMix64::new(seed ^ 0xC1A5_7E25_11D3_0001);
         let rng = seeder.stream();
+        let dead = vec![false; actors.len()];
         Simulation {
             actors,
             storage,
@@ -109,9 +120,25 @@ impl<A: Actor> Simulation<A> {
             msg_bandwidth,
             started: false,
             finished: 0,
+            faults: None,
+            dead,
             trace: None,
             labeler: None,
         }
+    }
+
+    /// Install a message-layer fault plane (drop/delay/duplicate per link,
+    /// scheduled rank kills). Call before running.
+    pub fn install_fault_plane(&mut self, plane: FaultPlane) {
+        for &(at, rank) in plane.kills() {
+            self.queue.schedule(at, PendingEvent::Kill { rank });
+        }
+        self.faults = Some(plane);
+    }
+
+    /// Whether `rank` has been killed by the fault plane.
+    pub fn is_dead(&self, rank: Rank) -> bool {
+        self.dead[rank.0 as usize]
     }
 
     /// Number of ranks.
@@ -149,6 +176,7 @@ impl<A: Actor> Simulation<A> {
             msg_latency,
             msg_bandwidth,
             finished,
+            faults,
             ..
         } = self;
         for (i, a) in actors.iter_mut().enumerate() {
@@ -161,6 +189,7 @@ impl<A: Actor> Simulation<A> {
                 msg_latency: *msg_latency,
                 msg_bandwidth: *msg_bandwidth,
                 finished,
+                faults,
             };
             a.on_start(&mut ctx);
         }
@@ -258,12 +287,16 @@ impl<A: Actor> Simulation<A> {
                 for c in completions {
                     stats.io_completions += 1;
                     let rank = Rank((c.tag >> 32) as u32);
+                    if self.dead[rank.0 as usize] {
+                        continue; // completions for killed ranks evaporate
+                    }
                     let done = IoComplete {
                         tag: (c.tag & 0xFFFF_FFFF) as u32,
                         bytes: c.bytes,
                         submitted: c.submitted,
                         finished: c.finished,
                         kind: c.kind,
+                        error: c.error,
                     };
                     let Simulation {
                         actors,
@@ -273,6 +306,7 @@ impl<A: Actor> Simulation<A> {
                         msg_latency,
                         msg_bandwidth,
                         finished,
+                        faults,
                         trace,
                         ..
                     } = self;
@@ -291,6 +325,7 @@ impl<A: Actor> Simulation<A> {
                         msg_latency: *msg_latency,
                         msg_bandwidth: *msg_bandwidth,
                         finished,
+                        faults,
                     };
                     actors[rank.0 as usize].on_io_complete(done, &mut ctx);
                 }
@@ -312,48 +347,62 @@ impl<A: Actor> Simulation<A> {
                     msg_latency,
                     msg_bandwidth,
                     finished,
+                    faults,
+                    dead,
                     trace,
                     labeler,
                     ..
                 } = self;
                 match ev {
                     PendingEvent::Deliver { from, to, msg } => {
-                        if trace.is_some() {
-                            let label = match labeler {
-                                Some(f) => f(&msg),
-                                None => std::any::type_name::<A::Msg>()
-                                    .rsplit("::")
-                                    .next()
-                                    .unwrap_or("msg")
-                                    .to_string(),
+                        if dead[to.0 as usize] {
+                            // Killed ranks receive nothing.
+                        } else {
+                            if trace.is_some() {
+                                let label = match labeler {
+                                    Some(f) => f(&msg),
+                                    None => std::any::type_name::<A::Msg>()
+                                        .rsplit("::")
+                                        .next()
+                                        .unwrap_or("msg")
+                                        .to_string(),
+                                };
+                                Self::record(trace, at, to, format!("recv from {}: {label}", from.0));
+                            }
+                            let mut ctx = Ctx {
+                                now: at,
+                                rank: to,
+                                storage,
+                                queue,
+                                rng,
+                                msg_latency: *msg_latency,
+                                msg_bandwidth: *msg_bandwidth,
+                                finished,
+                                faults,
                             };
-                            Self::record(trace, at, to, format!("recv from {}: {label}", from.0));
+                            actors[to.0 as usize].on_message(from, msg, &mut ctx);
                         }
-                        let mut ctx = Ctx {
-                            now: at,
-                            rank: to,
-                            storage,
-                            queue,
-                            rng,
-                            msg_latency: *msg_latency,
-                            msg_bandwidth: *msg_bandwidth,
-                            finished,
-                        };
-                        actors[to.0 as usize].on_message(from, msg, &mut ctx);
                     }
                     PendingEvent::Timer { rank, tag } => {
-                        Self::record(trace, at, rank, format!("timer {tag}"));
-                        let mut ctx = Ctx {
-                            now: at,
-                            rank,
-                            storage,
-                            queue,
-                            rng,
-                            msg_latency: *msg_latency,
-                            msg_bandwidth: *msg_bandwidth,
-                            finished,
-                        };
-                        actors[rank.0 as usize].on_timer(tag, &mut ctx);
+                        if !dead[rank.0 as usize] {
+                            Self::record(trace, at, rank, format!("timer {tag}"));
+                            let mut ctx = Ctx {
+                                now: at,
+                                rank,
+                                storage,
+                                queue,
+                                rng,
+                                msg_latency: *msg_latency,
+                                msg_bandwidth: *msg_bandwidth,
+                                finished,
+                                faults,
+                            };
+                            actors[rank.0 as usize].on_timer(tag, &mut ctx);
+                        }
+                    }
+                    PendingEvent::Kill { rank } => {
+                        Self::record(trace, at, rank, "killed".to_string());
+                        dead[rank.0 as usize] = true;
                     }
                 }
             }
@@ -547,5 +596,81 @@ mod tests {
         let stats = sim.run(SimTime::from_secs_f64(0.001));
         assert_eq!(stats.io_completions, 0);
         assert!(sim.actor(Rank(0)).done.is_none());
+    }
+
+    #[test]
+    fn killed_rank_receives_nothing_further() {
+        // Ping-pong with rank 1 killed at t=0.05 s: the volley stops and
+        // the run terminates without hanging (queue simply drains).
+        let mk = || PingPong {
+            hits: 0,
+            limit: 1_000_000,
+            last_seen: None,
+        };
+        let mut sim = Simulation::new(testbed(), vec![mk(), mk()], 7);
+        sim.install_fault_plane(crate::FaultPlane::new(7).kill_at(0.05, 1));
+        sim.run(SimTime::from_secs_f64(10.0));
+        assert!(sim.is_dead(Rank(1)));
+        let last = sim.actor(Rank(1)).last_seen.unwrap();
+        assert!(
+            last.as_secs_f64() <= 0.05,
+            "rank 1 saw a message after its death: {last:?}"
+        );
+        // Rank 0's last receive is at most one hop after the kill.
+        let last0 = sim.actor(Rank(0)).last_seen.unwrap();
+        assert!(last0.as_secs_f64() <= 0.05 + 2.0 * testbed().msg_latency + 0.01);
+    }
+
+    #[test]
+    fn duplicated_messages_are_delivered_twice() {
+        /// Counts raw deliveries of a single fired message.
+        struct CountRecv {
+            seen: u32,
+        }
+        impl Actor for CountRecv {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.rank() == Rank(0) {
+                    ctx.send_control(Rank(1), ());
+                }
+            }
+            fn on_message(&mut self, _f: Rank, _m: (), _c: &mut Ctx<'_, ()>) {
+                self.seen += 1;
+            }
+        }
+        let mut sim = Simulation::new(
+            testbed(),
+            vec![CountRecv { seen: 0 }, CountRecv { seen: 0 }],
+            8,
+        );
+        sim.install_fault_plane(
+            crate::FaultPlane::new(8)
+                .with_default(crate::LinkFaults::flaky(1.0, 0.0, 0.0)),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.actor(Rank(1)).seen, 2, "dup_p=1 must deliver twice");
+    }
+
+    #[test]
+    fn faulted_runs_are_seed_deterministic() {
+        let run = || {
+            let mk = || PingPong {
+                hits: 0,
+                limit: 50,
+                last_seen: None,
+            };
+            let mut sim = Simulation::new(testbed(), vec![mk(), mk()], 9);
+            sim.install_fault_plane(
+                crate::FaultPlane::new(9)
+                    .with_default(crate::LinkFaults::flaky(0.2, 0.3, 0.002)),
+            );
+            sim.run(SimTime::from_secs_f64(100.0));
+            (
+                sim.actor(Rank(0)).hits,
+                sim.actor(Rank(1)).hits,
+                sim.actor(Rank(1)).last_seen.map(|t| t.as_nanos()),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

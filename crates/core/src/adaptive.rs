@@ -26,6 +26,32 @@
 //! With `work_stealing: false` the same machinery degrades to the
 //! authors' earlier *stagger* method (serialised per-target writes, no
 //! shifting), which we use as an ablation baseline.
+//!
+//! # Fault tolerance ([`crate::fault::FaultTolerance`], off by default)
+//!
+//! When `opts.fault.enabled`, the same state machines harden against
+//! storage-target failures, duplicated/delayed control traffic and rank
+//! deaths:
+//!
+//! * Writers guard every write with a timeout and bounded exponential
+//!   backoff retries; exhausted retries surface as `WriteFailed` to the
+//!   writer's sub-coordinator, which re-queues the writer and condemns
+//!   the target through the coordinator.
+//! * The coordinator broadcasts `TargetDead` for condemned targets;
+//!   writers holding now-destroyed data discard their records and
+//!   re-enter their group's pool (`LostWrite`), and the rewrites flow
+//!   through the ordinary work-shifting machinery onto surviving targets.
+//! * The coordinator pings sub-coordinators; a silent SC is replaced by
+//!   promoting the group's next member (`ScFailover`), and surviving
+//!   members replay their status (and un-acked index records) to the
+//!   promoted SC. Members that stay silent past the adoption window are
+//!   declared dead and their bytes are reported lost by the runner.
+//! * Duplicate-message guards (per-member state, per-writer index sets,
+//!   in-flight request matching) make every handler idempotent.
+//!
+//! Fault-tolerant runs currently support synthetic (sizes-only) data;
+//! byte-level accounting lives in the runner, keyed off write records and
+//! the storage system's data-loss log.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -38,11 +64,14 @@ use storesim::layout::FileId;
 use storesim::system::CompletionKind;
 use storesim::ObjectStore;
 
+use crate::fault::FaultTolerance;
 use crate::plan::OutputPlan;
 use crate::protocol::{Assignment, Msg, INDEX_ENTRY_BYTES};
 use crate::record::WriteRecord;
 
-/// IO tag values (per-rank scoped).
+/// IO tag values (per-rank scoped). In fault mode the write tag carries a
+/// generation counter in its upper bits (`TAG_WRITE | gen << 8`) so stale
+/// completions from abandoned attempts are ignored.
 const TAG_OPEN: u32 = 1;
 const TAG_WRITE: u32 = 2;
 const TAG_INDEX: u32 = 3;
@@ -50,6 +79,16 @@ const TAG_GLOBAL_INDEX: u32 = 4;
 const TAG_CLOSE: u32 = 5;
 /// Timer used by staggered opens.
 const TIMER_OPEN: u64 = 1;
+/// Write-timeout timer (fault mode); carries the generation in bits 8+.
+const TIMER_WRITE_TIMEOUT: u64 = 2;
+/// Retry-backoff timer (fault mode); carries the generation in bits 8+.
+const TIMER_RETRY: u64 = 3;
+/// Coordinator liveness-ping timer (fault mode).
+const TIMER_PING: u64 = 4;
+/// Promoted-SC adoption window timer (fault mode).
+const TIMER_ADOPT: u64 = 5;
+/// Sub-coordinator dead-member sweep timer (fault mode).
+const TIMER_SWEEP: u64 = 6;
 
 /// Tuning knobs of the adaptive method.
 #[derive(Clone, Debug)]
@@ -71,6 +110,8 @@ pub struct AdaptiveOpts {
     /// Coordinator ablation: instead of round-robining adaptive requests
     /// over writing SCs, keep draining the same SC until it reports busy.
     pub drain_first: bool,
+    /// Failure-hardening knobs (inert unless `fault.enabled`).
+    pub fault: FaultTolerance,
 }
 
 impl Default for AdaptiveOpts {
@@ -82,6 +123,7 @@ impl Default for AdaptiveOpts {
             stagger_gap: SimDuration::from_millis(2),
             work_stealing: true,
             drain_first: false,
+            fault: FaultTolerance::default(),
         }
     }
 }
@@ -105,6 +147,9 @@ pub struct MsgStats {
     /// Coordinator-bound messages received (`ScComplete`,
     /// `AdaptiveComplete`, `WritersBusy`, `IndexToC`) — coordinator role.
     pub coordinator_inbox: u64,
+    /// Fault-protocol control messages received (failure reports, pings,
+    /// failover, status replay) — zero unless fault mode is on.
+    pub fault_ctrl: u64,
 }
 
 impl MsgStats {
@@ -116,6 +161,7 @@ impl MsgStats {
             + self.adaptive_start
             + self.overall
             + self.coordinator_inbox
+            + self.fault_ctrl
     }
 }
 
@@ -126,9 +172,33 @@ enum ScPhase {
     Complete,
 }
 
+/// Lifecycle of one group member as seen by its sub-coordinator (fault
+/// bookkeeping; in fault-free runs every member walks Queued → Assigned →
+/// Done exactly once).
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum MemberState {
+    /// Post-failover: no status report received yet.
+    Unknown,
+    /// In the waiting pool.
+    Queued,
+    /// Writing; `local` means the assignment came from this SC's own
+    /// scheduler (counts against `local_active`) rather than a
+    /// coordinator-directed divert.
+    Assigned {
+        at: SimTime,
+        local: bool,
+    },
+    /// Write durably completed.
+    Done,
+    /// Declared dead (reaped by the sweep or the adoption window).
+    Dead,
+}
+
 /// Sub-coordinator state.
 struct ScState {
     group: u32,
+    /// First member rank (member index = rank − first).
+    first: u32,
     /// Members not yet assigned anywhere.
     waiting: VecDeque<u32>,
     /// Writes currently in flight to my own file.
@@ -152,6 +222,58 @@ struct ScState {
     pieces: Vec<IndexEntry>,
     /// Whether the file has been opened (scheduling gate).
     opened: bool,
+
+    // ---- fault-tolerance extension ---------------------------------------
+    /// Per-member lifecycle (dedup + reaping).
+    member_state: Vec<MemberState>,
+    /// My own file's target is condemned; nothing more lands there.
+    target_dead: bool,
+    /// Stop local scheduling (post-failure re-queues are served only via
+    /// coordinator diverts, keeping offset authority in one place).
+    local_frozen: bool,
+    /// AdaptiveWriteStart dedup by `(target, offset)`.
+    seen_starts: Vec<(u32, u64)>,
+    /// Writers whose WriteComplete-into-my-file was already counted.
+    seen_into: Vec<u32>,
+    /// Writers whose IndexBody was already counted.
+    seen_index: Vec<u32>,
+    /// This SC was promoted by a coordinator failover.
+    adopted: bool,
+}
+
+impl ScState {
+    fn new(group: u32, members: VecDeque<u32>, first: u32) -> Self {
+        let n = members.len();
+        ScState {
+            group,
+            first,
+            members_remaining: n,
+            waiting: members,
+            local_active: 0,
+            next_offset: 0,
+            file_high: 0,
+            missing_indices: 0,
+            writes_into_file: 0,
+            overall_seen: false,
+            index_written: false,
+            sc_complete_sent: false,
+            pieces: Vec::new(),
+            opened: false,
+            member_state: vec![MemberState::Queued; n],
+            target_dead: false,
+            local_frozen: false,
+            seen_starts: Vec::new(),
+            seen_into: Vec::new(),
+            seen_index: Vec::new(),
+            adopted: false,
+        }
+    }
+
+    /// Member index of `rank`, if it belongs to this group.
+    fn midx(&self, rank: u32) -> Option<usize> {
+        let i = rank.checked_sub(self.first)? as usize;
+        (i < self.member_state.len()).then_some(i)
+    }
 }
 
 /// Coordinator state.
@@ -160,20 +282,42 @@ struct CoordState {
     noted_offset: Vec<u64>,
     /// Completed targets currently free to host an adaptive write.
     free_targets: VecDeque<u32>,
-    outstanding: usize,
+    /// Outstanding adaptive requests as `(sc group asked, target group)`
+    /// — matched on completion/busy/failure so duplicated replies cannot
+    /// double-resolve a request.
+    inflight: Vec<(u32, u32)>,
     /// High-water mark of simultaneous adaptive requests (paper §III-B3:
     /// strictly bounded by SC count − 1).
     max_outstanding: usize,
     rr_cursor: usize,
     overall_sent: bool,
     indices_received: usize,
+    /// How many group indices the coordinator still expects (shrinks when
+    /// a group is abandoned with every member dead).
+    indices_expected: usize,
+    /// Per-group index-received flags (dedup).
+    index_in: Vec<bool>,
     index_parts: Vec<(String, LocalIndex)>,
     /// Built after all indices arrive (real-bytes mode).
     global_index: Option<GlobalIndex>,
+    /// Global index write already issued.
+    global_issued: bool,
     /// Time the global index write completed.
     finished_at: Option<SimTime>,
     /// Total adaptive writes successfully issued and completed.
     adaptive_completed: usize,
+
+    // ---- fault-tolerance extension ---------------------------------------
+    /// Condemned targets (never handed out again).
+    dead_target: Vec<bool>,
+    /// Groups with no surviving members at all.
+    abandoned: Vec<bool>,
+    /// Current SC rank per group (changes on failover).
+    sc_rank: Vec<u32>,
+    /// Last `ScPong` time per group.
+    pong_seen: Vec<SimTime>,
+    /// How many SCs of this group have died so far.
+    promoted: Vec<usize>,
 }
 
 /// One rank of the adaptive method.
@@ -200,6 +344,19 @@ pub struct AdaptiveActor {
     /// Received-message counters.
     pub msg_stats: MsgStats,
 
+    // Writer fault state.
+    /// Write-attempt generation (stale-completion fencing).
+    gen: u32,
+    /// Attempts made for the current assignment.
+    attempt: u32,
+    /// Per-group SC replacement map (failover); None ⇒ plan default.
+    sc_override: Vec<Option<u32>>,
+    /// Groups whose file the coordinator declared destroyed.
+    dead_groups: Vec<bool>,
+    /// Status reports that arrived before this rank adopted SC duty
+    /// (delayed-broadcast reordering).
+    pending_reports: Vec<(Rank, Msg)>,
+
     sc: Option<ScState>,
     coord: Option<CoordState>,
 }
@@ -221,42 +378,39 @@ impl AdaptiveActor {
         let group = plan.group_of[rank as usize];
         let sc = if plan.is_sc(r) {
             let members: VecDeque<u32> = plan.members(group).map(|m| m.0).collect();
-            Some(ScState {
-                group,
-                members_remaining: members.len(),
-                waiting: members,
-                local_active: 0,
-                next_offset: 0,
-                file_high: 0,
-                missing_indices: 0,
-                writes_into_file: 0,
-                overall_seen: false,
-                index_written: false,
-                sc_complete_sent: false,
-                pieces: Vec::new(),
-                opened: false,
-            })
+            let first = members.front().copied().unwrap_or(rank);
+            Some(ScState::new(group, members, first))
         } else {
             None
         };
         let coord = if r == plan.coordinator() {
+            let targets = plan.targets;
             Some(CoordState {
-                phase: vec![ScPhase::Writing; plan.targets],
-                noted_offset: vec![0; plan.targets],
+                phase: vec![ScPhase::Writing; targets],
+                noted_offset: vec![0; targets],
                 free_targets: VecDeque::new(),
-                outstanding: 0,
+                inflight: Vec::new(),
                 max_outstanding: 0,
                 rr_cursor: 0,
                 overall_sent: false,
                 indices_received: 0,
+                indices_expected: targets,
+                index_in: vec![false; targets],
                 index_parts: Vec::new(),
                 global_index: None,
+                global_issued: false,
                 finished_at: None,
                 adaptive_completed: 0,
+                dead_target: vec![false; targets],
+                abandoned: vec![false; targets],
+                sc_rank: (0..targets as u32).map(|g| plan.sc_of(g).0).collect(),
+                pong_seen: vec![SimTime::ZERO; targets],
+                promoted: vec![0; targets],
             })
         } else {
             None
         };
+        let targets = plan.targets;
         AdaptiveActor {
             plan,
             opts,
@@ -270,6 +424,11 @@ impl AdaptiveActor {
             write_started: None,
             records: Vec::new(),
             msg_stats: MsgStats::default(),
+            gen: 0,
+            attempt: 0,
+            sc_override: vec![None; targets],
+            dead_groups: vec![false; targets],
+            pending_reports: Vec::new(),
             sc,
             coord,
         }
@@ -302,19 +461,84 @@ impl AdaptiveActor {
         self.plan.rank_bytes[rank as usize]
     }
 
+    fn ft(&self) -> FaultTolerance {
+        self.opts.fault
+    }
+
+    /// Current SC of `group`, accounting for failover promotions.
+    fn current_sc_of(&self, group: u32) -> Rank {
+        match self.sc_override[group as usize] {
+            Some(r) => Rank(r),
+            None => self.plan.sc_of(group),
+        }
+    }
+
+    fn send_msg(&self, ctx: &mut Ctx<'_, Msg>, to: Rank, m: Msg) {
+        let wire = m.wire_bytes();
+        ctx.send(to, m, wire);
+    }
+
     // ---- writer role ------------------------------------------------------
 
     fn start_write(&mut self, a: Assignment, ctx: &mut Ctx<'_, Msg>) {
         debug_assert!(self.assignment.is_none(), "writer double-assigned");
         self.assignment = Some(a);
         self.write_started = Some(ctx.now());
+        self.attempt = 1;
+        if self.ft().enabled {
+            self.gen += 1;
+        }
+        self.submit_write(ctx);
+    }
+
+    /// Submit the current assignment's write (initial attempt or retry).
+    fn submit_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let a = self.assignment.expect("submit without assignment");
         let bytes = self.bytes_of(self.me);
-        ctx.write_file(a.file, a.offset, bytes, TAG_WRITE);
+        let ft = self.ft();
+        if ft.enabled {
+            let tag = TAG_WRITE | (self.gen << 8);
+            ctx.write_file(a.file, a.offset, bytes, tag);
+            ctx.set_timer(
+                SimDuration::from_secs_f64(ft.timeout_for(bytes)),
+                TIMER_WRITE_TIMEOUT | ((self.gen as u64) << 8),
+            );
+        } else {
+            ctx.write_file(a.file, a.offset, bytes, TAG_WRITE);
+        }
+    }
+
+    /// One write attempt failed (error completion or timeout): retry with
+    /// backoff, or give up and report `WriteFailed` to the current SC of
+    /// the triggering group.
+    fn write_attempt_failed(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let ft = self.ft();
+        let Some(a) = self.assignment else { return };
+        if self.attempt < ft.max_retries.max(1) {
+            self.attempt += 1;
+            self.gen += 1;
+            let backoff = ft.backoff_base_secs * f64::powi(2.0, self.attempt as i32 - 2);
+            ctx.set_timer(
+                SimDuration::from_secs_f64(backoff),
+                TIMER_RETRY | ((self.gen as u64) << 8),
+            );
+        } else {
+            self.assignment = None;
+            self.write_started = None;
+            self.attempt = 0;
+            let bytes = self.bytes_of(self.me);
+            let to = self.current_sc_of(a.triggering_group);
+            self.send_msg(ctx, to, Msg::WriteFailed {
+                assignment: a,
+                bytes,
+            });
+        }
     }
 
     fn finish_write(&mut self, done: IoComplete, ctx: &mut Ctx<'_, Msg>) {
         let a = self.assignment.take().expect("completion without assignment");
         let started = self.write_started.take().expect("write start recorded");
+        self.attempt = 0;
         self.records.push(WriteRecord {
             rank: self.me,
             bytes: done.bytes,
@@ -336,13 +560,13 @@ impl AdaptiveActor {
             pieces = entries.into_iter().map(|e| e.rebased(a.offset)).collect();
         }
         // Algorithm 1 lines 4–8.
-        let trig_sc = self.plan.sc_of(a.triggering_group);
+        let trig_sc = self.current_sc_of(a.triggering_group);
         let msg = Msg::WriteComplete {
             assignment: a,
             bytes: done.bytes,
         };
         ctx.send(trig_sc, msg.clone(), msg.wire_bytes());
-        let target_sc = self.plan.sc_of(a.target_group);
+        let target_sc = self.current_sc_of(a.target_group);
         if a.is_adaptive() {
             let m2 = Msg::WriteComplete {
                 assignment: a,
@@ -358,6 +582,29 @@ impl AdaptiveActor {
         ctx.send(target_sc, idx, wire);
     }
 
+    /// A target's file was destroyed (coordinator broadcast): discard any
+    /// durable record into it and re-enter the writing pool through this
+    /// rank's own SC.
+    fn writer_on_target_dead(&mut self, group: u32, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ft().enabled {
+            return;
+        }
+        self.dead_groups[group as usize] = true;
+        if let Some(sc) = &mut self.sc {
+            if sc.group == group {
+                sc.target_dead = true;
+                sc.local_frozen = true;
+            }
+        }
+        let dead_file = self.files[group as usize];
+        if let Some(pos) = self.records.iter().position(|r| r.file == dead_file) {
+            let lost = self.records.remove(pos);
+            let my_group = self.plan.group_of[self.me as usize];
+            let to = self.current_sc_of(my_group);
+            self.send_msg(ctx, to, Msg::LostWrite { bytes: lost.bytes });
+        }
+    }
+
     // ---- sub-coordinator role ----------------------------------------------
 
     fn sc_open(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -370,8 +617,9 @@ impl AdaptiveActor {
         let mut to_assign: Vec<(u32, Assignment)> = Vec::new();
         {
             let plan = Rc::clone(&self.plan);
+            let now = ctx.now();
             let sc = self.sc.as_mut().expect("sc role");
-            if !sc.opened {
+            if !sc.opened || sc.target_dead || sc.local_frozen {
                 return;
             }
             let k = self.opts.writers_per_target.max(1);
@@ -390,6 +638,9 @@ impl AdaptiveActor {
                 sc.next_offset += bytes;
                 sc.file_high = sc.file_high.max(sc.next_offset);
                 sc.local_active += 1;
+                if let Some(i) = sc.midx(w) {
+                    sc.member_state[i] = MemberState::Assigned { at: now, local: true };
+                }
                 to_assign.push((w, a));
             }
         }
@@ -404,49 +655,131 @@ impl AdaptiveActor {
         }
     }
 
-    fn sc_on_write_complete(&mut self, a: Assignment, bytes: u64, ctx: &mut Ctx<'_, Msg>) {
+    /// Send `ScComplete` once all members are accounted for.
+    fn sc_maybe_complete(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let coordinator = self.plan.coordinator();
+        let m = {
+            let sc = self.sc.as_mut().expect("sc role");
+            if sc.members_remaining != 0 || sc.sc_complete_sent {
+                return;
+            }
+            sc.sc_complete_sent = true;
+            Msg::ScComplete {
+                group: sc.group,
+                final_offset: sc.next_offset,
+            }
+        };
+        self.send_msg(ctx, coordinator, m);
+    }
+
+    fn sc_on_write_complete(
+        &mut self,
+        from: Rank,
+        a: Assignment,
+        bytes: u64,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
         let coordinator = self.plan.coordinator();
         let my_group = self.sc.as_ref().expect("sc role").group;
         let mut send_to_c: Vec<Msg> = Vec::new();
         let mut reschedule = false;
         {
             let sc = self.sc.as_mut().expect("sc role");
-            if a.target_group == my_group {
+            if a.target_group == my_group && !sc.seen_into.contains(&from.0) {
                 // A write landed in my file: expect its index body.
+                sc.seen_into.push(from.0);
                 sc.missing_indices += 1;
                 sc.writes_into_file += 1;
                 sc.file_high = sc.file_high.max(a.offset + bytes);
             }
             if a.triggering_group == my_group {
-                // Source is one of mine.
-                sc.members_remaining -= 1;
-                if a.target_group != my_group {
-                    // Adaptive completion: tell C (Algorithm 2 line 6).
-                    send_to_c.push(Msg::AdaptiveComplete {
-                        target_group: a.target_group,
-                        bytes,
-                    });
-                } else {
-                    sc.local_active -= 1;
-                    reschedule = true;
-                }
-                if sc.members_remaining == 0 && !sc.sc_complete_sent {
-                    sc.sc_complete_sent = true;
-                    send_to_c.push(Msg::ScComplete {
-                        group: my_group,
-                        final_offset: sc.next_offset,
-                    });
+                // Source is one of mine. Only the Assigned → Done edge
+                // counts (duplicated deliveries are ignored).
+                let state = sc.midx(from.0).map(|i| sc.member_state[i]);
+                if let Some(MemberState::Assigned { local, .. }) = state {
+                    let i = sc.midx(from.0).expect("member");
+                    sc.member_state[i] = MemberState::Done;
+                    sc.members_remaining -= 1;
+                    if local {
+                        sc.local_active -= 1;
+                        reschedule = true;
+                    } else {
+                        // Coordinator-directed divert: resolve the
+                        // adaptive request (Algorithm 2 line 6). This
+                        // includes self-diverts back into my own file.
+                        send_to_c.push(Msg::AdaptiveComplete {
+                            target_group: a.target_group,
+                            bytes,
+                        });
+                    }
                 }
             }
         }
         for m in send_to_c {
-            let wire = m.wire_bytes();
-            ctx.send(coordinator, m, wire);
+            self.send_msg(ctx, coordinator, m);
         }
+        self.sc_maybe_complete(ctx);
         if reschedule {
             self.sc_schedule_local(ctx);
         }
         self.sc_maybe_write_index(ctx);
+    }
+
+    /// A member's write could not be completed: re-queue it and condemn
+    /// the target through the coordinator.
+    fn sc_on_write_failed(&mut self, from: Rank, a: Assignment, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ft().enabled {
+            return;
+        }
+        let coordinator = self.plan.coordinator();
+        let mut send_to_c: Vec<Msg> = Vec::new();
+        {
+            let sc = self.sc.as_mut().expect("sc role");
+            let Some(i) = sc.midx(from.0) else { return };
+            let MemberState::Assigned { local, .. } = sc.member_state[i] else {
+                return; // duplicate failure report
+            };
+            sc.member_state[i] = MemberState::Queued;
+            sc.waiting.push_back(from.0);
+            sc.local_frozen = true;
+            if local {
+                sc.local_active = sc.local_active.saturating_sub(1);
+            }
+            if a.target_group == sc.group {
+                sc.target_dead = true;
+                send_to_c.push(Msg::TargetFailed { group: sc.group });
+            } else {
+                send_to_c.push(Msg::AdaptiveFailed {
+                    target_group: a.target_group,
+                });
+            }
+            send_to_c.push(Msg::ScRevert { group: sc.group });
+        }
+        for m in send_to_c {
+            self.send_msg(ctx, coordinator, m);
+        }
+    }
+
+    /// A member's previously durable write was destroyed: re-queue it.
+    fn sc_on_lost_write(&mut self, from: Rank, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ft().enabled {
+            return;
+        }
+        let coordinator = self.plan.coordinator();
+        let revert = {
+            let sc = self.sc.as_mut().expect("sc role");
+            let Some(i) = sc.midx(from.0) else { return };
+            if sc.member_state[i] != MemberState::Done {
+                return; // duplicate
+            }
+            sc.member_state[i] = MemberState::Queued;
+            sc.waiting.push_back(from.0);
+            sc.members_remaining += 1;
+            sc.local_frozen = true;
+            sc.sc_complete_sent = false;
+            Msg::ScRevert { group: sc.group }
+        };
+        self.send_msg(ctx, coordinator, revert);
     }
 
     fn sc_on_adaptive_start(
@@ -458,13 +791,40 @@ impl AdaptiveActor {
         ctx: &mut Ctx<'_, Msg>,
     ) {
         let coordinator = self.plan.coordinator();
+        if self.ft().enabled && self.sc.is_none() {
+            // A divert offer outran the failover broadcast that promotes
+            // this rank: decline it, the coordinator will re-issue.
+            let m = Msg::WritersBusy {
+                group: self.plan.group_of[self.me as usize],
+                target_group,
+            };
+            self.send_msg(ctx, coordinator, m);
+            return;
+        }
         let (victim, my_group) = {
+            let now = ctx.now();
             let sc = self.sc.as_mut().expect("sc role");
+            // Dedup only requests that assigned a writer: a duplicated
+            // request hitting an empty pool yields a redundant
+            // `WritersBusy`, which the coordinator's in-flight matching
+            // discards — whereas a legitimate re-issue after a busy reply
+            // reuses the same (target, offset) and must not be dropped.
+            if self.opts.fault.enabled && sc.seen_starts.contains(&(target_group, offset)) {
+                return;
+            }
             let v = if self.opts.steal_from_tail {
                 sc.waiting.pop_back()
             } else {
                 sc.waiting.pop_front()
             };
+            if let Some(w) = v {
+                if self.opts.fault.enabled {
+                    sc.seen_starts.push((target_group, offset));
+                }
+                if let Some(i) = sc.midx(w) {
+                    sc.member_state[i] = MemberState::Assigned { at: now, local: false };
+                }
+            }
             (v, sc.group)
         };
         match victim {
@@ -474,8 +834,7 @@ impl AdaptiveActor {
                     group: my_group,
                     target_group,
                 };
-                let wire = m.wire_bytes();
-                ctx.send(coordinator, m, wire);
+                self.send_msg(ctx, coordinator, m);
             }
             Some(w) => {
                 let a = Assignment {
@@ -496,9 +855,15 @@ impl AdaptiveActor {
         }
     }
 
-    fn sc_on_index_body(&mut self, pieces: Vec<IndexEntry>, ctx: &mut Ctx<'_, Msg>) {
+    fn sc_on_index_body(&mut self, from: Rank, pieces: Vec<IndexEntry>, ctx: &mut Ctx<'_, Msg>) {
         {
             let sc = self.sc.as_mut().expect("sc role");
+            if self.opts.fault.enabled {
+                if sc.seen_index.contains(&from.0) {
+                    return; // duplicated index body
+                }
+                sc.seen_index.push(from.0);
+            }
             sc.missing_indices -= 1;
             sc.pieces.extend(pieces);
         }
@@ -511,14 +876,24 @@ impl AdaptiveActor {
     }
 
     /// Algorithm 2 lines 31–33: once done and no indices are missing, sort
-    /// and merge the pieces, write the local index, send it to C.
+    /// and merge the pieces, write the local index, send it to C. A dead
+    /// target has no file to write into: the index step is skipped and the
+    /// (empty-file) index goes straight to C.
     fn sc_maybe_write_index(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let (file, index_bytes, offset) = {
+        let dead = {
             let sc = self.sc.as_mut().expect("sc role");
-            if !(sc.overall_seen && sc.missing_indices == 0 && !sc.index_written) {
+            if !(sc.overall_seen && sc.missing_indices <= 0 && !sc.index_written) {
                 return;
             }
             sc.index_written = true;
+            sc.target_dead
+        };
+        if dead {
+            self.sc_on_index_flushed(ctx);
+            return;
+        }
+        let (file, index_bytes, offset) = {
+            let sc = self.sc.as_mut().expect("sc role");
             let index_bytes = if self.blocks.is_some() {
                 // Real size once serialized; estimate now, write exact later.
                 let idx = LocalIndex::from_pieces(std::mem::take(&mut sc.pieces));
@@ -559,14 +934,210 @@ impl AdaptiveActor {
             pieces,
             wire_bytes,
         };
-        let wire = m.wire_bytes();
-        ctx.send(coordinator, m, wire);
+        self.send_msg(ctx, coordinator, m);
         // Close the subfile (metadata cost modelled, excluded from the
         // measured write span per the paper's methodology).
         ctx.close(TAG_CLOSE);
     }
 
+    /// Reap members whose assigned write has been silent far beyond the
+    /// writer's own retry budget — they are dead ranks.
+    fn sc_sweep(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let ft = self.ft();
+        let plan = Rc::clone(&self.plan);
+        let now = ctx.now();
+        let keep_going = {
+            let sc = self.sc.as_mut().expect("sc role");
+            for i in 0..sc.member_state.len() {
+                if let MemberState::Assigned { at, .. } = sc.member_state[i] {
+                    let rank = sc.first + i as u32;
+                    let bytes = plan.rank_bytes[rank as usize];
+                    let retry_budget = ft.max_retries.max(1) as f64 * ft.timeout_for(bytes)
+                        + ft.backoff_base_secs * f64::powi(2.0, ft.max_retries as i32)
+                        + 30.0;
+                    if (now - at).as_secs_f64() > retry_budget {
+                        sc.member_state[i] = MemberState::Dead;
+                        sc.members_remaining -= 1;
+                    }
+                }
+            }
+            sc.members_remaining > 0
+        };
+        self.sc_maybe_complete(ctx);
+        if keep_going {
+            ctx.set_timer(
+                SimDuration::from_secs_f64(ft.sweep_interval_secs),
+                TIMER_SWEEP,
+            );
+        }
+    }
+
+    // ---- sub-coordinator failover -----------------------------------------
+
+    /// This rank was promoted to SC of `group` by the coordinator.
+    fn adopt_group(&mut self, group: u32, dead_sc: u32, overall_sent: bool, ctx: &mut Ctx<'_, Msg>) {
+        if self.sc.as_ref().is_some_and(|s| s.group == group) {
+            return; // duplicated failover broadcast
+        }
+        let members: VecDeque<u32> = self.plan.members(group).map(|m| m.0).collect();
+        let first = members.front().copied().unwrap_or(self.me);
+        let n = members.len();
+        let mut sc = ScState::new(group, VecDeque::new(), first);
+        sc.member_state = vec![MemberState::Unknown; n];
+        sc.members_remaining = n;
+        sc.overall_seen = overall_sent;
+        sc.adopted = true;
+        // Re-queues after a failover are served only through coordinator
+        // diverts: the dead SC's offset authority cannot be reconstructed
+        // safely (an unreported member may hold a durable local write).
+        sc.local_frozen = true;
+        sc.target_dead = self.dead_groups[group as usize];
+        if let Some(i) = sc.midx(dead_sc) {
+            sc.member_state[i] = MemberState::Dead;
+            sc.members_remaining -= 1;
+        }
+        self.sc = Some(sc);
+        // Fill in my own status directly; peers report via StatusReport.
+        let my_report = self.own_status_report(group);
+        self.apply_status_report(Rank(self.me), my_report, ctx);
+        let stashed: Vec<(Rank, Msg)> = std::mem::take(&mut self.pending_reports);
+        for (from, m) in stashed {
+            if let Msg::StatusReport { group: g, .. } = &m {
+                if *g == group {
+                    self.apply_status_report(from, m, ctx);
+                    continue;
+                }
+            }
+            self.pending_reports.push((from, m));
+        }
+        ctx.open(TAG_OPEN);
+        let ft = self.ft();
+        ctx.set_timer(SimDuration::from_secs_f64(ft.adopt_timeout_secs), TIMER_ADOPT);
+        ctx.set_timer(SimDuration::from_secs_f64(ft.sweep_interval_secs), TIMER_SWEEP);
+        self.sc_maybe_complete(ctx);
+        self.sc_maybe_write_index(ctx);
+    }
+
+    /// Build this rank's own [`Msg::StatusReport`] for `group`.
+    fn own_status_report(&self, group: u32) -> Msg {
+        let group_file = self.files[group as usize];
+        let done_local = self
+            .records
+            .iter()
+            .find(|r| r.file == group_file)
+            .map(|r| (r.offset, r.bytes));
+        let done_elsewhere = self.records.iter().any(|r| r.file != group_file);
+        Msg::StatusReport {
+            group,
+            done_local,
+            done_elsewhere,
+            in_flight: self.assignment,
+            pieces: Vec::new(),
+        }
+    }
+
+    /// Merge one member's replayed status into the adopted SC state.
+    fn apply_status_report(&mut self, from: Rank, m: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::StatusReport {
+            group,
+            done_local,
+            done_elsewhere,
+            in_flight,
+            pieces,
+        } = m
+        else {
+            return;
+        };
+        match &self.sc {
+            Some(s) if s.group == group => {}
+            _ => {
+                // Report outran the failover broadcast; stash until (and
+                // unless) this rank adopts the group.
+                self.pending_reports.push((
+                    from,
+                    Msg::StatusReport {
+                        group,
+                        done_local,
+                        done_elsewhere,
+                        in_flight,
+                        pieces,
+                    },
+                ));
+                return;
+            }
+        }
+        let now = ctx.now();
+        let queued = {
+            let sc = self.sc.as_mut().expect("sc role");
+            let Some(i) = sc.midx(from.0) else { return };
+            if sc.member_state[i] != MemberState::Unknown {
+                return; // duplicate report
+            }
+            let mut queued = false;
+            if let Some((off, bytes)) = done_local {
+                sc.member_state[i] = MemberState::Done;
+                sc.members_remaining -= 1;
+                sc.writes_into_file += 1;
+                sc.file_high = sc.file_high.max(off + bytes);
+                sc.next_offset = sc.next_offset.max(off + bytes);
+                sc.seen_into.push(from.0);
+                sc.seen_index.push(from.0);
+            } else if done_elsewhere {
+                sc.member_state[i] = MemberState::Done;
+                sc.members_remaining -= 1;
+            } else if let Some(a) = in_flight {
+                sc.member_state[i] = MemberState::Assigned { at: now, local: false };
+                sc.next_offset = sc.next_offset.max(a.offset + self.plan.rank_bytes[from.0 as usize]);
+            } else {
+                sc.member_state[i] = MemberState::Queued;
+                sc.waiting.push_back(from.0);
+                queued = true;
+            }
+            sc.pieces.extend(pieces);
+            queued
+        };
+        if queued {
+            // Tell the coordinator this group is writing again, so it
+            // re-probes us with divert offers (local scheduling stays
+            // frozen after an adoption).
+            let coordinator = self.plan.coordinator();
+            self.send_msg(ctx, coordinator, Msg::ScRevert { group });
+        }
+        self.sc_maybe_complete(ctx);
+        self.sc_maybe_write_index(ctx);
+    }
+
+    /// The adoption window closed: members that never reported are dead.
+    fn sc_adopt_timeout(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        {
+            let Some(sc) = self.sc.as_mut() else { return };
+            if !sc.adopted {
+                return;
+            }
+            for s in sc.member_state.iter_mut() {
+                if *s == MemberState::Unknown {
+                    *s = MemberState::Dead;
+                    sc.members_remaining -= 1;
+                }
+            }
+        }
+        self.sc_maybe_complete(ctx);
+        self.sc_maybe_write_index(ctx);
+    }
+
     // ---- coordinator role ---------------------------------------------------
+
+    /// Push `g` back into the free pool unless it is condemned, already
+    /// free, or currently targeted by an in-flight adaptive request.
+    fn c_free_target(c: &mut CoordState, g: u32) {
+        if c.dead_target[g as usize]
+            || c.free_targets.contains(&g)
+            || c.inflight.iter().any(|&(_, t)| t == g)
+        {
+            return;
+        }
+        c.free_targets.push_back(g);
+    }
 
     fn c_try_issue(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let targets = self.plan.targets;
@@ -585,7 +1156,7 @@ impl AdaptiveActor {
                     } else {
                         (c.rr_cursor + probe) % targets
                     };
-                    if c.phase[idx] == ScPhase::Writing {
+                    if c.phase[idx] == ScPhase::Writing && !c.abandoned[idx] {
                         chosen = Some(idx);
                         break;
                     }
@@ -597,61 +1168,75 @@ impl AdaptiveActor {
                     c.rr_cursor = (sc_idx + 1) % targets;
                 }
                 let t = c.free_targets.pop_front().expect("non-empty");
-                c.outstanding += 1;
-                c.max_outstanding = c.max_outstanding.max(c.outstanding);
+                c.inflight.push((sc_idx as u32, t));
+                c.max_outstanding = c.max_outstanding.max(c.inflight.len());
                 let m = Msg::AdaptiveWriteStart {
                     target_group: t,
                     file: self.files[t as usize],
                     ost: self.plan.ost_of_group[t as usize],
                     offset: c.noted_offset[t as usize],
                 };
-                issues.push((self.plan.sc_of(sc_idx as u32), m));
+                issues.push((Rank(c.sc_rank[sc_idx]), m));
             }
         }
         for (to, m) in issues {
-            let wire = m.wire_bytes();
-            ctx.send(to, m, wire);
+            self.send_msg(ctx, to, m);
         }
         self.c_check_done(ctx);
     }
 
     fn c_check_done(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let broadcast = {
+        let recipients = {
             let c = self.coord.as_mut().expect("coordinator role");
             let all_complete = c.phase.iter().all(|&p| p == ScPhase::Complete);
-            if all_complete && c.outstanding == 0 && !c.overall_sent {
+            if all_complete && c.inflight.is_empty() && !c.overall_sent {
                 c.overall_sent = true;
-                true
+                (0..self.plan.targets)
+                    .filter(|&g| !c.abandoned[g])
+                    .map(|g| Rank(c.sc_rank[g]))
+                    .collect::<Vec<_>>()
             } else {
-                false
+                Vec::new()
             }
         };
-        if broadcast {
-            for g in 0..self.plan.targets as u32 {
-                let to = self.plan.sc_of(g);
-                let m = Msg::OverallWriteComplete;
-                let wire = m.wire_bytes();
-                ctx.send(to, m, wire);
-            }
+        for to in recipients {
+            self.send_msg(ctx, to, Msg::OverallWriteComplete);
         }
     }
 
     fn c_on_sc_complete(&mut self, group: u32, final_offset: u64, ctx: &mut Ctx<'_, Msg>) {
         {
             let c = self.coord.as_mut().expect("coordinator role");
+            if c.phase[group as usize] == ScPhase::Complete {
+                return; // duplicated completion
+            }
             c.phase[group as usize] = ScPhase::Complete;
             c.noted_offset[group as usize] = c.noted_offset[group as usize].max(final_offset);
-            c.free_targets.push_back(group);
+            Self::c_free_target(c, group);
         }
         self.c_try_issue(ctx);
     }
 
-    fn c_on_adaptive_complete(&mut self, target_group: u32, bytes: u64, ctx: &mut Ctx<'_, Msg>) {
+    fn c_on_adaptive_complete(
+        &mut self,
+        from: Rank,
+        target_group: u32,
+        bytes: u64,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
         {
+            let sender_group = self.plan.group_of[from.0 as usize];
             let c = self.coord.as_mut().expect("coordinator role");
+            let Some(pos) = c
+                .inflight
+                .iter()
+                .position(|&(s, t)| s == sender_group && t == target_group)
+            else {
+                return; // duplicated or unmatched resolution
+            };
+            c.inflight.swap_remove(pos);
             c.noted_offset[target_group as usize] += bytes;
-            c.free_targets.push_back(target_group);
-            c.outstanding -= 1;
+            Self::c_free_target(c, target_group);
             c.adaptive_completed += 1;
         }
         self.c_try_issue(ctx);
@@ -660,45 +1245,280 @@ impl AdaptiveActor {
     fn c_on_writers_busy(&mut self, group: u32, target_group: u32, ctx: &mut Ctx<'_, Msg>) {
         {
             let c = self.coord.as_mut().expect("coordinator role");
+            let Some(pos) = c
+                .inflight
+                .iter()
+                .position(|&(s, t)| s == group && t == target_group)
+            else {
+                return; // duplicated reply
+            };
+            c.inflight.swap_remove(pos);
             if c.phase[group as usize] == ScPhase::Writing {
                 c.phase[group as usize] = ScPhase::Busy;
             }
-            c.free_targets.push_back(target_group);
-            c.outstanding -= 1;
+            Self::c_free_target(c, target_group);
         }
         self.c_try_issue(ctx);
     }
 
-    fn c_on_index(&mut self, group: u32, pieces: Vec<IndexEntry>, ctx: &mut Ctx<'_, Msg>) {
-        let write_global = {
+    /// Condemn target `g`: never hand it out again, and tell everyone so
+    /// writes lost with it get rewritten elsewhere.
+    fn c_condemn_target(&mut self, g: u32, ctx: &mut Ctx<'_, Msg>) {
+        let broadcast = {
             let c = self.coord.as_mut().expect("coordinator role");
+            if c.dead_target[g as usize] {
+                false
+            } else {
+                c.dead_target[g as usize] = true;
+                c.free_targets.retain(|&t| t != g);
+                true
+            }
+        };
+        if broadcast {
+            for r in 0..self.plan.nprocs as u32 {
+                self.send_msg(ctx, Rank(r), Msg::TargetDead { group: g });
+            }
+        }
+        self.c_try_issue(ctx);
+    }
+
+    fn c_on_target_failed(&mut self, group: u32, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ft().enabled {
+            return;
+        }
+        self.c_condemn_target(group, ctx);
+    }
+
+    fn c_on_adaptive_failed(&mut self, from: Rank, target_group: u32, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ft().enabled {
+            return;
+        }
+        let matched = {
+            let sender_group = self.plan.group_of[from.0 as usize];
+            let c = self.coord.as_mut().expect("coordinator role");
+            match c
+                .inflight
+                .iter()
+                .position(|&(s, t)| s == sender_group && t == target_group)
+            {
+                Some(pos) => {
+                    c.inflight.swap_remove(pos);
+                    true
+                }
+                None => false,
+            }
+        };
+        if matched {
+            self.c_condemn_target(target_group, ctx);
+        }
+    }
+
+    fn c_on_sc_revert(&mut self, group: u32, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ft().enabled {
+            return;
+        }
+        {
+            let c = self.coord.as_mut().expect("coordinator role");
+            if c.abandoned[group as usize] {
+                return;
+            }
+            c.phase[group as usize] = ScPhase::Writing;
+        }
+        self.c_try_issue(ctx);
+    }
+
+    fn c_on_pong(&mut self, group: u32, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        if let Some(c) = self.coord.as_mut() {
+            c.pong_seen[group as usize] = now;
+        }
+    }
+
+    /// Liveness round: ping pending SCs, fail over the silent ones.
+    fn c_ping_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let ft = self.ft();
+        let now = ctx.now();
+        let threshold = 2.5 * ft.ping_interval_secs;
+        let (pings, failovers, keep_going) = {
+            let c = self.coord.as_mut().expect("coordinator role");
+            let mut pings = Vec::new();
+            let mut failovers = Vec::new();
+            let mut pending = false;
+            for g in 0..self.plan.targets {
+                if c.abandoned[g] || c.index_in[g] || c.sc_rank[g] == self.me {
+                    continue;
+                }
+                pending = true;
+                if (now - c.pong_seen[g]).as_secs_f64() > threshold {
+                    failovers.push(g as u32);
+                } else {
+                    pings.push(Rank(c.sc_rank[g]));
+                }
+            }
+            (pings, failovers, pending)
+        };
+        for to in pings {
+            self.send_msg(ctx, to, Msg::ScPing);
+        }
+        for g in failovers {
+            self.c_failover(g, ctx);
+        }
+        if keep_going {
+            ctx.set_timer(
+                SimDuration::from_secs_f64(ft.ping_interval_secs),
+                TIMER_PING,
+            );
+        }
+    }
+
+    /// Promote the next surviving member of `group` to SC, or abandon the
+    /// group when nobody is left.
+    fn c_failover(&mut self, group: u32, ctx: &mut Ctx<'_, Msg>) {
+        let members: Vec<u32> = self.plan.members(group).map(|m| m.0).collect();
+        enum Action {
+            Promote { new_sc: u32, dead_sc: u32, overall: bool },
+            Abandon,
+        }
+        let action = {
+            let now = ctx.now();
+            let c = self.coord.as_mut().expect("coordinator role");
+            c.promoted[group as usize] += 1;
+            let idx = c.promoted[group as usize];
+            if idx >= members.len() {
+                Action::Abandon
+            } else {
+                let dead_sc = c.sc_rank[group as usize];
+                let new_sc = members[idx];
+                c.sc_rank[group as usize] = new_sc;
+                c.pong_seen[group as usize] = now;
+                c.phase[group as usize] = ScPhase::Writing;
+                // Adaptive requests routed through the dead SC can never
+                // resolve (the completion relay died with it), but the
+                // handed-out offset may already hold a member's write.
+                // Park a worst-case hole past it and re-free the target,
+                // so the group's survivors can still be served.
+                let worst = members
+                    .iter()
+                    .map(|&m| self.plan.rank_bytes[m as usize])
+                    .max()
+                    .unwrap_or(0);
+                let stale: Vec<u32> = c
+                    .inflight
+                    .iter()
+                    .filter(|&&(s, _)| s == group)
+                    .map(|&(_, t)| t)
+                    .collect();
+                c.inflight.retain(|&(s, _)| s != group);
+                for t in stale {
+                    c.noted_offset[t as usize] += worst;
+                    Self::c_free_target(c, t);
+                }
+                Action::Promote {
+                    new_sc,
+                    dead_sc,
+                    overall: c.overall_sent,
+                }
+            }
+        };
+        match action {
+            Action::Promote {
+                new_sc,
+                dead_sc,
+                overall,
+            } => {
+                for r in 0..self.plan.nprocs as u32 {
+                    self.send_msg(ctx, Rank(r), Msg::ScFailover {
+                        group,
+                        new_sc,
+                        dead_sc,
+                        overall_sent: overall,
+                    });
+                }
+                // The re-freed targets can now serve the promoted group.
+                self.c_try_issue(ctx);
+            }
+            Action::Abandon => {
+                {
+                    let c = self.coord.as_mut().expect("coordinator role");
+                    c.abandoned[group as usize] = true;
+                    c.phase[group as usize] = ScPhase::Complete;
+                    c.free_targets.retain(|&t| t != group);
+                    // In-flight requests through the dead group can never
+                    // resolve; their targets stay parked (the handed-out
+                    // offsets may have been written, so re-freeing would
+                    // risk overlap).
+                    c.inflight.retain(|&(s, _)| s != group);
+                    if !c.index_in[group as usize] {
+                        c.indices_expected = c.indices_expected.saturating_sub(1);
+                    }
+                }
+                self.c_maybe_write_global(ctx);
+                self.c_check_done(ctx);
+            }
+        }
+    }
+
+    /// Every rank's reaction to a failover broadcast: learn the new SC;
+    /// members replay their status; the promoted rank adopts the group.
+    fn on_sc_failover(
+        &mut self,
+        group: u32,
+        new_sc: u32,
+        dead_sc: u32,
+        overall_sent: bool,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        if !self.ft().enabled {
+            return;
+        }
+        self.sc_override[group as usize] = Some(new_sc);
+        if self.me == new_sc {
+            self.adopt_group(group, dead_sc, overall_sent, ctx);
+        } else if self.plan.group_of[self.me as usize] == group && self.me != dead_sc {
+            let report = self.own_status_report(group);
+            self.send_msg(ctx, Rank(new_sc), report);
+        }
+    }
+
+    fn c_on_index(&mut self, group: u32, pieces: Vec<IndexEntry>, ctx: &mut Ctx<'_, Msg>) {
+        {
+            let c = self.coord.as_mut().expect("coordinator role");
+            if c.index_in[group as usize] {
+                return; // duplicated index
+            }
+            c.index_in[group as usize] = true;
             c.indices_received += 1;
             if !pieces.is_empty() || self.blocks.is_some() {
                 c.index_parts
                     .push((format!("sub-{group}.bp"), LocalIndex { entries: pieces }));
             }
-            c.indices_received == self.plan.targets
-        };
-        if write_global {
-            let bytes = {
-                let c = self.coord.as_mut().expect("coordinator role");
-                if self.blocks.is_some() {
-                    c.index_parts.sort_by(|a, b| a.0.cmp(&b.0));
-                    let g = GlobalIndex::merge(std::mem::take(&mut c.index_parts));
-                    let bytes = g.serialize();
-                    let n = bytes.len() as u64;
-                    if let Some(store) = &self.store {
-                        store.borrow_mut().put(self.global_index_file, 0, &bytes);
-                    }
-                    c.global_index = Some(g);
-                    n
-                } else {
-                    // Synthetic: size scales with total writes.
-                    self.plan.nprocs as u64 * INDEX_ENTRY_BYTES + 64
-                }
-            };
-            ctx.write_file(self.global_index_file, 0, bytes, TAG_GLOBAL_INDEX);
         }
+        self.c_maybe_write_global(ctx);
+    }
+
+    fn c_maybe_write_global(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let bytes = {
+            let c = self.coord.as_mut().expect("coordinator role");
+            if c.indices_received < c.indices_expected || c.global_issued {
+                return;
+            }
+            c.global_issued = true;
+            if self.blocks.is_some() {
+                c.index_parts.sort_by(|a, b| a.0.cmp(&b.0));
+                let g = GlobalIndex::merge(std::mem::take(&mut c.index_parts));
+                let bytes = g.serialize();
+                let n = bytes.len() as u64;
+                if let Some(store) = &self.store {
+                    store.borrow_mut().put(self.global_index_file, 0, &bytes);
+                }
+                c.global_index = Some(g);
+                n
+            } else {
+                // Synthetic: size scales with total writes.
+                self.plan.nprocs as u64 * INDEX_ENTRY_BYTES + 64
+            }
+        };
+        ctx.write_file(self.global_index_file, 0, bytes, TAG_GLOBAL_INDEX);
     }
 }
 
@@ -714,15 +1534,39 @@ impl Actor for AdaptiveActor {
                 self.sc_open(ctx);
             }
         }
-    }
-
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
-        if tag == TIMER_OPEN {
-            self.sc_open(ctx);
+        let ft = self.ft();
+        if ft.enabled {
+            if self.coord.is_some() {
+                ctx.set_timer(SimDuration::from_secs_f64(ft.ping_interval_secs), TIMER_PING);
+            }
+            if self.sc.is_some() {
+                ctx.set_timer(
+                    SimDuration::from_secs_f64(ft.sweep_interval_secs),
+                    TIMER_SWEEP,
+                );
+            }
         }
     }
 
-    fn on_message(&mut self, _from: Rank, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        let base = tag & 0xFF;
+        let tgen = (tag >> 8) as u32;
+        match base {
+            TIMER_OPEN => self.sc_open(ctx),
+            TIMER_WRITE_TIMEOUT if self.assignment.is_some() && tgen == self.gen => {
+                self.write_attempt_failed(ctx);
+            }
+            TIMER_RETRY if self.assignment.is_some() && tgen == self.gen => {
+                self.submit_write(ctx);
+            }
+            TIMER_PING if self.coord.is_some() => self.c_ping_round(ctx),
+            TIMER_ADOPT => self.sc_adopt_timeout(ctx),
+            TIMER_SWEEP if self.sc.is_some() => self.sc_sweep(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, from: Rank, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         match &msg {
             Msg::WriteNow(_) => self.msg_stats.write_now += 1,
             Msg::WriteComplete { .. } => self.msg_stats.write_complete += 1,
@@ -733,17 +1577,34 @@ impl Actor for AdaptiveActor {
             | Msg::ScComplete { .. }
             | Msg::WritersBusy { .. }
             | Msg::IndexToC { .. } => self.msg_stats.coordinator_inbox += 1,
+            Msg::WriteFailed { .. }
+            | Msg::TargetFailed { .. }
+            | Msg::AdaptiveFailed { .. }
+            | Msg::TargetDead { .. }
+            | Msg::LostWrite { .. }
+            | Msg::ScRevert { .. }
+            | Msg::ScPing
+            | Msg::ScPong { .. }
+            | Msg::ScFailover { .. }
+            | Msg::StatusReport { .. } => self.msg_stats.fault_ctrl += 1,
         }
         match msg {
-            Msg::WriteNow(a) => self.start_write(a, ctx),
-            Msg::WriteComplete { assignment, bytes } => {
-                self.sc_on_write_complete(assignment, bytes, ctx)
+            Msg::WriteNow(a) => {
+                // Fault mode: duplicated (or stale re-delivered) orders are
+                // ignored once this rank is writing or durably done.
+                if self.ft().enabled && (self.assignment.is_some() || !self.records.is_empty()) {
+                    return;
+                }
+                self.start_write(a, ctx)
             }
-            Msg::IndexBody { pieces, .. } => self.sc_on_index_body(pieces, ctx),
+            Msg::WriteComplete { assignment, bytes } => {
+                self.sc_on_write_complete(from, assignment, bytes, ctx)
+            }
+            Msg::IndexBody { pieces, .. } => self.sc_on_index_body(from, pieces, ctx),
             Msg::AdaptiveComplete {
                 target_group,
                 bytes,
-            } => self.c_on_adaptive_complete(target_group, bytes, ctx),
+            } => self.c_on_adaptive_complete(from, target_group, bytes, ctx),
             Msg::ScComplete {
                 group,
                 final_offset,
@@ -760,16 +1621,55 @@ impl Actor for AdaptiveActor {
                 offset,
             } => self.sc_on_adaptive_start(target_group, file, ost, offset, ctx),
             Msg::OverallWriteComplete => self.sc_on_overall_complete(ctx),
+            Msg::WriteFailed { assignment, .. } => self.sc_on_write_failed(from, assignment, ctx),
+            Msg::TargetFailed { group } => self.c_on_target_failed(group, ctx),
+            Msg::AdaptiveFailed { target_group } => {
+                self.c_on_adaptive_failed(from, target_group, ctx)
+            }
+            Msg::TargetDead { group } => self.writer_on_target_dead(group, ctx),
+            Msg::LostWrite { .. } => self.sc_on_lost_write(from, ctx),
+            Msg::ScRevert { group } => self.c_on_sc_revert(group, ctx),
+            Msg::ScPing => {
+                if let Some(sc) = &self.sc {
+                    let g = sc.group;
+                    self.send_msg(ctx, from, Msg::ScPong { group: g });
+                }
+            }
+            Msg::ScPong { group } => self.c_on_pong(group, ctx),
+            Msg::ScFailover {
+                group,
+                new_sc,
+                dead_sc,
+                overall_sent,
+            } => self.on_sc_failover(group, new_sc, dead_sc, overall_sent, ctx),
+            Msg::StatusReport { .. } => self.apply_status_report(from, msg, ctx),
         }
     }
 
     fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, Msg>) {
-        match (done.tag, done.kind) {
+        let base = done.tag & 0xFF;
+        let cgen = done.tag >> 8;
+        match (base, done.kind) {
             (TAG_OPEN, CompletionKind::Open) => {
-                self.sc.as_mut().expect("sc role").opened = true;
-                self.sc_schedule_local(ctx);
+                if let Some(sc) = self.sc.as_mut() {
+                    sc.opened = true;
+                    self.sc_schedule_local(ctx);
+                }
             }
-            (TAG_WRITE, CompletionKind::Write) => self.finish_write(done, ctx),
+            (TAG_WRITE, CompletionKind::Write) => {
+                if self.ft().enabled {
+                    if cgen != self.gen || self.assignment.is_none() {
+                        return; // stale attempt
+                    }
+                    if done.error {
+                        self.write_attempt_failed(ctx);
+                        return;
+                    }
+                }
+                self.finish_write(done, ctx)
+            }
+            // An index write that errored (target died during the index
+            // phase) still reports to C: accounting is record-based.
             (TAG_INDEX, CompletionKind::Write) => self.sc_on_index_flushed(ctx),
             (TAG_GLOBAL_INDEX, CompletionKind::Write) => {
                 self.coord.as_mut().expect("coordinator role").finished_at = Some(done.finished);
@@ -778,7 +1678,11 @@ impl Actor for AdaptiveActor {
                 ctx.finish();
             }
             (TAG_CLOSE, CompletionKind::Close) => {}
-            other => panic!("unexpected IO completion {other:?}"),
+            other => {
+                if !self.ft().enabled {
+                    panic!("unexpected IO completion {other:?}")
+                }
+            }
         }
     }
 }

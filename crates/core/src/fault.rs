@@ -1,0 +1,238 @@
+//! Fault configuration and structured failure results for runs.
+//!
+//! The paper treats storage-target slowdowns as the common case; this
+//! module extends the reproduction to outright failures: scheduled OST
+//! deaths and stalls ([`storesim::FaultScript`]), a lossy message layer
+//! (duplication and delay via [`clustersim::FaultPlane`]) and rank kills.
+//! [`crate::runner::run_with_faults`] drives a run under a
+//! [`FaultConfig`] and reports what happened through [`WriteOutcome`] and
+//! [`SimError`] instead of panicking or hanging.
+
+use storesim::FaultScript;
+
+/// Message-layer fault probabilities applied to every link.
+///
+/// Drops are deliberately not exposed: the adaptive protocol tolerates
+/// duplicated and delayed control traffic end-to-end, while a dropped
+/// message surfaces as a [`SimError::Stalled`] watchdog report — the
+/// honest outcome for an unacknowledged transport.
+#[derive(Clone, Copy, Debug)]
+pub struct NetFaults {
+    /// Probability a message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a message is delayed beyond the base network cost.
+    pub delay_p: f64,
+    /// Mean of the exponential extra delay, seconds.
+    pub delay_mean_secs: f64,
+}
+
+/// Everything that can go wrong during one run, scheduled up front.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// Storage-side faults (brownouts, OST failures, MDS outages).
+    pub storage: FaultScript,
+    /// Message-layer faults (duplication, delay), if any.
+    pub network: Option<NetFaults>,
+    /// Rank kills: `(at_secs, rank)` — the rank stops receiving messages,
+    /// timers and IO completions from that time on.
+    pub kills: Vec<(f64, u32)>,
+}
+
+impl FaultConfig {
+    /// A configuration with no faults at all.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// True when no fault of any kind is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty() && self.network.is_none() && self.kills.is_empty()
+    }
+}
+
+/// Fault-tolerance knobs of the adaptive protocol (all inert unless
+/// `enabled`; the default keeps the protocol byte-identical to the
+/// fault-unaware implementation).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultTolerance {
+    /// Master switch. Off ⇒ no timers, no extra messages, no guards.
+    pub enabled: bool,
+    /// Per-attempt write timeout in seconds; `0.0` picks an automatic
+    /// value of `30 + bytes / 0.5 MiB/s` (generous enough that healthy
+    /// contended writes never trip it on the testbed machines).
+    pub write_timeout_secs: f64,
+    /// Write attempts before the writer reports `WriteFailed` to its
+    /// sub-coordinator (first try + retries).
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff, seconds
+    /// (`base · 2^(attempt-1)`).
+    pub backoff_base_secs: f64,
+    /// Coordinator → sub-coordinator liveness ping interval, seconds.
+    pub ping_interval_secs: f64,
+    /// How long a freshly promoted sub-coordinator waits for member
+    /// status reports before declaring non-reporters dead, seconds.
+    pub adopt_timeout_secs: f64,
+    /// Sub-coordinator sweep interval for reaping members whose assigned
+    /// write never completed nor failed (dead writers), seconds.
+    pub sweep_interval_secs: f64,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        FaultTolerance {
+            enabled: false,
+            write_timeout_secs: 0.0,
+            max_retries: 3,
+            backoff_base_secs: 0.5,
+            ping_interval_secs: 5.0,
+            adopt_timeout_secs: 50.0,
+            sweep_interval_secs: 20.0,
+        }
+    }
+}
+
+impl FaultTolerance {
+    /// The default knobs with the master switch on.
+    pub fn enabled() -> Self {
+        FaultTolerance {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Effective per-attempt timeout for a write of `bytes`.
+    pub fn timeout_for(&self, bytes: u64) -> f64 {
+        if self.write_timeout_secs > 0.0 {
+            self.write_timeout_secs
+        } else {
+            30.0 + bytes as f64 / (512.0 * 1024.0)
+        }
+    }
+}
+
+/// A structured failure observed during a run — surfaced in
+/// [`crate::runner::RunOutput::errors`] instead of a panic or hang.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// The run hit its deadline or ran out of events before every rank
+    /// (or the coordinator) finished.
+    Stalled {
+        /// Ranks that never signalled completion.
+        pending_ranks: Vec<u32>,
+        /// Simulated time of the last processed event, seconds.
+        last_event_time: f64,
+    },
+    /// A rank produced no durable write (its data never reached storage).
+    RankFailed {
+        /// The failing rank.
+        rank: u32,
+        /// Bytes it was supposed to write.
+        bytes_lost: u64,
+    },
+    /// A rank's write completed but the data was later destroyed by a
+    /// storage-target failure (error-mode OST death after the write).
+    DataLost {
+        /// The writing rank.
+        rank: u32,
+        /// The storage target that failed.
+        ost: usize,
+        /// Bytes destroyed.
+        bytes: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled {
+                pending_ranks,
+                last_event_time,
+            } => write!(
+                f,
+                "run stalled at t={last_event_time:.3}s with {} rank(s) pending: {:?}",
+                pending_ranks.len(),
+                &pending_ranks[..pending_ranks.len().min(8)]
+            ),
+            SimError::RankFailed { rank, bytes_lost } => {
+                write!(f, "rank {rank} failed to write {bytes_lost} bytes")
+            }
+            SimError::DataLost { rank, ost, bytes } => {
+                write!(f, "rank {rank} lost {bytes} bytes to failed OST {ost}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Byte-level accounting of one run under faults. Always satisfies
+/// `written_bytes + lost_bytes == total_bytes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Bytes the workload intended to write (sum over ranks).
+    pub total_bytes: u64,
+    /// Bytes durably written and still present at run end.
+    pub written_bytes: u64,
+    /// Bytes never written or destroyed by failures.
+    pub lost_bytes: u64,
+    /// True when every byte landed and every rank finished cleanly.
+    pub complete: bool,
+}
+
+impl WriteOutcome {
+    /// An all-clear outcome for `total` bytes.
+    pub fn complete(total: u64) -> Self {
+        WriteOutcome {
+            total_bytes: total,
+            written_bytes: total,
+            lost_bytes: 0,
+            complete: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_config_is_empty() {
+        assert!(FaultConfig::none().is_empty());
+        let cfg = FaultConfig {
+            kills: vec![(1.0, 3)],
+            ..Default::default()
+        };
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn default_tolerance_is_inert() {
+        assert!(!FaultTolerance::default().enabled);
+        assert!(FaultTolerance::enabled().enabled);
+    }
+
+    #[test]
+    fn auto_timeout_scales_with_bytes() {
+        let ft = FaultTolerance::default();
+        let small = ft.timeout_for(1024);
+        let big = ft.timeout_for(512 * 1024 * 1024);
+        assert!(small >= 30.0);
+        assert!(big > small + 100.0);
+        let fixed = FaultTolerance {
+            write_timeout_secs: 2.0,
+            ..FaultTolerance::default()
+        };
+        assert_eq!(fixed.timeout_for(u64::MAX), 2.0);
+    }
+
+    #[test]
+    fn sim_error_display_is_compact() {
+        let e = SimError::Stalled {
+            pending_ranks: (0..20).collect(),
+            last_event_time: 1.5,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("20 rank(s)"));
+        assert!(!s.contains("19"), "display truncates the rank list");
+    }
+}

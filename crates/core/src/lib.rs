@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod fault;
 pub mod mpiio;
 pub mod multistep;
 pub mod plan;
@@ -32,9 +33,12 @@ pub mod runner;
 pub mod staging;
 
 pub use adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
+pub use fault::{FaultConfig, FaultTolerance, NetFaults, SimError, WriteOutcome};
 pub use multistep::{replay, required_bandwidth, AppModel, Timeline};
 pub use plan::OutputPlan;
 pub use readback::{run_restart_read, ReadPlan, ReadResult};
 pub use staging::{run_staged, StagingOpts, StagingResult};
 pub use record::{OutputResult, WriteRecord};
-pub use runner::{run, DataSpec, Interference, Method, ProtocolStats, RunOutput, RunSpec};
+pub use runner::{
+    run, run_with_faults, DataSpec, Interference, Method, ProtocolStats, RunOutput, RunSpec,
+};

@@ -41,6 +41,11 @@ pub struct MpiIoActor {
     write_started: Option<SimTime>,
     /// Barrier arrivals seen (rank 0 only).
     arrivals: usize,
+    /// Per-rank arrival dedup (rank 0 only) — a faulty network may
+    /// duplicate `Arrive` messages.
+    arrived: Vec<bool>,
+    /// The scan timer was scheduled; duplicated `Go` messages are ignored.
+    scan_scheduled: bool,
     /// Completed writes.
     pub records: Vec<WriteRecord>,
     /// Set when the close completes.
@@ -51,6 +56,7 @@ impl MpiIoActor {
     /// Build the actor for `rank`; `offset` comes from
     /// [`stripe_aligned_offsets`] and `ost` from the file's stripe map.
     pub fn new(rank: u32, plan: Rc<OutputPlan>, file: FileId, offset: u64, ost: OstId) -> Self {
+        let arrived = if rank == 0 { vec![false; plan.nprocs] } else { Vec::new() };
         MpiIoActor {
             plan,
             file,
@@ -59,6 +65,8 @@ impl MpiIoActor {
             me: rank,
             write_started: None,
             arrivals: 0,
+            arrived,
+            scan_scheduled: false,
             records: Vec::new(),
             closed_at: None,
         }
@@ -67,13 +75,19 @@ impl MpiIoActor {
     /// `MPI_File_open` is collective: after the barrier, model the
     /// MPI_Scan offset agreement as a log₂(n)-hop delay, then write.
     fn after_barrier(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        if std::mem::replace(&mut self.scan_scheduled, true) {
+            return; // duplicated Go
+        }
         let hops = 2 * log2_ceil(self.plan.nprocs as u64) as u64;
         let delay = ctx.message_delay(64) * hops.max(1);
         ctx.set_timer(delay, TIMER_SCAN);
     }
 
-    fn note_arrival(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+    fn note_arrival(&mut self, from: Rank, ctx: &mut Ctx<'_, BarrierMsg>) {
         debug_assert_eq!(self.me, 0, "barrier root is rank 0");
+        if std::mem::replace(&mut self.arrived[from.0 as usize], true) {
+            return; // duplicated Arrive
+        }
         self.arrivals += 1;
         if self.arrivals == self.plan.nprocs {
             for r in 1..self.plan.nprocs as u32 {
@@ -106,9 +120,9 @@ impl Actor for MpiIoActor {
         ctx.open(TAG_OPEN);
     }
 
-    fn on_message(&mut self, _from: Rank, msg: BarrierMsg, ctx: &mut Ctx<'_, BarrierMsg>) {
+    fn on_message(&mut self, from: Rank, msg: BarrierMsg, ctx: &mut Ctx<'_, BarrierMsg>) {
         match msg {
-            BarrierMsg::Arrive => self.note_arrival(ctx),
+            BarrierMsg::Arrive => self.note_arrival(from, ctx),
             BarrierMsg::Go => self.after_barrier(ctx),
         }
     }
@@ -124,23 +138,29 @@ impl Actor for MpiIoActor {
         match (done.tag, done.kind) {
             (TAG_OPEN, CompletionKind::Open) => {
                 if self.me == 0 {
-                    self.note_arrival(ctx);
+                    self.note_arrival(Rank(0), ctx);
                 } else {
                     ctx.send_control(Rank(0), BarrierMsg::Arrive);
                 }
             }
             (TAG_WRITE, CompletionKind::Write) => {
                 let started = self.write_started.take().expect("write started");
-                self.records.push(WriteRecord {
-                    rank: self.me,
-                    bytes: done.bytes,
-                    start: started,
-                    end: done.finished,
-                    ost: self.ost,
-                    file: self.file,
-                    offset: self.offset,
-                    adaptive: false,
-                });
+                // MPI-IO has no recovery path: a write into a failed
+                // stripe leaves no record (the bytes are gone) but the
+                // rank still closes, so the run ends with a structured
+                // partial result instead of hanging.
+                if !done.error {
+                    self.records.push(WriteRecord {
+                        rank: self.me,
+                        bytes: done.bytes,
+                        start: started,
+                        end: done.finished,
+                        ost: self.ost,
+                        file: self.file,
+                        offset: self.offset,
+                        adaptive: false,
+                    });
+                }
                 ctx.close(TAG_CLOSE);
             }
             (TAG_CLOSE, CompletionKind::Close) => {

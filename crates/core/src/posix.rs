@@ -44,6 +44,11 @@ pub struct PosixActor {
     write_started: Option<SimTime>,
     /// Barrier arrivals seen (rank 0 only).
     arrivals: usize,
+    /// Per-rank arrival dedup (rank 0 only) — a faulty network may
+    /// duplicate `Arrive` messages.
+    arrived: Vec<bool>,
+    /// The write was issued; duplicated `Go` messages are ignored.
+    write_issued: bool,
     /// Completed writes (exactly one after a successful run).
     pub records: Vec<WriteRecord>,
     /// Set when the close completes.
@@ -53,25 +58,34 @@ pub struct PosixActor {
 impl PosixActor {
     /// Build the actor for `rank` writing to `file`.
     pub fn new(rank: u32, plan: Rc<OutputPlan>, file: FileId) -> Self {
+        let arrived = if rank == 0 { vec![false; plan.nprocs] } else { Vec::new() };
         PosixActor {
             plan,
             file,
             me: rank,
             write_started: None,
             arrivals: 0,
+            arrived,
+            write_issued: false,
             records: Vec::new(),
             closed_at: None,
         }
     }
 
     fn begin_write(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+        if std::mem::replace(&mut self.write_issued, true) {
+            return; // duplicated Go
+        }
         self.write_started = Some(ctx.now());
         let bytes = self.plan.rank_bytes[self.me as usize];
         ctx.write_file(self.file, 0, bytes, TAG_WRITE);
     }
 
-    fn note_arrival(&mut self, ctx: &mut Ctx<'_, BarrierMsg>) {
+    fn note_arrival(&mut self, from: Rank, ctx: &mut Ctx<'_, BarrierMsg>) {
         debug_assert_eq!(self.me, 0, "barrier root is rank 0");
+        if std::mem::replace(&mut self.arrived[from.0 as usize], true) {
+            return; // duplicated Arrive
+        }
         self.arrivals += 1;
         if self.arrivals == self.plan.nprocs {
             for r in 1..self.plan.nprocs as u32 {
@@ -89,9 +103,9 @@ impl Actor for PosixActor {
         ctx.open(TAG_OPEN);
     }
 
-    fn on_message(&mut self, _from: Rank, msg: BarrierMsg, ctx: &mut Ctx<'_, BarrierMsg>) {
+    fn on_message(&mut self, from: Rank, msg: BarrierMsg, ctx: &mut Ctx<'_, BarrierMsg>) {
         match msg {
-            BarrierMsg::Arrive => self.note_arrival(ctx),
+            BarrierMsg::Arrive => self.note_arrival(from, ctx),
             BarrierMsg::Go => self.begin_write(ctx),
         }
     }
@@ -100,24 +114,29 @@ impl Actor for PosixActor {
         match (done.tag, done.kind) {
             (TAG_OPEN, CompletionKind::Open) => {
                 if self.me == 0 {
-                    self.note_arrival(ctx);
+                    self.note_arrival(Rank(0), ctx);
                 } else {
                     ctx.send_control(Rank(0), BarrierMsg::Arrive);
                 }
             }
             (TAG_WRITE, CompletionKind::Write) => {
                 let started = self.write_started.take().expect("write started");
-                let group = self.plan.group_of[self.me as usize];
-                self.records.push(WriteRecord {
-                    rank: self.me,
-                    bytes: done.bytes,
-                    start: started,
-                    end: done.finished,
-                    ost: self.plan.ost_of_group[group as usize],
-                    file: self.file,
-                    offset: 0,
-                    adaptive: false,
-                });
+                // A write that hit a failed target leaves no record: the
+                // bytes are not durable. The rank still closes, so the run
+                // terminates with a structured partial result.
+                if !done.error {
+                    let group = self.plan.group_of[self.me as usize];
+                    self.records.push(WriteRecord {
+                        rank: self.me,
+                        bytes: done.bytes,
+                        start: started,
+                        end: done.finished,
+                        ost: self.plan.ost_of_group[group as usize],
+                        file: self.file,
+                        offset: 0,
+                        adaptive: false,
+                    });
+                }
                 ctx.close(TAG_CLOSE);
             }
             (TAG_CLOSE, CompletionKind::Close) => {

@@ -114,6 +114,88 @@ pub enum Msg {
     },
     /// Everything is written; write your index (Algorithm 2 line 27).
     OverallWriteComplete,
+
+    // ---- fault-tolerance extension (inactive unless fault mode is on) ----
+    /// Writer → its sub-coordinator: a write exhausted its retries (error
+    /// completions or timeouts). The writer is idle again and must be
+    /// re-queued.
+    WriteFailed {
+        /// The assignment that could not be completed.
+        assignment: Assignment,
+        /// Bytes that were supposed to be written.
+        bytes: u64,
+    },
+    /// Sub-coordinator → coordinator: my own file's storage target is
+    /// unusable (a local write to it failed for good).
+    TargetFailed {
+        /// The group whose target died.
+        group: u32,
+    },
+    /// Sub-coordinator → coordinator: the adaptive write you directed at
+    /// `target_group` failed for good (resolves the outstanding request
+    /// and condemns the target).
+    AdaptiveFailed {
+        /// The adaptive target that proved unusable.
+        target_group: u32,
+    },
+    /// Coordinator → all ranks: `group`'s file is gone; anyone holding a
+    /// durable write into it must discard the record and arrange a
+    /// rewrite through its own sub-coordinator.
+    TargetDead {
+        /// The group whose file was destroyed.
+        group: u32,
+    },
+    /// Writer → its sub-coordinator: my previously completed write was
+    /// destroyed with a dead target; put me back in the pool.
+    LostWrite {
+        /// Bytes that must be rewritten.
+        bytes: u64,
+    },
+    /// Sub-coordinator → coordinator: I have waiting writers again (after
+    /// a failure re-queue); treat me as writing even if I had completed
+    /// or reported busy.
+    ScRevert {
+        /// The reverting group.
+        group: u32,
+    },
+    /// Coordinator → sub-coordinator: liveness probe.
+    ScPing,
+    /// Sub-coordinator → coordinator: liveness reply.
+    ScPong {
+        /// The replying group.
+        group: u32,
+    },
+    /// Coordinator → all ranks: `group`'s sub-coordinator is dead;
+    /// `new_sc` takes over. Alive members reply with [`Msg::StatusReport`]
+    /// so the new SC can reconstruct group state (index replay).
+    ScFailover {
+        /// The orphaned group.
+        group: u32,
+        /// The promoted member rank.
+        new_sc: u32,
+        /// The dead sub-coordinator rank (excluded from the group).
+        dead_sc: u32,
+        /// Whether `OverallWriteComplete` was already broadcast.
+        overall_sent: bool,
+    },
+    /// Member → freshly promoted sub-coordinator: everything the member
+    /// knows about its own progress, replayed so the new SC can rebuild
+    /// the group's bookkeeping and un-acked index records.
+    StatusReport {
+        /// The reporting member's group.
+        group: u32,
+        /// `(offset, bytes)` of a completed write into the group's own
+        /// file, if any.
+        done_local: Option<(u64, u64)>,
+        /// True when the member completed its write into another group's
+        /// file (adaptive).
+        done_elsewhere: bool,
+        /// The member's in-flight assignment, if it is currently writing.
+        in_flight: Option<Assignment>,
+        /// Replayed index pieces for writes into the group's file (empty
+        /// in synthetic mode).
+        pieces: Vec<IndexEntry>,
+    },
 }
 
 impl Msg {
@@ -126,6 +208,9 @@ impl Msg {
             }
             Msg::IndexToC { pieces, wire_bytes, .. } => {
                 CTRL_BYTES + (*wire_bytes).max(pieces.len() as u64 * INDEX_ENTRY_BYTES)
+            }
+            Msg::StatusReport { pieces, .. } => {
+                CTRL_BYTES + pieces.len() as u64 * INDEX_ENTRY_BYTES
             }
             _ => CTRL_BYTES,
         }

@@ -76,6 +76,22 @@ impl OutputResult {
         }
     }
 
+    /// Build from possibly-incomplete records (fault-injected runs): an
+    /// empty record set yields a zeroed result instead of panicking.
+    pub fn from_partial(records: Vec<WriteRecord>, full_span: f64) -> Self {
+        if records.is_empty() {
+            return OutputResult {
+                records,
+                total_bytes: 0,
+                start: SimTime::ZERO,
+                end: SimTime::ZERO,
+                adaptive_writes: 0,
+                full_span,
+            };
+        }
+        Self::from_records(records, full_span)
+    }
+
     /// The paper's measured span: first write start to last write end.
     pub fn write_span(&self) -> f64 {
         (self.end - self.start).as_secs_f64()

@@ -27,13 +27,14 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use bpfmt::{pg_encoded_size, GlobalIndex, VarBlock};
-use clustersim::Simulation;
+use clustersim::{Actor, FaultPlane, LinkFaults, Simulation};
 use simcore::units::GIB;
 use simcore::SimTime;
 use storesim::layout::{OstId, StripeSpec};
 use storesim::{MachineConfig, ObjectStore};
 
 use crate::adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
+use crate::fault::{FaultConfig, SimError, WriteOutcome};
 use crate::mpiio::{stripe_aligned_offsets, MpiIoActor};
 use crate::plan::OutputPlan;
 use crate::posix::PosixActor;
@@ -171,6 +172,10 @@ pub struct RunOutput {
     pub subfiles: Option<HashMap<String, Vec<u8>>>,
     /// Protocol statistics (adaptive/stagger runs only).
     pub protocol: Option<ProtocolStats>,
+    /// Structured failures observed during the run (empty on clean runs).
+    pub errors: Vec<SimError>,
+    /// Byte-level accounting: always `written + lost == total`.
+    pub outcome: WriteOutcome,
 }
 
 /// Aggregated protocol statistics of one adaptive run (§III-B3's
@@ -243,34 +248,109 @@ fn apply_interference(sim_storage: &mut storesim::StorageSystem, interference: &
     }
 }
 
-/// Execute one run to completion.
+/// Execute one fault-free run to completion.
 pub fn run(spec: RunSpec) -> RunOutput {
+    run_with_faults(spec, FaultConfig::none())
+}
+
+/// Execute one run under a [`FaultConfig`]. Storage faults, message-layer
+/// faults and rank kills are installed before the run; the result carries
+/// structured [`SimError`]s and a [`WriteOutcome`] byte accounting instead
+/// of panicking or hanging on failure. With an empty config this is
+/// exactly [`run`].
+pub fn run_with_faults(spec: RunSpec, faults: FaultConfig) -> RunOutput {
     let nprocs = spec.nprocs;
     let rank_bytes = rank_bytes_of(&spec.data, nprocs);
     match &spec.method {
-        Method::Posix { targets } => run_posix(&spec, rank_bytes, *targets),
-        Method::MpiIo { stripe_count } => run_mpiio(&spec, rank_bytes, *stripe_count),
+        Method::Posix { targets } => run_posix(&spec, rank_bytes, *targets, &faults),
+        Method::MpiIo { stripe_count } => run_mpiio(&spec, rank_bytes, *stripe_count, &faults),
         Method::Stagger { targets } => {
             let opts = AdaptiveOpts {
                 work_stealing: false,
                 stagger_opens: true,
                 ..Default::default()
             };
-            run_adaptive(&spec, rank_bytes, *targets, opts)
+            run_adaptive(&spec, rank_bytes, *targets, opts, &faults)
         }
         Method::Adaptive { targets, opts } => {
-            run_adaptive(&spec, rank_bytes, *targets, opts.clone())
+            run_adaptive(&spec, rank_bytes, *targets, opts.clone(), &faults)
         }
     }
 }
 
-fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize) -> RunOutput {
+/// Install the configured faults into a freshly built simulation.
+fn install_faults<A: Actor>(sim: &mut Simulation<A>, seed: u64, faults: &FaultConfig) {
+    if !faults.storage.is_empty() {
+        sim.storage_mut().install_faults(&faults.storage);
+    }
+    if faults.network.is_some() || !faults.kills.is_empty() {
+        let mut plane = FaultPlane::new(seed);
+        if let Some(n) = faults.network {
+            plane = plane.with_default(LinkFaults::flaky(n.dup_p, n.delay_p, n.delay_mean_secs));
+        }
+        for &(at, r) in &faults.kills {
+            plane = plane.kill_at(at, r);
+        }
+        sim.install_fault_plane(plane);
+    }
+}
+
+/// Byte-level accounting: which of each rank's bytes are durably present
+/// at run end. A record whose target suffered an error-mode failure after
+/// the write landed counts as lost ([`SimError::DataLost`]); a rank with
+/// no surviving bytes at all and no destroyed record simply never wrote
+/// ([`SimError::RankFailed`]).
+fn account(
+    storage: &storesim::StorageSystem,
+    rank_bytes: &[u64],
+    records: &[WriteRecord],
+) -> (WriteOutcome, Vec<SimError>) {
+    let total: u64 = rank_bytes.iter().sum();
+    let mut written = 0u64;
+    let mut errors = Vec::new();
+    for (rank, &bytes) in rank_bytes.iter().enumerate() {
+        let mut valid = 0u64;
+        let mut destroyed: Option<&WriteRecord> = None;
+        for r in records.iter().filter(|r| r.rank == rank as u32) {
+            if storage.ost_lost_data_since(r.ost, r.end) {
+                destroyed = Some(r);
+            } else {
+                valid += r.bytes;
+            }
+        }
+        let w = valid.min(bytes);
+        written += w;
+        let lost = bytes - w;
+        if lost > 0 {
+            match destroyed {
+                Some(r) => errors.push(SimError::DataLost {
+                    rank: rank as u32,
+                    ost: r.ost.0,
+                    bytes: lost,
+                }),
+                None => errors.push(SimError::RankFailed {
+                    rank: rank as u32,
+                    bytes_lost: lost,
+                }),
+            }
+        }
+    }
+    let outcome = WriteOutcome {
+        total_bytes: total,
+        written_bytes: written,
+        lost_bytes: total - written,
+        complete: written == total,
+    };
+    (outcome, errors)
+}
+
+fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize, faults: &FaultConfig) -> RunOutput {
     assert!(
         matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
         "real-bytes mode requires the adaptive/stagger methods"
     );
     let ost_count = spec.machine.ost_count;
-    let plan = Rc::new(OutputPlan::new(spec.nprocs, targets, ost_count, rank_bytes));
+    let plan = Rc::new(OutputPlan::new(spec.nprocs, targets, ost_count, rank_bytes.clone()));
     let mut storage = storesim::StorageSystem::new(spec.machine.clone(), spec.seed);
     let mut actors = Vec::with_capacity(spec.nprocs);
     for r in 0..spec.nprocs as u32 {
@@ -283,30 +363,56 @@ fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize) -> RunOutput 
     }
     let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
     apply_interference(sim.storage_mut(), &spec.interference);
-    sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
-    assert_eq!(
-        sim.finish_count(),
-        spec.nprocs as u64,
-        "POSIX run stalled before every rank closed"
-    );
+    install_faults(&mut sim, spec.seed, faults);
+    let stats = sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
+    let mut errors = Vec::new();
+    if sim.finish_count() < spec.nprocs as u64 {
+        let pending: Vec<u32> = sim
+            .actors()
+            .enumerate()
+            .filter(|(_, a)| a.closed_at.is_none())
+            .map(|(r, _)| r as u32)
+            .collect();
+        errors.push(SimError::Stalled {
+            pending_ranks: pending,
+            last_event_time: stats.end_time.as_secs_f64(),
+        });
+    }
     let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
     let mut full_end = SimTime::ZERO;
     for a in sim.actors() {
-        assert_eq!(a.records.len(), 1, "rank failed to write");
+        if faults.is_empty() {
+            assert_eq!(a.records.len(), 1, "rank failed to write");
+        }
         records.extend_from_slice(&a.records);
-        full_end = full_end.max(a.closed_at.expect("rank failed to close"));
+        if let Some(t) = a.closed_at {
+            full_end = full_end.max(t);
+        }
+    }
+    if full_end == SimTime::ZERO {
+        full_end = stats.end_time;
     }
     records.sort_by_key(|r| r.rank);
-    let result = OutputResult::from_records(records, full_end.as_secs_f64());
+    let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
+    outcome.complete &= errors.is_empty();
+    errors.extend(account_errors);
+    let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     RunOutput {
         result,
         global_index: None,
         subfiles: None,
         protocol: None,
+        errors,
+        outcome,
     }
 }
 
-fn run_mpiio(spec: &RunSpec, rank_bytes: Vec<u64>, stripe_count: usize) -> RunOutput {
+fn run_mpiio(
+    spec: &RunSpec,
+    rank_bytes: Vec<u64>,
+    stripe_count: usize,
+    faults: &FaultConfig,
+) -> RunOutput {
     assert!(
         matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
         "real-bytes mode requires the adaptive/stagger methods"
@@ -343,26 +449,47 @@ fn run_mpiio(spec: &RunSpec, rank_bytes: Vec<u64>, stripe_count: usize) -> RunOu
     }
     let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
     apply_interference(sim.storage_mut(), &spec.interference);
-    sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
-    assert_eq!(
-        sim.finish_count(),
-        spec.nprocs as u64,
-        "MPI-IO run stalled before every rank closed"
-    );
+    install_faults(&mut sim, spec.seed, faults);
+    let stats = sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
+    let mut errors = Vec::new();
+    if sim.finish_count() < spec.nprocs as u64 {
+        let pending: Vec<u32> = sim
+            .actors()
+            .enumerate()
+            .filter(|(_, a)| a.closed_at.is_none())
+            .map(|(r, _)| r as u32)
+            .collect();
+        errors.push(SimError::Stalled {
+            pending_ranks: pending,
+            last_event_time: stats.end_time.as_secs_f64(),
+        });
+    }
     let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
     let mut full_end = SimTime::ZERO;
     for a in sim.actors() {
-        assert_eq!(a.records.len(), 1, "rank failed to write");
+        if faults.is_empty() {
+            assert_eq!(a.records.len(), 1, "rank failed to write");
+        }
         records.extend_from_slice(&a.records);
-        full_end = full_end.max(a.closed_at.expect("rank failed to close"));
+        if let Some(t) = a.closed_at {
+            full_end = full_end.max(t);
+        }
+    }
+    if full_end == SimTime::ZERO {
+        full_end = stats.end_time;
     }
     records.sort_by_key(|r| r.rank);
-    let result = OutputResult::from_records(records, full_end.as_secs_f64());
+    let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
+    outcome.complete &= errors.is_empty();
+    errors.extend(account_errors);
+    let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     RunOutput {
         result,
         global_index: None,
         subfiles: None,
         protocol: None,
+        errors,
+        outcome,
     }
 }
 
@@ -370,8 +497,18 @@ fn run_adaptive(
     spec: &RunSpec,
     rank_bytes: Vec<u64>,
     targets: usize,
-    opts: AdaptiveOpts,
+    mut opts: AdaptiveOpts,
+    faults: &FaultConfig,
 ) -> RunOutput {
+    if !faults.is_empty() {
+        assert!(
+            matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
+            "fault injection supports synthetic (sizes-only) data"
+        );
+        // Faults without the hardened protocol would just hang; switch it
+        // on (explicit knobs in `opts.fault` are respected as-is).
+        opts.fault.enabled = true;
+    }
     let ost_count = spec.machine.ost_count;
     let plan = Rc::new(OutputPlan::new(spec.nprocs, targets, ost_count, rank_bytes));
     let opts = Rc::new(opts);
@@ -412,21 +549,45 @@ fn run_adaptive(
     }
     let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
     apply_interference(sim.storage_mut(), &spec.interference);
+    install_faults(&mut sim, spec.seed, faults);
     // The coordinator's single finish signal marks the whole operation
     // (data + local indices + global index) durable.
-    sim.run_until(1, RUN_DEADLINE);
+    let stats = sim.run_until(1, RUN_DEADLINE);
     let coordinator = sim.actor(clustersim::Rank(0));
-    let finished = coordinator
-        .finished_at()
-        .expect("adaptive protocol stalled: coordinator never finished");
+    let finished = coordinator.finished_at();
+    if faults.is_empty() {
+        assert!(
+            finished.is_some(),
+            "adaptive protocol stalled: coordinator never finished"
+        );
+    }
     let global_index = coordinator.global_index().cloned();
     let max_outstanding = coordinator.max_outstanding().unwrap_or(0);
+    let mut errors = Vec::new();
+    if finished.is_none() {
+        let mut pending: Vec<u32> = sim
+            .actors()
+            .enumerate()
+            .filter(|(_, a)| a.records.is_empty())
+            .map(|(r, _)| r as u32)
+            .collect();
+        if pending.is_empty() {
+            pending.push(0); // everyone wrote; the coordinator wrap-up hung
+        }
+        errors.push(SimError::Stalled {
+            pending_ranks: pending,
+            last_event_time: stats.end_time.as_secs_f64(),
+        });
+    }
+    let full_end = finished.unwrap_or(stats.end_time);
     let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
     let mut total_messages = 0u64;
     let mut busiest = 0u64;
     let mut coordinator_inbox = 0u64;
     for a in sim.actors() {
-        assert_eq!(a.records.len(), 1, "rank failed to write exactly once");
+        if faults.is_empty() {
+            assert_eq!(a.records.len(), 1, "rank failed to write exactly once");
+        }
         records.extend_from_slice(&a.records);
         let s: MsgStats = a.msg_stats;
         total_messages += s.total();
@@ -440,7 +601,10 @@ fn run_adaptive(
         total_messages,
         busiest_rank_inbox: busiest,
     });
-    let result = OutputResult::from_records(records, finished.as_secs_f64());
+    let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
+    outcome.complete &= errors.is_empty();
+    errors.extend(account_errors);
+    let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     // Materialise subfile bytes for read-back verification.
     let subfiles = store.map(|store| {
         let store = store.borrow();
@@ -459,5 +623,7 @@ fn run_adaptive(
         global_index,
         subfiles,
         protocol,
+        errors,
+        outcome,
     }
 }

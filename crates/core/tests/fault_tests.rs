@@ -1,0 +1,248 @@
+//! Failure-injection integration tests: the hardened adaptive protocol
+//! must survive dead storage targets, stalls, lossy control traffic and
+//! rank kills with full byte accounting; the baselines must fail in a
+//! structured way (partial results, watchdog reports) instead of
+//! panicking or hanging.
+
+use adios_core::{
+    run_with_faults, AdaptiveOpts, DataSpec, FaultConfig, FaultTolerance, Interference, Method,
+    NetFaults, RunSpec, SimError,
+};
+use simcore::units::MIB;
+use storesim::fault::FailMode;
+use storesim::params::testbed;
+use storesim::FaultScript;
+
+fn spec(method: Method, nprocs: usize, bytes: u64, seed: u64) -> RunSpec {
+    RunSpec {
+        machine: testbed(),
+        nprocs,
+        data: DataSpec::Uniform(bytes),
+        method,
+        interference: Interference::None,
+        seed,
+    }
+}
+
+fn adaptive(targets: usize) -> Method {
+    Method::Adaptive {
+        targets,
+        opts: AdaptiveOpts::default(),
+    }
+}
+
+#[test]
+fn adaptive_survives_dead_ost_with_work_shifting() {
+    // Kill one of 8 targets (error mode, no recovery) while the first
+    // wave of writes is in flight: the adaptive protocol must land every
+    // byte on the surviving targets and terminate cleanly.
+    let faults = FaultConfig {
+        storage: FaultScript::none().fail_ost(1.0, 2, FailMode::Error, None),
+        ..Default::default()
+    };
+    let out = run_with_faults(spec(adaptive(8), 16, 256 * MIB, 11), faults);
+    assert!(out.errors.is_empty(), "unexpected errors: {:?}", out.errors);
+    assert!(out.outcome.complete);
+    assert_eq!(out.outcome.written_bytes, 16 * 256 * MIB);
+    assert_eq!(out.outcome.lost_bytes, 0);
+    assert_eq!(out.result.records.len(), 16, "every rank wrote once");
+    // Nothing may remain on the condemned target.
+    for r in &out.result.records {
+        assert_ne!(r.ost.0, 2, "record survived on the dead target");
+    }
+}
+
+#[test]
+fn adaptive_rewrites_data_destroyed_after_completion() {
+    // The failure lands after the first wave of writes to the target
+    // completed (32 ranks over 8 targets write in four ~0.4 s waves, the
+    // failure hits at 1.0 s); the completed bytes are destroyed and must
+    // be rewritten elsewhere via LostWrite re-queues.
+    let faults = FaultConfig {
+        storage: FaultScript::none().fail_ost(1.0, 1, FailMode::Error, None),
+        ..Default::default()
+    };
+    let out = run_with_faults(spec(adaptive(8), 32, 32 * MIB, 5), faults);
+    assert!(out.errors.is_empty(), "unexpected errors: {:?}", out.errors);
+    assert!(out.outcome.complete);
+    assert_eq!(out.outcome.written_bytes, 32 * 32 * MIB);
+    for r in &out.result.records {
+        assert_ne!(r.ost.0, 1, "record survived on the dead target");
+    }
+}
+
+#[test]
+fn adaptive_rides_out_stall_with_recovery() {
+    // A stall-mode outage with recovery: write timeouts fire, retries
+    // back off, and after recovery everything completes. Data on the
+    // target survives a stall, so no rewrites are required.
+    let faults = FaultConfig {
+        storage: FaultScript::none().fail_ost(1.0, 3, FailMode::Stall, Some(20.0)),
+        ..Default::default()
+    };
+    let out = run_with_faults(spec(adaptive(8), 16, 64 * MIB, 7), faults);
+    assert!(out.errors.is_empty(), "unexpected errors: {:?}", out.errors);
+    assert!(out.outcome.complete);
+    assert_eq!(out.outcome.written_bytes, 16 * 64 * MIB);
+}
+
+#[test]
+fn adaptive_tolerates_duplicated_and_delayed_messages() {
+    // Heavy duplication and delay on every link: the dedup guards must
+    // keep the protocol exact — identical bytes, clean completion.
+    let faults = FaultConfig {
+        network: Some(NetFaults {
+            dup_p: 0.3,
+            delay_p: 0.3,
+            delay_mean_secs: 0.05,
+        }),
+        ..Default::default()
+    };
+    let out = run_with_faults(spec(adaptive(8), 24, 16 * MIB, 23), faults);
+    assert!(out.errors.is_empty(), "unexpected errors: {:?}", out.errors);
+    assert!(out.outcome.complete);
+    assert_eq!(out.outcome.written_bytes, 24 * 16 * MIB);
+}
+
+#[test]
+fn adaptive_fails_over_a_killed_sub_coordinator() {
+    // Kill the sub-coordinator of group 1 mid-run. The coordinator's
+    // liveness pings must promote another member, surviving members
+    // replay their status, and the run terminates with only the dead
+    // rank's bytes lost.
+    let nprocs = 16usize;
+    let targets = 4usize;
+    let sc_of_g1 = (nprocs / targets) as u32; // rank 4
+    let faults = FaultConfig {
+        kills: vec![(3.0, sc_of_g1)],
+        ..Default::default()
+    };
+    let out = run_with_faults(spec(adaptive(targets), nprocs, 32 * MIB, 13), faults);
+    let per_rank = 32 * MIB;
+    assert!(
+        !matches!(out.errors.first(), Some(SimError::Stalled { .. })),
+        "failover should keep the run terminating: {:?}",
+        out.errors
+    );
+    // At most the killed rank's bytes may be lost (none if its write
+    // completed before the kill).
+    assert!(
+        out.outcome.lost_bytes <= per_rank,
+        "only the killed rank may lose bytes: {:?}",
+        out.outcome
+    );
+    assert_eq!(
+        out.outcome.written_bytes + out.outcome.lost_bytes,
+        out.outcome.total_bytes
+    );
+    for e in &out.errors {
+        match e {
+            SimError::RankFailed { rank, .. } => assert_eq!(*rank, sc_of_g1),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mpiio_reports_structured_partial_failure() {
+    // MPI-IO has no recovery: an error-mode target failure mid-write
+    // surfaces as lost bytes and per-rank errors, not a panic or hang.
+    let faults = FaultConfig {
+        storage: FaultScript::none().fail_ost(1.0, 0, FailMode::Error, None),
+        ..Default::default()
+    };
+    let out = run_with_faults(
+        spec(Method::MpiIo { stripe_count: 8 }, 16, 64 * MIB, 3),
+        faults,
+    );
+    assert!(!out.outcome.complete);
+    assert!(out.outcome.lost_bytes > 0);
+    assert!(!out.errors.is_empty());
+    assert_eq!(
+        out.outcome.written_bytes + out.outcome.lost_bytes,
+        out.outcome.total_bytes
+    );
+    for e in &out.errors {
+        assert!(
+            matches!(e, SimError::RankFailed { .. } | SimError::DataLost { .. }),
+            "unexpected error class: {e:?}"
+        );
+    }
+}
+
+#[test]
+fn posix_stall_surfaces_as_watchdog_report() {
+    // A permanent stall-mode failure hangs POSIX writers on that target
+    // forever; the runner must report Stalled with the pending ranks.
+    let faults = FaultConfig {
+        storage: FaultScript::none().fail_ost(0.5, 0, FailMode::Stall, None),
+        ..Default::default()
+    };
+    let out = run_with_faults(spec(Method::Posix { targets: 8 }, 16, 64 * MIB, 9), faults);
+    assert!(!out.outcome.complete);
+    let stalled = out
+        .errors
+        .iter()
+        .find_map(|e| match e {
+            SimError::Stalled { pending_ranks, .. } => Some(pending_ranks.clone()),
+            _ => None,
+        })
+        .expect("stall must be diagnosed");
+    assert!(!stalled.is_empty());
+    // Groups are contiguous: OST 0's writers are ranks 0 and 1 on the
+    // 16-proc / 8-target layout.
+    for r in &stalled {
+        assert!(*r < 2, "only OST-0 writers may hang, got rank {r}");
+    }
+}
+
+#[test]
+fn brownouts_slow_but_never_lose_bytes() {
+    // Transient slowdowns (the paper's §V scenario) must never cost data
+    // under any method.
+    let script = FaultScript::none()
+        .brownout(0.5, 0, 0.1, 5.0)
+        .brownout(1.0, 3, 0.2, 10.0)
+        .mds_outage(0.2, 1.0);
+    for method in [
+        Method::Posix { targets: 8 },
+        Method::MpiIo { stripe_count: 8 },
+        adaptive(8),
+    ] {
+        let faults = FaultConfig {
+            storage: script.clone(),
+            ..Default::default()
+        };
+        let out = run_with_faults(spec(method.clone(), 16, 16 * MIB, 17), faults);
+        assert!(
+            out.errors.is_empty(),
+            "{method:?} reported errors under brownout: {:?}",
+            out.errors
+        );
+        assert!(out.outcome.complete, "{method:?} lost bytes under brownout");
+    }
+}
+
+#[test]
+fn explicit_fault_tolerance_without_faults_is_equivalent() {
+    // The hardened protocol with zero faults must produce the same bytes
+    // and layout as the default protocol (timers and guards are inert).
+    let base = adios_core::run(spec(adaptive(8), 16, 16 * MIB, 29));
+    let hard = adios_core::run(spec(
+        Method::Adaptive {
+            targets: 8,
+            opts: AdaptiveOpts {
+                fault: FaultTolerance::enabled(),
+                ..Default::default()
+            },
+        },
+        16,
+        16 * MIB,
+        29,
+    ));
+    assert_eq!(base.result.records.len(), hard.result.records.len());
+    for (a, b) in base.result.records.iter().zip(hard.result.records.iter()) {
+        assert_eq!((a.rank, a.file, a.offset, a.bytes), (b.rank, b.file, b.offset, b.bytes));
+        assert_eq!(a.end, b.end, "timing must be identical for rank {}", a.rank);
+    }
+}

@@ -16,11 +16,14 @@
 //!   with a co-simulation interface (submit / next_event_time / advance_to)
 //!   and the paper's artificial-interference background streams.
 //! * [`object`] — an in-memory object store for real-byte format tests.
+//! * [`fault`] — scheduled, seed-reproducible fault injection: OST
+//!   brownouts, stall/error failures with recovery, MDS outages.
 //! * [`params`] — every model constant, with machine presets for Jaguar,
 //!   Franklin, XTP and a small testbed.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod jobs;
 pub mod layout;
 pub mod mds;
@@ -30,6 +33,7 @@ pub mod ost;
 pub mod params;
 pub mod system;
 
+pub use fault::{FailMode, FaultEvent, FaultScript};
 pub use layout::{FileId, FileSystem, OstId, StripeSpec};
 pub use object::ObjectStore;
 pub use params::{JobNoiseParams, MachineConfig, MdsParams, MicroNoiseParams, NoiseParams, OstParams};

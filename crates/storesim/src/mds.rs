@@ -56,6 +56,9 @@ pub struct Mds {
     queue: VecDeque<Waiting>,
     /// Currently served operation and its absolute finish time.
     in_service: Option<(Waiting, SimTime)>,
+    /// Outage state: while `Some`, the server makes no progress; the value
+    /// is the in-service operation's remaining service time at freeze.
+    frozen: Option<Option<SimDuration>>,
 }
 
 impl Mds {
@@ -65,7 +68,37 @@ impl Mds {
             params,
             queue: VecDeque::new(),
             in_service: None,
+            frozen: None,
         }
+    }
+
+    /// Begin an outage: the in-service operation is suspended with its
+    /// remaining service time remembered, queued operations wait.
+    pub fn freeze(&mut self, now: SimTime) {
+        if self.frozen.is_some() {
+            return;
+        }
+        let remaining = self
+            .in_service
+            .as_ref()
+            .map(|&(_, done)| if done > now { done - now } else { SimDuration::ZERO });
+        self.frozen = Some(remaining);
+    }
+
+    /// End an outage: the suspended operation resumes with its remembered
+    /// remaining time, and the queue starts moving again.
+    pub fn unfreeze(&mut self, now: SimTime) {
+        if let Some(remaining) = self.frozen.take() {
+            if let (Some((_, done)), Some(rem)) = (self.in_service.as_mut(), remaining) {
+                *done = now + rem;
+            }
+            self.maybe_start(now);
+        }
+    }
+
+    /// Whether the server is currently down.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
     }
 
     /// Queue depth including the in-service operation.
@@ -84,6 +117,9 @@ impl Mds {
     }
 
     fn maybe_start(&mut self, now: SimTime) {
+        if self.frozen.is_some() {
+            return;
+        }
         if self.in_service.is_none() {
             if let Some(w) = self.queue.pop_front() {
                 let done = now + self.service_time(&w);
@@ -106,12 +142,18 @@ impl Mds {
 
     /// Absolute time of the next completion, if any.
     pub fn next_completion(&self) -> Option<SimTime> {
+        if self.frozen.is_some() {
+            return None;
+        }
         self.in_service.as_ref().map(|&(_, done)| done)
     }
 
     /// Complete everything finished by `now`.
     pub fn advance(&mut self, now: SimTime) -> Vec<MdsCompletion> {
         let mut out = Vec::new();
+        if self.frozen.is_some() {
+            return out;
+        }
         while let Some(&(w, done)) = self.in_service.as_ref() {
             if done > now {
                 break;
@@ -253,6 +295,35 @@ mod tests {
         let done = m.next_completion().unwrap();
         m.advance(done);
         assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn outage_suspends_and_resumes_service() {
+        let p = testbed().mds;
+        let mut m = mds();
+        m.submit(SimTime::ZERO, RequestId(1), MetaOp::Open);
+        m.submit(SimTime::ZERO, RequestId(2), MetaOp::Open);
+        // Freeze halfway through the first op's service.
+        let half = t(p.open_base / 2.0);
+        m.freeze(half);
+        assert!(m.is_frozen());
+        assert!(m.next_completion().is_none());
+        assert!(m.advance(t(100.0)).is_empty(), "no progress during outage");
+        // Ops submitted during the outage just queue.
+        m.submit(t(50.0), RequestId(3), MetaOp::Close);
+        assert_eq!(m.depth(), 3);
+        // Recovery: first op completes after its remaining half service.
+        m.unfreeze(t(100.0));
+        let done = m.next_completion().unwrap();
+        assert!(
+            (done.as_secs_f64() - (100.0 + p.open_base / 2.0)).abs() < 1e-9,
+            "resumed completion at {done}"
+        );
+        let mut ids = Vec::new();
+        while let Some(at) = m.next_completion() {
+            ids.extend(m.advance(at).iter().map(|c| c.id.0));
+        }
+        assert_eq!(ids, vec![1, 2, 3]);
     }
 
     #[test]

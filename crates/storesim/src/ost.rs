@@ -89,6 +89,8 @@ pub struct Ost {
     streams: Vec<Stream>,
     /// Current external slowdown factor in (0, 1].
     noise_factor: f64,
+    /// Frozen targets make zero progress (stall-mode failure injection).
+    frozen: bool,
     /// Bytes of cache space reserved (admission control): landed bytes
     /// plus bytes still in flight on cache-lane streams.
     cache_reserved: f64,
@@ -107,6 +109,7 @@ impl Ost {
             params,
             streams: Vec::new(),
             noise_factor: 1.0,
+            frozen: false,
             cache_reserved: 0.0,
             cache_landed: 0.0,
             last_settle: SimTime::ZERO,
@@ -157,6 +160,12 @@ impl Ost {
     fn settle(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_settle);
         let dt = (now - self.last_settle).as_secs_f64();
+        if self.frozen {
+            // A stalled target makes no progress at all (overhead, bytes,
+            // cache drain); time simply passes it by.
+            self.last_settle = now;
+            return;
+        }
         if dt > 0.0 {
             let disk_rate = self.lane_rate(Lane::Disk);
             let cache_rate = self.lane_rate(Lane::Cache);
@@ -262,10 +271,42 @@ impl Ost {
         self.noise_factor = factor;
     }
 
+    /// Freeze the target (stall-mode failure): in-flight and future
+    /// streams are held with zero progress until [`Ost::unfreeze`].
+    pub fn freeze(&mut self, now: SimTime) {
+        self.settle(now);
+        self.frozen = true;
+    }
+
+    /// Thaw a frozen target; held streams resume from where they stopped.
+    pub fn unfreeze(&mut self, now: SimTime) {
+        self.settle(now);
+        self.frozen = false;
+    }
+
+    /// Whether the target is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Error-mode failure: abort every in-flight stream, returning their
+    /// request ids so the owner can surface error completions. Cache state
+    /// is wiped (the disk is gone; recovery brings back an empty target).
+    pub fn fail_all(&mut self, now: SimTime) -> Vec<RequestId> {
+        self.settle(now);
+        let ids: Vec<RequestId> = self.streams.iter().map(|s| s.id).collect();
+        self.streams.clear();
+        self.n_disk = 0;
+        self.n_cache = 0;
+        self.cache_reserved = 0.0;
+        self.cache_landed = 0.0;
+        ids
+    }
+
     /// Predict the absolute time of the next stream completion, given the
     /// current state. `None` if idle.
     pub fn next_completion(&self) -> Option<SimTime> {
-        if self.streams.is_empty() {
+        if self.streams.is_empty() || self.frozen {
             return None;
         }
         let disk_rate = self.lane_rate(Lane::Disk);
@@ -526,6 +567,41 @@ mod tests {
         ost.submit(SimTime::ZERO, RequestId(1), 1, OpKind::Write);
         let at = ost.next_completion().unwrap();
         assert!(at.as_secs_f64() >= p.request_overhead);
+    }
+
+    #[test]
+    fn frozen_ost_makes_no_progress_then_resumes() {
+        let mut ost = small_ost();
+        ost.submit(SimTime::ZERO, RequestId(1), 128 * MIB, OpKind::Write);
+        let planned = ost.next_completion().unwrap();
+        let half = t(planned.as_secs_f64() / 2.0);
+        ost.freeze(half);
+        assert!(ost.next_completion().is_none(), "frozen OST predicts nothing");
+        assert!(ost.advance(planned).is_empty(), "no completions while frozen");
+        // Thaw after a long stall: remaining work picks up where it left off.
+        let thaw = t(planned.as_secs_f64() * 3.0);
+        ost.unfreeze(thaw);
+        let resumed = ost.next_completion().unwrap();
+        let expect = thaw.as_secs_f64() + planned.as_secs_f64() / 2.0;
+        assert!(
+            (resumed.as_secs_f64() - expect).abs() < 1e-6,
+            "resumed {resumed}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn fail_all_aborts_streams_and_wipes_cache() {
+        let mut ost = small_ost();
+        ost.submit(SimTime::ZERO, RequestId(1), 8 * MIB, OpKind::Write);
+        ost.submit(SimTime::ZERO, RequestId(2), 128 * MIB, OpKind::Write);
+        let ids = ost.fail_all(t(0.1));
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ost.active_streams(), 0);
+        assert_eq!(ost.cache_used(), 0);
+        assert!(ost.next_completion().is_none());
+        // The target accepts fresh work afterwards.
+        ost.submit(t(0.2), RequestId(3), MIB, OpKind::Write);
+        assert!(ost.next_completion().is_some());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use simcore::{EventQueue, EventToken, FxHashMap, Rng, SimDuration, SimTime, SplitMix64};
 
+use crate::fault::{FailMode, FaultEvent, FaultScript};
 use crate::jobs::{combined_factor, CompetingLoad, JobLoadModel};
 use crate::layout::{FileId, FileSystem, OstId, StripeSpec};
 use crate::mds::{Mds, MetaOp};
@@ -35,6 +36,9 @@ pub struct StorageCompletion {
     pub finished: SimTime,
     /// What finished.
     pub kind: CompletionKind,
+    /// True when at least one constituent chunk was aborted by an
+    /// error-mode target failure: the operation did *not* take effect.
+    pub error: bool,
 }
 
 /// Discriminates data from metadata completions.
@@ -58,6 +62,26 @@ enum Internal {
     JobArrival,
     JobDeparture(u64),
     RenewStream(u64),
+    /// A scheduled fault (index into `fault_events`) begins.
+    FaultStart(usize),
+    /// A brownout on OST `.0` ends; divide its factor `.1` back out.
+    BrownoutEnd(usize, f64),
+    /// OST `.0` recovers, if its fault generation still matches `.1`.
+    OstRecover(usize, u64),
+    /// The MDS recovers, if its outage generation still matches.
+    MdsRecover(u64),
+    /// Prompt error completion of a request submitted to a failed target.
+    FailFast(u64),
+}
+
+/// Current fault status of one OST.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OstHealth {
+    Healthy,
+    /// Stall-mode failure: frozen, holds requests, data survives.
+    Stalled,
+    /// Error-mode failure: requests error out, stored data is lost.
+    Failed,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +91,7 @@ struct OpState {
     total_bytes: u64,
     submitted: SimTime,
     kind: CompletionKind,
+    error: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -101,6 +126,20 @@ pub struct StorageSystem {
     pending_renew: FxHashMap<u64, BgSpec>,
     /// Injected permanent degradation factor per OST (1.0 = healthy).
     degraded: Vec<f64>,
+    /// Composed transient brownout factor per OST (1.0 = none active).
+    brownout: Vec<f64>,
+    /// Fault status per OST.
+    health: Vec<OstHealth>,
+    /// Bumped on every OST fault transition so stale recovery events are
+    /// ignored when scripts overlap faults on one target.
+    health_gen: Vec<u64>,
+    /// Start times of error-mode failures per OST: data completed at or
+    /// before such an instant was destroyed.
+    error_fail_times: Vec<Vec<SimTime>>,
+    /// Bumped per MDS outage, for the same stale-recovery reason.
+    mds_gen: u64,
+    /// Installed fault events (referenced by queue index).
+    fault_events: Vec<FaultEvent>,
     next_req: u64,
     next_op: u64,
     rng: Rng,
@@ -137,6 +176,10 @@ impl StorageSystem {
         let mds = Mds::new(cfg.mds.clone());
         let ost_token = vec![None; cfg.ost_count];
         let degraded = vec![1.0; cfg.ost_count];
+        let brownout = vec![1.0; cfg.ost_count];
+        let health = vec![OstHealth::Healthy; cfg.ost_count];
+        let health_gen = vec![0; cfg.ost_count];
+        let error_fail_times = vec![Vec::new(); cfg.ost_count];
         let mut sys = StorageSystem {
             cfg,
             osts,
@@ -155,6 +198,12 @@ impl StorageSystem {
             background: FxHashMap::default(),
             pending_renew: FxHashMap::default(),
             degraded,
+            brownout,
+            health,
+            health_gen,
+            error_fail_times,
+            mds_gen: 0,
+            fault_events: Vec::new(),
             next_req: 0,
             next_op: 0,
             rng,
@@ -204,7 +253,7 @@ impl StorageSystem {
 
     /// Current combined slowdown factor of one OST.
     fn combined(&self, i: usize) -> f64 {
-        let micro = self.micro_factor[i] * self.degraded[i];
+        let micro = self.micro_factor[i] * self.degraded[i] * self.brownout[i];
         combined_factor(
             self.active_jobs
                 .values()
@@ -218,6 +267,19 @@ impl StorageSystem {
         let f = self.combined(i);
         self.osts[i].set_noise(now, f);
         self.replan_ost(i, now);
+    }
+
+    /// Like [`Self::apply_noise`], but first force-invalidates the
+    /// remembered wake for the OST. Internal (time-ordered) noise events
+    /// may rely on replan elision, but *external* state changes —
+    /// `degrade_ost` / `restore_ost` calls and fault transitions — must
+    /// never leave a stale pending wake behind: a wake scheduled before
+    /// `now` would otherwise later drive `Ost::advance` backwards in time.
+    fn apply_noise_forced(&mut self, i: usize, now: SimTime) {
+        if let Some((tok, _)) = self.ost_token[i].take() {
+            self.queue.cancel(tok);
+        }
+        self.apply_noise(i, now);
     }
 
     /// The machine configuration this system was built from.
@@ -348,6 +410,7 @@ impl StorageSystem {
         ck: CompletionKind,
     ) {
         assert!(!chunks.is_empty(), "write with no chunks");
+        self.process_due(now);
         let op_id = self.next_op;
         self.next_op += 1;
         self.ops.insert(
@@ -358,13 +421,21 @@ impl StorageSystem {
                 total_bytes: total,
                 submitted: now,
                 kind: ck,
+                error: false,
             },
         );
         for &(ost, bytes) in chunks {
             let rid = self.fresh_req();
             self.req_to_op.insert(rid.0, op_id);
-            self.osts[ost.0].submit(now, rid, bytes, kind);
-            self.replan_ost(ost.0, now);
+            if self.health[ost.0] == OstHealth::Failed {
+                // Error-mode target: the request bounces promptly instead
+                // of reaching the server (one RPC round of latency).
+                let at = now + SimDuration::from_secs_f64(self.cfg.ost.request_overhead);
+                self.queue.schedule(at, Internal::FailFast(rid.0));
+            } else {
+                self.osts[ost.0].submit(now, rid, bytes, kind);
+                self.replan_ost(ost.0, now);
+            }
         }
     }
 
@@ -379,6 +450,7 @@ impl StorageSystem {
     }
 
     fn submit_meta(&mut self, now: SimTime, tag: u64, op: MetaOp, ck: CompletionKind) {
+        self.process_due(now);
         let op_id = self.next_op;
         self.next_op += 1;
         self.ops.insert(
@@ -389,6 +461,7 @@ impl StorageSystem {
                 total_bytes: 0,
                 submitted: now,
                 kind: ck,
+                error: false,
             },
         );
         let rid = self.fresh_req();
@@ -403,14 +476,39 @@ impl StorageSystem {
     /// [`StorageSystem::restore_ost`].
     pub fn degrade_ost(&mut self, now: SimTime, ost: OstId, factor: f64) {
         assert!(factor > 0.0 && factor <= 1.0);
+        self.process_due(now);
         self.degraded[ost.0] = factor;
-        self.apply_noise(ost.0, now);
+        self.apply_noise_forced(ost.0, now);
     }
 
     /// Lift a previous [`StorageSystem::degrade_ost`].
     pub fn restore_ost(&mut self, now: SimTime, ost: OstId) {
+        self.process_due(now);
         self.degraded[ost.0] = 1.0;
-        self.apply_noise(ost.0, now);
+        self.apply_noise_forced(ost.0, now);
+    }
+
+    /// Install a fault script: every event is scheduled through the
+    /// internal DES, so faulted runs stay byte-identical per seed. Call
+    /// before driving the system (events must not be in the past).
+    pub fn install_faults(&mut self, script: &FaultScript) {
+        for ev in &script.events {
+            let idx = self.fault_events.len();
+            self.fault_events.push(*ev);
+            self.queue.schedule(ev.at(), Internal::FaultStart(idx));
+        }
+    }
+
+    /// Whether `ost` is currently down (either failure mode).
+    pub fn ost_failed(&self, ost: OstId) -> bool {
+        self.health[ost.0] != OstHealth::Healthy
+    }
+
+    /// Whether data that finished landing on `ost` at time `t` was later
+    /// (or at `t`) destroyed by an error-mode failure. Stall-mode outages
+    /// never destroy data.
+    pub fn ost_lost_data_since(&self, ost: OstId, t: SimTime) -> bool {
+        self.error_fail_times[ost.0].iter().any(|&s| s >= t)
     }
 
     /// Install a perpetual background stream on `ost`: a `bytes`-sized
@@ -418,6 +516,7 @@ impl StorageSystem {
     /// is the paper's artificial external interference (§IV: three 1 GiB
     /// writers per target on 8 targets).
     pub fn add_background_stream(&mut self, now: SimTime, ost: OstId, bytes: u64) {
+        self.process_due(now);
         self.start_background(now, BgSpec {
             ost,
             bytes,
@@ -429,6 +528,7 @@ impl StorageSystem {
     /// stream idles for an exponential gap (mean `mean_gap_secs`) before
     /// writing again — a competing application's duty-cycled IO phases.
     pub fn add_bursty_stream(&mut self, now: SimTime, ost: OstId, bytes: u64, mean_gap_secs: f64) {
+        self.process_due(now);
         self.start_background(now, BgSpec {
             ost,
             bytes,
@@ -437,6 +537,11 @@ impl StorageSystem {
     }
 
     fn start_background(&mut self, now: SimTime, spec: BgSpec) {
+        if self.health[spec.ost.0] == OstHealth::Failed {
+            // The interference stream's target is gone; the stream dies
+            // with it (competing jobs see the failure too).
+            return;
+        }
         let rid = self.fresh_req();
         self.background.insert(rid.0, spec);
         self.osts[spec.ost.0].submit(now, rid, spec.bytes, OpKind::WriteDirect);
@@ -452,6 +557,16 @@ impl StorageSystem {
     /// operation completion with `finished <= deadline`, in completion
     /// order.
     pub fn advance_to(&mut self, deadline: SimTime) -> Vec<StorageCompletion> {
+        self.process_due(deadline);
+        std::mem::take(&mut self.out)
+    }
+
+    /// Process every internal event with `time <= deadline`. Called from
+    /// [`Self::advance_to`] and from every external entry point
+    /// (submissions, degrade/restore), so state mutations at `now` can
+    /// never observe an OST that still owes progress to an earlier queued
+    /// wake — that would drive `Ost::settle` backwards in time.
+    fn process_due(&mut self, deadline: SimTime) {
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
@@ -506,9 +621,94 @@ impl StorageSystem {
                         self.start_background(t, spec);
                     }
                 }
+                Internal::FaultStart(idx) => {
+                    let ev = self.fault_events[idx];
+                    self.start_fault(t, ev);
+                }
+                Internal::BrownoutEnd(i, factor) => {
+                    self.brownout[i] = (self.brownout[i] / factor).min(1.0);
+                    self.apply_noise_forced(i, t);
+                }
+                Internal::OstRecover(i, gen) => {
+                    if self.health_gen[i] == gen && self.health[i] != OstHealth::Healthy {
+                        if self.osts[i].is_frozen() {
+                            self.osts[i].unfreeze(t);
+                        }
+                        self.health[i] = OstHealth::Healthy;
+                        self.apply_noise_forced(i, t);
+                    }
+                }
+                Internal::MdsRecover(gen) => {
+                    if gen == self.mds_gen && self.mds.is_frozen() {
+                        self.mds.unfreeze(t);
+                        self.replan_mds(t);
+                    }
+                }
+                Internal::FailFast(rid) => {
+                    self.complete_part(t, RequestId(rid), true);
+                }
             }
         }
-        std::mem::take(&mut self.out)
+    }
+
+    /// Apply one fault event at its scheduled instant.
+    fn start_fault(&mut self, t: SimTime, ev: FaultEvent) {
+        match ev {
+            FaultEvent::Brownout {
+                ost,
+                factor,
+                duration,
+                ..
+            } => {
+                let i = ost.0;
+                self.brownout[i] = (self.brownout[i] * factor).max(1e-9);
+                self.apply_noise_forced(i, t);
+                if let Some(d) = duration {
+                    self.queue.schedule(t + d, Internal::BrownoutEnd(i, factor));
+                }
+            }
+            FaultEvent::OstFail {
+                ost,
+                mode,
+                recover_at,
+                ..
+            } => {
+                let i = ost.0;
+                self.health_gen[i] += 1;
+                if self.osts[i].is_frozen() {
+                    // A new fault supersedes a previous stall.
+                    self.osts[i].unfreeze(t);
+                }
+                match mode {
+                    FailMode::Stall => {
+                        self.health[i] = OstHealth::Stalled;
+                        self.osts[i].freeze(t);
+                    }
+                    FailMode::Error => {
+                        self.health[i] = OstHealth::Failed;
+                        self.error_fail_times[i].push(t);
+                        for rid in self.osts[i].fail_all(t) {
+                            if self.background.remove(&rid.0).is_some() {
+                                continue; // interference stream dies with the target
+                            }
+                            self.complete_part(t, rid, true);
+                        }
+                    }
+                }
+                if let Some(r) = recover_at {
+                    let gen = self.health_gen[i];
+                    self.queue
+                        .schedule(if r > t { r } else { t }, Internal::OstRecover(i, gen));
+                }
+                self.apply_noise_forced(i, t);
+            }
+            FaultEvent::MdsOutage { duration, .. } => {
+                self.mds_gen += 1;
+                self.mds.freeze(t);
+                self.replan_mds(t);
+                self.queue.schedule(t + duration, Internal::MdsRecover(self.mds_gen));
+            }
+        }
     }
 
     fn finish_request(&mut self, now: SimTime, rid: RequestId) {
@@ -525,12 +725,20 @@ impl StorageSystem {
             }
             return;
         }
+        self.complete_part(now, rid, false);
+    }
+
+    /// Account one finished (or aborted) constituent request against its
+    /// operation, surfacing the operation completion when the last part
+    /// resolves.
+    fn complete_part(&mut self, now: SimTime, rid: RequestId, error: bool) {
         let op_id = self
             .req_to_op
             .remove(&rid.0)
             .expect("completion for unknown request");
         let op = self.ops.get_mut(&op_id).expect("op state exists");
         op.pending -= 1;
+        op.error |= error;
         if op.pending == 0 {
             let op = self.ops.remove(&op_id).expect("op state exists");
             self.out.push(StorageCompletion {
@@ -539,6 +747,7 @@ impl StorageSystem {
                 submitted: op.submitted,
                 finished: now,
                 kind: op.kind,
+                error: op.error,
             });
         }
     }

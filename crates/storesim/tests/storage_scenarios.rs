@@ -181,3 +181,271 @@ fn file_sizes_track_high_water_marks() {
     sys.run_until_quiet(t(1e6));
     assert_eq!(sys.fs().meta(f).size, 12 * MIB);
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+use storesim::{FailMode, FaultScript};
+
+/// Regression for the degrade/replan-elision interaction: a degradation
+/// applied while a write is in flight must invalidate the remembered wake
+/// and re-plan the completion at the new rate. Before the fix, the
+/// remembered `(token, time)` could keep a stale (even past) wake alive.
+#[test]
+fn mid_write_degrade_replans_in_flight_write() {
+    let bytes = 128 * MIB;
+    // Healthy reference time.
+    let mut healthy = StorageSystem::new(testbed(), 21);
+    healthy.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+    let hd = healthy.run_until_quiet(t(1e6));
+    let healthy_time = (hd[0].finished - hd[0].submitted).as_secs_f64();
+
+    // Fully-degraded reference time.
+    let mut slow = StorageSystem::new(testbed(), 21);
+    slow.degrade_ost(SimTime::ZERO, OstId(0), 0.1);
+    slow.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+    let sd = slow.run_until_quiet(t(1e6));
+    let slow_time = (sd[0].finished - sd[0].submitted).as_secs_f64();
+
+    // Degrade halfway through via the scheduled fault path.
+    let run_mid = |seed: u64| {
+        let mut sys = StorageSystem::new(testbed(), seed);
+        sys.install_faults(&FaultScript::none().degrade(healthy_time / 2.0, 0, 0.1));
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+        let d = sys.run_until_quiet(t(1e6));
+        (d[0].finished - d[0].submitted).as_secs_f64()
+    };
+    let mid = run_mid(21);
+    // Two-phase expectation: half at full rate, the other half at 1/10.
+    assert!(
+        mid > 1.2 * healthy_time && mid < slow_time,
+        "mid-write degrade must land between extremes: healthy {healthy_time}, mid {mid}, slow {slow_time}"
+    );
+    let expect = healthy_time / 2.0 + (healthy_time / 2.0) * 10.0;
+    assert!(
+        (mid - expect).abs() < 0.05 * expect,
+        "two-phase prediction {expect}, got {mid}"
+    );
+    // Deterministic per seed.
+    assert_eq!(run_mid(21).to_bits(), mid.to_bits());
+}
+
+/// A direct mid-flight `degrade_ost` call (not via the DES) must behave
+/// like the scheduled path — the forced re-plan invalidates stale wakes.
+#[test]
+fn direct_mid_flight_degrade_matches_scheduled_path() {
+    let bytes = 128 * MIB;
+    let mut healthy = StorageSystem::new(testbed(), 22);
+    healthy.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+    let hd = healthy.run_until_quiet(t(1e6));
+    let healthy_time = (hd[0].finished - hd[0].submitted).as_secs_f64();
+
+    let mut direct = StorageSystem::new(testbed(), 22);
+    direct.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+    direct.degrade_ost(t(healthy_time / 2.0), OstId(0), 0.1);
+    let dd = direct.run_until_quiet(t(1e6));
+    let direct_time = (dd[0].finished - dd[0].submitted).as_secs_f64();
+
+    let mut scripted = StorageSystem::new(testbed(), 22);
+    scripted.install_faults(&FaultScript::none().degrade(healthy_time / 2.0, 0, 0.1));
+    scripted.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+    let sd = scripted.run_until_quiet(t(1e6));
+    let scripted_time = (sd[0].finished - sd[0].submitted).as_secs_f64();
+
+    assert!(
+        (direct_time - scripted_time).abs() < 1e-9,
+        "direct {direct_time} vs scripted {scripted_time}"
+    );
+}
+
+#[test]
+fn brownout_slows_then_recovers() {
+    let bytes = 256 * MIB;
+    let run = |script: FaultScript| {
+        let mut sys = StorageSystem::new(testbed(), 23);
+        sys.install_faults(&script);
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+        let d = sys.run_until_quiet(t(1e6));
+        (d[0].finished - d[0].submitted).as_secs_f64()
+    };
+    let clean = run(FaultScript::none());
+    let browned = run(FaultScript::none().brownout(0.5, 0, 0.2, 2.0));
+    // The brownout costs roughly its duration times the lost fraction.
+    assert!(browned > clean + 2.0 * 0.5 && browned < clean + 2.5 * 4.0);
+    // A brownout on a different OST costs nothing.
+    let elsewhere = run(FaultScript::none().brownout(0.5, 3, 0.2, 2.0));
+    assert!((elsewhere - clean).abs() < 1e-9);
+}
+
+#[test]
+fn brownouts_compose_with_degradation() {
+    let bytes = 64 * MIB;
+    let mut sys = StorageSystem::new(testbed(), 24);
+    sys.degrade_ost(SimTime::ZERO, OstId(0), 0.5);
+    sys.install_faults(&FaultScript::none().brownout(0.0, 0, 0.5, 1e5));
+    sys.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+    let d = sys.run_until_quiet(t(1e6));
+    let both = (d[0].finished - d[0].submitted).as_secs_f64();
+
+    let mut only = StorageSystem::new(testbed(), 24);
+    only.degrade_ost(SimTime::ZERO, OstId(0), 0.25);
+    only.submit_ost_write(SimTime::ZERO, OstId(0), bytes, 0);
+    let d2 = only.run_until_quiet(t(1e6));
+    let quarter = (d2[0].finished - d2[0].submitted).as_secs_f64();
+    assert!(
+        (both - quarter).abs() < 1e-6,
+        "0.5 x 0.5 must equal 0.25: {both} vs {quarter}"
+    );
+}
+
+#[test]
+fn error_failure_aborts_in_flight_and_future_writes() {
+    let mut sys = StorageSystem::new(testbed(), 25);
+    sys.install_faults(&FaultScript::none().fail_ost(1.0, 0, FailMode::Error, None));
+    sys.submit_ost_write(SimTime::ZERO, OstId(0), 1024 * MIB, 7); // still in flight at t=1
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 1);
+    assert!(done[0].error, "in-flight write must error");
+    assert!((done[0].finished.as_secs_f64() - 1.0).abs() < 1e-9);
+    assert!(sys.ost_failed(OstId(0)));
+    assert!(sys.ost_lost_data_since(OstId(0), SimTime::ZERO));
+
+    // A later write to the dead target errors promptly.
+    sys.submit_ost_write(t(2.0), OstId(0), MIB, 8);
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 1);
+    assert!(done[0].error);
+    assert!(done[0].finished.as_secs_f64() < 2.1);
+
+    // Other targets are unaffected.
+    sys.submit_ost_write(t(3.0), OstId(1), MIB, 9);
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 1);
+    assert!(!done[0].error);
+}
+
+#[test]
+fn error_failure_with_recovery_accepts_new_writes() {
+    let mut sys = StorageSystem::new(testbed(), 26);
+    sys.install_faults(&FaultScript::none().fail_ost(1.0, 0, FailMode::Error, Some(5.0)));
+    sys.submit_ost_write(t(6.0), OstId(0), MIB, 1);
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 1);
+    assert!(!done[0].error, "post-recovery write succeeds");
+    assert!(!sys.ost_failed(OstId(0)));
+    // Data written after recovery survives; data before t=1 was lost.
+    assert!(!sys.ost_lost_data_since(OstId(0), t(6.0)));
+    assert!(sys.ost_lost_data_since(OstId(0), t(0.5)));
+}
+
+#[test]
+fn stalled_ost_holds_writes_until_recovery() {
+    let mut sys = StorageSystem::new(testbed(), 27);
+    sys.install_faults(&FaultScript::none().fail_ost(0.5, 0, FailMode::Stall, Some(10.0)));
+    // Large enough to still be in flight when the stall begins at t=0.5.
+    sys.submit_ost_write(SimTime::ZERO, OstId(0), 128 * MIB, 1);
+    // Also a write submitted during the stall window.
+    sys.submit_ost_write(t(1.0), OstId(0), 128 * MIB, 2);
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 2, "both writes complete after recovery");
+    for c in &done {
+        assert!(!c.error, "stall mode never errors");
+        assert!(
+            c.finished.as_secs_f64() > 10.0,
+            "completion must wait for recovery, got {}",
+            c.finished
+        );
+    }
+    assert!(!sys.ost_failed(OstId(0)));
+    // Stall mode loses no data.
+    assert!(!sys.ost_lost_data_since(OstId(0), SimTime::ZERO));
+}
+
+#[test]
+fn permanent_stall_leaves_op_pending_without_hanging() {
+    let mut sys = StorageSystem::new(testbed(), 28);
+    sys.install_faults(&FaultScript::none().fail_ost(0.5, 0, FailMode::Stall, None));
+    sys.submit_ost_write(SimTime::ZERO, OstId(0), 64 * MIB, 1);
+    // run_until_quiet must return (no events left), not spin forever.
+    let done = sys.run_until_quiet(t(1e6));
+    assert!(done.is_empty(), "stalled write never completes");
+    assert!(sys.ost_failed(OstId(0)));
+}
+
+#[test]
+fn mds_outage_delays_opens() {
+    let mut sys = StorageSystem::new(testbed(), 29);
+    sys.install_faults(&FaultScript::none().mds_outage(0.0005, 3.0));
+    sys.submit_open(SimTime::ZERO, 1); // in service when the outage hits
+    sys.submit_open(t(1.0), 2); // submitted during the outage
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 2);
+    for c in &done {
+        assert!(!c.error);
+        assert!(
+            c.finished.as_secs_f64() > 3.0,
+            "opens must wait out the outage, got {}",
+            c.finished
+        );
+    }
+}
+
+#[test]
+fn striped_write_over_failed_target_errors_whole_op() {
+    let mut sys = StorageSystem::new(testbed(), 30);
+    sys.install_faults(&FaultScript::none().fail_ost(0.0, 1, FailMode::Error, None));
+    let f = sys
+        .fs_mut()
+        .create("wide", StripeSpec::Pinned(vec![OstId(0), OstId(1)]));
+    sys.submit_file_write(t(0.1), f, 0, 4 * MIB, 5);
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 1);
+    assert!(done[0].error, "one dead stripe target poisons the op");
+}
+
+#[test]
+fn faulted_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut sys = StorageSystem::new(jaguar(), seed);
+        sys.install_faults(
+            &FaultScript::none()
+                .brownout(0.2, 1, 0.3, 2.0)
+                .fail_ost(0.5, 2, FailMode::Error, Some(4.0))
+                .fail_ost(1.0, 3, FailMode::Stall, Some(3.0))
+                .mds_outage(0.1, 0.5),
+        );
+        for i in 0..16u64 {
+            sys.submit_ost_write(SimTime::ZERO, OstId((i % 4) as usize), 32 * MIB, i);
+        }
+        sys.submit_open(SimTime::ZERO, 100);
+        sys.run_until_quiet(t(1e6))
+            .iter()
+            .map(|c| (c.tag, c.finished.as_nanos(), c.error))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43));
+}
+
+#[test]
+fn background_interference_dies_with_error_failed_target() {
+    let mut sys = StorageSystem::new(testbed(), 31);
+    sys.add_background_stream(SimTime::ZERO, OstId(0), GIB);
+    sys.install_faults(&FaultScript::none().fail_ost(0.5, 0, FailMode::Error, Some(1.0)));
+    sys.submit_ost_write(t(2.0), OstId(0), 64 * MIB, 9);
+    let done = sys.run_until_quiet(t(1e5));
+    assert_eq!(done.len(), 1);
+    assert!(!done[0].error);
+    // With the interference stream gone, the post-recovery write runs at
+    // full solo speed.
+    let mut solo = StorageSystem::new(testbed(), 31);
+    solo.submit_ost_write(t(2.0), OstId(0), 64 * MIB, 9);
+    let sd = solo.run_until_quiet(t(1e5));
+    let t_busy = (done[0].finished - done[0].submitted).as_secs_f64();
+    let t_solo = (sd[0].finished - sd[0].submitted).as_secs_f64();
+    assert!(
+        (t_busy - t_solo).abs() < 0.05 * t_solo,
+        "stream should have died: busy {t_busy} vs solo {t_solo}"
+    );
+}

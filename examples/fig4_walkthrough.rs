@@ -46,6 +46,8 @@ fn msg_label(m: &Msg) -> String {
             format!("ADAPTIVE_WRITE_START (target group {target_group}, offset {offset})")
         }
         Msg::OverallWriteComplete => "OVERALL_WRITE_COMPLETE".to_string(),
+        // Fault-protocol traffic never appears in this fault-free walkthrough.
+        other => format!("{other:?}"),
     }
 }
 

@@ -4,7 +4,10 @@
 //! merge is in seed order and each replicate owns its RNG, so thread
 //! scheduling must never leak into artifacts.
 
-use managed_io::adios::{run, AdaptiveOpts, DataSpec, Interference, Method, OutputResult, RunSpec};
+use managed_io::adios::{
+    run, run_with_faults, AdaptiveOpts, DataSpec, FaultConfig, Interference, Method, NetFaults,
+    OutputResult, RunSpec,
+};
 use managed_io::iostats::Summary;
 use managed_io::minijson::{json, Value};
 use managed_io::simcore::par::{par_map_threads, THREADS_ENV};
@@ -80,6 +83,49 @@ fn parallel_replicates_match_serial_bytes() {
     let (a, b) = (artifact(&serial), artifact(&parallel));
     assert!(!a.is_empty());
     assert_eq!(a, b, "thread count leaked into campaign artifacts");
+}
+
+/// A replicate under a full fault cocktail: a per-seed random storage
+/// script, lossy control network, and a mid-run rank kill. The run may
+/// lose bytes — what must not vary is anything at all.
+fn replicate_faulted(seed: u64) -> OutputResult {
+    let faults = FaultConfig {
+        storage: managed_io::storesim::FaultScript::random(seed ^ 0x0BAD_F00D, 6, 2.0, 3),
+        network: Some(NetFaults {
+            dup_p: 0.15,
+            delay_p: 0.15,
+            delay_mean_secs: 0.03,
+        }),
+        kills: vec![(0.8, 9)],
+    };
+    run_with_faults(
+        RunSpec {
+            machine: testbed(),
+            nprocs: 24,
+            data: DataSpec::Uniform(32 * MIB),
+            method: Method::Adaptive {
+                targets: 6,
+                opts: AdaptiveOpts::default(),
+            },
+            interference: Interference::None,
+            seed,
+        },
+        faults,
+    )
+    .result
+}
+
+/// Fault injection must not break replicate determinism: the fault RNG
+/// streams are seeded per replicate, so faulted campaigns fan out across
+/// threads with byte-identical artifacts too.
+#[test]
+fn faulted_replicates_match_serial_bytes() {
+    let seeds: Vec<u64> = (0..4).map(|i| SEED ^ (0xF << 8) ^ i).collect();
+    let serial = par_map_threads(1, seeds.clone(), replicate_faulted);
+    let parallel = par_map_threads(4, seeds, replicate_faulted);
+    let (a, b) = (artifact(&serial), artifact(&parallel));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "thread count leaked into faulted campaign artifacts");
 }
 
 /// The env-driven path (`MANAGED_IO_THREADS`) that the fig1/fig7 and

@@ -294,6 +294,91 @@ fn truncated_subfiles_error_cleanly() {
     }
 }
 
+/// Fault-hardened runs under 100 random fault scripts: every run
+/// terminates, byte accounting balances exactly (written + lost ==
+/// total), surviving records never collide on a file offset, and the
+/// same seed reproduces the identical record set.
+#[test]
+fn random_fault_scripts_keep_accounting_exact() {
+    use managed_io::adios::{run_with_faults, FaultConfig, NetFaults, WriteRecord};
+    use managed_io::storesim::FaultScript;
+
+    let key = |r: &WriteRecord| {
+        (
+            r.rank,
+            r.file.0,
+            r.offset,
+            r.bytes,
+            r.ost.0,
+            r.start.as_nanos(),
+            r.end.as_nanos(),
+        )
+    };
+    let nprocs = 16usize;
+    let per_rank = 8 * MIB;
+    for case in 0..100 {
+        let mut rng = case_rng(12, case);
+        let script_seed = rng.next_u64();
+        let run_seed = rng.next_u64();
+        let mut faults = FaultConfig {
+            storage: FaultScript::random(script_seed, 8, 8.0, 4),
+            ..Default::default()
+        };
+        if rng.chance(0.3) {
+            faults.network = Some(NetFaults {
+                dup_p: uniform(&mut rng, 0.0, 0.2),
+                delay_p: uniform(&mut rng, 0.0, 0.2),
+                delay_mean_secs: 0.02,
+            });
+        }
+        if rng.chance(0.25) {
+            // Kill any rank but the coordinator; sub-coordinator kills
+            // exercise the failover path.
+            let victim = 1 + rng.below(nprocs as u64 - 1) as u32;
+            faults.kills.push((uniform(&mut rng, 0.2, 2.0), victim));
+        }
+        let spec = || RunSpec {
+            machine: testbed(),
+            nprocs,
+            data: DataSpec::Uniform(per_rank),
+            method: Method::Adaptive {
+                targets: 8,
+                opts: AdaptiveOpts::default(),
+            },
+            interference: Interference::None,
+            seed: run_seed,
+        };
+        let out = run_with_faults(spec(), faults.clone());
+        assert_eq!(
+            out.outcome.written_bytes + out.outcome.lost_bytes,
+            out.outcome.total_bytes,
+            "case {case}: accounting must balance, got {:?}",
+            out.outcome
+        );
+        assert_eq!(out.outcome.total_bytes, nprocs as u64 * per_rank, "case {case}");
+        let mut offsets = HashMap::new();
+        for r in &out.result.records {
+            let prev = offsets.insert((r.file.0, r.offset), r.rank);
+            assert!(
+                prev.is_none(),
+                "case {case}: ranks {:?} and {} collide at file {} offset {}",
+                prev,
+                r.rank,
+                r.file.0,
+                r.offset
+            );
+        }
+        // Same seed, same script: byte-identical records.
+        let again = run_with_faults(spec(), faults);
+        assert_eq!(
+            out.result.records.iter().map(key).collect::<Vec<_>>(),
+            again.result.records.iter().map(key).collect::<Vec<_>>(),
+            "case {case}: faulted run is not reproducible"
+        );
+        assert_eq!(out.outcome.lost_bytes, again.outcome.lost_bytes, "case {case}");
+    }
+}
+
 /// Attribute sets round-trip for arbitrary contents.
 #[test]
 fn attributes_roundtrip() {
