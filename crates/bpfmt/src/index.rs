@@ -9,14 +9,26 @@
 //! single lookup into the index and then a direct read" (§IV-C).
 
 use crate::chars::{Characteristics, DType};
+use crate::integrity::{crc64, IntegrityError, IntegrityOpts};
+use crate::pg::{decode_pg_prefix, UNTRUSTED_CAP};
 use crate::wire::{WireError, WireReader, WireWriter};
 
-/// Magic number in every index footer.
+/// Magic number in every legacy index footer.
 pub const FOOTER_MAGIC: u64 = 0x4250_494E_4458_3130; // "BPINDX10"
-/// Footer byte size: index_offset + index_len + magic.
+/// Legacy footer byte size: index_offset + index_len + magic.
 pub const FOOTER_LEN: u64 = 24;
-/// Magic opening a serialized global index.
+/// Magic in every checked ("v2") index footer.
+pub const FOOTER2_MAGIC: u64 = 0x4250_494E_4458_3230; // "BPINDX20"
+/// Checked footer byte size: index_offset + index_len + index_crc + magic.
+pub const FOOTER2_LEN: u64 = 32;
+/// Magic opening the duplicated mini-footer that trails a checked footer.
+pub const MINI_MAGIC: u64 = 0x4250_4D49_4E49_4631; // "BPMINIF1"
+/// Mini-footer byte size: magic + index_offset + crc of the two.
+pub const MINI_LEN: u64 = 24;
+/// Magic opening a serialized legacy global index.
 pub const GLOBAL_MAGIC: u64 = 0x4250_474C_4F42_4C31; // "BPGLOBL1"
+/// Magic opening a serialized checked global index (body + trailing CRC).
+pub const GLOBAL_MAGIC2: u64 = 0x4250_474C_4F42_4C32; // "BPGLOBL2"
 
 /// One variable block's index record.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +45,10 @@ pub struct IndexEntry {
     pub file_offset: u64,
     /// Payload length in bytes.
     pub payload_len: u64,
+    /// CRC64 of the payload bytes, when written with integrity on.
+    /// `None` for legacy entries — verify-on-read then has nothing to
+    /// check and treats the block as unverifiable-but-accepted.
+    pub payload_crc: Option<u64>,
     /// Global array dimensions.
     pub global_dims: Vec<u64>,
     /// Offsets of this block in the global array.
@@ -51,13 +67,24 @@ impl IndexEntry {
         self
     }
 
-    fn write(&self, w: &mut WireWriter) {
+    /// Serialize. `checked` selects the v2 wire layout, which carries the
+    /// optional payload CRC (a presence byte followed by the CRC).
+    fn write(&self, w: &mut WireWriter, checked: bool) {
         w.str(&self.var);
         w.u8(self.dtype.to_wire());
         w.u32(self.rank);
         w.u32(self.step);
         w.u64(self.file_offset);
         w.u64(self.payload_len);
+        if checked {
+            match self.payload_crc {
+                Some(crc) => {
+                    w.u8(1);
+                    w.u64(crc);
+                }
+                None => w.u8(0),
+            }
+        }
         for dims in [&self.global_dims, &self.offsets, &self.local_dims] {
             w.u8(dims.len() as u8);
             for &d in dims.iter() {
@@ -67,17 +94,26 @@ impl IndexEntry {
         self.chars.write(w);
     }
 
-    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+    fn read(r: &mut WireReader<'_>, checked: bool) -> Result<Self, WireError> {
         let var = r.str()?;
         let dtype = DType::from_wire(r.u8()?)?;
         let rank = r.u32()?;
         let step = r.u32()?;
         let file_offset = r.u64()?;
         let payload_len = r.u64()?;
+        let payload_crc = if checked {
+            match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                v => return Err(WireError::BadEnum(v)),
+            }
+        } else {
+            None
+        };
         let mut dims3 = [vec![], vec![], vec![]];
         for d in &mut dims3 {
             let n = r.u8()? as usize;
-            d.reserve(n);
+            d.reserve(n.min(UNTRUSTED_CAP));
             for _ in 0..n {
                 d.push(r.u64()?);
             }
@@ -91,6 +127,7 @@ impl IndexEntry {
             step,
             file_offset,
             payload_len,
+            payload_crc,
             global_dims,
             offsets,
             local_dims,
@@ -116,22 +153,54 @@ impl LocalIndex {
         LocalIndex { entries }
     }
 
-    /// Serialize as the tail of a subfile whose data region is
+    /// Serialize as the legacy tail of a subfile whose data region is
     /// `data_len` bytes: returns `index bytes || footer`.
     pub fn serialize_with_footer(&self, data_len: u64) -> Vec<u8> {
+        self.serialize_with_footer_opts(data_len, IntegrityOpts::off())
+    }
+
+    /// Serialize the subfile tail for the layout selected by `integrity`.
+    ///
+    /// The checked tail is `index bytes || footer || mini-footer`, where
+    /// the footer adds a CRC64 over the index bytes and the mini-footer
+    /// duplicates `(magic, index_offset)` under its own CRC at the very
+    /// end of the file — so a torn tail that destroys one copy of the
+    /// index location can still be detected and, via [`recover_index`],
+    /// survived.
+    pub fn serialize_with_footer_opts(&self, data_len: u64, integrity: IntegrityOpts) -> Vec<u8> {
+        let checked = integrity.enabled;
         let mut w = WireWriter::new();
         w.u32(self.entries.len() as u32);
         for e in &self.entries {
-            e.write(&mut w);
+            e.write(&mut w, checked);
         }
         let index_len = w.len();
+        if !checked {
+            w.u64(data_len);
+            w.u64(index_len);
+            w.u64(FOOTER_MAGIC);
+            return w.into_bytes();
+        }
+        let index_bytes = w.into_bytes();
+        let index_crc = crc64(&index_bytes);
+        let mut w = WireWriter::new();
+        w.bytes(&index_bytes);
         w.u64(data_len);
         w.u64(index_len);
-        w.u64(FOOTER_MAGIC);
+        w.u64(index_crc);
+        w.u64(FOOTER2_MAGIC);
+        // Mini-footer: the last MINI_LEN bytes of the file.
+        let mut mini = WireWriter::new();
+        mini.u64(MINI_MAGIC);
+        mini.u64(data_len);
+        let mini = mini.into_bytes();
+        let mini_crc = crc64(&mini);
+        w.bytes(&mini);
+        w.u64(mini_crc);
         w.into_bytes()
     }
 
-    /// Parse the local index out of a complete subfile.
+    /// Parse the legacy local index out of a complete subfile.
     pub fn parse(file: &[u8]) -> Result<Self, WireError> {
         if (file.len() as u64) < FOOTER_LEN {
             return Err(WireError::Truncated {
@@ -150,9 +219,18 @@ impl LocalIndex {
                 found: magic,
             });
         }
+        Self::parse_region(file, index_offset, index_len, false)
+    }
+
+    fn parse_region(
+        file: &[u8],
+        index_offset: u64,
+        index_len: u64,
+        checked: bool,
+    ) -> Result<Self, WireError> {
         let start = index_offset as usize;
-        let end = start + index_len as usize;
-        if end > file.len() {
+        let end = start.saturating_add(index_len as usize);
+        if start > file.len() || end > file.len() {
             return Err(WireError::Truncated {
                 need: end,
                 have: file.len(),
@@ -160,17 +238,125 @@ impl LocalIndex {
         }
         let mut r = WireReader::new(&file[start..end]);
         let n = r.u32()? as usize;
-        let mut entries = Vec::with_capacity(n);
+        let mut entries = Vec::with_capacity(n.min(UNTRUSTED_CAP));
         for _ in 0..n {
-            entries.push(IndexEntry::read(&mut r)?);
+            entries.push(IndexEntry::read(&mut r, checked)?);
         }
         Ok(LocalIndex { entries })
+    }
+
+    /// Parse the local index out of a complete subfile of either layout,
+    /// verifying checksums on the checked layout. The recovery ladder:
+    ///
+    /// 1. A legacy footer at the tail → legacy parse (no checksums).
+    /// 2. Otherwise the mini-footer (last [`MINI_LEN`] bytes) and the main
+    ///    footer before it must agree on the index location under their
+    ///    CRCs; inconsistency or truncation → [`IntegrityError::TornFooter`].
+    /// 3. The index bytes must match the footer's CRC
+    ///    (→ [`IntegrityError::BadIndexCrc`]) and then decode cleanly.
+    ///
+    /// On `TornFooter`/`BadIndexCrc`, callers fall back to
+    /// [`recover_index`], which rebuilds the index from the data region.
+    pub fn parse_verified(file: &[u8]) -> Result<Self, IntegrityError> {
+        let len = file.len() as u64;
+        // Rung 1: legacy tail.
+        if len >= FOOTER_LEN {
+            let tail = &file[(len - 8) as usize..];
+            if u64::from_le_bytes(tail.try_into().expect("len 8")) == FOOTER_MAGIC {
+                return Self::parse(file).map_err(IntegrityError::Wire);
+            }
+        }
+        if len < MINI_LEN + FOOTER2_LEN {
+            return Err(IntegrityError::TornFooter);
+        }
+        // Rung 2: mini-footer, then main footer.
+        let mini = &file[(len - MINI_LEN) as usize..];
+        let mut r = WireReader::new(mini);
+        let mini_magic = r.u64().expect("mini len");
+        let mini_offset = r.u64().expect("mini len");
+        let mini_crc = r.u64().expect("mini len");
+        if mini_magic != MINI_MAGIC || crc64(&mini[..16]) != mini_crc {
+            return Err(IntegrityError::TornFooter);
+        }
+        let foot = &file[(len - MINI_LEN - FOOTER2_LEN) as usize..(len - MINI_LEN) as usize];
+        let mut r = WireReader::new(foot);
+        let index_offset = r.u64().expect("footer len");
+        let index_len = r.u64().expect("footer len");
+        let index_crc = r.u64().expect("footer len");
+        let magic = r.u64().expect("footer len");
+        if magic != FOOTER2_MAGIC || index_offset != mini_offset {
+            return Err(IntegrityError::TornFooter);
+        }
+        // Rung 3: index region CRC, then entry decode.
+        let start = index_offset as usize;
+        let end = start.saturating_add(index_len as usize);
+        if start > file.len() || end > file.len() {
+            return Err(IntegrityError::TornFooter);
+        }
+        let computed = crc64(&file[start..end]);
+        if computed != index_crc {
+            return Err(IntegrityError::BadIndexCrc {
+                stored: index_crc,
+                computed,
+            });
+        }
+        Self::parse_region(file, index_offset, index_len, true).map_err(IntegrityError::Wire)
     }
 
     /// All entries for one variable.
     pub fn find<'a>(&'a self, var: &'a str) -> impl Iterator<Item = &'a IndexEntry> + 'a {
         self.entries.iter().filter(move |e| e.var == var)
     }
+}
+
+/// Rebuild a subfile's local index by forward-scanning its process groups
+/// — the BP resilience path used when the footer is unreadable
+/// ([`LocalIndex::parse_verified`] reported `TornFooter`/`BadIndexCrc`).
+///
+/// PGs are assumed densely packed from offset 0 (the writer/assembler
+/// layout); the scan stops cleanly at the first position that does not
+/// open with a PG magic (that's where the index region or zero-fill
+/// begins). Checked PGs are CRC-verified while scanning, so a recovered
+/// index is never silently built from corrupt bytes. A PG that *starts*
+/// (magic matches) but is cut short is reported as
+/// [`IntegrityError::TruncatedPg`]; checksum failures inside a scanned PG
+/// keep their identity (e.g. [`IntegrityError::BadBlockCrc`]).
+pub fn recover_index(file: &[u8]) -> Result<LocalIndex, IntegrityError> {
+    use crate::pg::{PG_MAGIC, PG_MAGIC2};
+    let mut pieces = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &file[pos..];
+        if rest.len() < 4 {
+            // 1–3 trailing bytes that look like the start of a PG magic
+            // mean the file was cut mid-magic — not a clean scan end.
+            let torn = !rest.is_empty()
+                && [PG_MAGIC, PG_MAGIC2]
+                    .iter()
+                    .any(|m| m.to_le_bytes().starts_with(rest));
+            if torn {
+                return Err(IntegrityError::TruncatedPg { at: pos as u64 });
+            }
+            break;
+        }
+        let magic = u32::from_le_bytes(rest[..4].try_into().expect("len 4"));
+        if magic != PG_MAGIC && magic != PG_MAGIC2 {
+            break; // clean scan end: index region / zero-fill / EOF
+        }
+        match decode_pg_prefix(rest, true) {
+            Ok(pg) => {
+                pieces.extend(pg.entries.into_iter().map(|e| e.rebased(pos as u64)));
+                pos += pg.consumed as usize;
+            }
+            // Wire-level failure after a magic match = the PG is cut short.
+            Err(IntegrityError::Wire(_)) => {
+                return Err(IntegrityError::TruncatedPg { at: pos as u64 })
+            }
+            // Checksum failures keep their identity (BadBlockCrc, …).
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(LocalIndex::from_pieces(pieces))
 }
 
 /// The merged, cross-subfile index written by the coordinator.
@@ -241,10 +427,19 @@ impl GlobalIndex {
         })
     }
 
-    /// Serialize (the coordinator's "write global index file").
+    /// Serialize in the legacy layout (the coordinator's "write global
+    /// index file").
     pub fn serialize(&self) -> Vec<u8> {
+        self.serialize_opts(IntegrityOpts::off())
+    }
+
+    /// Serialize for the layout selected by `integrity`. The checked
+    /// layout opens with [`GLOBAL_MAGIC2`], carries v2 entries (with
+    /// payload CRCs) and ends with a CRC64 over everything before it.
+    pub fn serialize_opts(&self, integrity: IntegrityOpts) -> Vec<u8> {
+        let checked = integrity.enabled;
         let mut w = WireWriter::new();
-        w.u64(GLOBAL_MAGIC);
+        w.u64(if checked { GLOBAL_MAGIC2 } else { GLOBAL_MAGIC });
         w.u32(self.files.len() as u32);
         for f in &self.files {
             w.str(f);
@@ -252,33 +447,64 @@ impl GlobalIndex {
         w.u32(self.entries.len() as u32);
         for (slot, e) in &self.entries {
             w.u32(*slot);
-            e.write(&mut w);
+            e.write(&mut w, checked);
         }
-        w.into_bytes()
+        if !checked {
+            return w.into_bytes();
+        }
+        let mut body = w.into_bytes();
+        let crc = crc64(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        body
     }
 
-    /// Parse a serialized global index.
+    /// Parse a serialized global index of either layout. The trailing CRC
+    /// of the checked layout is *not* verified here — use
+    /// [`GlobalIndex::parse_verified`] for that.
     pub fn parse(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         let magic = r.u64()?;
-        if magic != GLOBAL_MAGIC {
+        if magic != GLOBAL_MAGIC && magic != GLOBAL_MAGIC2 {
             return Err(WireError::BadMagic {
                 expected: GLOBAL_MAGIC,
                 found: magic,
             });
         }
+        let checked = magic == GLOBAL_MAGIC2;
         let nf = r.u32()? as usize;
-        let mut files = Vec::with_capacity(nf);
+        let mut files = Vec::with_capacity(nf.min(UNTRUSTED_CAP));
         for _ in 0..nf {
             files.push(r.str()?);
         }
         let ne = r.u32()? as usize;
-        let mut entries = Vec::with_capacity(ne);
+        let mut entries = Vec::with_capacity(ne.min(UNTRUSTED_CAP));
         for _ in 0..ne {
             let slot = r.u32()?;
-            entries.push((slot, IndexEntry::read(&mut r)?));
+            entries.push((slot, IndexEntry::read(&mut r, checked)?));
         }
         Ok(GlobalIndex { files, entries })
+    }
+
+    /// Parse and verify: on the checked layout the trailing CRC64 must
+    /// match the body it covers.
+    pub fn parse_verified(buf: &[u8]) -> Result<Self, IntegrityError> {
+        if buf.len() >= 8
+            && u64::from_le_bytes(buf[..8].try_into().expect("len 8")) == GLOBAL_MAGIC2
+        {
+            if buf.len() < 16 {
+                return Err(IntegrityError::Wire(WireError::Truncated {
+                    need: 16,
+                    have: buf.len(),
+                }));
+            }
+            let body = &buf[..buf.len() - 8];
+            let stored = u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("len 8"));
+            let computed = crc64(body);
+            if computed != stored {
+                return Err(IntegrityError::BadIndexCrc { stored, computed });
+            }
+        }
+        Self::parse(buf).map_err(IntegrityError::Wire)
     }
 }
 
@@ -294,6 +520,7 @@ mod tests {
             step: 0,
             file_offset: offset,
             payload_len: 64,
+            payload_crc: None,
             global_dims: vec![16],
             offsets: vec![rank as u64 * 8],
             local_dims: vec![8],
@@ -421,5 +648,128 @@ mod tests {
         let g = GlobalIndex::merge(vec![("f0".into(), l0), ("f1".into(), l1)]);
         assert_eq!(g.entries[0].1.var, "a");
         assert_eq!(g.entries[1].1.var, "z");
+    }
+
+    fn checked_entry(var: &str, rank: u32, offset: u64) -> IndexEntry {
+        IndexEntry {
+            payload_crc: Some(0xDEAD_BEEF_0000_0000 + rank as u64),
+            ..entry(var, rank, offset, 0.0, 1.0)
+        }
+    }
+
+    #[test]
+    fn checked_footer_roundtrip_and_verify() {
+        let idx = LocalIndex::from_pieces(vec![
+            checked_entry("x", 0, 0),
+            checked_entry("x", 1, 64),
+            entry("y", 2, 128, 0.0, 0.0), // mixed: one legacy entry
+        ]);
+        let mut file = vec![0u8; 192];
+        file.extend_from_slice(&idx.serialize_with_footer_opts(192, IntegrityOpts::on()));
+        let back = LocalIndex::parse_verified(&file).unwrap();
+        assert_eq!(back, idx);
+        // Legacy parse must reject the v2 tail rather than misread it.
+        assert!(LocalIndex::parse(&file).is_err());
+    }
+
+    #[test]
+    fn parse_verified_falls_through_to_legacy() {
+        let idx = LocalIndex::from_pieces(vec![entry("x", 0, 0, 0.0, 1.0)]);
+        let mut file = vec![0u8; 64];
+        file.extend_from_slice(&idx.serialize_with_footer(64));
+        assert_eq!(LocalIndex::parse_verified(&file).unwrap(), idx);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_not_misread() {
+        let idx = LocalIndex::from_pieces(vec![checked_entry("x", 0, 0)]);
+        let mut file = vec![0u8; 64];
+        file.extend_from_slice(&idx.serialize_with_footer_opts(64, IntegrityOpts::on()));
+        // Tear off 1..MINI_LEN+FOOTER2_LEN bytes: every cut must surface
+        // TornFooter (the mini-footer CRC no longer lines up).
+        for cut in [1usize, 8, MINI_LEN as usize, (MINI_LEN + FOOTER2_LEN) as usize] {
+            let torn = &file[..file.len() - cut];
+            assert!(
+                matches!(LocalIndex::parse_verified(torn), Err(IntegrityError::TornFooter)),
+                "cut {cut} not reported as torn"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_index_region_fails_crc() {
+        let idx = LocalIndex::from_pieces(vec![checked_entry("x", 0, 0)]);
+        let data_len = 64usize;
+        let mut file = vec![0u8; data_len];
+        file.extend_from_slice(&idx.serialize_with_footer_opts(64, IntegrityOpts::on()));
+        file[data_len + 10] ^= 0x40; // inside the serialized index bytes
+        assert!(matches!(
+            LocalIndex::parse_verified(&file),
+            Err(IntegrityError::BadIndexCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn recover_index_rebuilds_from_pgs() {
+        use crate::pg::{encode_pg_opts, VarBlock};
+        for integrity in [IntegrityOpts::off(), IntegrityOpts::on()] {
+            let mut file = Vec::new();
+            let mut want = Vec::new();
+            for rank in 0..3u32 {
+                let blocks = vec![VarBlock::from_f64(
+                    "rho",
+                    vec![24],
+                    vec![rank as u64 * 8],
+                    vec![8],
+                    &[rank as f64; 8],
+                )];
+                let (bytes, entries) = encode_pg_opts(rank, 0, &blocks, integrity);
+                let base = file.len() as u64;
+                file.extend_from_slice(&bytes);
+                want.extend(entries.into_iter().map(|e| e.rebased(base)));
+            }
+            let want = LocalIndex::from_pieces(want);
+            // Append the tail; recover must ignore it (scan stops at the
+            // index region's count bytes, which don't open with PG magic).
+            let data_len = file.len() as u64;
+            file.extend_from_slice(&want.serialize_with_footer_opts(data_len, integrity));
+            assert_eq!(recover_index(&file).unwrap(), want);
+            // With the tail torn off entirely, recovery still works.
+            assert_eq!(recover_index(&file[..data_len as usize]).unwrap(), want);
+            // Truncation inside the last PG is reported, not papered over.
+            let torn = &file[..data_len as usize - 10];
+            match recover_index(torn) {
+                Err(IntegrityError::TruncatedPg { at }) => assert!(at < data_len),
+                other => panic!("expected TruncatedPg, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recover_index_rejects_corrupt_checked_pg() {
+        use crate::pg::{encode_pg_opts, VarBlock};
+        let blocks = vec![VarBlock::from_f64("x", vec![4], vec![0], vec![4], &[7.0; 4])];
+        let (mut file, entries) = encode_pg_opts(0, 0, &blocks, IntegrityOpts::on());
+        file[entries[0].file_offset as usize] ^= 0x01;
+        assert!(matches!(
+            recover_index(&file),
+            Err(IntegrityError::BadBlockCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn global_checked_roundtrip_and_crc() {
+        let l0 = LocalIndex::from_pieces(vec![checked_entry("x", 0, 0)]);
+        let g = GlobalIndex::merge(vec![("sub-0.bp".into(), l0)]);
+        let bytes = g.serialize_opts(IntegrityOpts::on());
+        assert_eq!(GlobalIndex::parse_verified(&bytes).unwrap(), g);
+        assert_eq!(GlobalIndex::parse(&bytes).unwrap(), g);
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x08;
+        assert!(matches!(
+            GlobalIndex::parse_verified(&bad),
+            Err(IntegrityError::BadIndexCrc { .. }) | Err(IntegrityError::Wire(_))
+        ));
     }
 }

@@ -16,12 +16,18 @@
 //!   [`writer::SubfileAssembler`] with offset reservation.
 //! * [`reader`] — single-lookup block reads and restart-style global
 //!   reconstruction.
+//! * [`integrity`] — CRC64 checksums, the [`integrity::IntegrityOpts`]
+//!   knob selecting the checked ("v2") layout, structured
+//!   [`integrity::IntegrityError`]s, and (in [`index`]) the
+//!   [`index::recover_index`] forward-scan that rebuilds a local index
+//!   when the footer is torn.
 
 #![warn(missing_docs)]
 
 pub mod attrs;
 pub mod chars;
 pub mod index;
+pub mod integrity;
 pub mod pg;
 pub mod reader;
 pub mod wire;
@@ -29,7 +35,14 @@ pub mod writer;
 
 pub use attrs::{AttrValue, Attributes};
 pub use chars::{Characteristics, DType};
-pub use index::{GlobalIndex, IndexEntry, LocalIndex};
-pub use pg::{decode_pg, encode_pg, pg_encoded_size, VarBlock};
-pub use reader::{read_f64, read_global_f64, read_payload, SubfileSource};
+pub use index::{recover_index, GlobalIndex, IndexEntry, LocalIndex};
+pub use integrity::{crc64, IntegrityError, IntegrityOpts};
+pub use pg::{
+    decode_pg, decode_pg_verified, encode_pg, encode_pg_opts, pg_encoded_size,
+    pg_encoded_size_opts, probe_pg, PgSummary, VarBlock,
+};
+pub use reader::{
+    read_f64, read_f64_verified, read_global_f64, read_global_f64_verified, read_payload,
+    read_payload_verified, SubfileSource,
+};
 pub use writer::{SubfileAssembler, SubfileWriter};

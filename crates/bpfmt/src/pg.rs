@@ -11,10 +11,19 @@
 
 use crate::chars::{Characteristics, DType};
 use crate::index::IndexEntry;
+use crate::integrity::{crc64, IntegrityError, IntegrityOpts};
 use crate::wire::{WireError, WireReader, WireWriter};
 
-/// Magic number opening every process group.
+/// Magic number opening every legacy (unchecked) process group.
 pub const PG_MAGIC: u32 = 0x5047_4D49; // "PGMI"
+
+/// Magic number opening every checked ("v2") process group, which carries
+/// a header CRC and a CRC64 per variable payload.
+pub const PG_MAGIC2: u32 = 0x5047_4D32; // "PGM2"
+
+/// Cap on speculative pre-allocation from untrusted wire counts; real
+/// counts above this still decode, they just grow the Vec incrementally.
+pub(crate) const UNTRUSTED_CAP: usize = 4096;
 
 /// One variable's contribution to a process group.
 #[derive(Clone, Debug, PartialEq)]
@@ -82,21 +91,41 @@ fn write_dims(w: &mut WireWriter, dims: &[u64]) {
 
 fn read_dims(r: &mut WireReader<'_>) -> Result<Vec<u64>, WireError> {
     let n = r.u8()? as usize;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(UNTRUSTED_CAP));
     for _ in 0..n {
         out.push(r.u64()?);
     }
     Ok(out)
 }
 
-/// Encode a process group. Returns the PG bytes and one [`IndexEntry`] per
-/// variable, with `file_offset` relative to the start of the PG.
+/// Encode a process group in the legacy (unchecked) layout. Returns the PG
+/// bytes and one [`IndexEntry`] per variable, with `file_offset` relative
+/// to the start of the PG.
 pub fn encode_pg(rank: u32, step: u32, blocks: &[VarBlock]) -> (Vec<u8>, Vec<IndexEntry>) {
+    encode_pg_opts(rank, step, blocks, IntegrityOpts::off())
+}
+
+/// Encode a process group, selecting the layout via `integrity`. With
+/// integrity off this is byte-identical to [`encode_pg`]; with integrity
+/// on the PG opens with [`PG_MAGIC2`], adds a CRC64 of the 16 header bytes
+/// and a CRC64 per variable payload (also recorded in each entry's
+/// `payload_crc` so verify-on-read needs no second pass over the PG).
+pub fn encode_pg_opts(
+    rank: u32,
+    step: u32,
+    blocks: &[VarBlock],
+    integrity: IntegrityOpts,
+) -> (Vec<u8>, Vec<IndexEntry>) {
+    let checked = integrity.enabled;
+    let magic = if checked { PG_MAGIC2 } else { PG_MAGIC };
     let mut w = WireWriter::new();
-    w.u32(PG_MAGIC);
+    w.u32(magic);
     w.u32(rank);
     w.u32(step);
     w.u32(blocks.len() as u32);
+    if checked {
+        w.u64(pg_header_crc(magic, rank, step, blocks.len() as u32));
+    }
     let mut entries = Vec::with_capacity(blocks.len());
     for b in blocks {
         w.str(&b.name);
@@ -105,6 +134,13 @@ pub fn encode_pg(rank: u32, step: u32, blocks: &[VarBlock]) -> (Vec<u8>, Vec<Ind
         write_dims(&mut w, &b.offsets);
         write_dims(&mut w, &b.local_dims);
         w.u64(b.payload.len() as u64);
+        let payload_crc = if checked {
+            let crc = crc64(&b.payload);
+            w.u64(crc);
+            Some(crc)
+        } else {
+            None
+        };
         let payload_at = w.len();
         w.bytes(&b.payload);
         entries.push(IndexEntry {
@@ -114,6 +150,7 @@ pub fn encode_pg(rank: u32, step: u32, blocks: &[VarBlock]) -> (Vec<u8>, Vec<Ind
             step,
             file_offset: payload_at,
             payload_len: b.payload.len() as u64,
+            payload_crc,
             global_dims: b.global_dims.clone(),
             offsets: b.offsets.clone(),
             local_dims: b.local_dims.clone(),
@@ -123,21 +160,75 @@ pub fn encode_pg(rank: u32, step: u32, blocks: &[VarBlock]) -> (Vec<u8>, Vec<Ind
     (w.into_bytes(), entries)
 }
 
-/// Decode a process group from bytes (self-description path — readers that
-/// have no index can still walk PGs).
-pub fn decode_pg(buf: &[u8]) -> Result<(u32, u32, Vec<VarBlock>), WireError> {
+fn pg_header_crc(magic: u32, rank: u32, step: u32, nvars: u32) -> u64 {
+    let mut hdr = [0u8; 16];
+    hdr[0..4].copy_from_slice(&magic.to_le_bytes());
+    hdr[4..8].copy_from_slice(&rank.to_le_bytes());
+    hdr[8..12].copy_from_slice(&step.to_le_bytes());
+    hdr[12..16].copy_from_slice(&nvars.to_le_bytes());
+    crc64(&hdr)
+}
+
+/// A process group decoded from the front of a buffer, along with the
+/// index entries it implies and the number of bytes it consumed (so a
+/// forward scan can step to the next PG).
+pub(crate) struct DecodedPg {
+    pub rank: u32,
+    pub step: u32,
+    pub blocks: Vec<VarBlock>,
+    pub entries: Vec<IndexEntry>,
+    pub consumed: u64,
+}
+
+/// Identity and extent of one PG, as reported by [`probe_pg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PgSummary {
+    /// Writing rank recorded in the PG header.
+    pub rank: u32,
+    /// Output step recorded in the PG header.
+    pub step: u32,
+    /// Encoded length of the whole PG, bytes.
+    pub len: u64,
+}
+
+/// Probe the PG starting at byte `at` of `file`: decode its header and
+/// structure (either layout) and, with `verify`, check its CRCs. The scrub
+/// pass walks a subfile's data region with this — unverified probes to find
+/// each PG's extent and owner, verified probes to detect damaged payloads.
+pub fn probe_pg(file: &[u8], at: usize, verify: bool) -> Result<PgSummary, IntegrityError> {
+    let buf = file.get(at..).ok_or(IntegrityError::TruncatedPg { at: at as u64 })?;
+    let pg = decode_pg_prefix(buf, verify)?;
+    Ok(PgSummary {
+        rank: pg.rank,
+        step: pg.step,
+        len: pg.consumed,
+    })
+}
+
+/// Decode one PG (either layout) from the front of `buf`, which may extend
+/// past the PG. `verify` additionally checks header/payload CRCs on the
+/// checked layout.
+pub(crate) fn decode_pg_prefix(buf: &[u8], verify: bool) -> Result<DecodedPg, IntegrityError> {
     let mut r = WireReader::new(buf);
     let magic = r.u32()?;
-    if magic != PG_MAGIC {
-        return Err(WireError::BadMagic {
+    if magic != PG_MAGIC && magic != PG_MAGIC2 {
+        return Err(IntegrityError::Wire(WireError::BadMagic {
             expected: PG_MAGIC as u64,
             found: magic as u64,
-        });
+        }));
     }
+    let checked = magic == PG_MAGIC2;
     let rank = r.u32()?;
     let step = r.u32()?;
     let nvars = r.u32()? as usize;
-    let mut blocks = Vec::with_capacity(nvars);
+    if checked {
+        let stored = r.u64()?;
+        if verify && stored != pg_header_crc(magic, rank, step, nvars as u32) {
+            return Err(IntegrityError::BadPgHeader { at: 0 });
+        }
+    }
+    let mut blocks = Vec::with_capacity(nvars.min(UNTRUSTED_CAP));
+    let mut entries = Vec::with_capacity(nvars.min(UNTRUSTED_CAP));
     for _ in 0..nvars {
         let name = r.str()?;
         let dtype = DType::from_wire(r.u8()?)?;
@@ -145,7 +236,35 @@ pub fn decode_pg(buf: &[u8]) -> Result<(u32, u32, Vec<VarBlock>), WireError> {
         let offsets = read_dims(&mut r)?;
         let local_dims = read_dims(&mut r)?;
         let plen = r.u64()? as usize;
+        let stored_crc = if checked { Some(r.u64()?) } else { None };
+        let payload_at = r.pos() as u64;
         let payload = r.bytes(plen)?.to_vec();
+        if verify {
+            if let Some(stored) = stored_crc {
+                let computed = crc64(&payload);
+                if computed != stored {
+                    return Err(IntegrityError::BadBlockCrc {
+                        var: name,
+                        rank,
+                        stored,
+                        computed,
+                    });
+                }
+            }
+        }
+        entries.push(IndexEntry {
+            var: name.clone(),
+            dtype,
+            rank,
+            step,
+            file_offset: payload_at,
+            payload_len: plen as u64,
+            payload_crc: stored_crc,
+            global_dims: global_dims.clone(),
+            offsets: offsets.clone(),
+            local_dims: local_dims.clone(),
+            chars: Characteristics::of_payload(dtype, &payload),
+        });
         blocks.push(VarBlock {
             name,
             dtype,
@@ -155,14 +274,49 @@ pub fn decode_pg(buf: &[u8]) -> Result<(u32, u32, Vec<VarBlock>), WireError> {
             payload,
         });
     }
-    Ok((rank, step, blocks))
+    Ok(DecodedPg {
+        rank,
+        step,
+        blocks,
+        entries,
+        consumed: r.pos() as u64,
+    })
+}
+
+/// Decode a process group from bytes (self-description path — readers that
+/// have no index can still walk PGs). Accepts both layouts; checksums are
+/// *not* verified — use [`decode_pg_verified`] for that.
+pub fn decode_pg(buf: &[u8]) -> Result<(u32, u32, Vec<VarBlock>), WireError> {
+    match decode_pg_prefix(buf, false) {
+        Ok(pg) => Ok((pg.rank, pg.step, pg.blocks)),
+        Err(IntegrityError::Wire(e)) => Err(e),
+        // verify=false only surfaces wire errors.
+        Err(_) => unreachable!("unverified decode raised an integrity error"),
+    }
+}
+
+/// Decode a process group and verify its checksums (header CRC and
+/// per-payload CRC64 on the checked layout; legacy PGs decode without
+/// verification since they carry no checksums).
+pub fn decode_pg_verified(buf: &[u8]) -> Result<(u32, u32, Vec<VarBlock>), IntegrityError> {
+    let pg = decode_pg_prefix(buf, true)?;
+    Ok((pg.rank, pg.step, pg.blocks))
 }
 
 /// Total encoded size of a PG holding the given blocks, without building
 /// the bytes (writers need the size up front to request an offset from
 /// their sub-coordinator).
 pub fn pg_encoded_size(blocks: &[VarBlock]) -> u64 {
+    pg_encoded_size_opts(blocks, IntegrityOpts::off())
+}
+
+/// Like [`pg_encoded_size`], for the layout selected by `integrity`. The
+/// checked layout adds 8 bytes of header CRC plus 8 bytes per block.
+pub fn pg_encoded_size_opts(blocks: &[VarBlock], integrity: IntegrityOpts) -> u64 {
     let mut n = 4 + 4 + 4 + 4; // magic, rank, step, count
+    if integrity.enabled {
+        n += 8; // header crc
+    }
     for b in blocks {
         n += 2 + b.name.len() as u64; // str
         n += 1; // dtype
@@ -170,6 +324,9 @@ pub fn pg_encoded_size(blocks: &[VarBlock]) -> u64 {
         n += 1 + 8 * b.offsets.len() as u64;
         n += 1 + 8 * b.local_dims.len() as u64;
         n += 8; // payload len
+        if integrity.enabled {
+            n += 8; // payload crc
+        }
         n += b.payload.len() as u64;
     }
     n
@@ -260,5 +417,73 @@ mod tests {
         let b = VarBlock::from_f64("x", vec![3], vec![0], vec![3], &[1.0, 2.0, 3.0]);
         assert_eq!(b.as_f64(), vec![1.0, 2.0, 3.0]);
         assert_eq!(b.element_count(), 3);
+    }
+
+    #[test]
+    fn checked_pg_roundtrips_and_verifies() {
+        let blocks = sample_blocks();
+        let (bytes, entries) = encode_pg_opts(3, 7, &blocks, IntegrityOpts::on());
+        assert_eq!(bytes.len() as u64, pg_encoded_size_opts(&blocks, IntegrityOpts::on()));
+        for (e, b) in entries.iter().zip(&blocks) {
+            assert_eq!(e.payload_crc, Some(crc64(&b.payload)));
+            let at = e.file_offset as usize;
+            assert_eq!(&bytes[at..at + e.payload_len as usize], &b.payload[..]);
+        }
+        let (rank, step, back) = decode_pg_verified(&bytes).unwrap();
+        assert_eq!((rank, step), (3, 7));
+        assert_eq!(back, blocks);
+        // The unverified decoder accepts both layouts.
+        let (r2, s2, b2) = decode_pg(&bytes).unwrap();
+        assert_eq!((r2, s2, b2), (3, 7, blocks));
+    }
+
+    #[test]
+    fn integrity_off_is_byte_identical_to_legacy() {
+        let blocks = sample_blocks();
+        let (legacy, le) = encode_pg(2, 5, &blocks);
+        let (off, oe) = encode_pg_opts(2, 5, &blocks, IntegrityOpts::off());
+        assert_eq!(legacy, off);
+        assert_eq!(le, oe);
+        assert!(le.iter().all(|e| e.payload_crc.is_none()));
+    }
+
+    #[test]
+    fn payload_bit_flip_is_detected() {
+        let blocks = sample_blocks();
+        let (mut bytes, entries) = encode_pg_opts(1, 0, &blocks, IntegrityOpts::on());
+        let at = entries[1].file_offset as usize;
+        bytes[at + 3] ^= 0x10;
+        match decode_pg_verified(&bytes) {
+            Err(IntegrityError::BadBlockCrc { var, rank, .. }) => {
+                assert_eq!(var, "vx");
+                assert_eq!(rank, 1);
+            }
+            other => panic!("expected BadBlockCrc, got {other:?}"),
+        }
+        // Legacy PGs have no checksums: the same flip goes unnoticed.
+        let (mut raw, le) = encode_pg(1, 0, &blocks);
+        raw[le[1].file_offset as usize + 3] ^= 0x10;
+        assert!(decode_pg_verified(&raw).is_ok());
+    }
+
+    #[test]
+    fn header_corruption_is_detected() {
+        let (mut bytes, _) = encode_pg_opts(1, 0, &sample_blocks(), IntegrityOpts::on());
+        bytes[5] ^= 0x01; // rank field
+        assert!(matches!(
+            decode_pg_verified(&bytes),
+            Err(IntegrityError::BadPgHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_pg_errors_instead_of_panicking() {
+        let blocks = sample_blocks();
+        for integrity in [IntegrityOpts::off(), IntegrityOpts::on()] {
+            let (bytes, _) = encode_pg_opts(4, 2, &blocks, integrity);
+            for cut in [bytes.len() - 1, bytes.len() / 2, 17, 5, 1] {
+                assert!(decode_pg(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
     }
 }

@@ -5,24 +5,82 @@
 //! as the paper describes for the global-index access path (§IV-C). A
 //! restart-style "read everything" helper reconstructs a full global
 //! variable from its blocks.
+//!
+//! Every function here is total over arbitrary input bytes: malformed or
+//! truncated subfiles and hostile index entries produce a structured
+//! [`IntegrityError`], never a panic. The `_verified` variants
+//! additionally check each block's payload CRC when the index carries one
+//! (entries written with [`IntegrityOpts::on`](crate::IntegrityOpts)).
 
 use crate::chars::DType;
 use crate::index::{GlobalIndex, IndexEntry};
+use crate::integrity::{crc64, IntegrityError};
 
-/// Raw payload bytes of one indexed block.
-pub fn read_payload<'a>(file: &'a [u8], entry: &IndexEntry) -> &'a [u8] {
-    let start = entry.file_offset as usize;
-    let end = start + entry.payload_len as usize;
-    &file[start..end]
+fn payload_range(file: &[u8], entry: &IndexEntry) -> Result<(usize, usize), IntegrityError> {
+    let start = entry.file_offset;
+    let end = start.checked_add(entry.payload_len);
+    match end {
+        Some(end) if end <= file.len() as u64 => Ok((start as usize, end as usize)),
+        _ => Err(IntegrityError::BlockOutOfBounds {
+            var: entry.var.clone(),
+            offset: entry.file_offset,
+            len: entry.payload_len,
+            file_len: file.len() as u64,
+        }),
+    }
+}
+
+/// Raw payload bytes of one indexed block (bounds-checked, CRC *not*
+/// verified — see [`read_payload_verified`]).
+pub fn read_payload<'a>(file: &'a [u8], entry: &IndexEntry) -> Result<&'a [u8], IntegrityError> {
+    let (start, end) = payload_range(file, entry)?;
+    Ok(&file[start..end])
+}
+
+/// Raw payload bytes of one indexed block, verified against the entry's
+/// CRC64 when it carries one. Legacy entries (no CRC) pass through
+/// unverified — they have nothing to check against.
+pub fn read_payload_verified<'a>(
+    file: &'a [u8],
+    entry: &IndexEntry,
+) -> Result<&'a [u8], IntegrityError> {
+    let payload = read_payload(file, entry)?;
+    if let Some(stored) = entry.payload_crc {
+        let computed = crc64(payload);
+        if computed != stored {
+            return Err(IntegrityError::BadBlockCrc {
+                var: entry.var.clone(),
+                rank: entry.rank,
+                stored,
+                computed,
+            });
+        }
+    }
+    Ok(payload)
+}
+
+fn decode_f64(payload: &[u8], entry: &IndexEntry) -> Result<Vec<f64>, IntegrityError> {
+    if entry.dtype != DType::F64 {
+        return Err(IntegrityError::WrongDtype {
+            var: entry.var.clone(),
+            expected: DType::F64,
+            found: entry.dtype,
+        });
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("len 8")))
+        .collect())
 }
 
 /// Decode one indexed block as f64 values.
-pub fn read_f64(file: &[u8], entry: &IndexEntry) -> Vec<f64> {
-    assert_eq!(entry.dtype, DType::F64, "block is not f64");
-    read_payload(file, entry)
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("len 8")))
-        .collect()
+pub fn read_f64(file: &[u8], entry: &IndexEntry) -> Result<Vec<f64>, IntegrityError> {
+    decode_f64(read_payload(file, entry)?, entry)
+}
+
+/// Decode one indexed block as f64 values, verifying its CRC first.
+pub fn read_f64_verified(file: &[u8], entry: &IndexEntry) -> Result<Vec<f64>, IntegrityError> {
+    decode_f64(read_payload_verified(file, entry)?, entry)
 }
 
 /// A set of subfiles addressed by name (the reader-side view of an output
@@ -39,46 +97,118 @@ impl SubfileSource for std::collections::HashMap<String, Vec<u8>> {
 }
 
 /// Reconstruct a full global 1-D..3-D variable at `step` from its blocks,
-/// in row-major order. Returns `None` if the variable has no blocks at
-/// that step or a subfile is missing.
+/// in row-major order.
 ///
 /// This is the restart read: "a restart-style read of all of the data"
 /// (§V, PLFS discussion) — every block is fetched via one index lookup and
-/// one contiguous read, then scattered into the global array.
+/// one contiguous read, then scattered into the global array. Errors are
+/// structured: [`IntegrityError::MissingVar`] when no block exists,
+/// [`IntegrityError::MissingSubfile`] when the index names an absent file,
+/// [`IntegrityError::BadDims`]/[`IntegrityError::BlockOutOfBounds`] on
+/// malformed geometry.
 pub fn read_global_f64(
     index: &GlobalIndex,
     source: &impl SubfileSource,
     var: &str,
     step: u32,
-) -> Option<Vec<f64>> {
-    let blocks: Vec<(&str, &IndexEntry)> =
-        index.find(var).filter(|(_, e)| e.step == step).collect();
-    let (_, first) = blocks.first()?;
-    let gdims = &first.global_dims;
-    assert!(
-        (1..=3).contains(&gdims.len()),
-        "read_global_f64 supports 1-3 dims"
-    );
-    let total: u64 = gdims.iter().product();
-    let mut out = vec![f64::NAN; total as usize];
-    for (file_name, e) in blocks {
-        let file = source.subfile(file_name)?;
-        let vals = read_f64(file, e);
-        scatter(&mut out, gdims, &e.offsets, &e.local_dims, &vals);
-    }
-    Some(out)
+) -> Result<Vec<f64>, IntegrityError> {
+    read_global_f64_impl(index, source, var, step, false)
 }
 
-/// Scatter a row-major local block into a row-major global array.
-fn scatter(out: &mut [f64], gdims: &[u64], offsets: &[u64], ldims: &[u64], vals: &[f64]) {
+/// Like [`read_global_f64`], but each block's payload is verified against
+/// its index CRC before being scattered, so a silently corrupted subfile
+/// surfaces as [`IntegrityError::BadBlockCrc`] instead of wrong data.
+pub fn read_global_f64_verified(
+    index: &GlobalIndex,
+    source: &impl SubfileSource,
+    var: &str,
+    step: u32,
+) -> Result<Vec<f64>, IntegrityError> {
+    read_global_f64_impl(index, source, var, step, true)
+}
+
+fn read_global_f64_impl(
+    index: &GlobalIndex,
+    source: &impl SubfileSource,
+    var: &str,
+    step: u32,
+    verify: bool,
+) -> Result<Vec<f64>, IntegrityError> {
+    let blocks: Vec<(&str, &IndexEntry)> =
+        index.find(var).filter(|(_, e)| e.step == step).collect();
+    let Some((_, first)) = blocks.first() else {
+        return Err(IntegrityError::MissingVar {
+            var: var.to_string(),
+            step,
+        });
+    };
+    let gdims = first.global_dims.clone();
+    if !(1..=3).contains(&gdims.len()) {
+        return Err(IntegrityError::BadDims {
+            var: var.to_string(),
+            dims: gdims.len(),
+        });
+    }
+    let total: u64 = gdims.iter().product();
+    // Guard the allocation itself: a hostile index can claim absurd
+    // global dims. 2^32 f64s (32 GiB) is far beyond any simulated set.
+    if total > u32::MAX as u64 {
+        return Err(IntegrityError::BadDims {
+            var: var.to_string(),
+            dims: gdims.len(),
+        });
+    }
+    let mut out = vec![f64::NAN; total as usize];
+    for (file_name, e) in blocks {
+        let Some(file) = source.subfile(file_name) else {
+            return Err(IntegrityError::MissingSubfile {
+                name: file_name.to_string(),
+            });
+        };
+        let vals = if verify {
+            read_f64_verified(file, e)?
+        } else {
+            read_f64(file, e)?
+        };
+        scatter(&mut out, &gdims, e, &vals)?;
+    }
+    Ok(out)
+}
+
+/// Scatter a row-major local block into a row-major global array, with
+/// every offset/extent checked against the global dims.
+fn scatter(
+    out: &mut [f64],
+    gdims: &[u64],
+    entry: &IndexEntry,
+    vals: &[f64],
+) -> Result<(), IntegrityError> {
+    let offsets = &entry.offsets;
+    let ldims = &entry.local_dims;
+    let bad = || IntegrityError::BadDims {
+        var: entry.var.clone(),
+        dims: offsets.len(),
+    };
+    if offsets.len() != gdims.len() || ldims.len() != gdims.len() {
+        return Err(bad());
+    }
+    // Every axis must fit inside the global array...
+    for ((&o, &l), &g) in offsets.iter().zip(ldims.iter()).zip(gdims.iter()) {
+        if o.checked_add(l).map(|end| end > g).unwrap_or(true) {
+            return Err(bad());
+        }
+    }
+    // ...and the payload must hold exactly the block's elements.
+    let count: u64 = ldims.iter().product();
+    if count != vals.len() as u64 {
+        return Err(bad());
+    }
     match gdims.len() {
         1 => {
             let o = offsets[0] as usize;
             out[o..o + vals.len()].copy_from_slice(vals);
         }
         2 => {
-            let (gy, _gx) = (gdims[0], gdims[1]);
-            let _ = gy;
             let gx = gdims[1] as usize;
             let (oy, ox) = (offsets[0] as usize, offsets[1] as usize);
             let (ly, lx) = (ldims[0] as usize, ldims[1] as usize);
@@ -106,12 +236,14 @@ fn scatter(out: &mut [f64], gdims: &[u64], offsets: &[u64], ldims: &[u64], vals:
         }
         _ => unreachable!("dim count validated by caller"),
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::index::LocalIndex;
+    use crate::integrity::IntegrityOpts;
     use crate::pg::VarBlock;
     use crate::writer::SubfileWriter;
     use std::collections::HashMap;
@@ -119,12 +251,16 @@ mod tests {
     /// Build a 2-subfile output set: a global 1-D var of 8 elements split
     /// in halves, one half per subfile.
     fn build_set() -> (GlobalIndex, HashMap<String, Vec<u8>>) {
+        build_set_opts(IntegrityOpts::off())
+    }
+
+    fn build_set_opts(integrity: IntegrityOpts) -> (GlobalIndex, HashMap<String, Vec<u8>>) {
         let mut files = HashMap::new();
         let mut parts = Vec::new();
         for (i, range) in [(0u32, 0..4u64), (1u32, 4..8u64)] {
             let vals: Vec<f64> = range.clone().map(|x| x as f64 * 10.0).collect();
             let b = VarBlock::from_f64("u", vec![8], vec![range.start], vec![4], &vals);
-            let mut w = SubfileWriter::new();
+            let mut w = SubfileWriter::with_integrity(integrity);
             w.append(i, 0, &[b]);
             let (bytes, local) = w.finalize();
             let name = format!("sub-{i}.bp");
@@ -139,7 +275,7 @@ mod tests {
         let (g, files) = build_set();
         let (fname, entry) = g.find_at("u", 0, &[6]).expect("block covering 6");
         let file = files.subfile(fname).unwrap();
-        let vals = read_f64(file, entry);
+        let vals = read_f64(file, entry).unwrap();
         assert_eq!(vals, vec![40.0, 50.0, 60.0, 70.0]);
     }
 
@@ -152,17 +288,26 @@ mod tests {
     }
 
     #[test]
-    fn missing_var_returns_none() {
+    fn missing_var_is_structured_error() {
         let (g, files) = build_set();
-        assert!(read_global_f64(&g, &files, "nope", 0).is_none());
-        assert!(read_global_f64(&g, &files, "u", 9).is_none());
+        assert!(matches!(
+            read_global_f64(&g, &files, "nope", 0),
+            Err(IntegrityError::MissingVar { .. })
+        ));
+        assert!(matches!(
+            read_global_f64(&g, &files, "u", 9),
+            Err(IntegrityError::MissingVar { step: 9, .. })
+        ));
     }
 
     #[test]
-    fn missing_subfile_returns_none() {
+    fn missing_subfile_is_structured_error() {
         let (g, mut files) = build_set();
         files.remove("sub-1.bp");
-        assert!(read_global_f64(&g, &files, "u", 0).is_none());
+        assert!(matches!(
+            read_global_f64(&g, &files, "u", 0),
+            Err(IntegrityError::MissingSubfile { .. })
+        ));
     }
 
     #[test]
@@ -239,6 +384,78 @@ mod tests {
         let e = idx.find("q").next().unwrap();
         assert_eq!(e.rank, 3);
         assert_eq!(e.step, 2);
-        assert_eq!(read_f64(&file, e), vec![8.0, 9.0]);
+        assert_eq!(read_f64(&file, e).unwrap(), vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_entry_errors_instead_of_panicking() {
+        let (g, files) = build_set();
+        let (fname, entry) = g.find_at("u", 0, &[0]).unwrap();
+        let file = files.subfile(fname).unwrap();
+        let mut hostile = entry.clone();
+        hostile.file_offset = file.len() as u64 - 8;
+        assert!(matches!(
+            read_payload(file, &hostile),
+            Err(IntegrityError::BlockOutOfBounds { .. })
+        ));
+        hostile.file_offset = u64::MAX - 4; // offset+len overflows
+        assert!(read_payload(file, &hostile).is_err());
+    }
+
+    #[test]
+    fn wrong_dtype_is_structured_error() {
+        let (g, files) = build_set();
+        let (fname, entry) = g.find_at("u", 0, &[0]).unwrap();
+        let file = files.subfile(fname).unwrap();
+        let mut e = entry.clone();
+        e.dtype = DType::U8;
+        assert!(matches!(
+            read_f64(file, &e),
+            Err(IntegrityError::WrongDtype { .. })
+        ));
+    }
+
+    #[test]
+    fn verified_read_catches_silent_flip() {
+        let (g, mut files) = build_set_opts(IntegrityOpts::on());
+        let (fname, entry) = g.find_at("u", 0, &[6]).unwrap();
+        assert!(entry.payload_crc.is_some(), "checked writer fills CRCs");
+        let at = entry.file_offset as usize + 5;
+        let fname = fname.to_string();
+        let entry = entry.clone();
+        files.get_mut(&fname).unwrap()[at] ^= 0x80;
+        let file = files.subfile(&fname).unwrap();
+        // The unverified read happily returns wrong data...
+        assert!(read_f64(file, &entry).is_ok());
+        // ...the verified read reports the corruption.
+        assert!(matches!(
+            read_f64_verified(file, &entry),
+            Err(IntegrityError::BadBlockCrc { .. })
+        ));
+        assert!(matches!(
+            read_global_f64_verified(&g, &files, "u", 0),
+            Err(IntegrityError::BadBlockCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_geometry_is_rejected() {
+        let (g, files) = build_set();
+        let mut bad = g.clone();
+        // Block claims to extend past the global array.
+        bad.entries[0].1.offsets = vec![6];
+        assert!(matches!(
+            read_global_f64(&bad, &files, "u", 0),
+            Err(IntegrityError::BadDims { .. })
+        ));
+        // Absurd global dims must not trigger a huge allocation.
+        let mut huge = g.clone();
+        for (_, e) in huge.entries.iter_mut() {
+            e.global_dims = vec![u64::MAX / 2];
+        }
+        assert!(matches!(
+            read_global_f64(&huge, &files, "u", 0),
+            Err(IntegrityError::BadDims { .. })
+        ));
     }
 }

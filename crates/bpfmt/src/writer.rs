@@ -12,25 +12,36 @@
 //!   offset bookkeeping of Algorithms 2–3.
 
 use crate::index::{IndexEntry, LocalIndex};
-use crate::pg::{encode_pg, VarBlock};
+use crate::integrity::IntegrityOpts;
+use crate::pg::{encode_pg_opts, VarBlock};
 
 /// Append-mode subfile builder.
 #[derive(Debug, Default)]
 pub struct SubfileWriter {
     data: Vec<u8>,
     pieces: Vec<IndexEntry>,
+    integrity: IntegrityOpts,
 }
 
 impl SubfileWriter {
-    /// Empty subfile.
+    /// Empty subfile in the legacy (unchecked) layout.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty subfile; `integrity` selects checked vs legacy layout for
+    /// every PG and the index tail.
+    pub fn with_integrity(integrity: IntegrityOpts) -> Self {
+        SubfileWriter {
+            integrity,
+            ..Self::default()
+        }
     }
 
     /// Append one process group; returns its base offset.
     pub fn append(&mut self, rank: u32, step: u32, blocks: &[VarBlock]) -> u64 {
         let base = self.data.len() as u64;
-        let (bytes, entries) = encode_pg(rank, step, blocks);
+        let (bytes, entries) = encode_pg_opts(rank, step, blocks, self.integrity);
         self.data.extend_from_slice(&bytes);
         self.pieces
             .extend(entries.into_iter().map(|e| e.rebased(base)));
@@ -47,7 +58,7 @@ impl SubfileWriter {
     pub fn finalize(self) -> (Vec<u8>, LocalIndex) {
         let index = LocalIndex::from_pieces(self.pieces);
         let mut file = self.data;
-        let tail = index.serialize_with_footer(file.len() as u64);
+        let tail = index.serialize_with_footer_opts(file.len() as u64, self.integrity);
         file.extend_from_slice(&tail);
         (file, index)
     }
@@ -62,12 +73,23 @@ pub struct SubfileAssembler {
     /// Placed fragments: (offset, bytes).
     fragments: Vec<(u64, Vec<u8>)>,
     pieces: Vec<IndexEntry>,
+    integrity: IntegrityOpts,
 }
 
 impl SubfileAssembler {
-    /// Empty assembler.
+    /// Empty assembler in the legacy (unchecked) layout.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty assembler; `integrity` selects the index-tail layout (placed
+    /// PG bytes were already encoded by the writers, in whatever layout
+    /// the protocol chose).
+    pub fn with_integrity(integrity: IntegrityOpts) -> Self {
+        SubfileAssembler {
+            integrity,
+            ..Self::default()
+        }
     }
 
     /// Reserve `size` bytes for an incoming PG; returns the assigned base
@@ -112,7 +134,7 @@ impl SubfileAssembler {
             file[at as usize..at as usize + bytes.len()].copy_from_slice(&bytes);
         }
         let index = LocalIndex::from_pieces(self.pieces);
-        let tail = index.serialize_with_footer(file.len() as u64);
+        let tail = index.serialize_with_footer_opts(file.len() as u64, self.integrity);
         file.extend_from_slice(&tail);
         (file, index)
     }
@@ -121,7 +143,7 @@ impl SubfileAssembler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pg::pg_encoded_size;
+    use crate::pg::{encode_pg, pg_encoded_size};
     use crate::reader::read_f64;
 
     fn block(name: &str, vals: &[f64]) -> VarBlock {
@@ -144,8 +166,8 @@ mod tests {
         assert_eq!(parsed, index);
         let entries: Vec<_> = parsed.find("a").collect();
         assert_eq!(entries.len(), 2);
-        assert_eq!(read_f64(&file, entries[0]), vec![1.0, 2.0]);
-        assert_eq!(read_f64(&file, entries[1]), vec![3.0, 4.0]);
+        assert_eq!(read_f64(&file, entries[0]).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(read_f64(&file, entries[1]).unwrap(), vec![3.0, 4.0]);
     }
 
     #[test]
@@ -166,7 +188,7 @@ mod tests {
         let (file, index) = asm.finalize();
         let parsed = LocalIndex::parse(&file).unwrap();
         assert_eq!(parsed, index);
-        let vals: Vec<Vec<f64>> = parsed.find("v").map(|e| read_f64(&file, e)).collect();
+        let vals: Vec<Vec<f64>> = parsed.find("v").map(|e| read_f64(&file, e).unwrap()).collect();
         assert_eq!(vals, vec![vec![1.0; 4], vec![2.0; 4]]);
     }
 
@@ -195,7 +217,7 @@ mod tests {
         let (file, index) = asm.finalize();
         assert_eq!(&file[..16], &[0u8; 16]);
         let entry = index.find("x").next().unwrap();
-        assert_eq!(read_f64(&file, entry), vec![9.0]);
+        assert_eq!(read_f64(&file, entry).unwrap(), vec![9.0]);
     }
 
     #[test]

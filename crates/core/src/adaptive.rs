@@ -57,7 +57,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use bpfmt::{encode_pg, GlobalIndex, IndexEntry, LocalIndex, VarBlock};
+use bpfmt::{encode_pg_opts, GlobalIndex, IndexEntry, IntegrityOpts, LocalIndex, VarBlock};
 use clustersim::{Actor, Ctx, IoComplete, Rank};
 use simcore::{SimDuration, SimTime};
 use storesim::layout::FileId;
@@ -112,6 +112,11 @@ pub struct AdaptiveOpts {
     pub drain_first: bool,
     /// Failure-hardening knobs (inert unless `fault.enabled`).
     pub fault: FaultTolerance,
+    /// End-to-end integrity: when enabled, PGs, index tails and the
+    /// global index are written in the checked (CRC64) layout. Off by
+    /// default — off keeps every output byte identical to the unchecked
+    /// implementation.
+    pub integrity: IntegrityOpts,
 }
 
 impl Default for AdaptiveOpts {
@@ -124,6 +129,7 @@ impl Default for AdaptiveOpts {
             work_stealing: true,
             drain_first: false,
             fault: FaultTolerance::default(),
+            integrity: IntegrityOpts::default(),
         }
     }
 }
@@ -552,7 +558,7 @@ impl AdaptiveActor {
         // Real-bytes mode: the PG is durable now; place it.
         let mut pieces: Vec<IndexEntry> = Vec::new();
         if let Some(blocks) = &self.blocks {
-            let (bytes, entries) = encode_pg(self.me, self.step, blocks);
+            let (bytes, entries) = encode_pg_opts(self.me, self.step, blocks, self.opts.integrity);
             debug_assert_eq!(bytes.len() as u64, done.bytes, "plan/payload size drift");
             if let Some(store) = &self.store {
                 store.borrow_mut().put(a.file, a.offset, &bytes);
@@ -897,7 +903,7 @@ impl AdaptiveActor {
             let index_bytes = if self.blocks.is_some() {
                 // Real size once serialized; estimate now, write exact later.
                 let idx = LocalIndex::from_pieces(std::mem::take(&mut sc.pieces));
-                let tail = idx.serialize_with_footer(sc.file_high);
+                let tail = idx.serialize_with_footer_opts(sc.file_high, self.opts.integrity);
                 let n = tail.len() as u64;
                 if let Some(store) = &self.store {
                     store
@@ -1506,7 +1512,7 @@ impl AdaptiveActor {
             if self.blocks.is_some() {
                 c.index_parts.sort_by(|a, b| a.0.cmp(&b.0));
                 let g = GlobalIndex::merge(std::mem::take(&mut c.index_parts));
-                let bytes = g.serialize();
+                let bytes = g.serialize_opts(self.opts.integrity);
                 let n = bytes.len() as u64;
                 if let Some(store) = &self.store {
                     store.borrow_mut().put(self.global_index_file, 0, &bytes);

@@ -139,6 +139,18 @@ pub enum SimError {
         /// Bytes destroyed.
         bytes: u64,
     },
+    /// A rank's write completed and survived, but the stored bytes are
+    /// silently corrupted (bit-flips below the checksum layer). Invisible
+    /// without verify-on-read — this error is produced from the fault
+    /// injector's corruption oracle, never from timing.
+    DataCorrupted {
+        /// The writing rank.
+        rank: u32,
+        /// The storage target holding the bad block.
+        ost: usize,
+        /// Bytes of the corrupted write.
+        bytes: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -158,6 +170,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::DataLost { rank, ost, bytes } => {
                 write!(f, "rank {rank} lost {bytes} bytes to failed OST {ost}")
+            }
+            SimError::DataCorrupted { rank, ost, bytes } => {
+                write!(
+                    f,
+                    "rank {rank}: {bytes} bytes silently corrupted on OST {ost}"
+                )
             }
         }
     }
@@ -188,6 +206,29 @@ impl WriteOutcome {
             lost_bytes: 0,
             complete: true,
         }
+    }
+}
+
+/// Integrity accounting of one run: how much of the surviving data is
+/// silently damaged, according to the fault injector's corruption oracle.
+/// `oracle_events` counts every corrupted storage write (index and
+/// metadata writes included); `corrupt_records`/`corrupt_bytes` count
+/// only the data writes that appear in the run's write records — the
+/// blocks a verify-on-read or scrub pass must catch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityOutcome {
+    /// Corrupted storage writes recorded by the oracle (all kinds).
+    pub oracle_events: usize,
+    /// Data-write records whose stored bytes are corrupt.
+    pub corrupt_records: usize,
+    /// Bytes covered by those corrupt records.
+    pub corrupt_bytes: u64,
+}
+
+impl IntegrityOutcome {
+    /// True when the oracle recorded no damage at all.
+    pub fn clean(&self) -> bool {
+        self.oracle_events == 0 && self.corrupt_records == 0
     }
 }
 

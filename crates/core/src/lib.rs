@@ -30,13 +30,19 @@ pub mod protocol;
 pub mod readback;
 pub mod record;
 pub mod runner;
+pub mod scrub;
 pub mod staging;
 
 pub use adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
-pub use fault::{FaultConfig, FaultTolerance, NetFaults, SimError, WriteOutcome};
+pub use fault::{
+    FaultConfig, FaultTolerance, IntegrityOutcome, NetFaults, SimError, WriteOutcome,
+};
 pub use multistep::{replay, required_bandwidth, AppModel, Timeline};
 pub use plan::OutputPlan;
-pub use readback::{run_restart_read, ReadPlan, ReadResult};
+pub use readback::{
+    run_restart_read, run_restart_read_with, ReadOutcome, ReadPlan, ReadResult, ReadRun,
+};
+pub use scrub::{repair_subfiles, run_scrub, BlockFate, RepairSummary, ScrubReport};
 pub use staging::{run_staged, StagingOpts, StagingResult};
 pub use record::{OutputResult, WriteRecord};
 pub use runner::{

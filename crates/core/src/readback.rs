@@ -14,8 +14,9 @@ use clustersim::{Actor, Ctx, IoComplete, Rank, Simulation};
 use simcore::SimTime;
 use storesim::layout::{FileId, OstId, StripeSpec};
 use storesim::system::CompletionKind;
-use storesim::MachineConfig;
+use storesim::{CorruptionOracle, MachineConfig};
 
+use crate::fault::{FaultConfig, SimError};
 use crate::record::WriteRecord;
 
 const TAG_OPEN: u32 = 1;
@@ -33,6 +34,10 @@ pub struct BlockLocation {
     pub len: u64,
     /// Target backing the subfile (for file re-creation).
     pub ost: OstId,
+    /// When the block was written — the key the corruption oracle uses.
+    pub written_at: SimTime,
+    /// The rank that wrote it (for structured error reports).
+    pub rank: u32,
 }
 
 /// The read plan: which reader fetches which blocks.
@@ -66,6 +71,8 @@ impl ReadPlan {
                 offset: r.offset,
                 len: r.bytes,
                 ost: r.ost,
+                written_at: r.end,
+                rank: r.rank,
             });
         }
         ReadPlan {
@@ -81,6 +88,11 @@ impl ReadPlan {
             .flat_map(|blocks| blocks.iter().map(|b| b.len))
             .sum()
     }
+
+    /// Total blocks the plan reads.
+    pub fn total_blocks(&self) -> usize {
+        self.per_reader.iter().map(Vec::len).sum()
+    }
 }
 
 /// One reader rank: open, fetch my blocks one at a time (index lookup +
@@ -95,6 +107,8 @@ struct ReadActor {
     pub span: Option<(SimTime, SimTime, u64)>,
     read_bytes: u64,
     closed: bool,
+    /// Per-block completion flags (true = the read came back clean).
+    pub done_ok: Vec<bool>,
 }
 
 impl ReadActor {
@@ -125,7 +139,11 @@ impl Actor for ReadActor {
                 self.issue_next(ctx);
             }
             (TAG_READ, CompletionKind::Read) => {
-                self.read_bytes += done.bytes;
+                // `next` already points one past the block this completes.
+                if !done.error {
+                    self.read_bytes += done.bytes;
+                    self.done_ok[self.next - 1] = true;
+                }
                 self.span = Some((
                     self.started.expect("read phase started"),
                     done.finished,
@@ -139,6 +157,33 @@ impl Actor for ReadActor {
             }
             other => panic!("unexpected IO completion for reader {}: {other:?}", self.me),
         }
+    }
+}
+
+/// Per-block integrity accounting of a read or scrub pass. The four
+/// counters partition the blocks examined, so
+/// `verified + corrupt + repaired + unread == total()` by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Blocks read back clean (checksum matches, oracle agrees).
+    pub verified: usize,
+    /// Blocks whose stored bytes are corrupt and were *not* repaired.
+    pub corrupt: usize,
+    /// Blocks found corrupt and successfully rewritten (scrub only).
+    pub repaired: usize,
+    /// Blocks that could not be read at all (dead target, stall).
+    pub unread: usize,
+}
+
+impl ReadOutcome {
+    /// Total blocks examined.
+    pub fn total(&self) -> usize {
+        self.verified + self.corrupt + self.repaired + self.unread
+    }
+
+    /// True when every block was read and verified clean.
+    pub fn clean(&self) -> bool {
+        self.corrupt == 0 && self.repaired == 0 && self.unread == 0
     }
 }
 
@@ -160,8 +205,36 @@ impl ReadResult {
     }
 }
 
-/// Execute a restart read of `plan` on `machine`.
+/// A fault-aware restart read: timings plus integrity accounting.
+#[derive(Clone, Debug)]
+pub struct ReadRun {
+    /// The timing result (same shape as the fault-free read).
+    pub result: ReadResult,
+    /// Per-block integrity accounting.
+    pub outcome: ReadOutcome,
+    /// Structured failures (stalls, unread/corrupt blocks).
+    pub errors: Vec<SimError>,
+}
+
+/// Execute a restart read of `plan` on `machine` (fault-free; panics if
+/// the read stalls, which cannot happen without faults).
 pub fn run_restart_read(machine: &MachineConfig, plan: &ReadPlan, seed: u64) -> ReadResult {
+    let run = run_restart_read_with(machine, plan, seed, &FaultConfig::none(), None);
+    assert!(run.errors.is_empty(), "fault-free restart read failed");
+    run.result
+}
+
+/// Execute a restart read of `plan` on `machine` under `faults`, checking
+/// each block against the writing run's corruption `oracle` (verify-on-
+/// read). Instead of panicking, stalls surface as [`SimError::Stalled`]
+/// and unreadable blocks are counted in the outcome.
+pub fn run_restart_read_with(
+    machine: &MachineConfig,
+    plan: &ReadPlan,
+    seed: u64,
+    faults: &FaultConfig,
+    oracle: Option<&CorruptionOracle>,
+) -> ReadRun {
     let mut storage = storesim::StorageSystem::new(machine.clone(), seed);
     // Recreate the subfiles with their original placement, sized by the
     // plan (the data itself is simulated).
@@ -181,6 +254,7 @@ pub fn run_restart_read(machine: &MachineConfig, plan: &ReadPlan, seed: u64) -> 
         .iter()
         .enumerate()
         .map(|(i, blocks)| ReadActor {
+            done_ok: vec![false; blocks.len()],
             blocks: Rc::new(blocks.clone()),
             files: Rc::clone(&files),
             next: 0,
@@ -193,18 +267,50 @@ pub fn run_restart_read(machine: &MachineConfig, plan: &ReadPlan, seed: u64) -> 
         .collect();
     let readers = actors.len() as u64;
     let mut sim = Simulation::with_storage(machine.clone(), actors, seed, storage);
-    sim.run_until(readers, SimTime::from_secs_f64(1e6));
-    assert_eq!(sim.finish_count(), readers, "restart read stalled");
+    crate::runner::install_faults(&mut sim, seed, faults);
+    let stats = sim.run_until(readers, SimTime::from_secs_f64(1e6));
+    let mut errors = Vec::new();
+    if sim.finish_count() < readers {
+        let pending: Vec<u32> = sim
+            .actors()
+            .enumerate()
+            .filter(|(_, a)| !a.closed)
+            .map(|(r, _)| r as u32)
+            .collect();
+        errors.push(SimError::Stalled {
+            pending_ranks: pending,
+            last_event_time: stats.end_time.as_secs_f64(),
+        });
+    }
+    let mut outcome = ReadOutcome::default();
+    for a in sim.actors() {
+        for (b, &ok) in a.blocks.iter().zip(&a.done_ok) {
+            if !ok {
+                outcome.unread += 1;
+            } else if oracle.is_some_and(|o| o.write_corrupted(b.ost, b.written_at)) {
+                outcome.corrupt += 1;
+                errors.push(SimError::DataCorrupted {
+                    rank: b.rank,
+                    ost: b.ost.0,
+                    bytes: b.len,
+                });
+            } else {
+                outcome.verified += 1;
+            }
+        }
+    }
     let per_reader: Vec<(SimTime, SimTime, u64)> = sim
         .actors()
-        .map(|a| {
-            a.span.unwrap_or((SimTime::ZERO, SimTime::ZERO, 0))
-        })
+        .map(|a| a.span.unwrap_or((SimTime::ZERO, SimTime::ZERO, 0)))
         .collect();
     let total_bytes = per_reader.iter().map(|&(_, _, b)| b).sum();
-    ReadResult {
-        per_reader,
-        total_bytes,
+    ReadRun {
+        result: ReadResult {
+            per_reader,
+            total_bytes,
+        },
+        outcome,
+        errors,
     }
 }
 

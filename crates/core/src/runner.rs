@@ -26,15 +26,15 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use bpfmt::{pg_encoded_size, GlobalIndex, VarBlock};
+use bpfmt::{pg_encoded_size_opts, GlobalIndex, IntegrityOpts, VarBlock};
 use clustersim::{Actor, FaultPlane, LinkFaults, Simulation};
 use simcore::units::GIB;
 use simcore::SimTime;
 use storesim::layout::{OstId, StripeSpec};
-use storesim::{MachineConfig, ObjectStore};
+use storesim::{CorruptionOracle, MachineConfig, ObjectStore};
 
 use crate::adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
-use crate::fault::{FaultConfig, SimError, WriteOutcome};
+use crate::fault::{FaultConfig, IntegrityOutcome, SimError, WriteOutcome};
 use crate::mpiio::{stripe_aligned_offsets, MpiIoActor};
 use crate::plan::OutputPlan;
 use crate::posix::PosixActor;
@@ -176,6 +176,10 @@ pub struct RunOutput {
     pub errors: Vec<SimError>,
     /// Byte-level accounting: always `written + lost == total`.
     pub outcome: WriteOutcome,
+    /// Ground truth about silent damage, from the fault injector.
+    pub oracle: CorruptionOracle,
+    /// Integrity accounting derived from `oracle` and the write records.
+    pub integrity: IntegrityOutcome,
 }
 
 /// Aggregated protocol statistics of one adaptive run (§III-B3's
@@ -194,7 +198,7 @@ pub struct ProtocolStats {
     pub busiest_rank_inbox: u64,
 }
 
-fn rank_bytes_of(data: &DataSpec, nprocs: usize) -> Vec<u64> {
+fn rank_bytes_of(data: &DataSpec, nprocs: usize, integrity: IntegrityOpts) -> Vec<u64> {
     match data {
         DataSpec::Uniform(b) => vec![*b; nprocs],
         DataSpec::PerRank(v) => {
@@ -203,8 +207,20 @@ fn rank_bytes_of(data: &DataSpec, nprocs: usize) -> Vec<u64> {
         }
         DataSpec::Real(blocks) => {
             assert_eq!(blocks.len(), nprocs);
-            blocks.iter().map(|b| pg_encoded_size(b)).collect()
+            blocks
+                .iter()
+                .map(|b| pg_encoded_size_opts(b, integrity))
+                .collect()
         }
+    }
+}
+
+/// The integrity layout a method writes its PGs in (checked PGs are
+/// larger, so plan sizes must agree with the writer's encoding).
+fn integrity_of(method: &Method) -> IntegrityOpts {
+    match method {
+        Method::Adaptive { opts, .. } => opts.integrity,
+        _ => IntegrityOpts::default(),
     }
 }
 
@@ -260,7 +276,7 @@ pub fn run(spec: RunSpec) -> RunOutput {
 /// exactly [`run`].
 pub fn run_with_faults(spec: RunSpec, faults: FaultConfig) -> RunOutput {
     let nprocs = spec.nprocs;
-    let rank_bytes = rank_bytes_of(&spec.data, nprocs);
+    let rank_bytes = rank_bytes_of(&spec.data, nprocs, integrity_of(&spec.method));
     match &spec.method {
         Method::Posix { targets } => run_posix(&spec, rank_bytes, *targets, &faults),
         Method::MpiIo { stripe_count } => run_mpiio(&spec, rank_bytes, *stripe_count, &faults),
@@ -279,7 +295,7 @@ pub fn run_with_faults(spec: RunSpec, faults: FaultConfig) -> RunOutput {
 }
 
 /// Install the configured faults into a freshly built simulation.
-fn install_faults<A: Actor>(sim: &mut Simulation<A>, seed: u64, faults: &FaultConfig) {
+pub(crate) fn install_faults<A: Actor>(sim: &mut Simulation<A>, seed: u64, faults: &FaultConfig) {
     if !faults.storage.is_empty() {
         sim.storage_mut().install_faults(&faults.storage);
     }
@@ -344,6 +360,36 @@ fn account(
     (outcome, errors)
 }
 
+/// Integrity accounting: which surviving write records the corruption
+/// oracle has flagged. Destroyed records (their whole target died) count
+/// as lost, not corrupt — a loud failure, already in [`account`]'s books.
+fn integrity_account(
+    storage: &storesim::StorageSystem,
+    records: &[WriteRecord],
+) -> (CorruptionOracle, IntegrityOutcome, Vec<SimError>) {
+    let oracle = storage.integrity_oracle();
+    let mut out = IntegrityOutcome {
+        oracle_events: oracle.corrupt_count(),
+        ..Default::default()
+    };
+    let mut errors = Vec::new();
+    for r in records {
+        if storage.ost_lost_data_since(r.ost, r.end) {
+            continue;
+        }
+        if oracle.write_corrupted(r.ost, r.end) {
+            out.corrupt_records += 1;
+            out.corrupt_bytes += r.bytes;
+            errors.push(SimError::DataCorrupted {
+                rank: r.rank,
+                ost: r.ost.0,
+                bytes: r.bytes,
+            });
+        }
+    }
+    (oracle, out, errors)
+}
+
 fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize, faults: &FaultConfig) -> RunOutput {
     assert!(
         matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
@@ -396,6 +442,8 @@ fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize, faults: &Faul
     let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
     outcome.complete &= errors.is_empty();
     errors.extend(account_errors);
+    let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
+    errors.extend(integrity_errors);
     let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     RunOutput {
         result,
@@ -404,6 +452,8 @@ fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize, faults: &Faul
         protocol: None,
         errors,
         outcome,
+        oracle,
+        integrity,
     }
 }
 
@@ -482,6 +532,8 @@ fn run_mpiio(
     let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
     outcome.complete &= errors.is_empty();
     errors.extend(account_errors);
+    let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
+    errors.extend(integrity_errors);
     let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     RunOutput {
         result,
@@ -490,6 +542,8 @@ fn run_mpiio(
         protocol: None,
         errors,
         outcome,
+        oracle,
+        integrity,
     }
 }
 
@@ -500,7 +554,13 @@ fn run_adaptive(
     mut opts: AdaptiveOpts,
     faults: &FaultConfig,
 ) -> RunOutput {
-    if !faults.is_empty() {
+    // Silent-corruption-only scripts never perturb timing or liveness, so
+    // they compose with real-bytes data and need no hardened protocol;
+    // every other fault kind forces the hardened protocol and (because the
+    // retry paths re-place payloads) synthetic data.
+    let silent_only =
+        faults.network.is_none() && faults.kills.is_empty() && faults.storage.is_silent_only();
+    if !faults.is_empty() && !silent_only {
         assert!(
             matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
             "fault injection supports synthetic (sizes-only) data"
@@ -555,7 +615,7 @@ fn run_adaptive(
     let stats = sim.run_until(1, RUN_DEADLINE);
     let coordinator = sim.actor(clustersim::Rank(0));
     let finished = coordinator.finished_at();
-    if faults.is_empty() {
+    if faults.is_empty() || silent_only {
         assert!(
             finished.is_some(),
             "adaptive protocol stalled: coordinator never finished"
@@ -585,7 +645,7 @@ fn run_adaptive(
     let mut busiest = 0u64;
     let mut coordinator_inbox = 0u64;
     for a in sim.actors() {
-        if faults.is_empty() {
+        if faults.is_empty() || silent_only {
             assert_eq!(a.records.len(), 1, "rank failed to write exactly once");
         }
         records.extend_from_slice(&a.records);
@@ -604,9 +664,10 @@ fn run_adaptive(
     let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
     outcome.complete &= errors.is_empty();
     errors.extend(account_errors);
-    let result = OutputResult::from_partial(records, full_end.as_secs_f64());
+    let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
+    errors.extend(integrity_errors);
     // Materialise subfile bytes for read-back verification.
-    let subfiles = store.map(|store| {
+    let mut subfiles = store.map(|store| {
         let store = store.borrow();
         let mut out = HashMap::new();
         for (g, &f) in files.iter().enumerate() {
@@ -618,6 +679,30 @@ fn run_adaptive(
         }
         out
     });
+    // Real-bytes runs: make the oracle's silent damage real — flip one
+    // seeded bit inside the payload region of every corrupted record, so
+    // verify-on-read genuinely has something to catch.
+    if let Some(subfiles) = subfiles.as_mut() {
+        for r in &records {
+            if !oracle.write_corrupted(r.ost, r.end) {
+                continue;
+            }
+            let Some(g) = files.iter().position(|&f| f == r.file) else {
+                continue;
+            };
+            if let Some(bytes) = subfiles.get_mut(&format!("sub-{g}.bp")) {
+                // The last byte of a PG region belongs to its final
+                // block's payload; pick the flipped bit from the seed so
+                // distinct runs damage distinct bits.
+                let at = (r.offset + r.bytes - 1) as usize;
+                if at < bytes.len() {
+                    let bit = (spec.seed ^ u64::from(r.rank) ^ r.offset) % 8;
+                    bytes[at] ^= 1 << bit;
+                }
+            }
+        }
+    }
+    let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     RunOutput {
         result,
         global_index,
@@ -625,5 +710,7 @@ fn run_adaptive(
         protocol,
         errors,
         outcome,
+        oracle,
+        integrity,
     }
 }

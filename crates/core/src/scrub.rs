@@ -1,0 +1,490 @@
+//! Online scrub/repair: walk a completed output set through its index,
+//! verify every block, and rewrite the damaged ones.
+//!
+//! Two halves mirror the repo's synthetic/real split:
+//!
+//! * [`run_scrub`] — the *timeline* scrub: a set of scrubber ranks read
+//!   every block of a previous output on the simulated machine
+//!   (verify-on-read against the fault injector's corruption oracle) and
+//!   drive repairs through the same retry/backoff/condemnation policy as
+//!   the hardened write protocol: a corrupt block on a healthy target is
+//!   rewritten in place; when the target errors out past the retry
+//!   budget, the repair is work-shifted to a spare target, exactly like a
+//!   `LostWrite` in the adaptive protocol.
+//! * [`repair_subfiles`] — the *real-bytes* scrub: forward-scan
+//!   materialised subfile bytes PG by PG ([`bpfmt::probe_pg`]), detect
+//!   checksum mismatches, and re-encode damaged PGs in place from the
+//!   application's still-resident buffers (the scrub runs online, right
+//!   after the output phase).
+
+use std::rc::Rc;
+
+use bpfmt::{encode_pg_opts, probe_pg, IntegrityError, IntegrityOpts, VarBlock};
+use clustersim::{Actor, Ctx, IoComplete, Rank, Simulation};
+use simcore::{EventToken, SimDuration, SimTime};
+use storesim::layout::{FileId, OstId, StripeSpec};
+use storesim::system::CompletionKind;
+use storesim::{CorruptionOracle, FailMode, FaultScript, MachineConfig};
+
+use crate::fault::{FaultTolerance, SimError};
+use crate::readback::ReadOutcome;
+use crate::record::WriteRecord;
+
+const TAG_OPEN: u32 = 1;
+const TAG_CLOSE: u32 = 3;
+/// First tag for block IO; each attempt gets a fresh tag so late
+/// completions of timed-out attempts are recognised and dropped.
+const TAG_IO_BASE: u32 = 16;
+
+/// What the scrub concluded about one block (one write record).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockFate {
+    /// Read back clean.
+    Verified,
+    /// Found corrupt, rewritten at its original offset.
+    RepairedInPlace,
+    /// Found corrupt (or its target dead), rewritten on a spare target.
+    RepairedMoved,
+    /// Found corrupt and every repair attempt failed.
+    Unrepairable,
+    /// Could not be read at all (and the oracle had nothing to repair
+    /// from — counted as unread, not silently passed).
+    Unreadable,
+}
+
+/// Result of one scrub pass.
+#[derive(Clone, Debug)]
+pub struct ScrubReport {
+    /// Per-record fate, parallel to the `records` slice given to
+    /// [`run_scrub`].
+    pub fates: Vec<BlockFate>,
+    /// The same facts as counters; partitions the records, so
+    /// `outcome.total() == fates.len()`.
+    pub outcome: ReadOutcome,
+    /// Structured failures: stalls plus one [`SimError::DataCorrupted`]
+    /// per unrepairable block.
+    pub errors: Vec<SimError>,
+    /// Bytes rewritten by successful repairs.
+    pub repaired_bytes: u64,
+    /// Simulated duration of the scrub pass, seconds.
+    pub elapsed_secs: f64,
+}
+
+impl ScrubReport {
+    /// True when every block ended up verified or repaired.
+    pub fn fully_repaired(&self) -> bool {
+        self.outcome.corrupt == 0 && self.outcome.unread == 0
+    }
+}
+
+/// One block of scrub work, pre-resolved against the corruption oracle.
+#[derive(Clone, Copy, Debug)]
+struct ScrubBlock {
+    /// Index into the original `records` slice.
+    record: usize,
+    file_slot: u32,
+    offset: u64,
+    len: u64,
+    ost: OstId,
+    /// The oracle says this block's stored bytes are damaged.
+    corrupt: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Opening,
+    Reading,
+    /// Repair write outstanding; `moved` = targeting the spare file.
+    Repairing { moved: bool },
+}
+
+struct ScrubActor {
+    blocks: Vec<ScrubBlock>,
+    files: Rc<Vec<FileId>>,
+    /// Repair destination when a block's own target is condemned.
+    spare: FileId,
+    tol: FaultTolerance,
+    me: u32,
+    cur: usize,
+    phase: Phase,
+    attempt: u32,
+    /// Targets this scrubber has given up writing to.
+    condemned: Vec<usize>,
+    /// Tag of the IO attempt currently in flight (stale tags ignored).
+    cur_tag: u32,
+    next_tag: u32,
+    /// Outstanding per-attempt timeout: (timer tag, cancel token).
+    timeout: Option<(u64, EventToken)>,
+    /// Outstanding retry-backoff timer tag.
+    retry_at: Option<u64>,
+    next_timer: u64,
+    pub fates: Vec<(usize, BlockFate)>,
+    pub repaired_bytes: u64,
+    pub closed: bool,
+}
+
+impl ScrubActor {
+    fn start_block(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if self.cur >= self.blocks.len() {
+            ctx.close(TAG_CLOSE);
+            return;
+        }
+        self.phase = Phase::Reading;
+        self.attempt = 1;
+        self.issue(ctx);
+    }
+
+    /// (Re)issue the current attempt — a read in `Reading` phase, a
+    /// repair write in `Repairing` phase.
+    fn issue(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let b = self.blocks[self.cur];
+        self.cur_tag = self.next_tag;
+        self.next_tag += 1;
+        match self.phase {
+            Phase::Opening => unreachable!("issue before open"),
+            Phase::Reading => {
+                ctx.read_file(self.files[b.file_slot as usize], b.offset, b.len, self.cur_tag);
+            }
+            Phase::Repairing { moved: false } => {
+                ctx.write_file(self.files[b.file_slot as usize], b.offset, b.len, self.cur_tag);
+            }
+            Phase::Repairing { moved: true } => {
+                ctx.write_file(self.spare, b.offset, b.len, self.cur_tag);
+            }
+        }
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        let token = ctx.set_timer(
+            SimDuration::from_secs_f64(self.tol.timeout_for(b.len)),
+            tag,
+        );
+        self.timeout = Some((tag, token));
+    }
+
+    fn settle(&mut self, fate: BlockFate, ctx: &mut Ctx<'_, ()>) {
+        let b = self.blocks[self.cur];
+        if matches!(fate, BlockFate::RepairedInPlace | BlockFate::RepairedMoved) {
+            self.repaired_bytes += b.len;
+        }
+        self.fates.push((b.record, fate));
+        self.cur += 1;
+        self.start_block(ctx);
+    }
+
+    /// The current attempt failed (error completion or timeout).
+    fn attempt_failed(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if self.attempt < self.tol.max_retries {
+            // Exponential backoff, then reissue the same attempt kind.
+            let delay = self.tol.backoff_base_secs * f64::from(1u32 << (self.attempt - 1));
+            self.attempt += 1;
+            let tag = self.next_timer;
+            self.next_timer += 1;
+            ctx.set_timer(SimDuration::from_secs_f64(delay), tag);
+            self.retry_at = Some(tag);
+            return;
+        }
+        // Retry budget exhausted: condemn and shift, or give up.
+        let b = self.blocks[self.cur];
+        match self.phase {
+            Phase::Opening => unreachable!(),
+            Phase::Reading if b.corrupt => {
+                // The stored copy is unreadable, but the oracle already
+                // says it is damaged and repairs re-encode from the
+                // still-resident source buffers — no read needed. The
+                // target just exhausted a retry budget, so go straight
+                // to the spare.
+                self.condemned.push(b.ost.0);
+                self.phase = Phase::Repairing { moved: true };
+                self.attempt = 1;
+                self.issue(ctx);
+            }
+            Phase::Reading => self.settle(BlockFate::Unreadable, ctx),
+            Phase::Repairing { moved: false } => {
+                // Work-shift the repair to the spare target, like the
+                // write protocol shifts a LostWrite off a dead OST.
+                self.condemned.push(b.ost.0);
+                self.phase = Phase::Repairing { moved: true };
+                self.attempt = 1;
+                self.issue(ctx);
+            }
+            Phase::Repairing { moved: true } => self.settle(BlockFate::Unrepairable, ctx),
+        }
+    }
+
+    fn clear_timeout(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if let Some((_, token)) = self.timeout.take() {
+            ctx.cancel_timer(token);
+        }
+    }
+}
+
+impl Actor for ScrubActor {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.open(TAG_OPEN);
+    }
+
+    fn on_message(&mut self, _f: Rank, _m: (), _c: &mut Ctx<'_, ()>) {}
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ()>) {
+        if self.retry_at == Some(tag) {
+            self.retry_at = None;
+            self.issue(ctx);
+            return;
+        }
+        if self.timeout.as_ref().is_some_and(|&(t, _)| t == tag) {
+            // Per-attempt timeout: the in-flight IO is abandoned (its
+            // eventual completion carries a stale tag and is dropped).
+            self.timeout = None;
+            self.attempt_failed(ctx);
+        }
+    }
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, ()>) {
+        match (done.tag, done.kind) {
+            (TAG_OPEN, CompletionKind::Open) => self.start_block(ctx),
+            (TAG_CLOSE, CompletionKind::Close) => {
+                self.closed = true;
+                ctx.finish();
+            }
+            (tag, CompletionKind::Read | CompletionKind::Write) => {
+                if tag != self.cur_tag {
+                    return; // late completion of a timed-out attempt
+                }
+                self.clear_timeout(ctx);
+                if done.error {
+                    self.attempt_failed(ctx);
+                    return;
+                }
+                let b = self.blocks[self.cur];
+                match self.phase {
+                    Phase::Opening => unreachable!(),
+                    Phase::Reading => {
+                        if !b.corrupt {
+                            self.settle(BlockFate::Verified, ctx);
+                        } else if self.condemned.contains(&b.ost.0) {
+                            self.phase = Phase::Repairing { moved: true };
+                            self.attempt = 1;
+                            self.issue(ctx);
+                        } else {
+                            self.phase = Phase::Repairing { moved: false };
+                            self.attempt = 1;
+                            self.issue(ctx);
+                        }
+                    }
+                    Phase::Repairing { moved } => {
+                        let fate = if moved {
+                            BlockFate::RepairedMoved
+                        } else {
+                            BlockFate::RepairedInPlace
+                        };
+                        self.settle(fate, ctx);
+                    }
+                }
+            }
+            other => panic!("unexpected IO completion for scrubber {}: {other:?}", self.me),
+        }
+    }
+}
+
+/// Scrub a previous output on the simulated timeline: `readers` scrubber
+/// ranks divide `records` round-robin, read every block, and repair the
+/// ones the writing run's corruption `oracle` flagged. Targets in
+/// `oracle.dead` are recreated dead (error mode), so repairs targeting
+/// them error out and get work-shifted to a spare target.
+pub fn run_scrub(
+    machine: &MachineConfig,
+    records: &[WriteRecord],
+    oracle: &CorruptionOracle,
+    readers: usize,
+    tol: FaultTolerance,
+    seed: u64,
+) -> ScrubReport {
+    assert!(readers > 0 && !records.is_empty());
+    // Dense slot mapping, as in ReadPlan::from_records.
+    let mut files_osts: Vec<OstId> = Vec::new();
+    let mut slot_of = std::collections::HashMap::new();
+    for r in records {
+        slot_of.entry(r.file).or_insert_with(|| {
+            files_osts.push(r.ost);
+            (files_osts.len() - 1) as u32
+        });
+    }
+    let mut per_reader: Vec<Vec<ScrubBlock>> = vec![Vec::new(); readers];
+    for (i, r) in records.iter().enumerate() {
+        per_reader[i % readers].push(ScrubBlock {
+            record: i,
+            file_slot: slot_of[&r.file],
+            offset: r.offset,
+            len: r.bytes,
+            ost: r.ost,
+            corrupt: oracle.write_corrupted(r.ost, r.end),
+        });
+    }
+
+    let mut storage = storesim::StorageSystem::new(machine.clone(), seed);
+    let files: Vec<FileId> = files_osts
+        .iter()
+        .enumerate()
+        .map(|(slot, &ost)| {
+            storage
+                .fs_mut()
+                .create(format!("scrub-sub-{slot}.bp"), StripeSpec::Pinned(vec![ost]))
+        })
+        .collect();
+    // Spare repair target: the first OST the oracle does not report dead.
+    let spare_ost = (0..machine.ost_count)
+        .map(OstId)
+        .find(|&o| !oracle.is_dead(o))
+        .unwrap_or(OstId(0));
+    let spare = storage
+        .fs_mut()
+        .create("scrub-spare.bp", StripeSpec::Pinned(vec![spare_ost]));
+    // Recreate dead targets dead: their reads and in-place repairs bounce
+    // with errors, driving the work-shift path.
+    let mut script = FaultScript::none();
+    for &d in &oracle.dead {
+        script = script.fail_ost(0.0, d.0, FailMode::Error, None);
+    }
+    if !script.is_empty() {
+        storage.install_faults(&script);
+    }
+
+    let files = Rc::new(files);
+    let actors: Vec<ScrubActor> = per_reader
+        .into_iter()
+        .enumerate()
+        .map(|(i, blocks)| ScrubActor {
+            blocks,
+            files: Rc::clone(&files),
+            spare,
+            tol,
+            me: i as u32,
+            cur: 0,
+            phase: Phase::Opening,
+            attempt: 0,
+            condemned: Vec::new(),
+            cur_tag: 0,
+            next_tag: TAG_IO_BASE,
+            timeout: None,
+            retry_at: None,
+            next_timer: 1,
+            fates: Vec::new(),
+            repaired_bytes: 0,
+            closed: false,
+        })
+        .collect();
+    let n = actors.len() as u64;
+    let mut sim = Simulation::with_storage(machine.clone(), actors, seed, storage);
+    let stats = sim.run_until(n, SimTime::from_secs_f64(1e6));
+
+    let mut errors = Vec::new();
+    if sim.finish_count() < n {
+        let pending: Vec<u32> = sim
+            .actors()
+            .enumerate()
+            .filter(|(_, a)| !a.closed)
+            .map(|(r, _)| r as u32)
+            .collect();
+        errors.push(SimError::Stalled {
+            pending_ranks: pending,
+            last_event_time: stats.end_time.as_secs_f64(),
+        });
+    }
+    // Assemble per-record fates; blocks a stalled scrubber never reached
+    // count as unreadable, never as silently fine.
+    let mut fates = vec![BlockFate::Unreadable; records.len()];
+    let mut repaired_bytes = 0u64;
+    for a in sim.actors() {
+        for &(record, fate) in &a.fates {
+            fates[record] = fate;
+        }
+        repaired_bytes += a.repaired_bytes;
+    }
+    let mut outcome = ReadOutcome::default();
+    for (i, fate) in fates.iter().enumerate() {
+        match fate {
+            BlockFate::Verified => outcome.verified += 1,
+            BlockFate::RepairedInPlace | BlockFate::RepairedMoved => outcome.repaired += 1,
+            BlockFate::Unrepairable => {
+                outcome.corrupt += 1;
+                errors.push(SimError::DataCorrupted {
+                    rank: records[i].rank,
+                    ost: records[i].ost.0,
+                    bytes: records[i].bytes,
+                });
+            }
+            BlockFate::Unreadable => outcome.unread += 1,
+        }
+    }
+    debug_assert_eq!(outcome.total(), fates.len());
+    ScrubReport {
+        fates,
+        outcome,
+        errors,
+        repaired_bytes,
+        elapsed_secs: stats.end_time.as_secs_f64(),
+    }
+}
+
+/// Summary of a real-bytes repair pass over materialised subfiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// PGs examined across all subfiles.
+    pub scanned: usize,
+    /// PGs whose checksums failed and were re-encoded in place.
+    pub repaired: usize,
+    /// PGs whose checksums failed but could not be repaired (no source
+    /// buffer of the right size).
+    pub unrepaired: usize,
+}
+
+/// Verify and repair materialised subfile bytes in place: forward-scan
+/// each file's data region PG by PG, and re-encode any PG whose checksum
+/// fails from the writing rank's still-resident `blocks` (an online
+/// scrub runs before the application releases its output buffers).
+///
+/// Only the checked layout can detect damage; legacy-layout PGs scan as
+/// clean. Returns per-PG counts.
+pub fn repair_subfiles(
+    subfiles: &mut std::collections::HashMap<String, Vec<u8>>,
+    blocks: &[Vec<VarBlock>],
+    integrity: IntegrityOpts,
+) -> RepairSummary {
+    let mut summary = RepairSummary::default();
+    // Deterministic file order (HashMap iteration is not).
+    let mut names: Vec<String> = subfiles.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let bytes = subfiles.get_mut(&name).expect("key from keys()");
+        let mut at = 0usize;
+        while at < bytes.len() {
+            // Unverified probe: find the PG's owner and extent (payload
+            // damage never breaks structural decoding).
+            let Ok(info) = probe_pg(bytes, at, false) else {
+                break; // index region (or torn tail) reached
+            };
+            summary.scanned += 1;
+            match probe_pg(bytes, at, true) {
+                Ok(_) => {}
+                Err(IntegrityError::BadBlockCrc { .. } | IntegrityError::BadPgHeader { .. }) => {
+                    let rank = info.rank as usize;
+                    let fresh = blocks.get(rank).map(|b| {
+                        encode_pg_opts(info.rank, info.step, b, integrity).0
+                    });
+                    match fresh {
+                        Some(fresh) if fresh.len() as u64 == info.len => {
+                            bytes[at..at + fresh.len()].copy_from_slice(&fresh);
+                            summary.repaired += 1;
+                        }
+                        _ => summary.unrepaired += 1,
+                    }
+                }
+                Err(_) => summary.unrepaired += 1,
+            }
+            at += info.len as usize;
+        }
+    }
+    summary
+}

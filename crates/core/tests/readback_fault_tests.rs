@@ -1,0 +1,226 @@
+//! Restart reads and scrub passes under fault scripts: the consumer side
+//! of an output set must degrade loudly, never hang and never silently
+//! return damaged data.
+
+use adios_core::{
+    run, run_restart_read, run_restart_read_with, run_scrub, run_with_faults, AdaptiveOpts,
+    BlockFate, DataSpec, FaultConfig, FaultTolerance, Interference, Method, ReadPlan, RunSpec,
+    SimError,
+};
+use simcore::units::MIB;
+use storesim::fault::FailMode;
+use storesim::params::testbed;
+use storesim::FaultScript;
+
+fn write_spec(seed: u64) -> RunSpec {
+    RunSpec {
+        machine: testbed(),
+        nprocs: 16,
+        data: DataSpec::Uniform(8 * MIB),
+        method: Method::Adaptive {
+            targets: 4,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed,
+    }
+}
+
+fn storage_faults(script: FaultScript) -> FaultConfig {
+    FaultConfig {
+        storage: script,
+        ..Default::default()
+    }
+}
+
+/// A brownout mid-read slows the restart but everything still arrives.
+#[test]
+fn brownout_mid_read_slows_but_completes() {
+    let out = run(write_spec(31));
+    let plan = ReadPlan::from_records(&out.result.records, 4);
+    let clean = run_restart_read(&testbed(), &plan, 7);
+    let browned = run_restart_read_with(
+        &testbed(),
+        &plan,
+        7,
+        &storage_faults(FaultScript::none().brownout(0.05, 0, 0.05, 30.0)),
+        None,
+    );
+    assert!(browned.errors.is_empty(), "{:?}", browned.errors);
+    assert_eq!(browned.result.total_bytes, clean.total_bytes);
+    assert_eq!(browned.outcome.verified, plan.total_blocks());
+    assert!(
+        browned.result.aggregate_bandwidth() < clean.aggregate_bandwidth(),
+        "brownout must slow the read: {} vs {}",
+        clean.aggregate_bandwidth(),
+        browned.result.aggregate_bandwidth()
+    );
+}
+
+/// An MDS outage at open delays the whole read phase past the outage.
+#[test]
+fn mds_outage_at_open_delays_the_read() {
+    let out = run(write_spec(33));
+    let plan = ReadPlan::from_records(&out.result.records, 4);
+    let clean = run_restart_read(&testbed(), &plan, 9);
+    let outage_secs = 5.0;
+    let delayed = run_restart_read_with(
+        &testbed(),
+        &plan,
+        9,
+        &storage_faults(FaultScript::none().mds_outage(0.0, outage_secs)),
+        None,
+    );
+    assert!(delayed.errors.is_empty(), "{:?}", delayed.errors);
+    assert_eq!(delayed.result.total_bytes, clean.total_bytes);
+    let first_start = delayed
+        .result
+        .per_reader
+        .iter()
+        .map(|&(s, _, _)| s.as_secs_f64())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        first_start >= outage_secs,
+        "opens must wait out the outage, started at {first_start}"
+    );
+}
+
+/// A permanently stalled target turns the read into a structured stall
+/// report instead of a hang or panic.
+#[test]
+fn stalled_target_reports_stall() {
+    let out = run(write_spec(35));
+    let plan = ReadPlan::from_records(&out.result.records, 4);
+    let stalled = run_restart_read_with(
+        &testbed(),
+        &plan,
+        11,
+        &storage_faults(FaultScript::none().fail_ost(0.0, 0, FailMode::Stall, None)),
+        None,
+    );
+    assert!(
+        stalled
+            .errors
+            .iter()
+            .any(|e| matches!(e, SimError::Stalled { .. })),
+        "expected a stall report, got {:?}",
+        stalled.errors
+    );
+    assert!(stalled.outcome.unread > 0, "stuck blocks count as unread");
+    assert_eq!(stalled.outcome.total(), plan.total_blocks());
+}
+
+/// A dead (error-mode) target makes its blocks unreadable — counted,
+/// never silently skipped — while the others still verify.
+#[test]
+fn dead_target_blocks_are_counted_unread() {
+    let out = run(write_spec(37));
+    let plan = ReadPlan::from_records(&out.result.records, 4);
+    let degraded = run_restart_read_with(
+        &testbed(),
+        &plan,
+        13,
+        &storage_faults(FaultScript::none().fail_ost(0.0, 0, FailMode::Error, None)),
+        None,
+    );
+    assert!(degraded.outcome.unread > 0);
+    assert!(degraded.outcome.verified > 0);
+    assert_eq!(degraded.outcome.total(), plan.total_blocks());
+}
+
+/// Verify-on-read against the writing run's oracle: every corrupted
+/// block is flagged, every clean block verifies.
+#[test]
+fn verify_on_read_flags_exactly_the_oracle_blocks() {
+    let out = run_with_faults(
+        write_spec(39),
+        storage_faults(FaultScript::none().silent_corruption(0.0, 0, None, 1.0)),
+    );
+    assert!(out.integrity.corrupt_records > 0, "script must bite");
+    let plan = ReadPlan::from_records(&out.result.records, 4);
+    let read = run_restart_read_with(&testbed(), &plan, 15, &FaultConfig::none(), Some(&out.oracle));
+    assert_eq!(read.outcome.corrupt, out.integrity.corrupt_records);
+    assert_eq!(
+        read.outcome.verified,
+        out.result.records.len() - out.integrity.corrupt_records
+    );
+    assert_eq!(read.outcome.unread, 0);
+    // Without the oracle (no checksums) the same read sees nothing.
+    let blind = run_restart_read_with(&testbed(), &plan, 15, &FaultConfig::none(), None);
+    assert_eq!(blind.outcome.corrupt, 0);
+}
+
+/// Scrub repairs corrupt blocks in place when their target is healthy.
+#[test]
+fn scrub_repairs_in_place_on_healthy_targets() {
+    let out = run_with_faults(
+        write_spec(41),
+        storage_faults(FaultScript::none().silent_corruption(0.0, 1, None, 1.0)),
+    );
+    let n_corrupt = out.integrity.corrupt_records;
+    assert!(n_corrupt > 0, "script must bite");
+    let report = run_scrub(
+        &testbed(),
+        &out.result.records,
+        &out.oracle,
+        4,
+        FaultTolerance::enabled(),
+        43,
+    );
+    assert!(report.fully_repaired(), "{:?}", report.errors);
+    assert_eq!(report.outcome.repaired, n_corrupt);
+    assert!(report
+        .fates
+        .iter()
+        .all(|f| matches!(f, BlockFate::Verified | BlockFate::RepairedInPlace)));
+    assert!(report.repaired_bytes > 0);
+    assert_eq!(report.outcome.total(), out.result.records.len());
+}
+
+/// When a corrupted block's target has since died, the repair is
+/// work-shifted to a spare target instead of abandoned.
+#[test]
+fn scrub_moves_repairs_off_dead_targets() {
+    // Corrupt everything on OST 2 during the run, then model the target
+    // dying between the run and the scrub: the oracle snapshot handed to
+    // the scrubber reports it both corrupt and dead.
+    let mut out = run_with_faults(
+        write_spec(45),
+        storage_faults(FaultScript::none().silent_corruption(0.0, 2, None, 1.0)),
+    );
+    out.oracle.dead.push(storesim::layout::OstId(2));
+    assert!(out.oracle.is_dead(storesim::layout::OstId(2)));
+    let flagged = out
+        .result
+        .records
+        .iter()
+        .filter(|r| out.oracle.write_corrupted(r.ost, r.end))
+        .count();
+    assert!(flagged > 0, "script must bite");
+    let report = run_scrub(
+        &testbed(),
+        &out.result.records,
+        &out.oracle,
+        4,
+        FaultTolerance::enabled(),
+        47,
+    );
+    let moved = report
+        .fates
+        .iter()
+        .filter(|f| **f == BlockFate::RepairedMoved)
+        .count();
+    assert_eq!(moved, flagged, "every dead-target repair is work-shifted");
+    assert_eq!(report.outcome.repaired, moved);
+    // Blocks on the dead target that were NOT corrupted read as unread
+    // (their bytes are gone with the target), never as verified.
+    assert!(report
+        .fates
+        .iter()
+        .zip(&out.result.records)
+        .all(|(f, r)| if r.ost.0 == 2 && !out.oracle.write_corrupted(r.ost, r.end) {
+            *f == BlockFate::Unreadable
+        } else {
+            true
+        }));
+}

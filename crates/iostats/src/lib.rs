@@ -9,10 +9,12 @@
 
 pub mod histogram;
 pub mod imbalance;
+pub mod outcome;
 pub mod summary;
 pub mod table;
 
 pub use histogram::Histogram;
 pub use imbalance::{capacity_ratio, imbalance_factor, mean_imbalance};
+pub use outcome::{outcome_table, OutcomeRow};
 pub use summary::{quantile, Summary};
 pub use table::{fmt_mibps, Table};

@@ -1,0 +1,115 @@
+//! Outcome summary tables: byte- and block-level accounting of runs
+//! under faults, rendered alongside the timing tables.
+//!
+//! The write side reports the `written + lost == total` byte accounting
+//! of a run's `WriteOutcome`; the read/scrub side reports the
+//! `verified + corrupt + repaired + unread == total` block accounting of
+//! a `ReadOutcome`. This crate stays dependency-free, so callers pass the
+//! counters, not the core types.
+
+use crate::table::Table;
+
+/// One labelled row of end-to-end accounting for a run: bytes on the
+/// write side, blocks on the verify/scrub side.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeRow {
+    /// Scenario / method label.
+    pub label: String,
+    /// Bytes the workload intended to write.
+    pub total_bytes: u64,
+    /// Bytes durably present at run end.
+    pub written_bytes: u64,
+    /// Bytes never written or destroyed.
+    pub lost_bytes: u64,
+    /// Surviving blocks the oracle flagged as silently corrupt.
+    pub corrupt_blocks: usize,
+    /// Corrupt blocks a scrub pass rewrote.
+    pub repaired_blocks: usize,
+    /// Corrupt blocks that remained damaged after verification/scrub.
+    pub unrepaired_blocks: usize,
+}
+
+impl OutcomeRow {
+    /// True when all bytes landed and no silent damage remains.
+    pub fn clean(&self) -> bool {
+        self.lost_bytes == 0 && self.unrepaired_blocks == 0
+    }
+}
+
+fn fmt_mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Render rows of write/integrity accounting as an aligned table with
+/// columns: label, total/written/lost MiB, corrupt/repaired/unrepaired
+/// block counts, and a final verdict column.
+pub fn outcome_table(rows: &[OutcomeRow]) -> Table {
+    let mut t = Table::new(vec![
+        "scenario",
+        "total MiB",
+        "written MiB",
+        "lost MiB",
+        "corrupt",
+        "repaired",
+        "unrepaired",
+        "verdict",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            fmt_mib(r.total_bytes),
+            fmt_mib(r.written_bytes),
+            fmt_mib(r.lost_bytes),
+            r.corrupt_blocks.to_string(),
+            r.repaired_blocks.to_string(),
+            r.unrepaired_blocks.to_string(),
+            if r.clean() { "clean" } else { "DAMAGED" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_flags_damage() {
+        let rows = vec![
+            OutcomeRow {
+                label: "adaptive+scrub".into(),
+                total_bytes: 4 * 1024 * 1024,
+                written_bytes: 4 * 1024 * 1024,
+                corrupt_blocks: 3,
+                repaired_blocks: 3,
+                ..Default::default()
+            },
+            OutcomeRow {
+                label: "mpiio".into(),
+                total_bytes: 4 * 1024 * 1024,
+                written_bytes: 4 * 1024 * 1024,
+                corrupt_blocks: 3,
+                unrepaired_blocks: 3,
+                ..Default::default()
+            },
+        ];
+        assert!(rows[0].clean() && !rows[1].clean());
+        let rendered = outcome_table(&rows).render();
+        assert!(rendered.contains("adaptive+scrub"));
+        assert!(rendered.contains("clean"));
+        assert!(rendered.contains("DAMAGED"));
+        assert!(rendered.contains("4.0"));
+    }
+
+    #[test]
+    fn lost_bytes_are_damage() {
+        let r = OutcomeRow {
+            label: "x".into(),
+            total_bytes: 10,
+            written_bytes: 8,
+            lost_bytes: 2,
+            ..Default::default()
+        };
+        assert!(!r.clean());
+    }
+}

@@ -72,6 +72,32 @@ pub enum FaultEvent {
         /// Outage length.
         duration: SimDuration,
     },
+    /// Silent corruption window on one OST: each data write completing
+    /// inside the window is, with probability `rate`, recorded as corrupt
+    /// in the [`CorruptionOracle`] — the write itself completes normally
+    /// (no error, no timing change), exactly like a firmware bug or a
+    /// bit-rotting medium. Detection is entirely the reader's problem.
+    SilentCorruption {
+        /// When the window opens.
+        at: SimTime,
+        /// Affected target.
+        ost: OstId,
+        /// Window length (`None` = until the end of the run).
+        duration: Option<SimDuration>,
+        /// Per-write corruption probability in (0, 1].
+        rate: f64,
+    },
+    /// Torn write: at `at`, every in-flight request on `ost` is aborted
+    /// with an error completion (only a prefix of each racing write
+    /// persists — recorded in the oracle's torn log), but the OST itself
+    /// stays healthy, so retries land normally. A momentary write-path
+    /// crash, not an outage.
+    TornWrite {
+        /// The tearing instant.
+        at: SimTime,
+        /// Affected target.
+        ost: OstId,
+    },
 }
 
 impl FaultEvent {
@@ -80,8 +106,51 @@ impl FaultEvent {
         match self {
             FaultEvent::Brownout { at, .. }
             | FaultEvent::OstFail { at, .. }
-            | FaultEvent::MdsOutage { at, .. } => *at,
+            | FaultEvent::MdsOutage { at, .. }
+            | FaultEvent::SilentCorruption { at, .. }
+            | FaultEvent::TornWrite { at, .. } => *at,
         }
+    }
+}
+
+/// Ground truth about quiet damage, snapshot from a
+/// [`StorageSystem`](crate::StorageSystem) after a run — the integrity
+/// mirror of `ost_lost_data_since`. Writes are keyed by `(target,
+/// completion instant)`, which is exactly how the protocol layer records
+/// them, so a consumer can correlate each of its write records with the
+/// oracle without any side channel.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CorruptionOracle {
+    /// Data writes silently corrupted: `(target, completion time)`.
+    pub corrupt: Vec<(OstId, SimTime)>,
+    /// Torn-write abort instants: `(target, tear time)`. The aborted
+    /// writes surfaced error completions; this log records that partial
+    /// prefixes of them persist on the target.
+    pub torn: Vec<(OstId, SimTime)>,
+    /// Targets dead (failed, not recovered) at snapshot time.
+    pub dead: Vec<OstId>,
+}
+
+impl CorruptionOracle {
+    /// True when nothing was corrupted, torn, or dead.
+    pub fn is_empty(&self) -> bool {
+        self.corrupt.is_empty() && self.torn.is_empty() && self.dead.is_empty()
+    }
+
+    /// Was the data write that completed on `ost` at `finished` silently
+    /// corrupted?
+    pub fn write_corrupted(&self, ost: OstId, finished: SimTime) -> bool {
+        self.corrupt.iter().any(|&(o, t)| o == ost && t == finished)
+    }
+
+    /// Is `ost` dead (failed without recovery) as of the snapshot?
+    pub fn is_dead(&self, ost: OstId) -> bool {
+        self.dead.contains(&ost)
+    }
+
+    /// Number of silently corrupted writes.
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt.len()
     }
 }
 
@@ -153,6 +222,45 @@ impl FaultScript {
         self
     }
 
+    /// Add a silent-corruption window (`duration_secs` of `None` = open
+    /// until the end of the run). Each data write completing on `ost`
+    /// inside the window is corrupted with probability `rate`.
+    pub fn silent_corruption(
+        mut self,
+        at: f64,
+        ost: usize,
+        duration_secs: Option<f64>,
+        rate: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "corruption rate in [0, 1]");
+        self.events.push(FaultEvent::SilentCorruption {
+            at: SimTime::from_secs_f64(at),
+            ost: OstId(ost),
+            duration: duration_secs.map(SimDuration::from_secs_f64),
+            rate,
+        });
+        self
+    }
+
+    /// Add a torn-write instant on `ost`.
+    pub fn torn_write(mut self, at: f64, ost: usize) -> Self {
+        self.events.push(FaultEvent::TornWrite {
+            at: SimTime::from_secs_f64(at),
+            ost: OstId(ost),
+        });
+        self
+    }
+
+    /// True when every event is a [`FaultEvent::SilentCorruption`] — such
+    /// a script never perturbs timing, error paths or liveness, so runs
+    /// keep byte-identical timelines and real-payload data modes stay
+    /// valid (corruption is applied to materialised bytes afterwards).
+    pub fn is_silent_only(&self) -> bool {
+        self.events
+            .iter()
+            .all(|e| matches!(e, FaultEvent::SilentCorruption { .. }))
+    }
+
     /// Generate a random—but seed-reproducible—script: up to `max_events`
     /// events over `[0, horizon_secs)` on a machine with `ost_count`
     /// targets. Used by the seeded-loop property tests: any script this
@@ -191,6 +299,64 @@ impl FaultScript {
                 _ => {
                     let dur = rng.uniform(0.05, horizon_secs / 4.0);
                     script = script.mds_outage(at, dur);
+                }
+            }
+        }
+        script
+    }
+
+    /// Like [`FaultScript::random`], with the integrity fault families
+    /// mixed in (silent-corruption windows and torn writes) — the script
+    /// space for the no-silent-bad-reads property test. Kept separate so
+    /// [`FaultScript::random`]'s per-seed output (pinned by PR 2's tests)
+    /// is unchanged.
+    pub fn random_with_integrity(
+        seed: u64,
+        ost_count: usize,
+        horizon_secs: f64,
+        max_events: usize,
+    ) -> Self {
+        let mut rng = Rng::new(seed ^ 0x1D7E_6217_C0AA_B5E3);
+        let n = rng.below(max_events as u64 + 1) as usize;
+        let mut script = FaultScript::none();
+        for _ in 0..n {
+            let at = rng.uniform(0.0, horizon_secs);
+            let ost = rng.below(ost_count as u64) as usize;
+            match rng.below(6) {
+                0 => {
+                    let factor = rng.uniform(0.05, 0.9);
+                    let dur = rng.uniform(0.1, horizon_secs / 2.0);
+                    script = script.brownout(at, ost, factor, dur);
+                }
+                1 => {
+                    let rec = if rng.chance(0.7) {
+                        Some(at + rng.uniform(0.5, horizon_secs))
+                    } else {
+                        None
+                    };
+                    script = script.fail_ost(at, ost, FailMode::Error, rec);
+                }
+                2 => {
+                    let rec = at + rng.uniform(0.5, horizon_secs / 2.0);
+                    script = script.fail_ost(at, ost, FailMode::Stall, Some(rec));
+                }
+                3 => {
+                    let dur = rng.uniform(0.05, horizon_secs / 4.0);
+                    script = script.mds_outage(at, dur);
+                }
+                4 => {
+                    // Silent corruption: often aggressive rates so the
+                    // property test actually exercises repair paths.
+                    let rate = rng.uniform(0.1, 1.0);
+                    let dur = if rng.chance(0.6) {
+                        Some(rng.uniform(0.5, horizon_secs / 2.0))
+                    } else {
+                        None
+                    };
+                    script = script.silent_corruption(at, ost, dur, rate);
+                }
+                _ => {
+                    script = script.torn_write(at, ost);
                 }
             }
         }
@@ -240,8 +406,72 @@ mod tests {
                     FaultEvent::MdsOutage { duration, .. } => {
                         assert!(duration.as_secs_f64() > 0.0)
                     }
+                    FaultEvent::SilentCorruption { ost, rate, .. } => {
+                        assert!(ost.0 < 4);
+                        assert!(*rate > 0.0 && *rate <= 1.0);
+                    }
+                    FaultEvent::TornWrite { ost, .. } => assert!(ost.0 < 4),
                 }
             }
         }
+    }
+
+    #[test]
+    fn integrity_scripts_cover_new_families_and_reproduce() {
+        let a = FaultScript::random_with_integrity(3, 8, 100.0, 10);
+        let b = FaultScript::random_with_integrity(3, 8, 100.0, 10);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let mut saw_silent = false;
+        let mut saw_torn = false;
+        for seed in 0..60 {
+            let s = FaultScript::random_with_integrity(seed, 4, 50.0, 8);
+            assert!(s.events.len() <= 8);
+            for e in &s.events {
+                assert!(e.at().as_secs_f64() < 50.0);
+                match e {
+                    FaultEvent::SilentCorruption { ost, rate, .. } => {
+                        saw_silent = true;
+                        assert!(ost.0 < 4);
+                        assert!(*rate > 0.0 && *rate <= 1.0);
+                    }
+                    FaultEvent::TornWrite { ost, .. } => {
+                        saw_torn = true;
+                        assert!(ost.0 < 4);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_silent && saw_torn, "60 seeds must hit both families");
+    }
+
+    #[test]
+    fn silent_only_classification() {
+        let s = FaultScript::none()
+            .silent_corruption(1.0, 0, Some(5.0), 0.5)
+            .silent_corruption(2.0, 1, None, 1.0);
+        assert!(s.is_silent_only());
+        assert!(FaultScript::none().is_silent_only());
+        assert!(!s.torn_write(3.0, 0).is_silent_only());
+        assert!(!FaultScript::none().brownout(1.0, 0, 0.5, 1.0).is_silent_only());
+    }
+
+    #[test]
+    fn oracle_membership_queries() {
+        let t1 = SimTime::from_secs_f64(1.5);
+        let t2 = SimTime::from_secs_f64(2.5);
+        let oracle = CorruptionOracle {
+            corrupt: vec![(OstId(0), t1), (OstId(2), t2)],
+            torn: vec![(OstId(1), t2)],
+            dead: vec![OstId(3)],
+        };
+        assert!(oracle.write_corrupted(OstId(0), t1));
+        assert!(!oracle.write_corrupted(OstId(0), t2));
+        assert!(!oracle.write_corrupted(OstId(1), t2));
+        assert!(oracle.is_dead(OstId(3)));
+        assert!(!oracle.is_dead(OstId(0)));
+        assert_eq!(oracle.corrupt_count(), 2);
+        assert!(!oracle.is_empty());
+        assert!(CorruptionOracle::default().is_empty());
     }
 }

@@ -33,7 +33,7 @@ pub mod ost;
 pub mod params;
 pub mod system;
 
-pub use fault::{FailMode, FaultEvent, FaultScript};
+pub use fault::{CorruptionOracle, FailMode, FaultEvent, FaultScript};
 pub use layout::{FileId, FileSystem, OstId, StripeSpec};
 pub use object::ObjectStore;
 pub use params::{JobNoiseParams, MachineConfig, MdsParams, MicroNoiseParams, NoiseParams, OstParams};

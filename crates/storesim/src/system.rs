@@ -15,7 +15,7 @@
 
 use simcore::{EventQueue, EventToken, FxHashMap, Rng, SimDuration, SimTime, SplitMix64};
 
-use crate::fault::{FailMode, FaultEvent, FaultScript};
+use crate::fault::{CorruptionOracle, FailMode, FaultEvent, FaultScript};
 use crate::jobs::{combined_factor, CompetingLoad, JobLoadModel};
 use crate::layout::{FileId, FileSystem, OstId, StripeSpec};
 use crate::mds::{Mds, MetaOp};
@@ -24,7 +24,7 @@ use crate::ost::{OpKind, Ost, RequestId};
 use crate::params::MachineConfig;
 
 /// A finished storage operation, surfaced to the driver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StorageCompletion {
     /// Caller-provided correlation tag.
     pub tag: u64,
@@ -92,6 +92,11 @@ struct OpState {
     submitted: SimTime,
     kind: CompletionKind,
     error: bool,
+    /// Set when a constituent data-write chunk completed inside an active
+    /// silent-corruption window and lost the coin flip; recorded in the
+    /// corruption log (keyed by the op's completion time) unless the op
+    /// later aborts.
+    corrupt_ost: Option<OstId>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -143,6 +148,17 @@ pub struct StorageSystem {
     next_req: u64,
     next_op: u64,
     rng: Rng,
+    /// Isolated RNG stream for silent-corruption draws: taken from the
+    /// same seeder as `rng` but advanced independently, so corruption
+    /// decisions never perturb the main stochastic timeline (noise, jobs,
+    /// background gaps stay byte-identical with or without corruption).
+    corrupt_rng: Rng,
+    /// Active silent-corruption windows: (ost index, start, end, rate).
+    corrupt_windows: Vec<(usize, SimTime, Option<SimTime>, f64)>,
+    /// Silently corrupted data writes: (target, op completion time).
+    corrupt_log: Vec<(OstId, SimTime)>,
+    /// Torn-write abort instants: (target, tear time).
+    torn_log: Vec<(OstId, SimTime)>,
     out: Vec<StorageCompletion>,
 }
 
@@ -152,6 +168,7 @@ impl StorageSystem {
     pub fn new(cfg: MachineConfig, seed: u64) -> Self {
         let mut seeder = SplitMix64::new(seed);
         let mut rng = seeder.stream();
+        let corrupt_rng = seeder.stream();
         let mut queue = EventQueue::new();
         let mut osts = Vec::with_capacity(cfg.ost_count);
         let mut micro = Vec::with_capacity(cfg.ost_count);
@@ -207,6 +224,10 @@ impl StorageSystem {
             next_req: 0,
             next_op: 0,
             rng,
+            corrupt_rng,
+            corrupt_windows: Vec::new(),
+            corrupt_log: Vec::new(),
+            torn_log: Vec::new(),
             out: Vec::new(),
         };
         sys.init_jobs();
@@ -422,6 +443,7 @@ impl StorageSystem {
                 submitted: now,
                 kind: ck,
                 error: false,
+                corrupt_ost: None,
             },
         );
         for &(ost, bytes) in chunks {
@@ -462,6 +484,7 @@ impl StorageSystem {
                 submitted: now,
                 kind: ck,
                 error: false,
+                corrupt_ost: None,
             },
         );
         let rid = self.fresh_req();
@@ -509,6 +532,20 @@ impl StorageSystem {
     /// never destroy data.
     pub fn ost_lost_data_since(&self, ost: OstId, t: SimTime) -> bool {
         self.error_fail_times[ost.0].iter().any(|&s| s >= t)
+    }
+
+    /// Snapshot the ground truth about quiet damage: silently corrupted
+    /// writes, torn-write instants, and currently dead targets. The
+    /// integrity mirror of [`StorageSystem::ost_lost_data_since`].
+    pub fn integrity_oracle(&self) -> CorruptionOracle {
+        CorruptionOracle {
+            corrupt: self.corrupt_log.clone(),
+            torn: self.torn_log.clone(),
+            dead: (0..self.health.len())
+                .filter(|&i| self.health[i] == OstHealth::Failed)
+                .map(OstId)
+                .collect(),
+        }
     }
 
     /// Install a perpetual background stream on `ost`: a `bytes`-sized
@@ -577,7 +614,7 @@ impl StorageSystem {
                     self.ost_token[i] = None;
                     let done = self.osts[i].advance(t);
                     for c in done {
-                        self.finish_request(t, c.id);
+                        self.finish_request(t, c.id, Some(i));
                     }
                     self.replan_ost(i, t);
                 }
@@ -585,7 +622,7 @@ impl StorageSystem {
                     self.mds_token = None;
                     let done = self.mds.advance(t);
                     for c in done {
-                        self.finish_request(t, c.id);
+                        self.finish_request(t, c.id, None);
                     }
                     self.replan_mds(t);
                 }
@@ -708,10 +745,41 @@ impl StorageSystem {
                 self.replan_mds(t);
                 self.queue.schedule(t + duration, Internal::MdsRecover(self.mds_gen));
             }
+            FaultEvent::SilentCorruption {
+                ost,
+                duration,
+                rate,
+                ..
+            } => {
+                // Deliberately schedules nothing and touches no OST state:
+                // a silent-corruption window must leave the event timeline
+                // byte-identical to a clean run.
+                let end = duration.map(|d| t + d);
+                self.corrupt_windows.push((ost.0, t, end, rate));
+            }
+            FaultEvent::TornWrite { ost, .. } => {
+                let i = ost.0;
+                let mut torn_any = false;
+                for rid in self.osts[i].fail_all(t) {
+                    if let Some(spec) = self.background.remove(&rid.0) {
+                        // The target stays healthy, so the interference
+                        // stream restarts immediately (its burst begins
+                        // over — only its own prefix was torn).
+                        self.start_background(t, spec);
+                        continue;
+                    }
+                    torn_any = true;
+                    self.complete_part(t, rid, true);
+                }
+                if torn_any {
+                    self.torn_log.push((ost, t));
+                }
+                self.replan_ost(i, t);
+            }
         }
     }
 
-    fn finish_request(&mut self, now: SimTime, rid: RequestId) {
+    fn finish_request(&mut self, now: SimTime, rid: RequestId, ost: Option<usize>) {
         if let Some(spec) = self.background.remove(&rid.0) {
             match spec.mean_gap {
                 None => self.start_background(now, spec),
@@ -725,7 +793,37 @@ impl StorageSystem {
             }
             return;
         }
+        if let Some(i) = ost {
+            self.maybe_corrupt(now, rid, i);
+        }
         self.complete_part(now, rid, false);
+    }
+
+    /// Silent-corruption decision for one data-write chunk completing on
+    /// OST `i` at `now`. Draws from the isolated corruption stream only
+    /// when a window is active, so corruption-free runs (and non-write
+    /// completions) consume nothing from it.
+    fn maybe_corrupt(&mut self, now: SimTime, rid: RequestId, i: usize) {
+        let Some(&op_id) = self.req_to_op.get(&rid.0) else {
+            return;
+        };
+        let Some(op) = self.ops.get(&op_id) else {
+            return;
+        };
+        if op.kind != CompletionKind::Write {
+            return;
+        }
+        let rate = self
+            .corrupt_windows
+            .iter()
+            .filter(|&&(ost, start, end, _)| {
+                ost == i && start <= now && end.map(|e| now <= e).unwrap_or(true)
+            })
+            .map(|&(_, _, _, r)| r)
+            .fold(0.0f64, f64::max);
+        if rate > 0.0 && self.corrupt_rng.chance(rate) {
+            self.ops.get_mut(&op_id).expect("op state exists").corrupt_ost = Some(OstId(i));
+        }
     }
 
     /// Account one finished (or aborted) constituent request against its
@@ -741,6 +839,12 @@ impl StorageSystem {
         op.error |= error;
         if op.pending == 0 {
             let op = self.ops.remove(&op_id).expect("op state exists");
+            if let (Some(ost), false) = (op.corrupt_ost, op.error) {
+                // The write took effect but carries a silent bit-flip;
+                // key the log by completion time so it correlates with
+                // the protocol's write records.
+                self.corrupt_log.push((ost, now));
+            }
             self.out.push(StorageCompletion {
                 tag: op.tag,
                 bytes: op.total_bytes,
@@ -1055,6 +1159,96 @@ mod tests {
         sys.submit_ost_write(SimTime::ZERO, OstId(0), 1024 * MIB, 0);
         let done = sys.run_until_quiet(t(0.001));
         assert!(done.is_empty(), "deadline too early for completion");
+    }
+
+    #[test]
+    fn silent_corruption_logs_without_touching_the_timeline() {
+        let workload = |script: Option<FaultScript>| {
+            let mut sys = StorageSystem::new(testbed(), 13);
+            if let Some(script) = script {
+                sys.install_faults(&script);
+            }
+            sys.add_background_stream(SimTime::ZERO, OstId(1), 64 * MIB);
+            for i in 0..6u64 {
+                sys.submit_ost_write(
+                    SimTime::ZERO + SimDuration::from_millis(i),
+                    OstId((i % 2) as usize),
+                    16 * MIB,
+                    i,
+                );
+            }
+            let done = sys.run_until_quiet(t(1e6));
+            let oracle = sys.integrity_oracle();
+            (done, oracle)
+        };
+        let (clean, clean_oracle) = workload(None);
+        let script = FaultScript::none().silent_corruption(0.0, 0, None, 1.0);
+        assert!(script.is_silent_only());
+        let (dirty, oracle) = workload(Some(script));
+
+        // The whole point of the isolated corruption stream: completions
+        // (count, times, error flags) are byte-identical either way.
+        assert_eq!(clean, dirty);
+        assert!(clean_oracle.is_empty());
+
+        // Rate 1.0 on OST 0 → exactly the three OST-0 writes are flagged,
+        // keyed by their completion times; OST 1 is untouched.
+        assert_eq!(oracle.corrupt_count(), 3);
+        for c in dirty.iter().filter(|c| c.tag % 2 == 0) {
+            assert!(oracle.write_corrupted(OstId(0), c.finished));
+        }
+        assert!(!oracle.corrupt.iter().any(|&(o, _)| o == OstId(1)));
+        assert!(oracle.torn.is_empty() && oracle.dead.is_empty());
+    }
+
+    #[test]
+    fn silent_corruption_window_expires() {
+        let mut sys = StorageSystem::new(testbed(), 14);
+        sys.install_faults(&FaultScript::none().silent_corruption(0.0, 0, Some(0.0001), 1.0));
+        // Submitted after the window closes: completion is far past 0.1 ms.
+        sys.submit_ost_write(t(1.0), OstId(0), 16 * MIB, 0);
+        let done = sys.run_until_quiet(t(1e6));
+        assert_eq!(done.len(), 1);
+        assert!(sys.integrity_oracle().is_empty());
+    }
+
+    #[test]
+    fn torn_write_aborts_foreground_and_restarts_background() {
+        let mut sys = StorageSystem::new(testbed(), 15);
+        sys.add_background_stream(SimTime::ZERO, OstId(0), 64 * MIB);
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), 512 * MIB, 7);
+        sys.install_faults(&FaultScript::none().torn_write(0.5, 0));
+        let done = sys.run_until_quiet(t(1e6));
+        assert_eq!(done.len(), 1);
+        assert!(done[0].error, "torn write surfaces as an error completion");
+        assert!(
+            (done[0].finished.as_secs_f64() - 0.5).abs() < 1e-9,
+            "aborted at the tear instant"
+        );
+        let oracle = sys.integrity_oracle();
+        assert_eq!(oracle.torn, vec![(OstId(0), t(0.5))]);
+        assert!(oracle.dead.is_empty(), "target itself stays healthy");
+
+        // The OST is still alive: a retry write completes cleanly, and the
+        // restarted background stream keeps interfering (never surfaces).
+        sys.submit_ost_write(t(1.0), OstId(0), 16 * MIB, 8);
+        let retry = sys.run_until_quiet(t(1e6));
+        assert_eq!(retry.len(), 1);
+        assert!(!retry[0].error);
+    }
+
+    #[test]
+    fn oracle_reports_failed_targets_as_dead() {
+        let mut sys = StorageSystem::new(testbed(), 16);
+        sys.install_faults(&FaultScript::none().fail_ost(
+            0.0,
+            2,
+            FailMode::Error,
+            None,
+        ));
+        sys.submit_ost_write(t(1.0), OstId(0), MIB, 0);
+        let _ = sys.run_until_quiet(t(1e6));
+        assert_eq!(sys.integrity_oracle().dead, vec![OstId(2)]);
     }
 
     #[test]

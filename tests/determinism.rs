@@ -128,6 +128,93 @@ fn faulted_replicates_match_serial_bytes() {
     assert_eq!(a, b, "thread count leaked into faulted campaign artifacts");
 }
 
+/// Opting out of the checked layout is the pre-integrity behaviour,
+/// exactly: `IntegrityOpts::off()` (also the default) produces artifacts
+/// byte-identical to default opts, and with Real data the materialised
+/// subfile bytes are identical too — the integrity feature costs nothing
+/// unless switched on.
+#[test]
+fn integrity_off_is_byte_identical_to_default() {
+    use managed_io::bpfmt::IntegrityOpts;
+    use managed_io::workloads::pixie3d::Pixie3dConfig;
+    let cfg = Pixie3dConfig { cube: 5, nprocs: 16 };
+    let mut rng = managed_io::simcore::Rng::new(77);
+    let blocks: Vec<_> = (0..16).map(|r| cfg.blocks_of(r, &mut rng)).collect();
+    let spec = |integrity| RunSpec {
+        machine: testbed(),
+        nprocs: 16,
+        data: DataSpec::Real(blocks.clone()),
+        method: Method::Adaptive {
+            targets: 4,
+            opts: AdaptiveOpts {
+                integrity,
+                ..Default::default()
+            },
+        },
+        interference: Interference::None,
+        seed: SEED ^ 0x1F,
+    };
+    let base = run(spec(IntegrityOpts::default()));
+    let off = run(spec(IntegrityOpts::off()));
+    assert_eq!(
+        artifact(std::slice::from_ref(&base.result)),
+        artifact(std::slice::from_ref(&off.result)),
+        "IntegrityOpts::off() changed the timeline"
+    );
+    let (base_files, off_files) = (base.subfiles.unwrap(), off.subfiles.unwrap());
+    assert_eq!(base_files.len(), off_files.len());
+    for (name, bytes) in &base_files {
+        assert_eq!(Some(bytes), off_files.get(name), "subfile {name} differs");
+    }
+    // Switching integrity ON must also be deterministic, and visibly
+    // different (checksummed layout is larger on the wire).
+    let on1 = run(spec(IntegrityOpts::on()));
+    let on2 = run(spec(IntegrityOpts::on()));
+    assert_eq!(
+        artifact(std::slice::from_ref(&on1.result)),
+        artifact(std::slice::from_ref(&on2.result))
+    );
+    assert!(on1.result.total_bytes > base.result.total_bytes);
+}
+
+/// A silent-corruption-only fault script never perturbs the timeline:
+/// the corruption RNG is an isolated stream and corruption windows
+/// schedule no queue events, so the dirty run's records are
+/// byte-identical to the clean run's — only the oracle differs.
+#[test]
+fn silent_corruption_leaves_timeline_identical() {
+    let spec = || RunSpec {
+        machine: testbed(),
+        nprocs: 24,
+        data: DataSpec::Uniform(8 * MIB),
+        method: Method::Adaptive {
+            targets: 6,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed: SEED ^ 0x2F,
+    };
+    let clean = run(spec());
+    let dirty = run_with_faults(
+        spec(),
+        FaultConfig {
+            storage: managed_io::storesim::FaultScript::none()
+                .silent_corruption(0.0, 0, None, 0.5)
+                .silent_corruption(1.0, 3, Some(60.0), 1.0),
+            ..Default::default()
+        },
+    );
+    assert!(
+        dirty.integrity.corrupt_records > 0,
+        "the script must actually corrupt something"
+    );
+    assert_eq!(
+        artifact(std::slice::from_ref(&clean.result)),
+        artifact(std::slice::from_ref(&dirty.result)),
+        "silent corruption leaked into the timeline"
+    );
+}
+
 /// The env-driven path (`MANAGED_IO_THREADS`) that the fig1/fig7 and
 /// campaign harnesses use: summaries are byte-identical under 1 vs 4
 /// worker threads. This is the only test in this binary that touches the

@@ -141,7 +141,7 @@ fn subfile_index_complete() {
                 .entries
                 .iter()
                 .filter(|e| e.rank == *rank)
-                .any(|e| read_f64(&file, e) == *vals);
+                .any(|e| read_f64(&file, e).unwrap() == *vals);
             assert!(found, "case {case}: rank {rank} block lost");
         }
     }
@@ -393,5 +393,240 @@ fn attributes_roundtrip() {
         }
         let back = Attributes::parse(&a.serialize()).unwrap();
         assert_eq!(back, a, "case {case}");
+    }
+}
+
+/// Checked-layout subfiles survive arbitrary truncation honestly: the
+/// verified parse either returns the exact index or a structured error,
+/// and the forward-scan recovery reconstructs exactly the process groups
+/// wholly inside the surviving prefix — never a silently wrong index.
+#[test]
+fn torn_tail_recovery_is_exact_or_loud() {
+    use managed_io::bpfmt::{recover_index, IntegrityError, IntegrityOpts};
+
+    for case in 0..100 {
+        let mut rng = case_rng(13, case);
+        // Random PG layout in the checked format.
+        let n_pgs = 1 + rng.below(6) as usize;
+        let mut w = managed_io::bpfmt::SubfileWriter::with_integrity(IntegrityOpts::on());
+        let mut pg_ends: Vec<usize> = Vec::new();
+        for p in 0..n_pgs {
+            let n = 1 + rng.below(24);
+            let vals: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -1e6, 1e6)).collect();
+            let b = VarBlock::from_f64(ascii_name(&mut rng, 6), vec![n], vec![0], vec![n], &vals);
+            w.append(p as u32, 0, &[b]);
+            pg_ends.push(w.data_len() as usize);
+        }
+        let (file, index) = w.finalize();
+        // Truncation point anywhere in the file (including no cut).
+        let cut = rng.below(file.len() as u64 + 1) as usize;
+        let torn = &file[..cut];
+
+        if cut == file.len() {
+            let parsed = LocalIndex::parse_verified(&file).unwrap();
+            assert_eq!(parsed, index, "case {case}: intact verified parse");
+            let recovered = recover_index(&file).unwrap();
+            assert_eq!(recovered.entries.len(), index.entries.len(), "case {case}");
+            continue;
+        }
+        // A torn file must never produce a *different* index silently.
+        if let Ok(parsed) = LocalIndex::parse_verified(torn) {
+            assert_eq!(parsed, index, "case {case}: torn parse returned wrong index");
+        }
+        match recover_index(torn) {
+            Ok(recovered) => {
+                // Exactly the PGs wholly inside the prefix.
+                let whole = pg_ends.iter().filter(|&&e| e <= cut).count();
+                let expect: usize = index
+                    .entries
+                    .iter()
+                    .filter(|e| {
+                        pg_ends
+                            .iter()
+                            .position(|&end| (e.file_offset as usize) < end)
+                            .map(|p| pg_ends[p] <= cut)
+                            .unwrap_or(false)
+                    })
+                    .count();
+                assert_eq!(
+                    recovered.entries.len(),
+                    expect,
+                    "case {case}: cut {cut}, {whole} whole PGs"
+                );
+                for e in &recovered.entries {
+                    assert!(
+                        index
+                            .entries
+                            .iter()
+                            .any(|o| o.rank == e.rank
+                                && o.file_offset == e.file_offset
+                                && o.payload_len == e.payload_len),
+                        "case {case}: recovered entry not in the real index"
+                    );
+                }
+            }
+            Err(IntegrityError::TruncatedPg { .. }) => {} // loud and honest
+            Err(other) => panic!("case {case}: unexpected recovery error {other}"),
+        }
+    }
+}
+
+/// The bpfmt readers never panic on hostile input: random bytes, bit
+/// flips and truncations of valid files all come back as structured
+/// errors (or valid parses), for every entry point.
+#[test]
+fn malformed_input_never_panics() {
+    use managed_io::bpfmt::{read_f64_verified, recover_index, GlobalIndex as G, IntegrityOpts};
+
+    for case in 0..150 {
+        let mut rng = case_rng(14, case);
+        let buf: Vec<u8> = match case % 3 {
+            // Pure noise.
+            0 => {
+                let n = rng.below(600) as usize;
+                (0..n).map(|_| rng.below(256) as u8).collect()
+            }
+            // A valid (possibly checked) subfile with random mutations.
+            1 => {
+                let checked = rng.chance(0.5);
+                let opts = if checked { IntegrityOpts::on() } else { IntegrityOpts::off() };
+                let mut w = managed_io::bpfmt::SubfileWriter::with_integrity(opts);
+                for p in 0..(1 + rng.below(4)) {
+                    let n = 1 + rng.below(16);
+                    let vals: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -1e3, 1e3)).collect();
+                    let b = VarBlock::from_f64("v", vec![n], vec![0], vec![n], &vals);
+                    w.append(p as u32, 0, &[b]);
+                }
+                let (mut file, _) = w.finalize();
+                for _ in 0..(1 + rng.below(8)) {
+                    let at = rng.below(file.len() as u64) as usize;
+                    file[at] ^= 1 << rng.below(8);
+                }
+                file
+            }
+            // A valid subfile truncated at a random point.
+            _ => {
+                let mut w = managed_io::bpfmt::SubfileWriter::with_integrity(IntegrityOpts::on());
+                let n = 1 + rng.below(16);
+                let vals: Vec<f64> = (0..n).map(|_| uniform(&mut rng, -1e3, 1e3)).collect();
+                w.append(0, 0, &[VarBlock::from_f64("v", vec![n], vec![0], vec![n], &vals)]);
+                let (file, _) = w.finalize();
+                let cut = rng.below(file.len() as u64) as usize;
+                file[..cut].to_vec()
+            }
+        };
+        // Every entry point must return, not panic.
+        let _ = decode_pg(&buf);
+        let _ = managed_io::bpfmt::decode_pg_verified(&buf);
+        let _ = managed_io::bpfmt::probe_pg(&buf, 0, true);
+        let _ = G::parse(&buf);
+        let _ = G::parse_verified(&buf);
+        if let Ok(idx) = LocalIndex::parse(&buf) {
+            for e in idx.entries.iter().take(4) {
+                let _ = read_f64(&buf, e);
+                let _ = read_f64_verified(&buf, e);
+            }
+        }
+        let _ = LocalIndex::parse_verified(&buf);
+        let _ = recover_index(&buf);
+    }
+}
+
+/// No silent bad reads, ever: for arbitrary corruption-bearing fault
+/// scripts, every surviving block the oracle flags is surfaced by the
+/// run's integrity accounting AND ends the scrub pass repaired or loudly
+/// reported — and the scrub's counters partition the records exactly.
+#[test]
+fn scrub_leaves_no_silent_corruption() {
+    use managed_io::adios::{
+        run_scrub, run_with_faults, BlockFate, FaultConfig, FaultTolerance, SimError,
+    };
+    use managed_io::storesim::FaultScript;
+
+    let nprocs = 12usize;
+    let per_rank = 4 * MIB;
+    for case in 0..100 {
+        let mut rng = case_rng(15, case);
+        let script_seed = rng.next_u64();
+        let run_seed = rng.next_u64();
+        let faults = FaultConfig {
+            storage: FaultScript::random_with_integrity(script_seed, 8, 8.0, 4),
+            ..Default::default()
+        };
+        let out = run_with_faults(
+            RunSpec {
+                machine: testbed(),
+                nprocs,
+                data: DataSpec::Uniform(per_rank),
+                method: Method::Adaptive {
+                    targets: 6,
+                    opts: AdaptiveOpts::default(),
+                },
+                interference: Interference::None,
+                seed: run_seed,
+            },
+            faults.clone(),
+        );
+        // (1) The run's own accounting surfaces every oracle-flagged
+        // surviving record as a DataCorrupted error.
+        let flagged: Vec<_> = out
+            .result
+            .records
+            .iter()
+            .filter(|r| out.oracle.write_corrupted(r.ost, r.end))
+            .collect();
+        let reported = out
+            .errors
+            .iter()
+            .filter(|e| matches!(e, SimError::DataCorrupted { .. }))
+            .count();
+        assert!(
+            reported >= out.integrity.corrupt_records,
+            "case {case}: corrupt records missing from errors"
+        );
+        assert!(
+            out.integrity.corrupt_records <= flagged.len(),
+            "case {case}: more corrupt records than flagged writes"
+        );
+        if out.result.records.is_empty() {
+            continue; // nothing survived to scrub
+        }
+        // (2) Scrub every record: counters partition the blocks by
+        // construction, and no flagged block passes as Verified.
+        let report = run_scrub(
+            &testbed(),
+            &out.result.records,
+            &out.oracle,
+            4,
+            FaultTolerance::enabled(),
+            run_seed ^ 0x5C12_0B11,
+        );
+        assert_eq!(
+            report.outcome.total(),
+            out.result.records.len(),
+            "case {case}: scrub counters must partition the records"
+        );
+        assert_eq!(report.fates.len(), out.result.records.len(), "case {case}");
+        for (i, r) in out.result.records.iter().enumerate() {
+            if out.oracle.write_corrupted(r.ost, r.end) {
+                assert_ne!(
+                    report.fates[i],
+                    BlockFate::Verified,
+                    "case {case}: corrupt block {i} passed verification silently"
+                );
+            }
+        }
+        // (3) Unrepaired damage is loud.
+        let unrepaired = report
+            .fates
+            .iter()
+            .filter(|f| **f == BlockFate::Unrepairable)
+            .count();
+        let loud = report
+            .errors
+            .iter()
+            .filter(|e| matches!(e, SimError::DataCorrupted { .. }))
+            .count();
+        assert_eq!(unrepaired, loud, "case {case}: every unrepaired block reported");
     }
 }
