@@ -1,0 +1,385 @@
+//! Data-plane microbenchmarks: the byte-pushing fast paths under the
+//! simulator — CRC-64 checksumming, PG encoding, and the shared-prefix
+//! campaign sweep — measured before/after the slice-by-8 / zero-copy /
+//! `RunBase` optimisations.
+//!
+//! Three comparisons, each timed as `baseline` vs `optimized` inside one
+//! binary (both implementations are always compiled):
+//!
+//! * `crc64_*` — slice-by-8 [`bpfmt::crc64`] against the retained
+//!   byte-at-a-time [`bpfmt::crc64_bytewise`], one-shot over a large
+//!   buffer and streaming via [`bpfmt::Crc64`] in wire-sized chunks.
+//! * `pg_encode_checked` — steady-state PG encoding through a reused
+//!   [`bpfmt::EncodeScratch`] against the allocating
+//!   [`bpfmt::encode_pg_opts`].
+//! * `faulted_campaign_sweep` — an integrity-enabled, silently-corrupted
+//!   real-bytes campaign through `RunBase::prepare` + `run_seed_sweep`
+//!   against independent `run_with_faults` calls per seed; the harness
+//!   asserts both arms produce byte-identical subfiles before timing.
+//!
+//! Results merge into `BENCH_dataplane.json` at the workspace root,
+//! `{bench: {variant: timing}}` plus recomputed `speedups`, mirroring
+//! `BENCH_engine.json`. Knobs:
+//!
+//! * `MANAGED_IO_SMOKE=1` — 1 iteration over shrunk inputs (CI).
+//! * `MANAGED_IO_CRC_GATE=<x>` — exit nonzero unless the one-shot CRC
+//!   speedup is at least `x` (CI regression gate).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use adios_core::{
+    run_with_faults, AdaptiveOpts, DataSpec, FaultConfig, Interference, Method, RunBase, RunSpec,
+};
+use bpfmt::{crc64, crc64_bytewise, encode_pg_opts, Crc64, EncodeScratch, IntegrityOpts, VarBlock};
+use managed_io_bench::{base_seed, fmt_gibps, par_replicates, par_replicates_with};
+use minijson::Value;
+use simcore::Rng;
+use storesim::params::testbed;
+use workloads::pixie3d::Pixie3dConfig;
+
+/// Artifact lives at the workspace root regardless of cargo's CWD.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dataplane.json");
+
+fn smoke() -> bool {
+    std::env::var("MANAGED_IO_SMOKE").is_ok_and(|v| v == "1")
+}
+
+struct Timing {
+    iters: usize,
+    min_s: f64,
+    mean_s: f64,
+}
+
+/// Warm up once, then time `iters` runs of `f`; keep min and mean.
+fn time_n<F: FnMut() -> u64>(iters: usize, mut f: F) -> Timing {
+    black_box(f());
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    Timing {
+        iters,
+        min_s: min,
+        mean_s: total / iters as f64,
+    }
+}
+
+fn random_buf(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed);
+    (0..len).map(|_| rng.below(256) as u8).collect()
+}
+
+fn pg_blocks(seed: u64) -> Vec<VarBlock> {
+    let mut rng = Rng::new(seed);
+    let var = |name: &str, n: usize, rng: &mut Rng| {
+        let vals: Vec<f64> = (0..n).map(|_| rng.uniform(0.0, 1.0)).collect();
+        VarBlock::from_f64(name, vec![8, n as u64], vec![0, 0], vec![1, n as u64], &vals)
+    };
+    vec![
+        var("psi", 2048, &mut rng),
+        var("density", 1024, &mut rng),
+        var("b_field", 4096, &mut rng),
+        var("pressure", 512, &mut rng),
+    ]
+}
+
+/// The campaign both sweep arms run: an integrity-enabled real-bytes
+/// adaptive output under a silent-corruption script (the only fault kind
+/// that composes with real data), so every replicate exercises encode,
+/// CRC, the protocol, and the corruption bookkeeping end to end.
+fn campaign_spec(blocks: &[Vec<VarBlock>], seed: u64) -> RunSpec {
+    RunSpec {
+        machine: testbed(),
+        nprocs: blocks.len(),
+        data: DataSpec::Real(blocks.to_vec()),
+        method: Method::Adaptive {
+            targets: 4,
+            opts: AdaptiveOpts {
+                integrity: IntegrityOpts::on(),
+                ..Default::default()
+            },
+        },
+        interference: Interference::None,
+        seed,
+    }
+}
+
+fn campaign_faults() -> FaultConfig {
+    FaultConfig {
+        storage: storesim::FaultScript::none().silent_corruption(0.0, 0, None, 0.4),
+        ..Default::default()
+    }
+}
+
+/// Cheap consumption of a replicate inside the timed loops: fold the
+/// write records so the runs cannot be dead-code-eliminated, without
+/// adding a constant re-checksum cost that would dilute the comparison.
+fn timeline_digest(out: &adios_core::RunOutput) -> u64 {
+    out.result
+        .records
+        .iter()
+        .fold(0u64, |acc, r| {
+            acc.wrapping_mul(0x100000001B3).wrapping_add(r.end.as_nanos() ^ r.bytes)
+        })
+}
+
+/// Digest of everything a campaign replicate produced — used to assert
+/// the shared-prefix sweep is byte-identical to independent runs.
+fn campaign_digest(out: &adios_core::RunOutput) -> u64 {
+    let mut h = Crc64::new();
+    for r in &out.result.records {
+        h.update(&r.rank.to_le_bytes());
+        h.update(&r.bytes.to_le_bytes());
+        h.update(&r.start.as_nanos().to_le_bytes());
+        h.update(&r.end.as_nanos().to_le_bytes());
+    }
+    if let Some(subfiles) = &out.subfiles {
+        let mut names: Vec<&String> = subfiles.keys().collect();
+        names.sort();
+        for name in names {
+            h.update(name.as_bytes());
+            h.update(&subfiles[name]);
+        }
+    }
+    h.finish()
+}
+
+/// Merge `rows` into BENCH_dataplane.json: `{bench: {variant: timing}}`
+/// plus recomputed `speedups` (baseline min / optimized min) where both
+/// variants are present.
+fn merge_into_artifact(rows: Vec<(String, &str, Timing, Option<u64>)>) {
+    let mut root = std::fs::read_to_string(BENCH_PATH)
+        .ok()
+        .and_then(|s| Value::parse(&s).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let Value::Obj(entries) = &mut root else {
+        return;
+    };
+    entries.retain(|(k, _)| k != "speedups");
+    for (name, variant, t, bytes) in rows {
+        let mut row = vec![
+            ("iters".to_string(), Value::Num(t.iters as f64)),
+            ("min_s".to_string(), Value::Num(t.min_s)),
+            ("mean_s".to_string(), Value::Num(t.mean_s)),
+        ];
+        if let Some(b) = bytes {
+            row.push(("bytes".to_string(), Value::Num(b as f64)));
+        }
+        let row = Value::Obj(row);
+        let by_variant = match entries.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => v,
+            None => {
+                entries.push((name.clone(), Value::Obj(Vec::new())));
+                &mut entries.last_mut().unwrap().1
+            }
+        };
+        if let Value::Obj(pairs) = by_variant {
+            pairs.retain(|(k, _)| k != variant);
+            pairs.push((variant.to_string(), row));
+        }
+    }
+    let mut speedups = Vec::new();
+    for (name, v) in entries.iter() {
+        let base = v.get("baseline").and_then(|b| b.get("min_s")).and_then(Value::as_f64);
+        let opt = v.get("optimized").and_then(|o| o.get("min_s")).and_then(Value::as_f64);
+        if let (Some(b), Some(o)) = (base, opt) {
+            if o > 0.0 {
+                speedups.push((name.clone(), Value::Num(b / o)));
+            }
+        }
+    }
+    if !speedups.is_empty() {
+        entries.push(("speedups".to_string(), Value::Obj(speedups)));
+    }
+    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
+}
+
+fn main() {
+    let smoke = smoke();
+    let crc_len: usize = if smoke { 1 << 20 } else { 64 << 20 };
+    let (crc_iters, enc_iters, sweep_iters) = if smoke { (1, 1, 1) } else { (20, 20, 5) };
+    let enc_reps: usize = if smoke { 50 } else { 500 };
+    let seeds: Vec<u64> = (0..if smoke { 2 } else { 6 }).map(|i| base_seed() + i).collect();
+
+    println!("data_plane — smoke: {smoke}\n");
+    let mut rows: Vec<(String, &str, Timing, Option<u64>)> = Vec::new();
+    let mut report = |name: &str, variant: &'static str, t: Timing, bytes: Option<u64>| {
+        let thrpt = bytes
+            .map(|b| format!("   {} GiB/s", fmt_gibps(b as f64 / t.min_s)))
+            .unwrap_or_default();
+        println!(
+            "{name:<28} [{variant:<9}] min {:>9.3} ms   mean {:>9.3} ms   ({} iters){thrpt}",
+            t.min_s * 1e3,
+            t.mean_s * 1e3,
+            t.iters
+        );
+        rows.push((name.to_string(), variant, t, bytes));
+    };
+
+    // --- CRC-64: one-shot over a large buffer. ---
+    let buf = random_buf(crc_len, base_seed() ^ 0xC4C);
+    let crc_name = format!("crc64_{}MiB", crc_len >> 20);
+    report(
+        &crc_name,
+        "optimized",
+        time_n(crc_iters, || crc64(&buf)),
+        Some(buf.len() as u64),
+    );
+    report(
+        &crc_name,
+        "baseline",
+        time_n(if smoke { 1 } else { 3 }, || crc64_bytewise(&buf)),
+        Some(buf.len() as u64),
+    );
+
+    // --- CRC-64: streaming in wire-sized chunks (the verified-reader
+    // access pattern: many small updates through `Crc64`). ---
+    report(
+        "crc64_streaming_4KiB_chunks",
+        "optimized",
+        time_n(crc_iters, || {
+            let mut h = Crc64::new();
+            for chunk in buf.chunks(4096) {
+                h.update(chunk);
+            }
+            h.finish()
+        }),
+        Some(buf.len() as u64),
+    );
+
+    // --- PG encode: reused scratch vs allocating one-shot. ---
+    let blocks = pg_blocks(base_seed() ^ 0xB10C);
+    let integrity = IntegrityOpts::on();
+    let mut scratch = EncodeScratch::new();
+    {
+        let (a, ea) = scratch.encode_pg(0, 0, &blocks, integrity);
+        let (b, eb) = encode_pg_opts(0, 0, &blocks, integrity);
+        assert_eq!(a, &b[..], "scratch encode diverged from one-shot encode");
+        assert_eq!(ea, &eb[..]);
+    }
+    let pg_bytes = (enc_reps as u64) * bpfmt::pg_encoded_size_opts(&blocks, integrity);
+    report(
+        "pg_encode_checked",
+        "optimized",
+        time_n(enc_iters, || {
+            let mut acc = 0u64;
+            for step in 0..enc_reps as u32 {
+                let (bytes, _) = scratch.encode_pg(0, step, &blocks, integrity);
+                acc = acc.wrapping_add(bytes.len() as u64);
+            }
+            acc
+        }),
+        Some(pg_bytes),
+    );
+    report(
+        "pg_encode_checked",
+        "baseline",
+        time_n(enc_iters, || {
+            let mut acc = 0u64;
+            for step in 0..enc_reps as u32 {
+                let (bytes, _) = encode_pg_opts(0, step, &blocks, integrity);
+                acc = acc.wrapping_add(bytes.len() as u64);
+            }
+            acc
+        }),
+        Some(pg_bytes),
+    );
+
+    // --- Campaign sweep: shared RunBase prefix vs independent runs. ---
+    let cfg = Pixie3dConfig {
+        cube: if smoke { 4 } else { 16 },
+        nprocs: if smoke { 8 } else { 16 },
+    };
+    let mut rng = Rng::new(base_seed() ^ 0xCA3);
+    let rank_blocks: Vec<Vec<VarBlock>> =
+        (0..cfg.nprocs).map(|r| cfg.blocks_of(r, &mut rng)).collect();
+    let faults = campaign_faults();
+    // Correctness first: both arms must produce byte-identical artifacts.
+    let base = RunBase::prepare(campaign_spec(&rank_blocks, 0));
+    let shared_digests: Vec<u64> = base
+        .run_seed_sweep_with_faults(&seeds, &faults)
+        .iter()
+        .map(campaign_digest)
+        .collect();
+    let solo_digests: Vec<u64> = seeds
+        .iter()
+        .map(|&s| campaign_digest(&run_with_faults(campaign_spec(&rank_blocks, s), faults.clone())))
+        .collect();
+    assert_eq!(
+        shared_digests, solo_digests,
+        "shared-prefix sweep is not byte-identical to independent runs"
+    );
+    // Both arms fan out over the same worker pool and digest-and-drop
+    // each replicate inside its worker; the only difference is the
+    // shared prefix. The baseline arm is the pre-RunBase campaign idiom:
+    // every replicate rebuilds the spec (cloning all payload blocks),
+    // the rank-size table, and the output plan from scratch. The two
+    // arms are timed in alternation so slow drift on a shared host hits
+    // both equally.
+    let sweep_shared = || {
+        let base = RunBase::prepare(campaign_spec(&rank_blocks, 0));
+        par_replicates_with(&base, seeds.clone(), |b, s| {
+            timeline_digest(&b.run_seed_with_faults(s, &faults))
+        })
+        .into_iter()
+        .fold(0u64, u64::wrapping_add)
+    };
+    let sweep_rebuild = || {
+        par_replicates(seeds.clone(), |s| {
+            timeline_digest(&run_with_faults(campaign_spec(&rank_blocks, s), faults.clone()))
+        })
+        .into_iter()
+        .fold(0u64, u64::wrapping_add)
+    };
+    let (mut opt, mut basl) = (
+        Timing { iters: sweep_iters, min_s: f64::INFINITY, mean_s: 0.0 },
+        Timing { iters: sweep_iters, min_s: f64::INFINITY, mean_s: 0.0 },
+    );
+    black_box(sweep_shared());
+    black_box(sweep_rebuild());
+    for _ in 0..sweep_iters {
+        let t0 = Instant::now();
+        black_box(sweep_shared());
+        let dt = t0.elapsed().as_secs_f64();
+        opt.min_s = opt.min_s.min(dt);
+        opt.mean_s += dt / sweep_iters as f64;
+        let t0 = Instant::now();
+        black_box(sweep_rebuild());
+        let dt = t0.elapsed().as_secs_f64();
+        basl.min_s = basl.min_s.min(dt);
+        basl.mean_s += dt / sweep_iters as f64;
+    }
+    report("faulted_campaign_sweep", "optimized", opt, None);
+    report("faulted_campaign_sweep", "baseline", basl, None);
+
+    // CRC regression gate (CI): the one-shot speedup must clear the bar.
+    let crc_speedup = {
+        let min_of = |variant: &str| {
+            rows.iter()
+                .find(|(n, v, _, _)| *n == crc_name && *v == variant)
+                .map(|(_, _, t, _)| t.min_s)
+                .expect("crc rows reported")
+        };
+        min_of("baseline") / min_of("optimized")
+    };
+    println!("\ncrc64 one-shot speedup: {crc_speedup:.2}x");
+    merge_into_artifact(rows);
+    println!("results merged into {BENCH_PATH}");
+
+    if let Some(gate) = std::env::var("MANAGED_IO_CRC_GATE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        if crc_speedup < gate {
+            eprintln!("FAIL: crc64 speedup {crc_speedup:.2}x below required {gate}x");
+            std::process::exit(1);
+        }
+        println!("crc gate: {crc_speedup:.2}x >= {gate}x ok");
+    }
+}

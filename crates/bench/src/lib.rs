@@ -84,6 +84,21 @@ where
     simcore::par::par_map(configs, run)
 }
 
+/// [`par_replicates`] over a shared immutable prefix (e.g. an
+/// `adios_core::RunBase`): sweep points that differ only by seed share
+/// the prepared state instead of rebuilding it per replicate. Thin
+/// wrapper over [`simcore::par::par_map_with`]; merged results stay in
+/// input order and byte-identical to a serial sweep.
+pub fn par_replicates_with<S, C, R, F>(shared: &S, configs: Vec<C>, run: F) -> Vec<R>
+where
+    S: Sync,
+    C: Send,
+    R: Send,
+    F: Fn(&S, C) -> R + Sync,
+{
+    simcore::par::par_map_with(shared, configs, run)
+}
+
 /// Append JSON rows for experiment `id` under `target/experiments/`.
 pub struct ExperimentLog {
     path: PathBuf,

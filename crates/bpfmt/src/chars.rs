@@ -128,21 +128,51 @@ impl Characteristics {
             "payload length {} not a multiple of element size {es}",
             payload.len()
         );
+        // Fold straight over the wire bytes — same accumulation order as
+        // `of_f64`/`of_i64` over a decoded slice, so the statistics are
+        // bit-identical, without materialising a temporary vector (this
+        // runs once per block on the encode fast path).
         match dtype {
             DType::U8 => Self::opaque(payload.len() as u64),
             DType::F64 => {
-                let vals: Vec<f64> = payload
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().expect("len 8")))
-                    .collect();
-                Self::of_f64(&vals)
+                if payload.is_empty() {
+                    return Self::opaque(0);
+                }
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                for c in payload.chunks_exact(8) {
+                    let x = f64::from_le_bytes(c.try_into().expect("len 8"));
+                    min = min.min(x);
+                    max = max.max(x);
+                    sum += x;
+                }
+                Characteristics {
+                    min,
+                    max,
+                    count: (payload.len() / 8) as u64,
+                    sum,
+                }
             }
             DType::I64 => {
-                let vals: Vec<i64> = payload
-                    .chunks_exact(8)
-                    .map(|c| i64::from_le_bytes(c.try_into().expect("len 8")))
-                    .collect();
-                Self::of_i64(&vals)
+                if payload.is_empty() {
+                    return Self::opaque(0);
+                }
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                let mut sum = 0.0;
+                for c in payload.chunks_exact(8) {
+                    let x = i64::from_le_bytes(c.try_into().expect("len 8"));
+                    min = min.min(x);
+                    max = max.max(x);
+                    sum += x as f64;
+                }
+                Characteristics {
+                    min: min as f64,
+                    max: max as f64,
+                    count: (payload.len() / 8) as u64,
+                    sum,
+                }
             }
         }
     }

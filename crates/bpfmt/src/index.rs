@@ -10,6 +10,7 @@
 
 use crate::chars::{Characteristics, DType};
 use crate::integrity::{crc64, IntegrityError, IntegrityOpts};
+use crate::intern::{Dims, VarName};
 use crate::pg::{decode_pg_prefix, UNTRUSTED_CAP};
 use crate::wire::{WireError, WireReader, WireWriter};
 
@@ -33,8 +34,9 @@ pub const GLOBAL_MAGIC2: u64 = 0x4250_474C_4F42_4C32; // "BPGLOBL2"
 /// One variable block's index record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct IndexEntry {
-    /// Variable name.
-    pub var: String,
+    /// Variable name, interned (refcount-shared with the block it
+    /// describes).
+    pub var: VarName,
     /// Element type.
     pub dtype: DType,
     /// Originating writer rank.
@@ -50,11 +52,11 @@ pub struct IndexEntry {
     /// check and treats the block as unverifiable-but-accepted.
     pub payload_crc: Option<u64>,
     /// Global array dimensions.
-    pub global_dims: Vec<u64>,
+    pub global_dims: Dims,
     /// Offsets of this block in the global array.
-    pub offsets: Vec<u64>,
+    pub offsets: Dims,
     /// Local block dimensions.
-    pub local_dims: Vec<u64>,
+    pub local_dims: Dims,
     /// Data characteristics.
     pub chars: Characteristics,
 }
@@ -95,7 +97,7 @@ impl IndexEntry {
     }
 
     fn read(r: &mut WireReader<'_>, checked: bool) -> Result<Self, WireError> {
-        let var = r.str()?;
+        let var = VarName::intern(r.str_ref()?);
         let dtype = DType::from_wire(r.u8()?)?;
         let rank = r.u32()?;
         let step = r.u32()?;
@@ -128,9 +130,9 @@ impl IndexEntry {
             file_offset,
             payload_len,
             payload_crc,
-            global_dims,
-            offsets,
-            local_dims,
+            global_dims: global_dims.into(),
+            offsets: offsets.into(),
+            local_dims: local_dims.into(),
             chars,
         })
     }
@@ -181,19 +183,17 @@ impl LocalIndex {
             w.u64(FOOTER_MAGIC);
             return w.into_bytes();
         }
-        let index_bytes = w.into_bytes();
-        let index_crc = crc64(&index_bytes);
-        let mut w = WireWriter::new();
-        w.bytes(&index_bytes);
+        // Checksum the index bytes in place and append the footer to the
+        // same buffer — no second copy of the index region.
+        let index_crc = crc64(w.as_bytes());
         w.u64(data_len);
         w.u64(index_len);
         w.u64(index_crc);
         w.u64(FOOTER2_MAGIC);
         // Mini-footer: the last MINI_LEN bytes of the file.
-        let mut mini = WireWriter::new();
-        mini.u64(MINI_MAGIC);
-        mini.u64(data_len);
-        let mini = mini.into_bytes();
+        let mut mini = [0u8; 16];
+        mini[0..8].copy_from_slice(&MINI_MAGIC.to_le_bytes());
+        mini[8..16].copy_from_slice(&data_len.to_le_bytes());
         let mini_crc = crc64(&mini);
         w.bytes(&mini);
         w.u64(mini_crc);
@@ -514,16 +514,16 @@ mod tests {
 
     fn entry(var: &str, rank: u32, offset: u64, min: f64, max: f64) -> IndexEntry {
         IndexEntry {
-            var: var.to_string(),
+            var: var.into(),
             dtype: DType::F64,
             rank,
             step: 0,
             file_offset: offset,
             payload_len: 64,
             payload_crc: None,
-            global_dims: vec![16],
-            offsets: vec![rank as u64 * 8],
-            local_dims: vec![8],
+            global_dims: vec![16].into(),
+            offsets: vec![rank as u64 * 8].into(),
+            local_dims: vec![8].into(),
             chars: Characteristics {
                 min,
                 max,

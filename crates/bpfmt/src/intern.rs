@@ -1,0 +1,338 @@
+//! Interned variable names and shared dimension vectors.
+//!
+//! PG encoding used to clone every block's name `String` and three dims
+//! `Vec<u64>`s into its [`crate::index::IndexEntry`] — a fixed per-block
+//! heap cost paid on every output step of every writer. [`VarName`] and
+//! [`Dims`] replace those owned buffers with reference-counted slices:
+//! cloning one is a refcount bump, so building an index entry from a
+//! block allocates nothing, and the handful of distinct names a
+//! simulation ever writes are deduplicated through a small per-thread
+//! intern table.
+
+use std::borrow::Borrow;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+/// Cap on the per-thread intern table. Simulations use a handful of
+/// distinct names; fuzz-style tests generate unbounded random ones, which
+/// must not pin memory forever. Past the cap, names are still valid
+/// `VarName`s — they just aren't remembered.
+const INTERN_CAP: usize = 1024;
+
+thread_local! {
+    static NAMES: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
+}
+
+/// An interned, cheaply cloneable variable name.
+///
+/// Compares, orders and hashes as its string content; derefs to `str`, so
+/// call sites that treated the old `String` field as a string keep
+/// working. Cloning bumps a refcount instead of copying bytes.
+#[derive(Clone)]
+pub struct VarName(Arc<str>);
+
+impl VarName {
+    /// Intern `name`: repeated lookups of the same spelling on one thread
+    /// share a single allocation.
+    pub fn intern(name: &str) -> Self {
+        NAMES.with(|cell| {
+            let mut set = cell.borrow_mut();
+            if let Some(hit) = set.get(name) {
+                return VarName(Arc::clone(hit));
+            }
+            let arc: Arc<str> = Arc::from(name);
+            if set.len() < INTERN_CAP {
+                set.insert(Arc::clone(&arc));
+            }
+            VarName(arc)
+        })
+    }
+
+    /// The name as a plain string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for VarName {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for VarName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for VarName {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for VarName {
+    fn from(s: &str) -> Self {
+        VarName::intern(s)
+    }
+}
+
+impl From<&String> for VarName {
+    fn from(s: &String) -> Self {
+        VarName::intern(s)
+    }
+}
+
+impl From<String> for VarName {
+    fn from(s: String) -> Self {
+        VarName::intern(&s)
+    }
+}
+
+impl PartialEq for VarName {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned names usually share the allocation; compare pointers
+        // first, content second.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for VarName {}
+
+impl PartialEq<str> for VarName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for VarName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for VarName {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<VarName> for str {
+    fn eq(&self, other: &VarName) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<VarName> for &str {
+    fn eq(&self, other: &VarName) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialOrd for VarName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VarName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for VarName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Debug for VarName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for VarName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static EMPTY_DIMS: OnceLock<Arc<[u64]>> = OnceLock::new();
+
+/// A shared, immutable dimension vector (`global_dims` / `offsets` /
+/// `local_dims`).
+///
+/// Derefs to `[u64]` and compares as a slice; cloning bumps a refcount,
+/// so an index entry can carry its block's dims without copying them.
+#[derive(Clone)]
+pub struct Dims(Arc<[u64]>);
+
+impl Dims {
+    /// The empty dims (scalar / local-only block). Allocation-free: all
+    /// empty `Dims` share one static slice.
+    pub fn empty() -> Self {
+        Dims(Arc::clone(EMPTY_DIMS.get_or_init(|| Arc::from([]))))
+    }
+
+    /// The dims as a plain slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl Default for Dims {
+    fn default() -> Self {
+        Dims::empty()
+    }
+}
+
+impl Deref for Dims {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl AsRef<[u64]> for Dims {
+    fn as_ref(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl From<Vec<u64>> for Dims {
+    fn from(v: Vec<u64>) -> Self {
+        if v.is_empty() {
+            Dims::empty()
+        } else {
+            Dims(Arc::from(v))
+        }
+    }
+}
+
+impl From<&[u64]> for Dims {
+    fn from(v: &[u64]) -> Self {
+        if v.is_empty() {
+            Dims::empty()
+        } else {
+            Dims(Arc::from(v))
+        }
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for Dims {
+    fn from(v: [u64; N]) -> Self {
+        Dims::from(&v[..])
+    }
+}
+
+impl<'a> IntoIterator for &'a Dims {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for Dims {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Dims {}
+
+impl PartialEq<[u64]> for Dims {
+    fn eq(&self, other: &[u64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u64]> for Dims {
+    fn eq(&self, other: &&[u64]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u64>> for Dims {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u64; N]> for Dims {
+    fn eq(&self, other: &[u64; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interned_names_share_storage() {
+        let a = VarName::intern("rho");
+        let b = VarName::intern("rho");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+        assert_eq!(a, "rho");
+        assert_eq!("rho", a);
+        assert_eq!(a.as_str(), "rho");
+        assert_eq!(format!("{a}"), "rho");
+        assert_eq!(format!("{a:?}"), "\"rho\"");
+    }
+
+    #[test]
+    fn names_order_and_compare_as_strings() {
+        let a: VarName = "a".into();
+        let z: VarName = String::from("z").into();
+        assert!(a < z);
+        assert_ne!(a, z);
+        assert_eq!(z, "z".to_string());
+    }
+
+    #[test]
+    fn intern_table_is_capped() {
+        for i in 0..(INTERN_CAP * 2) {
+            let name = format!("fuzz-name-{i}");
+            let v = VarName::intern(&name);
+            assert_eq!(v, name);
+        }
+        NAMES.with(|c| assert!(c.borrow().len() <= INTERN_CAP));
+    }
+
+    #[test]
+    fn dims_share_and_compare() {
+        let d: Dims = vec![4u64, 8].into();
+        let e = d.clone();
+        assert!(Arc::ptr_eq(&d.0, &e.0));
+        assert_eq!(d, vec![4u64, 8]);
+        assert_eq!(d, [4u64, 8]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.iter().sum::<u64>(), 12);
+        assert_eq!(format!("{d:?}"), "[4, 8]");
+    }
+
+    #[test]
+    fn empty_dims_are_shared() {
+        let a = Dims::empty();
+        let b: Dims = Vec::new().into();
+        let c = Dims::default();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert!(Arc::ptr_eq(&a.0, &c.0));
+        assert!(a.is_empty());
+    }
+}

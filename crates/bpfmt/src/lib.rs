@@ -28,6 +28,7 @@ pub mod attrs;
 pub mod chars;
 pub mod index;
 pub mod integrity;
+pub mod intern;
 pub mod pg;
 pub mod reader;
 pub mod wire;
@@ -36,10 +37,11 @@ pub mod writer;
 pub use attrs::{AttrValue, Attributes};
 pub use chars::{Characteristics, DType};
 pub use index::{recover_index, GlobalIndex, IndexEntry, LocalIndex};
-pub use integrity::{crc64, IntegrityError, IntegrityOpts};
+pub use integrity::{crc64, crc64_bytewise, Crc64, IntegrityError, IntegrityOpts};
+pub use intern::{Dims, VarName};
 pub use pg::{
     decode_pg, decode_pg_verified, encode_pg, encode_pg_opts, pg_encoded_size,
-    pg_encoded_size_opts, probe_pg, PgSummary, VarBlock,
+    pg_encoded_size_opts, probe_pg, EncodeScratch, PgSummary, VarBlock,
 };
 pub use reader::{
     read_f64, read_f64_verified, read_global_f64, read_global_f64_verified, read_payload,

@@ -12,6 +12,7 @@
 use crate::chars::{Characteristics, DType};
 use crate::index::IndexEntry;
 use crate::integrity::{crc64, IntegrityError, IntegrityOpts};
+use crate::intern::{Dims, VarName};
 use crate::wire::{WireError, WireReader, WireWriter};
 
 /// Magic number opening every legacy (unchecked) process group.
@@ -26,18 +27,22 @@ pub const PG_MAGIC2: u32 = 0x5047_4D32; // "PGM2"
 pub(crate) const UNTRUSTED_CAP: usize = 4096;
 
 /// One variable's contribution to a process group.
+///
+/// Name and dims are reference-counted ([`VarName`] / [`Dims`]): the
+/// index entries derived from a block share them instead of cloning, so
+/// steady-state encoding allocates nothing per block.
 #[derive(Clone, Debug, PartialEq)]
 pub struct VarBlock {
-    /// Variable name (e.g. `"Bx"`).
-    pub name: String,
+    /// Variable name (e.g. `"Bx"`), interned.
+    pub name: VarName,
     /// Element type.
     pub dtype: DType,
     /// Global array dimensions (empty for local-only arrays).
-    pub global_dims: Vec<u64>,
+    pub global_dims: Dims,
     /// This block's offsets within the global array.
-    pub offsets: Vec<u64>,
+    pub offsets: Dims,
     /// This block's local dimensions.
-    pub local_dims: Vec<u64>,
+    pub local_dims: Dims,
     /// Raw little-endian payload.
     pub payload: Vec<u8>,
 }
@@ -45,12 +50,13 @@ pub struct VarBlock {
 impl VarBlock {
     /// Build an f64 block from values.
     pub fn from_f64(
-        name: impl Into<String>,
-        global_dims: Vec<u64>,
-        offsets: Vec<u64>,
-        local_dims: Vec<u64>,
+        name: impl Into<VarName>,
+        global_dims: impl Into<Dims>,
+        offsets: impl Into<Dims>,
+        local_dims: impl Into<Dims>,
         values: &[f64],
     ) -> Self {
+        let local_dims = local_dims.into();
         let expected: u64 = local_dims.iter().product();
         assert_eq!(values.len() as u64, expected, "payload/dims mismatch");
         let mut payload = Vec::with_capacity(values.len() * 8);
@@ -60,8 +66,8 @@ impl VarBlock {
         VarBlock {
             name: name.into(),
             dtype: DType::F64,
-            global_dims,
-            offsets,
+            global_dims: global_dims.into(),
+            offsets: offsets.into(),
             local_dims,
             payload,
         }
@@ -79,6 +85,32 @@ impl VarBlock {
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().expect("len 8")))
             .collect()
+    }
+
+    /// The index entry describing this block's payload at `payload_at`
+    /// (relative to the PG start) — the one place entries are built from
+    /// blocks, shared by the encode and decode paths. Name and dims are
+    /// refcount-shared with the block; nothing is copied.
+    pub fn index_entry(
+        &self,
+        rank: u32,
+        step: u32,
+        payload_at: u64,
+        payload_crc: Option<u64>,
+    ) -> IndexEntry {
+        IndexEntry {
+            var: self.name.clone(),
+            dtype: self.dtype,
+            rank,
+            step,
+            file_offset: payload_at,
+            payload_len: self.payload.len() as u64,
+            payload_crc,
+            global_dims: self.global_dims.clone(),
+            offsets: self.offsets.clone(),
+            local_dims: self.local_dims.clone(),
+            chars: Characteristics::of_payload(self.dtype, &self.payload),
+        }
     }
 }
 
@@ -116,9 +148,24 @@ pub fn encode_pg_opts(
     blocks: &[VarBlock],
     integrity: IntegrityOpts,
 ) -> (Vec<u8>, Vec<IndexEntry>) {
+    let mut w = WireWriter::new();
+    let mut entries = Vec::with_capacity(blocks.len());
+    encode_pg_into(&mut w, &mut entries, rank, step, blocks, integrity);
+    (w.into_bytes(), entries)
+}
+
+/// The one PG encoder, writing into caller-owned buffers so
+/// [`EncodeScratch`] can reuse its allocations across calls.
+fn encode_pg_into(
+    w: &mut WireWriter,
+    entries: &mut Vec<IndexEntry>,
+    rank: u32,
+    step: u32,
+    blocks: &[VarBlock],
+    integrity: IntegrityOpts,
+) {
     let checked = integrity.enabled;
     let magic = if checked { PG_MAGIC2 } else { PG_MAGIC };
-    let mut w = WireWriter::new();
     w.u32(magic);
     w.u32(rank);
     w.u32(step);
@@ -126,13 +173,13 @@ pub fn encode_pg_opts(
     if checked {
         w.u64(pg_header_crc(magic, rank, step, blocks.len() as u32));
     }
-    let mut entries = Vec::with_capacity(blocks.len());
+    entries.reserve(blocks.len());
     for b in blocks {
         w.str(&b.name);
         w.u8(b.dtype.to_wire());
-        write_dims(&mut w, &b.global_dims);
-        write_dims(&mut w, &b.offsets);
-        write_dims(&mut w, &b.local_dims);
+        write_dims(w, &b.global_dims);
+        write_dims(w, &b.offsets);
+        write_dims(w, &b.local_dims);
         w.u64(b.payload.len() as u64);
         let payload_crc = if checked {
             let crc = crc64(&b.payload);
@@ -143,30 +190,51 @@ pub fn encode_pg_opts(
         };
         let payload_at = w.len();
         w.bytes(&b.payload);
-        entries.push(IndexEntry {
-            var: b.name.clone(),
-            dtype: b.dtype,
-            rank,
-            step,
-            file_offset: payload_at,
-            payload_len: b.payload.len() as u64,
-            payload_crc,
-            global_dims: b.global_dims.clone(),
-            offsets: b.offsets.clone(),
-            local_dims: b.local_dims.clone(),
-            chars: Characteristics::of_payload(b.dtype, &b.payload),
-        });
+        entries.push(b.index_entry(rank, step, payload_at, payload_crc));
     }
-    (w.into_bytes(), entries)
+}
+
+/// Reusable PG-encoding buffers: the wire buffer and the entries vector
+/// survive across calls, so steady-state encoding (same variables every
+/// output step) performs zero heap allocations after the first call.
+/// Threaded through [`crate::writer::SubfileWriter`] /
+/// [`crate::writer::SubfileAssembler`] and the scrub re-encode path.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    w: WireWriter,
+    entries: Vec<IndexEntry>,
+}
+
+impl EncodeScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode a PG into the scratch buffers, returning borrowed views of
+    /// the PG bytes and index entries. Byte-identical to
+    /// [`encode_pg_opts`]; the views are valid until the next call.
+    pub fn encode_pg(
+        &mut self,
+        rank: u32,
+        step: u32,
+        blocks: &[VarBlock],
+        integrity: IntegrityOpts,
+    ) -> (&[u8], &[IndexEntry]) {
+        self.w.clear();
+        self.entries.clear();
+        encode_pg_into(&mut self.w, &mut self.entries, rank, step, blocks, integrity);
+        (self.w.as_bytes(), &self.entries)
+    }
 }
 
 fn pg_header_crc(magic: u32, rank: u32, step: u32, nvars: u32) -> u64 {
-    let mut hdr = [0u8; 16];
-    hdr[0..4].copy_from_slice(&magic.to_le_bytes());
-    hdr[4..8].copy_from_slice(&rank.to_le_bytes());
-    hdr[8..12].copy_from_slice(&step.to_le_bytes());
-    hdr[12..16].copy_from_slice(&nvars.to_le_bytes());
-    crc64(&hdr)
+    let mut h = crate::integrity::Crc64::new();
+    h.update(&magic.to_le_bytes());
+    h.update(&rank.to_le_bytes());
+    h.update(&step.to_le_bytes());
+    h.update(&nvars.to_le_bytes());
+    h.finish()
 }
 
 /// A process group decoded from the front of a buffer, along with the
@@ -230,21 +298,22 @@ pub(crate) fn decode_pg_prefix(buf: &[u8], verify: bool) -> Result<DecodedPg, In
     let mut blocks = Vec::with_capacity(nvars.min(UNTRUSTED_CAP));
     let mut entries = Vec::with_capacity(nvars.min(UNTRUSTED_CAP));
     for _ in 0..nvars {
-        let name = r.str()?;
+        let name = VarName::intern(r.str_ref()?);
         let dtype = DType::from_wire(r.u8()?)?;
-        let global_dims = read_dims(&mut r)?;
-        let offsets = read_dims(&mut r)?;
-        let local_dims = read_dims(&mut r)?;
+        let global_dims: Dims = read_dims(&mut r)?.into();
+        let offsets: Dims = read_dims(&mut r)?.into();
+        let local_dims: Dims = read_dims(&mut r)?.into();
         let plen = r.u64()? as usize;
         let stored_crc = if checked { Some(r.u64()?) } else { None };
         let payload_at = r.pos() as u64;
-        let payload = r.bytes(plen)?.to_vec();
+        let wire_payload = r.bytes(plen)?;
         if verify {
             if let Some(stored) = stored_crc {
-                let computed = crc64(&payload);
+                // Checksum the borrowed wire bytes before copying them out.
+                let computed = crc64(wire_payload);
                 if computed != stored {
                     return Err(IntegrityError::BadBlockCrc {
-                        var: name,
+                        var: name.to_string(),
                         rank,
                         stored,
                         computed,
@@ -252,27 +321,16 @@ pub(crate) fn decode_pg_prefix(buf: &[u8], verify: bool) -> Result<DecodedPg, In
                 }
             }
         }
-        entries.push(IndexEntry {
-            var: name.clone(),
-            dtype,
-            rank,
-            step,
-            file_offset: payload_at,
-            payload_len: plen as u64,
-            payload_crc: stored_crc,
-            global_dims: global_dims.clone(),
-            offsets: offsets.clone(),
-            local_dims: local_dims.clone(),
-            chars: Characteristics::of_payload(dtype, &payload),
-        });
-        blocks.push(VarBlock {
+        let block = VarBlock {
             name,
             dtype,
             global_dims,
             offsets,
             local_dims,
-            payload,
-        });
+            payload: wire_payload.to_vec(),
+        };
+        entries.push(block.index_entry(rank, step, payload_at, stored_crc));
+        blocks.push(block);
     }
     Ok(DecodedPg {
         rank,

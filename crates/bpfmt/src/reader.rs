@@ -22,7 +22,7 @@ fn payload_range(file: &[u8], entry: &IndexEntry) -> Result<(usize, usize), Inte
     match end {
         Some(end) if end <= file.len() as u64 => Ok((start as usize, end as usize)),
         _ => Err(IntegrityError::BlockOutOfBounds {
-            var: entry.var.clone(),
+            var: entry.var.to_string(),
             offset: entry.file_offset,
             len: entry.payload_len,
             file_len: file.len() as u64,
@@ -49,7 +49,7 @@ pub fn read_payload_verified<'a>(
         let computed = crc64(payload);
         if computed != stored {
             return Err(IntegrityError::BadBlockCrc {
-                var: entry.var.clone(),
+                var: entry.var.to_string(),
                 rank: entry.rank,
                 stored,
                 computed,
@@ -62,7 +62,7 @@ pub fn read_payload_verified<'a>(
 fn decode_f64(payload: &[u8], entry: &IndexEntry) -> Result<Vec<f64>, IntegrityError> {
     if entry.dtype != DType::F64 {
         return Err(IntegrityError::WrongDtype {
-            var: entry.var.clone(),
+            var: entry.var.to_string(),
             expected: DType::F64,
             found: entry.dtype,
         });
@@ -186,7 +186,7 @@ fn scatter(
     let offsets = &entry.offsets;
     let ldims = &entry.local_dims;
     let bad = || IntegrityError::BadDims {
-        var: entry.var.clone(),
+        var: entry.var.to_string(),
         dims: offsets.len(),
     };
     if offsets.len() != gdims.len() || ldims.len() != gdims.len() {
@@ -443,7 +443,7 @@ mod tests {
         let (g, files) = build_set();
         let mut bad = g.clone();
         // Block claims to extend past the global array.
-        bad.entries[0].1.offsets = vec![6];
+        bad.entries[0].1.offsets = vec![6].into();
         assert!(matches!(
             read_global_f64(&bad, &files, "u", 0),
             Err(IntegrityError::BadDims { .. })
@@ -451,7 +451,7 @@ mod tests {
         // Absurd global dims must not trigger a huge allocation.
         let mut huge = g.clone();
         for (_, e) in huge.entries.iter_mut() {
-            e.global_dims = vec![u64::MAX / 2];
+            e.global_dims = vec![u64::MAX / 2].into();
         }
         assert!(matches!(
             read_global_f64(&huge, &files, "u", 0),

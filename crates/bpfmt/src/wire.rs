@@ -32,6 +32,16 @@ impl WireWriter {
         self.buf
     }
 
+    /// Everything written so far, borrowed.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Reset to empty, keeping the allocation (scratch-buffer reuse).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Append raw bytes.
     pub fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
@@ -177,9 +187,15 @@ impl<'a> WireReader<'a> {
 
     /// Read a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String, WireError> {
+        Ok(self.str_ref()?.to_string())
+    }
+
+    /// Read a length-prefixed UTF-8 string as a borrow of the underlying
+    /// buffer — the zero-allocation variant of [`WireReader::str`].
+    pub fn str_ref(&mut self) -> Result<&'a str, WireError> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
     }
 }
 

@@ -13,7 +13,7 @@
 
 use crate::index::{IndexEntry, LocalIndex};
 use crate::integrity::IntegrityOpts;
-use crate::pg::{encode_pg_opts, VarBlock};
+use crate::pg::{EncodeScratch, VarBlock};
 
 /// Append-mode subfile builder.
 #[derive(Debug, Default)]
@@ -21,6 +21,7 @@ pub struct SubfileWriter {
     data: Vec<u8>,
     pieces: Vec<IndexEntry>,
     integrity: IntegrityOpts,
+    scratch: EncodeScratch,
 }
 
 impl SubfileWriter {
@@ -38,13 +39,15 @@ impl SubfileWriter {
         }
     }
 
-    /// Append one process group; returns its base offset.
+    /// Append one process group; returns its base offset. Encodes through
+    /// the writer's [`EncodeScratch`], so appending the same variables
+    /// every step allocates only for the subfile bytes themselves.
     pub fn append(&mut self, rank: u32, step: u32, blocks: &[VarBlock]) -> u64 {
         let base = self.data.len() as u64;
-        let (bytes, entries) = encode_pg_opts(rank, step, blocks, self.integrity);
-        self.data.extend_from_slice(&bytes);
+        let (bytes, entries) = self.scratch.encode_pg(rank, step, blocks, self.integrity);
+        self.data.extend_from_slice(bytes);
         self.pieces
-            .extend(entries.into_iter().map(|e| e.rebased(base)));
+            .extend(entries.iter().map(|e| e.clone().rebased(base)));
         base
     }
 

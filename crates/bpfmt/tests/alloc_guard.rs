@@ -1,0 +1,83 @@
+//! Allocation regression guard for the PG encode fast path.
+//!
+//! A counting global allocator wraps `System`; after a warmup encode has
+//! interned the variable names and grown the scratch buffers to their
+//! steady-state size, re-encoding the same process group must hit the
+//! allocator zero times. This is the contract `EncodeScratch` exists
+//! for — a per-step writer loop that stops paying the allocator.
+//!
+//! This file deliberately holds a single test: the counter is global, so
+//! a concurrently running sibling test would perturb the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bpfmt::{encode_pg_opts, EncodeScratch, IntegrityOpts, VarBlock};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn steady_state_blocks() -> Vec<VarBlock> {
+    // A realistic restart-dump shape: a few multi-dimensional variables
+    // of different sizes, same layout every step.
+    let var = |name: &str, n: usize| {
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        VarBlock::from_f64(name, vec![4, n as u64], vec![0, 0], vec![1, n as u64], &vals)
+    };
+    vec![var("psi", 512), var("density", 256), var("b_field", 1024)]
+}
+
+#[test]
+fn steady_state_pg_encode_allocates_nothing() {
+    let blocks = steady_state_blocks();
+    let mut scratch = EncodeScratch::new();
+    for integrity in [IntegrityOpts::off(), IntegrityOpts::on()] {
+        // Warmup: interns names, grows the wire buffer and entry vec to
+        // this PG's steady-state capacity.
+        let (warm_bytes, warm_entries) = scratch.encode_pg(3, 0, &blocks, integrity);
+        let (want_bytes, want_entries) = (warm_bytes.to_vec(), warm_entries.len());
+
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        for step in 1..=100u32 {
+            let (bytes, entries) = scratch.encode_pg(3, step, &blocks, integrity);
+            assert_eq!(bytes.len(), want_bytes.len());
+            assert_eq!(entries.len(), want_entries);
+        }
+        let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            allocs, 0,
+            "steady-state encode_pg allocated {allocs} times over 100 steps \
+             (integrity checked={})",
+            integrity.enabled
+        );
+
+        // Sanity outside the counted window: the scratch path still
+        // produces exactly the bytes of the allocating one-shot encoder.
+        let (bytes, entries) = scratch.encode_pg(3, 0, &blocks, integrity);
+        let (fresh_bytes, fresh_entries) = encode_pg_opts(3, 0, &blocks, integrity);
+        assert_eq!(bytes, &fresh_bytes[..]);
+        assert_eq!(entries, &fresh_entries[..]);
+    }
+}

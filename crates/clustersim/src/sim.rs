@@ -14,8 +14,40 @@ use storesim::{MachineConfig, StorageSystem};
 use crate::actor::{Actor, Ctx, IoComplete, Rank};
 use crate::faultplane::FaultPlane;
 
-/// Boxed message-labelling closure used by traces.
+/// Boxed message-labelling closure used by traces. Lives inside
+/// [`TraceState`], so it exists only while tracing is enabled — the
+/// non-traced path carries a single `None` and allocates nothing.
 type MsgLabeler<M> = Box<dyn Fn(&M) -> String>;
+
+/// Everything tracing needs, bundled so the whole apparatus (record
+/// buffer, capacity, optional labeller) is one `Option` in the
+/// simulation and absent entirely when tracing is off.
+struct TraceState<M> {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    labeler: Option<MsgLabeler<M>>,
+}
+
+impl<M> TraceState<M> {
+    fn new(cap: usize, labeler: Option<MsgLabeler<M>>) -> Self {
+        TraceState {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap,
+            labeler,
+        }
+    }
+
+    fn label(&self, msg: &M) -> String {
+        match &self.labeler {
+            Some(f) => f(msg),
+            None => std::any::type_name::<M>()
+                .rsplit("::")
+                .next()
+                .unwrap_or("msg")
+                .to_string(),
+        }
+    }
+}
 
 /// Internal cluster events.
 #[derive(Debug)]
@@ -82,18 +114,18 @@ pub struct Simulation<A: Actor> {
     faults: Option<FaultPlane>,
     /// Ranks that have been killed (no further event dispatch).
     dead: Vec<bool>,
-    /// Recorded events (when tracing): (buffer, capacity).
-    trace: Option<(Vec<TraceRecord>, usize)>,
-    /// Message labeller used by traces (defaults to the message type
-    /// name; [`Simulation::enable_trace_with`] installs a custom one).
-    labeler: Option<MsgLabeler<A::Msg>>,
+    /// Tracing apparatus (buffer + capacity + optional labeller); `None`
+    /// — and allocation-free — unless a trace was enabled.
+    trace: Option<TraceState<A::Msg>>,
 }
 
 impl<A: Actor> Simulation<A> {
     /// Build a simulation over `actors` (rank i = index i) on a machine.
-    /// Storage noise and the shared RNG derive from `seed`.
-    pub fn new(cfg: MachineConfig, actors: Vec<A>, seed: u64) -> Self {
-        let storage = StorageSystem::new(cfg.clone(), seed);
+    /// Storage noise and the shared RNG derive from `seed`. Accepts an
+    /// owned config or a shared `Arc<MachineConfig>`.
+    pub fn new(cfg: impl Into<std::sync::Arc<MachineConfig>>, actors: Vec<A>, seed: u64) -> Self {
+        let cfg = cfg.into();
+        let storage = StorageSystem::new(std::sync::Arc::clone(&cfg), seed);
         Self::with_storage(cfg, actors, seed, storage)
     }
 
@@ -101,11 +133,12 @@ impl<A: Actor> Simulation<A> {
     /// used when files must be created (and their ids handed to actors)
     /// before the run starts.
     pub fn with_storage(
-        cfg: MachineConfig,
+        cfg: impl Into<std::sync::Arc<MachineConfig>>,
         actors: Vec<A>,
         seed: u64,
         storage: StorageSystem,
     ) -> Self {
+        let cfg = cfg.into();
         let msg_latency = cfg.msg_latency;
         let msg_bandwidth = cfg.msg_bandwidth;
         let mut seeder = SplitMix64::new(seed ^ 0xC1A5_7E25_11D3_0001);
@@ -123,7 +156,6 @@ impl<A: Actor> Simulation<A> {
             faults: None,
             dead,
             trace: None,
-            labeler: None,
         }
     }
 
@@ -205,26 +237,24 @@ impl<A: Actor> Simulation<A> {
     /// [`Simulation::take_trace`]. Messages are labelled with their type
     /// name; use [`Simulation::enable_trace_with`] for richer labels.
     pub fn enable_trace(&mut self, cap: usize) {
-        self.trace = Some((Vec::with_capacity(cap.min(4096)), cap));
-        self.labeler = None;
+        self.trace = Some(TraceState::new(cap, None));
     }
 
     /// Like [`Simulation::enable_trace`], with a custom message labeller
     /// (e.g. `|m| format!("{m:?}")` for `Debug` messages).
     pub fn enable_trace_with(&mut self, cap: usize, labeler: impl Fn(&A::Msg) -> String + 'static) {
-        self.trace = Some((Vec::with_capacity(cap.min(4096)), cap));
-        self.labeler = Some(Box::new(labeler));
+        self.trace = Some(TraceState::new(cap, Some(Box::new(labeler))));
     }
 
     /// Drain the recorded trace.
     pub fn take_trace(&mut self) -> Vec<TraceRecord> {
-        self.trace.take().map(|(v, _)| v).unwrap_or_default()
+        self.trace.take().map(|t| t.buf).unwrap_or_default()
     }
 
-    fn record(trace: &mut Option<(Vec<TraceRecord>, usize)>, at: SimTime, rank: Rank, what: String) {
-        if let Some((buf, cap)) = trace {
-            if buf.len() < *cap {
-                buf.push(TraceRecord { at, rank, what });
+    fn record(trace: &mut Option<TraceState<A::Msg>>, at: SimTime, rank: Rank, what: String) {
+        if let Some(t) = trace {
+            if t.buf.len() < t.cap {
+                t.buf.push(TraceRecord { at, rank, what });
             }
         }
     }
@@ -350,7 +380,6 @@ impl<A: Actor> Simulation<A> {
                     faults,
                     dead,
                     trace,
-                    labeler,
                     ..
                 } = self;
                 match ev {
@@ -358,15 +387,8 @@ impl<A: Actor> Simulation<A> {
                         if dead[to.0 as usize] {
                             // Killed ranks receive nothing.
                         } else {
-                            if trace.is_some() {
-                                let label = match labeler {
-                                    Some(f) => f(&msg),
-                                    None => std::any::type_name::<A::Msg>()
-                                        .rsplit("::")
-                                        .next()
-                                        .unwrap_or("msg")
-                                        .to_string(),
-                                };
+                            if let Some(t) = trace.as_ref() {
+                                let label = t.label(&msg);
                                 Self::record(trace, at, to, format!("recv from {}: {label}", from.0));
                             }
                             let mut ctx = Ctx {

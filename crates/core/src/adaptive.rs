@@ -56,6 +56,7 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use bpfmt::{encode_pg_opts, GlobalIndex, IndexEntry, IntegrityOpts, LocalIndex, VarBlock};
 use clustersim::{Actor, Ctx, IoComplete, Rank};
@@ -328,7 +329,7 @@ struct CoordState {
 
 /// One rank of the adaptive method.
 pub struct AdaptiveActor {
-    plan: Rc<OutputPlan>,
+    plan: Arc<OutputPlan>,
     opts: Rc<AdaptiveOpts>,
     /// File of each group (index = group).
     files: Rc<Vec<FileId>>,
@@ -372,7 +373,7 @@ impl AdaptiveActor {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         rank: u32,
-        plan: Rc<OutputPlan>,
+        plan: Arc<OutputPlan>,
         opts: Rc<AdaptiveOpts>,
         files: Rc<Vec<FileId>>,
         global_index_file: FileId,
@@ -622,7 +623,7 @@ impl AdaptiveActor {
         // `start_write` needs `&mut self`).
         let mut to_assign: Vec<(u32, Assignment)> = Vec::new();
         {
-            let plan = Rc::clone(&self.plan);
+            let plan = Arc::clone(&self.plan);
             let now = ctx.now();
             let sc = self.sc.as_mut().expect("sc role");
             if !sc.opened || sc.target_dead || sc.local_frozen {
@@ -950,7 +951,7 @@ impl AdaptiveActor {
     /// writer's own retry budget — they are dead ranks.
     fn sc_sweep(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let ft = self.ft();
-        let plan = Rc::clone(&self.plan);
+        let plan = Arc::clone(&self.plan);
         let now = ctx.now();
         let keep_going = {
             let sc = self.sc.as_mut().expect("sc role");

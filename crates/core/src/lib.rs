@@ -46,5 +46,6 @@ pub use scrub::{repair_subfiles, run_scrub, BlockFate, RepairSummary, ScrubRepor
 pub use staging::{run_staged, StagingOpts, StagingResult};
 pub use record::{OutputResult, WriteRecord};
 pub use runner::{
-    run, run_with_faults, DataSpec, Interference, Method, ProtocolStats, RunOutput, RunSpec,
+    run, run_with_faults, DataSpec, Interference, Method, ProtocolStats, RunBase, RunOutput,
+    RunSpec,
 };

@@ -10,7 +10,7 @@
 //! `n / stripe_count` simultaneous streams per target, which is the
 //! internal interference the adaptive method avoids.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use clustersim::topology::log2_ceil;
 use clustersim::{Actor, Ctx, IoComplete, Rank};
@@ -29,7 +29,7 @@ const TIMER_SCAN: u64 = 1;
 
 /// One rank of the MPI-IO baseline.
 pub struct MpiIoActor {
-    plan: Rc<OutputPlan>,
+    plan: Arc<OutputPlan>,
     /// The shared striped file.
     file: FileId,
     /// Precomputed byte offset of this rank within the shared file
@@ -55,7 +55,7 @@ pub struct MpiIoActor {
 impl MpiIoActor {
     /// Build the actor for `rank`; `offset` comes from
     /// [`stripe_aligned_offsets`] and `ost` from the file's stripe map.
-    pub fn new(rank: u32, plan: Rc<OutputPlan>, file: FileId, offset: u64, ost: OstId) -> Self {
+    pub fn new(rank: u32, plan: Arc<OutputPlan>, file: FileId, offset: u64, ost: OstId) -> Self {
         let arrived = if rank == 0 { vec![false; plan.nprocs] } else { Vec::new() };
         MpiIoActor {
             plan,

@@ -12,7 +12,7 @@
 //! supposed to measure. The barrier cost never enters the measured write
 //! span.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use clustersim::{Actor, Ctx, IoComplete, Rank};
 use simcore::SimTime;
@@ -37,7 +37,7 @@ pub enum BarrierMsg {
 
 /// One rank of the POSIX file-per-process mode.
 pub struct PosixActor {
-    plan: Rc<OutputPlan>,
+    plan: Arc<OutputPlan>,
     /// This rank's own file (pre-created, pinned to its target).
     file: FileId,
     me: u32,
@@ -57,7 +57,7 @@ pub struct PosixActor {
 
 impl PosixActor {
     /// Build the actor for `rank` writing to `file`.
-    pub fn new(rank: u32, plan: Rc<OutputPlan>, file: FileId) -> Self {
+    pub fn new(rank: u32, plan: Arc<OutputPlan>, file: FileId) -> Self {
         let arrived = if rank == 0 { vec![false; plan.nprocs] } else { Vec::new() };
         PosixActor {
             plan,

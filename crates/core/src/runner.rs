@@ -25,6 +25,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use bpfmt::{pg_encoded_size_opts, GlobalIndex, IntegrityOpts, VarBlock};
 use clustersim::{Actor, FaultPlane, LinkFaults, Simulation};
@@ -275,22 +276,131 @@ pub fn run(spec: RunSpec) -> RunOutput {
 /// of panicking or hanging on failure. With an empty config this is
 /// exactly [`run`].
 pub fn run_with_faults(spec: RunSpec, faults: FaultConfig) -> RunOutput {
-    let nprocs = spec.nprocs;
-    let rank_bytes = rank_bytes_of(&spec.data, nprocs, integrity_of(&spec.method));
-    match &spec.method {
-        Method::Posix { targets } => run_posix(&spec, rank_bytes, *targets, &faults),
-        Method::MpiIo { stripe_count } => run_mpiio(&spec, rank_bytes, *stripe_count, &faults),
-        Method::Stagger { targets } => {
-            let opts = AdaptiveOpts {
-                work_stealing: false,
-                stagger_opens: true,
-                ..Default::default()
-            };
-            run_adaptive(&spec, rank_bytes, *targets, opts, &faults)
+    let seed = spec.seed;
+    RunBase::prepare(spec).run_seed_with_faults(seed, &faults)
+}
+
+/// The seed-independent prefix of a run, built once and shared across a
+/// whole campaign sweep.
+///
+/// A replicate campaign re-runs the same `(machine, workload, method)`
+/// point under many seeds; everything but the seed — the machine
+/// parameters, the per-rank byte sizes, the [`OutputPlan`] group/target
+/// assignment, and (for MPI-IO) the clamped stripe layout — is identical
+/// across replicates. [`RunBase::prepare`] computes that prefix once and
+/// puts the heavyweight pieces behind [`Arc`], so [`RunBase::run_seed`]
+/// and the parallel [`RunBase::run_seed_sweep`] share them instead of
+/// rebuilding per replicate.
+///
+/// Every seeded run is **byte-identical** to the equivalent one-shot
+/// [`run`] / [`run_with_faults`] call with that seed (those entry points
+/// are now themselves thin wrappers over `prepare` + `run_seed`).
+pub struct RunBase {
+    machine: Arc<MachineConfig>,
+    nprocs: usize,
+    data: DataSpec,
+    method: Method,
+    interference: Interference,
+    plan: Arc<OutputPlan>,
+    /// MPI-IO precomputed layout: (clamped stripe count, stripe size,
+    /// per-rank file offsets).
+    mpiio: Option<(usize, u64, Vec<u64>)>,
+}
+
+impl RunBase {
+    /// Build the shared prefix from a spec (the spec's `seed` field is
+    /// ignored — pass seeds to [`RunBase::run_seed`]).
+    pub fn prepare(spec: RunSpec) -> RunBase {
+        let RunSpec {
+            machine,
+            nprocs,
+            data,
+            method,
+            interference,
+            seed: _,
+        } = spec;
+        let machine = Arc::new(machine);
+        let rank_bytes = rank_bytes_of(&data, nprocs, integrity_of(&method));
+        let ost_count = machine.ost_count;
+        let (plan, mpiio) = match &method {
+            Method::MpiIo { stripe_count } => {
+                let stripe_count = (*stripe_count)
+                    .min(machine.max_stripe_count)
+                    .min(ost_count)
+                    .min(nprocs);
+                // ADIOS MPI method on Lustre: stripe width = the (largest)
+                // per-rank buffer, so each rank's region lands on one target.
+                let stripe_size = rank_bytes.iter().copied().max().expect("nprocs > 0").max(1);
+                let offsets = stripe_aligned_offsets(&rank_bytes, stripe_size);
+                (
+                    Arc::new(OutputPlan::new(nprocs, stripe_count, ost_count, rank_bytes)),
+                    Some((stripe_count, stripe_size, offsets)),
+                )
+            }
+            Method::Posix { targets }
+            | Method::Stagger { targets }
+            | Method::Adaptive { targets, .. } => (
+                Arc::new(OutputPlan::new(nprocs, *targets, ost_count, rank_bytes)),
+                None,
+            ),
+        };
+        RunBase {
+            machine,
+            nprocs,
+            data,
+            method,
+            interference,
+            plan,
+            mpiio,
         }
-        Method::Adaptive { targets, opts } => {
-            run_adaptive(&spec, rank_bytes, *targets, opts.clone(), &faults)
+    }
+
+    /// The shared machine parameters.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The shared output plan.
+    pub fn plan(&self) -> &OutputPlan {
+        &self.plan
+    }
+
+    /// Execute one fault-free replicate under `seed`.
+    pub fn run_seed(&self, seed: u64) -> RunOutput {
+        self.run_seed_with_faults(seed, &FaultConfig::none())
+    }
+
+    /// Execute one replicate under `seed` with fault injection.
+    pub fn run_seed_with_faults(&self, seed: u64, faults: &FaultConfig) -> RunOutput {
+        match &self.method {
+            Method::Posix { .. } => run_posix(self, seed, faults),
+            Method::MpiIo { .. } => run_mpiio(self, seed, faults),
+            Method::Stagger { .. } => {
+                let opts = AdaptiveOpts {
+                    work_stealing: false,
+                    stagger_opens: true,
+                    ..Default::default()
+                };
+                run_adaptive(self, seed, opts, faults)
+            }
+            Method::Adaptive { opts, .. } => run_adaptive(self, seed, opts.clone(), faults),
         }
+    }
+
+    /// Run a whole seed sweep in parallel (over `MANAGED_IO_THREADS`
+    /// workers), sharing this prefix across replicates. Results come back
+    /// in seed order and each is byte-identical to a serial
+    /// [`RunBase::run_seed`] call.
+    pub fn run_seed_sweep(&self, seeds: &[u64]) -> Vec<RunOutput> {
+        self.run_seed_sweep_with_faults(seeds, &FaultConfig::none())
+    }
+
+    /// [`RunBase::run_seed_sweep`] with fault injection applied to every
+    /// replicate.
+    pub fn run_seed_sweep_with_faults(&self, seeds: &[u64], faults: &FaultConfig) -> Vec<RunOutput> {
+        simcore::par::par_map_with(self, seeds.to_vec(), |base, seed| {
+            base.run_seed_with_faults(seed, faults)
+        })
     }
 }
 
@@ -390,29 +500,28 @@ fn integrity_account(
     (oracle, out, errors)
 }
 
-fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize, faults: &FaultConfig) -> RunOutput {
+fn run_posix(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
     assert!(
-        matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
+        matches!(base.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
         "real-bytes mode requires the adaptive/stagger methods"
     );
-    let ost_count = spec.machine.ost_count;
-    let plan = Rc::new(OutputPlan::new(spec.nprocs, targets, ost_count, rank_bytes.clone()));
-    let mut storage = storesim::StorageSystem::new(spec.machine.clone(), spec.seed);
-    let mut actors = Vec::with_capacity(spec.nprocs);
-    for r in 0..spec.nprocs as u32 {
+    let plan = Arc::clone(&base.plan);
+    let mut storage = storesim::StorageSystem::new(Arc::clone(&base.machine), seed);
+    let mut actors = Vec::with_capacity(base.nprocs);
+    for r in 0..base.nprocs as u32 {
         let g = plan.group_of[r as usize];
         let ost = plan.ost_of_group[g as usize];
         let file = storage
             .fs_mut()
             .create(format!("ior-{r}.dat"), StripeSpec::Pinned(vec![ost]));
-        actors.push(PosixActor::new(r, Rc::clone(&plan), file));
+        actors.push(PosixActor::new(r, Arc::clone(&plan), file));
     }
-    let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
-    apply_interference(sim.storage_mut(), &spec.interference);
-    install_faults(&mut sim, spec.seed, faults);
-    let stats = sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
+    let mut sim = Simulation::with_storage(Arc::clone(&base.machine), actors, seed, storage);
+    apply_interference(sim.storage_mut(), &base.interference);
+    install_faults(&mut sim, seed, faults);
+    let stats = sim.run_until(base.nprocs as u64, RUN_DEADLINE);
     let mut errors = Vec::new();
-    if sim.finish_count() < spec.nprocs as u64 {
+    if sim.finish_count() < base.nprocs as u64 {
         let pending: Vec<u32> = sim
             .actors()
             .enumerate()
@@ -424,7 +533,7 @@ fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize, faults: &Faul
             last_event_time: stats.end_time.as_secs_f64(),
         });
     }
-    let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
+    let mut records: Vec<WriteRecord> = Vec::with_capacity(base.nprocs);
     let mut full_end = SimTime::ZERO;
     for a in sim.actors() {
         if faults.is_empty() {
@@ -457,52 +566,36 @@ fn run_posix(spec: &RunSpec, rank_bytes: Vec<u64>, targets: usize, faults: &Faul
     }
 }
 
-fn run_mpiio(
-    spec: &RunSpec,
-    rank_bytes: Vec<u64>,
-    stripe_count: usize,
-    faults: &FaultConfig,
-) -> RunOutput {
+fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
     assert!(
-        matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
+        matches!(base.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
         "real-bytes mode requires the adaptive/stagger methods"
     );
-    let ost_count = spec.machine.ost_count;
-    let stripe_count = stripe_count
-        .min(spec.machine.max_stripe_count)
-        .min(ost_count)
-        .min(spec.nprocs);
-    // ADIOS MPI method on Lustre: stripe width = the (largest) per-rank
-    // buffer, so each rank's region lands on one target.
-    let stripe_size = rank_bytes.iter().copied().max().expect("nprocs > 0").max(1);
-    let plan = Rc::new(OutputPlan::new(
-        spec.nprocs,
-        stripe_count,
-        ost_count,
-        rank_bytes.clone(),
-    ));
-    let mut storage = storesim::StorageSystem::new(spec.machine.clone(), spec.seed);
+    let (stripe_count, stripe_size, offsets) =
+        base.mpiio.as_ref().expect("prepared MPI-IO layout");
+    let (stripe_count, stripe_size) = (*stripe_count, *stripe_size);
+    let plan = Arc::clone(&base.plan);
+    let mut storage = storesim::StorageSystem::new(Arc::clone(&base.machine), seed);
     let file =
         storage.create_file_with_stripe_size("shared.bp", StripeSpec::Count(stripe_count), stripe_size);
     let file_osts = storage.fs().meta(file).osts.clone();
-    let offsets = stripe_aligned_offsets(&rank_bytes, stripe_size);
-    let mut actors = Vec::with_capacity(spec.nprocs);
-    for r in 0..spec.nprocs as u32 {
+    let mut actors = Vec::with_capacity(base.nprocs);
+    for r in 0..base.nprocs as u32 {
         let stripe_idx = (offsets[r as usize] / stripe_size) as usize % file_osts.len();
         actors.push(MpiIoActor::new(
             r,
-            Rc::clone(&plan),
+            Arc::clone(&plan),
             file,
             offsets[r as usize],
             file_osts[stripe_idx],
         ));
     }
-    let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
-    apply_interference(sim.storage_mut(), &spec.interference);
-    install_faults(&mut sim, spec.seed, faults);
-    let stats = sim.run_until(spec.nprocs as u64, RUN_DEADLINE);
+    let mut sim = Simulation::with_storage(Arc::clone(&base.machine), actors, seed, storage);
+    apply_interference(sim.storage_mut(), &base.interference);
+    install_faults(&mut sim, seed, faults);
+    let stats = sim.run_until(base.nprocs as u64, RUN_DEADLINE);
     let mut errors = Vec::new();
-    if sim.finish_count() < spec.nprocs as u64 {
+    if sim.finish_count() < base.nprocs as u64 {
         let pending: Vec<u32> = sim
             .actors()
             .enumerate()
@@ -514,7 +607,7 @@ fn run_mpiio(
             last_event_time: stats.end_time.as_secs_f64(),
         });
     }
-    let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
+    let mut records: Vec<WriteRecord> = Vec::with_capacity(base.nprocs);
     let mut full_end = SimTime::ZERO;
     for a in sim.actors() {
         if faults.is_empty() {
@@ -547,13 +640,7 @@ fn run_mpiio(
     }
 }
 
-fn run_adaptive(
-    spec: &RunSpec,
-    rank_bytes: Vec<u64>,
-    targets: usize,
-    mut opts: AdaptiveOpts,
-    faults: &FaultConfig,
-) -> RunOutput {
+fn run_adaptive(base: &RunBase, seed: u64, mut opts: AdaptiveOpts, faults: &FaultConfig) -> RunOutput {
     // Silent-corruption-only scripts never perturb timing or liveness, so
     // they compose with real-bytes data and need no hardened protocol;
     // every other fault kind forces the hardened protocol and (because the
@@ -562,24 +649,23 @@ fn run_adaptive(
         faults.network.is_none() && faults.kills.is_empty() && faults.storage.is_silent_only();
     if !faults.is_empty() && !silent_only {
         assert!(
-            matches!(spec.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
+            matches!(base.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
             "fault injection supports synthetic (sizes-only) data"
         );
         // Faults without the hardened protocol would just hang; switch it
         // on (explicit knobs in `opts.fault` are respected as-is).
         opts.fault.enabled = true;
     }
-    let ost_count = spec.machine.ost_count;
-    let plan = Rc::new(OutputPlan::new(spec.nprocs, targets, ost_count, rank_bytes));
+    let plan = Arc::clone(&base.plan);
     let opts = Rc::new(opts);
-    let (real_blocks, store) = match &spec.data {
+    let (real_blocks, store) = match &base.data {
         DataSpec::Real(blocks) => (
             Some(blocks.clone()),
             Some(Rc::new(RefCell::new(ObjectStore::new()))),
         ),
         _ => (None, None),
     };
-    let mut storage = storesim::StorageSystem::new(spec.machine.clone(), spec.seed);
+    let mut storage = storesim::StorageSystem::new(Arc::clone(&base.machine), seed);
     let mut files = Vec::with_capacity(plan.targets);
     for g in 0..plan.targets {
         let ost = plan.ost_of_group[g];
@@ -593,12 +679,12 @@ fn run_adaptive(
         .fs_mut()
         .create("global-index.bp", StripeSpec::Pinned(vec![OstId(0)]));
     let files = Rc::new(files);
-    let mut actors = Vec::with_capacity(spec.nprocs);
-    for r in 0..spec.nprocs as u32 {
+    let mut actors = Vec::with_capacity(base.nprocs);
+    for r in 0..base.nprocs as u32 {
         let blocks = real_blocks.as_ref().map(|b| b[r as usize].clone());
         actors.push(AdaptiveActor::new(
             r,
-            Rc::clone(&plan),
+            Arc::clone(&plan),
             Rc::clone(&opts),
             Rc::clone(&files),
             gidx_file,
@@ -607,9 +693,9 @@ fn run_adaptive(
             0,
         ));
     }
-    let mut sim = Simulation::with_storage(spec.machine.clone(), actors, spec.seed, storage);
-    apply_interference(sim.storage_mut(), &spec.interference);
-    install_faults(&mut sim, spec.seed, faults);
+    let mut sim = Simulation::with_storage(Arc::clone(&base.machine), actors, seed, storage);
+    apply_interference(sim.storage_mut(), &base.interference);
+    install_faults(&mut sim, seed, faults);
     // The coordinator's single finish signal marks the whole operation
     // (data + local indices + global index) durable.
     let stats = sim.run_until(1, RUN_DEADLINE);
@@ -640,7 +726,7 @@ fn run_adaptive(
         });
     }
     let full_end = finished.unwrap_or(stats.end_time);
-    let mut records: Vec<WriteRecord> = Vec::with_capacity(spec.nprocs);
+    let mut records: Vec<WriteRecord> = Vec::with_capacity(base.nprocs);
     let mut total_messages = 0u64;
     let mut busiest = 0u64;
     let mut coordinator_inbox = 0u64;
@@ -696,7 +782,7 @@ fn run_adaptive(
                 // distinct runs damage distinct bits.
                 let at = (r.offset + r.bytes - 1) as usize;
                 if at < bytes.len() {
-                    let bit = (spec.seed ^ u64::from(r.rank) ^ r.offset) % 8;
+                    let bit = (seed ^ u64::from(r.rank) ^ r.offset) % 8;
                     bytes[at] ^= 1 << bit;
                 }
             }

@@ -19,7 +19,7 @@
 
 use std::rc::Rc;
 
-use bpfmt::{encode_pg_opts, probe_pg, IntegrityError, IntegrityOpts, VarBlock};
+use bpfmt::{probe_pg, EncodeScratch, IntegrityError, IntegrityOpts, VarBlock};
 use clustersim::{Actor, Ctx, IoComplete, Rank, Simulation};
 use simcore::{EventToken, SimDuration, SimTime};
 use storesim::layout::{FileId, OstId, StripeSpec};
@@ -453,6 +453,9 @@ pub fn repair_subfiles(
     integrity: IntegrityOpts,
 ) -> RepairSummary {
     let mut summary = RepairSummary::default();
+    // One scratch across every repair: re-encoding damaged PG after
+    // damaged PG reuses the same wire buffer instead of allocating.
+    let mut scratch = EncodeScratch::new();
     // Deterministic file order (HashMap iteration is not).
     let mut names: Vec<String> = subfiles.keys().cloned().collect();
     names.sort();
@@ -471,11 +474,11 @@ pub fn repair_subfiles(
                 Err(IntegrityError::BadBlockCrc { .. } | IntegrityError::BadPgHeader { .. }) => {
                     let rank = info.rank as usize;
                     let fresh = blocks.get(rank).map(|b| {
-                        encode_pg_opts(info.rank, info.step, b, integrity).0
+                        scratch.encode_pg(info.rank, info.step, b, integrity).0
                     });
                     match fresh {
                         Some(fresh) if fresh.len() as u64 == info.len => {
-                            bytes[at..at + fresh.len()].copy_from_slice(&fresh);
+                            bytes[at..at + fresh.len()].copy_from_slice(fresh);
                             summary.repaired += 1;
                         }
                         _ => summary.unrepaired += 1,

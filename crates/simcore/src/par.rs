@@ -50,6 +50,20 @@ where
     par_map_threads(threads(), items, f)
 }
 
+/// [`par_map`] over a shared immutable prefix: every worker invocation
+/// receives `&shared` alongside its item. This is the campaign-sweep
+/// shape — build the expensive seed-independent state once, fan the
+/// seeds out over it — without each call site spelling out the capture.
+pub fn par_map_with<S, T, U, F>(shared: &S, items: Vec<T>, f: F) -> Vec<U>
+where
+    S: Sync,
+    T: Send,
+    U: Send,
+    F: Fn(&S, T) -> U + Sync,
+{
+    par_map(items, move |t| f(shared, t))
+}
+
 /// [`par_map`] with an explicit worker count (used by determinism tests
 /// to compare a 1-thread run against an n-thread run directly).
 pub fn par_map_threads<T, U, F>(nthreads: usize, items: Vec<T>, f: F) -> Vec<U>

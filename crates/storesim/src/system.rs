@@ -109,7 +109,9 @@ struct BgSpec {
 
 /// The storage half of the co-simulation.
 pub struct StorageSystem {
-    cfg: MachineConfig,
+    /// Machine parameters, shared: campaign sweeps hand every replicate
+    /// the same `Arc` instead of deep-cloning the config per run.
+    cfg: std::sync::Arc<MachineConfig>,
     osts: Vec<Ost>,
     fs: FileSystem,
     mds: Mds,
@@ -164,8 +166,11 @@ pub struct StorageSystem {
 
 impl StorageSystem {
     /// Build a storage system for `cfg`, seeding all stochastic elements
-    /// from `seed`.
-    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+    /// from `seed`. Accepts an owned config or a shared
+    /// `Arc<MachineConfig>`; replicates of a sweep pass clones of one
+    /// `Arc` so the config is built (and dropped) once.
+    pub fn new(cfg: impl Into<std::sync::Arc<MachineConfig>>, seed: u64) -> Self {
+        let cfg = cfg.into();
         let mut seeder = SplitMix64::new(seed);
         let mut rng = seeder.stream();
         let corrupt_rng = seeder.stream();

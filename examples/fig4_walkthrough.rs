@@ -8,6 +8,7 @@
 //! ```
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use managed_io::adios::adaptive::{AdaptiveActor, AdaptiveOpts};
 use managed_io::adios::plan::OutputPlan;
@@ -54,7 +55,7 @@ fn msg_label(m: &Msg) -> String {
 fn main() {
     // 8 writers in 2 groups; hammer group 0's OST so work shifting fires.
     let machine = testbed();
-    let plan = Rc::new(OutputPlan::uniform(8, 2, machine.ost_count, 64 * MIB));
+    let plan = Arc::new(OutputPlan::uniform(8, 2, machine.ost_count, 64 * MIB));
     let opts = Rc::new(AdaptiveOpts::default());
     let mut storage = StorageSystem::new(machine.clone(), 5);
     let mut files = Vec::new();
@@ -70,7 +71,7 @@ fn main() {
     let files = Rc::new(files);
     let actors: Vec<AdaptiveActor> = (0..8)
         .map(|r| {
-            AdaptiveActor::new(r, Rc::clone(&plan), Rc::clone(&opts), Rc::clone(&files), gidx, None, None, 0)
+            AdaptiveActor::new(r, Arc::clone(&plan), Rc::clone(&opts), Rc::clone(&files), gidx, None, None, 0)
         })
         .collect();
     let mut sim = Simulation::with_storage(machine, actors, 5, storage);

@@ -215,6 +215,90 @@ fn silent_corruption_leaves_timeline_identical() {
     );
 }
 
+/// The shared-prefix sweep path: `RunBase::prepare` once + parallel
+/// `run_seed_sweep` must be byte-identical to independent one-shot
+/// `run()` calls per seed — including the materialised subfile bytes of
+/// a real-data integrity-enabled run, the strictest artifact we have.
+#[test]
+fn run_base_sweep_matches_one_shot_runs() {
+    use managed_io::adios::RunBase;
+    use managed_io::bpfmt::IntegrityOpts;
+    use managed_io::workloads::pixie3d::Pixie3dConfig;
+    let cfg = Pixie3dConfig { cube: 5, nprocs: 16 };
+    let mut rng = managed_io::simcore::Rng::new(91);
+    let blocks: Vec<_> = (0..16).map(|r| cfg.blocks_of(r, &mut rng)).collect();
+    let spec = |seed| RunSpec {
+        machine: testbed(),
+        nprocs: 16,
+        data: DataSpec::Real(blocks.clone()),
+        method: Method::Adaptive {
+            targets: 4,
+            opts: AdaptiveOpts {
+                integrity: IntegrityOpts::on(),
+                ..Default::default()
+            },
+        },
+        interference: Interference::None,
+        seed,
+    };
+    let seeds: Vec<u64> = (0..4).map(|i| SEED ^ 0x5EED ^ i).collect();
+    let base = RunBase::prepare(spec(0));
+    let swept = base.run_seed_sweep(&seeds);
+    for (seed, shared) in seeds.iter().zip(&swept) {
+        let solo = run(spec(*seed));
+        assert_eq!(
+            artifact(std::slice::from_ref(&solo.result)),
+            artifact(std::slice::from_ref(&shared.result)),
+            "shared-prefix sweep changed the timeline for seed {seed:#x}"
+        );
+        let (a, b) = (solo.subfiles.unwrap(), shared.subfiles.as_ref().unwrap());
+        assert_eq!(a.len(), b.len());
+        for (name, bytes) in &a {
+            assert_eq!(Some(bytes), b.get(name), "subfile {name} differs");
+        }
+    }
+}
+
+/// The faulted sweep path: one fault config fanned across seeds through
+/// `run_seed_sweep_with_faults` matches per-seed `run_with_faults`.
+#[test]
+fn run_base_faulted_sweep_matches_one_shot_runs() {
+    use managed_io::adios::RunBase;
+    let faults = FaultConfig {
+        storage: managed_io::storesim::FaultScript::random(0x0BAD_F00D, 6, 2.0, 3),
+        network: Some(NetFaults {
+            dup_p: 0.1,
+            delay_p: 0.1,
+            delay_mean_secs: 0.02,
+        }),
+        kills: vec![(0.9, 5)],
+    };
+    let spec = |seed| RunSpec {
+        machine: testbed(),
+        nprocs: 16,
+        data: DataSpec::Uniform(8 * MIB),
+        method: Method::Adaptive {
+            targets: 4,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed,
+    };
+    let seeds: Vec<u64> = (0..3).map(|i| SEED ^ 0xFA17 ^ i).collect();
+    let base = RunBase::prepare(spec(0));
+    let swept = base.run_seed_sweep_with_faults(&seeds, &faults);
+    let solo: Vec<OutputResult> = seeds
+        .iter()
+        .map(|&s| run_with_faults(spec(s), faults.clone()).result)
+        .collect();
+    let shared: Vec<OutputResult> = swept.into_iter().map(|o| o.result).collect();
+    assert_eq!(
+        artifact(&solo),
+        artifact(&shared),
+        "shared-prefix faulted sweep diverged from one-shot runs"
+    );
+}
+
 /// The env-driven path (`MANAGED_IO_THREADS`) that the fig1/fig7 and
 /// campaign harnesses use: summaries are byte-identical under 1 vs 4
 /// worker threads. This is the only test in this binary that touches the
