@@ -1,0 +1,251 @@
+//! Scale benchmarks: the asymptotic payoff of the virtual-time OST engine.
+//!
+//! Three sweeps:
+//!
+//! 1. **Drain**: a 256-writers-per-OST single-target drain, reference
+//!    settle-loop vs virtual-time engine in one binary (both are always
+//!    compiled) — the issue's ≥5× gate.
+//! 2. **Writers-per-OST sweep** (4 → 512): per-drain cost for both
+//!    engines, demonstrating near-linear vs quadratic event cost.
+//! 3. **Ranks sweep** (512 → 16k): full end-to-end campaigns on the full
+//!    672-OST Jaguar preset — Pixie3D small under adaptive and tuned
+//!    MPI-IO at every scale, plus the paper's 16k-rank XGC1 — reported
+//!    under whichever engine the `baseline` feature selected.
+//!
+//! Results merge into `BENCH_scale.json` at the workspace root, keyed by
+//! bench name and engine variant; run twice for before/after in one
+//! artifact:
+//!
+//! ```text
+//! cargo bench --bench scale                      # virtual-time engine
+//! cargo bench --bench scale --features baseline  # reference engine
+//! ```
+//!
+//! Knobs: `MANAGED_IO_SMOKE=1` shrinks everything for CI (ranks capped at
+//! 1024, single iterations); `MANAGED_IO_SEED` moves the campaign seeds.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use managed_io_bench::{base_seed, fmt_gibps};
+use minijson::{json, Value};
+use simcore::units::MIB;
+use simcore::SimTime;
+use storesim::ost::reference::RefOst;
+use storesim::ost::vt::VtOst;
+use storesim::ost::{OpKind, RequestId};
+use storesim::params::testbed;
+use workloads::ScaleCampaign;
+
+/// Which engine the campaign-level benchmarks ran against.
+const VARIANT: &str = if cfg!(feature = "baseline") {
+    "baseline"
+} else {
+    "optimized"
+};
+
+/// Artifact lives at the workspace root regardless of cargo's CWD.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+
+fn smoke() -> bool {
+    std::env::var("MANAGED_IO_SMOKE").is_ok_and(|v| v == "1")
+}
+
+struct Timing {
+    iters: usize,
+    min_s: f64,
+    mean_s: f64,
+}
+
+/// Warm up once, then time `iters` runs of `f`; keep min and mean.
+fn time_n<F: FnMut() -> u64>(iters: usize, mut f: F) -> Timing {
+    black_box(f());
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    Timing {
+        iters,
+        min_s: min,
+        mean_s: total / iters as f64,
+    }
+}
+
+/// Drive `w` direct writes (distinct sizes, so completions separate in
+/// time — the event-count worst case) through one OST to completion.
+macro_rules! drain_fn {
+    ($name:ident, $ost:ty) => {
+        fn $name(w: u64) -> u64 {
+            let mut ost = <$ost>::new(testbed().ost);
+            for i in 0..w {
+                ost.submit(
+                    SimTime::ZERO,
+                    RequestId(i),
+                    MIB + i * 8192,
+                    OpKind::WriteDirect,
+                );
+            }
+            let mut scratch = Vec::new();
+            let mut done = 0u64;
+            while let Some(at) = ost.next_completion() {
+                ost.advance_into(at, &mut scratch);
+                done += scratch.drain(..).count() as u64;
+            }
+            assert_eq!(done, w);
+            done
+        }
+    };
+}
+
+drain_fn!(drain_reference, RefOst);
+drain_fn!(drain_vt, VtOst);
+
+/// One campaign run (every seed's full simulation): returns total record
+/// count so the optimizer can't elide the work, printing the bandwidth.
+fn run_campaign(c: &ScaleCampaign, samples: usize, seed: u64) -> u64 {
+    let rows = c.compare(samples, seed);
+    let mut records = 0u64;
+    for r in &rows {
+        println!(
+            "    {:<28} {:<9} mean {:>8} GiB/s  (std of write times {:.3}s)",
+            c.name,
+            r.method,
+            fmt_gibps(r.bandwidth.mean),
+            r.write_time_std
+        );
+        records += r.nprocs as u64;
+    }
+    records
+}
+
+/// Merge `rows` into BENCH_scale.json: `{bench: {variant: timing}}` plus
+/// recomputed `speedups` (baseline min / optimized min) where both
+/// variants are present.
+fn merge_into_artifact(rows: Vec<(String, &str, Timing)>) {
+    let mut root = std::fs::read_to_string(BENCH_PATH)
+        .ok()
+        .and_then(|s| Value::parse(&s).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let Value::Obj(entries) = &mut root else {
+        return;
+    };
+    entries.retain(|(k, _)| k != "speedups");
+    for (name, variant, t) in rows {
+        let row = json!({
+            "iters": t.iters,
+            "min_s": t.min_s,
+            "mean_s": t.mean_s,
+        });
+        let by_variant = match entries.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => v,
+            None => {
+                entries.push((name.clone(), Value::Obj(Vec::new())));
+                &mut entries.last_mut().unwrap().1
+            }
+        };
+        if let Value::Obj(pairs) = by_variant {
+            pairs.retain(|(k, _)| k != variant);
+            pairs.push((variant.to_string(), row));
+        }
+    }
+    let mut speedups = Vec::new();
+    for (name, v) in entries.iter() {
+        let base = v.get("baseline").and_then(|b| b.get("min_s")).and_then(Value::as_f64);
+        let opt = v.get("optimized").and_then(|o| o.get("min_s")).and_then(Value::as_f64);
+        if let (Some(b), Some(o)) = (base, opt) {
+            if o > 0.0 {
+                speedups.push((name.clone(), Value::Num(b / o)));
+            }
+        }
+    }
+    if !speedups.is_empty() {
+        entries.push(("speedups".to_string(), Value::Obj(speedups)));
+    }
+    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
+}
+
+fn main() {
+    let smoke = smoke();
+    println!("scale — variant: {VARIANT}, smoke: {smoke}\n");
+    let mut rows: Vec<(String, &str, Timing)> = Vec::new();
+    let mut report = |name: &str, variant: &'static str, t: Timing| {
+        println!(
+            "{name:<36} [{variant:<9}] min {:>10.3} ms   mean {:>10.3} ms   ({} iters)",
+            t.min_s * 1e3,
+            t.mean_s * 1e3,
+            t.iters
+        );
+        rows.push((name.to_string(), variant, t));
+    };
+
+    // 1. The gate: 256 writers per OST, both engines, one binary. Repeat
+    //    the whole drain several times per sample so the timing rises
+    //    well above clock granularity.
+    let drain_iters = if smoke { 2 } else { 30 };
+    let reps: u64 = if smoke { 1 } else { 5 };
+    report(
+        "drain_256_writers_per_ost",
+        "optimized",
+        time_n(drain_iters, || (0..reps).map(|_| drain_vt(256)).sum()),
+    );
+    report(
+        "drain_256_writers_per_ost",
+        "baseline",
+        time_n(drain_iters, || (0..reps).map(|_| drain_reference(256)).sum()),
+    );
+
+    // 2. Writers-per-OST sweep: 4 → 512, both engines. Equal *event*
+    //    counts, asymptotically different per-event work.
+    for w in [4u64, 16, 64, 256, 512] {
+        let iters = if smoke { 1 } else { 20 };
+        report(
+            &format!("drain_w{w}"),
+            "optimized",
+            time_n(iters, || (0..reps).map(|_| drain_vt(w)).sum()),
+        );
+        report(
+            &format!("drain_w{w}"),
+            "baseline",
+            time_n(iters, || (0..reps).map(|_| drain_reference(w)).sum()),
+        );
+    }
+
+    // 3. Ranks sweep: full-Jaguar Pixie3D campaigns, adaptive vs MPI-IO
+    //    inside each run, reported under the compiled engine. Smoke mode
+    //    stops at 1024 ranks; the reference engine's quadratic drains are
+    //    exactly what makes the big configurations expensive, so this is
+    //    where before/after shows end to end.
+    let seed = base_seed();
+    let rank_cap = if smoke { 1024 } else { 16384 };
+    for ranks in workloads::RANK_SWEEP {
+        if ranks > rank_cap {
+            println!("    (skipping {ranks} ranks: over the smoke cap)");
+            continue;
+        }
+        let c = ScaleCampaign::pixie3d_small(ranks);
+        let iters = if smoke || ranks >= 8192 { 1 } else { 2 };
+        report(
+            &format!("campaign_pixie3d_small_{ranks}"),
+            VARIANT,
+            time_n(iters, || run_campaign(&c, 1, seed)),
+        );
+    }
+
+    // The paper's 16k-rank XGC1 configuration (38 MB/process, 672 OSTs).
+    if !smoke {
+        let c = ScaleCampaign::xgc1(16384);
+        report(
+            "campaign_xgc1_16384",
+            VARIANT,
+            time_n(1, || run_campaign(&c, 1, seed)),
+        );
+    }
+
+    merge_into_artifact(rows);
+    println!("\nresults merged into {BENCH_PATH}");
+}

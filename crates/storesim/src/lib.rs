@@ -9,8 +9,12 @@
 //! * [`ost`] — storage targets as processor-sharing servers with write-back
 //!   caches, per-stream caps, contention penalties (**internal
 //!   interference**) and external-noise scaling (**external interference**).
+//!   Two engines: the default virtual-time engine (O(log W) per event) and
+//!   the original settle-loop reference behind the `baseline-engine`
+//!   feature, pinned equivalent by differential tests.
 //! * [`noise`] — per-OST Markov-modulated slowdown processes.
-//! * [`mds`] — the metadata server (open storms, stagger-open motivation).
+//! * [`mds`] — the metadata server (open storms, stagger-open motivation),
+//!   with finish tags fixed at admission so replans peek in O(1).
 //! * [`layout`] — striped files and the Lustre 160-OST single-file limit.
 //! * [`system`] — the composed [`StorageSystem`](system::StorageSystem)
 //!   with a co-simulation interface (submit / next_event_time / advance_to)

@@ -12,6 +12,13 @@
 //! make *each* operation slower (lock contention, log pressure), which is
 //! the observed superlinear open-storm behaviour, without going fully
 //! quadratic.
+//!
+//! Like the virtual-time OST engine, completions are *finish tags* fixed
+//! at admission: the service time depends only on the depth observed at
+//! submit, so each op's absolute finish is chained off the queue tail the
+//! moment it arrives. `advance` then pops tags in O(1) apiece with no
+//! service-function re-evaluation, and `next_completion` stays a peek.
+//! Only an outage recovery re-chains the queue (O(n), rare).
 
 use std::collections::VecDeque;
 
@@ -33,8 +40,11 @@ pub enum MetaOp {
 struct Waiting {
     id: RequestId,
     op: MetaOp,
-    /// Queue depth observed at admission (sets the service time).
-    depth_at_admit: usize,
+    /// Service duration, fixed by the depth observed at admission.
+    service: SimDuration,
+    /// Absolute finish tag: predecessor's finish plus `service`. Stale
+    /// during an outage; re-chained at unfreeze.
+    finish: SimTime,
     submitted: SimTime,
 }
 
@@ -54,8 +64,8 @@ pub struct MdsCompletion {
 pub struct Mds {
     params: MdsParams,
     queue: VecDeque<Waiting>,
-    /// Currently served operation and its absolute finish time.
-    in_service: Option<(Waiting, SimTime)>,
+    /// Currently served operation (its `finish` is the next completion).
+    in_service: Option<Waiting>,
     /// Outage state: while `Some`, the server makes no progress; the value
     /// is the in-service operation's remaining service time at freeze.
     frozen: Option<Option<SimDuration>>,
@@ -78,21 +88,40 @@ impl Mds {
         if self.frozen.is_some() {
             return;
         }
-        let remaining = self
-            .in_service
-            .as_ref()
-            .map(|&(_, done)| if done > now { done - now } else { SimDuration::ZERO });
+        let remaining = self.in_service.as_ref().map(|w| {
+            if w.finish > now {
+                w.finish - now
+            } else {
+                SimDuration::ZERO
+            }
+        });
         self.frozen = Some(remaining);
     }
 
     /// End an outage: the suspended operation resumes with its remembered
-    /// remaining time, and the queue starts moving again.
+    /// remaining time, and every queued finish tag is re-chained behind it
+    /// (the one O(n) path; outages are rare).
     pub fn unfreeze(&mut self, now: SimTime) {
         if let Some(remaining) = self.frozen.take() {
-            if let (Some((_, done)), Some(rem)) = (self.in_service.as_mut(), remaining) {
-                *done = now + rem;
+            match (self.in_service.as_mut(), remaining) {
+                (Some(w), Some(rem)) => w.finish = now + rem,
+                _ => {
+                    // Nothing was in service at freeze: the head of the
+                    // queue (if any) starts fresh at the recovery instant.
+                    self.maybe_start(now);
+                    if let Some(w) = self.in_service.as_mut() {
+                        w.finish = now + w.service;
+                    }
+                }
             }
-            self.maybe_start(now);
+            let mut prev = match &self.in_service {
+                Some(w) => w.finish,
+                None => return,
+            };
+            for w in self.queue.iter_mut() {
+                w.finish = prev + w.service;
+                prev = w.finish;
+            }
         }
     }
 
@@ -106,70 +135,84 @@ impl Mds {
         self.queue.len() + usize::from(self.in_service.is_some())
     }
 
-    fn service_time(&self, w: &Waiting) -> SimDuration {
-        let base = match w.op {
+    fn service_time(&self, op: MetaOp, depth_at_admit: usize) -> SimDuration {
+        let base = match op {
             MetaOp::Open => self.params.open_base,
             MetaOp::Close => self.params.close_base,
         };
         let slow = self.params.open_per_queued / self.params.open_base.max(1e-12);
-        let t = base * (1.0 + slow * ((1 + w.depth_at_admit) as f64).log2());
+        let t = base * (1.0 + slow * ((1 + depth_at_admit) as f64).log2());
         SimDuration::from_secs_f64(t)
     }
 
-    fn maybe_start(&mut self, now: SimTime) {
+    fn maybe_start(&mut self, _now: SimTime) {
         if self.frozen.is_some() {
             return;
         }
         if self.in_service.is_none() {
-            if let Some(w) = self.queue.pop_front() {
-                let done = now + self.service_time(&w);
-                self.in_service = Some((w, done));
-            }
+            // The queued op's finish tag was chained at admission.
+            self.in_service = self.queue.pop_front();
         }
     }
 
-    /// Admit a metadata operation.
+    /// Admit a metadata operation. Its service time (set by the current
+    /// depth) and absolute finish tag are fixed here: it starts when its
+    /// predecessor finishes, or immediately if the server is idle.
     pub fn submit(&mut self, now: SimTime, id: RequestId, op: MetaOp) {
+        let service = self.service_time(op, self.depth());
+        let start = match self.queue.back() {
+            Some(w) => w.finish,
+            None => match &self.in_service {
+                Some(w) => w.finish,
+                None => now,
+            },
+        };
         let w = Waiting {
             id,
             op,
-            depth_at_admit: self.depth(),
+            service,
+            finish: start + service,
             submitted: now,
         };
         self.queue.push_back(w);
         self.maybe_start(now);
     }
 
-    /// Absolute time of the next completion, if any.
+    /// Absolute time of the next completion, if any. O(1): the in-service
+    /// finish tag.
     pub fn next_completion(&self) -> Option<SimTime> {
         if self.frozen.is_some() {
             return None;
         }
-        self.in_service.as_ref().map(|&(_, done)| done)
+        self.in_service.as_ref().map(|w| w.finish)
     }
 
-    /// Complete everything finished by `now`.
-    pub fn advance(&mut self, now: SimTime) -> Vec<MdsCompletion> {
-        let mut out = Vec::new();
+    /// Complete everything finished by `now`, appending to `done` (the
+    /// owner's reusable scratch buffer — the hot loop allocates nothing).
+    pub fn advance_into(&mut self, now: SimTime, done: &mut Vec<MdsCompletion>) {
         if self.frozen.is_some() {
-            return out;
+            return;
         }
-        while let Some(&(w, done)) = self.in_service.as_ref() {
-            if done > now {
+        while let Some(w) = self.in_service.as_ref() {
+            if w.finish > now {
                 break;
             }
-            out.push(MdsCompletion {
+            done.push(MdsCompletion {
                 id: w.id,
                 submitted: w.submitted,
                 op: w.op,
             });
-            self.in_service = None;
-            // The next op starts when the previous finished, not at `now`.
-            if let Some(next) = self.queue.pop_front() {
-                let next_done = done + self.service_time(&next);
-                self.in_service = Some((next, next_done));
-            }
+            // The next op's tag already says it starts when this one
+            // finished, not at `now`.
+            self.in_service = self.queue.pop_front();
         }
+    }
+
+    /// Complete everything finished by `now` (allocating convenience
+    /// wrapper over [`Mds::advance_into`]).
+    pub fn advance(&mut self, now: SimTime) -> Vec<MdsCompletion> {
+        let mut out = Vec::new();
+        self.advance_into(now, &mut out);
         out
     }
 }
@@ -324,6 +367,30 @@ mod tests {
             ids.extend(m.advance(at).iter().map(|c| c.id.0));
         }
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn outage_with_idle_server_starts_queue_on_recovery() {
+        // Freeze an idle MDS, submit during the outage, and make sure the
+        // re-chain path handles `in_service: None` (first op starts at the
+        // unfreeze instant, the rest chain behind it).
+        let p = testbed().mds;
+        let mut m = mds();
+        m.freeze(t(1.0));
+        m.submit(t(2.0), RequestId(1), MetaOp::Open);
+        m.submit(t(2.0), RequestId(2), MetaOp::Open);
+        assert!(m.next_completion().is_none());
+        m.unfreeze(t(5.0));
+        let first = m.next_completion().unwrap();
+        assert!(
+            (first.as_secs_f64() - (5.0 + p.open_base)).abs() < 1e-9,
+            "first op starts at recovery, finished at {first}"
+        );
+        let mut ids = Vec::new();
+        while let Some(at) = m.next_completion() {
+            ids.extend(m.advance(at).iter().map(|c| c.id.0));
+        }
+        assert_eq!(ids, vec![1, 2]);
     }
 
     #[test]

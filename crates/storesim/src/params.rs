@@ -461,6 +461,19 @@ pub fn jaguar() -> MachineConfig {
     }
 }
 
+/// The full Jaguar machine for whole-system campaigns: all 672 OSTs with
+/// the Lustre 160-OST single-file stripe cap, production noise.
+///
+/// Scale parameters are identical to [`jaguar`] (delegates to it, so the
+/// two can never drift); the distinct preset exists as the named target
+/// for the 16k-rank scale campaigns in `workloads::scale`, which only
+/// became tractable with the virtual-time OST engine.
+pub fn jaguar_full() -> MachineConfig {
+    let mut cfg = jaguar();
+    cfg.name = "Jaguar/Lustre (full machine)".to_string();
+    cfg
+}
+
 /// NERSC Franklin XT4 + 96-OST Lustre scratch (production-busy).
 pub fn franklin() -> MachineConfig {
     MachineConfig {
@@ -704,6 +717,18 @@ mod tests {
         assert!(jaguar().noise.jobs.enabled);
         assert!(!xtp().noise.jobs.enabled, "XTP is not production-shared");
         assert!(!testbed().noise.micro.enabled);
+    }
+
+    #[test]
+    fn jaguar_full_matches_jaguar_scale() {
+        let full = jaguar_full();
+        assert_eq!(full.ost_count, 672);
+        assert_eq!(full.max_stripe_count, 160);
+        assert_ne!(full.name, jaguar().name, "distinct campaign-facing name");
+        // Everything except the name delegates to `jaguar()`.
+        let mut renamed = jaguar();
+        renamed.name = full.name.clone();
+        assert!(renamed.to_json().semantically_eq(&full.to_json()));
     }
 
     #[test]

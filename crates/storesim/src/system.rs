@@ -161,6 +161,11 @@ pub struct StorageSystem {
     corrupt_log: Vec<(OstId, SimTime)>,
     /// Torn-write abort instants: (target, tear time).
     torn_log: Vec<(OstId, SimTime)>,
+    /// Reusable harvest buffer for OST wakes: the hot loop hands the same
+    /// allocation to `Ost::advance_into` on every event.
+    ost_scratch: Vec<crate::ost::OstCompletion>,
+    /// Reusable harvest buffer for MDS wakes.
+    mds_scratch: Vec<crate::mds::MdsCompletion>,
     out: Vec<StorageCompletion>,
 }
 
@@ -233,6 +238,8 @@ impl StorageSystem {
             corrupt_windows: Vec::new(),
             corrupt_log: Vec::new(),
             torn_log: Vec::new(),
+            ost_scratch: Vec::new(),
+            mds_scratch: Vec::new(),
             out: Vec::new(),
         };
         sys.init_jobs();
@@ -617,18 +624,24 @@ impl StorageSystem {
             match ev {
                 Internal::OstWake(i) => {
                     self.ost_token[i] = None;
-                    let done = self.osts[i].advance(t);
-                    for c in done {
+                    // Harvest into the reusable scratch buffer (taken out of
+                    // `self` so `finish_request` can borrow freely).
+                    let mut done = std::mem::take(&mut self.ost_scratch);
+                    self.osts[i].advance_into(t, &mut done);
+                    for c in done.drain(..) {
                         self.finish_request(t, c.id, Some(i));
                     }
+                    self.ost_scratch = done;
                     self.replan_ost(i, t);
                 }
                 Internal::MdsWake => {
                     self.mds_token = None;
-                    let done = self.mds.advance(t);
-                    for c in done {
+                    let mut done = std::mem::take(&mut self.mds_scratch);
+                    self.mds.advance_into(t, &mut done);
+                    for c in done.drain(..) {
                         self.finish_request(t, c.id, None);
                     }
+                    self.mds_scratch = done;
                     self.replan_mds(t);
                 }
                 Internal::MicroFlip(i) => {

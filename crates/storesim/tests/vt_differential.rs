@@ -1,0 +1,336 @@
+//! Differential property tests: the virtual-time OST engine against the
+//! reference settle-loop, over randomized schedules.
+//!
+//! Both engines compile unconditionally (the `baseline-engine` feature
+//! only picks which one the `Ost` alias names), so this harness always
+//! pits `vt::VtOst` against `reference::RefOst` directly: identical
+//! completion sets and ordering, completion times within 1 ns, across
+//! seeded random schedules of submits (both lanes, both kinds, reads),
+//! mid-flight noise changes, freeze/unfreeze and `fail_all`.
+
+use simcore::units::MIB;
+use simcore::{Rng, SimDuration, SimTime};
+use storesim::ost::reference::RefOst;
+use storesim::ost::vt::VtOst;
+use storesim::ost::{OpKind, OstCompletion, RequestId};
+use storesim::params::{jaguar, testbed};
+
+/// The API slice both engines share, so one driver exercises either.
+trait Engine: Clone {
+    fn submit(&mut self, now: SimTime, id: RequestId, bytes: u64, kind: OpKind);
+    fn next_completion(&self) -> Option<SimTime>;
+    fn advance(&mut self, now: SimTime) -> Vec<OstCompletion>;
+    fn set_noise(&mut self, now: SimTime, factor: f64);
+    fn freeze(&mut self, now: SimTime);
+    fn unfreeze(&mut self, now: SimTime);
+    fn is_frozen(&self) -> bool;
+    fn fail_all(&mut self, now: SimTime) -> Vec<RequestId>;
+    fn active_streams(&self) -> usize;
+}
+
+macro_rules! impl_engine {
+    ($t:ty) => {
+        impl Engine for $t {
+            fn submit(&mut self, now: SimTime, id: RequestId, bytes: u64, kind: OpKind) {
+                <$t>::submit(self, now, id, bytes, kind)
+            }
+            fn next_completion(&self) -> Option<SimTime> {
+                <$t>::next_completion(self)
+            }
+            fn advance(&mut self, now: SimTime) -> Vec<OstCompletion> {
+                <$t>::advance(self, now)
+            }
+            fn set_noise(&mut self, now: SimTime, factor: f64) {
+                <$t>::set_noise(self, now, factor)
+            }
+            fn freeze(&mut self, now: SimTime) {
+                <$t>::freeze(self, now)
+            }
+            fn unfreeze(&mut self, now: SimTime) {
+                <$t>::unfreeze(self, now)
+            }
+            fn is_frozen(&self) -> bool {
+                <$t>::is_frozen(self)
+            }
+            fn fail_all(&mut self, now: SimTime) -> Vec<RequestId> {
+                <$t>::fail_all(self, now)
+            }
+            fn active_streams(&self) -> usize {
+                <$t>::active_streams(self)
+            }
+        }
+    };
+}
+
+impl_engine!(RefOst);
+impl_engine!(VtOst);
+
+/// One step of a random schedule, decoded from the shared RNG stream so
+/// both engines replay the identical external history.
+#[derive(Clone, Debug)]
+enum Step {
+    Submit(Vec<(RequestId, u64, OpKind)>),
+    SetNoise(f64),
+    ToggleFreeze,
+    FailAll,
+    Idle,
+}
+
+fn random_schedule(rng: &mut Rng, steps: usize) -> Vec<(f64, Step)> {
+    let mut out = Vec::with_capacity(steps);
+    let mut at = 0.0;
+    let mut next_id = 0u64;
+    for _ in 0..steps {
+        at += rng.uniform(0.0005, 0.5);
+        let step = match rng.below(10) {
+            // Submissions dominate: bursts of 1-8 requests, mixed sizes
+            // and kinds, so both lanes and the admission boundary get hit.
+            0..=4 => {
+                let burst = 1 + rng.below(8);
+                let mut subs = Vec::with_capacity(burst as usize);
+                for _ in 0..burst {
+                    let bytes = 1 + rng.below(32 * MIB);
+                    let kind = match rng.below(4) {
+                        0 | 1 => OpKind::Write,
+                        2 => OpKind::WriteDirect,
+                        _ => OpKind::Read,
+                    };
+                    subs.push((RequestId(next_id), bytes, kind));
+                    next_id += 1;
+                }
+                Step::Submit(subs)
+            }
+            5 | 6 => Step::SetNoise(rng.uniform(0.05, 1.0)),
+            7 => Step::ToggleFreeze,
+            8 => Step::FailAll,
+            _ => Step::Idle,
+        };
+        out.push((at, step));
+    }
+    out
+}
+
+/// Drive one engine wake-by-wake through `schedule`, recording every
+/// completion `(time, id)` plus every `fail_all` abort set; finally thaw
+/// and drain to a far deadline so nothing stays in flight.
+fn run_schedule<E: Engine>(
+    mut ost: E,
+    schedule: &[(f64, Step)],
+) -> (Vec<(SimTime, RequestId)>, Vec<Vec<RequestId>>) {
+    let mut completions = Vec::new();
+    let mut aborts = Vec::new();
+    let drain_to = |ost: &mut E, deadline: SimTime, out: &mut Vec<(SimTime, RequestId)>| {
+        for _ in 0..1_000_000 {
+            let Some(at) = ost.next_completion() else { break };
+            if at > deadline {
+                break;
+            }
+            for c in ost.advance(at) {
+                out.push((at, c.id));
+            }
+        }
+        // Harvest anything that lands exactly at (or drifted just under)
+        // the deadline itself.
+        for c in ost.advance(deadline) {
+            out.push((deadline, c.id));
+        }
+    };
+    for (secs, step) in schedule {
+        let now = SimTime::from_secs_f64(*secs);
+        drain_to(&mut ost, now, &mut completions);
+        match step {
+            Step::Submit(subs) => {
+                for (id, bytes, kind) in subs {
+                    ost.submit(now, *id, *bytes, *kind);
+                }
+            }
+            Step::SetNoise(f) => ost.set_noise(now, *f),
+            Step::ToggleFreeze => {
+                if ost.is_frozen() {
+                    ost.unfreeze(now);
+                } else {
+                    ost.freeze(now);
+                }
+            }
+            Step::FailAll => aborts.push(ost.fail_all(now)),
+            Step::Idle => {}
+        }
+    }
+    // Final drain: thaw, restore full rate, run far past the last event.
+    let last = schedule.last().map(|(s, _)| *s).unwrap_or(0.0);
+    let end = SimTime::from_secs_f64(last + 1.0);
+    if ost.is_frozen() {
+        ost.unfreeze(end);
+    }
+    ost.set_noise(end, 1.0);
+    drain_to(&mut ost, SimTime::from_secs_f64(last + 1e7), &mut completions);
+    assert_eq!(ost.active_streams(), 0, "schedule must fully drain");
+    (completions, aborts)
+}
+
+/// The 1 ns agreement bound from the issue (|Δt| ≤ 1e-9 s): the engines
+/// associate the same float products differently, and wake instants round
+/// to nanosecond SimTime ticks.
+fn assert_equivalent(seed: u64, reference: RefOst, vt: VtOst, schedule: &[(f64, Step)]) {
+    let (ref_done, ref_aborts) = run_schedule(reference, schedule);
+    let (vt_done, vt_aborts) = run_schedule(vt, schedule);
+    assert_eq!(
+        ref_aborts, vt_aborts,
+        "seed {seed}: fail_all abort sets diverge"
+    );
+    assert_eq!(
+        ref_done.len(),
+        vt_done.len(),
+        "seed {seed}: completion counts diverge ({} vs {})",
+        ref_done.len(),
+        vt_done.len()
+    );
+    for (i, ((rt, rid), (vt_t, vid))) in ref_done.iter().zip(vt_done.iter()).enumerate() {
+        assert_eq!(
+            rid, vid,
+            "seed {seed}: completion #{i} id diverges ({rid:?} at {rt} vs {vid:?} at {vt_t})"
+        );
+        let dt = (rt.as_secs_f64() - vt_t.as_secs_f64()).abs();
+        assert!(
+            dt <= 1e-9 + 1e-15,
+            "seed {seed}: completion #{i} ({rid:?}) time diverges by {dt} s ({rt} vs {vt_t})"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_random_schedules() {
+    // ≥100 random schedules (the issue's floor), alternating between the
+    // small testbed OST (tiny cache: admission boundary gets exercised)
+    // and the Jaguar OST (large cache: both lanes stay busy).
+    for seed in 0..120u64 {
+        let mut rng = Rng::new(0x5eed_d1ff + seed);
+        let steps = 30 + rng.below(31) as usize;
+        let schedule = random_schedule(&mut rng, steps);
+        let params = if seed % 2 == 0 { testbed().ost } else { jaguar().ost };
+        assert_equivalent(
+            seed,
+            RefOst::new(params.clone()),
+            VtOst::new(params),
+            &schedule,
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_zero_overhead_params() {
+    // `request_overhead == 0` skips the pending heap entirely (tags are
+    // assigned at submit); make sure that path diffs clean too.
+    for seed in 200..220u64 {
+        let mut rng = Rng::new(0xabcd_0001 + seed);
+        let schedule = random_schedule(&mut rng, 40);
+        let mut params = testbed().ost;
+        params.request_overhead = 0.0;
+        assert_equivalent(
+            seed,
+            RefOst::new(params.clone()),
+            VtOst::new(params),
+            &schedule,
+        );
+    }
+}
+
+#[test]
+fn drain_256_writers_bounded_event_count() {
+    // The asymptotic payoff, pinned as a regression test: a 256-writer
+    // single-OST drain completes in O(W) wakes on the virtual-time engine
+    // (≤ 2 per request + slack), where the reference engine needs the
+    // same *count* of wakes but O(W) work per wake.
+    let w: u64 = 256;
+    let mut vt = VtOst::new(testbed().ost);
+    let mut reference = RefOst::new(testbed().ost);
+    for i in 0..w {
+        // Distinct sizes: completions separate in time, worst case for
+        // event count.
+        let bytes = MIB + i * 8192;
+        vt.submit(SimTime::ZERO, RequestId(i), bytes, OpKind::WriteDirect);
+        reference.submit(SimTime::ZERO, RequestId(i), bytes, OpKind::WriteDirect);
+    }
+    let mut wakes = 0u64;
+    let mut done = 0u64;
+    while let Some(at) = vt.next_completion() {
+        wakes += 1;
+        assert!(
+            wakes <= 2 * w + 16,
+            "VT drain must stay within O(W) events, at {wakes} wakes with {done} done"
+        );
+        done += vt.advance(at).len() as u64;
+    }
+    assert_eq!(done, w);
+    // And the reference engine agrees on the completion schedule.
+    let mut ref_done = 0u64;
+    while let Some(at) = reference.next_completion() {
+        ref_done += reference.advance(at).len() as u64;
+    }
+    assert_eq!(ref_done, w);
+}
+
+#[test]
+fn drain_through_noise_storm_agrees() {
+    // A deterministic worst case on top of the random sweep: a large
+    // backlog hit by a burst of severe noise flips and a mid-drain freeze.
+    let params = jaguar().ost;
+    let schedule: Vec<(f64, Step)> = vec![
+        (
+            0.001,
+            Step::Submit(
+                (0..64)
+                    .map(|i| {
+                        (
+                            RequestId(i),
+                            4 * MIB + i * 65536,
+                            if i % 3 == 0 { OpKind::Write } else { OpKind::WriteDirect },
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (0.05, Step::SetNoise(0.07)),
+        (0.06, Step::ToggleFreeze),
+        (0.30, Step::ToggleFreeze),
+        (0.31, Step::SetNoise(0.9)),
+        (
+            0.40,
+            Step::Submit((64..96).map(|i| (RequestId(i), 2 * MIB, OpKind::Write)).collect()),
+        ),
+        (0.55, Step::SetNoise(0.2)),
+        (0.70, Step::SetNoise(1.0)),
+    ];
+    assert_equivalent(9999, RefOst::new(params.clone()), VtOst::new(params), &schedule);
+}
+
+/// Run the subnormal-noise recovery scenario on one engine; returns the
+/// completion instant.
+fn recover_after_horizon<E: Engine>(mut e: E) -> SimTime {
+    e.submit(SimTime::ZERO, RequestId(1), 64 * MIB, OpKind::WriteDirect);
+    e.set_noise(SimTime::from_secs_f64(0.25), 1e-300);
+    let horizon = e.next_completion().expect("wake predicted");
+    assert!(horizon.as_secs_f64() > 1e8, "wake should clamp to the horizon");
+    assert!(e.advance(horizon).is_empty(), "nothing finishes at near-zero rate");
+    let recover = horizon + SimDuration::from_secs_f64(3.0);
+    e.set_noise(recover, 1.0);
+    for _ in 0..1000 {
+        let at = e.next_completion().expect("still in flight");
+        if !e.advance(at).is_empty() {
+            return at;
+        }
+    }
+    panic!("stream never completed after recovery");
+}
+
+#[test]
+fn far_future_wake_still_converges_after_recovery() {
+    // Satellite fix, end to end: subnormal noise clamps the wake to the
+    // 1e9 s horizon; recovery must still finish the stream on both
+    // engines at (nearly) the same instant.
+    let params = testbed().ost;
+    let ref_at = recover_after_horizon(RefOst::new(params.clone()));
+    let vt_at = recover_after_horizon(VtOst::new(params));
+    let dt = (ref_at.as_secs_f64() - vt_at.as_secs_f64()).abs();
+    assert!(dt <= 1e-9 + 1e-15, "post-recovery divergence {dt} s");
+}

@@ -2,7 +2,7 @@
 //! pattern of the paper's §IV ("for all cases, at least five samples are
 //! generated").
 
-use adios_core::{run, AdaptiveOpts, DataSpec, Interference, Method, OutputResult, RunSpec};
+use adios_core::{AdaptiveOpts, DataSpec, Interference, Method, OutputResult, RunBase, RunSpec};
 use iostats::Summary;
 use storesim::MachineConfig;
 
@@ -10,7 +10,10 @@ use storesim::MachineConfig;
 ///
 /// Replicates are independent simulations, so they fan out across worker
 /// threads ([`simcore::par`], `MANAGED_IO_THREADS` to control) and merge
-/// back in seed order — results are identical to a serial run.
+/// back in seed order. The seed-independent prefix (machine config,
+/// output plan, MPI-IO layout) is prepared once via [`RunBase`] and
+/// shared across replicates; results are byte-identical to per-seed
+/// one-shot [`adios_core::run`] calls.
 pub fn sample_results(
     machine: &MachineConfig,
     nprocs: usize,
@@ -21,17 +24,18 @@ pub fn sample_results(
     base_seed: u64,
 ) -> Vec<OutputResult> {
     let seeds: Vec<u64> = (0..samples as u64).map(|i| base_seed + i).collect();
-    simcore::par::par_map(seeds, |seed| {
-        run(RunSpec {
-            machine: machine.clone(),
-            nprocs,
-            data: DataSpec::Uniform(bytes_per_proc),
-            method: method.clone(),
-            interference: interference.clone(),
-            seed,
-        })
-        .result
-    })
+    let base = RunBase::prepare(RunSpec {
+        machine: machine.clone(),
+        nprocs,
+        data: DataSpec::Uniform(bytes_per_proc),
+        method: method.clone(),
+        interference: interference.clone(),
+        seed: 0,
+    });
+    base.run_seed_sweep(&seeds)
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
 }
 
 /// Summary of aggregate bandwidth (bytes/sec) across samples.

@@ -11,6 +11,8 @@
 //! * [`s3d`] — an S3D-style combustion checkpoint (the paper's size
 //!   calibration reference).
 //! * [`campaign`] — multi-sample method-comparison harnesses (Figs. 5–7).
+//! * [`scale`] — full-Jaguar campaign configurations (16k-rank Pixie3D and
+//!   XGC1 over all 672 OSTs), unlocked by the virtual-time OST engine.
 
 #![warn(missing_docs)]
 
@@ -18,10 +20,12 @@ pub mod campaign;
 pub mod ior;
 pub mod pixie3d;
 pub mod s3d;
+pub mod scale;
 pub mod xgc1;
 
 pub use campaign::{compare_at_scale, ComparisonRow};
 pub use ior::IorConfig;
 pub use pixie3d::Pixie3dConfig;
 pub use s3d::S3dConfig;
+pub use scale::{ScaleCampaign, RANK_SWEEP};
 pub use xgc1::Xgc1Config;

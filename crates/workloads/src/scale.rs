@@ -1,0 +1,163 @@
+//! Full-machine scale campaigns: the paper's headline configurations.
+//!
+//! The paper's motivating runs are whole-Jaguar: Pixie3D and XGC1 at
+//! thousands to tens of thousands of writers over all 672 OSTs (§I cites
+//! 16384 × 1 GB = 16 TB per IO action). With the O(W)-per-event reference
+//! OST engine these were out of reach — a 16k-rank campaign spends O(W²)
+//! work per target drain — so earlier benches stopped at 512 ranks. The
+//! virtual-time engine makes the full sweep tractable; this module holds
+//! the named configurations the `scale` bench and future experiments run.
+
+use adios_core::{DataSpec, Interference, Method, RunSpec};
+use storesim::params::jaguar_full;
+use storesim::MachineConfig;
+
+use crate::campaign::{compare_at_scale, paper_methods, ComparisonRow};
+use crate::pixie3d::Pixie3dConfig;
+use crate::xgc1::Xgc1Config;
+
+/// The rank sweep the scale bench walks: 512 (the old ceiling) to the
+/// paper's 16384.
+pub const RANK_SWEEP: [usize; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+
+/// One named full-machine campaign configuration.
+#[derive(Clone, Debug)]
+pub struct ScaleCampaign {
+    /// Display name ("pixie3d-small @ 16384" style).
+    pub name: String,
+    /// The machine (always the full 672-OST Jaguar).
+    pub machine: MachineConfig,
+    /// Writer count.
+    pub nprocs: usize,
+    /// Output bytes per writer.
+    pub bytes_per_proc: u64,
+    /// Adaptive sub-coordinator target count (the paper used 512 at full
+    /// scale; clamped below the writer count for small runs).
+    pub adaptive_targets: usize,
+}
+
+impl ScaleCampaign {
+    fn new(kernel: &str, nprocs: usize, bytes_per_proc: u64) -> Self {
+        ScaleCampaign {
+            name: format!("{kernel} @ {nprocs}"),
+            machine: jaguar_full(),
+            nprocs,
+            bytes_per_proc,
+            adaptive_targets: 512.min(nprocs),
+        }
+    }
+
+    /// Pixie3D "small" (32-cubes, 2 MB/process) on the full machine.
+    pub fn pixie3d_small(nprocs: usize) -> Self {
+        let cfg = Pixie3dConfig::small(nprocs);
+        Self::new("pixie3d-small", nprocs, cfg.bytes_per_process())
+    }
+
+    /// Pixie3D "large" (128-cubes, 128 MB/process) on the full machine.
+    pub fn pixie3d_large(nprocs: usize) -> Self {
+        let cfg = Pixie3dConfig::large(nprocs);
+        Self::new("pixie3d-large", nprocs, cfg.bytes_per_process())
+    }
+
+    /// XGC1 at the paper's 38 MB/process on the full machine.
+    pub fn xgc1(nprocs: usize) -> Self {
+        let cfg = Xgc1Config::paper(nprocs);
+        Self::new("xgc1", nprocs, cfg.bytes_per_process())
+    }
+
+    /// Total bytes one IO action moves.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_proc * self.nprocs as u64
+    }
+
+    /// The paper's two contenders at this campaign's adaptive target
+    /// count: tuned MPI-IO (160-stripe) vs adaptive.
+    pub fn methods(&self) -> [(&'static str, Method); 2] {
+        paper_methods(self.adaptive_targets)
+    }
+
+    /// A run spec for one method under one seed (production noise is part
+    /// of the machine; no artificial interference on top).
+    pub fn run_spec(&self, method: Method, seed: u64) -> RunSpec {
+        RunSpec {
+            machine: self.machine.clone(),
+            nprocs: self.nprocs,
+            data: DataSpec::Uniform(self.bytes_per_proc),
+            method,
+            interference: Interference::None,
+            seed,
+        }
+    }
+
+    /// Run the MPI-vs-adaptive comparison for this campaign.
+    pub fn compare(&self, samples: usize, base_seed: u64) -> Vec<ComparisonRow> {
+        compare_at_scale(
+            &self.machine,
+            self.nprocs,
+            self.bytes_per_proc,
+            self.adaptive_targets,
+            &Interference::None,
+            samples,
+            base_seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::MIB;
+
+    #[test]
+    fn campaigns_target_the_full_machine() {
+        for c in [
+            ScaleCampaign::pixie3d_small(16384),
+            ScaleCampaign::pixie3d_large(16384),
+            ScaleCampaign::xgc1(16384),
+        ] {
+            assert_eq!(c.machine.ost_count, 672);
+            assert_eq!(c.machine.max_stripe_count, 160);
+            assert_eq!(c.nprocs, 16384);
+            assert_eq!(c.adaptive_targets, 512);
+        }
+    }
+
+    #[test]
+    fn paper_sizes_carry_over() {
+        assert_eq!(ScaleCampaign::pixie3d_small(512).bytes_per_proc, 2 * MIB);
+        assert_eq!(ScaleCampaign::pixie3d_large(512).bytes_per_proc, 128 * MIB);
+        let x = ScaleCampaign::xgc1(512).bytes_per_proc;
+        assert!((x as i64 - (38 * MIB) as i64).unsigned_abs() < 80);
+        assert_eq!(
+            ScaleCampaign::pixie3d_small(16384).total_bytes(),
+            16384 * 2 * MIB
+        );
+    }
+
+    #[test]
+    fn adaptive_targets_clamp_below_writer_count() {
+        assert_eq!(ScaleCampaign::xgc1(128).adaptive_targets, 128);
+        let methods = ScaleCampaign::xgc1(128).methods();
+        assert_eq!(methods[0].0, "MPI");
+        assert_eq!(methods[1].0, "Adaptive");
+    }
+
+    #[test]
+    fn rank_sweep_spans_old_ceiling_to_paper_scale() {
+        assert_eq!(RANK_SWEEP.first(), Some(&512));
+        assert_eq!(RANK_SWEEP.last(), Some(&16384));
+        assert!(RANK_SWEEP.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+
+    #[test]
+    fn small_campaign_runs_end_to_end() {
+        // Smoke: a shrunk Pixie3D campaign on the full machine completes
+        // and moves every byte.
+        let c = ScaleCampaign::pixie3d_small(128);
+        let rows = c.compare(1, 42);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.bandwidth.mean > 0.0, "{}: no bandwidth", r.method);
+        }
+    }
+}
