@@ -1,0 +1,253 @@
+//! Fleet sweep benchmark: the end-to-end payoff of the work-stealing
+//! sweep executor, per-worker scratch arenas and streaming statistics.
+//!
+//! The workload is the paper's replicate-campaign shape at fleet scale: a
+//! 1000-seed Pixie3D-small sweep (128 writers, adaptive method) on the
+//! full 672-OST Jaguar preset. Two executions are timed:
+//!
+//! * **collect** — the previous campaign path: fan the seeds out, collect
+//!   a `Vec<RunOutput>` in seed order, fold statistics afterwards. Every
+//!   seed rebuilds the 672-OST storage system from scratch and every
+//!   result is materialized.
+//! * **streaming** — the fleet sweep engine: work-stealing seed claims,
+//!   per-worker reset-and-reuse scratch arenas, per-worker `SweepSink`s
+//!   merged at the end. Peak memory is flat in the seed count.
+//!
+//! Determinism is asserted inline: the streaming report must be
+//! byte-identical at 1, 2 and 8 threads — including under a storage
+//! fault script — and equal to the collect-then-fold reference.
+//!
+//! A peak-tracking global allocator reports the high-water heap mark of a
+//! quarter-length and a full-length streaming sweep: flat-memory
+//! aggregation means the two peaks are close, while the collect path's
+//! peak grows with the seed count.
+//!
+//! Results merge into `BENCH_sweep.json` at the workspace root, keyed by
+//! bench name and engine variant (`--features baseline` for the reference
+//! event core). `MANAGED_IO_SMOKE=1` shrinks the sweep for CI.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use adios_core::fault::FaultConfig;
+use managed_io_bench::base_seed;
+use minijson::{json, Value};
+use storesim::fault::FaultScript;
+use workloads::ScaleCampaign;
+
+/// Which engine the sweep ran against.
+const VARIANT: &str = if cfg!(feature = "baseline") {
+    "baseline"
+} else {
+    "optimized"
+};
+
+/// Artifact lives at the workspace root regardless of cargo's CWD.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+
+/// Heap high-water tracking: current live bytes and the peak since the
+/// last [`reset_peak`] call.
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            note_alloc(new_size - layout.size());
+        } else {
+            LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_mib() -> f64 {
+    PEAK.load(Ordering::Relaxed) as f64 / (1 << 20) as f64
+}
+
+fn smoke() -> bool {
+    std::env::var("MANAGED_IO_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Merge `rows` into BENCH_sweep.json: `{bench: {variant: value}}`.
+fn merge_into_artifact(rows: Vec<(String, Value)>) {
+    let mut root = std::fs::read_to_string(BENCH_PATH)
+        .ok()
+        .and_then(|s| Value::parse(&s).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let Value::Obj(entries) = &mut root else {
+        return;
+    };
+    for (name, row) in rows {
+        let by_variant = match entries.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => v,
+            None => {
+                entries.push((name.clone(), Value::Obj(Vec::new())));
+                &mut entries.last_mut().unwrap().1
+            }
+        };
+        if let Value::Obj(pairs) = by_variant {
+            pairs.retain(|(k, _)| k != VARIANT);
+            pairs.push((VARIANT.to_string(), row));
+        }
+    }
+    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
+}
+
+fn main() {
+    // The acceptance race is "at 8 threads" for both paths; the collect
+    // path reads its thread count from the environment.
+    std::env::set_var("MANAGED_IO_THREADS", "8");
+    let smoke = smoke();
+    let seeds_n: u64 = if smoke { 48 } else { 1000 };
+    let campaign = ScaleCampaign::pixie3d_small(128);
+    let (_, method) = campaign.methods()[1].clone();
+    let base = campaign.sweep_base(method);
+    let seeds: Vec<u64> = (0..seeds_n).map(|i| base_seed() + i).collect();
+    let no_faults = FaultConfig::none();
+    println!(
+        "fleet_sweep — variant: {VARIANT}, smoke: {smoke}: {} seeds of {} ({} writers, {} OSTs)\n",
+        seeds.len(),
+        campaign.name,
+        campaign.nprocs,
+        campaign.machine.ost_count,
+    );
+
+    // --- Determinism gate: byte-identical reports at 1/2/8 threads, ---
+    // --- clean and faulted, and equal to collect-then-fold.         ---
+    let det_seeds: Vec<u64> = seeds.iter().copied().take(if smoke { 12 } else { 40 }).collect();
+    let faulted = FaultConfig {
+        storage: FaultScript::none()
+            .brownout(0.5, 3, 0.4, 4.0)
+            .silent_corruption(0.0, 1, None, 0.3),
+        ..Default::default()
+    };
+    for (label, faults) in [("clean", &no_faults), ("faulted", &faulted)] {
+        let mut reference = base.sweep_sink();
+        base.run_seed_sweep_into_threads(1, &det_seeds, faults, &mut reference);
+        let want = reference.report().to_string();
+        for nt in [2usize, 8] {
+            let mut sink = base.sweep_sink();
+            base.run_seed_sweep_into_threads(nt, &det_seeds, faults, &mut sink);
+            assert_eq!(
+                sink.report().to_string(),
+                want,
+                "{label}: streaming sweep diverged at {nt} threads"
+            );
+        }
+        if faults.is_empty() {
+            let mut collect = base.sweep_sink();
+            for (out, &seed) in base.run_seed_sweep(&det_seeds).iter().zip(&det_seeds) {
+                collect.add_sample(&out.sweep_sample(seed));
+            }
+            assert_eq!(
+                collect.report().to_string(),
+                want,
+                "collect-then-fold disagrees with streaming sweep"
+            );
+        }
+        println!("determinism [{label}]: 1/2/8-thread reports byte-identical");
+    }
+
+    // --- Peak-memory flatness: quarter sweep vs full sweep. ---
+    let quarter: Vec<u64> = seeds.iter().copied().take((seeds.len() / 4).max(4)).collect();
+    reset_peak();
+    let mut sink = base.sweep_sink();
+    base.run_seed_sweep_into_threads(8, &quarter, &no_faults, &mut sink);
+    black_box(sink.samples());
+    let peak_quarter = peak_mib();
+    reset_peak();
+    let mut sink = base.sweep_sink();
+    base.run_seed_sweep_into_threads(8, &seeds, &no_faults, &mut sink);
+    black_box(sink.samples());
+    let peak_full = peak_mib();
+    println!(
+        "\npeak heap: {peak_quarter:.1} MiB over {} seeds vs {peak_full:.1} MiB over {} seeds",
+        quarter.len(),
+        seeds.len()
+    );
+    assert!(
+        peak_full <= peak_quarter * 1.5 + 8.0,
+        "streaming sweep peak memory grew with seed count \
+         ({peak_quarter:.1} MiB @ {} seeds -> {peak_full:.1} MiB @ {} seeds)",
+        quarter.len(),
+        seeds.len()
+    );
+
+    // --- The race: collect path vs fleet sweep engine, 8 threads. ---
+    // Warm once, then keep the min over `iters` timed runs (scale.rs
+    // idiom).
+    let time_n = |iters: usize, f: &mut dyn FnMut() -> u64| {
+        assert_eq!(black_box(f()), seeds.len() as u64);
+        let mut min = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(f());
+            min = min.min(t0.elapsed().as_secs_f64());
+        }
+        min
+    };
+    let iters = if smoke { 1 } else { 3 };
+    let collect_min = time_n(iters, &mut || {
+        let outs = base.run_seed_sweep(&seeds);
+        let mut sink = base.sweep_sink();
+        for (out, &seed) in outs.iter().zip(&seeds) {
+            sink.add_sample(&out.sweep_sample(seed));
+        }
+        sink.samples()
+    });
+    let mut streaming_report = String::new();
+    let streaming_min = time_n(iters, &mut || {
+        let mut sink = base.sweep_sink();
+        base.run_seed_sweep_into_threads(8, &seeds, &no_faults, &mut sink);
+        streaming_report = sink.report().to_string();
+        sink.samples()
+    });
+    let speedup = collect_min / streaming_min;
+    println!(
+        "collect   min {:.3} s\nstreaming min {:.3} s\nspeedup {speedup:.2}x",
+        collect_min, streaming_min
+    );
+
+    merge_into_artifact(vec![(
+        "fleet_sweep_pixie3d_small_128".to_string(),
+        json!({
+            "seeds": seeds.len(),
+            "collect_min_s": collect_min,
+            "streaming_min_s": streaming_min,
+            "speedup_vs_collect": speedup,
+            "peak_quarter_mib": peak_quarter,
+            "peak_full_mib": peak_full,
+            "report": Value::parse(&streaming_report).unwrap_or(Value::Null),
+        }),
+    )]);
+    println!("\nresults merged into {BENCH_PATH}");
+}

@@ -117,6 +117,9 @@ pub struct Simulation<A: Actor> {
     /// Tracing apparatus (buffer + capacity + optional labeller); `None`
     /// — and allocation-free — unless a trace was enabled.
     trace: Option<TraceState<A::Msg>>,
+    /// Reusable harvest buffer handed to `StorageSystem::advance_into` on
+    /// every storage wake (the hot loop allocates nothing).
+    io_buf: Vec<storesim::system::StorageCompletion>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -156,7 +159,15 @@ impl<A: Actor> Simulation<A> {
             faults: None,
             dead,
             trace: None,
+            io_buf: Vec::new(),
         }
+    }
+
+    /// Tear down the simulation, recovering the storage system (with all
+    /// its capacity — queues, heaps, scratch buffers) so a sweep can
+    /// [`StorageSystem::reset`] and reuse it for the next seed.
+    pub fn into_storage(self) -> StorageSystem {
+        self.storage
     }
 
     /// Install a message-layer fault plane (drop/delay/duplicate per link,
@@ -313,8 +324,10 @@ impl<A: Actor> Simulation<A> {
             stats.end_time = t;
             // Storage first on ties.
             if ts.is_some_and(|s| s <= t) {
-                let completions = self.storage.advance_to(t);
-                for c in completions {
+                let mut completions = std::mem::take(&mut self.io_buf);
+                completions.clear();
+                self.storage.advance_into(t, &mut completions);
+                for c in completions.drain(..) {
                     stats.io_completions += 1;
                     let rank = Rank((c.tag >> 32) as u32);
                     if self.dead[rank.0 as usize] {
@@ -359,6 +372,7 @@ impl<A: Actor> Simulation<A> {
                     };
                     actors[rank.0 as usize].on_io_complete(done, &mut ctx);
                 }
+                self.io_buf = completions;
                 // Re-evaluate sources; the storage advance may have been a
                 // pure noise flip producing no completions.
                 if self.queue.peek_time() != tq || tq != Some(t) {

@@ -47,5 +47,5 @@ pub use staging::{run_staged, StagingOpts, StagingResult};
 pub use record::{OutputResult, WriteRecord};
 pub use runner::{
     run, run_with_faults, DataSpec, Interference, Method, ProtocolStats, RunBase, RunOutput,
-    RunSpec,
+    RunScratch, RunSpec,
 };

@@ -29,10 +29,11 @@ use std::sync::Arc;
 
 use bpfmt::{pg_encoded_size_opts, GlobalIndex, IntegrityOpts, VarBlock};
 use clustersim::{Actor, FaultPlane, LinkFaults, Simulation};
+use iostats::{SweepSample, SweepSink};
 use simcore::units::GIB;
 use simcore::SimTime;
-use storesim::layout::{OstId, StripeSpec};
-use storesim::{CorruptionOracle, MachineConfig, ObjectStore};
+use storesim::layout::{FileId, OstId, StripeSpec};
+use storesim::{CorruptionOracle, MachineConfig, ObjectStore, StorageSystem};
 
 use crate::adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
 use crate::fault::{FaultConfig, IntegrityOutcome, SimError, WriteOutcome};
@@ -197,6 +198,104 @@ pub struct ProtocolStats {
     pub total_messages: u64,
     /// Messages received by the busiest single rank.
     pub busiest_rank_inbox: u64,
+}
+
+impl RunOutput {
+    /// Condense this run into one streaming [`SweepSample`] for a
+    /// [`SweepSink`].
+    ///
+    /// A run with no usable write records — or a degenerate zero-length
+    /// write span, which a total fault wipe-out can produce — is marked
+    /// `failed`: its byte/error counters still accumulate but it
+    /// contributes nothing to the distribution metrics (whose extraction
+    /// would otherwise divide by zero).
+    pub fn sweep_sample(&self, seed: u64) -> SweepSample {
+        let r = &self.result;
+        let span = r.write_span();
+        // Streaming min/max/moment pass over per-writer elapsed times: no
+        // intermediate Vec, so warm sweep seeds stay allocation-lean.
+        let mut min_t = f64::INFINITY;
+        let mut max_t = f64::NEG_INFINITY;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        for rec in &r.records {
+            let t = rec.elapsed();
+            min_t = min_t.min(t);
+            max_t = max_t.max(t);
+            sum += t;
+            sumsq += t * t;
+        }
+        let failed = r.records.is_empty() || span <= 0.0 || min_t <= 0.0;
+        let (bandwidth, write_time_std, imbalance) = if failed {
+            (0.0, 0.0, 0.0)
+        } else {
+            let n = r.records.len() as f64;
+            let var = if r.records.len() < 2 {
+                0.0
+            } else {
+                ((sumsq - sum * sum / n) / (n - 1.0)).max(0.0)
+            };
+            (r.aggregate_bandwidth(), var.sqrt(), max_t / min_t)
+        };
+        SweepSample {
+            seed,
+            bandwidth,
+            write_span: span,
+            write_time_std,
+            imbalance,
+            total_bytes: self.outcome.written_bytes,
+            lost_bytes: self.outcome.lost_bytes,
+            errors: self.errors.len() as u64,
+            corrupt_records: self.integrity.corrupt_records as u64,
+            adaptive_writes: self.result.adaptive_writes as u64,
+            failed,
+            ost_bytes: r.records.iter().map(|rec| (rec.ost.0 as u32, rec.bytes)).collect(),
+        }
+    }
+}
+
+/// Per-worker scratch arena for seed sweeps: the pooled [`StorageSystem`]
+/// (event-queue slabs, per-OST engine state, file table, protocol scratch
+/// buffers) that [`RunBase::run_seed_scratch`] resets and reuses across
+/// seeds instead of rebuilding.
+///
+/// The pool is keyed by pointer identity of the [`RunBase`]'s shared
+/// [`OutputPlan`]: a scratch handed a different base simply rebuilds cold
+/// (correct, just not warm), so one scratch can be carried across
+/// heterogeneous sweeps safely. Warm runs are byte-identical to cold ones
+/// — the contract pinned by `storesim`'s fresh-vs-reset suite and the
+/// sweep determinism tests.
+#[derive(Default)]
+pub struct RunScratch {
+    pooled: Option<(Arc<OutputPlan>, StorageSystem)>,
+}
+
+impl RunScratch {
+    /// An empty (cold) scratch.
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+
+    /// Take a storage system for one `(base, seed)` replicate: reset the
+    /// pooled one in place when it belongs to this `base`, else build
+    /// fresh. Returns the system and whether it came back warm (file
+    /// table already populated).
+    fn storage_for(&mut self, base: &RunBase, seed: u64) -> (StorageSystem, bool) {
+        if let Some((plan, mut sys)) = self.pooled.take() {
+            if Arc::ptr_eq(&plan, &base.plan) {
+                sys.reset(seed);
+                return (sys, true);
+            }
+        }
+        (
+            StorageSystem::new(Arc::clone(&base.machine), seed),
+            false,
+        )
+    }
+
+    /// Return a run's storage system to the pool for the next seed.
+    fn put_back(&mut self, base: &RunBase, sys: StorageSystem) {
+        self.pooled = Some((Arc::clone(&base.plan), sys));
+    }
 }
 
 fn rank_bytes_of(data: &DataSpec, nprocs: usize, integrity: IntegrityOpts) -> Vec<u64> {
@@ -372,18 +471,31 @@ impl RunBase {
 
     /// Execute one replicate under `seed` with fault injection.
     pub fn run_seed_with_faults(&self, seed: u64, faults: &FaultConfig) -> RunOutput {
+        self.run_seed_scratch(seed, faults, &mut RunScratch::new())
+    }
+
+    /// [`RunBase::run_seed_with_faults`] against a reusable
+    /// [`RunScratch`]: a warm scratch's storage system is reset in place
+    /// instead of rebuilt, so steady-state sweep seeds run without
+    /// reallocating the storage layer. Byte-identical to the cold path.
+    pub fn run_seed_scratch(
+        &self,
+        seed: u64,
+        faults: &FaultConfig,
+        scratch: &mut RunScratch,
+    ) -> RunOutput {
         match &self.method {
-            Method::Posix { .. } => run_posix(self, seed, faults),
-            Method::MpiIo { .. } => run_mpiio(self, seed, faults),
+            Method::Posix { .. } => run_posix(self, seed, faults, scratch),
+            Method::MpiIo { .. } => run_mpiio(self, seed, faults, scratch),
             Method::Stagger { .. } => {
                 let opts = AdaptiveOpts {
                     work_stealing: false,
                     stagger_opens: true,
                     ..Default::default()
                 };
-                run_adaptive(self, seed, opts, faults)
+                run_adaptive(self, seed, opts, faults, scratch)
             }
-            Method::Adaptive { opts, .. } => run_adaptive(self, seed, opts.clone(), faults),
+            Method::Adaptive { opts, .. } => run_adaptive(self, seed, opts.clone(), faults, scratch),
         }
     }
 
@@ -401,6 +513,48 @@ impl RunBase {
         simcore::par::par_map_with(self, seeds.to_vec(), |base, seed| {
             base.run_seed_with_faults(seed, faults)
         })
+    }
+
+    /// An empty [`SweepSink`] sized for this base's machine.
+    pub fn sweep_sink(&self) -> SweepSink {
+        SweepSink::new(self.machine.ost_count)
+    }
+
+    /// Run a fault-free seed sweep, streaming every replicate into
+    /// `sink`. See [`RunBase::run_seed_sweep_into_threads`].
+    pub fn run_seed_sweep_into(&self, seeds: &[u64], sink: &mut SweepSink) {
+        self.run_seed_sweep_into_threads(simcore::par::threads(), seeds, &FaultConfig::none(), sink)
+    }
+
+    /// The fleet-sweep entry point: run `seeds` over `nthreads`
+    /// work-stealing workers, each carrying a private ([`RunScratch`],
+    /// [`SweepSink`]) pair it reuses across every seed it claims, and
+    /// merge the per-worker sinks into `sink` at the end.
+    ///
+    /// Peak memory is flat in the seed count — per-seed [`RunOutput`]s
+    /// are condensed to [`SweepSample`]s worker-side and never
+    /// materialized as a collection. Because the sink's accumulators are
+    /// exactly order-independent, the merged report is byte-identical to
+    /// a serial sweep at any thread count, faults included.
+    pub fn run_seed_sweep_into_threads(
+        &self,
+        nthreads: usize,
+        seeds: &[u64],
+        faults: &FaultConfig,
+        sink: &mut SweepSink,
+    ) {
+        let parts = simcore::par::par_fold_workers_threads(
+            nthreads,
+            seeds.to_vec(),
+            || (RunScratch::new(), self.sweep_sink()),
+            |(scratch, local), seed| {
+                let out = self.run_seed_scratch(seed, faults, scratch);
+                local.add_sample(&out.sweep_sample(seed));
+            },
+        );
+        for (_, local) in &parts {
+            sink.merge(local);
+        }
     }
 }
 
@@ -500,22 +654,29 @@ fn integrity_account(
     (oracle, out, errors)
 }
 
-fn run_posix(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
+fn run_posix(base: &RunBase, seed: u64, faults: &FaultConfig, scratch: &mut RunScratch) -> RunOutput {
     assert!(
         matches!(base.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
         "real-bytes mode requires the adaptive/stagger methods"
     );
     let plan = Arc::clone(&base.plan);
-    let mut storage = storesim::StorageSystem::new(Arc::clone(&base.machine), seed);
+    let (mut storage, warm) = scratch.storage_for(base, seed);
     let mut actors = Vec::with_capacity(base.nprocs);
     for r in 0..base.nprocs as u32 {
-        let g = plan.group_of[r as usize];
-        let ost = plan.ost_of_group[g as usize];
-        let file = storage
-            .fs_mut()
-            .create(format!("ior-{r}.dat"), StripeSpec::Pinned(vec![ost]));
+        // File creation order is deterministic, so a warm scratch's
+        // surviving file table maps rank r to FileId(r) directly.
+        let file = if warm {
+            FileId(r)
+        } else {
+            let g = plan.group_of[r as usize];
+            let ost = plan.ost_of_group[g as usize];
+            storage
+                .fs_mut()
+                .create(format!("ior-{r}.dat"), StripeSpec::Pinned(vec![ost]))
+        };
         actors.push(PosixActor::new(r, Arc::clone(&plan), file));
     }
+    debug_assert_eq!(storage.fs().file_count(), base.nprocs);
     let mut sim = Simulation::with_storage(Arc::clone(&base.machine), actors, seed, storage);
     apply_interference(sim.storage_mut(), &base.interference);
     install_faults(&mut sim, seed, faults);
@@ -554,6 +715,7 @@ fn run_posix(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
     let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
     errors.extend(integrity_errors);
     let result = OutputResult::from_partial(records, full_end.as_secs_f64());
+    scratch.put_back(base, sim.into_storage());
     RunOutput {
         result,
         global_index: None,
@@ -566,7 +728,7 @@ fn run_posix(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
     }
 }
 
-fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
+fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig, scratch: &mut RunScratch) -> RunOutput {
     assert!(
         matches!(base.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
         "real-bytes mode requires the adaptive/stagger methods"
@@ -575,11 +737,14 @@ fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
         base.mpiio.as_ref().expect("prepared MPI-IO layout");
     let (stripe_count, stripe_size) = (*stripe_count, *stripe_size);
     let plan = Arc::clone(&base.plan);
-    let mut storage = storesim::StorageSystem::new(Arc::clone(&base.machine), seed);
-    let file =
-        storage.create_file_with_stripe_size("shared.bp", StripeSpec::Count(stripe_count), stripe_size);
-    let file_osts = storage.fs().meta(file).osts.clone();
+    let (mut storage, warm) = scratch.storage_for(base, seed);
+    let file = if warm {
+        FileId(0)
+    } else {
+        storage.create_file_with_stripe_size("shared.bp", StripeSpec::Count(stripe_count), stripe_size)
+    };
     let mut actors = Vec::with_capacity(base.nprocs);
+    let file_osts = &storage.fs().meta(file).osts;
     for r in 0..base.nprocs as u32 {
         let stripe_idx = (offsets[r as usize] / stripe_size) as usize % file_osts.len();
         actors.push(MpiIoActor::new(
@@ -628,6 +793,7 @@ fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
     let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
     errors.extend(integrity_errors);
     let result = OutputResult::from_partial(records, full_end.as_secs_f64());
+    scratch.put_back(base, sim.into_storage());
     RunOutput {
         result,
         global_index: None,
@@ -640,7 +806,13 @@ fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig) -> RunOutput {
     }
 }
 
-fn run_adaptive(base: &RunBase, seed: u64, mut opts: AdaptiveOpts, faults: &FaultConfig) -> RunOutput {
+fn run_adaptive(
+    base: &RunBase,
+    seed: u64,
+    mut opts: AdaptiveOpts,
+    faults: &FaultConfig,
+    scratch: &mut RunScratch,
+) -> RunOutput {
     // Silent-corruption-only scripts never perturb timing or liveness, so
     // they compose with real-bytes data and need no hardened protocol;
     // every other fault kind forces the hardened protocol and (because the
@@ -665,19 +837,29 @@ fn run_adaptive(base: &RunBase, seed: u64, mut opts: AdaptiveOpts, faults: &Faul
         ),
         _ => (None, None),
     };
-    let mut storage = storesim::StorageSystem::new(Arc::clone(&base.machine), seed);
+    let (mut storage, warm) = scratch.storage_for(base, seed);
     let mut files = Vec::with_capacity(plan.targets);
-    for g in 0..plan.targets {
-        let ost = plan.ost_of_group[g];
-        files.push(
-            storage
-                .fs_mut()
-                .create(format!("sub-{g}.bp"), StripeSpec::Pinned(vec![ost])),
-        );
-    }
-    let gidx_file = storage
-        .fs_mut()
-        .create("global-index.bp", StripeSpec::Pinned(vec![OstId(0)]));
+    let gidx_file = if warm {
+        // Deterministic creation order: group g → FileId(g), then the
+        // global index file right after.
+        for g in 0..plan.targets {
+            files.push(FileId(g as u32));
+        }
+        FileId(plan.targets as u32)
+    } else {
+        for g in 0..plan.targets {
+            let ost = plan.ost_of_group[g];
+            files.push(
+                storage
+                    .fs_mut()
+                    .create(format!("sub-{g}.bp"), StripeSpec::Pinned(vec![ost])),
+            );
+        }
+        storage
+            .fs_mut()
+            .create("global-index.bp", StripeSpec::Pinned(vec![OstId(0)]))
+    };
+    debug_assert_eq!(storage.fs().file_count(), plan.targets + 1);
     let files = Rc::new(files);
     let mut actors = Vec::with_capacity(base.nprocs);
     for r in 0..base.nprocs as u32 {
@@ -752,6 +934,7 @@ fn run_adaptive(base: &RunBase, seed: u64, mut opts: AdaptiveOpts, faults: &Faul
     errors.extend(account_errors);
     let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
     errors.extend(integrity_errors);
+    scratch.put_back(base, sim.into_storage());
     // Materialise subfile bytes for read-back verification.
     let mut subfiles = store.map(|store| {
         let store = store.borrow();

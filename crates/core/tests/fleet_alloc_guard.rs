@@ -1,0 +1,148 @@
+//! Allocation regression guard for the fleet sweep's per-worker arenas.
+//!
+//! A counting global allocator wraps `System`. Two windows are counted:
+//!
+//! 1. **Storage layer, strict**: after a warmup seed has grown every slab
+//!    and scratch buffer to steady-state capacity, a full
+//!    reset-and-replay cycle of a [`storesim::StorageSystem`] (reset,
+//!    file writes, raw OST writes, drain to quiet) must hit the allocator
+//!    **zero** times. This is the contract `StorageSystem::reset` exists
+//!    for.
+//! 2. **Full co-simulation seed, ratio**: one warm-scratch sweep seed
+//!    must allocate well under half of what a cold seed does — the
+//!    protocol/actor layer still builds per-run objects, but the storage
+//!    layer (the dominant cold cost: hundreds of OST engines, queues,
+//!    noise processes) must be fully recycled.
+//!
+//! This file deliberately holds a single test: the counter is global, so
+//! a concurrently running sibling test would perturb the windows.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adios_core::fault::FaultConfig;
+use adios_core::runner::{DataSpec, Interference, Method, RunBase, RunScratch, RunSpec};
+use simcore::units::MIB;
+use simcore::{SimDuration, SimTime};
+use storesim::layout::{FileId, OstId, StripeSpec};
+use storesim::params::jaguar;
+use storesim::StorageSystem;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// One storage-layer seed: reset, submit a mixed write/read load
+/// (distinct sizes so completions spread in time), drain to quiet through
+/// the caller-owned completion buffer.
+fn storage_seed(
+    sys: &mut StorageSystem,
+    seed: u64,
+    out: &mut Vec<storesim::system::StorageCompletion>,
+) -> usize {
+    sys.reset(seed);
+    let file = FileId(0);
+    sys.submit_open(SimTime::ZERO, 1);
+    for i in 0..24u64 {
+        let at = SimTime::ZERO + SimDuration::from_millis(i * 2);
+        sys.submit_file_write(at, file, i * 2 * MIB, MIB + i * 8192, 100 + i);
+        sys.submit_ost_write(at, OstId((i % 8) as usize), MIB + i * 4096, 200 + i);
+    }
+    sys.submit_file_read(SimTime::from_secs_f64(0.25), file, 0, 4 * MIB, 300);
+    sys.submit_close(SimTime::from_secs_f64(0.3), 301);
+    out.clear();
+    sys.run_until_quiet_into(SimTime::from_secs_f64(1e6), out);
+    out.len()
+}
+
+#[test]
+fn steady_state_sweep_seeds_stop_allocating() {
+    // ---- Window 1: the storage layer proper. ----
+    let cfg = std::sync::Arc::new(jaguar());
+    let mut sys = StorageSystem::new(cfg, 0);
+    sys.create_file_with_stripe_size(
+        "sweep.bp",
+        StripeSpec::Pinned(vec![OstId(0), OstId(1), OstId(2), OstId(3)]),
+        MIB,
+    );
+    let mut out = Vec::new();
+    // Warmup: grow queue slabs, scratch buffers, map tables, completion
+    // buffer to steady state (two seeds, in case first-touch growth paths
+    // differ by seed).
+    let want = storage_seed(&mut sys, 1, &mut out);
+    storage_seed(&mut sys, 2, &mut out);
+    assert!(want > 0, "warmup produced completions");
+
+    let before = allocs();
+    let mut total = 0usize;
+    for seed in 3..23u64 {
+        total += storage_seed(&mut sys, seed, &mut out);
+    }
+    let storage_allocs = allocs() - before;
+    assert!(total >= 20 * want, "every seed drained fully");
+    assert_eq!(
+        storage_allocs, 0,
+        "steady-state storage seeds allocated {storage_allocs} times over 20 seeds"
+    );
+
+    // ---- Window 2: full co-simulation seeds, warm vs cold. ----
+    let base = RunBase::prepare(RunSpec {
+        machine: jaguar(),
+        nprocs: 32,
+        data: DataSpec::Uniform(2 * MIB),
+        method: Method::Posix { targets: 8 },
+        interference: Interference::None,
+        seed: 0,
+    });
+    let faults = FaultConfig::none();
+
+    // Cold: a fresh scratch per seed — every seed rebuilds the storage
+    // system from nothing.
+    let before = allocs();
+    for seed in 0..8u64 {
+        let mut scratch = RunScratch::new();
+        std::hint::black_box(base.run_seed_scratch(seed, &faults, &mut scratch));
+    }
+    let cold = allocs() - before;
+
+    // Warm: one scratch across all seeds (plus a warmup seed outside the
+    // window).
+    let mut scratch = RunScratch::new();
+    std::hint::black_box(base.run_seed_scratch(99, &faults, &mut scratch));
+    let before = allocs();
+    for seed in 0..8u64 {
+        std::hint::black_box(base.run_seed_scratch(seed, &faults, &mut scratch));
+    }
+    let warm = allocs() - before;
+
+    assert!(
+        warm * 2 < cold,
+        "warm sweep seeds should allocate well under half of cold ones \
+         (warm {warm} vs cold {cold} over 8 seeds)"
+    );
+}

@@ -1,0 +1,245 @@
+//! Fleet sweep engine: warm-scratch equivalence and streaming sweep
+//! determinism.
+//!
+//! Three contracts pinned here:
+//!
+//! 1. A [`RunScratch`] warmed by previous seeds produces outputs
+//!    byte-identical to cold per-seed construction, for every transport
+//!    method, faulted or not (the per-worker arena contract).
+//! 2. The streaming sweep ([`RunBase::run_seed_sweep_into_threads`])
+//!    yields a report byte-identical to collecting every [`RunOutput`]
+//!    and folding serially.
+//! 3. That report is identical at 1, 2 and 8 worker threads — faulted
+//!    runs included — because the sink's accumulators are exactly
+//!    order-independent.
+
+use adios_core::fault::FaultConfig;
+use adios_core::runner::{DataSpec, Interference, Method, RunBase, RunOutput, RunScratch, RunSpec};
+use adios_core::AdaptiveOpts;
+use simcore::units::MIB;
+use storesim::fault::{FailMode, FaultScript};
+use storesim::params::testbed;
+
+fn base(method: Method, nprocs: usize, interference: Interference) -> RunBase {
+    RunBase::prepare(RunSpec {
+        machine: testbed(),
+        nprocs,
+        data: DataSpec::Uniform(4 * MIB),
+        method,
+        interference,
+        seed: 0,
+    })
+}
+
+fn methods() -> Vec<(&'static str, Method)> {
+    vec![
+        ("posix", Method::Posix { targets: 8 }),
+        ("mpiio", Method::MpiIo { stripe_count: 4 }),
+        ("stagger", Method::Stagger { targets: 4 }),
+        (
+            "adaptive",
+            Method::Adaptive {
+                targets: 4,
+                opts: AdaptiveOpts::default(),
+            },
+        ),
+    ]
+}
+
+/// Strict fingerprint of everything a sweep consumes from a run.
+fn fingerprint(out: &RunOutput) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for r in &out.result.records {
+        write!(
+            s,
+            "{}:{}:{}:{}:{}:{}:{}:{};",
+            r.rank,
+            r.bytes,
+            r.start.as_nanos(),
+            r.end.as_nanos(),
+            r.ost.0,
+            r.file.0,
+            r.offset,
+            r.adaptive
+        )
+        .unwrap();
+    }
+    write!(
+        s,
+        "|w{}|l{}|e{}|c{}|f{:.9}",
+        out.outcome.written_bytes,
+        out.outcome.lost_bytes,
+        out.errors.len(),
+        out.integrity.corrupt_records,
+        out.result.full_span
+    )
+    .unwrap();
+    s
+}
+
+fn storage_faults() -> FaultConfig {
+    FaultConfig {
+        storage: FaultScript::none()
+            .brownout(0.5, 0, 0.3, 5.0)
+            .fail_ost(1.0, 2, FailMode::Error, Some(10.0))
+            .silent_corruption(0.0, 1, None, 0.4),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn warm_scratch_matches_cold_for_every_method() {
+    for (name, method) in methods() {
+        let base = base(method, 16, Interference::None);
+        let mut scratch = RunScratch::new();
+        // Warm the scratch on an unrelated seed first so every checked
+        // seed actually exercises the reset-and-reuse path.
+        base.run_seed_scratch(999, &FaultConfig::none(), &mut scratch);
+        for seed in [1u64, 2, 42] {
+            let warm = base.run_seed_scratch(seed, &FaultConfig::none(), &mut scratch);
+            let cold = base.run_seed(seed);
+            assert_eq!(
+                fingerprint(&warm),
+                fingerprint(&cold),
+                "{name} seed {seed}: warm scratch diverged from cold run"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_scratch_matches_cold_under_faults() {
+    let faults = storage_faults();
+    for (name, method) in methods() {
+        let base = base(method, 16, Interference::None);
+        let mut scratch = RunScratch::new();
+        base.run_seed_scratch(999, &faults, &mut scratch);
+        for seed in [3u64, 7] {
+            let warm = base.run_seed_scratch(seed, &faults, &mut scratch);
+            let cold = base.run_seed_with_faults(seed, &faults);
+            assert_eq!(
+                fingerprint(&warm),
+                fingerprint(&cold),
+                "{name} seed {seed}: faulted warm scratch diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn scratch_reused_across_different_bases_rebuilds_cold() {
+    // A scratch warmed on one base must not leak state into a different
+    // base (different plan ⇒ cold rebuild, still correct).
+    let posix = base(Method::Posix { targets: 8 }, 16, Interference::None);
+    let mpiio = base(Method::MpiIo { stripe_count: 4 }, 16, Interference::None);
+    let mut scratch = RunScratch::new();
+    posix.run_seed_scratch(5, &FaultConfig::none(), &mut scratch);
+    let crossed = mpiio.run_seed_scratch(5, &FaultConfig::none(), &mut scratch);
+    let cold = mpiio.run_seed(5);
+    assert_eq!(fingerprint(&crossed), fingerprint(&cold));
+    // And back again.
+    let returned = posix.run_seed_scratch(6, &FaultConfig::none(), &mut scratch);
+    assert_eq!(fingerprint(&returned), fingerprint(&posix.run_seed(6)));
+}
+
+#[test]
+fn streaming_sweep_matches_collect_and_serial_fold() {
+    let base = base(
+        Method::Adaptive {
+            targets: 4,
+            opts: AdaptiveOpts::default(),
+        },
+        16,
+        Interference::None,
+    );
+    let seeds: Vec<u64> = (0..24).collect();
+
+    // Reference: materialize every RunOutput (seed order), fold serially.
+    let mut want = base.sweep_sink();
+    for (out, &seed) in base.run_seed_sweep(&seeds).iter().zip(&seeds) {
+        want.add_sample(&out.sweep_sample(seed));
+    }
+
+    let mut got = base.sweep_sink();
+    base.run_seed_sweep_into(&seeds, &mut got);
+    assert_eq!(got.report().to_string(), want.report().to_string());
+    assert_eq!(got.samples(), seeds.len() as u64);
+    assert_eq!(got.failed_samples(), 0);
+    assert!(got.bandwidth().mean() > 0.0);
+}
+
+#[test]
+fn streaming_sweep_is_thread_count_invariant() {
+    let base = base(Method::Posix { targets: 8 }, 16, Interference::None);
+    let seeds: Vec<u64> = (100..140).collect();
+    let mut serial = base.sweep_sink();
+    base.run_seed_sweep_into_threads(1, &seeds, &FaultConfig::none(), &mut serial);
+    let want = serial.report().to_string();
+    for nt in [2usize, 8] {
+        let mut sink = base.sweep_sink();
+        base.run_seed_sweep_into_threads(nt, &seeds, &FaultConfig::none(), &mut sink);
+        assert_eq!(sink.report().to_string(), want, "nthreads={nt}");
+    }
+}
+
+#[test]
+fn streaming_sweep_is_thread_count_invariant_under_faults() {
+    let faults = storage_faults();
+    let base = base(
+        Method::Adaptive {
+            targets: 4,
+            opts: AdaptiveOpts::default(),
+        },
+        16,
+        Interference::None,
+    );
+    let seeds: Vec<u64> = (0..20).collect();
+    let mut serial = base.sweep_sink();
+    base.run_seed_sweep_into_threads(1, &seeds, &faults, &mut serial);
+    let want = serial.report().to_string();
+    assert!(
+        serial.total_bytes() > 0,
+        "faulted sweep still writes most bytes"
+    );
+    for nt in [2usize, 8] {
+        let mut sink = base.sweep_sink();
+        base.run_seed_sweep_into_threads(nt, &seeds, &faults, &mut sink);
+        assert_eq!(sink.report().to_string(), want, "nthreads={nt}");
+    }
+}
+
+#[test]
+fn killed_runs_become_failed_samples_not_poisoned_metrics() {
+    // Kill every rank at t=0: no write records at all. The sample must
+    // count as failed and keep the distribution metrics clean.
+    let faults = FaultConfig {
+        kills: (0..16).map(|r| (0.0, r)).collect(),
+        ..Default::default()
+    };
+    let base = base(Method::Posix { targets: 8 }, 16, Interference::None);
+    let seeds: Vec<u64> = (0..4).collect();
+    let mut sink = base.sweep_sink();
+    base.run_seed_sweep_into_threads(2, &seeds, &faults, &mut sink);
+    assert_eq!(sink.samples(), 4);
+    assert_eq!(sink.failed_samples(), 4);
+    assert_eq!(sink.bandwidth().n(), 0);
+    assert_eq!(sink.total_bytes(), 0);
+}
+
+#[test]
+fn sweep_sample_extraction_matches_run_output() {
+    let base = base(Method::Posix { targets: 8 }, 16, Interference::None);
+    let out = base.run_seed(11);
+    let s = out.sweep_sample(11);
+    assert_eq!(s.seed, 11);
+    assert!(!s.failed);
+    assert_eq!(s.bandwidth, out.result.aggregate_bandwidth());
+    assert_eq!(s.write_span, out.result.write_span());
+    assert_eq!(s.imbalance, out.result.imbalance_factor());
+    let times = out.result.per_writer_times();
+    let direct = iostats::Summary::of(&times).std_dev;
+    assert!((s.write_time_std - direct).abs() <= 1e-12 * direct.max(1.0));
+    assert_eq!(s.total_bytes, out.outcome.written_bytes);
+    assert_eq!(s.ost_bytes.len(), out.result.records.len());
+}

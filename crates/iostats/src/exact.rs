@@ -1,0 +1,375 @@
+//! Exact, order-independent summation of `f64` samples.
+//!
+//! Streaming sweep statistics are folded by parallel workers and merged,
+//! so accumulator state must not depend on the order samples arrived —
+//! otherwise merging per-worker partials in a different order (or using
+//! a different thread count) would change the last bits of every mean
+//! and variance. Plain floating-point addition is not associative, so a
+//! running `f64` sum cannot give that guarantee.
+//!
+//! [`ExactSum`] is a fixed-point *superaccumulator*: every finite `f64`
+//! is an integer multiple of 2⁻¹⁰⁷⁴, so the running sum is kept as a
+//! wide integer in base 2³² covering the entire double exponent range.
+//! Integer addition is exactly associative and commutative, which makes
+//! [`ExactSum::add`] order-independent and [`ExactSum::merge`] a lossless
+//! digit-wise add: any grouping of the same multiset of samples yields
+//! the same canonical state, and therefore the same [`ExactSum::value`],
+//! bit for bit. Positive and negative contributions are accumulated in
+//! separate magnitude accumulators and subtracted exactly at read time,
+//! so cancellation (`1e16 + 1.0 - 1e16`) loses nothing.
+//!
+//! Memory is a flat ~1.1 KB regardless of how many samples were added.
+
+/// Number of base-2³² digits: bit positions 0..=2097 cover every finite
+/// double scaled by 2¹⁰⁷⁴ (top set bit ≤ 971 + 52 + 1074), and the spare
+/// digits absorb carries from huge sample counts (up to ~2¹⁴⁰ samples of
+/// the largest magnitude before the top digit could overflow).
+const DIGITS: usize = 70;
+
+/// Normalize (propagate carries) after this many raw adds; each add
+/// deposits < 2³² into a digit, so digits stay well below `u64::MAX`
+/// between normalizations.
+const NORM_EVERY: u32 = 1 << 30;
+
+const MASK: u128 = 0xFFFF_FFFF;
+
+/// Exact order-independent sum of `f64` samples. See the module docs.
+#[derive(Clone, Debug)]
+pub struct ExactSum {
+    /// Magnitude digits of positive contributions, base 2³², little
+    /// endian, scaled by 2⁻¹⁰⁷⁴. Lazily normalized.
+    pos: [u64; DIGITS],
+    /// Magnitude digits of negative contributions.
+    neg: [u64; DIGITS],
+    /// Raw adds since the last carry propagation.
+    dirty: u32,
+    /// Count of NaN samples (poisons the value).
+    nan: u64,
+    /// Count of +∞ samples.
+    pos_inf: u64,
+    /// Count of −∞ samples.
+    neg_inf: u64,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    /// An empty sum (value 0.0).
+    pub fn new() -> Self {
+        ExactSum {
+            pos: [0; DIGITS],
+            neg: [0; DIGITS],
+            dirty: 0,
+            nan: 0,
+            pos_inf: 0,
+            neg_inf: 0,
+        }
+    }
+
+    /// Add one sample. Exact for all finite inputs; NaN and ±∞ are
+    /// tallied and reproduced by [`value`](Self::value) with the usual
+    /// IEEE semantics (NaN poisons, opposing infinities make NaN).
+    pub fn add(&mut self, x: f64) {
+        if x == 0.0 {
+            return;
+        }
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if x.is_infinite() {
+            if x > 0.0 {
+                self.pos_inf += 1;
+            } else {
+                self.neg_inf += 1;
+            }
+            return;
+        }
+        let bits = x.to_bits();
+        let exp_bits = ((bits >> 52) & 0x7FF) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // x = m · 2^e with integer m < 2^53.
+        let (m, e) = if exp_bits == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        // Bit position of m's lowest bit in the fixed-point frame.
+        let p = (e + 1074) as usize;
+        let (c, sh) = (p / 32, p % 32);
+        let wide = (m as u128) << sh; // < 2^(53+32)
+        let target = if bits >> 63 == 0 {
+            &mut self.pos
+        } else {
+            &mut self.neg
+        };
+        target[c] += (wide & MASK) as u64;
+        target[c + 1] += ((wide >> 32) & MASK) as u64;
+        target[c + 2] += ((wide >> 64) & MASK) as u64;
+        self.dirty += 1;
+        if self.dirty >= NORM_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Fold another accumulator in, exactly. Equivalent to having added
+    /// every one of `other`'s samples to `self`, in any order.
+    pub fn merge(&mut self, other: &ExactSum) {
+        merge_digits(&mut self.pos, &other.pos);
+        merge_digits(&mut self.neg, &other.neg);
+        self.dirty = 0;
+        self.nan += other.nan;
+        self.pos_inf += other.pos_inf;
+        self.neg_inf += other.neg_inf;
+    }
+
+    /// Propagate carries so every digit is in `[0, 2³²)`. The canonical
+    /// form is unique for a given multiset of samples.
+    fn normalize(&mut self) {
+        normalize_digits(&mut self.pos);
+        normalize_digits(&mut self.neg);
+        self.dirty = 0;
+    }
+
+    /// The current sum, rounded to `f64` (faithful within 1 ulp).
+    ///
+    /// Deterministic: any sequence of [`add`](Self::add)/
+    /// [`merge`](Self::merge) calls covering the same multiset of samples
+    /// produces bit-identical output.
+    pub fn value(&self) -> f64 {
+        if self.nan > 0 || (self.pos_inf > 0 && self.neg_inf > 0) {
+            return f64::NAN;
+        }
+        if self.pos_inf > 0 {
+            return f64::INFINITY;
+        }
+        if self.neg_inf > 0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut pos = self.pos;
+        let mut neg = self.neg;
+        normalize_digits(&mut pos);
+        normalize_digits(&mut neg);
+        // Exact signed difference of the two magnitudes, then one
+        // rounding at the end — cancellation costs nothing.
+        match compare_digits(&pos, &neg) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Greater => {
+                subtract_digits(&mut pos, &neg);
+                digits_to_f64(&pos)
+            }
+            std::cmp::Ordering::Less => {
+                subtract_digits(&mut neg, &pos);
+                -digits_to_f64(&neg)
+            }
+        }
+    }
+}
+
+/// `a += b` with full carry propagation (normalizes `a` as a side
+/// effect). Works for any digit values — sums go through `u128`.
+fn merge_digits(a: &mut [u64; DIGITS], b: &[u64; DIGITS]) {
+    let mut carry: u128 = 0;
+    for i in 0..DIGITS {
+        let v = a[i] as u128 + b[i] as u128 + carry;
+        a[i] = (v & MASK) as u64;
+        carry = v >> 32;
+    }
+    debug_assert_eq!(carry, 0, "superaccumulator overflow");
+}
+
+fn normalize_digits(d: &mut [u64; DIGITS]) {
+    let mut carry: u128 = 0;
+    for x in d.iter_mut() {
+        let v = *x as u128 + carry;
+        *x = (v & MASK) as u64;
+        carry = v >> 32;
+    }
+    debug_assert_eq!(carry, 0, "superaccumulator overflow");
+}
+
+/// Compare two normalized magnitudes.
+fn compare_digits(a: &[u64; DIGITS], b: &[u64; DIGITS]) -> std::cmp::Ordering {
+    for i in (0..DIGITS).rev() {
+        if a[i] != b[i] {
+            return a[i].cmp(&b[i]);
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// `a -= b` for normalized magnitudes with `a >= b` (schoolbook borrow).
+fn subtract_digits(a: &mut [u64; DIGITS], b: &[u64; DIGITS]) {
+    let mut borrow: i128 = 0;
+    for i in 0..DIGITS {
+        let v = a[i] as i128 - b[i] as i128 - borrow;
+        if v < 0 {
+            a[i] = (v + (1i128 << 32)) as u64;
+            borrow = 1;
+        } else {
+            a[i] = v as u64;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "subtract_digits requires a >= b");
+}
+
+/// Convert a normalized nonzero magnitude (scaled by 2⁻¹⁰⁷⁴) to `f64`:
+/// take the top 128 significant bits and apply the power-of-two scale.
+fn digits_to_f64(d: &[u64; DIGITS]) -> f64 {
+    let top = match (0..DIGITS).rev().find(|&i| d[i] != 0) {
+        Some(t) => t,
+        None => return 0.0,
+    };
+    // Pack digits top, top-1, top-2, top-3 into a u128 (missing low
+    // digits are zero); the scale places digit `top-3` at bit 0.
+    let mut val: u128 = 0;
+    for k in 0..4 {
+        val <<= 32;
+        let idx = top as isize - k;
+        if idx >= 0 {
+            val |= d[idx as usize] as u128;
+        }
+    }
+    let scale = 32 * (top as i64 - 3) - 1074;
+    // `val as f64` rounds 128 → 53 bits once. The scale can exceed the
+    // single-factor exponent range in either direction (e.g. a magnitude
+    // living entirely in digit 0 has scale −1170), so apply it as two
+    // in-range power-of-two factors: the first keeps the intermediate
+    // normal (exact), only the last multiply can round or saturate.
+    let a = scale.clamp(-960, 895);
+    (val as f64) * exp2i(a) * exp2i(scale - a)
+}
+
+/// Exact 2^k as f64 (0.0 on underflow, ∞ on overflow). Built from raw
+/// bits — no libm, no platform variance.
+fn exp2i(k: i64) -> f64 {
+    if (-1022..=1023).contains(&k) {
+        f64::from_bits(((k + 1023) as u64) << 52)
+    } else if (-1074..-1022).contains(&k) {
+        f64::from_bits(1u64 << (k + 1074))
+    } else if k < -1074 {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of(xs: &[f64]) -> f64 {
+        let mut s = ExactSum::new();
+        for &x in xs {
+            s.add(x);
+        }
+        s.value()
+    }
+
+    #[test]
+    fn small_integers_sum_exactly() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(sum_of(&xs), 5050.0);
+    }
+
+    #[test]
+    fn cancellation_is_exact() {
+        assert_eq!(sum_of(&[1e16, 1.0, -1e16]), 1.0);
+        assert_eq!(sum_of(&[1e300, 1e-300, -1e300]), 1e-300);
+        assert_eq!(sum_of(&[0.1, -0.1]), 0.0);
+    }
+
+    #[test]
+    fn order_invariance_is_bit_exact() {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| {
+                let m = ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 11) as f64;
+                let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+                sign * m * exp2i((i % 120) as i64 - 60)
+            })
+            .collect();
+        let forward = sum_of(&xs);
+        let mut rev = xs.clone();
+        rev.reverse();
+        assert_eq!(sum_of(&rev).to_bits(), forward.to_bits());
+        // Interleaved split order.
+        let mut odd_even: Vec<f64> = xs.iter().step_by(2).copied().collect();
+        odd_even.extend(xs.iter().skip(1).step_by(2));
+        assert_eq!(sum_of(&odd_even).to_bits(), forward.to_bits());
+    }
+
+    #[test]
+    fn merge_matches_single_accumulator() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64) * 1.25e-3 + 1e9).collect();
+        let mut whole = ExactSum::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        // Three partials merged in a scrambled order.
+        let mut parts = [ExactSum::new(), ExactSum::new(), ExactSum::new()];
+        for (i, &x) in xs.iter().enumerate() {
+            parts[i % 3].add(x);
+        }
+        let mut merged = ExactSum::new();
+        merged.merge(&parts[2]);
+        merged.merge(&parts[0]);
+        merged.merge(&parts[1]);
+        assert_eq!(merged.value().to_bits(), whole.value().to_bits());
+    }
+
+    #[test]
+    fn subnormals_accumulate_exactly() {
+        let tiny = f64::from_bits(1); // 2^-1074
+        assert_eq!(sum_of(&[tiny, tiny, tiny]), f64::from_bits(3));
+        assert_eq!(sum_of(&[tiny, -tiny]), 0.0);
+    }
+
+    #[test]
+    fn special_values() {
+        assert_eq!(sum_of(&[]), 0.0);
+        assert_eq!(sum_of(&[0.0, -0.0]), 0.0);
+        assert_eq!(sum_of(&[f64::INFINITY, 1.0]), f64::INFINITY);
+        assert_eq!(sum_of(&[f64::NEG_INFINITY, 1.0]), f64::NEG_INFINITY);
+        assert!(sum_of(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+        assert!(sum_of(&[f64::NAN, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn matches_f64_for_single_values() {
+        for x in [
+            1.0,
+            -1.0,
+            std::f64::consts::PI,
+            1.7e308,
+            -2.2e-308,
+            f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest subnormal
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            assert_eq!(sum_of(&[x]).to_bits(), x.to_bits(), "x={x:e}");
+        }
+    }
+
+    #[test]
+    fn extreme_magnitude_mix() {
+        // f64::MAX + f64::MAX overflows f64 but not the accumulator;
+        // subtracting one back lands exactly on MAX again.
+        assert_eq!(sum_of(&[f64::MAX, f64::MAX, -f64::MAX]), f64::MAX);
+    }
+
+    #[test]
+    fn exp2i_spot_checks() {
+        assert_eq!(exp2i(0), 1.0);
+        assert_eq!(exp2i(10), 1024.0);
+        assert_eq!(exp2i(-1), 0.5);
+        assert_eq!(exp2i(-1074), f64::from_bits(1));
+        assert_eq!(exp2i(-1075), 0.0);
+        assert_eq!(exp2i(1023), f64::from_bits(0x7FE0_0000_0000_0000));
+        assert_eq!(exp2i(1024), f64::INFINITY);
+    }
+}

@@ -7,14 +7,18 @@
 
 #![warn(missing_docs)]
 
+pub mod exact;
 pub mod histogram;
 pub mod imbalance;
 pub mod outcome;
 pub mod summary;
+pub mod sweep;
 pub mod table;
 
+pub use exact::ExactSum;
 pub use histogram::Histogram;
 pub use imbalance::{capacity_ratio, imbalance_factor, mean_imbalance};
 pub use outcome::{outcome_table, OutcomeRow};
 pub use summary::{quantile, Summary};
+pub use sweep::{LogHistogram, MetricAcc, SweepSample, SweepSink};
 pub use table::{fmt_mibps, Table};

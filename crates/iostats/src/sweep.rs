@@ -1,0 +1,655 @@
+//! Streaming sweep statistics: flat-memory aggregation for 1000+-seed
+//! campaigns.
+//!
+//! A fleet sweep runs one simulation per seed and wants distribution
+//! statistics (mean/CV, percentiles, imbalance, per-OST load) over all
+//! seeds — without materializing a `Vec` of per-seed results. Workers
+//! fold each run into a [`SweepSample`] (a handful of scalars plus the
+//! touched-OST byte counts) and feed it to a [`SweepSink`]; sinks from
+//! different workers [`merge`](SweepSink::merge) losslessly.
+//!
+//! Everything in the sink is **exactly order-independent**: counts are
+//! integers, extrema are idempotent, sums use [`ExactSum`]
+//! superaccumulators, and percentiles come from an exactly-mergeable
+//! log-bucketed histogram ([`LogHistogram`]). Feeding the same multiset
+//! of samples through any tree of sinks and merges therefore produces a
+//! byte-identical [`report`](SweepSink::report) — the property the sweep
+//! determinism suite pins.
+
+use crate::exact::ExactSum;
+use minijson::{json, Value};
+
+/// Sub-bucket bits per octave: 16 log-spaced buckets per power of two,
+/// ≈ 4.4 % relative resolution on percentile reads.
+const SUB_BITS: u32 = 4;
+/// Lowest biased exponent in the histogram window (2⁻⁶⁴).
+const E_LO: u64 = 1023 - 64;
+/// One past the highest biased exponent in the window (2⁶⁴).
+const E_HI: u64 = 1023 + 64;
+/// Total in-window bucket count.
+const BUCKETS: usize = ((E_HI - E_LO) as usize) << SUB_BITS;
+
+/// Exactly-mergeable log-bucketed histogram of nonnegative samples.
+///
+/// Buckets are defined purely by the bit pattern of the sample (biased
+/// exponent plus the top 4 mantissa bits), so bucketing is deterministic
+/// and merge is element-wise `u64` addition — associative, commutative,
+/// lossless. Values outside `[2⁻⁶⁴, 2⁶⁴)` are clamped into underflow and
+/// overflow buckets; zeros get their own bucket; NaN is tallied but
+/// excluded from quantiles.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    zero: u64,
+    under: u64,
+    over: u64,
+    nan: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            zero: 0,
+            under: 0,
+            over: 0,
+            nan: 0,
+        }
+    }
+
+    /// Record one sample. Negative values clamp into the underflow
+    /// bucket (sweep metrics are nonnegative by construction).
+    pub fn add(&mut self, v: f64) {
+        if v.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if v == 0.0 {
+            self.zero += 1;
+            return;
+        }
+        if v < 0.0 {
+            self.under += 1;
+            return;
+        }
+        let bits = v.to_bits();
+        let e = bits >> 52; // sign bit is 0 here
+        if e < E_LO {
+            self.under += 1;
+        } else if e >= E_HI {
+            self.over += 1;
+        } else {
+            let sub = (bits >> (52 - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+            self.counts[(((e - E_LO) << SUB_BITS) | sub) as usize] += 1;
+        }
+    }
+
+    /// Element-wise merge: exactly the histogram of the union multiset.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.zero += other.zero;
+        self.under += other.under;
+        self.over += other.over;
+        self.nan += other.nan;
+    }
+
+    /// Total recorded samples, excluding NaN.
+    pub fn total(&self) -> u64 {
+        self.zero + self.under + self.over + self.counts.iter().sum::<u64>()
+    }
+
+    /// Nearest-rank `q`-quantile (0 ≤ q ≤ 1) over the bucketed samples.
+    ///
+    /// Resolution is one bucket (≈ 4.4 % relative); the returned value is
+    /// the bucket's midpoint in mantissa space, built from raw bits so
+    /// the result is bit-deterministic. Returns NaN on an empty
+    /// histogram; the underflow/overflow buckets report the window edges.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = (q * (total - 1) as f64).round() as u64;
+        let mut seen = self.zero;
+        if rank < seen {
+            return 0.0;
+        }
+        seen += self.under;
+        if rank < seen {
+            // Lower window edge 2^-64.
+            return f64::from_bits(E_LO << 52);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank < seen {
+                return bucket_mid(i);
+            }
+        }
+        // Upper window edge 2^64.
+        f64::from_bits(E_HI << 52)
+    }
+}
+
+/// Midpoint (in mantissa space) of in-window bucket `i`, from raw bits.
+fn bucket_mid(i: usize) -> f64 {
+    let e = E_LO + (i >> SUB_BITS) as u64;
+    let sub = (i as u64) & ((1 << SUB_BITS) - 1);
+    f64::from_bits((e << 52) | (sub << (52 - SUB_BITS)) | (1u64 << (52 - SUB_BITS - 1)))
+}
+
+/// One run's contribution to a sweep, extracted by the runner: a few
+/// scalars plus compact per-OST byte counts. Cheap to ship between
+/// worker threads; everything a [`SweepSink`] accumulates comes from
+/// here.
+#[derive(Clone, Debug)]
+pub struct SweepSample {
+    /// Seed of the run.
+    pub seed: u64,
+    /// Aggregate bandwidth over the write span, bytes/sec.
+    pub bandwidth: f64,
+    /// First-write-start to last-write-end span, seconds.
+    pub write_span: f64,
+    /// Standard deviation of per-writer write times, seconds (Fig. 7).
+    pub write_time_std: f64,
+    /// Slowest/fastest writer time ratio (§II-2).
+    pub imbalance: f64,
+    /// Bytes written by the run.
+    pub total_bytes: u64,
+    /// Bytes lost to faults.
+    pub lost_bytes: u64,
+    /// IO errors surfaced to the protocol layer.
+    pub errors: u64,
+    /// Records the integrity oracle marked corrupted.
+    pub corrupt_records: u64,
+    /// Adaptively diverted writes.
+    pub adaptive_writes: u64,
+    /// `true` when the run produced no usable write records (e.g. every
+    /// writer was killed): counters still accumulate, distribution
+    /// metrics are skipped.
+    pub failed: bool,
+    /// `(ost index, bytes)` for every OST the run touched.
+    pub ost_bytes: Vec<(u32, u64)>,
+}
+
+/// Streaming accumulator for one sweep metric: count, exact sum and
+/// sum-of-squares, extrema, and a log histogram for percentiles. All
+/// state is exactly order-independent.
+#[derive(Clone, Debug)]
+pub struct MetricAcc {
+    n: u64,
+    sum: ExactSum,
+    sumsq: ExactSum,
+    min: f64,
+    max: f64,
+    hist: LogHistogram,
+}
+
+impl Default for MetricAcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricAcc {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        MetricAcc {
+            n: 0,
+            sum: ExactSum::new(),
+            sumsq: ExactSum::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            hist: LogHistogram::new(),
+        }
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, v: f64) {
+        self.n += 1;
+        self.sum.add(v);
+        self.sumsq.add(v * v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.hist.add(v);
+    }
+
+    /// Exact merge of another accumulator.
+    pub fn merge(&mut self, other: &MetricAcc) {
+        self.n += other.n;
+        self.sum.merge(&other.sum);
+        self.sumsq.merge(&other.sumsq);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Sample count.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum.value() / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation, n − 1 denominator (0.0 below 2
+    /// samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let s = self.sum.value();
+        let var = (self.sumsq.value() - s * s / n) / (n - 1.0);
+        var.max(0.0).sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean; 0.0 on zero mean).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Histogram `q`-quantile (bucket resolution; NaN when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.hist.quantile(q)
+    }
+
+    /// JSON summary of this metric.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "n": self.n,
+            "mean": self.mean(),
+            "std_dev": self.std_dev(),
+            "cv": self.cv(),
+            "min": self.min(),
+            "max": self.max(),
+            "p5": self.quantile(0.05),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        })
+    }
+}
+
+/// Streaming sweep aggregator: fold [`SweepSample`]s in, merge sinks
+/// from parallel workers, read one report at the end. Memory is flat in
+/// the number of samples (a few histograms plus one `u64` pair per OST).
+#[derive(Clone, Debug)]
+pub struct SweepSink {
+    ost_count: usize,
+    samples: u64,
+    failed_samples: u64,
+    bandwidth: MetricAcc,
+    write_span: MetricAcc,
+    write_time_std: MetricAcc,
+    imbalance: MetricAcc,
+    total_bytes: u64,
+    lost_bytes: u64,
+    errors: u64,
+    corrupt_records: u64,
+    adaptive_writes: u64,
+    per_ost_bytes: Vec<u64>,
+    per_ost_writes: Vec<u64>,
+}
+
+impl SweepSink {
+    /// An empty sink for a machine with `ost_count` storage targets.
+    pub fn new(ost_count: usize) -> Self {
+        SweepSink {
+            ost_count,
+            samples: 0,
+            failed_samples: 0,
+            bandwidth: MetricAcc::new(),
+            write_span: MetricAcc::new(),
+            write_time_std: MetricAcc::new(),
+            imbalance: MetricAcc::new(),
+            total_bytes: 0,
+            lost_bytes: 0,
+            errors: 0,
+            corrupt_records: 0,
+            adaptive_writes: 0,
+            per_ost_bytes: vec![0; ost_count],
+            per_ost_writes: vec![0; ost_count],
+        }
+    }
+
+    /// Fold one run in.
+    pub fn add_sample(&mut self, s: &SweepSample) {
+        self.samples += 1;
+        self.total_bytes += s.total_bytes;
+        self.lost_bytes += s.lost_bytes;
+        self.errors += s.errors;
+        self.corrupt_records += s.corrupt_records;
+        self.adaptive_writes += s.adaptive_writes;
+        for &(ost, bytes) in &s.ost_bytes {
+            let i = ost as usize;
+            assert!(i < self.ost_count, "OST {i} out of range");
+            self.per_ost_bytes[i] += bytes;
+            self.per_ost_writes[i] += 1;
+        }
+        if s.failed {
+            self.failed_samples += 1;
+            return;
+        }
+        self.bandwidth.add(s.bandwidth);
+        self.write_span.add(s.write_span);
+        self.write_time_std.add(s.write_time_std);
+        self.imbalance.add(s.imbalance);
+    }
+
+    /// Exact merge of another worker's sink. Panics on OST-count
+    /// mismatch (different machines cannot share a sweep).
+    pub fn merge(&mut self, other: &SweepSink) {
+        assert_eq!(
+            self.ost_count, other.ost_count,
+            "merging sinks from different machines"
+        );
+        self.samples += other.samples;
+        self.failed_samples += other.failed_samples;
+        self.bandwidth.merge(&other.bandwidth);
+        self.write_span.merge(&other.write_span);
+        self.write_time_std.merge(&other.write_time_std);
+        self.imbalance.merge(&other.imbalance);
+        self.total_bytes += other.total_bytes;
+        self.lost_bytes += other.lost_bytes;
+        self.errors += other.errors;
+        self.corrupt_records += other.corrupt_records;
+        self.adaptive_writes += other.adaptive_writes;
+        for (a, b) in self.per_ost_bytes.iter_mut().zip(&other.per_ost_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.per_ost_writes.iter_mut().zip(&other.per_ost_writes) {
+            *a += b;
+        }
+    }
+
+    /// Total samples folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Samples that produced no usable records.
+    pub fn failed_samples(&self) -> u64 {
+        self.failed_samples
+    }
+
+    /// Aggregate bandwidth distribution (bytes/sec).
+    pub fn bandwidth(&self) -> &MetricAcc {
+        &self.bandwidth
+    }
+
+    /// Write-span distribution (seconds).
+    pub fn write_span(&self) -> &MetricAcc {
+        &self.write_span
+    }
+
+    /// Per-writer write-time standard deviation distribution (seconds).
+    pub fn write_time_std(&self) -> &MetricAcc {
+        &self.write_time_std
+    }
+
+    /// Imbalance-factor distribution.
+    pub fn imbalance(&self) -> &MetricAcc {
+        &self.imbalance
+    }
+
+    /// Total bytes written across all samples.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Per-OST cumulative bytes across the sweep.
+    pub fn per_ost_bytes(&self) -> &[u64] {
+        &self.per_ost_bytes
+    }
+
+    /// Cross-OST load imbalance over the whole sweep: max OST bytes over
+    /// mean OST bytes (1.0 = perfectly even; 0.0 if nothing was
+    /// written).
+    pub fn ost_load_imbalance(&self) -> f64 {
+        let max = self.per_ost_bytes.iter().max().copied().unwrap_or(0);
+        if max == 0 {
+            return 0.0;
+        }
+        let mean = self.total_bytes as f64 / self.ost_count as f64;
+        max as f64 / mean
+    }
+
+    /// Full JSON report. Byte-identical for any add/merge tree covering
+    /// the same multiset of samples.
+    pub fn report(&self) -> Value {
+        let busiest = self
+            .per_ost_bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, b)| (*b, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        json!({
+            "samples": self.samples,
+            "failed_samples": self.failed_samples,
+            "bandwidth": self.bandwidth.to_json(),
+            "write_span": self.write_span.to_json(),
+            "write_time_std": self.write_time_std.to_json(),
+            "imbalance": self.imbalance.to_json(),
+            "total_bytes": self.total_bytes,
+            "lost_bytes": self.lost_bytes,
+            "errors": self.errors,
+            "corrupt_records": self.corrupt_records,
+            "adaptive_writes": self.adaptive_writes,
+            "ost_count": self.ost_count,
+            "ost_load_imbalance": self.ost_load_imbalance(),
+            "busiest_ost": busiest,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random sample stream (xorshift64*; no
+    /// external RNG dependency in this crate).
+    fn synth_samples(n: usize, seed0: u64) -> Vec<SweepSample> {
+        let mut state = seed0 | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        (0..n)
+            .map(|i| {
+                let r = next();
+                let frac = |x: u64| (x % 10_000) as f64 / 10_000.0;
+                let bw = 1e8 + 9e8 * frac(r);
+                let span = 0.5 + 10.0 * frac(r >> 13);
+                SweepSample {
+                    seed: i as u64,
+                    bandwidth: bw,
+                    write_span: span,
+                    write_time_std: 1e-3 + frac(r >> 29),
+                    imbalance: 1.0 + 6.0 * frac(r >> 41),
+                    total_bytes: (bw * span) as u64,
+                    lost_bytes: r % 3,
+                    errors: r % 2,
+                    corrupt_records: r % 5,
+                    adaptive_writes: r % 17,
+                    failed: r % 37 == 0,
+                    ost_bytes: vec![
+                        ((r % 8) as u32, 1000 + r % 999),
+                        (((r >> 7) % 8) as u32, 500 + r % 499),
+                    ],
+                }
+            })
+            .collect()
+    }
+
+    fn serial_sink(samples: &[SweepSample]) -> SweepSink {
+        let mut sink = SweepSink::new(8);
+        for s in samples {
+            sink.add_sample(s);
+        }
+        sink
+    }
+
+    /// The satellite property: distributing samples across per-worker
+    /// sinks and merging them in *any* order yields a report
+    /// byte-identical to one serial sink — histograms, percentiles,
+    /// means, everything.
+    #[test]
+    fn merge_any_order_matches_serial_sink() {
+        let samples = synth_samples(400, 0xFEED_5EED);
+        let want = serial_sink(&samples).report().to_string();
+        for workers in [2usize, 3, 5, 8] {
+            // Simulate dynamic claiming: worker w gets a pseudo-random
+            // subset, not a contiguous chunk.
+            let mut parts: Vec<SweepSink> = (0..workers).map(|_| SweepSink::new(8)).collect();
+            for (i, s) in samples.iter().enumerate() {
+                parts[(i * 2654435761) % workers].add_sample(s);
+            }
+            // Merge orders: forward, reverse, middle-out.
+            let orders: Vec<Vec<usize>> = vec![
+                (0..workers).collect(),
+                (0..workers).rev().collect(),
+                (0..workers).map(|i| (i + workers / 2) % workers).collect(),
+            ];
+            for order in orders {
+                let mut merged = SweepSink::new(8);
+                for &w in &order {
+                    merged.merge(&parts[w]);
+                }
+                assert_eq!(
+                    merged.report().to_string(),
+                    want,
+                    "workers={workers} order={order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_order_does_not_matter_either() {
+        let samples = synth_samples(200, 0xA11CE);
+        let want = serial_sink(&samples).report().to_string();
+        let mut rev = samples.clone();
+        rev.reverse();
+        assert_eq!(serial_sink(&rev).report().to_string(), want);
+    }
+
+    #[test]
+    fn counters_and_failures_accumulate() {
+        let samples = synth_samples(100, 7);
+        let sink = serial_sink(&samples);
+        assert_eq!(sink.samples(), 100);
+        let failed = samples.iter().filter(|s| s.failed).count() as u64;
+        assert_eq!(sink.failed_samples(), failed);
+        assert_eq!(sink.bandwidth().n(), 100 - failed);
+        let bytes: u64 = samples.iter().map(|s| s.total_bytes).sum();
+        assert_eq!(sink.total_bytes(), bytes);
+        let per_ost: u64 = sink.per_ost_bytes().iter().sum();
+        let expect: u64 = samples
+            .iter()
+            .flat_map(|s| s.ost_bytes.iter().map(|&(_, b)| b))
+            .sum();
+        assert_eq!(per_ost, expect);
+    }
+
+    #[test]
+    fn metric_statistics_match_direct_computation() {
+        let xs: Vec<f64> = (1..=50).map(|i| 100.0 + i as f64 * 3.5).collect();
+        let mut acc = MetricAcc::new();
+        for &x in &xs {
+            acc.add(x);
+        }
+        let s = crate::Summary::of(&xs);
+        assert!((acc.mean() - s.mean).abs() < 1e-9);
+        assert!((acc.std_dev() - s.std_dev).abs() < 1e-9);
+        assert_eq!(acc.min(), s.min);
+        assert_eq!(acc.max(), s.max);
+        assert_eq!(acc.n(), 50);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_quantiles() {
+        let xs: Vec<f64> = (0..1000).map(|i| 1.0 + i as f64).collect();
+        let mut h = LogHistogram::new();
+        for &x in &xs {
+            h.add(x);
+        }
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let exact = crate::quantile(&xs, q);
+            let approx = h.quantile(q);
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.05, "q={q}: approx {approx} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let mut h = LogHistogram::new();
+        assert!(h.quantile(0.5).is_nan());
+        h.add(0.0);
+        h.add(1e-300); // below window → underflow bucket
+        h.add(1e300); // above window → overflow bucket
+        h.add(f64::NAN); // excluded
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), f64::from_bits(E_HI << 52));
+    }
+
+    #[test]
+    fn empty_sink_reports_cleanly() {
+        let sink = SweepSink::new(4);
+        assert_eq!(sink.samples(), 0);
+        assert_eq!(sink.bandwidth().mean(), 0.0);
+        assert_eq!(sink.ost_load_imbalance(), 0.0);
+        // Report must not panic and must be stable.
+        assert_eq!(sink.report().to_string(), sink.report().to_string());
+    }
+
+    #[test]
+    #[should_panic(expected = "different machines")]
+    fn merging_mismatched_ost_counts_panics() {
+        let mut a = SweepSink::new(4);
+        a.merge(&SweepSink::new(8));
+    }
+}

@@ -6,33 +6,91 @@
 //! each input index owns a dedicated result slot, and the caller gets the
 //! results back in input order regardless of which worker finished first.
 //!
+//! Two primitives are provided:
+//!
+//! * [`par_map`] / [`par_map_threads`] — collect all results into a
+//!   `Vec<U>` in input order. Memory grows with the item count.
+//! * [`par_fold`] / [`par_fold_threads`] — the fleet-sweep shape: workers
+//!   claim item indices dynamically from a shared counter (so one slow
+//!   item never idles a chunk's worth of workers), each worker carries a
+//!   private mutable scratch state it reuses across items, and finished
+//!   results stream through a **bounded reorder ring** to a single fold
+//!   callback that runs on the caller thread in strict input order.
+//!   Because the fold order is the input order no matter how work was
+//!   scheduled, even non-associative folds (floating-point accumulation,
+//!   streaming statistics) are byte-identical to a serial run and
+//!   independent of the thread count — and peak memory is bounded by the
+//!   ring window, not the item count.
+//!
 //! Thread count comes from the `MANAGED_IO_THREADS` environment variable
 //! (`MANAGED_IO_THREADS=1` opts out of parallelism entirely), defaulting
-//! to [`std::thread::available_parallelism`]. Only `std` threads are
-//! used — no external runtime.
+//! to [`std::thread::available_parallelism`]. Invalid values (`0`, empty,
+//! non-numeric) are rejected with a one-time warning and fall back to the
+//! detected core count rather than silently misbehaving. Only `std`
+//! threads are used — no external runtime.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Environment variable controlling the worker thread count.
 pub const THREADS_ENV: &str = "MANAGED_IO_THREADS";
 
+/// Parse a thread-count setting as found in [`THREADS_ENV`].
+///
+/// Accepts a positive integer with surrounding whitespace. Rejects the
+/// empty string, non-numeric input, and `0` (which would mean "no
+/// workers" — an invalid request, not a real configuration) with a
+/// human-readable reason.
+pub fn parse_threads(raw: &str) -> Result<usize, &'static str> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return Err("is empty");
+    }
+    match s.parse::<usize>() {
+        Ok(0) => Err("is 0, but at least one worker thread is required"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("is not a positive integer"),
+    }
+}
+
 /// Resolve the worker thread count.
 ///
-/// Reads [`THREADS_ENV`]; unset, empty, unparsable, or `0` falls back to
-/// the machine's available parallelism (itself falling back to 1).
+/// Reads [`THREADS_ENV`] through [`parse_threads`]; unset means the
+/// machine's available parallelism. An *invalid* value (empty, garbage,
+/// or `0`) also falls back to the detected core count, but prints a
+/// one-time warning to stderr naming the rejected value — a typo in the
+/// env var should be visible, not silently absorbed.
 pub fn threads() -> usize {
     match std::env::var(THREADS_ENV) {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => default_threads(),
+        Ok(s) => match parse_threads(&s) {
+            Ok(n) => n,
+            Err(why) => {
+                let fallback = default_threads();
+                warn_bad_threads(&s, why, fallback);
+                fallback
+            }
         },
-        Err(_) => default_threads(),
+        Err(std::env::VarError::NotPresent) => default_threads(),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            let fallback = default_threads();
+            warn_bad_threads("<non-unicode>", "is not valid unicode", fallback);
+            fallback
+        }
     }
 }
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn warn_bad_threads(raw: &str, why: &str, fallback: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: {THREADS_ENV}={raw:?} {why}; \
+             falling back to detected parallelism ({fallback} thread(s))"
+        );
+    });
 }
 
 /// Map `f` over `items`, in parallel, preserving input order.
@@ -105,6 +163,237 @@ where
         .collect()
 }
 
+/// Streaming parallel fold with per-worker scratch state: the fleet-sweep
+/// primitive, at the env-selected thread count. See [`par_fold_threads`].
+pub fn par_fold<T, U, W, FW, FJ, FO>(items: Vec<T>, worker_state: FW, job: FJ, fold: FO)
+where
+    T: Send,
+    U: Send,
+    FW: Fn() -> W + Sync,
+    FJ: Fn(&mut W, T) -> U + Sync,
+    FO: FnMut(U),
+{
+    par_fold_threads(threads(), items, worker_state, job, fold)
+}
+
+/// Streaming parallel fold with an explicit worker count.
+///
+/// Each of the `nthreads` workers builds one private `W` via
+/// `worker_state()` (on its own thread, reused across every item it
+/// claims — the arena-reset pattern), then repeatedly claims the next
+/// unprocessed item index from a shared atomic counter and runs
+/// `job(&mut w, item)`. Results travel through a bounded reorder ring to
+/// the caller thread, where `fold` consumes them in **strict input
+/// order**: `fold` sees exactly the sequence a serial run would produce,
+/// so arbitrary (even non-associative) accumulation is deterministic and
+/// thread-count-independent by construction. Workers that run more than
+/// a ring-window ahead of the fold cursor block, bounding peak memory at
+/// `O(window)` results instead of `O(items)`.
+///
+/// With `nthreads <= 1` (or fewer than two items) this degenerates to a
+/// plain serial loop over one `W` — the reference behaviour the parallel
+/// path must reproduce byte-identically.
+///
+/// A panic in `worker_state` or `job` aborts the whole fold and
+/// propagates to the caller; remaining items are not processed.
+pub fn par_fold_threads<T, U, W, FW, FJ, FO>(
+    nthreads: usize,
+    items: Vec<T>,
+    worker_state: FW,
+    job: FJ,
+    mut fold: FO,
+) where
+    T: Send,
+    U: Send,
+    FW: Fn() -> W + Sync,
+    FJ: Fn(&mut W, T) -> U + Sync,
+    FO: FnMut(U),
+{
+    let n = items.len();
+    if nthreads <= 1 || n <= 1 {
+        let mut w = worker_state();
+        for t in items {
+            fold(job(&mut w, t));
+        }
+        return;
+    }
+
+    let workers = nthreads.min(n);
+    // Ring window: enough slack that workers rarely stall on the folder,
+    // small enough that memory stays flat in the item count.
+    let window = 2 * workers + 2;
+
+    struct Ring<U> {
+        slots: Vec<Option<U>>,
+        /// Next index the folder will consume; workers may deposit
+        /// indices in `[head, head + window)` only.
+        head: usize,
+        aborted: bool,
+    }
+
+    // Items live in per-index claim slots, as in `par_map_threads`: the
+    // shared atomic counter decides who runs which index, never where the
+    // result ends up.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let ring = Mutex::new(Ring::<U> {
+        slots: (0..window).map(|_| None).collect(),
+        head: 0,
+        aborted: false,
+    });
+    let space = Condvar::new(); // signalled when `head` advances
+    let fill = Condvar::new(); // signalled when a slot is deposited
+    let next = AtomicUsize::new(0);
+    let (worker_state, job) = (&worker_state, &job);
+    let (inputs, ring, space, fill, next) = (&inputs, &ring, &space, &fill, &next);
+
+    /// On panic (detected via drop-during-unwind), mark the ring aborted
+    /// and wake everyone so neither side deadlocks waiting for the other.
+    struct AbortGuard<'a, U> {
+        ring: &'a Mutex<Ring<U>>,
+        space: &'a Condvar,
+        fill: &'a Condvar,
+    }
+    impl<U> Drop for AbortGuard<'_, U> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                if let Ok(mut st) = self.ring.lock() {
+                    st.aborted = true;
+                }
+                self.space.notify_all();
+                self.fill.notify_all();
+            }
+        }
+    }
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || {
+                let _guard = AbortGuard { ring, space, fill };
+                let mut w = worker_state();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i].lock().unwrap().take().expect("item claimed once");
+                    let u = job(&mut w, item);
+                    let mut st = ring.lock().unwrap();
+                    while i >= st.head + window {
+                        if st.aborted {
+                            return;
+                        }
+                        st = space.wait(st).unwrap();
+                    }
+                    if st.aborted {
+                        return;
+                    }
+                    st.slots[i % window] = Some(u);
+                    drop(st);
+                    fill.notify_all();
+                }
+            });
+        }
+
+        // The caller thread is the folder: strict in-order consumption.
+        let _guard = AbortGuard { ring, space, fill };
+        for k in 0..n {
+            let u = {
+                let mut st = ring.lock().unwrap();
+                loop {
+                    assert!(!st.aborted, "par_fold worker panicked");
+                    if let Some(u) = st.slots[k % window].take() {
+                        st.head = k + 1;
+                        break u;
+                    }
+                    st = fill.wait(st).unwrap();
+                }
+            };
+            space.notify_all();
+            fold(u);
+        }
+    });
+}
+
+/// Work-stealing fold into per-worker accumulators, at the env-selected
+/// thread count. See [`par_fold_workers_threads`].
+pub fn par_fold_workers<T, W, FW, FJ>(items: Vec<T>, worker_state: FW, job: FJ) -> Vec<W>
+where
+    T: Send,
+    W: Send,
+    FW: Fn() -> W + Sync,
+    FJ: Fn(&mut W, T) + Sync,
+{
+    par_fold_workers_threads(threads(), items, worker_state, job)
+}
+
+/// Work-stealing fold into per-worker accumulators.
+///
+/// Each worker builds one private `W` via `worker_state()`, dynamically
+/// claims item indices from a shared atomic counter (so a slow item never
+/// idles a chunk's worth of workers), and folds every claimed item into
+/// its own state with `job(&mut w, item)`. When the items are exhausted
+/// the caller gets all worker states back to merge.
+///
+/// Unlike [`par_fold_threads`] there is no cross-thread result traffic at
+/// all — no reorder ring, no per-item channel. The trade is that which
+/// items land in which `W` depends on scheduling, so this shape is only
+/// deterministic when the accumulator's merge is **exactly
+/// order-independent** (integer counters, idempotent extrema,
+/// superaccumulator sums, mergeable histograms — e.g. a sweep statistics
+/// sink). Under that contract the merged result is byte-identical to a
+/// serial run at any thread count.
+///
+/// With `nthreads <= 1` (or fewer than two items) this runs serially and
+/// returns a single `W`.
+pub fn par_fold_workers_threads<T, W, FW, FJ>(
+    nthreads: usize,
+    items: Vec<T>,
+    worker_state: FW,
+    job: FJ,
+) -> Vec<W>
+where
+    T: Send,
+    W: Send,
+    FW: Fn() -> W + Sync,
+    FJ: Fn(&mut W, T) + Sync,
+{
+    let n = items.len();
+    if nthreads <= 1 || n <= 1 {
+        let mut w = worker_state();
+        for t in items {
+            job(&mut w, t);
+        }
+        return vec![w];
+    }
+
+    let workers = nthreads.min(n);
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let states: Mutex<Vec<W>> = Mutex::new(Vec::with_capacity(workers));
+    let (worker_state, job) = (&worker_state, &job);
+    {
+        let (inputs, next, states) = (&inputs, &next, &states);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || {
+                    let mut w = worker_state();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = inputs[i].lock().unwrap().take().expect("item claimed once");
+                        job(&mut w, item);
+                    }
+                    states.lock().unwrap().push(w);
+                });
+            }
+        });
+    }
+
+    states.into_inner().unwrap()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +425,177 @@ mod tests {
     fn non_clone_results_move_through() {
         let got = par_map_threads(2, vec!["a", "bb", "ccc"], |s| s.to_string());
         assert_eq!(got, vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("8"), Ok(8));
+        assert_eq!(parse_threads(" 12 "), Ok(12));
+        assert_eq!(parse_threads("\t3\n"), Ok(3));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_empty_and_garbage() {
+        assert!(parse_threads("0").is_err());
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("   ").is_err());
+        assert!(parse_threads("abc").is_err());
+        assert!(parse_threads("-1").is_err());
+        assert!(parse_threads("2.5").is_err());
+        assert!(parse_threads("8 threads").is_err());
+    }
+
+    /// The only test in this binary that touches the env var (no
+    /// cross-test race): invalid settings fall back to the detected core
+    /// count instead of silently running serial or panicking.
+    #[test]
+    fn threads_env_fallback_on_invalid_values() {
+        let fallback = super::default_threads();
+        for bad in ["0", "", "garbage", "-4"] {
+            std::env::set_var(THREADS_ENV, bad);
+            assert_eq!(threads(), fallback, "env={bad:?}");
+        }
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(threads(), 3);
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(threads(), fallback);
+    }
+
+    #[test]
+    fn par_fold_folds_in_input_order() {
+        // String concatenation is order-sensitive: any reordering or
+        // dropped item changes the result.
+        let items: Vec<u64> = (0..97).collect();
+        let mut expect = String::new();
+        for i in &items {
+            expect.push_str(&format!("{i},"));
+        }
+        for nt in [1, 2, 3, 8, 16] {
+            let mut got = String::new();
+            par_fold_threads(
+                nt,
+                items.clone(),
+                || (),
+                |_, i| format!("{i},"),
+                |s| got.push_str(&s),
+            );
+            assert_eq!(got, expect, "nthreads={nt}");
+        }
+    }
+
+    #[test]
+    fn par_fold_is_bit_identical_for_float_accumulation() {
+        // Mixed-magnitude running sum: float addition is non-associative,
+        // so this only passes if the fold order is exactly the input
+        // order at every thread count.
+        let items: Vec<f64> = (0..301)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64) * 1e-3 + 1e12 * ((i % 7) as f64))
+            .collect();
+        let mut serial = 0.0f64;
+        for &x in &items {
+            serial += x * 1.0000001;
+        }
+        for nt in [2, 4, 8] {
+            let mut sum = 0.0f64;
+            par_fold_threads(nt, items.clone(), || (), |_, x| x * 1.0000001, |y| sum += y);
+            assert_eq!(sum.to_bits(), serial.to_bits(), "nthreads={nt}");
+        }
+    }
+
+    #[test]
+    fn par_fold_reuses_worker_state_across_items() {
+        // Each worker counts the items it processed in its private state;
+        // results carry the observed per-worker counter so we can verify
+        // state actually persisted across claims (counter > 1 for some
+        // worker when items >> workers).
+        let n = 64usize;
+        let mut per_item_counts = Vec::new();
+        par_fold_threads(
+            2,
+            (0..n).collect::<Vec<_>>(),
+            || 0usize,
+            |count, _| {
+                *count += 1;
+                *count
+            },
+            |c| per_item_counts.push(c),
+        );
+        assert_eq!(per_item_counts.len(), n);
+        let max = per_item_counts.iter().max().copied().unwrap();
+        assert!(max >= n / 2, "worker state was not reused (max count {max})");
+    }
+
+    #[test]
+    fn par_fold_handles_empty_and_single() {
+        let mut seen = Vec::new();
+        par_fold_threads(4, Vec::<u32>::new(), || (), |_, x| x, |x| seen.push(x));
+        assert!(seen.is_empty());
+        par_fold_threads(4, vec![7u32], || (), |_, x| x + 1, |x| seen.push(x));
+        assert_eq!(seen, vec![8]);
+    }
+
+    #[test]
+    fn par_fold_propagates_worker_panics() {
+        let res = std::panic::catch_unwind(|| {
+            par_fold_threads(
+                4,
+                (0..100u32).collect::<Vec<_>>(),
+                || (),
+                |_, i| {
+                    if i == 37 {
+                        panic!("boom");
+                    }
+                    i
+                },
+                |_| {},
+            );
+        });
+        assert!(res.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn par_fold_workers_covers_every_item_exactly_once() {
+        // Sum and count are order-independent accumulators; the merged
+        // totals must match serial at any thread count, and every item
+        // must be consumed exactly once.
+        let items: Vec<u64> = (0..513).collect();
+        let want_sum: u64 = items.iter().sum();
+        for nt in [1, 2, 3, 8, 32] {
+            let parts = par_fold_workers_threads(
+                nt,
+                items.clone(),
+                || (0u64, 0u64),
+                |(sum, count), x| {
+                    *sum += x;
+                    *count += 1;
+                },
+            );
+            assert!(parts.len() <= nt.max(1));
+            let sum: u64 = parts.iter().map(|(s, _)| s).sum();
+            let count: u64 = parts.iter().map(|(_, c)| c).sum();
+            assert_eq!(sum, want_sum, "nthreads={nt}");
+            assert_eq!(count, items.len() as u64, "nthreads={nt}");
+        }
+    }
+
+    #[test]
+    fn par_fold_workers_reuses_state_across_claims() {
+        let parts = par_fold_workers_threads(2, (0..64u32).collect(), || 0u32, |c, _| *c += 1);
+        let max = parts.iter().max().copied().unwrap();
+        assert!(max >= 32, "worker state was not reused (max {max})");
+    }
+
+    #[test]
+    fn par_fold_matches_serial_with_more_threads_than_items() {
+        let mut got = Vec::new();
+        par_fold_threads(
+            32,
+            vec![10u32, 20, 30],
+            || (),
+            |_, x| x / 10,
+            |x| got.push(x),
+        );
+        assert_eq!(got, vec![1, 2, 3]);
     }
 }

@@ -136,6 +136,22 @@ pub mod slab {
             }
         }
 
+        /// Return the queue to its freshly-constructed state while keeping
+        /// the slab, free-list and heap capacity — fleet sweeps reset one
+        /// queue per seed instead of reallocating it. Behaviour after a
+        /// reset is indistinguishable from a new queue; any [`EventToken`]s
+        /// issued before the reset must be discarded by the owner (they may
+        /// alias fresh events).
+        pub fn reset(&mut self) {
+            self.slots.clear();
+            self.free.clear();
+            self.heap.clear();
+            self.heap_dead = 0;
+            self.live = 0;
+            self.next_seq = 1;
+            self.now = SimTime::ZERO;
+        }
+
         /// Current simulated time: the timestamp of the most recently
         /// popped event (or zero before the first pop).
         pub fn now(&self) -> SimTime {
@@ -410,6 +426,16 @@ pub mod baseline {
             }
         }
 
+        /// Return the queue to its freshly-constructed state while keeping
+        /// heap and set capacity. Tokens issued before the reset must be
+        /// discarded by the owner (they may alias fresh events).
+        pub fn reset(&mut self) {
+            self.heap.clear();
+            self.pending.clear();
+            self.next_seq = 0;
+            self.now = SimTime::ZERO;
+        }
+
         /// Current simulated time.
         pub fn now(&self) -> SimTime {
             self.now
@@ -652,6 +678,27 @@ mod tests {
                     }
                     assert_eq!(wakes, 1);
                     assert!(q.is_empty());
+                }
+
+                #[test]
+                fn reset_restores_a_fresh_queue() {
+                    let mut q = <$q>::new();
+                    let a = q.schedule(t(10), 0u64);
+                    q.schedule(t(20), 1);
+                    q.schedule(t(30), 2);
+                    q.cancel(a);
+                    q.pop();
+                    q.reset();
+                    assert_eq!(q.now(), SimTime::ZERO);
+                    assert!(q.is_empty());
+                    assert_eq!(q.peek_time(), None);
+                    assert!(q.pop().is_none());
+                    // Scheduling before the old `now` works again, and
+                    // FIFO tie-breaking restarts cleanly.
+                    q.schedule(t(5), 10);
+                    q.schedule(t(5), 11);
+                    assert_eq!(q.pop().unwrap(), (t(5), 10));
+                    assert_eq!(q.pop().unwrap(), (t(5), 11));
                 }
 
                 #[test]

@@ -40,6 +40,15 @@ impl CompetingLoad {
         let first = self.first_ost;
         (0..self.width.min(ost_count)).map(move |i| (first + i) % ost_count)
     }
+
+    /// Whether this job covers `ost` — O(1) arithmetic on the wrapped
+    /// contiguous range, equivalent to scanning [`Self::osts`]. The hot
+    /// path: slowdown recomputation asks this for every OST on every
+    /// noise or job transition, and a linear scan over job widths made
+    /// that quadratic on wide machines.
+    pub fn covers(&self, ost: usize, ost_count: usize) -> bool {
+        (ost + ost_count - self.first_ost % ost_count) % ost_count < self.width.min(ost_count)
+    }
 }
 
 /// Generator of competing-job episodes.
@@ -135,6 +144,30 @@ mod tests {
         };
         let osts: Vec<usize> = job.osts(672).collect();
         assert_eq!(osts, vec![670, 671, 0, 1, 2], "wraps around");
+    }
+
+    #[test]
+    fn covers_agrees_with_the_ost_scan() {
+        let mut rng = Rng::new(3);
+        let m = model();
+        for _ in 0..200 {
+            let (job, _) = m.spawn(&mut rng);
+            for count in [1usize, 2, 7, 672] {
+                let job = CompetingLoad {
+                    first_ost: job.first_ost % count,
+                    ..job.clone()
+                };
+                for ost in 0..count {
+                    assert_eq!(
+                        job.covers(ost, count),
+                        job.osts(count).any(|o| o == ost),
+                        "first {} width {} ost {ost}/{count}",
+                        job.first_ost,
+                        job.width
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -147,21 +147,67 @@ impl FileSystem {
     /// reads the bump is a harmless no-op because reads land within the
     /// existing size in all our workloads).
     pub fn map_range(&mut self, id: FileId, offset: u64, len: u64) -> Vec<(OstId, u64)> {
+        let mut counts = Vec::new();
+        let mut out = Vec::new();
+        self.map_range_into(id, offset, len, &mut counts, &mut out);
+        out
+    }
+
+    /// Non-allocating [`FileSystem::map_range`]: writes the chunks into
+    /// `out` (cleared first) using `counts` as per-stripe scratch, so the
+    /// per-write hot path of a sweep reuses the caller's buffers.
+    pub fn map_range_into(
+        &mut self,
+        id: FileId,
+        offset: u64,
+        len: u64,
+        counts: &mut Vec<u64>,
+        out: &mut Vec<(OstId, u64)>,
+    ) {
         let meta = &mut self.files[id.0 as usize];
         meta.size = meta.size.max(offset + len);
-        map_stripes(meta.stripe_size, &meta.osts, offset, len)
+        map_stripes_into(meta.stripe_size, &meta.osts, offset, len, counts, out);
+    }
+
+    /// Zero every file's size high-water mark, keeping the file table,
+    /// stripe assignments and allocation cursor intact. A sweep replays an
+    /// identical per-seed workload against identical files, so reusing the
+    /// table (names, `FileId`s, placements) skips the per-seed create path
+    /// entirely.
+    pub fn reset_sizes(&mut self) {
+        for f in &mut self.files {
+            f.size = 0;
+        }
     }
 }
 
 /// Pure striping arithmetic: how many bytes of `[offset, offset+len)` land
 /// on each OST of a `stripe_size`-striped file.
 pub fn map_stripes(stripe_size: u64, osts: &[OstId], offset: u64, len: u64) -> Vec<(OstId, u64)> {
+    let mut counts = Vec::new();
+    let mut out = Vec::new();
+    map_stripes_into(stripe_size, osts, offset, len, &mut counts, &mut out);
+    out
+}
+
+/// Buffer-reusing form of [`map_stripes`]: `counts` is per-stripe-slot
+/// scratch, `out` receives the `(ost, bytes)` chunks (cleared first).
+pub fn map_stripes_into(
+    stripe_size: u64,
+    osts: &[OstId],
+    offset: u64,
+    len: u64,
+    counts: &mut Vec<u64>,
+    out: &mut Vec<(OstId, u64)>,
+) {
     assert!(!osts.is_empty());
+    out.clear();
     if len == 0 {
-        return Vec::new();
+        return;
     }
     let n = osts.len() as u64;
-    let mut per_ost: Vec<u64> = vec![0; osts.len()];
+    counts.clear();
+    counts.resize(osts.len(), 0);
     // Walk stripe-aligned pieces. For large ranges this is
     // O(len/stripe_size); ranges in the simulator are at most a few GiB
     // with MiB stripes, i.e. a few thousand iterations.
@@ -172,14 +218,15 @@ pub fn map_stripes(stripe_size: u64, osts: &[OstId], offset: u64, len: u64) -> V
         let within = pos % stripe_size;
         let take = (stripe_size - within).min(end - pos);
         let ost_slot = (stripe_idx % n) as usize;
-        per_ost[ost_slot] += take;
+        counts[ost_slot] += take;
         pos += take;
     }
-    osts.iter()
-        .zip(per_ost)
-        .filter(|&(_, b)| b > 0)
-        .map(|(&o, b)| (o, b))
-        .collect()
+    out.extend(
+        osts.iter()
+            .zip(counts.iter())
+            .filter(|&(_, &b)| b > 0)
+            .map(|(&o, &b)| (o, b)),
+    );
 }
 
 #[cfg(test)]
@@ -291,6 +338,39 @@ mod tests {
         assert_eq!(f.meta(id).size, 11 * MIB);
         f.map_range(id, 0, MIB); // rewrite below high-water mark
         assert_eq!(f.meta(id).size, 11 * MIB);
+    }
+
+    #[test]
+    fn map_range_into_matches_allocating_form() {
+        let mut f = fs();
+        let id = f.create("x", StripeSpec::Count(4));
+        let mut counts = Vec::new();
+        let mut out = Vec::new();
+        for (off, len) in [(0u64, 8 * MIB), (MIB / 2, MIB), (3 * MIB + 7, 11 * MIB), (5, 0)] {
+            let mut g = f.clone();
+            let expect = g.map_range(id, off, len);
+            f.map_range_into(id, off, len, &mut counts, &mut out);
+            assert_eq!(out, expect, "off {off} len {len}");
+        }
+    }
+
+    #[test]
+    fn reset_sizes_keeps_layout_and_zeroes_sizes() {
+        let mut f = fs();
+        let a = f.create("a", StripeSpec::Count(4));
+        let b = f.create("b", StripeSpec::Pinned(vec![OstId(7)]));
+        f.map_range(a, 0, 10 * MIB);
+        f.map_range(b, 0, MIB);
+        let osts_a = f.meta(a).osts.clone();
+        f.reset_sizes();
+        assert_eq!(f.file_count(), 2, "file table survives");
+        assert_eq!(f.meta(a).size, 0);
+        assert_eq!(f.meta(b).size, 0);
+        assert_eq!(f.meta(a).osts, osts_a, "placements survive");
+        // The allocation cursor is untouched: the next create continues
+        // the round-robin exactly where it left off.
+        let c = f.create("c", StripeSpec::Count(4));
+        assert_eq!(f.meta(c).osts[0], OstId(4));
     }
 
     #[test]

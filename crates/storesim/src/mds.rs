@@ -82,6 +82,15 @@ impl Mds {
         }
     }
 
+    /// Return the server to its freshly-constructed state, keeping the
+    /// queue's capacity so a sweep can reuse one MDS per seed without
+    /// allocating.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.in_service = None;
+        self.frozen = None;
+    }
+
     /// Begin an outage: the in-service operation is suspended with its
     /// remaining service time remembered, queued operations wait.
     pub fn freeze(&mut self, now: SimTime) {

@@ -63,6 +63,20 @@ impl RefOst {
         }
     }
 
+    /// Return the target to its freshly-constructed state, keeping the
+    /// stream vector's capacity so a sweep can reuse one OST per seed
+    /// without allocating.
+    pub fn reset(&mut self) {
+        self.streams.clear();
+        self.noise_factor = 1.0;
+        self.frozen = false;
+        self.cache_reserved = 0.0;
+        self.cache_landed = 0.0;
+        self.last_settle = SimTime::ZERO;
+        self.n_disk = 0;
+        self.n_cache = 0;
+    }
+
     /// Number of in-flight streams.
     pub fn active_streams(&self) -> usize {
         self.streams.len()

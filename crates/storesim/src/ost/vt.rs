@@ -113,19 +113,40 @@ impl Keyed for PendingStream {
     }
 }
 
-/// A deterministic 4-ary min-heap (same shape as `simcore::queue`'s slab
-/// heap, minus the cancellation machinery — tags are immutable, so
-/// nothing is ever removed except at the top or wholesale).
+/// A deterministic min-heap (same shape as `simcore::queue`'s slab heap,
+/// minus the cancellation machinery — tags are immutable, so nothing is
+/// ever removed except at the top or wholesale).
+///
+/// ## Small-width fast path
+///
+/// Up to [`MinHeap::SMALL_MAX`] elements the items stay an *unsorted*
+/// vector: `push` is a plain append and `pop`/`peek` do a linear min
+/// scan over the cached `u128` keys (a handful of compares, no swaps,
+/// no branchy sift loops). Small writer counts — the W ≤ 16 drains where
+/// the 4-ary sift overhead used to lose to the reference engine — never
+/// leave this mode. Crossing the threshold heapifies once (O(n)) and the
+/// structure stays in 4-ary heap order until it drains empty. Selection
+/// is identical in both modes because keys are unique (the sequence
+/// tie-break), so the engine's completion order never depends on which
+/// mode served a pop.
 #[derive(Clone, Debug)]
 struct MinHeap<T: Keyed> {
     items: Vec<T>,
+    /// True while `items` is maintained in 4-ary heap order; false in
+    /// small mode (unsorted, linear min scans).
+    heapified: bool,
 }
 
 impl<T: Keyed> MinHeap<T> {
     const ARITY: usize = 4;
+    /// Largest population served by the unsorted linear-scan mode.
+    const SMALL_MAX: usize = 16;
 
     fn new() -> Self {
-        MinHeap { items: Vec::new() }
+        MinHeap {
+            items: Vec::new(),
+            heapified: false,
+        }
     }
 
     fn len(&self) -> usize {
@@ -136,8 +157,27 @@ impl<T: Keyed> MinHeap<T> {
         self.items.is_empty()
     }
 
+    /// Index of the minimum-key element in small mode.
+    fn min_index(&self) -> Option<usize> {
+        let mut it = self.items.iter().enumerate();
+        let (mut best, first) = it.next()?;
+        let mut best_key = first.key();
+        for (i, item) in it {
+            let k = item.key();
+            if k < best_key {
+                best = i;
+                best_key = k;
+            }
+        }
+        Some(best)
+    }
+
     fn peek(&self) -> Option<&T> {
-        self.items.first()
+        if self.heapified {
+            self.items.first()
+        } else {
+            self.min_index().map(|i| &self.items[i])
+        }
     }
 
     fn items(&self) -> &[T] {
@@ -146,11 +186,45 @@ impl<T: Keyed> MinHeap<T> {
 
     fn clear(&mut self) {
         self.items.clear();
+        self.heapified = false;
     }
 
     fn push(&mut self, item: T) {
         self.items.push(item);
-        let mut i = self.items.len() - 1;
+        if !self.heapified {
+            if self.items.len() <= Self::SMALL_MAX {
+                return;
+            }
+            // Crossed the threshold: Floyd heapify once and stay a heap
+            // until the population drains away.
+            self.heapified = true;
+            let n = self.items.len();
+            for i in (0..=(n - 2) / Self::ARITY).rev() {
+                self.sift_down(i);
+            }
+            return;
+        }
+        self.sift_up(self.items.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        if !self.heapified {
+            let i = self.min_index()?;
+            return Some(self.items.swap_remove(i));
+        }
+        debug_assert!(!self.items.is_empty(), "heap mode implies occupancy");
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let top = self.items.pop();
+        if self.items.is_empty() {
+            self.heapified = false;
+        } else {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / Self::ARITY;
             if self.items[i].key() < self.items[parent].key() {
@@ -162,14 +236,7 @@ impl<T: Keyed> MinHeap<T> {
         }
     }
 
-    fn pop(&mut self) -> Option<T> {
-        if self.items.is_empty() {
-            return None;
-        }
-        let last = self.items.len() - 1;
-        self.items.swap(0, last);
-        let top = self.items.pop();
-        let mut i = 0;
+    fn sift_down(&mut self, mut i: usize) {
         loop {
             let first = i * Self::ARITY + 1;
             if first >= self.items.len() {
@@ -192,7 +259,6 @@ impl<T: Keyed> MinHeap<T> {
                 break;
             }
         }
-        top
     }
 }
 
@@ -284,6 +350,27 @@ impl VtOst {
         };
         ost.refresh_rates();
         ost
+    }
+
+    /// Return the target to its freshly-constructed state, keeping heap
+    /// capacity and the `disk_eff` memo (a pure function of the retained
+    /// params) so a sweep can reuse one OST per seed without allocating.
+    pub fn reset(&mut self) {
+        self.noise_factor = 1.0;
+        self.frozen = false;
+        self.cache_reserved = 0.0;
+        self.cache_landed = 0.0;
+        self.last_settle = SimTime::ZERO;
+        self.n_disk = 0;
+        self.n_cache = 0;
+        self.progress = 0.0;
+        self.disk.clock = 0.0;
+        self.disk.heap.clear();
+        self.cache.clock = 0.0;
+        self.cache.heap.clear();
+        self.pending.clear();
+        self.seq = 0;
+        self.refresh_rates();
     }
 
     /// Number of in-flight streams.
@@ -649,6 +736,78 @@ mod tests {
         }
         let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|s| s.key as u64)).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn min_heap_small_mode_crosses_into_heap_mode_and_back() {
+        // Push past SMALL_MAX (forcing the one-time heapify), drain to
+        // empty (reverting to small mode), then exercise small mode again:
+        // pops must be globally key-ordered throughout.
+        let mut h: MinHeap<TaggedStream> = MinHeap::new();
+        let n = MinHeap::<TaggedStream>::SMALL_MAX * 3;
+        let mut keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 977).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            h.push(TaggedStream {
+                key: pack(k as f64, i as u64),
+                id: RequestId(i as u64),
+                bytes: 1,
+                submitted: SimTime::ZERO,
+            });
+        }
+        assert!(h.heapified, "population above SMALL_MAX must heapify");
+        keys.sort_unstable();
+        let popped: Vec<u64> =
+            std::iter::from_fn(|| h.pop().map(|s| s.tag() as u64)).collect();
+        assert_eq!(popped, keys);
+        assert!(!h.heapified, "draining empty reverts to small mode");
+        // Small mode after the round trip still orders correctly.
+        for (i, k) in [7u64, 3, 9, 1].into_iter().enumerate() {
+            h.push(TaggedStream {
+                key: pack(k as f64, i as u64),
+                id: RequestId(i as u64),
+                bytes: 1,
+                submitted: SimTime::ZERO,
+            });
+        }
+        assert!(!h.heapified);
+        let small: Vec<u64> = std::iter::from_fn(|| h.pop().map(|s| s.tag() as u64)).collect();
+        assert_eq!(small, vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_ost() {
+        // Drive a target through noise, freeze and a partial drain, reset
+        // it, and check a fresh workload completes at exactly the instants
+        // a brand-new OST would produce.
+        let p = testbed().ost;
+        let mut used = VtOst::new(p.clone());
+        for i in 0..20u64 {
+            used.submit(SimTime::ZERO, RequestId(i), MIB + i * 8192, OpKind::WriteDirect);
+        }
+        used.set_noise(SimTime::from_secs_f64(0.5), 0.3);
+        used.freeze(SimTime::from_secs_f64(1.0));
+        used.unfreeze(SimTime::from_secs_f64(2.0));
+        let at = used.next_completion().unwrap();
+        used.advance(at);
+        used.reset();
+        assert_eq!(used.active_streams(), 0);
+        assert_eq!(used.cache_used(), 0);
+        assert!(used.next_completion().is_none());
+
+        let mut fresh = VtOst::new(p);
+        for ost in [&mut used, &mut fresh] {
+            for i in 0..8u64 {
+                ost.submit(SimTime::ZERO, RequestId(i), 4 * MIB + i * 4096, OpKind::Write);
+            }
+        }
+        loop {
+            let (a, b) = (used.next_completion(), fresh.next_completion());
+            assert_eq!(a, b, "reset OST must wake at identical instants");
+            let Some(at) = a else { break };
+            let da: Vec<_> = used.advance(at).iter().map(|c| c.id).collect();
+            let db: Vec<_> = fresh.advance(at).iter().map(|c| c.id).collect();
+            assert_eq!(da, db);
+        }
     }
 
     #[test]

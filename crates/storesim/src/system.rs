@@ -118,7 +118,13 @@ pub struct StorageSystem {
     micro: Vec<NoiseProcess>,
     micro_factor: Vec<f64>,
     jobs_model: JobLoadModel,
-    active_jobs: FxHashMap<u64, CompetingLoad>,
+    /// Active competing jobs, sorted by id (ids are handed out
+    /// monotonically, so pushes keep the order). A sorted vector instead
+    /// of a hash map: [`StorageSystem::combined`] folds an f64 product
+    /// over this collection, and hash-map iteration order depends on the
+    /// map's capacity history — a reset-and-reused map could disagree
+    /// with a fresh one in the last ulp. Id order is history-independent.
+    active_jobs: Vec<(u64, CompetingLoad)>,
     next_job_id: u64,
     queue: EventQueue<Internal>,
     /// Per-OST planned wake-up: token plus the instant it fires at, so an
@@ -166,6 +172,13 @@ pub struct StorageSystem {
     ost_scratch: Vec<crate::ost::OstCompletion>,
     /// Reusable harvest buffer for MDS wakes.
     mds_scratch: Vec<crate::mds::MdsCompletion>,
+    /// Reusable buffer for the OST indices a competing job covers
+    /// (arrival/departure noise re-application).
+    covered_scratch: Vec<usize>,
+    /// Reusable per-stripe-slot scratch for file range mapping.
+    stripe_counts: Vec<u64>,
+    /// Reusable chunk list for file range mapping.
+    chunk_scratch: Vec<(OstId, u64)>,
     out: Vec<StorageCompletion>,
 }
 
@@ -215,7 +228,7 @@ impl StorageSystem {
             micro,
             micro_factor,
             jobs_model,
-            active_jobs: FxHashMap::default(),
+            active_jobs: Vec::new(),
             next_job_id: 0,
             queue,
             ost_token,
@@ -240,6 +253,9 @@ impl StorageSystem {
             torn_log: Vec::new(),
             ost_scratch: Vec::new(),
             mds_scratch: Vec::new(),
+            covered_scratch: Vec::new(),
+            stripe_counts: Vec::new(),
+            chunk_scratch: Vec::new(),
             out: Vec::new(),
         };
         sys.init_jobs();
@@ -249,6 +265,62 @@ impl StorageSystem {
             sys.osts[i].set_noise(SimTime::ZERO, f);
         }
         sys
+    }
+
+    /// Re-seed the system for a fresh run without reallocating: every
+    /// stochastic element is rebuilt in the exact construction order of
+    /// [`StorageSystem::new`] (so a reset system is byte-identical to a
+    /// fresh one for the same seed), while queues, heaps, maps and scratch
+    /// buffers keep their capacity. The file *table* survives with sizes
+    /// zeroed — sweep runs replay an identical per-seed workload, so
+    /// existing `FileId`s stay valid and the per-seed create path can be
+    /// skipped. Fault scripts are cleared; re-install per run if needed.
+    pub fn reset(&mut self, seed: u64) {
+        let mut seeder = SplitMix64::new(seed);
+        self.rng = seeder.stream();
+        self.corrupt_rng = seeder.stream();
+        self.queue.reset();
+        for i in 0..self.cfg.ost_count {
+            self.osts[i].reset();
+            let (proc_, first) = NoiseProcess::new(&self.cfg.noise.micro, &mut self.rng);
+            self.micro_factor[i] = proc_.factor();
+            if let Some(delay) = first {
+                self.queue.schedule(SimTime::ZERO + delay, Internal::MicroFlip(i));
+            }
+            self.micro[i] = proc_;
+        }
+        // `jobs_model` is seed-independent (all randomness flows through
+        // `rng` at spawn time), so it is retained as-is.
+        self.fs.reset_sizes();
+        self.mds.reset();
+        self.active_jobs.clear();
+        self.next_job_id = 0;
+        self.ost_token.iter_mut().for_each(|t| *t = None);
+        self.mds_token = None;
+        self.ops.clear();
+        self.req_to_op.clear();
+        self.background.clear();
+        self.pending_renew.clear();
+        self.degraded.fill(1.0);
+        self.brownout.fill(1.0);
+        self.health.fill(OstHealth::Healthy);
+        self.health_gen.fill(0);
+        self.error_fail_times.iter_mut().for_each(|v| v.clear());
+        self.mds_gen = 0;
+        self.fault_events.clear();
+        self.next_req = 0;
+        self.next_op = 0;
+        self.corrupt_windows.clear();
+        self.corrupt_log.clear();
+        self.torn_log.clear();
+        self.ost_scratch.clear();
+        self.mds_scratch.clear();
+        self.out.clear();
+        self.init_jobs();
+        for i in 0..self.osts.len() {
+            let f = self.combined(i);
+            self.osts[i].set_noise(SimTime::ZERO, f);
+        }
     }
 
     /// Seed the stationary competing-job population (memoryless residual
@@ -276,7 +348,7 @@ impl StorageSystem {
             let (job, dur) = self.jobs_model.spawn(&mut self.rng);
             let id = self.next_job_id;
             self.next_job_id += 1;
-            self.active_jobs.insert(id, job);
+            self.active_jobs.push((id, job));
             self.queue
                 .schedule(SimTime::ZERO + dur, Internal::JobDeparture(id));
         }
@@ -289,9 +361,9 @@ impl StorageSystem {
         let micro = self.micro_factor[i] * self.degraded[i] * self.brownout[i];
         combined_factor(
             self.active_jobs
-                .values()
-                .filter(|j| j.osts(self.cfg.ost_count).any(|o| o == i))
-                .map(|j| j.factor),
+                .iter()
+                .filter(|(_, j)| j.covers(i, self.cfg.ost_count))
+                .map(|(_, j)| j.factor),
             micro,
         )
     }
@@ -317,6 +389,12 @@ impl StorageSystem {
 
     /// The machine configuration this system was built from.
     pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The shared configuration handle (for identity checks when deciding
+    /// whether a pooled system can be reset instead of rebuilt).
+    pub fn config_arc(&self) -> &std::sync::Arc<MachineConfig> {
         &self.cfg
     }
 
@@ -416,14 +494,34 @@ impl StorageSystem {
         len: u64,
         tag: u64,
     ) {
-        let chunks = self.fs.map_range(file, offset, len);
-        self.submit_chunks(now, &chunks, len, tag, OpKind::Write, CompletionKind::Write);
+        self.submit_file_op(now, file, offset, len, tag, OpKind::Write, CompletionKind::Write);
     }
 
     /// Submit a read of `[offset, offset+len)` of `file`.
     pub fn submit_file_read(&mut self, now: SimTime, file: FileId, offset: u64, len: u64, tag: u64) {
-        let chunks = self.fs.map_range(file, offset, len);
-        self.submit_chunks(now, &chunks, len, tag, OpKind::Read, CompletionKind::Read);
+        self.submit_file_op(now, file, offset, len, tag, OpKind::Read, CompletionKind::Read);
+    }
+
+    /// Shared file-op body: maps the range through the layout layer into
+    /// the reusable chunk buffers (the per-write hot path of a sweep
+    /// allocates nothing).
+    #[allow(clippy::too_many_arguments)]
+    fn submit_file_op(
+        &mut self,
+        now: SimTime,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        tag: u64,
+        kind: OpKind,
+        ck: CompletionKind,
+    ) {
+        let mut counts = std::mem::take(&mut self.stripe_counts);
+        let mut chunks = std::mem::take(&mut self.chunk_scratch);
+        self.fs.map_range_into(file, offset, len, &mut counts, &mut chunks);
+        self.submit_chunks(now, &chunks, len, tag, kind, ck);
+        self.stripe_counts = counts;
+        self.chunk_scratch = chunks;
     }
 
     /// Submit a write of `bytes` directly to one OST (bypassing the layout
@@ -610,6 +708,14 @@ impl StorageSystem {
         std::mem::take(&mut self.out)
     }
 
+    /// Buffer-reusing form of [`StorageSystem::advance_to`]: appends the
+    /// completions to `out` so a driver loop can hand the same allocation
+    /// back on every wake.
+    pub fn advance_into(&mut self, deadline: SimTime, out: &mut Vec<StorageCompletion>) {
+        self.process_due(deadline);
+        out.append(&mut self.out);
+    }
+
     /// Process every internal event with `time <= deadline`. Called from
     /// [`Self::advance_to`] and from every external entry point
     /// (submissions, degrade/restore), so state mutations at `now` can
@@ -654,21 +760,28 @@ impl StorageSystem {
                     let (job, dur) = self.jobs_model.spawn(&mut self.rng);
                     let id = self.next_job_id;
                     self.next_job_id += 1;
-                    let covered: Vec<usize> = job.osts(self.cfg.ost_count).collect();
-                    self.active_jobs.insert(id, job);
+                    let mut covered = std::mem::take(&mut self.covered_scratch);
+                    covered.clear();
+                    covered.extend(job.osts(self.cfg.ost_count));
+                    self.active_jobs.push((id, job));
                     self.queue.schedule(t + dur, Internal::JobDeparture(id));
                     let next = self.jobs_model.next_arrival(&mut self.rng);
                     self.queue.schedule(t + next, Internal::JobArrival);
-                    for i in covered {
+                    for &i in &covered {
                         self.apply_noise(i, t);
                     }
+                    self.covered_scratch = covered;
                 }
                 Internal::JobDeparture(id) => {
-                    if let Some(job) = self.active_jobs.remove(&id) {
-                        let covered: Vec<usize> = job.osts(self.cfg.ost_count).collect();
-                        for i in covered {
+                    if let Ok(pos) = self.active_jobs.binary_search_by_key(&id, |&(i, _)| i) {
+                        let (_, job) = self.active_jobs.remove(pos);
+                        let mut covered = std::mem::take(&mut self.covered_scratch);
+                        covered.clear();
+                        covered.extend(job.osts(self.cfg.ost_count));
+                        for &i in &covered {
                             self.apply_noise(i, t);
                         }
+                        self.covered_scratch = covered;
                     }
                 }
                 Internal::RenewStream(token) => {
@@ -879,18 +992,24 @@ impl StorageSystem {
     /// returning completions.
     pub fn run_until_quiet(&mut self, deadline: SimTime) -> Vec<StorageCompletion> {
         let mut all = Vec::new();
+        self.run_until_quiet_into(deadline, &mut all);
+        all
+    }
+
+    /// Allocation-free [`StorageSystem::run_until_quiet`]: completions are
+    /// appended to a caller-owned (and reusable) buffer. Stops as soon as
+    /// no submitted operation remains pending, leaving background noise
+    /// events unconsumed — the sweep engine's steady-state drain loop.
+    pub fn run_until_quiet_into(&mut self, deadline: SimTime, out: &mut Vec<StorageCompletion>) {
         loop {
             if self.ops.is_empty() {
                 break;
             }
             match self.next_event_time() {
-                Some(t) if t <= deadline => {
-                    all.extend(self.advance_to(t));
-                }
+                Some(t) if t <= deadline => self.advance_into(t, out),
                 _ => break,
             }
         }
-        all
     }
 
     /// Create a file with an explicit stripe size (the ADIOS MPI-IO method

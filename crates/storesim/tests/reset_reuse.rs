@@ -1,0 +1,133 @@
+//! Fresh-vs-reset equivalence: a [`StorageSystem`] reset to a seed must be
+//! byte-identical to one freshly constructed with that seed — completions,
+//! integrity oracle, diagnostics — including under fault scripts,
+//! background interference and silent corruption. This is the contract the
+//! fleet sweep engine's per-worker scratch arenas rest on.
+
+use simcore::{SimDuration, SimTime};
+use storesim::fault::FaultScript;
+use storesim::layout::{OstId, StripeSpec};
+use storesim::params::{jaguar, testbed, MachineConfig};
+use storesim::system::{StorageCompletion, StorageSystem};
+
+const MIB: u64 = 1 << 20;
+
+fn t(secs: f64) -> SimTime {
+    SimTime::from_secs_f64(secs)
+}
+
+/// Drive one mixed workload (file + raw OST writes, reads, metadata,
+/// background streams, optional faults) and fingerprint the results.
+fn drive(sys: &mut StorageSystem, script: Option<&FaultScript>) -> Vec<(u64, u64, u64, u64, bool)> {
+    if let Some(s) = script {
+        sys.install_faults(s);
+    }
+    sys.add_background_stream(SimTime::ZERO, OstId(1), 64 * MIB);
+    sys.add_bursty_stream(SimTime::ZERO, OstId(2), 8 * MIB, 0.5);
+    let file = if sys.fs().file_count() == 0 {
+        sys.create_file_with_stripe_size(
+            "sweep/shared",
+            StripeSpec::Pinned(vec![OstId(0), OstId(1), OstId(2), OstId(3)]),
+            MIB,
+        )
+    } else {
+        storesim::layout::FileId(0)
+    };
+    sys.submit_open(SimTime::ZERO, 1000);
+    for i in 0..12u64 {
+        let at = SimTime::ZERO + SimDuration::from_millis(i * 3);
+        sys.submit_file_write(at, file, i * 2 * MIB, 2 * MIB, i);
+        sys.submit_ost_write(at, OstId((i % 4) as usize), (i + 1) * MIB, 100 + i);
+    }
+    sys.submit_file_read(t(0.5), file, 0, 8 * MIB, 2000);
+    sys.submit_close(t(0.6), 3000);
+    let done = sys.run_until_quiet(t(1e6));
+    fingerprint(&done)
+}
+
+fn fingerprint(done: &[StorageCompletion]) -> Vec<(u64, u64, u64, u64, bool)> {
+    done.iter()
+        .map(|c| {
+            (
+                c.tag,
+                c.bytes,
+                c.submitted.as_nanos(),
+                c.finished.as_nanos(),
+                c.error,
+            )
+        })
+        .collect()
+}
+
+fn check_reset_matches_fresh(cfg: MachineConfig, seeds: &[u64], script: Option<FaultScript>) {
+    let cfg = std::sync::Arc::new(cfg);
+    // One pooled system reset across all seeds (plus a warm-up run so
+    // capacity reuse paths are actually exercised), vs a fresh system per
+    // seed.
+    let mut pooled = StorageSystem::new(cfg.clone(), 0xDEAD_BEEF);
+    drive(&mut pooled, script.as_ref());
+    for &seed in seeds {
+        pooled.reset(seed);
+        assert_eq!(pooled.fs().file_count(), 1, "file table survives reset");
+        let warm = drive(&mut pooled, script.as_ref());
+        let warm_oracle = pooled.integrity_oracle();
+
+        let mut fresh = StorageSystem::new(cfg.clone(), seed);
+        let cold = drive(&mut fresh, script.as_ref());
+        let cold_oracle = fresh.integrity_oracle();
+
+        assert_eq!(warm, cold, "seed {seed}: completions must be byte-identical");
+        assert_eq!(
+            warm_oracle.corrupt, cold_oracle.corrupt,
+            "seed {seed}: corruption log"
+        );
+        assert_eq!(warm_oracle.torn, cold_oracle.torn, "seed {seed}: torn log");
+        assert_eq!(warm_oracle.dead, cold_oracle.dead, "seed {seed}: dead set");
+        assert_eq!(
+            pooled.active_job_count(),
+            fresh.active_job_count(),
+            "seed {seed}: job population"
+        );
+    }
+}
+
+#[test]
+fn reset_matches_fresh_clean_runs() {
+    check_reset_matches_fresh(testbed(), &[1, 2, 3, 17, 4242], None);
+}
+
+#[test]
+fn reset_matches_fresh_on_production_machine() {
+    check_reset_matches_fresh(jaguar(), &[7, 99], None);
+}
+
+#[test]
+fn reset_matches_fresh_under_faults() {
+    let script = FaultScript::none()
+        .brownout(0.01, 0, 0.3, 0.2)
+        .degrade(0.02, 3, 0.5)
+        .fail_ost(0.05, 1, storesim::fault::FailMode::Stall, Some(0.4))
+        .mds_outage(0.0, 0.05)
+        .silent_corruption(0.0, 0, None, 0.5)
+        .torn_write(0.3, 2);
+    check_reset_matches_fresh(testbed(), &[5, 6, 21], Some(script));
+}
+
+#[test]
+fn reset_matches_fresh_under_error_failures() {
+    let script = FaultScript::none().fail_ost(0.02, 0, storesim::fault::FailMode::Error, Some(0.5));
+    check_reset_matches_fresh(testbed(), &[8, 13], Some(script));
+}
+
+#[test]
+fn reset_to_same_seed_is_idempotent() {
+    let cfg = std::sync::Arc::new(testbed());
+    let mut sys = StorageSystem::new(cfg, 77);
+    let a = drive(&mut sys, None);
+    sys.reset(77);
+    let b = drive(&mut sys, None);
+    sys.reset(77);
+    let c = drive(&mut sys, None);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}

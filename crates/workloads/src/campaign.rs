@@ -2,8 +2,9 @@
 //! pattern of the paper's §IV ("for all cases, at least five samples are
 //! generated").
 
+use adios_core::fault::FaultConfig;
 use adios_core::{AdaptiveOpts, DataSpec, Interference, Method, OutputResult, RunBase, RunSpec};
-use iostats::Summary;
+use iostats::{Summary, SweepSink};
 use storesim::MachineConfig;
 
 /// Run `samples` runs of the same spec under consecutive seeds.
@@ -36,6 +37,62 @@ pub fn sample_results(
         .into_iter()
         .map(|o| o.result)
         .collect()
+}
+
+/// Streaming variant of [`sample_results`] for fleet-scale sweeps: run
+/// `samples` consecutive seeds over the work-stealing sweep executor and
+/// fold every replicate straight into a [`SweepSink`]. Memory stays flat
+/// in the sample count (no per-seed results are materialized), and the
+/// returned report is byte-identical at any `MANAGED_IO_THREADS` setting.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_stats(
+    machine: &MachineConfig,
+    nprocs: usize,
+    bytes_per_proc: u64,
+    method: &Method,
+    interference: &Interference,
+    samples: usize,
+    base_seed: u64,
+) -> SweepSink {
+    let seeds: Vec<u64> = (0..samples as u64).map(|i| base_seed + i).collect();
+    let base = RunBase::prepare(RunSpec {
+        machine: machine.clone(),
+        nprocs,
+        data: DataSpec::Uniform(bytes_per_proc),
+        method: method.clone(),
+        interference: interference.clone(),
+        seed: 0,
+    });
+    let mut sink = base.sweep_sink();
+    base.run_seed_sweep_into(&seeds, &mut sink);
+    sink
+}
+
+/// [`sweep_stats`] with fault injection and an explicit thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_stats_with(
+    machine: &MachineConfig,
+    nprocs: usize,
+    bytes_per_proc: u64,
+    method: &Method,
+    interference: &Interference,
+    samples: usize,
+    base_seed: u64,
+    nthreads: usize,
+    faults: &FaultConfig,
+) -> SweepSink {
+    let seeds: Vec<u64> = (0..samples as u64).map(|i| base_seed + i).collect();
+    let base = RunBase::prepare(RunSpec {
+        machine: machine.clone(),
+        nprocs,
+        data: DataSpec::Uniform(bytes_per_proc),
+        method: method.clone(),
+        interference: interference.clone(),
+        seed: 0,
+    });
+    let mut sink = base.sweep_sink();
+    base.run_seed_sweep_into_threads(nthreads, &seeds, faults, &mut sink);
+    sink
 }
 
 /// Summary of aggregate bandwidth (bytes/sec) across samples.

@@ -89,6 +89,23 @@ impl ScaleCampaign {
         }
     }
 
+    /// The seed-independent [`adios_core::RunBase`] for one method of
+    /// this campaign — prepare once, sweep many seeds over it.
+    pub fn sweep_base(&self, method: Method) -> adios_core::RunBase {
+        adios_core::RunBase::prepare(self.run_spec(method, 0))
+    }
+
+    /// Streaming seed sweep of one method: `samples` consecutive seeds
+    /// folded into a [`iostats::SweepSink`] by the work-stealing sweep
+    /// executor. Peak memory is flat in `samples`.
+    pub fn sweep(&self, method: Method, samples: usize, base_seed: u64) -> iostats::SweepSink {
+        let seeds: Vec<u64> = (0..samples as u64).map(|i| base_seed + i).collect();
+        let base = self.sweep_base(method);
+        let mut sink = base.sweep_sink();
+        base.run_seed_sweep_into(&seeds, &mut sink);
+        sink
+    }
+
     /// Run the MPI-vs-adaptive comparison for this campaign.
     pub fn compare(&self, samples: usize, base_seed: u64) -> Vec<ComparisonRow> {
         compare_at_scale(
@@ -147,6 +164,17 @@ mod tests {
         assert_eq!(RANK_SWEEP.first(), Some(&512));
         assert_eq!(RANK_SWEEP.last(), Some(&16384));
         assert!(RANK_SWEEP.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+
+    #[test]
+    fn streaming_sweep_matches_campaign_scale() {
+        let c = ScaleCampaign::pixie3d_small(64);
+        let (_, method) = c.methods()[1].clone();
+        let sink = c.sweep(method, 3, 9);
+        assert_eq!(sink.samples(), 3);
+        assert_eq!(sink.failed_samples(), 0);
+        assert!(sink.bandwidth().mean() > 0.0);
+        assert!(sink.per_ost_bytes().iter().any(|&b| b > 0));
     }
 
     #[test]
