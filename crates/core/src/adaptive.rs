@@ -52,6 +52,33 @@
 //! Fault-tolerant runs currently support synthetic (sizes-only) data;
 //! byte-level accounting lives in the runner, keyed off write records and
 //! the storage system's data-loss log.
+//!
+//! # Closed control loop ([`crate::control::ControlOpts`], off by default)
+//!
+//! When `opts.control.enabled`, the protocol closes a feedback loop over
+//! the same roles (DESIGN.md §12):
+//!
+//! * SCs time every Assigned → Done edge of their members and, once per
+//!   decision epoch, ship the per-OST samples to the coordinator
+//!   (`LatencyDigest`), including censored ages of still-stuck local
+//!   writes so a fully stalled target remains visible.
+//! * The coordinator folds digests into a per-OST
+//!   [`crate::control::OstLatencyTracker`] and broadcasts
+//!   `StragglerFlag` transitions. Free-target choice prefers unflagged
+//!   OSTs.
+//! * An SC whose own OST is flagged speculatively re-issues writes stuck
+//!   past an adaptive deadline: the coordinator grants a spare target
+//!   (`SpecGrant`, offset permanently burned), the member duplicates the
+//!   write under a separate generation-tagged namespace (`TAG_SPEC`),
+//!   first completion wins and the loser is discarded — exactly-once
+//!   accounting (`written + lost == total`) is preserved by
+//!   construction.
+//! * Each SC runs a local [`crate::control::Tuner`] adjusting its queue
+//!   depth and its members' retry-backoff scale with hysteresis; clean
+//!   runs converge to (and stay at) the static schedule.
+//!
+//! With `control.enabled = false` every run is byte-identical to the
+//! static protocol (pinned in tests/determinism.rs).
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -65,6 +92,7 @@ use storesim::layout::FileId;
 use storesim::system::CompletionKind;
 use storesim::ObjectStore;
 
+use crate::control::{ControlOpts, FlagChange, OstLatencyTracker, Tuner};
 use crate::fault::FaultTolerance;
 use crate::plan::OutputPlan;
 use crate::protocol::{Assignment, Msg, INDEX_ENTRY_BYTES};
@@ -78,6 +106,11 @@ const TAG_WRITE: u32 = 2;
 const TAG_INDEX: u32 = 3;
 const TAG_GLOBAL_INDEX: u32 = 4;
 const TAG_CLOSE: u32 = 5;
+/// Speculative duplicate write (control loop); carries its own
+/// generation counter in bits 8+ (`TAG_SPEC | spec_gen << 8`), a
+/// namespace separate from `TAG_WRITE` generations so primary retries
+/// and speculations fence independently.
+const TAG_SPEC: u32 = 6;
 /// Timer used by staggered opens.
 const TIMER_OPEN: u64 = 1;
 /// Write-timeout timer (fault mode); carries the generation in bits 8+.
@@ -90,6 +123,10 @@ const TIMER_PING: u64 = 4;
 const TIMER_ADOPT: u64 = 5;
 /// Sub-coordinator dead-member sweep timer (fault mode).
 const TIMER_SWEEP: u64 = 6;
+/// Sub-coordinator control-loop decision epoch (control mode).
+const TIMER_EPOCH: u64 = 7;
+/// Speculative-write timeout (control mode); spec generation in bits 8+.
+const TIMER_SPEC_TIMEOUT: u64 = 8;
 
 /// Tuning knobs of the adaptive method.
 #[derive(Clone, Debug)]
@@ -113,6 +150,10 @@ pub struct AdaptiveOpts {
     pub drain_first: bool,
     /// Failure-hardening knobs (inert unless `fault.enabled`).
     pub fault: FaultTolerance,
+    /// Closed-loop straggler defense knobs (inert unless
+    /// `control.enabled`): online per-OST straggler detection,
+    /// speculative re-issue, local queue-depth/backoff tuning.
+    pub control: ControlOpts,
     /// End-to-end integrity: when enabled, PGs, index tails and the
     /// global index are written in the checked (CRC64) layout. Off by
     /// default — off keeps every output byte identical to the unchecked
@@ -130,6 +171,7 @@ impl Default for AdaptiveOpts {
             work_stealing: true,
             drain_first: false,
             fault: FaultTolerance::default(),
+            control: ControlOpts::default(),
             integrity: IntegrityOpts::default(),
         }
     }
@@ -157,6 +199,10 @@ pub struct MsgStats {
     /// Fault-protocol control messages received (failure reports, pings,
     /// failover, status replay) — zero unless fault mode is on.
     pub fault_ctrl: u64,
+    /// Control-loop messages received (latency digests, straggler flags,
+    /// speculation lifecycle, tuner updates) — zero unless the control
+    /// loop is on.
+    pub control: u64,
 }
 
 impl MsgStats {
@@ -169,6 +215,7 @@ impl MsgStats {
             + self.overall
             + self.coordinator_inbox
             + self.fault_ctrl
+            + self.control
     }
 }
 
@@ -246,6 +293,63 @@ struct ScState {
     seen_index: Vec<u32>,
     /// This SC was promoted by a coordinator failover.
     adopted: bool,
+
+    // ---- control-loop extension ------------------------------------------
+    /// Control-loop state; `Some` iff `opts.control.enabled`.
+    ctl: Option<ScCtl>,
+}
+
+/// Per-SC control-loop state.
+struct ScCtl {
+    /// `(ost, latency_secs)` samples accumulated since the last digest.
+    pending: Vec<(u32, f64)>,
+    /// OSTs currently flagged by the coordinator.
+    slow_osts: Vec<u32>,
+    /// Latest cross-OST median latency reported by the coordinator
+    /// (0 until the first `StragglerFlag` arrives).
+    healthy_secs: f64,
+    /// Members with an outstanding speculative duplicate:
+    /// `(member rank, spec assignment)`.
+    speculating: Vec<(u32, Assignment)>,
+    /// Local queue-depth / backoff tuner.
+    tuner: Tuner,
+    /// Bytes my members completed this epoch (tuner input).
+    epoch_bytes: u64,
+    /// Last backoff scale broadcast to members (dedup: clean runs must
+    /// send nothing).
+    sent_scale: f64,
+}
+
+impl ScCtl {
+    fn new(base_depth: usize, min_depth: usize, opts: &ControlOpts) -> Self {
+        ScCtl {
+            pending: Vec::new(),
+            slow_osts: Vec::new(),
+            healthy_secs: 0.0,
+            speculating: Vec::new(),
+            tuner: Tuner::new(base_depth, min_depth, opts),
+            epoch_bytes: 0,
+            sent_scale: 1.0,
+        }
+    }
+
+    fn speculating_on(&self, member: u32) -> Option<usize> {
+        self.speculating.iter().position(|&(m, _)| m == member)
+    }
+}
+
+/// Coordinator-side control-loop state.
+struct CoordCtl {
+    /// Per-OST latency view and straggler flags.
+    tracker: OstLatencyTracker,
+    /// Outstanding speculation grants: `(member rank, spare target)`.
+    spec_inflight: Vec<(u32, u32)>,
+    /// Reused buffer for flag transitions per digest.
+    changes: Vec<FlagChange>,
+    /// Speculations granted (protocol stats).
+    granted: u64,
+    /// Speculations whose duplicate won the race (protocol stats).
+    won: u64,
 }
 
 impl ScState {
@@ -273,6 +377,7 @@ impl ScState {
             seen_into: Vec::new(),
             seen_index: Vec::new(),
             adopted: false,
+            ctl: None,
         }
     }
 
@@ -325,6 +430,10 @@ struct CoordState {
     pong_seen: Vec<SimTime>,
     /// How many SCs of this group have died so far.
     promoted: Vec<usize>,
+
+    // ---- control-loop extension ------------------------------------------
+    /// Control-loop state; `Some` iff `opts.control.enabled`.
+    ctl: Option<CoordCtl>,
 }
 
 /// One rank of the adaptive method.
@@ -356,6 +465,15 @@ pub struct AdaptiveActor {
     gen: u32,
     /// Attempts made for the current assignment.
     attempt: u32,
+
+    // Writer control-loop state.
+    /// In-flight speculative duplicate of the current assignment.
+    spec_assignment: Option<Assignment>,
+    /// Monotonic speculation generation (0 ⇒ none issued yet); stale
+    /// `TAG_SPEC` completions and timers fence on it.
+    spec_gen: u32,
+    /// Retry-backoff multiplier pushed by the SC's tuner.
+    backoff_scale: f64,
     /// Per-group SC replacement map (failover); None ⇒ plan default.
     sc_override: Vec<Option<u32>>,
     /// Groups whose file the coordinator declared destroyed.
@@ -386,7 +504,9 @@ impl AdaptiveActor {
         let sc = if plan.is_sc(r) {
             let members: VecDeque<u32> = plan.members(group).map(|m| m.0).collect();
             let first = members.front().copied().unwrap_or(rank);
-            Some(ScState::new(group, members, first))
+            let mut s = ScState::new(group, members, first);
+            s.ctl = Self::make_sc_ctl(&plan, &opts);
+            Some(s)
         } else {
             None
         };
@@ -413,6 +533,13 @@ impl AdaptiveActor {
                 sc_rank: (0..targets as u32).map(|g| plan.sc_of(g).0).collect(),
                 pong_seen: vec![SimTime::ZERO; targets],
                 promoted: vec![0; targets],
+                ctl: opts.control.enabled.then(|| CoordCtl {
+                    tracker: OstLatencyTracker::new(&opts.control),
+                    spec_inflight: Vec::new(),
+                    changes: Vec::new(),
+                    granted: 0,
+                    won: 0,
+                }),
             })
         } else {
             None
@@ -433,6 +560,9 @@ impl AdaptiveActor {
             msg_stats: MsgStats::default(),
             gen: 0,
             attempt: 0,
+            spec_assignment: None,
+            spec_gen: 0,
+            backoff_scale: 1.0,
             sc_override: vec![None; targets],
             dead_groups: vec![false; targets],
             pending_reports: Vec::new(),
@@ -472,6 +602,37 @@ impl AdaptiveActor {
         self.opts.fault
     }
 
+    fn ctl_opts(&self) -> ControlOpts {
+        self.opts.control
+    }
+
+    /// Generation-tagged write path active: stale-completion fencing is
+    /// needed whenever either retries (fault mode) or speculation
+    /// (control mode) can abandon an attempt.
+    fn hardened(&self) -> bool {
+        self.opts.fault.enabled || self.opts.control.enabled
+    }
+
+    /// Fresh SC control state (None when the loop is off). The queue
+    /// depth may only freeze to 0 when other targets exist to drain the
+    /// group's members through diverts/speculation.
+    fn make_sc_ctl(plan: &OutputPlan, opts: &AdaptiveOpts) -> Option<ScCtl> {
+        opts.control.enabled.then(|| {
+            let base = opts.writers_per_target.max(1);
+            let min = if plan.targets > 1 { 0 } else { 1 };
+            ScCtl::new(base, min, &opts.control)
+        })
+    }
+
+    /// Speculation grants/wins observed by the coordinator (control
+    /// loop).
+    pub fn spec_stats(&self) -> Option<(u64, u64)> {
+        self.coord
+            .as_ref()
+            .and_then(|c| c.ctl.as_ref())
+            .map(|ctl| (ctl.granted, ctl.won))
+    }
+
     /// Current SC of `group`, accounting for failover promotions.
     fn current_sc_of(&self, group: u32) -> Rank {
         match self.sc_override[group as usize] {
@@ -492,7 +653,7 @@ impl AdaptiveActor {
         self.assignment = Some(a);
         self.write_started = Some(ctx.now());
         self.attempt = 1;
-        if self.ft().enabled {
+        if self.hardened() {
             self.gen += 1;
         }
         self.submit_write(ctx);
@@ -503,13 +664,18 @@ impl AdaptiveActor {
         let a = self.assignment.expect("submit without assignment");
         let bytes = self.bytes_of(self.me);
         let ft = self.ft();
-        if ft.enabled {
+        if self.hardened() {
             let tag = TAG_WRITE | (self.gen << 8);
             ctx.write_file(a.file, a.offset, bytes, tag);
-            ctx.set_timer(
-                SimDuration::from_secs_f64(ft.timeout_for(bytes)),
-                TIMER_WRITE_TIMEOUT | ((self.gen as u64) << 8),
-            );
+            // Timeout/retry machinery stays a fault-mode feature; the
+            // control loop alone only needs generation fencing (a
+            // speculation winner abandons the primary attempt).
+            if ft.enabled {
+                ctx.set_timer(
+                    SimDuration::from_secs_f64(ft.timeout_for(bytes)),
+                    TIMER_WRITE_TIMEOUT | ((self.gen as u64) << 8),
+                );
+            }
         } else {
             ctx.write_file(a.file, a.offset, bytes, TAG_WRITE);
         }
@@ -524,7 +690,11 @@ impl AdaptiveActor {
         if self.attempt < ft.max_retries.max(1) {
             self.attempt += 1;
             self.gen += 1;
-            let backoff = ft.backoff_base_secs * f64::powi(2.0, self.attempt as i32 - 2);
+            let mut backoff = ft.backoff_secs(self.attempt - 1);
+            if self.ctl_opts().enabled {
+                // The SC's tuner widens backoff while our target limps.
+                backoff *= self.backoff_scale;
+            }
             ctx.set_timer(
                 SimDuration::from_secs_f64(backoff),
                 TIMER_RETRY | ((self.gen as u64) << 8),
@@ -542,8 +712,11 @@ impl AdaptiveActor {
         }
     }
 
-    fn finish_write(&mut self, done: IoComplete, ctx: &mut Ctx<'_, Msg>) {
-        let a = self.assignment.take().expect("completion without assignment");
+    /// A write attempt (primary or speculative duplicate) completed
+    /// durably under assignment `a` — record it and run Algorithm 1's
+    /// notification fan-out. The caller has already cleared the writer's
+    /// in-flight state so the race's loser is fenced as stale.
+    fn finish_write(&mut self, done: IoComplete, a: Assignment, ctx: &mut Ctx<'_, Msg>) {
         let started = self.write_started.take().expect("write start recorded");
         self.attempt = 0;
         self.records.push(WriteRecord {
@@ -612,6 +785,66 @@ impl AdaptiveActor {
         }
     }
 
+    // ---- writer role: speculation (control loop) --------------------------
+
+    /// SC ordered a speculative duplicate of the current write.
+    fn writer_on_spec_write(&mut self, a: Assignment, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ctl_opts().enabled {
+            return;
+        }
+        if self.assignment.is_none() || self.spec_assignment.is_some() {
+            // Primary already resolved, or a duplicate is already flying:
+            // the order is stale. The SC resolves the grant through the
+            // normal completion/cancel paths.
+            return;
+        }
+        self.spec_gen += 1;
+        self.spec_assignment = Some(a);
+        let bytes = self.bytes_of(self.me);
+        ctx.write_file(a.file, a.offset, bytes, TAG_SPEC | (self.spec_gen << 8));
+        ctx.set_timer(
+            SimDuration::from_secs_f64(self.ft().timeout_for(bytes)),
+            TIMER_SPEC_TIMEOUT | ((self.spec_gen as u64) << 8),
+        );
+    }
+
+    /// The duplicate errored or timed out: drop it and tell my SC so the
+    /// spare target is freed. The primary write keeps going untouched.
+    fn spec_abort(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(sa) = self.spec_assignment.take() else {
+            return;
+        };
+        let to = self.current_sc_of(sa.triggering_group);
+        self.send_msg(ctx, to, Msg::SpecCancel {
+            member: self.me,
+            target_group: sa.target_group,
+        });
+    }
+
+    /// The speculative duplicate completed durably.
+    fn writer_on_spec_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, Msg>) {
+        if done.error {
+            self.spec_abort(ctx);
+            return;
+        }
+        let Some(sa) = self.spec_assignment.take() else {
+            return;
+        };
+        if self.assignment.is_none() {
+            // The primary already resolved for good (finished, or failed
+            // and re-queued us elsewhere) — the duplicate is an orphan:
+            // its bytes sit at a permanently burned offset and are never
+            // recorded, so nothing double-counts.
+            return;
+        }
+        // The duplicate won the race: abandon the primary (its
+        // completion, timeout and retry events all fence on
+        // `assignment.is_none()` / generation mismatch) and account the
+        // bytes exactly once, under the speculative assignment.
+        self.assignment = None;
+        self.finish_write(done, sa, ctx);
+    }
+
     // ---- sub-coordinator role ----------------------------------------------
 
     fn sc_open(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -629,7 +862,12 @@ impl AdaptiveActor {
             if !sc.opened || sc.target_dead || sc.local_frozen {
                 return;
             }
-            let k = self.opts.writers_per_target.max(1);
+            // Control loop: the tuner owns the queue depth (it starts at
+            // — and in clean runs stays at — the static value).
+            let k = match &sc.ctl {
+                Some(ctl) => ctl.tuner.depth(),
+                None => self.opts.writers_per_target.max(1),
+            };
             while sc.local_active < k {
                 let Some(w) = sc.waiting.pop_front() else {
                     break;
@@ -688,6 +926,7 @@ impl AdaptiveActor {
     ) {
         let coordinator = self.plan.coordinator();
         let my_group = self.sc.as_ref().expect("sc role").group;
+        let now = ctx.now();
         let mut send_to_c: Vec<Msg> = Vec::new();
         let mut reschedule = false;
         {
@@ -703,10 +942,35 @@ impl AdaptiveActor {
                 // Source is one of mine. Only the Assigned → Done edge
                 // counts (duplicated deliveries are ignored).
                 let state = sc.midx(from.0).map(|i| sc.member_state[i]);
-                if let Some(MemberState::Assigned { local, .. }) = state {
+                if let Some(MemberState::Assigned { at, local }) = state {
                     let i = sc.midx(from.0).expect("member");
                     sc.member_state[i] = MemberState::Done;
                     sc.members_remaining -= 1;
+                    if let Some(ctl) = sc.ctl.as_mut() {
+                        // Feed the detector with the winner's latency and
+                        // the tuner with the epoch's throughput.
+                        ctl.pending
+                            .push((a.ost.0 as u32, (now - at).as_secs_f64()));
+                        ctl.epoch_bytes += bytes;
+                        // Resolve an outstanding speculation: the
+                        // completion's assignment tells which copy won.
+                        if let Some(pos) = ctl.speculating_on(from.0) {
+                            let (_, sa) = ctl.speculating.swap_remove(pos);
+                            let spec_won =
+                                a.is_adaptive() && a.target_group == sa.target_group;
+                            send_to_c.push(if spec_won {
+                                Msg::SpecDone {
+                                    member: from.0,
+                                    target_group: sa.target_group,
+                                }
+                            } else {
+                                Msg::SpecCancel {
+                                    member: from.0,
+                                    target_group: sa.target_group,
+                                }
+                            });
+                        }
+                    }
                     if local {
                         sc.local_active -= 1;
                         reschedule = true;
@@ -751,6 +1015,17 @@ impl AdaptiveActor {
             sc.local_frozen = true;
             if local {
                 sc.local_active = sc.local_active.saturating_sub(1);
+            }
+            if let Some(ctl) = sc.ctl.as_mut() {
+                // A re-queued member's speculation is moot; free the spare
+                // target (its offset stays burned at the coordinator).
+                if let Some(pos) = ctl.speculating_on(from.0) {
+                    let (_, sa) = ctl.speculating.swap_remove(pos);
+                    send_to_c.push(Msg::SpecCancel {
+                        member: from.0,
+                        target_group: sa.target_group,
+                    });
+                }
             }
             if a.target_group == sc.group {
                 sc.target_dead = true;
@@ -948,34 +1223,267 @@ impl AdaptiveActor {
     }
 
     /// Reap members whose assigned write has been silent far beyond the
-    /// writer's own retry budget — they are dead ranks.
+    /// writer's own retry budget — they are dead ranks. A speculating
+    /// member is not reaped early: its `at` was refreshed by the grant
+    /// (so the duplicate gets a full budget of its own), and reaping it
+    /// frees the spare target through `SpecCancel`.
     fn sc_sweep(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let coordinator = self.plan.coordinator();
         let ft = self.ft();
         let plan = Arc::clone(&self.plan);
         let now = ctx.now();
+        let mut send_to_c: Vec<Msg> = Vec::new();
         let keep_going = {
             let sc = self.sc.as_mut().expect("sc role");
             for i in 0..sc.member_state.len() {
                 if let MemberState::Assigned { at, .. } = sc.member_state[i] {
                     let rank = sc.first + i as u32;
                     let bytes = plan.rank_bytes[rank as usize];
-                    let retry_budget = ft.max_retries.max(1) as f64 * ft.timeout_for(bytes)
-                        + ft.backoff_base_secs * f64::powi(2.0, ft.max_retries as i32)
-                        + 30.0;
-                    if (now - at).as_secs_f64() > retry_budget {
+                    if (now - at).as_secs_f64() > ft.retry_budget_secs(bytes) {
                         sc.member_state[i] = MemberState::Dead;
                         sc.members_remaining -= 1;
+                        if let Some(ctl) = sc.ctl.as_mut() {
+                            if let Some(pos) = ctl.speculating_on(rank) {
+                                let (_, sa) = ctl.speculating.swap_remove(pos);
+                                send_to_c.push(Msg::SpecCancel {
+                                    member: rank,
+                                    target_group: sa.target_group,
+                                });
+                            }
+                        }
                     }
                 }
             }
             sc.members_remaining > 0
         };
+        for m in send_to_c {
+            self.send_msg(ctx, coordinator, m);
+        }
         self.sc_maybe_complete(ctx);
         if keep_going {
             ctx.set_timer(
                 SimDuration::from_secs_f64(ft.sweep_interval_secs),
                 TIMER_SWEEP,
             );
+        }
+    }
+
+    // ---- sub-coordinator role: control loop --------------------------------
+
+    /// One decision epoch (control loop): digest latencies to C, request
+    /// speculation for stuck writes on a flagged OST, step the tuner.
+    fn sc_epoch(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ctl_opts().enabled || self.sc.is_none() {
+            return;
+        }
+        let coordinator = self.plan.coordinator();
+        let opts = self.ctl_opts();
+        let plan = Arc::clone(&self.plan);
+        let now = ctx.now();
+        let mut to_c: Vec<Msg> = Vec::new();
+        let mut to_members: Vec<(u32, Msg)> = Vec::new();
+        let keep_going = {
+            let sc = self.sc.as_mut().expect("sc role");
+            let my_ost = plan.ost_of_group[sc.group as usize].0 as u32;
+            let group = sc.group;
+            let first = sc.first;
+            let n = sc.member_state.len();
+            let Some(ctl) = sc.ctl.as_mut() else {
+                return;
+            };
+            // 1. Censored ages: a local write still stuck after a full
+            //    epoch contributes its age, so a completely stalled OST
+            //    (no completions at all) still accrues latency signal.
+            for i in 0..n {
+                if let MemberState::Assigned { at, local: true } = sc.member_state[i] {
+                    let age = (now - at).as_secs_f64();
+                    if age > opts.epoch_secs {
+                        ctl.pending.push((my_ost, age));
+                    }
+                }
+            }
+            // 2. Ship the digest.
+            if !ctl.pending.is_empty() {
+                to_c.push(Msg::LatencyDigest {
+                    samples: std::mem::take(&mut ctl.pending),
+                });
+            }
+            let own_flagged = ctl.slow_osts.contains(&my_ost);
+            // 3. Speculation: my OST is flagged and a local write is stuck
+            //    past the adaptive deadline — ask C for a spare target.
+            //    Ungranted requests are simply re-sent next epoch; the
+            //    coordinator dedups by member.
+            if opts.speculation
+                && own_flagged
+                && ctl.healthy_secs > 0.0
+                && !sc.target_dead
+            {
+                let deadline = opts.spec_deadline_factor * ctl.healthy_secs;
+                for i in 0..n {
+                    if let MemberState::Assigned { at, local: true } = sc.member_state[i] {
+                        let rank = first + i as u32;
+                        if (now - at).as_secs_f64() > deadline
+                            && ctl.speculating_on(rank).is_none()
+                        {
+                            to_c.push(Msg::SpecRequest {
+                                group,
+                                member: rank,
+                                bytes: plan.rank_bytes[rank as usize],
+                            });
+                        }
+                    }
+                }
+            }
+            // 4. Tuner step (queue depth + backoff scale).
+            if opts.tuning {
+                let any_flagged = !ctl.slow_osts.is_empty();
+                let bytes = std::mem::take(&mut ctl.epoch_bytes);
+                ctl.tuner.step(own_flagged, any_flagged, bytes, opts.epoch_secs);
+                let scale = ctl.tuner.backoff_scale();
+                if scale != ctl.sent_scale {
+                    ctl.sent_scale = scale;
+                    for m in plan.members(group) {
+                        to_members.push((m.0, Msg::TunerUpdate { backoff_scale: scale }));
+                    }
+                }
+            } else {
+                ctl.epoch_bytes = 0;
+            }
+            sc.members_remaining > 0 || !sc.index_written
+        };
+        for m in to_c {
+            self.send_msg(ctx, coordinator, m);
+        }
+        for (r, m) in to_members {
+            if r == self.me {
+                if let Msg::TunerUpdate { backoff_scale } = m {
+                    self.backoff_scale = backoff_scale;
+                }
+            } else {
+                self.send_msg(ctx, Rank(r), m);
+            }
+        }
+        // A depth raise may admit more writers right away.
+        self.sc_schedule_local(ctx);
+        if keep_going {
+            ctx.set_timer(SimDuration::from_secs_f64(opts.epoch_secs), TIMER_EPOCH);
+        }
+    }
+
+    /// Coordinator broadcast: an OST's straggler flag flipped.
+    fn sc_on_straggler_flag(&mut self, ost: u32, slow: bool, median_secs: f64) {
+        if !self.ctl_opts().enabled {
+            return;
+        }
+        let Some(sc) = self.sc.as_mut() else { return };
+        let Some(ctl) = sc.ctl.as_mut() else { return };
+        if median_secs > 0.0 {
+            ctl.healthy_secs = median_secs;
+        }
+        if slow {
+            if !ctl.slow_osts.contains(&ost) {
+                ctl.slow_osts.push(ost);
+            }
+        } else {
+            ctl.slow_osts.retain(|&o| o != ost);
+        }
+    }
+
+    /// Coordinator granted a speculative duplicate for `member`.
+    fn sc_on_spec_grant(&mut self, member: u32, a: Assignment, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ctl_opts().enabled {
+            return;
+        }
+        let coordinator = self.plan.coordinator();
+        let now = ctx.now();
+        enum Act {
+            Issue,
+            Decline,
+            Ignore,
+        }
+        let act = {
+            match self.sc.as_mut() {
+                Some(sc) if sc.group == a.triggering_group => {
+                    let midx = sc.midx(member);
+                    match sc.ctl.as_mut() {
+                        Some(ctl) => match midx {
+                            // Only a still-Assigned member can speculate;
+                            // anything else (done, re-queued, reaped, or a
+                            // duplicated grant) declines so the spare
+                            // target is freed.
+                            Some(i) => match sc.member_state[i] {
+                                MemberState::Assigned { local, .. }
+                                    if ctl.speculating_on(member).is_none() =>
+                                {
+                                    // Refresh the assignment clock: the
+                                    // duplicate gets a full retry budget, so
+                                    // the sweep reaper cannot reclaim a
+                                    // member mid-speculation.
+                                    sc.member_state[i] =
+                                        MemberState::Assigned { at: now, local };
+                                    ctl.speculating.push((member, a));
+                                    Act::Issue
+                                }
+                                MemberState::Assigned { .. } => Act::Ignore,
+                                _ => Act::Decline,
+                            },
+                            None => Act::Decline,
+                        },
+                        None => Act::Decline,
+                    }
+                }
+                // Stale grant (this rank is not — or no longer — the SC of
+                // the requesting group, e.g. after a failover).
+                _ => Act::Decline,
+            }
+        };
+        match act {
+            Act::Issue => {
+                if member == self.me {
+                    self.writer_on_spec_write(a, ctx);
+                } else {
+                    self.send_msg(ctx, Rank(member), Msg::SpecWrite { assignment: a });
+                }
+            }
+            Act::Decline => {
+                self.send_msg(ctx, coordinator, Msg::SpecCancel {
+                    member,
+                    target_group: a.target_group,
+                });
+            }
+            Act::Ignore => {}
+        }
+    }
+
+    /// `SpecCancel` role dispatch. Rank 0 is both an SC and the
+    /// coordinator, so the roles are tried in protocol order: a cancel
+    /// from one of my speculating members is SC business (drop the entry,
+    /// forward to C); otherwise, if I am the coordinator, resolve the
+    /// grant; otherwise the message is stale — ignore it.
+    fn on_spec_cancel(&mut self, member: u32, target_group: u32, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ctl_opts().enabled {
+            return;
+        }
+        let coordinator = self.plan.coordinator();
+        let forwarded = {
+            match self.sc.as_mut().and_then(|sc| sc.ctl.as_mut()) {
+                Some(ctl) => match ctl.speculating_on(member) {
+                    Some(pos) if ctl.speculating[pos].1.target_group == target_group => {
+                        ctl.speculating.swap_remove(pos);
+                        true
+                    }
+                    _ => false,
+                },
+                None => false,
+            }
+        };
+        if forwarded {
+            self.send_msg(ctx, coordinator, Msg::SpecCancel {
+                member,
+                target_group,
+            });
+        } else if self.coord.is_some() {
+            self.c_resolve_spec(member, target_group, false, ctx);
         }
     }
 
@@ -1003,6 +1511,10 @@ impl AdaptiveActor {
             sc.member_state[i] = MemberState::Dead;
             sc.members_remaining -= 1;
         }
+        // The dead SC's control state (flags, speculations, tuner) died
+        // with it; start fresh — the coordinator re-broadcasts flag
+        // transitions as digests keep arriving.
+        sc.ctl = Self::make_sc_ctl(&self.plan, &self.opts);
         self.sc = Some(sc);
         // Fill in my own status directly; peers report via StatusReport.
         let my_report = self.own_status_report(group);
@@ -1021,6 +1533,12 @@ impl AdaptiveActor {
         let ft = self.ft();
         ctx.set_timer(SimDuration::from_secs_f64(ft.adopt_timeout_secs), TIMER_ADOPT);
         ctx.set_timer(SimDuration::from_secs_f64(ft.sweep_interval_secs), TIMER_SWEEP);
+        if self.ctl_opts().enabled {
+            ctx.set_timer(
+                SimDuration::from_secs_f64(self.ctl_opts().epoch_secs),
+                TIMER_EPOCH,
+            );
+        }
         self.sc_maybe_complete(ctx);
         self.sc_maybe_write_index(ctx);
     }
@@ -1135,11 +1653,15 @@ impl AdaptiveActor {
     // ---- coordinator role ---------------------------------------------------
 
     /// Push `g` back into the free pool unless it is condemned, already
-    /// free, or currently targeted by an in-flight adaptive request.
+    /// free, or currently targeted by an in-flight adaptive request or
+    /// speculation grant (one active write per file).
     fn c_free_target(c: &mut CoordState, g: u32) {
         if c.dead_target[g as usize]
             || c.free_targets.contains(&g)
             || c.inflight.iter().any(|&(_, t)| t == g)
+            || c.ctl
+                .as_ref()
+                .is_some_and(|ctl| ctl.spec_inflight.iter().any(|&(_, t)| t == g))
         {
             return;
         }
@@ -1174,7 +1696,18 @@ impl AdaptiveActor {
                 if !self.opts.drain_first {
                     c.rr_cursor = (sc_idx + 1) % targets;
                 }
-                let t = c.free_targets.pop_front().expect("non-empty");
+                // Control loop: steer diverts away from flagged OSTs when
+                // an unflagged free target exists (FIFO otherwise).
+                let pick = c
+                    .ctl
+                    .as_ref()
+                    .and_then(|ctl| {
+                        c.free_targets.iter().position(|&g| {
+                            !ctl.tracker.is_straggler(self.plan.ost_of_group[g as usize].0)
+                        })
+                    })
+                    .unwrap_or(0);
+                let t = c.free_targets.remove(pick).expect("non-empty");
                 c.inflight.push((sc_idx as u32, t));
                 c.max_outstanding = c.max_outstanding.max(c.inflight.len());
                 let m = Msg::AdaptiveWriteStart {
@@ -1196,7 +1729,11 @@ impl AdaptiveActor {
         let recipients = {
             let c = self.coord.as_mut().expect("coordinator role");
             let all_complete = c.phase.iter().all(|&p| p == ScPhase::Complete);
-            if all_complete && c.inflight.is_empty() && !c.overall_sent {
+            let specs_done = c
+                .ctl
+                .as_ref()
+                .is_none_or(|ctl| ctl.spec_inflight.is_empty());
+            if all_complete && c.inflight.is_empty() && specs_done && !c.overall_sent {
                 c.overall_sent = true;
                 (0..self.plan.targets)
                     .filter(|&g| !c.abandoned[g])
@@ -1262,6 +1799,115 @@ impl AdaptiveActor {
             c.inflight.swap_remove(pos);
             if c.phase[group as usize] == ScPhase::Writing {
                 c.phase[group as usize] = ScPhase::Busy;
+            }
+            Self::c_free_target(c, target_group);
+        }
+        self.c_try_issue(ctx);
+    }
+
+    // ---- coordinator role: control loop ------------------------------------
+
+    /// Fold one SC's latency digest into the per-OST tracker, re-decide
+    /// flags, broadcast transitions to every live SC.
+    fn c_on_latency_digest(&mut self, samples: Vec<(u32, f64)>, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ctl_opts().enabled {
+            return;
+        }
+        let (flags, recipients) = {
+            let c = self.coord.as_mut().expect("coordinator role");
+            let Some(ctl) = c.ctl.as_mut() else { return };
+            for &(ost, secs) in &samples {
+                ctl.tracker.observe(ost as usize, secs);
+            }
+            ctl.changes.clear();
+            let mut changes = std::mem::take(&mut ctl.changes);
+            let median = ctl.tracker.decide(&mut changes);
+            ctl.changes = changes;
+            if ctl.changes.is_empty() {
+                return;
+            }
+            let flags: Vec<Msg> = ctl
+                .changes
+                .iter()
+                .map(|ch| Msg::StragglerFlag {
+                    ost: ch.ost,
+                    slow: ch.slow,
+                    median_secs: median,
+                })
+                .collect();
+            let recipients: Vec<Rank> = (0..self.plan.targets)
+                .filter(|&g| !c.abandoned[g])
+                .map(|g| Rank(c.sc_rank[g]))
+                .collect();
+            (flags, recipients)
+        };
+        for m in flags {
+            for &to in &recipients {
+                self.send_msg(ctx, to, m.clone());
+            }
+        }
+    }
+
+    /// An SC asks for a spare target to duplicate a stuck member's write.
+    /// Granting permanently burns the offset at the spare: even the losing
+    /// copy may still land there, so it is never reused.
+    fn c_on_spec_request(&mut self, group: u32, member: u32, bytes: u64, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ctl_opts().enabled || !self.ctl_opts().speculation {
+            return;
+        }
+        let grant = {
+            let c = self.coord.as_mut().expect("coordinator role");
+            let Some(ctl) = c.ctl.as_mut() else { return };
+            if ctl.spec_inflight.iter().any(|&(m, _)| m == member) {
+                return; // already granted (the SC re-asks every epoch)
+            }
+            // A spare must be free, alive, off the requesting group, and
+            // on an unflagged OST — no point racing one straggler against
+            // another.
+            let Some(pick) = c.free_targets.iter().position(|&g| {
+                g != group
+                    && !c.dead_target[g as usize]
+                    && !ctl.tracker.is_straggler(self.plan.ost_of_group[g as usize].0)
+            }) else {
+                return; // nothing suitable now; the SC retries next epoch
+            };
+            let t = c.free_targets.remove(pick).expect("position valid");
+            let offset = c.noted_offset[t as usize];
+            c.noted_offset[t as usize] += bytes;
+            ctl.spec_inflight.push((member, t));
+            ctl.granted += 1;
+            let a = Assignment {
+                triggering_group: group,
+                target_group: t,
+                file: self.files[t as usize],
+                ost: self.plan.ost_of_group[t as usize],
+                offset,
+            };
+            (Rank(c.sc_rank[group as usize]), Msg::SpecGrant { member, assignment: a })
+        };
+        let (to, m) = grant;
+        self.send_msg(ctx, to, m);
+    }
+
+    /// Resolve an outstanding speculation grant (duplicate won, lost, or
+    /// became moot) and put the spare target back into rotation.
+    fn c_resolve_spec(&mut self, member: u32, target_group: u32, won: bool, ctx: &mut Ctx<'_, Msg>) {
+        if !self.ctl_opts().enabled {
+            return;
+        }
+        {
+            let c = self.coord.as_mut().expect("coordinator role");
+            let Some(ctl) = c.ctl.as_mut() else { return };
+            let Some(pos) = ctl
+                .spec_inflight
+                .iter()
+                .position(|&(m, t)| m == member && t == target_group)
+            else {
+                return; // duplicated resolution
+            };
+            ctl.spec_inflight.swap_remove(pos);
+            if won {
+                ctl.won += 1;
             }
             Self::c_free_target(c, target_group);
         }
@@ -1420,6 +2066,26 @@ impl AdaptiveActor {
                     c.noted_offset[t as usize] += worst;
                     Self::c_free_target(c, t);
                 }
+                // Speculations relayed through the dead SC can never
+                // resolve either; their offsets were burned at grant
+                // time, so the spare targets are safe to re-free.
+                let stale_specs: Vec<u32> = match c.ctl.as_mut() {
+                    Some(ctl) => {
+                        let stale: Vec<u32> = ctl
+                            .spec_inflight
+                            .iter()
+                            .filter(|&&(m, _)| self.plan.group_of[m as usize] == group)
+                            .map(|&(_, t)| t)
+                            .collect();
+                        ctl.spec_inflight
+                            .retain(|&(m, _)| self.plan.group_of[m as usize] != group);
+                        stale
+                    }
+                    None => Vec::new(),
+                };
+                for t in stale_specs {
+                    Self::c_free_target(c, t);
+                }
                 Action::Promote {
                     new_sc,
                     dead_sc,
@@ -1455,6 +2121,26 @@ impl AdaptiveActor {
                     // offsets may have been written, so re-freeing would
                     // risk overlap).
                     c.inflight.retain(|&(s, _)| s != group);
+                    // Speculations for the abandoned group's members are
+                    // moot; their offsets are burned, so the spare
+                    // targets are safe to re-free.
+                    let stale_specs: Vec<u32> = match c.ctl.as_mut() {
+                        Some(ctl) => {
+                            let stale: Vec<u32> = ctl
+                                .spec_inflight
+                                .iter()
+                                .filter(|&&(m, _)| self.plan.group_of[m as usize] == group)
+                                .map(|&(_, t)| t)
+                                .collect();
+                            ctl.spec_inflight
+                                .retain(|&(m, _)| self.plan.group_of[m as usize] != group);
+                            stale
+                        }
+                        None => Vec::new(),
+                    };
+                    for t in stale_specs {
+                        Self::c_free_target(c, t);
+                    }
                     if !c.index_in[group as usize] {
                         c.indices_expected = c.indices_expected.saturating_sub(1);
                     }
@@ -1553,6 +2239,10 @@ impl Actor for AdaptiveActor {
                 );
             }
         }
+        let ctl = self.ctl_opts();
+        if ctl.enabled && self.sc.is_some() {
+            ctx.set_timer(SimDuration::from_secs_f64(ctl.epoch_secs), TIMER_EPOCH);
+        }
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
@@ -1569,6 +2259,12 @@ impl Actor for AdaptiveActor {
             TIMER_PING if self.coord.is_some() => self.c_ping_round(ctx),
             TIMER_ADOPT => self.sc_adopt_timeout(ctx),
             TIMER_SWEEP if self.sc.is_some() => self.sc_sweep(ctx),
+            TIMER_EPOCH if self.sc.is_some() => self.sc_epoch(ctx),
+            TIMER_SPEC_TIMEOUT
+                if self.spec_assignment.is_some() && tgen == self.spec_gen =>
+            {
+                self.spec_abort(ctx);
+            }
             _ => {}
         }
     }
@@ -1594,6 +2290,14 @@ impl Actor for AdaptiveActor {
             | Msg::ScPong { .. }
             | Msg::ScFailover { .. }
             | Msg::StatusReport { .. } => self.msg_stats.fault_ctrl += 1,
+            Msg::LatencyDigest { .. }
+            | Msg::StragglerFlag { .. }
+            | Msg::SpecRequest { .. }
+            | Msg::SpecGrant { .. }
+            | Msg::SpecWrite { .. }
+            | Msg::SpecCancel { .. }
+            | Msg::SpecDone { .. }
+            | Msg::TunerUpdate { .. } => self.msg_stats.control += 1,
         }
         match msg {
             Msg::WriteNow(a) => {
@@ -1650,6 +2354,34 @@ impl Actor for AdaptiveActor {
                 overall_sent,
             } => self.on_sc_failover(group, new_sc, dead_sc, overall_sent, ctx),
             Msg::StatusReport { .. } => self.apply_status_report(from, msg, ctx),
+            Msg::LatencyDigest { samples } => self.c_on_latency_digest(samples, ctx),
+            Msg::StragglerFlag {
+                ost,
+                slow,
+                median_secs,
+            } => self.sc_on_straggler_flag(ost, slow, median_secs),
+            Msg::SpecRequest {
+                group,
+                member,
+                bytes,
+            } => self.c_on_spec_request(group, member, bytes, ctx),
+            Msg::SpecGrant { member, assignment } => {
+                self.sc_on_spec_grant(member, assignment, ctx)
+            }
+            Msg::SpecWrite { assignment } => self.writer_on_spec_write(assignment, ctx),
+            Msg::SpecCancel {
+                member,
+                target_group,
+            } => self.on_spec_cancel(member, target_group, ctx),
+            Msg::SpecDone {
+                member,
+                target_group,
+            } => self.c_resolve_spec(member, target_group, true, ctx),
+            Msg::TunerUpdate { backoff_scale } => {
+                if self.ctl_opts().enabled {
+                    self.backoff_scale = backoff_scale;
+                }
+            }
         }
     }
 
@@ -1664,16 +2396,31 @@ impl Actor for AdaptiveActor {
                 }
             }
             (TAG_WRITE, CompletionKind::Write) => {
-                if self.ft().enabled {
+                if self.hardened() {
                     if cgen != self.gen || self.assignment.is_none() {
-                        return; // stale attempt
+                        return; // stale attempt (retried or lost the spec race)
                     }
                     if done.error {
-                        self.write_attempt_failed(ctx);
+                        if self.ft().enabled {
+                            self.write_attempt_failed(ctx);
+                        }
+                        // Without fault mode there is no retry machinery;
+                        // the control loop's speculation (if any) is the
+                        // only rescue path, so keep waiting on it.
                         return;
                     }
                 }
-                self.finish_write(done, ctx)
+                let a = self.assignment.take().expect("completion without assignment");
+                // The primary won (or ran unopposed): any in-flight
+                // duplicate is fenced as an orphan at a burned offset.
+                self.spec_assignment = None;
+                self.finish_write(done, a, ctx)
+            }
+            (TAG_SPEC, CompletionKind::Write) => {
+                if cgen != self.spec_gen || self.spec_assignment.is_none() {
+                    return; // stale duplicate
+                }
+                self.writer_on_spec_complete(done, ctx);
             }
             // An index write that errored (target died during the index
             // phase) still reports to C: accounting is record-based.
@@ -1686,7 +2433,7 @@ impl Actor for AdaptiveActor {
             }
             (TAG_CLOSE, CompletionKind::Close) => {}
             other => {
-                if !self.ft().enabled {
+                if !self.hardened() {
                     panic!("unexpected IO completion {other:?}")
                 }
             }

@@ -1,0 +1,425 @@
+//! Closed-loop straggler defense for the adaptive protocol.
+//!
+//! Three pieces (DESIGN.md §12), all pure state machines so the adaptive
+//! actor can drive them deterministically from simulation time:
+//!
+//! - [`ControlOpts`] — the knobs, off by default. With `enabled = false`
+//!   the protocol is byte-identical to the static adaptive protocol.
+//! - [`OstLatencyTracker`] — the coordinator's per-OST view: a streaming
+//!   EWMA plus a P² tail-quantile sketch per target ([`iostats::stream`]),
+//!   fed by `LatencyDigest` batches from the sub-coordinators. An OST is
+//!   flagged a straggler when its smoothed latency exceeds a robust
+//!   multiple of the cross-OST median; the flag clears with hysteresis
+//!   (half the flag threshold) so a borderline target does not flap.
+//! - [`Tuner`] — an IOPathTune-style local hill climber each SC runs for
+//!   its own queue depth and retry backoff. It only ever moves one step
+//!   per decision epoch, holds raises that regress throughput past the
+//!   hysteresis band, and in a clean run (no flags anywhere) sits exactly
+//!   at the static schedule's depth — so clean closed-loop runs converge
+//!   to the static protocol.
+
+use iostats::{Ewma, P2Quantile};
+
+/// Knobs for the closed control loop. Carried on
+/// [`AdaptiveOpts`](crate::AdaptiveOpts); everything is inert unless
+/// `enabled` is set.
+#[derive(Clone, Copy, Debug)]
+pub struct ControlOpts {
+    /// Master switch. Off ⇒ the protocol is byte-identical to the
+    /// static adaptive protocol (pinned in tests/determinism.rs).
+    pub enabled: bool,
+    /// Length of one decision epoch (SC digest + tuner step), seconds.
+    pub epoch_secs: f64,
+    /// EWMA weight for per-OST latency smoothing.
+    pub ewma_alpha: f64,
+    /// Flag an OST when its smoothed latency exceeds this multiple of
+    /// the cross-OST median.
+    pub straggler_factor: f64,
+    /// Minimum latency samples before an OST participates in the median
+    /// or can be flagged.
+    pub min_samples: u64,
+    /// A stuck write is speculatively re-issued once it is this many
+    /// multiples of the healthy median latency old.
+    pub spec_deadline_factor: f64,
+    /// Allow speculative duplicate writes to spare targets.
+    pub speculation: bool,
+    /// Allow the per-SC queue-depth / backoff tuner to move knobs.
+    pub tuning: bool,
+    /// Relative throughput regression tolerated before a raise is held
+    /// or reverted.
+    pub hysteresis: f64,
+    /// Upper bound for the tuner's per-OST queue depth.
+    pub max_queue_depth: usize,
+}
+
+impl Default for ControlOpts {
+    fn default() -> Self {
+        ControlOpts {
+            enabled: false,
+            epoch_secs: 1.0,
+            ewma_alpha: 0.25,
+            straggler_factor: 3.0,
+            min_samples: 3,
+            spec_deadline_factor: 3.0,
+            speculation: true,
+            tuning: true,
+            hysteresis: 0.15,
+            max_queue_depth: 4,
+        }
+    }
+}
+
+impl ControlOpts {
+    /// Default knobs with the loop switched on.
+    pub fn enabled() -> Self {
+        ControlOpts {
+            enabled: true,
+            ..ControlOpts::default()
+        }
+    }
+}
+
+/// One OST's latency state.
+#[derive(Clone, Debug)]
+struct OstLat {
+    ewma: Ewma,
+    tail: P2Quantile,
+}
+
+/// A flag transition reported by [`OstLatencyTracker::decide`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlagChange {
+    /// The OST whose flag changed.
+    pub ost: u32,
+    /// New flag state: `true` ⇒ straggler.
+    pub slow: bool,
+}
+
+/// The coordinator's per-OST latency view and straggler detector.
+///
+/// Grown on demand: `observe` accepts any OST id. Deciding is separate
+/// from observing so a batch of digest samples costs one median pass.
+#[derive(Clone, Debug)]
+pub struct OstLatencyTracker {
+    alpha: f64,
+    factor: f64,
+    min_samples: u64,
+    lat: Vec<OstLat>,
+    flagged: Vec<bool>,
+    scratch: Vec<f64>,
+}
+
+impl OstLatencyTracker {
+    /// A fresh tracker using the detector knobs from `opts`.
+    pub fn new(opts: &ControlOpts) -> Self {
+        OstLatencyTracker {
+            alpha: opts.ewma_alpha,
+            factor: opts.straggler_factor.max(1.0),
+            min_samples: opts.min_samples.max(1),
+            lat: Vec::new(),
+            flagged: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn grow(&mut self, ost: usize) {
+        while self.lat.len() <= ost {
+            self.lat.push(OstLat {
+                ewma: Ewma::new(self.alpha),
+                tail: P2Quantile::new(0.9),
+            });
+            self.flagged.push(false);
+        }
+    }
+
+    /// Feed one completion (or censored in-progress) latency for `ost`.
+    pub fn observe(&mut self, ost: usize, secs: f64) {
+        if !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        self.grow(ost);
+        self.lat[ost].ewma.observe(secs);
+        self.lat[ost].tail.observe(secs);
+    }
+
+    /// Samples seen for `ost`.
+    pub fn samples(&self, ost: usize) -> u64 {
+        self.lat.get(ost).map_or(0, |l| l.ewma.count())
+    }
+
+    /// Smoothed latency for `ost` (0.0 before any sample).
+    pub fn smoothed(&self, ost: usize) -> f64 {
+        self.lat.get(ost).map_or(0.0, |l| l.ewma.value())
+    }
+
+    /// P² tail (p90) latency estimate for `ost`.
+    pub fn tail(&self, ost: usize) -> f64 {
+        self.lat.get(ost).map_or(0.0, |l| l.tail.value())
+    }
+
+    /// Is `ost` currently flagged a straggler?
+    pub fn is_straggler(&self, ost: usize) -> bool {
+        self.flagged.get(ost).copied().unwrap_or(false)
+    }
+
+    /// Median of the smoothed latencies over OSTs with enough samples;
+    /// 0.0 until at least two OSTs qualify.
+    pub fn median(&mut self) -> f64 {
+        self.scratch.clear();
+        for l in &self.lat {
+            if l.ewma.count() >= self.min_samples {
+                self.scratch.push(l.ewma.value());
+            }
+        }
+        if self.scratch.len() < 2 {
+            return 0.0;
+        }
+        self.scratch
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mid = self.scratch.len() / 2;
+        if self.scratch.len() % 2 == 1 {
+            self.scratch[mid]
+        } else {
+            0.5 * (self.scratch[mid - 1] + self.scratch[mid])
+        }
+    }
+
+    /// Re-evaluate every flag against the current median. Appends one
+    /// [`FlagChange`] per transition (ascending OST id) to `changes` and
+    /// returns the median used. With fewer than two qualifying OSTs
+    /// nothing changes — a lone target can never be "slower than the
+    /// rest".
+    pub fn decide(&mut self, changes: &mut Vec<FlagChange>) -> f64 {
+        let med = self.median();
+        if med <= 0.0 {
+            return med;
+        }
+        let flag_at = self.factor * med;
+        // Hysteresis: clear only once clearly back inside the band.
+        let clear_at = 0.5 * flag_at;
+        for ost in 0..self.lat.len() {
+            if self.lat[ost].ewma.count() < self.min_samples {
+                continue;
+            }
+            let v = self.lat[ost].ewma.value();
+            if !self.flagged[ost] && v > flag_at {
+                self.flagged[ost] = true;
+                changes.push(FlagChange {
+                    ost: ost as u32,
+                    slow: true,
+                });
+            } else if self.flagged[ost] && v < clear_at {
+                self.flagged[ost] = false;
+                changes.push(FlagChange {
+                    ost: ost as u32,
+                    slow: false,
+                });
+            }
+        }
+        med
+    }
+
+    /// Any OST currently flagged?
+    pub fn any_flagged(&self) -> bool {
+        self.flagged.iter().any(|&f| f)
+    }
+}
+
+/// Per-SC knob tuner: queue depth toward a target (freeze on own-OST
+/// straggler, widen while the cluster is stressed elsewhere, base when
+/// clean) one step per epoch, raises guarded by a throughput-regression
+/// hysteresis band; retry backoff doubled while flagged, decayed back to
+/// 1× when healthy.
+#[derive(Clone, Debug)]
+pub struct Tuner {
+    base: usize,
+    min: usize,
+    max: usize,
+    depth: usize,
+    scale: f64,
+    hysteresis: f64,
+    last_rate: f64,
+}
+
+impl Tuner {
+    /// `base_depth` is the static schedule's writers-per-target;
+    /// `min_depth` is the freeze floor (0 only when other targets exist
+    /// to drain the group's members).
+    pub fn new(base_depth: usize, min_depth: usize, opts: &ControlOpts) -> Self {
+        let base = base_depth.max(1);
+        Tuner {
+            base,
+            min: min_depth.min(base),
+            max: opts.max_queue_depth.max(base),
+            depth: base,
+            scale: 1.0,
+            hysteresis: opts.hysteresis.clamp(0.0, 1.0),
+            last_rate: 0.0,
+        }
+    }
+
+    /// Current queue depth (writers the SC keeps on its own OST).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current retry-backoff multiplier.
+    pub fn backoff_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// One decision epoch. `own_flagged`: this SC's OST is a straggler;
+    /// `any_flagged`: some OST in the cluster is. `epoch_bytes` is what
+    /// the SC's members completed this epoch. Returns `true` when a knob
+    /// moved.
+    pub fn step(
+        &mut self,
+        own_flagged: bool,
+        any_flagged: bool,
+        epoch_bytes: u64,
+        epoch_secs: f64,
+    ) -> bool {
+        let rate = epoch_bytes as f64 / epoch_secs.max(1e-9);
+        let target = if own_flagged {
+            self.min
+        } else if any_flagged {
+            // Healthy group under cluster stress: widen to finish (and
+            // free this target for diverts/speculation) sooner.
+            self.max
+        } else {
+            self.base
+        };
+        let prev_depth = self.depth;
+        if self.depth > target {
+            // Stepping down is always safe: it starves the slow path.
+            self.depth -= 1;
+        } else if self.depth < target {
+            if self.last_rate == 0.0 || rate >= self.last_rate * (1.0 - self.hysteresis) {
+                self.depth += 1;
+            } else if self.depth > self.base {
+                // The last raise regressed throughput: back off one step.
+                self.depth -= 1;
+            }
+        }
+        let prev_scale = self.scale;
+        self.scale = if own_flagged {
+            (self.scale * 2.0).min(8.0)
+        } else {
+            (self.scale * 0.5).max(1.0)
+        };
+        if epoch_bytes > 0 {
+            self.last_rate = rate;
+        }
+        self.depth != prev_depth || self.scale != prev_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_inert() {
+        let o = ControlOpts::default();
+        assert!(!o.enabled);
+        assert!(ControlOpts::enabled().enabled);
+    }
+
+    #[test]
+    fn tracker_flags_and_clears_a_straggler() {
+        let mut t = OstLatencyTracker::new(&ControlOpts::default());
+        let mut changes = Vec::new();
+        for _ in 0..5 {
+            for ost in 0..4 {
+                t.observe(ost, 0.1);
+            }
+            t.observe(4, 2.0);
+        }
+        let med = t.decide(&mut changes);
+        assert!((med - 0.1).abs() < 1e-9);
+        assert_eq!(changes, vec![FlagChange { ost: 4, slow: true }]);
+        assert!(t.is_straggler(4));
+        assert!(!t.is_straggler(0));
+        assert!(t.any_flagged());
+        // Recovery: feed fast samples until the EWMA drops under the
+        // clear threshold (half of 3× median).
+        changes.clear();
+        for _ in 0..30 {
+            t.observe(4, 0.1);
+        }
+        t.decide(&mut changes);
+        assert_eq!(changes, vec![FlagChange { ost: 4, slow: false }]);
+        assert!(!t.any_flagged());
+    }
+
+    #[test]
+    fn tracker_needs_two_qualifying_osts() {
+        let mut t = OstLatencyTracker::new(&ControlOpts::default());
+        let mut changes = Vec::new();
+        for _ in 0..10 {
+            t.observe(0, 5.0);
+        }
+        assert_eq!(t.decide(&mut changes), 0.0);
+        assert!(changes.is_empty());
+        assert!(!t.is_straggler(0));
+    }
+
+    #[test]
+    fn tracker_ignores_poisoned_samples() {
+        let mut t = OstLatencyTracker::new(&ControlOpts::default());
+        t.observe(0, f64::NAN);
+        t.observe(0, -1.0);
+        t.observe(0, f64::INFINITY);
+        assert_eq!(t.samples(0), 0);
+        assert_eq!(t.smoothed(0), 0.0);
+    }
+
+    #[test]
+    fn tuner_is_stable_on_clean_epochs() {
+        let mut tn = Tuner::new(2, 0, &ControlOpts::default());
+        for _ in 0..20 {
+            assert!(!tn.step(false, false, 1 << 20, 1.0));
+        }
+        assert_eq!(tn.depth(), 2);
+        assert_eq!(tn.backoff_scale(), 1.0);
+    }
+
+    #[test]
+    fn tuner_freezes_when_flagged_and_recovers() {
+        let opts = ControlOpts::default();
+        let mut tn = Tuner::new(2, 0, &opts);
+        assert!(tn.step(true, true, 1 << 20, 1.0));
+        assert_eq!(tn.depth(), 1);
+        tn.step(true, true, 0, 1.0);
+        assert_eq!(tn.depth(), 0);
+        assert!(tn.backoff_scale() > 1.0);
+        // Flag clears: climb back to base, backoff decays to 1.
+        for _ in 0..8 {
+            tn.step(false, false, 1 << 20, 1.0);
+        }
+        assert_eq!(tn.depth(), 2);
+        assert_eq!(tn.backoff_scale(), 1.0);
+    }
+
+    #[test]
+    fn tuner_widens_under_cluster_stress_and_reverts_regressions() {
+        let opts = ControlOpts::default();
+        let mut tn = Tuner::new(1, 0, &opts);
+        // Someone else is flagged: widen toward max while throughput
+        // holds.
+        tn.step(false, true, 100, 1.0);
+        assert_eq!(tn.depth(), 2);
+        // The raise regressed throughput hard: step back.
+        tn.step(false, true, 10, 1.0);
+        assert_eq!(tn.depth(), 1);
+    }
+
+    #[test]
+    fn tuner_floor_respects_min_depth() {
+        let mut tn = Tuner::new(1, 1, &ControlOpts::default());
+        for _ in 0..5 {
+            tn.step(true, true, 0, 1.0);
+        }
+        assert_eq!(tn.depth(), 1, "single-target runs must not freeze");
+    }
+}

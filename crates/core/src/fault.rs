@@ -108,6 +108,21 @@ impl FaultTolerance {
             30.0 + bytes as f64 / (512.0 * 1024.0)
         }
     }
+
+    /// Exponential backoff delay after `failures` failed attempts
+    /// (`base · 2^(failures−1)`).
+    pub fn backoff_secs(&self, failures: u32) -> f64 {
+        self.backoff_base_secs * f64::powi(2.0, failures as i32 - 1)
+    }
+
+    /// How long a write of `bytes` may stay silent before its writer is
+    /// declared dead: worst case all attempts time out, plus the full
+    /// backoff chain, plus generous message slack.
+    pub fn retry_budget_secs(&self, bytes: u64) -> f64 {
+        self.max_retries.max(1) as f64 * self.timeout_for(bytes)
+            + self.backoff_base_secs * f64::powi(2.0, self.max_retries as i32)
+            + 30.0
+    }
 }
 
 /// A structured failure observed during a run — surfaced in
@@ -264,6 +279,20 @@ mod tests {
             ..FaultTolerance::default()
         };
         assert_eq!(fixed.timeout_for(u64::MAX), 2.0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_budget_covers_all_attempts() {
+        let ft = FaultTolerance::default();
+        assert_eq!(ft.backoff_secs(1), 0.5);
+        assert_eq!(ft.backoff_secs(2), 1.0);
+        assert_eq!(ft.backoff_secs(3), 2.0);
+        let budget = ft.retry_budget_secs(1024);
+        let mut worst = 30.0; // message slack
+        for failures in 1..=ft.max_retries {
+            worst += ft.timeout_for(1024) + ft.backoff_secs(failures);
+        }
+        assert!(budget >= worst);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod control;
 pub mod fault;
 pub mod mpiio;
 pub mod multistep;
@@ -34,6 +35,7 @@ pub mod scrub;
 pub mod staging;
 
 pub use adaptive::{AdaptiveActor, AdaptiveOpts, MsgStats};
+pub use control::{ControlOpts, FlagChange, OstLatencyTracker, Tuner};
 pub use fault::{
     FaultConfig, FaultTolerance, IntegrityOutcome, NetFaults, SimError, WriteOutcome,
 };

@@ -196,6 +196,75 @@ pub enum Msg {
         /// in synthetic mode).
         pieces: Vec<IndexEntry>,
     },
+
+    // ---- control-loop extension (inactive unless `AdaptiveOpts.control`) --
+    /// Sub-coordinator → coordinator: per-OST write latencies observed
+    /// since the last decision epoch (completions plus censored ages of
+    /// still-stuck local writes, so a fully stalled target is visible).
+    LatencyDigest {
+        /// `(ost, latency_secs)` samples, in observation order.
+        samples: Vec<(u32, f64)>,
+    },
+    /// Coordinator → sub-coordinators: an OST's straggler flag changed.
+    /// Carries the current cross-OST median latency so SCs can derive
+    /// speculation deadlines locally.
+    StragglerFlag {
+        /// The OST whose flag changed.
+        ost: u32,
+        /// New state: `true` ⇒ straggler.
+        slow: bool,
+        /// Median smoothed latency across tracked OSTs, seconds.
+        median_secs: f64,
+    },
+    /// Sub-coordinator → coordinator: member `member`'s local write has
+    /// been stuck on my flagged OST past the speculation deadline;
+    /// please grant a spare target for a duplicate.
+    SpecRequest {
+        /// The requesting group.
+        group: u32,
+        /// The stuck member's rank.
+        member: u32,
+        /// Bytes the duplicate would write.
+        bytes: u64,
+    },
+    /// Coordinator → sub-coordinator: speculation granted. The offset in
+    /// `assignment` is permanently burned at the coordinator — even a
+    /// losing duplicate may still land there, so it is never reused.
+    SpecGrant {
+        /// The member the grant is for.
+        member: u32,
+        /// Where the duplicate goes.
+        assignment: Assignment,
+    },
+    /// Sub-coordinator → member: issue the speculative duplicate write.
+    SpecWrite {
+        /// Where the duplicate goes.
+        assignment: Assignment,
+    },
+    /// The speculation lost, failed, or is moot: free the spare target.
+    /// Flows writer → SC (a duplicate errored or timed out) and SC → C
+    /// (the original write won, the member failed/was reaped, or a stale
+    /// grant arrived).
+    SpecCancel {
+        /// The member the speculation was for.
+        member: u32,
+        /// The spare target to free.
+        target_group: u32,
+    },
+    /// Sub-coordinator → coordinator: the duplicate won the race — the
+    /// member's bytes landed on the spare target. Frees the target.
+    SpecDone {
+        /// The rescued member.
+        member: u32,
+        /// The spare target that received the bytes.
+        target_group: u32,
+    },
+    /// Sub-coordinator → its members: updated retry-backoff multiplier
+    /// from the local tuner.
+    TunerUpdate {
+        /// Multiplier applied to retry backoff delays.
+        backoff_scale: f64,
+    },
 }
 
 impl Msg {
@@ -212,6 +281,9 @@ impl Msg {
             Msg::StatusReport { pieces, .. } => {
                 CTRL_BYTES + pieces.len() as u64 * INDEX_ENTRY_BYTES
             }
+            // 12 bytes per (ost, latency) pair, rounded up to keep the
+            // digest visibly heavier than a bare control message.
+            Msg::LatencyDigest { samples } => CTRL_BYTES + samples.len() as u64 * 16,
             _ => CTRL_BYTES,
         }
     }
@@ -244,6 +316,24 @@ mod tests {
             Msg::ScComplete {
                 group: 0,
                 final_offset: 0
+            }
+            .wire_bytes(),
+            CTRL_BYTES
+        );
+    }
+
+    #[test]
+    fn latency_digests_scale_with_samples() {
+        let empty = Msg::LatencyDigest { samples: vec![] };
+        assert_eq!(empty.wire_bytes(), CTRL_BYTES);
+        let digest = Msg::LatencyDigest {
+            samples: vec![(0, 0.5); 10],
+        };
+        assert_eq!(digest.wire_bytes(), CTRL_BYTES + 160);
+        assert_eq!(
+            Msg::SpecGrant {
+                member: 3,
+                assignment: asg(0, 2)
             }
             .wire_bytes(),
             CTRL_BYTES

@@ -198,6 +198,11 @@ pub struct ProtocolStats {
     pub total_messages: u64,
     /// Messages received by the busiest single rank.
     pub busiest_rank_inbox: u64,
+    /// Speculative duplicates granted by the coordinator (0 unless the
+    /// control loop is on).
+    pub spec_granted: u64,
+    /// Speculations whose duplicate beat the stuck primary.
+    pub spec_won: u64,
 }
 
 impl RunOutput {
@@ -828,6 +833,15 @@ fn run_adaptive(
         // on (explicit knobs in `opts.fault` are respected as-is).
         opts.fault.enabled = true;
     }
+    // The control loop's speculative duplicates re-place payloads the same
+    // way retries do, so it is synthetic-data-only too. It does NOT force
+    // fault mode: generation fencing alone covers clean-run speculation.
+    if opts.control.enabled {
+        assert!(
+            matches!(base.data, DataSpec::Uniform(_) | DataSpec::PerRank(_)),
+            "the control loop supports synthetic (sizes-only) data"
+        );
+    }
     let plan = Arc::clone(&base.plan);
     let opts = Rc::new(opts);
     let (real_blocks, store) = match &base.data {
@@ -891,6 +905,7 @@ fn run_adaptive(
     }
     let global_index = coordinator.global_index().cloned();
     let max_outstanding = coordinator.max_outstanding().unwrap_or(0);
+    let (spec_granted, spec_won) = coordinator.spec_stats().unwrap_or((0, 0));
     let mut errors = Vec::new();
     if finished.is_none() {
         let mut pending: Vec<u32> = sim
@@ -928,6 +943,8 @@ fn run_adaptive(
         max_outstanding_adaptive: max_outstanding,
         total_messages,
         busiest_rank_inbox: busiest,
+        spec_granted,
+        spec_won,
     });
     let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
     outcome.complete &= errors.is_empty();

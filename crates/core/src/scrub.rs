@@ -175,7 +175,7 @@ impl ScrubActor {
     fn attempt_failed(&mut self, ctx: &mut Ctx<'_, ()>) {
         if self.attempt < self.tol.max_retries {
             // Exponential backoff, then reissue the same attempt kind.
-            let delay = self.tol.backoff_base_secs * f64::from(1u32 << (self.attempt - 1));
+            let delay = self.tol.backoff_secs(self.attempt);
             self.attempt += 1;
             let tag = self.next_timer;
             self.next_timer += 1;

@@ -1,0 +1,231 @@
+//! Closed-loop straggler defense: rescue, exactly-once accounting,
+//! kill-during-speculation, reaper interplay and thread determinism.
+//!
+//! Contracts pinned here:
+//!
+//! 1. A limping disk that dominates the static schedule is rescued by
+//!    the control loop (flag → divert → speculative re-issue), with
+//!    every byte accounted for exactly once.
+//! 2. Speculative duplicates never double-count: one data record per
+//!    rank, no overlapping extents, `written + lost == total` — even
+//!    under a duplicating, delaying network.
+//! 3. Killing the writer while its speculation is in flight degrades to
+//!    a clean structured failure (the sweep reaper reclaims the member,
+//!    its speculation is cancelled at the coordinator, the run ends).
+//! 4. An aggressive sweep reaper does not reclaim a member whose
+//!    speculative re-issue is pending (the grant refreshes the
+//!    assignment clock).
+//! 5. The control loop stays deterministic across sweep worker threads.
+
+use adios_core::control::ControlOpts;
+use adios_core::fault::{FaultConfig, FaultTolerance, NetFaults, SimError};
+use adios_core::runner::{DataSpec, Interference, Method, RunBase, RunOutput, RunSpec};
+use adios_core::{run_with_faults, AdaptiveOpts};
+use simcore::units::MIB;
+use storesim::params::testbed;
+use storesim::FaultScript;
+
+const NPROCS: usize = 32;
+const BYTES: u64 = 64 * MIB;
+const TARGETS: usize = 8;
+
+fn opts(control: bool) -> AdaptiveOpts {
+    AdaptiveOpts {
+        fault: FaultTolerance::enabled(),
+        control: if control {
+            ControlOpts::enabled()
+        } else {
+            ControlOpts::default()
+        },
+        ..AdaptiveOpts::default()
+    }
+}
+
+fn spec(method: Method, seed: u64) -> RunSpec {
+    RunSpec {
+        machine: testbed(),
+        nprocs: NPROCS,
+        data: DataSpec::Uniform(BYTES),
+        method,
+        interference: Interference::None,
+        seed,
+    }
+}
+
+fn limping(factor: f64) -> FaultConfig {
+    FaultConfig {
+        storage: FaultScript::none().limping(0.0, 0, factor),
+        ..Default::default()
+    }
+}
+
+/// Assert the exactly-once invariants on a completed run: every rank has
+/// one data record, extents within a file never overlap, and the byte
+/// ledger balances.
+fn assert_exactly_once(out: &RunOutput, label: &str) {
+    assert_eq!(
+        out.outcome.written_bytes + out.outcome.lost_bytes,
+        out.outcome.total_bytes,
+        "{label}: byte ledger does not balance"
+    );
+    let mut per_rank = vec![0usize; NPROCS];
+    for r in &out.result.records {
+        per_rank[r.rank as usize] += 1;
+    }
+    for (rank, &n) in per_rank.iter().enumerate() {
+        assert!(n <= 1, "{label}: rank {rank} has {n} data records");
+    }
+    let mut extents: Vec<(u32, u64, u64)> = out
+        .result
+        .records
+        .iter()
+        .map(|r| (r.file.0, r.offset, r.offset + r.bytes))
+        .collect();
+    extents.sort_unstable();
+    for w in extents.windows(2) {
+        let ((f0, _, end0), (f1, start1, _)) = (w[0], w[1]);
+        assert!(
+            f0 != f1 || end0 <= start1,
+            "{label}: overlapping extents in file {f0}"
+        );
+    }
+}
+
+#[test]
+fn closed_loop_rescues_limping_disk() {
+    let faults = limping(0.05);
+    let stat = run_with_faults(
+        spec(Method::Adaptive { targets: TARGETS, opts: opts(false) }, 1),
+        faults.clone(),
+    );
+    let ctl = run_with_faults(
+        spec(Method::Adaptive { targets: TARGETS, opts: opts(true) }, 1),
+        faults,
+    );
+    assert!(stat.outcome.complete && ctl.outcome.complete);
+    assert_eq!(ctl.outcome.lost_bytes, 0);
+    let p = ctl.protocol.as_ref().expect("adaptive run has protocol stats");
+    assert!(p.spec_won >= 1, "no speculation won the race");
+    assert!(p.spec_won <= p.spec_granted);
+    assert!(
+        ctl.result.full_span < 0.6 * stat.result.full_span,
+        "closed loop {:.2}s did not decisively beat static {:.2}s",
+        ctl.result.full_span,
+        stat.result.full_span
+    );
+    assert_exactly_once(&ctl, "rescue");
+    // The static run must not have speculated at all.
+    assert_eq!(stat.protocol.as_ref().unwrap().spec_granted, 0);
+}
+
+#[test]
+fn exactly_once_under_limping_and_lossy_network() {
+    for seed in 0..8u64 {
+        let faults = FaultConfig {
+            storage: FaultScript::none().limping(0.0, 0, 0.04),
+            network: Some(NetFaults {
+                dup_p: 0.3,
+                delay_p: 0.3,
+                delay_mean_secs: 0.05,
+            }),
+            ..Default::default()
+        };
+        let out = run_with_faults(
+            spec(Method::Adaptive { targets: TARGETS, opts: opts(true) }, seed),
+            faults,
+        );
+        assert!(out.outcome.complete, "seed {seed}: run incomplete");
+        assert_eq!(out.outcome.lost_bytes, 0, "seed {seed}: bytes lost");
+        assert_exactly_once(&out, &format!("lossy seed {seed}"));
+    }
+}
+
+#[test]
+fn kill_during_speculation_degrades_to_structured_failure() {
+    // Find the member stuck on the limped OST from a static run, then
+    // kill exactly that rank in the closed-loop run while its
+    // speculative re-issue is in flight (grant lands ~5 s in, the spec
+    // write needs ~0.8 s).
+    let faults = limping(0.005);
+    let stat = run_with_faults(
+        spec(Method::Adaptive { targets: TARGETS, opts: opts(false) }, 1),
+        faults.clone(),
+    );
+    let stuck = stat
+        .result
+        .records
+        .iter()
+        .filter(|r| r.ost.0 == 0)
+        .max_by(|a, b| {
+            let da = a.end.as_nanos() - a.start.as_nanos();
+            let db = b.end.as_nanos() - b.start.as_nanos();
+            da.cmp(&db)
+        })
+        .expect("someone wrote to the limped OST")
+        .rank;
+
+    let killed = FaultConfig {
+        kills: vec![(5.2, stuck)],
+        ..faults
+    };
+    let out = run_with_faults(
+        spec(Method::Adaptive { targets: TARGETS, opts: opts(true) }, 1),
+        killed,
+    );
+    // The run must terminate as a structured partial failure, not a
+    // hang: the sweep reaper reclaims the dead member, the coordinator
+    // drops its speculation, everyone else lands.
+    assert!(!out.outcome.complete);
+    assert_eq!(out.outcome.lost_bytes, BYTES, "exactly the dead rank's bytes");
+    assert!(
+        out.errors
+            .iter()
+            .any(|e| matches!(e, SimError::RankFailed { rank, .. } if *rank == stuck)),
+        "expected a RankFailed for the killed rank, got {:?}",
+        out.errors
+    );
+    assert_exactly_once(&out, "kill-during-spec");
+    let p = out.protocol.as_ref().unwrap();
+    assert!(p.spec_granted >= 1, "the kill landed before any grant");
+}
+
+#[test]
+fn aggressive_reaper_spares_speculating_members() {
+    // Sweep every second with the smallest reachable reap budget; the
+    // grant must keep refreshing the member's clock so the reaper never
+    // reclaims a member whose speculation is pending.
+    let mut o = opts(true);
+    o.fault.sweep_interval_secs = 1.0;
+    o.fault.write_timeout_secs = 600.0; // no retry interference
+    let out = run_with_faults(
+        spec(Method::Adaptive { targets: TARGETS, opts: o }, 3),
+        limping(0.01),
+    );
+    assert!(out.outcome.complete);
+    assert_eq!(out.outcome.lost_bytes, 0);
+    let p = out.protocol.as_ref().unwrap();
+    assert!(p.spec_won >= 1);
+    assert_exactly_once(&out, "reaper");
+}
+
+#[test]
+fn control_sweep_is_thread_count_invariant() {
+    for (label, faults) in [
+        ("clean", FaultConfig::none()),
+        ("limping", limping(0.05)),
+    ] {
+        let base = RunBase::prepare(spec(
+            Method::Adaptive { targets: TARGETS, opts: opts(true) },
+            0,
+        ));
+        let seeds: Vec<u64> = (0..12).collect();
+        let mut serial = base.sweep_sink();
+        base.run_seed_sweep_into_threads(1, &seeds, &faults, &mut serial);
+        let want = serial.report().to_string();
+        for nt in [2usize, 8] {
+            let mut sink = base.sweep_sink();
+            base.run_seed_sweep_into_threads(nt, &seeds, &faults, &mut sink);
+            assert_eq!(sink.report().to_string(), want, "{label} nthreads={nt}");
+        }
+    }
+}

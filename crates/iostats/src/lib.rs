@@ -11,6 +11,7 @@ pub mod exact;
 pub mod histogram;
 pub mod imbalance;
 pub mod outcome;
+pub mod stream;
 pub mod summary;
 pub mod sweep;
 pub mod table;
@@ -19,6 +20,7 @@ pub use exact::ExactSum;
 pub use histogram::Histogram;
 pub use imbalance::{capacity_ratio, imbalance_factor, mean_imbalance};
 pub use outcome::{outcome_table, OutcomeRow};
+pub use stream::{Ewma, P2Quantile};
 pub use summary::{quantile, Summary};
 pub use sweep::{LogHistogram, MetricAcc, SweepSample, SweepSink};
 pub use table::{fmt_mibps, Table};

@@ -1,0 +1,425 @@
+//! Streaming estimators: exponentially weighted moving averages and the
+//! P² online quantile sketch.
+//!
+//! The control loop (adios-core `control.rs`) and the sweep reports both
+//! need per-key latency summaries over streams whose length is unknown
+//! up front and whose samples must not be buffered. Two estimators cover
+//! that:
+//!
+//! - [`Ewma`] — a smoothed mean with O(1) state. Its `merge` is the
+//!   count-weighted mean of the two running values, which is exactly
+//!   commutative (IEEE addition and multiplication of the two symmetric
+//!   terms), so partial estimators can be combined in any order.
+//! - [`P2Quantile`] — the Jain & Chlamtac P² algorithm: five markers
+//!   track the target quantile with O(1) state and no sample buffer.
+//!   Streams shorter than five samples are kept exactly. `merge` blends
+//!   marker heights by observation count — a heuristic that is exact for
+//!   identical distributions and property-tested to stay within
+//!   tolerance of the exact quantile for split streams
+//!   (tests/properties.rs).
+//!
+//! Both estimators ignore non-finite samples, report `0.0` on an empty
+//! stream, and never panic — they sit on the hot completion path of the
+//! adaptive protocol's straggler detector where a poisoned sample must
+//! not take the run down.
+
+/// Exponentially weighted moving average with commutative count-weighted
+/// merge.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    n: u64,
+}
+
+impl Ewma {
+    /// A fresh estimator; `alpha` in (0, 1] is the weight of each new
+    /// sample (clamped into that range).
+    pub fn new(alpha: f64) -> Self {
+        let alpha = if alpha.is_finite() {
+            alpha.clamp(f64::EPSILON, 1.0)
+        } else {
+            0.25
+        };
+        Ewma {
+            alpha,
+            value: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Feed one sample. Non-finite samples are ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.n == 0 {
+            self.value = x;
+        } else {
+            self.value += self.alpha * (x - self.value);
+        }
+        self.n += 1;
+    }
+
+    /// Current smoothed value; `0.0` before the first sample.
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.value
+        }
+    }
+
+    /// Finite samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Fold another estimator in: the result's value is the
+    /// count-weighted mean of both, its count the sum. Exactly
+    /// commutative: `a.merge(b)` and `b.merge(a)` produce bit-identical
+    /// values.
+    pub fn merge(&mut self, other: &Ewma) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            self.value = other.value;
+            self.n = other.n;
+            return;
+        }
+        let (wa, wb) = (self.n as f64, other.n as f64);
+        self.value = (self.value * wa + other.value * wb) / (wa + wb);
+        self.n += other.n;
+    }
+}
+
+/// Desired-position increments for the five P² markers at quantile `q`.
+fn p2_increments(q: f64) -> [f64; 5] {
+    [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+}
+
+/// Online estimator of a single quantile via the P² algorithm
+/// (Jain & Chlamtac, CACM 1985). O(1) state, no sample buffer.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    q: f64,
+    /// Finite samples observed.
+    n: u64,
+    /// First (up to) five samples, kept sorted — exact until the markers
+    /// take over.
+    init: [f64; 5],
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    h: [f64; 5],
+    /// Actual marker positions (1-based sample counts).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    des: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Track the `q`-quantile, `q` in (0, 1) (clamped into that range).
+    pub fn new(q: f64) -> Self {
+        let q = if q.is_finite() {
+            q.clamp(1e-6, 1.0 - 1e-6)
+        } else {
+            0.5
+        };
+        P2Quantile {
+            q,
+            n: 0,
+            init: [0.0; 5],
+            h: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            des: [0.0; 5],
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Finite samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Feed one sample. Non-finite samples are ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.n < 5 {
+            // Insertion into the sorted exact prefix.
+            let mut i = self.n as usize;
+            self.init[i] = x;
+            while i > 0 && self.init[i - 1] > self.init[i] {
+                self.init.swap(i - 1, i);
+                i -= 1;
+            }
+            self.n += 1;
+            if self.n == 5 {
+                self.h = self.init;
+                self.pos = [1.0, 2.0, 3.0, 4.0, 5.0];
+                self.des = [
+                    1.0,
+                    1.0 + 2.0 * self.q,
+                    1.0 + 4.0 * self.q,
+                    3.0 + 2.0 * self.q,
+                    5.0,
+                ];
+            }
+            return;
+        }
+        self.n += 1;
+        // Cell containing x, extending the extreme markers if needed.
+        let k = if x < self.h[0] {
+            self.h[0] = x;
+            0
+        } else if x >= self.h[4] {
+            self.h[4] = self.h[4].max(x);
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.h[i] && x < self.h[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.pos.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        let inc = p2_increments(self.q);
+        for (d, i) in self.des.iter_mut().zip(inc) {
+            *d += i;
+        }
+        // Adjust the three interior markers toward their desired
+        // positions, parabolic first, linear when that would disorder
+        // the heights.
+        for i in 1..4 {
+            let d = self.des[i] - self.pos[i];
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
+                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            {
+                let d = d.signum();
+                let hp = self.parabolic(i, d);
+                self.h[i] = if self.h[i - 1] < hp && hp < self.h[i + 1] {
+                    hp
+                } else {
+                    self.linear(i, d)
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (h, p) = (&self.h, &self.pos);
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.h[i] + d * (self.h[j] - self.h[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate: exact (linear interpolation) while fewer than
+    /// five samples have been seen, the middle marker after; `0.0` on an
+    /// empty stream.
+    pub fn value(&self) -> f64 {
+        match self.n {
+            0 => 0.0,
+            n if n < 5 => {
+                let s = &self.init[..n as usize];
+                let pos = self.q * (s.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                if lo == hi {
+                    s[lo]
+                } else {
+                    let frac = pos - lo as f64;
+                    s[lo] * (1.0 - frac) + s[hi] * frac
+                }
+            }
+            _ => self.h[2],
+        }
+    }
+
+    /// Fold another estimator for the same quantile in.
+    ///
+    /// If either side is still in its exact prefix, its samples are
+    /// replayed (in sorted order) into the other — the same result
+    /// whichever side is `self`. When both have live markers, heights
+    /// are blended by observation count and positions summed; that is
+    /// commutative, and property tests pin the blended estimate within
+    /// tolerance of the exact quantile of the combined stream.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        if self.n < 5 || other.n < 5 {
+            // Replay the combined exact prefixes, or the short side into
+            // the marker side, in globally sorted order (symmetric).
+            if self.n < 5 && other.n < 5 {
+                let mut all: Vec<f64> = self.init[..self.n as usize].to_vec();
+                all.extend_from_slice(&other.init[..other.n as usize]);
+                all.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                let mut fresh = P2Quantile::new(self.q);
+                for x in all {
+                    fresh.observe(x);
+                }
+                *self = fresh;
+            } else if self.n < 5 {
+                let mut big = other.clone();
+                for &x in &self.init[..self.n as usize] {
+                    big.observe(x);
+                }
+                *self = big;
+            } else {
+                for &x in &other.init[..other.n as usize] {
+                    self.observe(x);
+                }
+            }
+            return;
+        }
+        let (wa, wb) = (self.n as f64, other.n as f64);
+        let w = wa + wb;
+        for (i, inc) in p2_increments(self.q).into_iter().enumerate() {
+            self.h[i] = (self.h[i] * wa + other.h[i] * wb) / w;
+            // Marker i sits near 1 + (n-1)·inc[i] on each side; summing
+            // both and removing the double-counted base keeps the
+            // combined positions consistent: pos[0] stays 1, pos[4]
+            // becomes n_a + n_b.
+            self.pos[i] += other.pos[i] - (1.0 - inc);
+            self.des[i] += other.des[i] - (1.0 - inc);
+        }
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::quantile;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn ewma_basics() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), 0.0);
+        e.observe(4.0);
+        assert_eq!(e.value(), 4.0);
+        e.observe(8.0);
+        assert!((e.value() - 6.0).abs() < 1e-12);
+        e.observe(f64::NAN);
+        e.observe(f64::INFINITY);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn ewma_merge_is_commutative() {
+        let mut a = Ewma::new(0.3);
+        let mut b = Ewma::new(0.3);
+        for i in 0..7 {
+            a.observe(i as f64);
+        }
+        for i in 0..13 {
+            b.observe((i * i) as f64);
+        }
+        let (mut ab, mut ba) = (a, b);
+        ab.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.value().to_bits(), ba.value().to_bits());
+        assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.value(), 0.0);
+        for x in [9.0, 1.0, 5.0] {
+            p.observe(x);
+        }
+        assert_eq!(p.value(), 5.0);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_median() {
+        let mut p = P2Quantile::new(0.5);
+        let mut seed = 42u64;
+        let mut samples = Vec::new();
+        for _ in 0..1000 {
+            let x = lcg(&mut seed);
+            samples.push(x);
+            p.observe(x);
+        }
+        let exact = quantile(&samples, 0.5);
+        assert!(
+            (p.value() - exact).abs() < 0.05,
+            "p2 {} vs exact {exact}",
+            p.value()
+        );
+    }
+
+    #[test]
+    fn p2_ignores_poisoned_samples() {
+        let mut p = P2Quantile::new(0.9);
+        for i in 0..100 {
+            p.observe(i as f64);
+            p.observe(f64::NAN);
+            p.observe(f64::NEG_INFINITY);
+        }
+        assert_eq!(p.count(), 100);
+        assert!(p.value() > 50.0 && p.value() < 100.0);
+    }
+
+    #[test]
+    fn p2_merge_two_way_is_commutative() {
+        let mut seed = 7u64;
+        let mut a = P2Quantile::new(0.9);
+        let mut b = P2Quantile::new(0.9);
+        for _ in 0..300 {
+            a.observe(lcg(&mut seed));
+        }
+        for _ in 0..500 {
+            b.observe(2.0 * lcg(&mut seed));
+        }
+        let (mut ab, mut ba) = (a.clone(), b.clone());
+        ab.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.value().to_bits(), ba.value().to_bits());
+        assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn p2_merge_with_short_side_is_symmetric() {
+        let mut seed = 11u64;
+        let mut big = P2Quantile::new(0.5);
+        for _ in 0..200 {
+            big.observe(lcg(&mut seed));
+        }
+        let mut small = P2Quantile::new(0.5);
+        for x in [0.1, 0.9, 0.4] {
+            small.observe(x);
+        }
+        let (mut ab, mut ba) = (big.clone(), small.clone());
+        ab.merge(&small);
+        ba.merge(&big);
+        assert_eq!(ab.value().to_bits(), ba.value().to_bits());
+        assert_eq!(ab.count(), 203);
+    }
+}

@@ -39,7 +39,7 @@ pub enum FailMode {
 }
 
 /// One scheduled fault.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultEvent {
     /// Transient slowdown of one OST: capability multiplied by `factor`
     /// from `at` for `duration` (`None` = permanent, equivalent to a
@@ -242,6 +242,19 @@ impl FaultScript {
         self
     }
 
+    /// Add a "limping disk": a permanent, severe-but-not-dead slowdown of
+    /// one OST starting at `at` — the paper's §V straggler ("a small
+    /// number of slow storage targets greatly increased total IO time").
+    /// The target keeps answering, just slowly; `factor` must be ≤ 0.25
+    /// of nominal capability or it is merely contention, not a limp.
+    pub fn limping(self, at: f64, ost: usize, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 0.25,
+            "a limping disk runs at ≤ 25% of nominal"
+        );
+        self.degrade(at, ost, factor)
+    }
+
     /// Add a torn-write instant on `ost`.
     pub fn torn_write(mut self, at: f64, ost: usize) -> Self {
         self.events.push(FaultEvent::TornWrite {
@@ -263,9 +276,11 @@ impl FaultScript {
 
     /// Generate a random—but seed-reproducible—script: up to `max_events`
     /// events over `[0, horizon_secs)` on a machine with `ost_count`
-    /// targets. Used by the seeded-loop property tests: any script this
-    /// produces must leave the protocol terminating with full byte
-    /// accounting.
+    /// targets, drawn from the timing/liveness fault families (brownout,
+    /// error-/stall-mode failures, MDS outage, limping disk). Used by the
+    /// seeded-loop property tests: any script this produces must leave
+    /// the protocol terminating with full byte accounting — only
+    /// reproducibility and bounds are pinned, not per-seed contents.
     pub fn random(seed: u64, ost_count: usize, horizon_secs: f64, max_events: usize) -> Self {
         let mut rng = Rng::new(seed ^ 0xFA17_5C21_9E3B_D701);
         let n = rng.below(max_events as u64 + 1) as usize;
@@ -273,7 +288,7 @@ impl FaultScript {
         for _ in 0..n {
             let at = rng.uniform(0.0, horizon_secs);
             let ost = rng.below(ost_count as u64) as usize;
-            match rng.below(4) {
+            match rng.below(5) {
                 0 => {
                     // Brownout: factor in [0.05, 0.9], finite duration.
                     let factor = rng.uniform(0.05, 0.9);
@@ -296,9 +311,15 @@ impl FaultScript {
                     let rec = at + rng.uniform(0.5, horizon_secs / 2.0);
                     script = script.fail_ost(at, ost, FailMode::Stall, Some(rec));
                 }
-                _ => {
+                3 => {
                     let dur = rng.uniform(0.05, horizon_secs / 4.0);
                     script = script.mds_outage(at, dur);
+                }
+                _ => {
+                    // Limping disk: permanent severe slowdown, the
+                    // straggler preset the control loop defends against.
+                    let factor = rng.uniform(0.02, 0.15);
+                    script = script.limping(at, ost, factor);
                 }
             }
         }
@@ -307,9 +328,9 @@ impl FaultScript {
 
     /// Like [`FaultScript::random`], with the integrity fault families
     /// mixed in (silent-corruption windows and torn writes) — the script
-    /// space for the no-silent-bad-reads property test. Kept separate so
-    /// [`FaultScript::random`]'s per-seed output (pinned by PR 2's tests)
-    /// is unchanged.
+    /// space for the no-silent-bad-reads property test. Kept a separate
+    /// generator so integrity-unaware callers never draw corruption
+    /// events.
     pub fn random_with_integrity(
         seed: u64,
         ost_count: usize,
@@ -388,6 +409,51 @@ mod tests {
         let c = FaultScript::random(8, 8, 100.0, 6);
         // Different seeds almost surely differ (event count or params).
         assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn limping_builder_is_a_permanent_severe_degrade() {
+        let s = FaultScript::none().limping(2.0, 3, 0.1);
+        assert_eq!(s.events.len(), 1);
+        match s.events[0] {
+            FaultEvent::Brownout {
+                ost,
+                factor,
+                duration,
+                ..
+            } => {
+                assert_eq!(ost.0, 3);
+                assert_eq!(factor, 0.1);
+                assert!(duration.is_none(), "a limp does not heal on its own");
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limping disk")]
+    fn limping_rejects_mild_slowdowns() {
+        let _ = FaultScript::none().limping(0.0, 0, 0.5);
+    }
+
+    #[test]
+    fn random_scripts_cover_limping_disks() {
+        let mut saw_limp = false;
+        for seed in 0..60 {
+            let s = FaultScript::random(seed, 4, 50.0, 8);
+            for e in &s.events {
+                if let FaultEvent::Brownout {
+                    factor,
+                    duration: None,
+                    ..
+                } = e
+                {
+                    assert!(*factor >= 0.02 && *factor <= 0.15);
+                    saw_limp = true;
+                }
+            }
+        }
+        assert!(saw_limp, "60 seeds must draw at least one limping disk");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`campaign`] — multi-sample method-comparison harnesses (Figs. 5–7).
 //! * [`scale`] — full-Jaguar campaign configurations (16k-rank Pixie3D and
 //!   XGC1 over all 672 OSTs), unlocked by the virtual-time OST engine.
+//! * [`straggler`] — named straggler scenarios (limping disks, brownout
+//!   waves) and the static-vs-closed-loop method pair for the control
+//!   experiments.
 
 #![warn(missing_docs)]
 
@@ -21,6 +24,7 @@ pub mod ior;
 pub mod pixie3d;
 pub mod s3d;
 pub mod scale;
+pub mod straggler;
 pub mod xgc1;
 
 pub use campaign::{compare_at_scale, ComparisonRow};
@@ -28,4 +32,5 @@ pub use ior::IorConfig;
 pub use pixie3d::Pixie3dConfig;
 pub use s3d::S3dConfig;
 pub use scale::{ScaleCampaign, RANK_SWEEP};
+pub use straggler::{control_methods, StragglerScenario};
 pub use xgc1::Xgc1Config;

@@ -1,0 +1,233 @@
+//! Straggler scenarios for the closed-loop defense experiments.
+//!
+//! The paper's §V motivation — "a small number of slow storage targets
+//! greatly increased total IO time" — packaged as named, deterministic
+//! [`FaultScript`] presets plus the method pair the `control_loop` bench
+//! compares: the fault-hardened static adaptive protocol against the same
+//! protocol with the closed control loop (straggler detection,
+//! speculative re-issue, knob tuning) switched on.
+
+use adios_core::control::ControlOpts;
+use adios_core::fault::{FaultConfig, FaultTolerance};
+use adios_core::runner::Method;
+use adios_core::AdaptiveOpts;
+use simcore::Rng;
+use storesim::fault::FaultScript;
+
+/// One named straggler scenario, parameterised by the machine's OST
+/// count at script-build time so the same preset runs on the testbed and
+/// on full-Jaguar configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StragglerScenario {
+    /// No faults: the closed loop must converge to the static schedule.
+    Clean,
+    /// One OST limps permanently at 5% of nominal from the start — the
+    /// classic dying-disk straggler.
+    LimpingDisk,
+    /// Two OSTs limp at different severities; the detector must flag
+    /// both against the healthy median.
+    LimpingPair,
+    /// A wave of deep transient brownouts rolls across half the OSTs —
+    /// flags must set and clear as the wave passes.
+    BrownoutWave,
+}
+
+impl StragglerScenario {
+    /// Every scenario, clean first (the convergence control).
+    pub fn matrix() -> Vec<StragglerScenario> {
+        vec![
+            StragglerScenario::Clean,
+            StragglerScenario::LimpingDisk,
+            StragglerScenario::LimpingPair,
+            StragglerScenario::BrownoutWave,
+        ]
+    }
+
+    /// Display name (table/JSON key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StragglerScenario::Clean => "clean",
+            StragglerScenario::LimpingDisk => "limping-disk",
+            StragglerScenario::LimpingPair => "limping-pair",
+            StragglerScenario::BrownoutWave => "brownout-wave",
+        }
+    }
+
+    /// Does this scenario inject any fault at all?
+    pub fn is_faulted(&self) -> bool {
+        *self != StragglerScenario::Clean
+    }
+
+    /// The deterministic fault script for a machine with `ost_count`
+    /// targets (seeds vary ambient noise, not the script).
+    pub fn script(&self, ost_count: usize) -> FaultScript {
+        assert!(ost_count >= 2, "straggler scenarios need a healthy majority");
+        match self {
+            StragglerScenario::Clean => FaultScript::none(),
+            StragglerScenario::LimpingDisk => FaultScript::none().limping(0.0, 0, 0.05),
+            StragglerScenario::LimpingPair => FaultScript::none()
+                .limping(0.0, 0, 0.04)
+                .limping(0.5, ost_count / 2, 0.08),
+            StragglerScenario::BrownoutWave => {
+                let mut s = FaultScript::none();
+                for (i, ost) in (0..ost_count / 2).enumerate() {
+                    s = s.brownout(1.0 + 2.0 * i as f64, ost, 0.08, 6.0);
+                }
+                s
+            }
+        }
+    }
+
+    /// Like [`script`](Self::script), but limping severities are drawn
+    /// per seed from [0.03, 0.12] — the variability experiments: the
+    /// static schedule's span scales with the draw (high run-to-run CV)
+    /// while the closed loop rescues the stuck writes at roughly
+    /// constant cost. Non-limping scenarios are unchanged by the seed.
+    pub fn script_seeded(&self, ost_count: usize, seed: u64) -> FaultScript {
+        let mut rng = Rng::new(seed ^ 0x5742_661E_11A9_0C3D);
+        let mut draw = || rng.uniform(0.03, 0.12);
+        match self {
+            StragglerScenario::LimpingDisk => {
+                assert!(ost_count >= 2, "straggler scenarios need a healthy majority");
+                FaultScript::none().limping(0.0, 0, draw())
+            }
+            StragglerScenario::LimpingPair => {
+                assert!(ost_count >= 4, "a limping pair needs a healthy majority");
+                FaultScript::none()
+                    .limping(0.0, 0, draw())
+                    .limping(0.5, ost_count / 2, draw())
+            }
+            _ => self.script(ost_count),
+        }
+    }
+
+    /// The scenario as a full [`FaultConfig`] (storage faults only),
+    /// with per-seed limping severities from
+    /// [`script_seeded`](Self::script_seeded).
+    pub fn fault_config(&self, ost_count: usize, seed: u64) -> FaultConfig {
+        FaultConfig {
+            storage: self.script_seeded(ost_count, seed),
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// The `control_loop` bench's method pair at `targets` output files:
+/// the fault-hardened static adaptive protocol ("static") against the
+/// same protocol with the closed control loop on ("closed-loop"). Both
+/// run identical fault-tolerance knobs so the only degree of freedom is
+/// the loop itself.
+pub fn control_methods(targets: usize) -> [(&'static str, Method); 2] {
+    let hardened = AdaptiveOpts {
+        fault: FaultTolerance::enabled(),
+        ..AdaptiveOpts::default()
+    };
+    [
+        (
+            "static",
+            Method::Adaptive {
+                targets,
+                opts: hardened.clone(),
+            },
+        ),
+        (
+            "closed-loop",
+            Method::Adaptive {
+                targets,
+                opts: AdaptiveOpts {
+                    control: ControlOpts::enabled(),
+                    ..hardened
+                },
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storesim::fault::FaultEvent;
+
+    #[test]
+    fn matrix_is_clean_plus_three_faulted() {
+        let m = StragglerScenario::matrix();
+        assert_eq!(m.len(), 4);
+        assert!(!m[0].is_faulted());
+        assert!(m[1..].iter().all(|s| s.is_faulted()));
+        let names: Vec<_> = m.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["clean", "limping-disk", "limping-pair", "brownout-wave"]
+        );
+    }
+
+    #[test]
+    fn scripts_scale_with_ost_count() {
+        assert!(StragglerScenario::Clean.script(8).is_empty());
+        assert_eq!(StragglerScenario::LimpingDisk.script(8).events.len(), 1);
+        assert_eq!(StragglerScenario::LimpingPair.script(8).events.len(), 2);
+        assert_eq!(StragglerScenario::BrownoutWave.script(8).events.len(), 4);
+        assert_eq!(StragglerScenario::BrownoutWave.script(16).events.len(), 8);
+    }
+
+    #[test]
+    fn limping_scenarios_leave_a_healthy_majority() {
+        for ost_count in [4usize, 8, 672] {
+            for s in StragglerScenario::matrix() {
+                let script = s.script(ost_count);
+                let mut hit = std::collections::HashSet::new();
+                for e in &script.events {
+                    if let FaultEvent::Brownout { ost, factor, .. } = e {
+                        assert!(ost.0 < ost_count);
+                        assert!(*factor > 0.0 && *factor < 1.0);
+                        hit.insert(ost.0);
+                    }
+                }
+                assert!(
+                    hit.len() <= ost_count / 2,
+                    "{}: more than half the OSTs degraded",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_limps_vary_within_bounds() {
+        let mut factors = std::collections::BTreeSet::new();
+        for seed in 0..32u64 {
+            for s in [StragglerScenario::LimpingDisk, StragglerScenario::LimpingPair] {
+                for e in &s.script_seeded(8, seed).events {
+                    let FaultEvent::Brownout { factor, duration, .. } = e else {
+                        panic!("limping scenarios emit only brownouts");
+                    };
+                    assert!(duration.is_none(), "a limp is permanent");
+                    assert!((0.03..=0.12).contains(factor), "factor {factor} out of range");
+                    factors.insert((factor * 1e6) as u64);
+                }
+            }
+        }
+        assert!(factors.len() > 16, "severities barely vary across seeds");
+        // Non-limping scenarios ignore the seed entirely.
+        for s in [StragglerScenario::Clean, StragglerScenario::BrownoutWave] {
+            assert_eq!(s.script_seeded(8, 1).events, s.script(8).events);
+        }
+    }
+
+    #[test]
+    fn method_pair_differs_only_in_the_control_loop() {
+        let [(sn, sm), (cn, cm)] = control_methods(8);
+        assert_eq!(sn, "static");
+        assert_eq!(cn, "closed-loop");
+        let (Method::Adaptive { targets: st, opts: so }, Method::Adaptive { targets: ct, opts: co }) =
+            (sm, cm)
+        else {
+            panic!("both methods must be adaptive");
+        };
+        assert_eq!(st, ct);
+        assert!(so.fault.enabled && co.fault.enabled);
+        assert!(!so.control.enabled);
+        assert!(co.control.enabled);
+        assert_eq!(so.writers_per_target, co.writers_per_target);
+    }
+}

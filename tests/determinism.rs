@@ -177,6 +177,52 @@ fn integrity_off_is_byte_identical_to_default() {
     assert!(on1.result.total_bytes > base.result.total_bytes);
 }
 
+/// A disabled control loop is free, exactly: however aggressive the
+/// knobs, `enabled: false` produces artifacts byte-identical to default
+/// opts — no timers, no control messages, no tuner. And the enabled
+/// loop is itself deterministic run-to-run.
+#[test]
+fn control_off_is_byte_identical_to_default() {
+    use managed_io::adios::ControlOpts;
+    let spec = |control| RunSpec {
+        machine: testbed(),
+        nprocs: 24,
+        data: DataSpec::Uniform(8 * MIB),
+        method: Method::Adaptive {
+            targets: 6,
+            opts: AdaptiveOpts {
+                control,
+                ..Default::default()
+            },
+        },
+        interference: Interference::None,
+        seed: SEED ^ 0x3F,
+    };
+    let aggressive_but_off = ControlOpts {
+        enabled: false,
+        epoch_secs: 0.1,
+        straggler_factor: 1.1,
+        min_samples: 1,
+        spec_deadline_factor: 1.1,
+        max_queue_depth: 16,
+        ..ControlOpts::default()
+    };
+    let base = run(spec(ControlOpts::default()));
+    let off = run(spec(aggressive_but_off));
+    assert_eq!(
+        artifact(std::slice::from_ref(&base.result)),
+        artifact(std::slice::from_ref(&off.result)),
+        "a disabled control loop changed the timeline"
+    );
+    let on1 = run(spec(ControlOpts::enabled()));
+    let on2 = run(spec(ControlOpts::enabled()));
+    assert_eq!(
+        artifact(std::slice::from_ref(&on1.result)),
+        artifact(std::slice::from_ref(&on2.result)),
+        "the enabled control loop is nondeterministic"
+    );
+}
+
 /// A silent-corruption-only fault script never perturbs the timeline:
 /// the corruption RNG is an isolated stream and corruption windows
 /// schedule no queue events, so the dirty run's records are

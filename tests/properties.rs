@@ -379,6 +379,165 @@ fn random_fault_scripts_keep_accounting_exact() {
     }
 }
 
+/// Draw one latency-like sample from a case-chosen distribution family
+/// (uniform, bimodal, exponential) — the shapes the straggler detector's
+/// estimators actually see.
+fn latency_sample(rng: &mut Rng, family: u64) -> f64 {
+    match family {
+        0 => uniform(rng, 0.1, 2.0),
+        1 => {
+            // Bimodal: mostly healthy, a slow mode an order up.
+            if rng.chance(0.8) {
+                uniform(rng, 0.5, 1.5)
+            } else {
+                uniform(rng, 8.0, 16.0)
+            }
+        }
+        _ => -(1.0 - rng.f64()).ln() * 2.0, // exponential, mean 2
+    }
+}
+
+/// The P² sketch agrees with the exact percentile on 1000-sample streams
+/// across distribution shapes and target quantiles, to within a tenth of
+/// the sample spread.
+#[test]
+fn p2_tracks_exact_quantiles_on_long_streams() {
+    use managed_io::iostats::{quantile, P2Quantile};
+    for case in 0..48 {
+        let mut rng = case_rng(16, case);
+        let family = case % 3;
+        let q = [0.5, 0.9, 0.99][(case / 3) as usize % 3];
+        let xs: Vec<f64> = (0..1000).map(|_| latency_sample(&mut rng, family)).collect();
+        let mut p2 = P2Quantile::new(q);
+        for &x in &xs {
+            p2.observe(x);
+        }
+        let exact = quantile(&xs, q);
+        let spread = quantile(&xs, 1.0) - quantile(&xs, 0.0);
+        assert!(
+            (p2.value() - exact).abs() <= 0.10 * spread,
+            "case {case}: family {family} q {q}: P² {} vs exact {exact} (spread {spread})",
+            p2.value()
+        );
+        assert_eq!(p2.count(), 1000, "case {case}");
+    }
+}
+
+/// EWMA merge is exactly commutative (bit-identical both ways), count
+/// additive, and bounded by the merged parts.
+#[test]
+fn ewma_merge_is_commutative_and_bounded() {
+    use managed_io::iostats::Ewma;
+    for case in 0..64 {
+        let mut rng = case_rng(17, case);
+        let alpha = uniform(&mut rng, 0.05, 1.0);
+        let family = case % 3;
+        let (mut a, mut b) = (Ewma::new(alpha), Ewma::new(alpha));
+        for _ in 0..rng.below(200) {
+            a.observe(latency_sample(&mut rng, family));
+        }
+        for _ in 0..1 + rng.below(200) {
+            b.observe(latency_sample(&mut rng, family));
+        }
+        let (mut ab, mut ba) = (a, b);
+        ab.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.value().to_bits(), ba.value().to_bits(), "case {case}");
+        assert_eq!(ab.count(), a.count() + b.count(), "case {case}");
+        let (lo, hi) = if a.count() == 0 {
+            (b.value(), b.value())
+        } else {
+            (a.value().min(b.value()), a.value().max(b.value()))
+        };
+        assert!(
+            ab.value() >= lo - 1e-12 && ab.value() <= hi + 1e-12,
+            "case {case}: merged {} outside [{lo}, {hi}]",
+            ab.value()
+        );
+    }
+}
+
+/// P² estimators built over arbitrary splits of one stream merge — in
+/// any order — to within tolerance of the exact quantile of the whole
+/// stream (the digest path: per-SC sketches folded at the coordinator).
+#[test]
+fn p2_merge_is_order_independent_within_tolerance() {
+    use managed_io::iostats::{quantile, P2Quantile};
+    for case in 0..48 {
+        let mut rng = case_rng(18, case);
+        let family = case % 3;
+        let q = [0.5, 0.9][(case / 3) as usize % 2];
+        let xs: Vec<f64> = (0..1000).map(|_| latency_sample(&mut rng, family)).collect();
+        let parts = 2 + rng.below(7) as usize;
+        let mut sketches: Vec<P2Quantile> = (0..parts).map(|_| P2Quantile::new(q)).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            sketches[i % parts].observe(x);
+        }
+        let mut fwd = P2Quantile::new(q);
+        for s in &sketches {
+            fwd.merge(s);
+        }
+        let mut rev = P2Quantile::new(q);
+        for s in sketches.iter().rev() {
+            rev.merge(s);
+        }
+        let exact = quantile(&xs, q);
+        let spread = quantile(&xs, 1.0) - quantile(&xs, 0.0);
+        for (label, m) in [("fwd", &fwd), ("rev", &rev)] {
+            assert_eq!(m.count(), 1000, "case {case} {label}");
+            assert!(
+                (m.value() - exact).abs() <= 0.15 * spread,
+                "case {case} {label}: {parts}-way merge {} vs exact {exact}",
+                m.value()
+            );
+        }
+        assert!(
+            (fwd.value() - rev.value()).abs() <= 0.10 * spread,
+            "case {case}: merge order moved the estimate too far"
+        );
+    }
+}
+
+/// Both streaming estimators shrug off hostile samples: empty streams
+/// report 0.0, non-finite samples are ignored without perturbing the
+/// state, and a NaN-riddled stream equals its finite-only counterpart.
+#[test]
+fn stream_estimators_ignore_nonfinite_and_empty() {
+    use managed_io::iostats::{Ewma, P2Quantile};
+    let empty_e = Ewma::new(0.25);
+    let empty_p = P2Quantile::new(0.9);
+    assert_eq!(empty_e.value(), 0.0);
+    assert_eq!(empty_p.value(), 0.0);
+    assert_eq!(empty_e.count(), 0);
+    assert_eq!(empty_p.count(), 0);
+    for case in 0..32 {
+        let mut rng = case_rng(19, case);
+        let family = case % 3;
+        let xs: Vec<f64> = (0..200).map(|_| latency_sample(&mut rng, family)).collect();
+        let (mut clean_e, mut dirty_e) = (Ewma::new(0.25), Ewma::new(0.25));
+        let (mut clean_p, mut dirty_p) = (P2Quantile::new(0.9), P2Quantile::new(0.9));
+        for (i, &x) in xs.iter().enumerate() {
+            clean_e.observe(x);
+            clean_p.observe(x);
+            dirty_e.observe(x);
+            dirty_p.observe(x);
+            let poison = match i % 4 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => continue,
+            };
+            dirty_e.observe(poison);
+            dirty_p.observe(poison);
+        }
+        assert_eq!(clean_e.value().to_bits(), dirty_e.value().to_bits(), "case {case}");
+        assert_eq!(clean_p.value().to_bits(), dirty_p.value().to_bits(), "case {case}");
+        assert_eq!(clean_e.count(), dirty_e.count(), "case {case}");
+        assert_eq!(clean_p.count(), dirty_p.count(), "case {case}");
+        assert!(clean_p.value().is_finite(), "case {case}");
+    }
+}
+
 /// Attribute sets round-trip for arbitrary contents.
 #[test]
 fn attributes_roundtrip() {
