@@ -116,6 +116,8 @@ fn main() {
                 corrupt_blocks: out.integrity.corrupt_records,
                 repaired_blocks: repaired,
                 unrepaired_blocks: unrepaired,
+                rewritten_bytes: out.protocol.as_ref().map_or(0, |p| p.bytes_rewritten),
+                reconstructed_bytes: out.protocol.as_ref().map_or(0, |p| p.bytes_reconstructed),
             });
             if scrubbed && scrub_cost > 0.0 {
                 scrub_notes.push(format!(

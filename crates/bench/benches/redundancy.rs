@@ -1,0 +1,237 @@
+//! **Tiered redundancy** — surviving destroyed data cheaper than
+//! replication, measured: across destroyed-data fault scenarios the
+//! erasure-coded policies (`Ec{8,2}`, `Ec{4,2}`) end every campaign
+//! fully durable — zero unrepaired placement groups — while rewriting
+//! strictly fewer repair bytes than 2× replication, at 1.25×/1.5×
+//! storage overhead instead of 2×. Under a correlated two-target loss,
+//! replication demonstrably loses whole placement groups where both
+//! erasure geometries reconstruct everything. Results merge into
+//! `BENCH_redundancy.json` at the workspace root, keyed by scenario and
+//! engine variant. `MANAGED_IO_SMOKE=1` shrinks the seed sweep for CI.
+
+use adios_core::redundancy::run_redundant;
+use bpfmt::ec::RedundancyPolicy;
+use iostats::{outcome_table, OutcomeRow, Summary};
+use managed_io_bench::{base_seed, size_label, ExperimentLog};
+use minijson::{json, Value};
+use simcore::units::MIB;
+use storesim::params::testbed;
+use workloads::redundancy::{policy_ladder, redundancy_opts, RedundancyScenario};
+
+/// Which engine the runs used (the shard plane sits above the engine,
+/// so both variants must show the same win).
+const VARIANT: &str = if cfg!(feature = "baseline") {
+    "baseline"
+} else {
+    "optimized"
+};
+
+/// Artifact lives at the workspace root regardless of cargo's CWD.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_redundancy.json");
+
+fn smoke() -> bool {
+    std::env::var("MANAGED_IO_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// Merge `rows` into BENCH_redundancy.json: `{scenario: {variant: value}}`.
+fn merge_into_artifact(rows: Vec<(String, Value)>) {
+    let mut root = std::fs::read_to_string(BENCH_PATH)
+        .ok()
+        .and_then(|s| Value::parse(&s).ok())
+        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let Value::Obj(entries) = &mut root else {
+        return;
+    };
+    for (name, row) in rows {
+        let by_variant = match entries.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => v,
+            None => {
+                entries.push((name.clone(), Value::Obj(Vec::new())));
+                &mut entries.last_mut().unwrap().1
+            }
+        };
+        if let Value::Obj(pairs) = by_variant {
+            pairs.retain(|(k, _)| k != VARIANT);
+            pairs.push((VARIANT.to_string(), row));
+        }
+    }
+    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
+}
+
+/// One (scenario, policy) cell of the matrix, accumulated over seeds.
+#[derive(Default)]
+struct Cell {
+    stored: u64,
+    rewritten: u64,
+    reconstructed: u64,
+    unrecoverable: u64,
+    damaged: u64,
+    total_bytes: u64,
+    written_bytes: u64,
+    lost_bytes: u64,
+    elapsed: Vec<f64>,
+    durable: bool,
+}
+
+fn main() {
+    let mut machine = testbed();
+    // Ec{8,2} spreads 10 shards; give the testbed enough distinct targets.
+    machine.ost_count = 12;
+    let nprocs = 32usize;
+    let bytes = 8 * MIB;
+    let seeds = if smoke() { 3 } else { 10 };
+    let rank_bytes = vec![bytes; nprocs];
+    let mut log = ExperimentLog::new("redundancy");
+    let mut artifact: Vec<(String, Value)> = Vec::new();
+
+    println!(
+        "Tiered redundancy — {nprocs} procs x {} over {} OSTs, {seeds} seeds per cell\n",
+        size_label(bytes),
+        machine.ost_count
+    );
+    let mut rows: Vec<OutcomeRow> = Vec::new();
+    // Repair traffic summed per policy over every faulted scenario and
+    // seed: the headline comparison.
+    let mut repair_total: Vec<(&str, u64)> = Vec::new();
+    let mut rep2_correlated_unrecoverable = 0u64;
+
+    for scenario in RedundancyScenario::matrix() {
+        let script = scenario.script(machine.ost_count);
+        let mut scenario_rows: Vec<(String, Value)> = Vec::new();
+        for (pname, policy) in policy_ladder() {
+            let opts = redundancy_opts(policy);
+            let mut cell = Cell {
+                durable: true,
+                ..Cell::default()
+            };
+            for i in 0..seeds {
+                let seed = base_seed() + i as u64;
+                let report = run_redundant(&machine, &rank_bytes, &script, &opts, seed);
+                cell.stored += report.bytes_stored;
+                cell.rewritten += report.bytes_rewritten;
+                cell.reconstructed += report.bytes_reconstructed;
+                cell.unrecoverable += report.unrecoverable_pgs as u64;
+                cell.damaged += report.damaged_pgs as u64;
+                cell.total_bytes += report.outcome.total_bytes;
+                cell.written_bytes += report.outcome.written_bytes;
+                cell.lost_bytes += report.outcome.lost_bytes;
+                cell.elapsed
+                    .push(report.write_elapsed_secs + report.rebuild_elapsed_secs);
+                cell.durable &= report.fully_durable();
+            }
+            let s = Summary::of(&cell.elapsed);
+            rows.push(OutcomeRow {
+                label: format!("{} / {pname}", scenario.name()),
+                total_bytes: cell.total_bytes,
+                written_bytes: cell.written_bytes,
+                lost_bytes: cell.lost_bytes,
+                corrupt_blocks: 0,
+                repaired_blocks: cell.damaged as usize - cell.unrecoverable as usize,
+                unrepaired_blocks: cell.unrecoverable as usize,
+                rewritten_bytes: cell.rewritten,
+                reconstructed_bytes: cell.reconstructed,
+            });
+            log.row(json!({
+                "experiment": "redundancy-matrix",
+                "scenario": scenario.name(),
+                "policy": pname,
+                "storage_overhead": policy.storage_overhead(),
+                "stored_bytes": cell.stored,
+                "rewritten_bytes": cell.rewritten,
+                "reconstructed_bytes": cell.reconstructed,
+                "damaged_pgs": cell.damaged,
+                "unrecoverable_pgs": cell.unrecoverable,
+                "durable": cell.durable,
+                "mean_elapsed_s": s.mean,
+            }));
+            scenario_rows.push((
+                pname.to_string(),
+                json!({
+                    "storage_overhead": policy.storage_overhead(),
+                    "stored_bytes": cell.stored,
+                    "rewritten_bytes": cell.rewritten,
+                    "reconstructed_bytes": cell.reconstructed,
+                    "damaged_pgs": cell.damaged,
+                    "unrecoverable_pgs": cell.unrecoverable,
+                    "durable": cell.durable,
+                    "mean_elapsed_s": s.mean,
+                }),
+            ));
+
+            // The acceptance gates, per cell.
+            if matches!(policy, RedundancyPolicy::Ec { .. }) {
+                assert!(
+                    cell.durable && cell.unrecoverable == 0,
+                    "{} / {pname}: an erasure-coded campaign left {} groups unrepaired",
+                    scenario.name(),
+                    cell.unrecoverable
+                );
+            }
+            if scenario.is_faulted() {
+                match repair_total.iter_mut().find(|(n, _)| *n == pname) {
+                    Some((_, t)) => *t += cell.rewritten,
+                    None => repair_total.push((pname, cell.rewritten)),
+                }
+                if scenario == RedundancyScenario::CorrelatedLoss && pname == "rep2" {
+                    rep2_correlated_unrecoverable = cell.unrecoverable;
+                }
+            } else {
+                assert_eq!(
+                    cell.rewritten,
+                    0,
+                    "{} / {pname}: clean campaign rewrote bytes",
+                    scenario.name()
+                );
+                // Clean storage cost matches the policy's advertised overhead.
+                let logical: u64 = rank_bytes.iter().sum::<u64>() * seeds as u64;
+                let ratio = cell.stored as f64 / logical as f64;
+                assert!(
+                    (ratio - policy.storage_overhead()).abs() < 0.01,
+                    "{pname}: stored {ratio:.3}x vs advertised {:.3}x",
+                    policy.storage_overhead()
+                );
+            }
+        }
+        artifact.push((
+            scenario.name().to_string(),
+            Value::Obj(scenario_rows),
+        ));
+    }
+
+    println!("{}", outcome_table(&rows).render());
+
+    // Headline gates across the whole matrix: every erasure geometry
+    // repairs with strictly less traffic than 2x replication, and the
+    // correlated loss that wipes replicated groups is survived by EC.
+    let rep2 = repair_total
+        .iter()
+        .find(|(n, _)| *n == "rep2")
+        .map(|(_, t)| *t)
+        .expect("rep2 measured");
+    assert!(rep2 > 0, "the fault matrix never exercised replication repair");
+    for (pname, total) in &repair_total {
+        if *pname == "rep2" {
+            continue;
+        }
+        assert!(
+            total < &rep2,
+            "{pname}: EC repair traffic {total} not under replication's {rep2}"
+        );
+        println!(
+            "{pname}: repair traffic {} vs rep2 {} ({:.0}% saved)",
+            size_label(*total),
+            size_label(rep2),
+            100.0 * (1.0 - *total as f64 / rep2 as f64)
+        );
+    }
+    assert!(
+        rep2_correlated_unrecoverable > 0,
+        "correlated loss should wipe some doubly-placed replicated groups"
+    );
+    println!(
+        "correlated-loss: rep2 lost {rep2_correlated_unrecoverable} groups; ec8+2 and ec4+2 lost 0"
+    );
+
+    merge_into_artifact(artifact);
+    log.flush();
+}

@@ -1,0 +1,953 @@
+//! Erasure coding: GF(2^8) Reed–Solomon `k+m` codes over PG payload
+//! extents, plus the tiered [`RedundancyPolicy`] selecting between no
+//! redundancy, full replication, and erasure coding per object.
+//!
+//! The layout is *systematic*: the first `k` shards are contiguous slices
+//! of the original payload (the last one zero-padded), so a clean read
+//! never decodes anything — it concatenates the data shards and truncates.
+//! The `m` parity shards are linear combinations of the data shards under
+//! a Vandermonde-derived generator matrix whose top `k×k` block is the
+//! identity; any `k` of the `k+m` shards suffice to reconstruct the rest.
+//!
+//! Shards travel inside checksummed [`PG_MAGIC2`](crate::pg::PG_MAGIC2)
+//! process groups ([`encode_shard_pg`] / [`decode_shard_pg`]): a tiny
+//! metadata block plus one opaque `U8` payload block, both CRC-64
+//! protected, so a corrupted or torn shard surfaces as a structured
+//! [`EcError::BadShardPg`] instead of garbage entering the decoder.
+
+use crate::chars::DType;
+use crate::integrity::{IntegrityError, IntegrityOpts};
+use crate::intern::{Dims, VarName};
+use crate::pg::{decode_pg_verified, encode_pg_opts, EncodeScratch, VarBlock};
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic
+// ---------------------------------------------------------------------------
+
+/// The AES/QR-code field polynomial x^8 + x^4 + x^3 + x^2 + 1.
+const GF_POLY: u16 = 0x11D;
+
+/// exp table doubled to 512 entries so `mul` skips the mod-255 reduction.
+const fn build_gf_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= GF_POLY;
+        }
+        i += 1;
+    }
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+static GF_TABLES: ([u8; 512], [u8; 256]) = build_gf_tables();
+
+#[inline]
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (exp, log) = (&GF_TABLES.0, &GF_TABLES.1);
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+#[inline]
+fn gf_inv(a: u8) -> u8 {
+    debug_assert!(a != 0, "inverse of 0 in GF(256)");
+    let (exp, log) = (&GF_TABLES.0, &GF_TABLES.1);
+    exp[255 - log[a as usize] as usize]
+}
+
+/// x^p for p < 256 (enough for Vandermonde rows up to k=255).
+fn gf_pow(x: u8, p: usize) -> u8 {
+    if p == 0 {
+        return 1;
+    }
+    if x == 0 {
+        return 0;
+    }
+    let (exp, log) = (&GF_TABLES.0, &GF_TABLES.1);
+    exp[(log[x as usize] as usize * p) % 255]
+}
+
+/// Invert a k×k row-major matrix over GF(256) by Gauss–Jordan.
+/// Returns `None` when singular (cannot happen for the Vandermonde-derived
+/// submatrices we feed it, but the decoder stays total anyway).
+fn gf_invert(mat: &[u8], k: usize) -> Option<Vec<u8>> {
+    debug_assert_eq!(mat.len(), k * k);
+    // Augmented [mat | I].
+    let w = 2 * k;
+    let mut aug = vec![0u8; k * w];
+    for r in 0..k {
+        aug[r * w..r * w + k].copy_from_slice(&mat[r * k..(r + 1) * k]);
+        aug[r * w + k + r] = 1;
+    }
+    for col in 0..k {
+        // Find a pivot.
+        let pivot = (col..k).find(|&r| aug[r * w + col] != 0)?;
+        if pivot != col {
+            for c in 0..w {
+                aug.swap(pivot * w + c, col * w + c);
+            }
+        }
+        let inv = gf_inv(aug[col * w + col]);
+        for c in 0..w {
+            aug[col * w + c] = gf_mul(aug[col * w + c], inv);
+        }
+        for r in 0..k {
+            if r == col {
+                continue;
+            }
+            let f = aug[r * w + col];
+            if f == 0 {
+                continue;
+            }
+            for c in 0..w {
+                aug[r * w + c] ^= gf_mul(f, aug[col * w + c]);
+            }
+        }
+    }
+    let mut out = vec![0u8; k * k];
+    for r in 0..k {
+        out[r * k..(r + 1) * k].copy_from_slice(&aug[r * w + k..r * w + 2 * k]);
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Structured erasure-coding failures. Decoding never panics and never
+/// silently returns garbage: too few survivors is [`EcError::Unrecoverable`],
+/// a malformed or corrupted shard PG is [`EcError::BadShardPg`] /
+/// [`EcError::NotAShardPg`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EcError {
+    /// Fewer than `need` shards survive; reconstruction is impossible.
+    Unrecoverable {
+        /// Surviving shard count.
+        have: usize,
+        /// Minimum shards required (`k` for `Ec`, 1 otherwise).
+        need: usize,
+    },
+    /// Invalid code parameters (`k = 0`, `m = 0`, `k + m > 255`, or a
+    /// replica count < 2).
+    BadParams {
+        /// Requested data-shard count (or replica count).
+        k: usize,
+        /// Requested parity-shard count.
+        m: usize,
+    },
+    /// A shard's byte length disagrees with its siblings.
+    ShardLenMismatch {
+        /// Shard index with the deviant length.
+        index: usize,
+        /// Its length.
+        len: usize,
+        /// The length established by the first surviving shard.
+        expected: usize,
+    },
+    /// A shard index is out of range for the code.
+    BadShardIndex {
+        /// The offending index.
+        index: usize,
+        /// Total shard count `k + m`.
+        total: usize,
+    },
+    /// A shard PG failed wire or checksum verification.
+    BadShardPg(IntegrityError),
+    /// The bytes decoded as a valid PG but do not carry shard framing
+    /// (wrong block names, bad metadata length, inconsistent lengths).
+    NotAShardPg,
+}
+
+impl std::fmt::Display for EcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcError::Unrecoverable { have, need } => {
+                write!(f, "unrecoverable: {have} shards survive, {need} needed")
+            }
+            EcError::BadParams { k, m } => write!(f, "bad code parameters k={k} m={m}"),
+            EcError::ShardLenMismatch {
+                index,
+                len,
+                expected,
+            } => write!(f, "shard {index} has {len} bytes, expected {expected}"),
+            EcError::BadShardIndex { index, total } => {
+                write!(f, "shard index {index} out of range for {total} shards")
+            }
+            EcError::BadShardPg(e) => write!(f, "shard PG failed verification: {e}"),
+            EcError::NotAShardPg => write!(f, "PG does not carry shard framing"),
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+// ---------------------------------------------------------------------------
+// RedundancyPolicy
+// ---------------------------------------------------------------------------
+
+/// Per-object durability tier: how one PG payload is materialized across
+/// storage targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum RedundancyPolicy {
+    /// Single copy; any destroyed-data fault on its OST loses the extent.
+    #[default]
+    None,
+    /// `n ≥ 2` full copies on distinct OSTs; tolerates `n - 1` losses at
+    /// `n×` storage and rewrite cost.
+    Replicate(u8),
+    /// `k` data + `m` parity shards on distinct OSTs; tolerates any `m`
+    /// losses at `(k+m)/k×` storage and per-shard rewrite cost.
+    Ec {
+        /// Data shards.
+        k: u8,
+        /// Parity shards.
+        m: u8,
+    },
+}
+
+impl RedundancyPolicy {
+    /// Validate parameters: `Replicate(n)` needs `n ≥ 2`; `Ec{k,m}` needs
+    /// `k ≥ 1`, `m ≥ 1`, `k + m ≤ 255`.
+    pub fn validate(&self) -> Result<(), EcError> {
+        match *self {
+            RedundancyPolicy::None => Ok(()),
+            RedundancyPolicy::Replicate(n) if n >= 2 => Ok(()),
+            RedundancyPolicy::Replicate(n) => Err(EcError::BadParams {
+                k: n as usize,
+                m: 0,
+            }),
+            RedundancyPolicy::Ec { k, m } if k >= 1 && m >= 1 => Ok(()),
+            RedundancyPolicy::Ec { k, m } => Err(EcError::BadParams {
+                k: k as usize,
+                m: m as usize,
+            }),
+        }
+    }
+
+    /// Total shards materialized per object (1, `n`, or `k + m`).
+    pub fn shard_count(&self) -> usize {
+        match *self {
+            RedundancyPolicy::None => 1,
+            RedundancyPolicy::Replicate(n) => n as usize,
+            RedundancyPolicy::Ec { k, m } => k as usize + m as usize,
+        }
+    }
+
+    /// Shards needed to read the payload back (1, 1, or `k`).
+    pub fn data_shards(&self) -> usize {
+        match *self {
+            RedundancyPolicy::None | RedundancyPolicy::Replicate(_) => 1,
+            RedundancyPolicy::Ec { k, .. } => k as usize,
+        }
+    }
+
+    /// Shard losses the policy survives (0, `n - 1`, or `m`).
+    pub fn tolerates(&self) -> usize {
+        self.shard_count() - self.data_shards()
+    }
+
+    /// Bytes stored per payload byte (1, `n`, or `(k+m)/k`).
+    pub fn storage_overhead(&self) -> f64 {
+        self.shard_count() as f64 / self.data_shards() as f64
+    }
+
+    /// Short stable label for bench artifacts (`none`, `rep2`, `ec8+2`).
+    pub fn label(&self) -> String {
+        match *self {
+            RedundancyPolicy::None => "none".to_string(),
+            RedundancyPolicy::Replicate(n) => format!("rep{n}"),
+            RedundancyPolicy::Ec { k, m } => format!("ec{k}+{m}"),
+        }
+    }
+
+    /// Bytes each shard carries for a payload of `len` bytes (`None` and
+    /// `Replicate` shards carry the whole payload; `Ec` shards carry
+    /// `ceil(len / k)`).
+    pub fn shard_len(&self, len: usize) -> usize {
+        match *self {
+            RedundancyPolicy::None | RedundancyPolicy::Replicate(_) => len,
+            RedundancyPolicy::Ec { k, .. } => len.div_ceil(k as usize),
+        }
+    }
+
+    /// Materialize a payload under this policy: the per-shard byte
+    /// vectors, index-aligned with the policy's placement order (data
+    /// shards first for `Ec`).
+    pub fn shards_of_payload(&self, payload: &[u8]) -> Result<Vec<Vec<u8>>, EcError> {
+        self.validate()?;
+        match *self {
+            RedundancyPolicy::None => Ok(vec![payload.to_vec()]),
+            RedundancyPolicy::Replicate(n) => Ok(vec![payload.to_vec(); n as usize]),
+            RedundancyPolicy::Ec { k, m } => {
+                Ok(RsCode::new(k as usize, m as usize)?.encode(payload))
+            }
+        }
+    }
+
+    /// Recover the original payload from surviving shards (index-aligned
+    /// with [`RedundancyPolicy::shards_of_payload`]; `None` = lost).
+    /// `payload_len` truncates the final padding.
+    pub fn payload_of_shards(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        payload_len: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        self.validate()?;
+        match *self {
+            RedundancyPolicy::None | RedundancyPolicy::Replicate(_) => {
+                let survivor = shards.iter().flatten().next().ok_or({
+                    EcError::Unrecoverable { have: 0, need: 1 }
+                })?;
+                let mut out = survivor.clone();
+                out.truncate(payload_len);
+                Ok(out)
+            }
+            RedundancyPolicy::Ec { k, m } => {
+                RsCode::new(k as usize, m as usize)?.decode_payload(shards, payload_len)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reed–Solomon code
+// ---------------------------------------------------------------------------
+
+/// A systematic `k+m` Reed–Solomon code over GF(2^8).
+///
+/// The generator matrix is the `(k+m)×k` Vandermonde matrix over the
+/// distinct points `0..k+m`, column-reduced so its top `k×k` block is the
+/// identity — data shards are verbatim payload slices, and any `k` rows
+/// remain linearly independent, so any `k` surviving shards reconstruct
+/// the rest.
+#[derive(Clone, Debug)]
+pub struct RsCode {
+    k: usize,
+    m: usize,
+    /// `m×k` parity rows of the reduced generator matrix, row-major.
+    parity: Vec<u8>,
+}
+
+impl RsCode {
+    /// Build the code for `k` data and `m` parity shards.
+    pub fn new(k: usize, m: usize) -> Result<Self, EcError> {
+        if k == 0 || m == 0 || k + m > 255 {
+            return Err(EcError::BadParams { k, m });
+        }
+        let n = k + m;
+        // Vandermonde over points 0..n: row i = [i^0, i^1, .., i^(k-1)].
+        let mut vand = vec![0u8; n * k];
+        for (i, row) in vand.chunks_exact_mut(k).enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = gf_pow(i as u8, j);
+            }
+        }
+        // Column-reduce: G = V · top⁻¹ makes the top k×k an identity while
+        // preserving the any-k-rows-invertible property.
+        let top_inv = gf_invert(&vand[..k * k], k).expect("Vandermonde top block is invertible");
+        let mut parity = vec![0u8; m * k];
+        for i in 0..m {
+            let vrow = &vand[(k + i) * k..(k + i + 1) * k];
+            for j in 0..k {
+                let mut acc = 0u8;
+                for (t, &v) in vrow.iter().enumerate() {
+                    acc ^= gf_mul(v, top_inv[t * k + j]);
+                }
+                parity[i * k + j] = acc;
+            }
+        }
+        Ok(RsCode { k, m, parity })
+    }
+
+    /// Data shard count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity shard count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total shard count `k + m`.
+    pub fn total(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Shard length for a payload of `len` bytes: `ceil(len / k)`, with a
+    /// 1-byte floor so zero-length payloads still carry decodable parity.
+    pub fn shard_len(&self, len: usize) -> usize {
+        len.div_ceil(self.k).max(1)
+    }
+
+    /// Split `payload` into `k` systematic data shards (the last one
+    /// zero-padded to the shard length) and compute `m` parity shards.
+    /// Returns `k + m` equal-length vectors, data first.
+    pub fn encode(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let slen = self.shard_len(payload.len());
+        let mut shards = Vec::with_capacity(self.total());
+        for j in 0..self.k {
+            let start = (j * slen).min(payload.len());
+            let end = ((j + 1) * slen).min(payload.len());
+            let mut s = payload[start..end].to_vec();
+            s.resize(slen, 0);
+            shards.push(s);
+        }
+        for i in 0..self.m {
+            let row = &self.parity[i * self.k..(i + 1) * self.k];
+            let mut p = vec![0u8; slen];
+            for (j, &coef) in row.iter().enumerate() {
+                if coef == 0 {
+                    continue;
+                }
+                for (b, pb) in shards[j].iter().zip(p.iter_mut()) {
+                    *pb ^= gf_mul(coef, *b);
+                }
+            }
+            shards.push(p);
+        }
+        shards
+    }
+
+    /// Full generator row for shard `idx`: `e_idx` for data shards, the
+    /// parity row otherwise.
+    fn row(&self, idx: usize) -> Vec<u8> {
+        let mut r = vec![0u8; self.k];
+        if idx < self.k {
+            r[idx] = 1;
+        } else {
+            r.copy_from_slice(&self.parity[(idx - self.k) * self.k..(idx - self.k + 1) * self.k]);
+        }
+        r
+    }
+
+    /// Reconstruct every missing shard in place from any `k` survivors.
+    ///
+    /// `shards` must have exactly `k + m` slots, `None` marking losses.
+    /// On success all slots are `Some` with equal lengths. Errors are
+    /// structured: fewer than `k` survivors → [`EcError::Unrecoverable`],
+    /// survivor length disagreement → [`EcError::ShardLenMismatch`].
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        if shards.len() != self.total() {
+            return Err(EcError::BadShardIndex {
+                index: shards.len(),
+                total: self.total(),
+            });
+        }
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(EcError::Unrecoverable {
+                have: present.len(),
+                need: self.k,
+            });
+        }
+        let slen = shards[present[0]].as_ref().expect("present").len();
+        for &i in &present {
+            let l = shards[i].as_ref().expect("present").len();
+            if l != slen {
+                return Err(EcError::ShardLenMismatch {
+                    index: i,
+                    len: l,
+                    expected: slen,
+                });
+            }
+        }
+        if present.len() == shards.len() {
+            return Ok(());
+        }
+        // Solve data = M⁻¹ · survivors, where M stacks the generator rows
+        // of the first k survivors.
+        let chosen = &present[..self.k];
+        let mut mat = vec![0u8; self.k * self.k];
+        for (r, &idx) in chosen.iter().enumerate() {
+            mat[r * self.k..(r + 1) * self.k].copy_from_slice(&self.row(idx));
+        }
+        let inv = gf_invert(&mat, self.k).ok_or(EcError::Unrecoverable {
+            have: present.len(),
+            need: self.k,
+        })?;
+        let mut data = vec![vec![0u8; slen]; self.k];
+        for (j, drow) in data.iter_mut().enumerate() {
+            for (r, &idx) in chosen.iter().enumerate() {
+                let coef = inv[j * self.k + r];
+                if coef == 0 {
+                    continue;
+                }
+                let src = shards[idx].as_ref().expect("chosen survivor");
+                for (b, db) in src.iter().zip(drow.iter_mut()) {
+                    *db ^= gf_mul(coef, *b);
+                }
+            }
+        }
+        // Fill missing data shards verbatim, recompute missing parity.
+        for idx in 0..shards.len() {
+            if shards[idx].is_some() {
+                continue;
+            }
+            if idx < self.k {
+                shards[idx] = Some(data[idx].clone());
+            } else {
+                let row = &self.parity[(idx - self.k) * self.k..(idx - self.k + 1) * self.k];
+                let mut p = vec![0u8; slen];
+                for (j, &coef) in row.iter().enumerate() {
+                    if coef == 0 {
+                        continue;
+                    }
+                    for (b, pb) in data[j].iter().zip(p.iter_mut()) {
+                        *pb ^= gf_mul(coef, *b);
+                    }
+                }
+                shards[idx] = Some(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover the original payload (clean path: concatenate the `k` data
+    /// shards; degraded path: reconstruct first). `payload_len` strips the
+    /// final shard's zero padding.
+    pub fn decode_payload(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        payload_len: usize,
+    ) -> Result<Vec<u8>, EcError> {
+        let mut work: Vec<Option<Vec<u8>>> = shards.to_vec();
+        self.reconstruct(&mut work)?;
+        let mut out = Vec::with_capacity(payload_len);
+        for s in work.iter().take(self.k) {
+            out.extend_from_slice(s.as_ref().expect("reconstructed"));
+        }
+        out.truncate(payload_len);
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard PG framing
+// ---------------------------------------------------------------------------
+
+/// Variable name carrying shard metadata inside a shard PG.
+pub const SHARD_META_VAR: &str = "__ec/meta";
+/// Variable name carrying the opaque shard bytes inside a shard PG.
+pub const SHARD_DATA_VAR: &str = "__ec/shard";
+
+const SHARD_META_LEN: usize = 28;
+
+/// Self-describing identity of one shard, embedded in its PG so a rebuild
+/// can re-derive code parameters from any surviving shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Shard index in `0..k+m` (for `Replicate`, the copy index in `0..n`).
+    pub index: u32,
+    /// Data shard count (`k`; for `Replicate(n)` this is 1).
+    pub k: u32,
+    /// Parity / extra-copy count (`m`; for `Replicate(n)` this is `n-1`).
+    pub m: u32,
+    /// Bytes in this shard.
+    pub shard_len: u64,
+    /// Bytes in the original payload (strips the final shard's padding).
+    pub payload_len: u64,
+}
+
+impl ShardMeta {
+    fn to_payload(self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(SHARD_META_LEN);
+        p.extend_from_slice(&self.index.to_le_bytes());
+        p.extend_from_slice(&self.k.to_le_bytes());
+        p.extend_from_slice(&self.m.to_le_bytes());
+        p.extend_from_slice(&self.shard_len.to_le_bytes());
+        p.extend_from_slice(&self.payload_len.to_le_bytes());
+        p
+    }
+
+    fn from_payload(p: &[u8]) -> Option<Self> {
+        if p.len() != SHARD_META_LEN {
+            return None;
+        }
+        Some(ShardMeta {
+            index: u32::from_le_bytes(p[0..4].try_into().ok()?),
+            k: u32::from_le_bytes(p[4..8].try_into().ok()?),
+            m: u32::from_le_bytes(p[8..12].try_into().ok()?),
+            shard_len: u64::from_le_bytes(p[12..20].try_into().ok()?),
+            payload_len: u64::from_le_bytes(p[20..28].try_into().ok()?),
+        })
+    }
+
+    /// The policy this shard belongs to.
+    pub fn policy(&self) -> RedundancyPolicy {
+        if self.k == 1 && self.m == 0 {
+            RedundancyPolicy::None
+        } else if self.k == 1 {
+            RedundancyPolicy::Replicate((1 + self.m) as u8)
+        } else {
+            RedundancyPolicy::Ec {
+                k: self.k as u8,
+                m: self.m as u8,
+            }
+        }
+    }
+}
+
+/// Shard-metadata (k, m) encoding for a policy.
+pub fn shard_meta_params(policy: RedundancyPolicy) -> (u32, u32) {
+    match policy {
+        RedundancyPolicy::None => (1, 0),
+        RedundancyPolicy::Replicate(n) => (1, n as u32 - 1),
+        RedundancyPolicy::Ec { k, m } => (k as u32, m as u32),
+    }
+}
+
+fn shard_blocks(meta: ShardMeta, shard: &[u8]) -> [VarBlock; 2] {
+    let n = meta.k + meta.m;
+    [
+        VarBlock {
+            name: VarName::intern(SHARD_META_VAR),
+            dtype: DType::U8,
+            global_dims: Dims::from(vec![n as u64, SHARD_META_LEN as u64]),
+            offsets: Dims::from(vec![meta.index as u64, 0]),
+            local_dims: Dims::from(vec![1, SHARD_META_LEN as u64]),
+            payload: meta.to_payload(),
+        },
+        VarBlock {
+            name: VarName::intern(SHARD_DATA_VAR),
+            dtype: DType::U8,
+            global_dims: Dims::from(vec![n as u64, meta.shard_len]),
+            offsets: Dims::from(vec![meta.index as u64, 0]),
+            local_dims: Dims::from(vec![1, meta.shard_len]),
+            payload: shard.to_vec(),
+        },
+    ]
+}
+
+/// Frame one shard as a checksummed `PG_MAGIC2` process group: a metadata
+/// block plus the opaque shard bytes, both CRC-64 protected. `rank` and
+/// `step` identify the source PG the shard protects.
+pub fn encode_shard_pg(rank: u32, step: u32, meta: ShardMeta, shard: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(meta.shard_len as usize, shard.len());
+    encode_pg_opts(rank, step, &shard_blocks(meta, shard), IntegrityOpts::on()).0
+}
+
+/// [`encode_shard_pg`] through a reusable [`EncodeScratch`] — the rebuild
+/// fast path re-encodes reconstructed shards without fresh allocations.
+pub fn encode_shard_pg_scratch<'a>(
+    scratch: &'a mut EncodeScratch,
+    rank: u32,
+    step: u32,
+    meta: ShardMeta,
+    shard: &[u8],
+) -> &'a [u8] {
+    debug_assert_eq!(meta.shard_len as usize, shard.len());
+    let blocks = shard_blocks(meta, shard);
+    scratch.encode_pg(rank, step, &blocks, IntegrityOpts::on()).0
+}
+
+/// Verify and unframe a shard PG: returns the PG identity (`rank`,
+/// `step`), the shard metadata, and the shard bytes. Wire or checksum
+/// damage is [`EcError::BadShardPg`]; structurally valid PGs that are not
+/// shard frames are [`EcError::NotAShardPg`]. Never panics on arbitrary
+/// input.
+pub fn decode_shard_pg(bytes: &[u8]) -> Result<(u32, u32, ShardMeta, Vec<u8>), EcError> {
+    let (rank, step, blocks) = decode_pg_verified(bytes).map_err(EcError::BadShardPg)?;
+    if blocks.len() != 2 {
+        return Err(EcError::NotAShardPg);
+    }
+    let meta_block = &blocks[0];
+    let data_block = &blocks[1];
+    if meta_block.name.as_str() != SHARD_META_VAR || data_block.name.as_str() != SHARD_DATA_VAR {
+        return Err(EcError::NotAShardPg);
+    }
+    let meta = ShardMeta::from_payload(&meta_block.payload).ok_or(EcError::NotAShardPg)?;
+    if meta.shard_len as usize != data_block.payload.len() {
+        return Err(EcError::NotAShardPg);
+    }
+    let total = (meta.k + meta.m) as usize;
+    if meta.index as usize >= total {
+        return Err(EcError::NotAShardPg);
+    }
+    let shard = blocks.into_iter().nth(1).expect("2 blocks").payload;
+    Ok((rank, step, meta, shard))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gf_field_axioms() {
+        // Multiplicative inverses and distributivity on a sample grid.
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+        }
+        for a in [1u8, 2, 3, 7, 29, 131, 255] {
+            for b in [0u8, 1, 2, 5, 97, 200, 255] {
+                for c in [1u8, 4, 88, 254] {
+                    assert_eq!(
+                        gf_mul(a, b ^ c),
+                        gf_mul(a, b) ^ gf_mul(a, c),
+                        "a={a} b={b} c={c}"
+                    );
+                }
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+            }
+        }
+        assert_eq!(gf_pow(2, 8), 0x1D, "x^8 reduces by the field polynomial");
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip() {
+        let k = 4;
+        // Vandermonde over distinct points 2, 3, 4, 5: provably invertible.
+        let mut mat = vec![0u8; 16];
+        for (r, &x) in [2u8, 3, 4, 5].iter().enumerate() {
+            for c in 0..k {
+                mat[r * k + c] = gf_pow(x, c);
+            }
+        }
+        let inv = gf_invert(&mat, k).expect("invertible");
+        // mat · inv = I
+        for r in 0..k {
+            for c in 0..k {
+                let mut acc = 0u8;
+                for t in 0..k {
+                    acc ^= gf_mul(mat[r * k + t], inv[t * k + c]);
+                }
+                assert_eq!(acc, u8::from(r == c), "({r},{c})");
+            }
+        }
+        // Singular matrix is refused, not mis-inverted.
+        assert!(gf_invert(&[1, 2, 2, 4], 2).is_none());
+    }
+
+    #[test]
+    fn systematic_layout_is_verbatim_payload() {
+        let code = RsCode::new(4, 2).unwrap();
+        let p = payload(401, 7);
+        let shards = code.encode(&p);
+        assert_eq!(shards.len(), 6);
+        let slen = code.shard_len(p.len());
+        let mut concat = Vec::new();
+        for s in &shards[..4] {
+            assert_eq!(s.len(), slen);
+            concat.extend_from_slice(s);
+        }
+        concat.truncate(p.len());
+        assert_eq!(concat, p, "clean read is concatenation, no decode");
+    }
+
+    #[test]
+    fn reconstructs_from_any_k_subset() {
+        let code = RsCode::new(4, 2).unwrap();
+        let p = payload(257, 3);
+        let full = code.encode(&p);
+        let n = code.total();
+        // Every way of keeping exactly k shards.
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != code.k() {
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = (0..n)
+                .map(|i| (mask >> i & 1 == 1).then(|| full[i].clone()))
+                .collect();
+            code.reconstruct(&mut shards).expect("k survivors suffice");
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &full[i], "mask={mask:06b} shard {i}");
+            }
+            assert_eq!(code.decode_payload(&shards, p.len()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn more_than_m_losses_is_structured_unrecoverable() {
+        let code = RsCode::new(3, 2).unwrap();
+        let full = code.encode(&payload(100, 1));
+        let mut shards: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[2] = None;
+        shards[4] = None; // 3 losses > m=2
+        assert_eq!(
+            code.reconstruct(&mut shards),
+            Err(EcError::Unrecoverable { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn shard_length_disagreement_is_loud() {
+        let code = RsCode::new(2, 1).unwrap();
+        let full = code.encode(&payload(64, 9));
+        let mut shards: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
+        shards[1].as_mut().unwrap().push(0xAA);
+        shards[2] = None;
+        assert!(matches!(
+            code.reconstruct(&mut shards),
+            Err(EcError::ShardLenMismatch { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_tiny_payloads_roundtrip() {
+        for len in [0usize, 1, 2, 3, 7, 8] {
+            let code = RsCode::new(8, 2).unwrap();
+            let p = payload(len, len as u64 + 11);
+            let full = code.encode(&p);
+            let mut shards: Vec<Option<Vec<u8>>> = full.into_iter().map(Some).collect();
+            shards[0] = None;
+            shards[9] = None;
+            assert_eq!(
+                code.decode_payload(&shards, p.len()).unwrap(),
+                p,
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_validation_and_accounting() {
+        assert!(RedundancyPolicy::None.validate().is_ok());
+        assert!(RedundancyPolicy::Replicate(2).validate().is_ok());
+        assert!(RedundancyPolicy::Replicate(1).validate().is_err());
+        assert!(RedundancyPolicy::Ec { k: 8, m: 2 }.validate().is_ok());
+        assert!(RedundancyPolicy::Ec { k: 0, m: 2 }.validate().is_err());
+        assert!(RedundancyPolicy::Ec { k: 8, m: 0 }.validate().is_err());
+
+        let ec = RedundancyPolicy::Ec { k: 8, m: 2 };
+        assert_eq!(ec.shard_count(), 10);
+        assert_eq!(ec.tolerates(), 2);
+        assert!((ec.storage_overhead() - 1.25).abs() < 1e-12);
+        assert_eq!(ec.label(), "ec8+2");
+        let rep = RedundancyPolicy::Replicate(2);
+        assert_eq!(rep.shard_count(), 2);
+        assert_eq!(rep.tolerates(), 1);
+        assert_eq!(rep.label(), "rep2");
+        assert_eq!(RedundancyPolicy::None.label(), "none");
+    }
+
+    #[test]
+    fn policy_shards_roundtrip_all_tiers() {
+        let p = payload(777, 21);
+        for policy in [
+            RedundancyPolicy::None,
+            RedundancyPolicy::Replicate(3),
+            RedundancyPolicy::Ec { k: 4, m: 2 },
+        ] {
+            let shards = policy.shards_of_payload(&p).unwrap();
+            assert_eq!(shards.len(), policy.shard_count());
+            let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+            // Knock out as many shards as the tier tolerates.
+            for s in opt.iter_mut().take(policy.tolerates()) {
+                *s = None;
+            }
+            assert_eq!(
+                policy.payload_of_shards(&opt, p.len()).unwrap(),
+                p,
+                "{}",
+                policy.label()
+            );
+        }
+        // Total loss is loud for every tier.
+        for policy in [RedundancyPolicy::None, RedundancyPolicy::Replicate(2)] {
+            let none: Vec<Option<Vec<u8>>> = vec![None; policy.shard_count()];
+            assert_eq!(
+                policy.payload_of_shards(&none, p.len()),
+                Err(EcError::Unrecoverable { have: 0, need: 1 })
+            );
+        }
+    }
+
+    #[test]
+    fn shard_pg_roundtrip_and_scratch_identity() {
+        let meta = ShardMeta {
+            index: 3,
+            k: 4,
+            m: 2,
+            shard_len: 128,
+            payload_len: 501,
+        };
+        let shard = payload(128, 5);
+        let pg = encode_shard_pg(9, 2, meta, &shard);
+        let mut scratch = EncodeScratch::new();
+        let pg2 = encode_shard_pg_scratch(&mut scratch, 9, 2, meta, &shard);
+        assert_eq!(pg, pg2, "scratch path is byte-identical");
+        let (rank, step, got_meta, got_shard) = decode_shard_pg(&pg).unwrap();
+        assert_eq!((rank, step), (9, 2));
+        assert_eq!(got_meta, meta);
+        assert_eq!(got_shard, shard);
+        assert_eq!(got_meta.policy(), RedundancyPolicy::Ec { k: 4, m: 2 });
+    }
+
+    #[test]
+    fn shard_meta_policy_mapping() {
+        for policy in [
+            RedundancyPolicy::None,
+            RedundancyPolicy::Replicate(2),
+            RedundancyPolicy::Replicate(5),
+            RedundancyPolicy::Ec { k: 8, m: 2 },
+        ] {
+            let (k, m) = shard_meta_params(policy);
+            let meta = ShardMeta {
+                index: 0,
+                k,
+                m,
+                shard_len: 1,
+                payload_len: 1,
+            };
+            assert_eq!(meta.policy(), policy);
+        }
+    }
+
+    #[test]
+    fn corrupted_shard_pg_is_loud_not_garbage() {
+        let meta = ShardMeta {
+            index: 0,
+            k: 2,
+            m: 1,
+            shard_len: 64,
+            payload_len: 100,
+        };
+        let shard = payload(64, 2);
+        let pg = encode_shard_pg(0, 0, meta, &shard);
+        // Flip one payload byte: CRC verification rejects it.
+        let mut bad = pg.clone();
+        let last = bad.len() - 10;
+        bad[last] ^= 0x40;
+        assert!(matches!(decode_shard_pg(&bad), Err(EcError::BadShardPg(_))));
+        // Truncations are loud too.
+        for cut in [0, 1, 4, pg.len() / 2, pg.len() - 1] {
+            assert!(decode_shard_pg(&pg[..cut]).is_err(), "cut={cut}");
+        }
+        // A legitimate non-shard PG is NotAShardPg, not a panic.
+        let plain = encode_pg_opts(
+            0,
+            0,
+            &[VarBlock::from_f64("T", vec![2u64], vec![0u64], vec![2u64], &[1.0, 2.0])],
+            IntegrityOpts::on(),
+        )
+        .0;
+        assert_eq!(decode_shard_pg(&plain), Err(EcError::NotAShardPg));
+    }
+}

@@ -16,6 +16,9 @@
 //!   [`writer::SubfileAssembler`] with offset reservation.
 //! * [`reader`] — single-lookup block reads and restart-style global
 //!   reconstruction.
+//! * [`ec`] — GF(2^8) Reed–Solomon `k+m` erasure coding over payload
+//!   extents, the tiered [`ec::RedundancyPolicy`], and checksummed shard
+//!   PG framing for the lazy-rebuild path.
 //! * [`integrity`] — CRC64 checksums, the [`integrity::IntegrityOpts`]
 //!   knob selecting the checked ("v2") layout, structured
 //!   [`integrity::IntegrityError`]s, and (in [`index`]) the
@@ -26,6 +29,7 @@
 
 pub mod attrs;
 pub mod chars;
+pub mod ec;
 pub mod index;
 pub mod integrity;
 pub mod intern;
@@ -36,6 +40,10 @@ pub mod writer;
 
 pub use attrs::{AttrValue, Attributes};
 pub use chars::{Characteristics, DType};
+pub use ec::{
+    decode_shard_pg, encode_shard_pg, encode_shard_pg_scratch, EcError, RedundancyPolicy, RsCode,
+    ShardMeta,
+};
 pub use index::{recover_index, GlobalIndex, IndexEntry, LocalIndex};
 pub use integrity::{crc64, crc64_bytewise, Crc64, IntegrityError, IntegrityOpts};
 pub use intern::{Dims, VarName};

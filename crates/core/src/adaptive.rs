@@ -459,6 +459,13 @@ pub struct AdaptiveActor {
     pub records: Vec<WriteRecord>,
     /// Received-message counters.
     pub msg_stats: MsgStats,
+    /// Bytes this rank re-wrote after a condemned target destroyed a
+    /// durable record (the redundancy-free repair cost of replication by
+    /// re-execution; surfaced as `ProtocolStats::bytes_rewritten`).
+    pub rewritten_bytes: u64,
+    /// Durable bytes still owed a rewrite (lost to a condemned target,
+    /// not yet re-landed).
+    rewrite_owed: u64,
 
     // Writer fault state.
     /// Write-attempt generation (stale-completion fencing).
@@ -558,6 +565,8 @@ impl AdaptiveActor {
             write_started: None,
             records: Vec::new(),
             msg_stats: MsgStats::default(),
+            rewritten_bytes: 0,
+            rewrite_owed: 0,
             gen: 0,
             attempt: 0,
             spec_assignment: None,
@@ -719,6 +728,13 @@ impl AdaptiveActor {
     fn finish_write(&mut self, done: IoComplete, a: Assignment, ctx: &mut Ctx<'_, Msg>) {
         let started = self.write_started.take().expect("write start recorded");
         self.attempt = 0;
+        if self.rewrite_owed > 0 {
+            // This completion repays a durable write destroyed with a
+            // condemned target: count it as repair traffic.
+            let repaid = done.bytes.min(self.rewrite_owed);
+            self.rewritten_bytes += repaid;
+            self.rewrite_owed -= repaid;
+        }
         self.records.push(WriteRecord {
             rank: self.me,
             bytes: done.bytes,
@@ -779,6 +795,7 @@ impl AdaptiveActor {
         let dead_file = self.files[group as usize];
         if let Some(pos) = self.records.iter().position(|r| r.file == dead_file) {
             let lost = self.records.remove(pos);
+            self.rewrite_owed += lost.bytes;
             let my_group = self.plan.group_of[self.me as usize];
             let to = self.current_sc_of(my_group);
             self.send_msg(ctx, to, Msg::LostWrite { bytes: lost.bytes });

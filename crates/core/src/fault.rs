@@ -166,6 +166,21 @@ pub enum SimError {
         /// Bytes of the corrupted write.
         bytes: u64,
     },
+    /// A redundancy group lost more extents than its policy tolerates:
+    /// fewer than `need` of its shards survive, so reconstruction is
+    /// impossible and the object's bytes are gone for good. Reported
+    /// loudly instead of returning garbage.
+    Unrecoverable {
+        /// The writing rank whose object is unrecoverable.
+        rank: u32,
+        /// Surviving shard count.
+        have: usize,
+        /// Shards required to reconstruct (`k` for `Ec{k,m}`, 1 for
+        /// replication).
+        need: usize,
+        /// Payload bytes lost.
+        bytes: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -192,6 +207,15 @@ impl std::fmt::Display for SimError {
                     "rank {rank}: {bytes} bytes silently corrupted on OST {ost}"
                 )
             }
+            SimError::Unrecoverable {
+                rank,
+                have,
+                need,
+                bytes,
+            } => write!(
+                f,
+                "rank {rank}: {bytes} bytes unrecoverable ({have} shards survive, {need} needed)"
+            ),
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod posix;
 pub mod protocol;
 pub mod readback;
 pub mod record;
+pub mod redundancy;
 pub mod runner;
 pub mod scrub;
 pub mod staging;
@@ -44,10 +45,17 @@ pub use plan::OutputPlan;
 pub use readback::{
     run_restart_read, run_restart_read_with, ReadOutcome, ReadPlan, ReadResult, ReadRun,
 };
-pub use scrub::{repair_subfiles, run_scrub, BlockFate, RepairSummary, ScrubReport};
+pub use redundancy::{
+    place_shards, run_redundant, RedundancyOpts, RedundancyReport, RedundantObject, ShardRecord,
+    ShardState,
+};
+pub use scrub::{
+    repair_subfiles, run_rebuild, run_scrub, BlockFate, RebuildExtent, RebuildFate, RebuildReport,
+    RebuildTask, RepairSummary, ScrubReport,
+};
 pub use staging::{run_staged, StagingOpts, StagingResult};
 pub use record::{OutputResult, WriteRecord};
 pub use runner::{
-    run, run_with_faults, DataSpec, Interference, Method, ProtocolStats, RunBase, RunOutput,
-    RunScratch, RunSpec,
+    run, run_with_faults, run_with_redundancy, DataSpec, Interference, Method, ProtocolStats,
+    RunBase, RunOutput, RunScratch, RunSpec,
 };

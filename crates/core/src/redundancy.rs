@@ -1,0 +1,839 @@
+//! Tiered redundancy: k+m erasure-coded shard placement with lazy
+//! rebuild.
+//!
+//! The adaptive protocol masks *slow* targets by steering work away from
+//! them; this module answers *destroyed* data. Each rank's PG payload is
+//! materialized under a per-object [`RedundancyPolicy`]:
+//!
+//! * `None` — a single copy; destroyed data is gone.
+//! * `Replicate(n)` — `n` full copies on distinct OSTs; any loss is
+//!   repaired by recopying a whole extent from a survivor.
+//! * `Ec { k, m }` — `k` data + `m` parity shards on distinct OSTs
+//!   ([`bpfmt::ec`]); any `m` losses are repaired by reconstructing
+//!   *only the damaged extents* from any `k` survivors, so repair
+//!   traffic is `lost × payload/k` instead of `payload` per copy.
+//!
+//! Three layers:
+//!
+//! * [`place_shards`] — deterministic distinct-OST placement, skipping
+//!   targets flagged by the control loop or condemned by earlier retry
+//!   budgets (the campaign's analog of the coordinator steering that
+//!   skips flagged OSTs in `c_try_issue`).
+//! * [`run_redundant`] — the timeline campaign: shard writes with the
+//!   shared retry/backoff/condemnation machinery, damage assessment
+//!   against the placement-aware [`CorruptionOracle`] (`lost_since`),
+//!   and a lazy [`run_rebuild`](crate::scrub::run_rebuild) pass that
+//!   restores damaged extents.
+//! * [`RedundantObject`] — the real-bytes half: shards carried in
+//!   checksummed `PG_MAGIC2` PGs, reconstruction via the
+//!   `EncodeScratch` fast path, and online policy switching
+//!   ([`RedundantObject::switch_policy`]) that re-encodes through the
+//!   rebuild path without data loss.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bpfmt::ec::{
+    decode_shard_pg, encode_shard_pg, encode_shard_pg_scratch, shard_meta_params, EcError,
+    RedundancyPolicy, ShardMeta,
+};
+use bpfmt::EncodeScratch;
+use clustersim::{Actor, Ctx, IoComplete, Rank, Simulation};
+use simcore::{EventToken, SimDuration, SimTime};
+use storesim::layout::{FileId, OstId, StripeSpec};
+use storesim::system::CompletionKind;
+use storesim::{CorruptionOracle, FaultScript, MachineConfig};
+
+use crate::fault::{FaultTolerance, SimError, WriteOutcome};
+use crate::scrub::{run_rebuild, RebuildExtent, RebuildFate, RebuildTask};
+
+const TAG_OPEN: u32 = 1;
+const TAG_CLOSE: u32 = 3;
+const TAG_IO_BASE: u32 = 16;
+
+/// Knobs of the redundant data plane. Off by default — and with
+/// `enabled = false` every entry point delegates verbatim to the
+/// non-redundant path, keeping output byte-identical to a build without
+/// this module (pinned in `tests/determinism.rs`).
+#[derive(Clone, Debug)]
+pub struct RedundancyOpts {
+    /// Master switch.
+    pub enabled: bool,
+    /// Default per-object policy.
+    pub policy: RedundancyPolicy,
+    /// Per-variable policy overrides (first match by name wins); objects
+    /// not listed use `policy`.
+    pub per_var: Vec<(String, RedundancyPolicy)>,
+    /// Run the lazy rebuild pass after damage assessment.
+    pub rebuild: bool,
+    /// Targets the placement must avoid — the condemned/flagged set from
+    /// the control loop's `OstLatencyTracker`, fed forward so shards are
+    /// never placed on a target the protocol already distrusts.
+    pub avoid_osts: Vec<usize>,
+    /// Shared retry/backoff/condemnation knobs for shard writes and the
+    /// rebuild pass.
+    pub fault: FaultTolerance,
+    /// Rebuilder worker count (0 ⇒ one per damaged object, capped at 8).
+    pub rebuild_workers: usize,
+}
+
+impl Default for RedundancyOpts {
+    fn default() -> Self {
+        RedundancyOpts {
+            enabled: false,
+            policy: RedundancyPolicy::None,
+            per_var: Vec::new(),
+            rebuild: true,
+            avoid_osts: Vec::new(),
+            fault: FaultTolerance::enabled(),
+            rebuild_workers: 0,
+        }
+    }
+}
+
+impl RedundancyOpts {
+    /// Redundancy disabled (the default; byte-identical output).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Redundancy enabled under `policy` with lazy rebuild on.
+    pub fn with_policy(policy: RedundancyPolicy) -> Self {
+        RedundancyOpts {
+            enabled: true,
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// The policy governing variable `var`: the first `per_var` match,
+    /// else the default policy.
+    pub fn policy_for(&self, var: &str) -> RedundancyPolicy {
+        self.per_var
+            .iter()
+            .find(|(name, _)| name == var)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.policy)
+    }
+}
+
+/// Assign the `n` shards of placement group `pg` to distinct OSTs:
+/// round-robin from a deterministic per-group anchor over the healthy
+/// pool (`0..ost_count` minus `avoid`). When fewer than `n` healthy
+/// targets remain the full target set is used instead (durability over
+/// steering), and when the machine itself has fewer than `n` targets the
+/// assignment wraps — some targets then carry several shards of the same
+/// group, and the policy's loss tolerance degrades accordingly.
+pub fn place_shards(pg: usize, n: usize, ost_count: usize, avoid: &[usize]) -> Vec<OstId> {
+    assert!(ost_count > 0 && n > 0);
+    let healthy: Vec<usize> = (0..ost_count).filter(|o| !avoid.contains(o)).collect();
+    let pool: Vec<usize> = if healthy.len() >= n || healthy.is_empty() {
+        if healthy.is_empty() {
+            (0..ost_count).collect()
+        } else {
+            healthy
+        }
+    } else {
+        (0..ost_count).collect()
+    };
+    let anchor = pg % pool.len();
+    (0..n).map(|i| OstId(pool[(anchor + i) % pool.len()])).collect()
+}
+
+/// One shard write as recorded by the campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRecord {
+    /// Placement group (= writing rank) index.
+    pub pg: u32,
+    /// Shard index within the group.
+    pub shard: u32,
+    /// Target the shard finally landed on.
+    pub ost: OstId,
+    /// Byte offset within the per-target shard file.
+    pub offset: u64,
+    /// Shard length, bytes.
+    pub len: u64,
+    /// First submission of the shard.
+    pub start: SimTime,
+    /// Completion of the successful attempt.
+    pub end: SimTime,
+    /// The shard was re-placed off its planned target after condemnation.
+    pub moved: bool,
+    /// The shard was never durably written (every placement failed).
+    pub failed: bool,
+}
+
+/// Post-assessment state of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// Written and intact at campaign end.
+    Intact,
+    /// Written, but its target later destroyed the bytes.
+    Lost,
+    /// Written, but silently corrupted below the checksum layer.
+    Corrupt,
+    /// Never durably written.
+    Unwritten,
+}
+
+/// Result of one redundant campaign: write phase, damage assessment, and
+/// (when enabled) the lazy rebuild.
+#[derive(Clone, Debug)]
+pub struct RedundancyReport {
+    /// The campaign's default policy.
+    pub policy: RedundancyPolicy,
+    /// Placement groups (= ranks) written.
+    pub pgs: usize,
+    /// Per-shard write records, grouped by `pg`.
+    pub records: Vec<ShardRecord>,
+    /// Per-shard assessment, parallel to `records`.
+    pub states: Vec<ShardState>,
+    /// Groups with at least one damaged shard.
+    pub damaged_pgs: usize,
+    /// Damaged groups fully restored by the rebuild.
+    pub rebuilt_pgs: usize,
+    /// Groups that lost more shards than the policy tolerates (or whose
+    /// rebuild writes failed).
+    pub unrecoverable_pgs: usize,
+    /// Shard bytes durably stored by the write phase.
+    pub bytes_stored: u64,
+    /// Repair write traffic of the rebuild pass.
+    pub bytes_rewritten: u64,
+    /// Damaged bytes restored through erasure-decode reconstruction
+    /// (zero for replication, which only copies).
+    pub bytes_reconstructed: u64,
+    /// Bytes read from survivors by the rebuild pass.
+    pub bytes_read: u64,
+    /// Simulated duration of the shard-write phase, seconds.
+    pub write_elapsed_secs: f64,
+    /// Simulated duration of the rebuild pass, seconds (0 when disabled
+    /// or clean).
+    pub rebuild_elapsed_secs: f64,
+    /// Structured failures from both phases.
+    pub errors: Vec<SimError>,
+    /// Payload-byte accounting: `written` counts payloads durable at the
+    /// end (clean or rebuilt), `lost` counts unrecoverable payloads.
+    pub outcome: WriteOutcome,
+}
+
+impl RedundancyReport {
+    /// True when every payload ended durable: no unrecoverable groups
+    /// and no unrepaired damage.
+    pub fn fully_durable(&self) -> bool {
+        self.unrecoverable_pgs == 0 && self.outcome.lost_bytes == 0
+    }
+}
+
+/// One shard-write work item carried by a writer actor.
+#[derive(Clone, Copy, Debug)]
+struct ShardJob {
+    shard: u32,
+    len: u64,
+    ost: OstId,
+}
+
+/// Shared campaign state: per-OST bump allocators for shard-file offsets
+/// and the condemned-target set every writer consults before re-placing
+/// — the campaign's stand-in for coordinator steering.
+struct Steering {
+    next_offset: Vec<u64>,
+    condemned: Vec<usize>,
+}
+
+struct ShardWriter {
+    pg: u32,
+    jobs: Vec<ShardJob>,
+    files: Rc<Vec<FileId>>,
+    steering: Rc<RefCell<Steering>>,
+    avoid: Rc<Vec<usize>>,
+    ost_count: usize,
+    tol: FaultTolerance,
+    cur: usize,
+    opened: bool,
+    attempt: u32,
+    /// Placements tried for the current shard (terminates re-placement).
+    placements: usize,
+    /// Offset allocated for the in-flight attempt.
+    cur_offset: u64,
+    cur_start: Option<SimTime>,
+    moved: bool,
+    cur_tag: u32,
+    next_tag: u32,
+    timeout: Option<(u64, EventToken)>,
+    retry_at: Option<u64>,
+    next_timer: u64,
+    pub records: Vec<ShardRecord>,
+    pub closed: bool,
+}
+
+impl ShardWriter {
+    fn osts_used(&self) -> Vec<usize> {
+        self.records.iter().map(|r| r.ost.0).collect()
+    }
+
+    fn start_shard(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if self.cur >= self.jobs.len() {
+            ctx.close(TAG_CLOSE);
+            return;
+        }
+        self.attempt = 1;
+        self.placements = 1;
+        self.moved = false;
+        self.cur_start = None;
+        self.issue(ctx);
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let job = self.jobs[self.cur];
+        let ost = job.ost.0;
+        {
+            let mut st = self.steering.borrow_mut();
+            self.cur_offset = st.next_offset[ost];
+            st.next_offset[ost] += job.len;
+        }
+        if self.cur_start.is_none() {
+            self.cur_start = Some(ctx.now());
+        }
+        self.cur_tag = self.next_tag;
+        self.next_tag += 1;
+        ctx.write_file(self.files[ost], self.cur_offset, job.len, self.cur_tag);
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        let token = ctx.set_timer(
+            SimDuration::from_secs_f64(self.tol.timeout_for(job.len)),
+            tag,
+        );
+        self.timeout = Some((tag, token));
+    }
+
+    /// Re-place the current shard on a fresh target after condemnation:
+    /// the next OST (cyclically) that is neither condemned, avoided, nor
+    /// already carrying a shard of this group. Falls back to any
+    /// non-condemned target, then gives up.
+    fn replace_target(&mut self) -> bool {
+        if self.placements > self.ost_count {
+            return false;
+        }
+        self.placements += 1;
+        let used = self.osts_used();
+        let st = self.steering.borrow();
+        let cur = self.jobs[self.cur].ost.0;
+        let pick = |skip_used: bool| {
+            (1..=self.ost_count).map(|d| (cur + d) % self.ost_count).find(|o| {
+                !st.condemned.contains(o)
+                    && !self.avoid.contains(o)
+                    && (!skip_used || !used.contains(o))
+            })
+        };
+        let Some(next) = pick(true).or_else(|| pick(false)) else {
+            return false;
+        };
+        drop(st);
+        self.jobs[self.cur].ost = OstId(next);
+        self.moved = true;
+        self.attempt = 1;
+        true
+    }
+
+    fn settle_failed(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let job = self.jobs[self.cur];
+        self.records.push(ShardRecord {
+            pg: self.pg,
+            shard: job.shard,
+            ost: job.ost,
+            offset: self.cur_offset,
+            len: job.len,
+            start: self.cur_start.unwrap_or(SimTime::ZERO),
+            end: ctx.now(),
+            moved: self.moved,
+            failed: true,
+        });
+        self.cur += 1;
+        self.start_shard(ctx);
+    }
+
+    fn attempt_failed(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if self.attempt < self.tol.max_retries {
+            let delay = self.tol.backoff_secs(self.attempt);
+            self.attempt += 1;
+            let tag = self.next_timer;
+            self.next_timer += 1;
+            ctx.set_timer(SimDuration::from_secs_f64(delay), tag);
+            self.retry_at = Some(tag);
+            return;
+        }
+        // Retry budget exhausted: condemn the target campaign-wide and
+        // re-place the shard.
+        let ost = self.jobs[self.cur].ost.0;
+        {
+            let mut st = self.steering.borrow_mut();
+            if !st.condemned.contains(&ost) {
+                st.condemned.push(ost);
+            }
+        }
+        if self.replace_target() {
+            self.issue(ctx);
+        } else {
+            self.settle_failed(ctx);
+        }
+    }
+
+    fn clear_timeout(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if let Some((_, token)) = self.timeout.take() {
+            ctx.cancel_timer(token);
+        }
+    }
+}
+
+impl Actor for ShardWriter {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.open(TAG_OPEN);
+    }
+
+    fn on_message(&mut self, _f: Rank, _m: (), _c: &mut Ctx<'_, ()>) {}
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ()>) {
+        if self.retry_at == Some(tag) {
+            self.retry_at = None;
+            self.issue(ctx);
+            return;
+        }
+        if self.timeout.as_ref().is_some_and(|&(t, _)| t == tag) {
+            self.timeout = None;
+            self.attempt_failed(ctx);
+        }
+    }
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, ()>) {
+        match (done.tag, done.kind) {
+            (TAG_OPEN, CompletionKind::Open) => {
+                self.opened = true;
+                self.start_shard(ctx);
+            }
+            (TAG_CLOSE, CompletionKind::Close) => {
+                self.closed = true;
+                ctx.finish();
+            }
+            (tag, CompletionKind::Write) => {
+                if tag != self.cur_tag {
+                    return; // stale completion of a timed-out attempt
+                }
+                self.clear_timeout(ctx);
+                if done.error {
+                    self.attempt_failed(ctx);
+                    return;
+                }
+                let job = self.jobs[self.cur];
+                self.records.push(ShardRecord {
+                    pg: self.pg,
+                    shard: job.shard,
+                    ost: job.ost,
+                    offset: self.cur_offset,
+                    len: job.len,
+                    start: self.cur_start.unwrap_or(SimTime::ZERO),
+                    end: ctx.now(),
+                    moved: self.moved,
+                    failed: false,
+                });
+                self.cur += 1;
+                self.start_shard(ctx);
+            }
+            other => panic!("unexpected IO completion for shard writer {}: {other:?}", self.pg),
+        }
+    }
+}
+
+/// Execute one redundant campaign: place and write each rank's shards
+/// under `opts.policy`, assess damage against the fault injector's
+/// ground truth, and (with `opts.rebuild`) run the lazy rebuild pass to
+/// restore every damaged extent that the policy can still reconstruct.
+///
+/// `rank_bytes[r]` is rank `r`'s payload size; `script` is the storage
+/// fault schedule the campaign runs under.
+pub fn run_redundant(
+    machine: &MachineConfig,
+    rank_bytes: &[u64],
+    script: &FaultScript,
+    opts: &RedundancyOpts,
+    seed: u64,
+) -> RedundancyReport {
+    assert!(opts.enabled, "run_redundant requires RedundancyOpts::enabled");
+    opts.policy.validate().expect("valid redundancy policy");
+    let policy = opts.policy;
+    let nprocs = rank_bytes.len();
+    assert!(nprocs > 0);
+    let n_shards = policy.shard_count();
+
+    // -- Placement + shard-write phase ------------------------------------
+    let mut storage = storesim::StorageSystem::new(machine.clone(), seed);
+    let files: Vec<FileId> = (0..machine.ost_count)
+        .map(|o| {
+            storage
+                .fs_mut()
+                .create(format!("ec-{o}.bp"), StripeSpec::Pinned(vec![OstId(o)]))
+        })
+        .collect();
+    if !script.is_empty() {
+        storage.install_faults(script);
+    }
+    let files = Rc::new(files);
+    let steering = Rc::new(RefCell::new(Steering {
+        next_offset: vec![0; machine.ost_count],
+        condemned: Vec::new(),
+    }));
+    let avoid = Rc::new(opts.avoid_osts.clone());
+    let actors: Vec<ShardWriter> = (0..nprocs)
+        .map(|r| {
+            let placement = place_shards(r, n_shards, machine.ost_count, &opts.avoid_osts);
+            let slen = policy.shard_len(rank_bytes[r] as usize).max(1) as u64;
+            let jobs: Vec<ShardJob> = placement
+                .into_iter()
+                .enumerate()
+                .map(|(s, ost)| ShardJob {
+                    shard: s as u32,
+                    len: slen,
+                    ost,
+                })
+                .collect();
+            ShardWriter {
+                pg: r as u32,
+                jobs,
+                files: Rc::clone(&files),
+                steering: Rc::clone(&steering),
+                avoid: Rc::clone(&avoid),
+                ost_count: machine.ost_count,
+                tol: opts.fault,
+                cur: 0,
+                opened: false,
+                attempt: 0,
+                placements: 0,
+                cur_offset: 0,
+                cur_start: None,
+                moved: false,
+                cur_tag: 0,
+                next_tag: TAG_IO_BASE,
+                timeout: None,
+                retry_at: None,
+                next_timer: 1,
+                records: Vec::new(),
+                closed: false,
+            }
+        })
+        .collect();
+    let n = actors.len() as u64;
+    let mut sim = Simulation::with_storage(machine.clone(), actors, seed, storage);
+    let stats = sim.run_until(n, SimTime::from_secs_f64(1e6));
+
+    let mut errors = Vec::new();
+    if sim.finish_count() < n {
+        let pending: Vec<u32> = sim
+            .actors()
+            .enumerate()
+            .filter(|(_, a)| !a.closed)
+            .map(|(r, _)| r as u32)
+            .collect();
+        errors.push(SimError::Stalled {
+            pending_ranks: pending,
+            last_event_time: stats.end_time.as_secs_f64(),
+        });
+    }
+
+    // -- Damage assessment -------------------------------------------------
+    // The write phase may finish before late scripted faults fire; data
+    // at rest is still destroyed by them. Drain the storage queue through
+    // the script's fault horizon so the oracle records every loss.
+    if let Some(last) = script.events.iter().map(|e| e.at()).max() {
+        sim.storage_mut()
+            .advance_to(last + SimDuration::from_secs_f64(1.0));
+    }
+    // The placement-aware oracle: destroyed-data instants + silent
+    // corruption, usable after the simulation is torn down.
+    let oracle: CorruptionOracle = sim.storage().integrity_oracle();
+    let mut records: Vec<ShardRecord> = Vec::with_capacity(nprocs * n_shards);
+    for a in sim.actors() {
+        records.extend(a.records.iter().copied());
+    }
+    records.sort_by_key(|r| (r.pg, r.shard));
+    let states: Vec<ShardState> = records
+        .iter()
+        .map(|r| {
+            if r.failed {
+                ShardState::Unwritten
+            } else if oracle.lost_since(r.ost, r.end) {
+                ShardState::Lost
+            } else if oracle.write_corrupted(r.ost, r.end) {
+                ShardState::Corrupt
+            } else {
+                ShardState::Intact
+            }
+        })
+        .collect();
+    let bytes_stored: u64 = records
+        .iter()
+        .zip(&states)
+        .filter(|(_, s)| **s != ShardState::Unwritten)
+        .map(|(r, _)| r.len)
+        .sum();
+
+    // -- Lazy rebuild ------------------------------------------------------
+    let mut tasks: Vec<RebuildTask> = Vec::new();
+    let mut task_pg: Vec<u32> = Vec::new();
+    for (pg, &payload_bytes) in rank_bytes.iter().enumerate() {
+        let group: Vec<(usize, &ShardRecord)> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.pg == pg as u32)
+            .collect();
+        let damaged: Vec<&ShardRecord> = group
+            .iter()
+            .filter(|(i, _)| states[*i] != ShardState::Intact)
+            .map(|(_, r)| *r)
+            .collect();
+        if damaged.is_empty() {
+            continue;
+        }
+        let sources: Vec<RebuildExtent> = group
+            .iter()
+            .filter(|(i, _)| states[*i] == ShardState::Intact)
+            .map(|(_, r)| RebuildExtent {
+                ost: r.ost,
+                offset: r.offset,
+                len: r.len,
+            })
+            .collect();
+        let writes: Vec<RebuildExtent> = damaged
+            .iter()
+            .map(|r| RebuildExtent {
+                ost: r.ost,
+                offset: r.offset,
+                len: r.len,
+            })
+            .collect();
+        tasks.push(RebuildTask {
+            rank: pg as u32,
+            payload_bytes,
+            sources,
+            need: policy.data_shards(),
+            writes,
+        });
+        task_pg.push(pg as u32);
+    }
+    let damaged_pgs = tasks.len();
+
+    let mut rebuilt_pgs = 0;
+    let mut unrecoverable_pgs = 0;
+    let mut bytes_rewritten = 0;
+    let mut bytes_reconstructed = 0;
+    let mut bytes_read = 0;
+    let mut rebuild_elapsed_secs = 0.0;
+    let mut lost_payload = 0u64;
+    if opts.rebuild && !tasks.is_empty() {
+        let workers = if opts.rebuild_workers > 0 {
+            opts.rebuild_workers
+        } else {
+            tasks.len().min(8)
+        };
+        let rebuild = run_rebuild(machine, &tasks, &oracle.dead, workers, opts.fault, seed ^ 0x5EC0_7D17);
+        for (i, fate) in rebuild.fates.iter().enumerate() {
+            match *fate {
+                RebuildFate::Clean | RebuildFate::Rebuilt { .. } => rebuilt_pgs += 1,
+                RebuildFate::Unrecoverable { .. }
+                | RebuildFate::WriteFailed
+                | RebuildFate::Unreached => {
+                    unrecoverable_pgs += 1;
+                    lost_payload += tasks[i].payload_bytes;
+                }
+            }
+        }
+        bytes_rewritten = rebuild.bytes_rewritten;
+        bytes_read = rebuild.bytes_read;
+        if matches!(policy, RedundancyPolicy::Ec { .. }) {
+            bytes_reconstructed = rebuild.bytes_rewritten;
+        }
+        rebuild_elapsed_secs = rebuild.elapsed_secs;
+        errors.extend(rebuild.errors);
+    } else {
+        // No rebuild: damaged groups count as unrecoverable only when
+        // they exceed the policy's tolerance; merely-degraded groups are
+        // still readable.
+        for t in &tasks {
+            if t.sources.len() < t.need {
+                unrecoverable_pgs += 1;
+                lost_payload += t.payload_bytes;
+                errors.push(SimError::Unrecoverable {
+                    rank: t.rank,
+                    have: t.sources.len(),
+                    need: t.need,
+                    bytes: t.payload_bytes,
+                });
+            }
+        }
+    }
+
+    let total_payload: u64 = rank_bytes.iter().sum();
+    let outcome = WriteOutcome {
+        total_bytes: total_payload,
+        written_bytes: total_payload - lost_payload,
+        lost_bytes: lost_payload,
+        complete: lost_payload == 0 && errors.is_empty(),
+    };
+    RedundancyReport {
+        policy,
+        pgs: nprocs,
+        records,
+        states,
+        damaged_pgs,
+        rebuilt_pgs,
+        unrecoverable_pgs,
+        bytes_stored,
+        bytes_rewritten,
+        bytes_reconstructed,
+        bytes_read,
+        write_elapsed_secs: stats.end_time.as_secs_f64(),
+        rebuild_elapsed_secs,
+        errors,
+        outcome,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real-bytes redundant objects
+// ---------------------------------------------------------------------------
+
+/// A payload materialized as shard PGs under a [`RedundancyPolicy`] —
+/// the real-bytes half of the redundancy subsystem. Shards travel in
+/// checksummed `PG_MAGIC2` process groups; damaged or dropped shards are
+/// reconstructed byte-identically from any sufficient subset, and the
+/// policy can be switched online ([`RedundantObject::switch_policy`])
+/// through the same decode-and-re-encode path.
+#[derive(Clone, Debug)]
+pub struct RedundantObject {
+    /// Source PG identity: writing rank.
+    pub rank: u32,
+    /// Source PG identity: output step.
+    pub step: u32,
+    /// The policy the shards were encoded under.
+    pub policy: RedundancyPolicy,
+    /// Original payload length, bytes.
+    pub payload_len: usize,
+    /// Shard PG bytes by shard index (`None` = lost).
+    pub shard_pgs: Vec<Option<Vec<u8>>>,
+}
+
+impl RedundantObject {
+    /// Encode `payload` under `policy` into framed shard PGs.
+    pub fn encode(
+        rank: u32,
+        step: u32,
+        policy: RedundancyPolicy,
+        payload: &[u8],
+    ) -> Result<Self, EcError> {
+        policy.validate()?;
+        let shards = policy.shards_of_payload(payload)?;
+        let (k, m) = shard_meta_params(policy);
+        let shard_pgs = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let meta = ShardMeta {
+                    index: i as u32,
+                    k,
+                    m,
+                    shard_len: s.len() as u64,
+                    payload_len: payload.len() as u64,
+                };
+                Some(encode_shard_pg(rank, step, meta, s))
+            })
+            .collect();
+        Ok(RedundantObject {
+            rank,
+            step,
+            policy,
+            payload_len: payload.len(),
+            shard_pgs,
+        })
+    }
+
+    /// Drop shard `idx` (simulating destroyed data).
+    pub fn damage(&mut self, idx: usize) {
+        self.shard_pgs[idx] = None;
+    }
+
+    /// Unframe and verify every surviving shard. A shard whose PG fails
+    /// checksum or framing verification counts as lost — corruption
+    /// degrades into erasure, it never feeds garbage to the decoder.
+    fn surviving_shards(&self) -> Vec<Option<Vec<u8>>> {
+        self.shard_pgs
+            .iter()
+            .map(|pg| {
+                let pg = pg.as_ref()?;
+                let (rank, step, meta, shard) = decode_shard_pg(pg).ok()?;
+                if rank != self.rank || step != self.step || meta.policy() != self.policy {
+                    return None;
+                }
+                Some(shard)
+            })
+            .collect()
+    }
+
+    /// Recover the original payload from the surviving shards.
+    pub fn payload(&self) -> Result<Vec<u8>, EcError> {
+        self.policy
+            .payload_of_shards(&self.surviving_shards(), self.payload_len)
+    }
+
+    /// Lazy rebuild: reconstruct every lost or damaged shard and re-frame
+    /// it byte-identically to the original encode, reusing `scratch` for
+    /// the re-encode (the PR-4 zero-alloc fast path). Returns the number
+    /// of shards restored.
+    pub fn rebuild(&mut self, scratch: &mut EncodeScratch) -> Result<usize, EcError> {
+        let mut shards = self.surviving_shards();
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(0);
+        }
+        match self.policy {
+            RedundancyPolicy::None | RedundancyPolicy::Replicate(_) => {
+                let survivor = shards
+                    .iter()
+                    .flatten()
+                    .next()
+                    .cloned()
+                    .ok_or(EcError::Unrecoverable { have: 0, need: 1 })?;
+                for s in shards.iter_mut() {
+                    if s.is_none() {
+                        *s = Some(survivor.clone());
+                    }
+                }
+            }
+            RedundancyPolicy::Ec { k, m } => {
+                bpfmt::ec::RsCode::new(k as usize, m as usize)?.reconstruct(&mut shards)?;
+            }
+        }
+        let (k, m) = shard_meta_params(self.policy);
+        for &i in &missing {
+            let shard = shards[i].as_ref().expect("reconstructed");
+            let meta = ShardMeta {
+                index: i as u32,
+                k,
+                m,
+                shard_len: shard.len() as u64,
+                payload_len: self.payload_len as u64,
+            };
+            let pg = encode_shard_pg_scratch(scratch, self.rank, self.step, meta, shard);
+            self.shard_pgs[i] = Some(pg.to_vec());
+        }
+        Ok(missing.len())
+    }
+
+    /// Online policy switch without data loss: recover the payload from
+    /// the surviving shards (the rebuild path), then re-encode it under
+    /// `new` — upgrading, say, `Replicate(2)` to `Ec{8,2}` in place.
+    pub fn switch_policy(&mut self, new: RedundancyPolicy) -> Result<(), EcError> {
+        let payload = self.payload()?;
+        *self = RedundantObject::encode(self.rank, self.step, new, &payload)?;
+        Ok(())
+    }
+}

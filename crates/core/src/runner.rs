@@ -203,6 +203,16 @@ pub struct ProtocolStats {
     pub spec_granted: u64,
     /// Speculations whose duplicate beat the stuck primary.
     pub spec_won: u64,
+    /// Repair traffic: bytes re-landed after a condemned target
+    /// destroyed durable data (whole-extent re-execution in this
+    /// protocol; the redundancy campaign's `RedundancyReport` reports the
+    /// same quantity for its shard plane).
+    pub bytes_rewritten: u64,
+    /// Of the rewritten bytes, how many were produced by erasure-coded
+    /// reconstruction rather than recopying. Always 0 here — the adaptive
+    /// protocol repairs by re-execution; EC campaigns
+    /// ([`crate::run_redundant`]) fill this in their report.
+    pub bytes_reconstructed: u64,
 }
 
 impl RunOutput {
@@ -382,6 +392,35 @@ pub fn run(spec: RunSpec) -> RunOutput {
 pub fn run_with_faults(spec: RunSpec, faults: FaultConfig) -> RunOutput {
     let seed = spec.seed;
     RunBase::prepare(spec).run_seed_with_faults(seed, &faults)
+}
+
+/// Execute one run with an optional tiered-redundancy shard plane.
+///
+/// With `red.enabled == false` this delegates verbatim to
+/// [`run_with_faults`] — same entry point, same RNG streams, so the
+/// artifacts are byte-identical to a build without the redundancy module
+/// (pinned in `tests/determinism.rs`). With the plane enabled, the base
+/// run executes unchanged and the same per-rank payloads are
+/// additionally materialized as redundant shards via
+/// [`run_redundant`](crate::redundancy::run_redundant) under the same
+/// storage fault script; the second element carries that campaign's
+/// [`RedundancyReport`](crate::redundancy::RedundancyReport).
+pub fn run_with_redundancy(
+    spec: RunSpec,
+    faults: FaultConfig,
+    red: &crate::redundancy::RedundancyOpts,
+) -> (RunOutput, Option<crate::redundancy::RedundancyReport>) {
+    if !red.enabled {
+        return (run_with_faults(spec, faults), None);
+    }
+    let machine = spec.machine.clone();
+    let rank_bytes = rank_bytes_of(&spec.data, spec.nprocs, integrity_of(&spec.method));
+    let seed = spec.seed;
+    let script = faults.storage.clone();
+    let base = run_with_faults(spec, faults);
+    let report =
+        crate::redundancy::run_redundant(&machine, &rank_bytes, &script, red, seed ^ 0x7EDD_EC01);
+    (base, Some(report))
 }
 
 /// The seed-independent prefix of a run, built once and shared across a
@@ -927,6 +966,7 @@ fn run_adaptive(
     let mut total_messages = 0u64;
     let mut busiest = 0u64;
     let mut coordinator_inbox = 0u64;
+    let mut bytes_rewritten = 0u64;
     for a in sim.actors() {
         if faults.is_empty() || silent_only {
             assert_eq!(a.records.len(), 1, "rank failed to write exactly once");
@@ -936,6 +976,7 @@ fn run_adaptive(
         total_messages += s.total();
         busiest = busiest.max(s.total());
         coordinator_inbox += s.coordinator_inbox;
+        bytes_rewritten += a.rewritten_bytes;
     }
     records.sort_by_key(|r| r.rank);
     let protocol = Some(ProtocolStats {
@@ -945,6 +986,8 @@ fn run_adaptive(
         busiest_rank_inbox: busiest,
         spec_granted,
         spec_won,
+        bytes_rewritten,
+        bytes_reconstructed: 0,
     });
     let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
     outcome.complete &= errors.is_empty();

@@ -428,6 +428,472 @@ pub fn run_scrub(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lazy rebuild
+// ---------------------------------------------------------------------------
+
+/// One extent of redundancy data on simulated storage: a shard's stored
+/// bytes addressed by target + offset. [`run_rebuild`] re-creates one
+/// pinned file per referenced target, so extents carry no [`FileId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RebuildExtent {
+    /// The storage target holding (or meant to hold) the extent.
+    pub ost: OstId,
+    /// Byte offset within the per-target shard file.
+    pub offset: u64,
+    /// Extent length, bytes.
+    pub len: u64,
+}
+
+/// One unit of lazy rebuild work: read any `need` of `sources`, then
+/// rewrite every extent in `writes`. This is the generic shape shared by
+/// every redundancy tier — `Ec{k,m}` reads `k` surviving shards and
+/// rewrites only the damaged ones, `Replicate(n)` reads one survivor and
+/// recopies whole extents, `None` has no sources and fails loudly.
+#[derive(Clone, Debug)]
+pub struct RebuildTask {
+    /// The rank whose object this task repairs (error attribution).
+    pub rank: u32,
+    /// Payload bytes the object carries (loss accounting when the task
+    /// ends unrecoverable).
+    pub payload_bytes: u64,
+    /// Surviving extents usable as reconstruction inputs.
+    pub sources: Vec<RebuildExtent>,
+    /// Source reads that must succeed before the rewrites can proceed
+    /// (`k` for `Ec{k,m}`, 1 for replication).
+    pub need: usize,
+    /// Damaged extents to rewrite — in place when their target answers,
+    /// work-shifted to the spare when it is condemned.
+    pub writes: Vec<RebuildExtent>,
+}
+
+/// What became of one [`RebuildTask`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildFate {
+    /// Nothing was damaged; no IO was issued.
+    Clean,
+    /// Every damaged extent was rewritten; `moved` counts rewrites that
+    /// were work-shifted to the spare target.
+    Rebuilt {
+        /// Rewrites that landed on the spare instead of in place.
+        moved: usize,
+    },
+    /// Fewer than `need` sources could be read; the object is gone.
+    Unrecoverable {
+        /// Sources successfully read before giving up.
+        have: usize,
+    },
+    /// Sources were read, but a rewrite exhausted every attempt
+    /// (including the spare target).
+    WriteFailed,
+    /// The simulation stalled before this task was attempted.
+    Unreached,
+}
+
+/// Result of one [`run_rebuild`] pass.
+#[derive(Clone, Debug)]
+pub struct RebuildReport {
+    /// Per-task fate, parallel to the `tasks` slice.
+    pub fates: Vec<RebuildFate>,
+    /// Bytes read from surviving shards.
+    pub bytes_read: u64,
+    /// Bytes rewritten to restore damaged extents.
+    pub bytes_rewritten: u64,
+    /// Structured failures: stalls, one [`SimError::Unrecoverable`] per
+    /// dead object, one [`SimError::DataLost`] per failed rewrite.
+    pub errors: Vec<SimError>,
+    /// Simulated duration of the rebuild pass, seconds.
+    pub elapsed_secs: f64,
+}
+
+impl RebuildReport {
+    /// True when every damaged task was fully rebuilt.
+    pub fn fully_rebuilt(&self) -> bool {
+        self.fates
+            .iter()
+            .all(|f| matches!(f, RebuildFate::Clean | RebuildFate::Rebuilt { .. }))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RPhase {
+    Opening,
+    /// Reading survivors: `got` succeeded so far, `src` is the next
+    /// source index to try.
+    Reading { got: usize, src: usize },
+    /// Rewriting damaged extents: `w` is the current write index,
+    /// `moved` = targeting the spare.
+    Writing { w: usize, moved: bool },
+}
+
+struct RebuildActor {
+    tasks: Vec<RebuildTask>,
+    /// Index of each local task in the caller's `tasks` slice.
+    task_ids: Vec<usize>,
+    files: Rc<std::collections::HashMap<usize, FileId>>,
+    spare: FileId,
+    tol: FaultTolerance,
+    cur: usize,
+    phase: RPhase,
+    attempt: u32,
+    /// Rewrites work-shifted to the spare within the current task.
+    moved_count: usize,
+    condemned: Vec<usize>,
+    cur_tag: u32,
+    next_tag: u32,
+    timeout: Option<(u64, EventToken)>,
+    retry_at: Option<u64>,
+    next_timer: u64,
+    fates: Vec<(usize, RebuildFate)>,
+    bytes_read: u64,
+    bytes_rewritten: u64,
+    closed: bool,
+}
+
+impl RebuildActor {
+    fn start_task(&mut self, ctx: &mut Ctx<'_, ()>) {
+        loop {
+            if self.cur >= self.tasks.len() {
+                ctx.close(TAG_CLOSE);
+                return;
+            }
+            let t = &self.tasks[self.cur];
+            self.moved_count = 0;
+            if t.writes.is_empty() {
+                self.fates.push((self.task_ids[self.cur], RebuildFate::Clean));
+                self.cur += 1;
+                continue;
+            }
+            if t.need == 0 || t.sources.is_empty() && t.need > 0 {
+                // No reads possible or needed: either straight to the
+                // rewrites (need == 0) or immediately unrecoverable.
+                if t.need == 0 {
+                    self.begin_write(0, ctx);
+                } else {
+                    self.settle(RebuildFate::Unrecoverable { have: 0 }, ctx);
+                }
+                return;
+            }
+            self.phase = RPhase::Reading { got: 0, src: 0 };
+            self.advance_read(ctx);
+            return;
+        }
+    }
+
+    /// In `Reading` phase: issue the next viable source read, start the
+    /// rewrites once `need` reads succeeded, or give up when the sources
+    /// are exhausted.
+    fn advance_read(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let RPhase::Reading { got, mut src } = self.phase else {
+            unreachable!("advance_read outside Reading");
+        };
+        let t = &self.tasks[self.cur];
+        if got >= t.need {
+            self.begin_write(0, ctx);
+            return;
+        }
+        // Skip sources on targets this actor already condemned.
+        while src < t.sources.len() && self.condemned.contains(&t.sources[src].ost.0) {
+            src += 1;
+        }
+        if src >= t.sources.len() {
+            self.settle(RebuildFate::Unrecoverable { have: got }, ctx);
+            return;
+        }
+        self.phase = RPhase::Reading { got, src };
+        self.attempt = 1;
+        self.issue(ctx);
+    }
+
+    fn begin_write(&mut self, w: usize, ctx: &mut Ctx<'_, ()>) {
+        let t = &self.tasks[self.cur];
+        if w >= t.writes.len() {
+            self.settle(
+                RebuildFate::Rebuilt {
+                    moved: self.moved_count,
+                },
+                ctx,
+            );
+            return;
+        }
+        // A condemned target gets no in-place attempt: straight to the
+        // spare, as the scrub does for repairs on condemned OSTs.
+        let moved = self.condemned.contains(&t.writes[w].ost.0);
+        self.phase = RPhase::Writing { w, moved };
+        self.attempt = 1;
+        self.issue(ctx);
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let t = &self.tasks[self.cur];
+        self.cur_tag = self.next_tag;
+        self.next_tag += 1;
+        let len = match self.phase {
+            RPhase::Opening => unreachable!("issue before open"),
+            RPhase::Reading { src, .. } => {
+                let s = t.sources[src];
+                ctx.read_file(self.files[&s.ost.0], s.offset, s.len, self.cur_tag);
+                s.len
+            }
+            RPhase::Writing { w, moved } => {
+                let e = t.writes[w];
+                let file = if moved { self.spare } else { self.files[&e.ost.0] };
+                ctx.write_file(file, e.offset, e.len, self.cur_tag);
+                e.len
+            }
+        };
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        let token = ctx.set_timer(SimDuration::from_secs_f64(self.tol.timeout_for(len)), tag);
+        self.timeout = Some((tag, token));
+    }
+
+    fn settle(&mut self, fate: RebuildFate, ctx: &mut Ctx<'_, ()>) {
+        self.fates.push((self.task_ids[self.cur], fate));
+        self.cur += 1;
+        self.start_task(ctx);
+    }
+
+    fn attempt_failed(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if self.attempt < self.tol.max_retries {
+            let delay = self.tol.backoff_secs(self.attempt);
+            self.attempt += 1;
+            let tag = self.next_timer;
+            self.next_timer += 1;
+            ctx.set_timer(SimDuration::from_secs_f64(delay), tag);
+            self.retry_at = Some(tag);
+            return;
+        }
+        let t = &self.tasks[self.cur];
+        match self.phase {
+            RPhase::Opening => unreachable!(),
+            RPhase::Reading { got, src } => {
+                // This survivor's target is gone for good: condemn it and
+                // try the next surviving shard — any `need` of them do.
+                self.condemned.push(t.sources[src].ost.0);
+                self.phase = RPhase::Reading { got, src: src + 1 };
+                self.advance_read(ctx);
+            }
+            RPhase::Writing { w, moved: false } => {
+                // Work-shift the rewrite to the spare target.
+                self.condemned.push(t.writes[w].ost.0);
+                self.phase = RPhase::Writing { w, moved: true };
+                self.attempt = 1;
+                self.issue(ctx);
+            }
+            RPhase::Writing { moved: true, .. } => self.settle(RebuildFate::WriteFailed, ctx),
+        }
+    }
+
+    fn clear_timeout(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if let Some((_, token)) = self.timeout.take() {
+            ctx.cancel_timer(token);
+        }
+    }
+}
+
+impl Actor for RebuildActor {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.open(TAG_OPEN);
+    }
+
+    fn on_message(&mut self, _f: Rank, _m: (), _c: &mut Ctx<'_, ()>) {}
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ()>) {
+        if self.retry_at == Some(tag) {
+            self.retry_at = None;
+            self.issue(ctx);
+            return;
+        }
+        if self.timeout.as_ref().is_some_and(|&(t, _)| t == tag) {
+            self.timeout = None;
+            self.attempt_failed(ctx);
+        }
+    }
+
+    fn on_io_complete(&mut self, done: IoComplete, ctx: &mut Ctx<'_, ()>) {
+        match (done.tag, done.kind) {
+            (TAG_OPEN, CompletionKind::Open) => self.start_task(ctx),
+            (TAG_CLOSE, CompletionKind::Close) => {
+                self.closed = true;
+                ctx.finish();
+            }
+            (tag, CompletionKind::Read | CompletionKind::Write) => {
+                if tag != self.cur_tag {
+                    return; // late completion of a timed-out attempt
+                }
+                self.clear_timeout(ctx);
+                if done.error {
+                    self.attempt_failed(ctx);
+                    return;
+                }
+                let t = &self.tasks[self.cur];
+                match self.phase {
+                    RPhase::Opening => unreachable!(),
+                    RPhase::Reading { got, src } => {
+                        self.bytes_read += t.sources[src].len;
+                        self.phase = RPhase::Reading {
+                            got: got + 1,
+                            src: src + 1,
+                        };
+                        self.advance_read(ctx);
+                    }
+                    RPhase::Writing { w, moved } => {
+                        self.bytes_rewritten += t.writes[w].len;
+                        if moved {
+                            self.moved_count += 1;
+                        }
+                        self.begin_write(w + 1, ctx);
+                    }
+                }
+            }
+            other => panic!("unexpected IO completion for rebuilder: {other:?}"),
+        }
+    }
+}
+
+/// Execute a lazy rebuild pass on the simulated timeline: `workers`
+/// rebuilder ranks divide `tasks` round-robin; each task reads any
+/// `need` of its surviving shard extents and rewrites the damaged ones,
+/// under the shared retry/backoff/condemnation policy. Targets in `dead`
+/// are recreated dead (error mode), so reads from them are skipped the
+/// hard way and in-place rewrites get work-shifted to a spare target —
+/// exactly the scrub's repair discipline, generalized from
+/// whole-block re-replication to per-extent reconstruction.
+pub fn run_rebuild(
+    machine: &MachineConfig,
+    tasks: &[RebuildTask],
+    dead: &[OstId],
+    workers: usize,
+    tol: FaultTolerance,
+    seed: u64,
+) -> RebuildReport {
+    assert!(workers > 0);
+    if tasks.is_empty() {
+        return RebuildReport {
+            fates: Vec::new(),
+            bytes_read: 0,
+            bytes_rewritten: 0,
+            errors: Vec::new(),
+            elapsed_secs: 0.0,
+        };
+    }
+    let mut storage = storesim::StorageSystem::new(machine.clone(), seed);
+    // One pinned file per referenced target, in ascending OST order for
+    // deterministic FileIds.
+    let mut osts: Vec<usize> = tasks
+        .iter()
+        .flat_map(|t| t.sources.iter().chain(&t.writes).map(|e| e.ost.0))
+        .collect();
+    osts.sort_unstable();
+    osts.dedup();
+    let mut files = std::collections::HashMap::new();
+    for &o in &osts {
+        let f = storage
+            .fs_mut()
+            .create(format!("rebuild-ost-{o}.bp"), StripeSpec::Pinned(vec![OstId(o)]));
+        files.insert(o, f);
+    }
+    let spare_ost = (0..machine.ost_count)
+        .map(OstId)
+        .find(|o| !dead.contains(o))
+        .unwrap_or(OstId(0));
+    let spare = storage
+        .fs_mut()
+        .create("rebuild-spare.bp", StripeSpec::Pinned(vec![spare_ost]));
+    let mut script = FaultScript::none();
+    for &d in dead {
+        script = script.fail_ost(0.0, d.0, FailMode::Error, None);
+    }
+    if !script.is_empty() {
+        storage.install_faults(&script);
+    }
+
+    let files = Rc::new(files);
+    let workers = workers.min(tasks.len());
+    let mut per_worker: Vec<(Vec<RebuildTask>, Vec<usize>)> = vec![Default::default(); workers];
+    for (i, t) in tasks.iter().enumerate() {
+        per_worker[i % workers].0.push(t.clone());
+        per_worker[i % workers].1.push(i);
+    }
+    let actors: Vec<RebuildActor> = per_worker
+        .into_iter()
+        .map(|(tasks, task_ids)| RebuildActor {
+            tasks,
+            task_ids,
+            files: Rc::clone(&files),
+            spare,
+            tol,
+            cur: 0,
+            phase: RPhase::Opening,
+            attempt: 0,
+            moved_count: 0,
+            condemned: Vec::new(),
+            cur_tag: 0,
+            next_tag: TAG_IO_BASE,
+            timeout: None,
+            retry_at: None,
+            next_timer: 1,
+            fates: Vec::new(),
+            bytes_read: 0,
+            bytes_rewritten: 0,
+            closed: false,
+        })
+        .collect();
+    let n = actors.len() as u64;
+    let mut sim = Simulation::with_storage(machine.clone(), actors, seed, storage);
+    let stats = sim.run_until(n, SimTime::from_secs_f64(1e6));
+
+    let mut errors = Vec::new();
+    if sim.finish_count() < n {
+        let pending: Vec<u32> = sim
+            .actors()
+            .enumerate()
+            .filter(|(_, a)| !a.closed)
+            .map(|(r, _)| r as u32)
+            .collect();
+        errors.push(SimError::Stalled {
+            pending_ranks: pending,
+            last_event_time: stats.end_time.as_secs_f64(),
+        });
+    }
+    let mut fates = vec![RebuildFate::Unreached; tasks.len()];
+    let mut bytes_read = 0u64;
+    let mut bytes_rewritten = 0u64;
+    for a in sim.actors() {
+        for &(id, fate) in &a.fates {
+            fates[id] = fate;
+        }
+        bytes_read += a.bytes_read;
+        bytes_rewritten += a.bytes_rewritten;
+    }
+    for (i, fate) in fates.iter().enumerate() {
+        match *fate {
+            RebuildFate::Unrecoverable { have } => errors.push(SimError::Unrecoverable {
+                rank: tasks[i].rank,
+                have,
+                need: tasks[i].need,
+                bytes: tasks[i].payload_bytes,
+            }),
+            RebuildFate::WriteFailed => errors.push(SimError::DataLost {
+                rank: tasks[i].rank,
+                ost: tasks[i].writes.first().map_or(0, |e| e.ost.0),
+                bytes: tasks[i].writes.iter().map(|e| e.len).sum(),
+            }),
+            _ => {}
+        }
+    }
+    RebuildReport {
+        fates,
+        bytes_read,
+        bytes_rewritten,
+        errors,
+        elapsed_secs: stats.end_time.as_secs_f64(),
+    }
+}
+
 /// Summary of a real-bytes repair pass over materialised subfiles.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RepairSummary {

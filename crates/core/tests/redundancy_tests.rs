@@ -1,0 +1,257 @@
+//! Tiered-redundancy integration suite: the shard-write campaign, damage
+//! assessment against the placement-aware oracle, the lazy rebuild pass,
+//! and real-bytes online policy switching.
+
+use adios_core::{place_shards, run_redundant, RedundancyOpts, RedundantObject, ShardState};
+use bpfmt::ec::RedundancyPolicy;
+use bpfmt::EncodeScratch;
+use simcore::units::MIB;
+use storesim::fault::FailMode;
+use storesim::params::testbed;
+use storesim::{FaultScript, MachineConfig};
+
+/// Testbed with enough targets for the widest code under test
+/// (`Ec{8,2}` = 10 distinct shards).
+fn machine(osts: usize) -> MachineConfig {
+    let mut m = testbed();
+    m.ost_count = osts;
+    m
+}
+
+fn payloads(nprocs: usize, bytes: u64) -> Vec<u64> {
+    vec![bytes; nprocs]
+}
+
+#[test]
+fn placement_spreads_shards_over_distinct_targets() {
+    for pg in 0..16 {
+        let p = place_shards(pg, 6, 12, &[]);
+        let mut osts: Vec<usize> = p.iter().map(|o| o.0).collect();
+        osts.sort_unstable();
+        osts.dedup();
+        assert_eq!(osts.len(), 6, "pg {pg}: all shards on distinct OSTs");
+    }
+    // Different groups anchor differently (load spreads).
+    assert_ne!(place_shards(0, 4, 12, &[]), place_shards(1, 4, 12, &[]));
+}
+
+#[test]
+fn placement_skips_flagged_targets_when_possible() {
+    let avoid = vec![0, 3];
+    for pg in 0..8 {
+        for ost in place_shards(pg, 6, 12, &avoid) {
+            assert!(!avoid.contains(&ost.0), "pg {pg} placed on flagged OST {}", ost.0);
+        }
+    }
+    // When the healthy pool is too small, durability wins over steering:
+    // the full target set is used rather than doubling up on 2 targets.
+    let tight = place_shards(0, 4, 4, &[1, 2]);
+    let mut osts: Vec<usize> = tight.iter().map(|o| o.0).collect();
+    osts.sort_unstable();
+    osts.dedup();
+    assert_eq!(osts.len(), 4, "falls back to the full set, still distinct");
+}
+
+#[test]
+fn clean_campaign_stores_every_shard_intact() {
+    let opts = RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 4, m: 2 });
+    let report = run_redundant(
+        &machine(12),
+        &payloads(8, 4 * MIB),
+        &FaultScript::none(),
+        &opts,
+        7,
+    );
+    assert_eq!(report.records.len(), 8 * 6);
+    assert!(report.states.iter().all(|s| *s == ShardState::Intact));
+    assert_eq!(report.damaged_pgs, 0);
+    assert_eq!(report.bytes_rewritten, 0);
+    assert!(report.fully_durable());
+    assert!(report.outcome.complete, "clean campaign is complete: {:?}", report.errors);
+    // Systematic k+m storage overhead: 6 shards of ceil(payload/4).
+    let expect = 8 * 6 * (4 * MIB).div_ceil(4);
+    assert_eq!(report.bytes_stored, expect);
+}
+
+#[test]
+fn campaign_is_seed_reproducible() {
+    let opts = RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 4, m: 2 });
+    let script = FaultScript::none().fail_ost(0.5, 2, FailMode::Error, None);
+    let a = run_redundant(&machine(12), &payloads(8, 4 * MIB), &script, &opts, 42);
+    let b = run_redundant(&machine(12), &payloads(8, 4 * MIB), &script, &opts, 42);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn destroyed_data_is_lazily_rebuilt() {
+    // OST 2 dies (error mode, destroyed data) mid-campaign and never
+    // recovers: every shard it held is lost, every in-flight write to it
+    // errors and re-places. The rebuild must restore every damaged
+    // extent from survivors.
+    let opts = RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 4, m: 2 });
+    let script = FaultScript::none().fail_ost(1.0, 2, FailMode::Error, None);
+    let report = run_redundant(&machine(12), &payloads(16, 4 * MIB), &script, &opts, 11);
+    let lost = report
+        .states
+        .iter()
+        .filter(|s| **s == ShardState::Lost)
+        .count();
+    assert!(lost > 0, "the dead OST must have destroyed some completed shards");
+    assert!(report.damaged_pgs > 0);
+    assert_eq!(report.rebuilt_pgs, report.damaged_pgs, "errors: {:?}", report.errors);
+    assert_eq!(report.unrecoverable_pgs, 0);
+    assert!(report.fully_durable());
+    // Lazy rebuild rewrites only damaged extents: strictly less traffic
+    // than re-materializing the damaged groups wholesale.
+    assert!(report.bytes_rewritten > 0);
+    let shard_len = (4 * MIB).div_ceil(4);
+    assert_eq!(report.bytes_rewritten % shard_len, 0, "rewrites are whole shards");
+    assert!(report.bytes_rewritten < report.damaged_pgs as u64 * 4 * MIB);
+    assert_eq!(report.bytes_reconstructed, report.bytes_rewritten);
+}
+
+#[test]
+fn ec_repairs_cheaper_than_replication_at_equal_durability() {
+    // Same destroyed-data schedule, same payloads: Ec{4,2} must end just
+    // as durable as Replicate(2) while rewriting strictly fewer bytes —
+    // the tentpole's win condition, asserted per seed.
+    let script = FaultScript::none()
+        .fail_ost(0.8, 1, FailMode::Error, None)
+        .fail_ost(1.2, 5, FailMode::Error, Some(30.0));
+    let mut ec_total = 0u64;
+    let mut rep_total = 0u64;
+    for seed in 0..4 {
+        let ec = run_redundant(
+            &machine(12),
+            &payloads(16, 4 * MIB),
+            &script,
+            &RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 4, m: 2 }),
+            seed,
+        );
+        let rep = run_redundant(
+            &machine(12),
+            &payloads(16, 4 * MIB),
+            &script,
+            &RedundancyOpts::with_policy(RedundancyPolicy::Replicate(2)),
+            seed,
+        );
+        assert!(ec.fully_durable(), "seed {seed}: {:?}", ec.errors);
+        assert!(rep.fully_durable(), "seed {seed}: {:?}", rep.errors);
+        ec_total += ec.bytes_rewritten;
+        rep_total += rep.bytes_rewritten;
+    }
+    assert!(rep_total > 0, "the schedule must actually destroy data");
+    assert!(
+        ec_total < rep_total,
+        "EC repair traffic ({ec_total}) must undercut replication ({rep_total})"
+    );
+}
+
+#[test]
+fn correlated_loss_within_m_always_reconstructs() {
+    // Two targets die at the same instant, after the write phase: every
+    // group loses at most m = 2 shards (placement is distinct), so every
+    // group must rebuild.
+    let opts = RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 4, m: 2 });
+    let script = FaultScript::none().correlated_loss(20.0, 3, 2, None);
+    let report = run_redundant(&machine(12), &payloads(12, 4 * MIB), &script, &opts, 3);
+    assert!(report.damaged_pgs > 0, "losses must hit some group");
+    assert_eq!(report.unrecoverable_pgs, 0);
+    assert!(report.fully_durable(), "errors: {:?}", report.errors);
+}
+
+#[test]
+fn correlated_loss_beyond_m_is_structured_unrecoverable() {
+    // Ec{2,1} tolerates one loss; a correlated triple-loss after the
+    // write phase wipes a whole placement group. The campaign must
+    // report a structured Unrecoverable error, never garbage or a panic.
+    let opts = RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 2, m: 1 });
+    let script = FaultScript::none().correlated_loss(20.0, 0, 3, None);
+    let report = run_redundant(&machine(4), &payloads(4, MIB), &script, &opts, 5);
+    assert!(report.unrecoverable_pgs > 0, "a wiped group must be unrecoverable");
+    assert!(!report.fully_durable());
+    assert!(
+        report.errors.iter().any(|e| matches!(
+            e,
+            adios_core::SimError::Unrecoverable { need: 2, .. }
+        )),
+        "errors: {:?}",
+        report.errors
+    );
+    assert_eq!(
+        report.outcome.written_bytes + report.outcome.lost_bytes,
+        report.outcome.total_bytes
+    );
+    assert!(report.outcome.lost_bytes > 0);
+}
+
+#[test]
+fn replication_survives_single_loss() {
+    let opts = RedundancyOpts::with_policy(RedundancyPolicy::Replicate(2));
+    let script = FaultScript::none().fail_ost(1.0, 0, FailMode::Error, None);
+    let report = run_redundant(&machine(8), &payloads(8, 2 * MIB), &script, &opts, 9);
+    assert!(report.fully_durable(), "errors: {:?}", report.errors);
+    // Replication repair recopies whole extents.
+    if report.damaged_pgs > 0 {
+        assert_eq!(report.bytes_rewritten % (2 * MIB), 0);
+        assert_eq!(report.bytes_reconstructed, 0, "no decode math in replication");
+    }
+}
+
+#[test]
+fn flagged_targets_are_skipped_by_the_campaign() {
+    // Flag OST 0 (as the control loop's tracker would): no initial shard
+    // placement may use it.
+    let mut opts = RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 4, m: 2 });
+    opts.avoid_osts = vec![0];
+    let report = run_redundant(&machine(12), &payloads(8, MIB), &FaultScript::none(), &opts, 2);
+    assert!(report.records.iter().all(|r| r.ost.0 != 0));
+    assert!(report.fully_durable());
+}
+
+#[test]
+fn policy_switch_online_preserves_payload() {
+    let payload: Vec<u8> = (0..400_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+    let mut obj = RedundantObject::encode(3, 1, RedundancyPolicy::Replicate(2), &payload).unwrap();
+    // Degrade: lose one copy, then upgrade the live object to Ec{8,2}.
+    obj.damage(0);
+    obj.switch_policy(RedundancyPolicy::Ec { k: 8, m: 2 }).unwrap();
+    assert_eq!(obj.policy, RedundancyPolicy::Ec { k: 8, m: 2 });
+    assert_eq!(obj.shard_pgs.len(), 10);
+    assert_eq!(obj.payload().unwrap(), payload);
+    // The upgraded object honors its new tolerance: lose m shards, still whole.
+    obj.damage(1);
+    obj.damage(9);
+    assert_eq!(obj.payload().unwrap(), payload);
+    // And the lazy rebuild restores byte-identical shard PGs.
+    let pristine = RedundantObject::encode(3, 1, RedundancyPolicy::Ec { k: 8, m: 2 }, &payload)
+        .unwrap();
+    let mut scratch = EncodeScratch::new();
+    let restored = obj.rebuild(&mut scratch).unwrap();
+    assert_eq!(restored, 2);
+    assert_eq!(obj.shard_pgs, pristine.shard_pgs, "rebuild is byte-exact");
+}
+
+#[test]
+fn per_variable_policy_selection() {
+    let mut opts = RedundancyOpts::with_policy(RedundancyPolicy::Replicate(2));
+    opts.per_var = vec![
+        ("T".to_string(), RedundancyPolicy::Ec { k: 8, m: 2 }),
+        ("diag".to_string(), RedundancyPolicy::None),
+    ];
+    assert_eq!(opts.policy_for("T"), RedundancyPolicy::Ec { k: 8, m: 2 });
+    assert_eq!(opts.policy_for("diag"), RedundancyPolicy::None);
+    assert_eq!(opts.policy_for("Bx"), RedundancyPolicy::Replicate(2));
+
+    // Each variable's extent rides its own object under its own policy.
+    let t_payload = vec![7u8; 64 * 1024];
+    let diag_payload = vec![9u8; 1024];
+    let mut t = RedundantObject::encode(0, 0, opts.policy_for("T"), &t_payload).unwrap();
+    let diag = RedundantObject::encode(0, 0, opts.policy_for("diag"), &diag_payload).unwrap();
+    assert_eq!(t.shard_pgs.len(), 10);
+    assert_eq!(diag.shard_pgs.len(), 1);
+    t.damage(0);
+    t.damage(5);
+    assert_eq!(t.payload().unwrap(), t_payload);
+    assert_eq!(diag.payload().unwrap(), diag_payload);
+}

@@ -27,6 +27,13 @@ pub struct OutcomeRow {
     pub repaired_blocks: usize,
     /// Corrupt blocks that remained damaged after verification/scrub.
     pub unrepaired_blocks: usize,
+    /// Repair traffic: bytes re-landed after destroyed data (whole-extent
+    /// recopies under replication; damaged extents only under erasure
+    /// coding).
+    pub rewritten_bytes: u64,
+    /// Of the rewritten bytes, how many were produced by erasure-coded
+    /// reconstruction rather than recopying a surviving replica.
+    pub reconstructed_bytes: u64,
 }
 
 impl OutcomeRow {
@@ -42,7 +49,8 @@ fn fmt_mib(bytes: u64) -> String {
 
 /// Render rows of write/integrity accounting as an aligned table with
 /// columns: label, total/written/lost MiB, corrupt/repaired/unrepaired
-/// block counts, and a final verdict column.
+/// block counts, rewrite/reconstruction repair traffic in MiB, and a
+/// final verdict column.
 pub fn outcome_table(rows: &[OutcomeRow]) -> Table {
     let mut t = Table::new(vec![
         "scenario",
@@ -52,6 +60,8 @@ pub fn outcome_table(rows: &[OutcomeRow]) -> Table {
         "corrupt",
         "repaired",
         "unrepaired",
+        "rewritten MiB",
+        "reconstr MiB",
         "verdict",
     ]);
     for r in rows {
@@ -63,6 +73,8 @@ pub fn outcome_table(rows: &[OutcomeRow]) -> Table {
             r.corrupt_blocks.to_string(),
             r.repaired_blocks.to_string(),
             r.unrepaired_blocks.to_string(),
+            fmt_mib(r.rewritten_bytes),
+            fmt_mib(r.reconstructed_bytes),
             if r.clean() { "clean" } else { "DAMAGED" }.to_string(),
         ]);
     }
@@ -99,6 +111,23 @@ mod tests {
         assert!(rendered.contains("clean"));
         assert!(rendered.contains("DAMAGED"));
         assert!(rendered.contains("4.0"));
+    }
+
+    #[test]
+    fn repair_traffic_columns_render() {
+        let rows = vec![OutcomeRow {
+            label: "ec4+2".into(),
+            total_bytes: 8 * 1024 * 1024,
+            written_bytes: 8 * 1024 * 1024,
+            rewritten_bytes: 2 * 1024 * 1024,
+            reconstructed_bytes: 2 * 1024 * 1024,
+            ..Default::default()
+        }];
+        assert!(rows[0].clean(), "repair traffic alone is not damage");
+        let rendered = outcome_table(&rows).render();
+        assert!(rendered.contains("rewritten MiB"));
+        assert!(rendered.contains("reconstr MiB"));
+        assert!(rendered.contains("2.0"));
     }
 
     #[test]

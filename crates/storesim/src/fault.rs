@@ -129,12 +129,26 @@ pub struct CorruptionOracle {
     pub torn: Vec<(OstId, SimTime)>,
     /// Targets dead (failed, not recovered) at snapshot time.
     pub dead: Vec<OstId>,
+    /// Destroyed-data instants: `(target, error-failure time)`. Every
+    /// write that completed on the target at or before such an instant
+    /// lost its stored bytes — the snapshot form of
+    /// `ost_lost_data_since`, usable by placement and rebuild layers
+    /// after the simulation is torn down (targets that later *recovered*
+    /// still appear here; their pre-failure writes stay lost).
+    pub lost: Vec<(OstId, SimTime)>,
 }
 
 impl CorruptionOracle {
-    /// True when nothing was corrupted, torn, or dead.
+    /// True when nothing was corrupted, torn, destroyed, or dead.
     pub fn is_empty(&self) -> bool {
-        self.corrupt.is_empty() && self.torn.is_empty() && self.dead.is_empty()
+        self.corrupt.is_empty() && self.torn.is_empty() && self.dead.is_empty() && self.lost.is_empty()
+    }
+
+    /// Did `ost` destroy data written at or before `t` (an error-mode
+    /// failure at some instant `>= t`)? Mirrors
+    /// `StorageSystem::ost_lost_data_since` from the snapshot.
+    pub fn lost_since(&self, ost: OstId, t: SimTime) -> bool {
+        self.lost.iter().any(|&(o, s)| o == ost && s >= t)
     }
 
     /// Was the data write that completed on `ost` at `finished` silently
@@ -213,6 +227,26 @@ impl FaultScript {
         self
     }
 
+    /// Add a correlated destroyed-data event: `count` consecutive targets
+    /// starting at `first_ost` all fail in error mode at the same instant
+    /// — a shared failure domain (enclosure, controller, rack) taking its
+    /// whole stripe of OSTs down at once. This is the event family that
+    /// probes an erasure code's failure boundary: losing `<= m` of a
+    /// `k+m` placement group must reconstruct, losing `> m` must surface
+    /// a structured unrecoverable error.
+    pub fn correlated_loss(
+        mut self,
+        at: f64,
+        first_ost: usize,
+        count: usize,
+        recover_at_secs: Option<f64>,
+    ) -> Self {
+        for i in 0..count {
+            self = self.fail_ost(at, first_ost + i, FailMode::Error, recover_at_secs);
+        }
+        self
+    }
+
     /// Add a metadata-server outage window.
     pub fn mds_outage(mut self, at: f64, duration_secs: f64) -> Self {
         self.events.push(FaultEvent::MdsOutage {
@@ -277,18 +311,19 @@ impl FaultScript {
     /// Generate a random—but seed-reproducible—script: up to `max_events`
     /// events over `[0, horizon_secs)` on a machine with `ost_count`
     /// targets, drawn from the timing/liveness fault families (brownout,
-    /// error-/stall-mode failures, MDS outage, limping disk). Used by the
-    /// seeded-loop property tests: any script this produces must leave
-    /// the protocol terminating with full byte accounting — only
-    /// reproducibility and bounds are pinned, not per-seed contents.
+    /// error-/stall-mode failures, MDS outage, limping disk, correlated
+    /// multi-OST destroyed-data). Used by the seeded-loop property tests:
+    /// any script this produces must leave the protocol terminating with
+    /// full byte accounting — only reproducibility and bounds are pinned,
+    /// not per-seed contents.
     pub fn random(seed: u64, ost_count: usize, horizon_secs: f64, max_events: usize) -> Self {
         let mut rng = Rng::new(seed ^ 0xFA17_5C21_9E3B_D701);
         let n = rng.below(max_events as u64 + 1) as usize;
         let mut script = FaultScript::none();
-        for _ in 0..n {
+        while script.events.len() < n {
             let at = rng.uniform(0.0, horizon_secs);
             let ost = rng.below(ost_count as u64) as usize;
-            match rng.below(5) {
+            match rng.below(6) {
                 0 => {
                     // Brownout: factor in [0.05, 0.9], finite duration.
                     let factor = rng.uniform(0.05, 0.9);
@@ -314,6 +349,22 @@ impl FaultScript {
                 3 => {
                     let dur = rng.uniform(0.05, horizon_secs / 4.0);
                     script = script.mds_outage(at, dur);
+                }
+                4 => {
+                    // Correlated multi-OST destroyed-data: up to 3
+                    // consecutive targets (m+1 for the default Ec{k,2}
+                    // codes) die at the same instant in error mode — the
+                    // event that crosses an EC placement group's failure
+                    // boundary instead of nibbling one target at a time.
+                    let budget = n - script.events.len();
+                    let count = (1 + rng.below(3) as usize).min(ost_count).min(budget);
+                    let first = rng.below((ost_count - count + 1) as u64) as usize;
+                    let rec = if rng.chance(0.5) {
+                        Some(at + rng.uniform(0.5, horizon_secs))
+                    } else {
+                        None
+                    };
+                    script = script.correlated_loss(at, first, count, rec);
                 }
                 _ => {
                     // Limping disk: permanent severe slowdown, the
@@ -457,6 +508,65 @@ mod tests {
     }
 
     #[test]
+    fn correlated_loss_builder_fails_consecutive_targets_simultaneously() {
+        let s = FaultScript::none().correlated_loss(3.0, 1, 3, Some(9.0));
+        assert_eq!(s.events.len(), 3);
+        for (i, e) in s.events.iter().enumerate() {
+            match *e {
+                FaultEvent::OstFail {
+                    at,
+                    ost,
+                    mode,
+                    recover_at,
+                } => {
+                    assert_eq!(at, SimTime::from_secs_f64(3.0), "same instant");
+                    assert_eq!(ost.0, 1 + i, "consecutive targets");
+                    assert_eq!(mode, FailMode::Error, "destroyed data, not a stall");
+                    assert_eq!(recover_at, Some(SimTime::from_secs_f64(9.0)));
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_scripts_cover_correlated_multi_ost_losses() {
+        let mut saw_correlated = false;
+        for seed in 0..60 {
+            let s = FaultScript::random(seed, 4, 50.0, 8);
+            // A correlated loss shows up as >= 2 error-mode failures at
+            // the exact same instant on distinct targets.
+            for (i, a) in s.events.iter().enumerate() {
+                for b in &s.events[i + 1..] {
+                    if let (
+                        FaultEvent::OstFail {
+                            at: ta,
+                            ost: oa,
+                            mode: FailMode::Error,
+                            ..
+                        },
+                        FaultEvent::OstFail {
+                            at: tb,
+                            ost: ob,
+                            mode: FailMode::Error,
+                            ..
+                        },
+                    ) = (a, b)
+                    {
+                        if ta == tb && oa != ob {
+                            saw_correlated = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            saw_correlated,
+            "60 seeds must draw at least one correlated multi-OST loss"
+        );
+    }
+
+    #[test]
     fn random_scripts_stay_in_bounds() {
         for seed in 0..50 {
             let s = FaultScript::random(seed, 4, 50.0, 8);
@@ -530,12 +640,17 @@ mod tests {
             corrupt: vec![(OstId(0), t1), (OstId(2), t2)],
             torn: vec![(OstId(1), t2)],
             dead: vec![OstId(3)],
+            lost: vec![(OstId(3), t2)],
         };
         assert!(oracle.write_corrupted(OstId(0), t1));
         assert!(!oracle.write_corrupted(OstId(0), t2));
         assert!(!oracle.write_corrupted(OstId(1), t2));
         assert!(oracle.is_dead(OstId(3)));
         assert!(!oracle.is_dead(OstId(0)));
+        assert!(oracle.lost_since(OstId(3), t1), "write before the failure is lost");
+        assert!(oracle.lost_since(OstId(3), t2), "write at the failure instant is lost");
+        assert!(!oracle.lost_since(OstId(3), SimTime::from_secs_f64(3.0)));
+        assert!(!oracle.lost_since(OstId(0), t1));
         assert_eq!(oracle.corrupt_count(), 2);
         assert!(!oracle.is_empty());
         assert!(CorruptionOracle::default().is_empty());

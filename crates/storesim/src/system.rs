@@ -655,6 +655,12 @@ impl StorageSystem {
                 .filter(|&i| self.health[i] == OstHealth::Failed)
                 .map(OstId)
                 .collect(),
+            lost: self
+                .error_fail_times
+                .iter()
+                .enumerate()
+                .flat_map(|(i, ts)| ts.iter().map(move |&t| (OstId(i), t)))
+                .collect(),
         }
     }
 

@@ -22,6 +22,7 @@
 pub mod campaign;
 pub mod ior;
 pub mod pixie3d;
+pub mod redundancy;
 pub mod s3d;
 pub mod scale;
 pub mod straggler;
@@ -30,6 +31,7 @@ pub mod xgc1;
 pub use campaign::{compare_at_scale, ComparisonRow};
 pub use ior::IorConfig;
 pub use pixie3d::Pixie3dConfig;
+pub use redundancy::{policy_ladder, redundancy_opts, RedundancyScenario};
 pub use s3d::S3dConfig;
 pub use scale::{ScaleCampaign, RANK_SWEEP};
 pub use straggler::{control_methods, StragglerScenario};

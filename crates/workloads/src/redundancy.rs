@@ -1,0 +1,139 @@
+//! Destroyed-data scenarios and policy variants for the tiered-redundancy
+//! experiments.
+//!
+//! The straggler presets answer *slow* targets; these answer *destroyed*
+//! ones: named, deterministic [`FaultScript`] presets that kill storage
+//! targets outright (error-mode failures lose every byte at rest), plus
+//! the redundancy-policy ladder the `redundancy` bench walks —
+//! replication against two erasure-coded geometries at equal fault
+//! tolerance.
+
+use adios_core::redundancy::RedundancyOpts;
+use bpfmt::ec::RedundancyPolicy;
+use storesim::fault::{FailMode, FaultScript};
+
+/// One named destroyed-data scenario, parameterised by the machine's OST
+/// count at script-build time so the same preset runs on the testbed and
+/// on full-scale configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedundancyScenario {
+    /// No faults: every policy must store cleanly at its own overhead.
+    Clean,
+    /// One target dies mid-campaign and never returns — the classic
+    /// destroyed-OST case the scrub experiments introduced.
+    SingleLoss,
+    /// One target dies and recovers, then a second dies for good: losses
+    /// spread over the campaign, in-flight writes must re-place.
+    RollingLoss,
+    /// A correlated multi-target loss after the write phase (shared
+    /// enclosure / controller failure): the case replication handles
+    /// only at `n > m` copies.
+    CorrelatedLoss,
+    /// A deep brownout on one target while another dies: slow and
+    /// destroyed faults at once, the paper's variability story plus
+    /// durability.
+    BrownoutPlusLoss,
+}
+
+impl RedundancyScenario {
+    /// Every scenario, clean first (the storage-overhead control).
+    pub fn matrix() -> Vec<RedundancyScenario> {
+        vec![
+            RedundancyScenario::Clean,
+            RedundancyScenario::SingleLoss,
+            RedundancyScenario::RollingLoss,
+            RedundancyScenario::CorrelatedLoss,
+            RedundancyScenario::BrownoutPlusLoss,
+        ]
+    }
+
+    /// Display name (table/JSON key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RedundancyScenario::Clean => "clean",
+            RedundancyScenario::SingleLoss => "single-loss",
+            RedundancyScenario::RollingLoss => "rolling-loss",
+            RedundancyScenario::CorrelatedLoss => "correlated-loss",
+            RedundancyScenario::BrownoutPlusLoss => "brownout+loss",
+        }
+    }
+
+    /// Does this scenario destroy any data at all?
+    pub fn is_faulted(&self) -> bool {
+        *self != RedundancyScenario::Clean
+    }
+
+    /// The deterministic fault script for a machine with `ost_count`
+    /// targets (seeds vary ambient noise, not the script).
+    pub fn script(&self, ost_count: usize) -> FaultScript {
+        assert!(
+            ost_count >= 4,
+            "destroyed-data scenarios need surviving targets to rebuild from"
+        );
+        match self {
+            RedundancyScenario::Clean => FaultScript::none(),
+            RedundancyScenario::SingleLoss => {
+                FaultScript::none().fail_ost(1.0, 1, FailMode::Error, None)
+            }
+            RedundancyScenario::RollingLoss => FaultScript::none()
+                .fail_ost(0.8, 1, FailMode::Error, Some(30.0))
+                .fail_ost(2.0, ost_count / 2, FailMode::Error, None),
+            RedundancyScenario::CorrelatedLoss => {
+                FaultScript::none().correlated_loss(20.0, ost_count / 3, 2, None)
+            }
+            RedundancyScenario::BrownoutPlusLoss => FaultScript::none()
+                .brownout(0.5, 0, 0.05, 10.0)
+                .fail_ost(1.5, ost_count / 2, FailMode::Error, None),
+        }
+    }
+}
+
+/// The redundancy-policy ladder the bench walks: 2× replication
+/// (tolerates one loss) against two erasure-coded geometries that
+/// tolerate *two* losses at only 1.25×/1.5× storage overhead. Every
+/// variant must end destroyed-data campaigns fully durable; the
+/// erasure-coded ones must do so with strictly less repair traffic.
+pub fn policy_ladder() -> [(&'static str, RedundancyPolicy); 3] {
+    [
+        ("rep2", RedundancyPolicy::Replicate(2)),
+        ("ec8+2", RedundancyPolicy::Ec { k: 8, m: 2 }),
+        ("ec4+2", RedundancyPolicy::Ec { k: 4, m: 2 }),
+    ]
+}
+
+/// Campaign options for one ladder variant: the shared retry / backoff /
+/// condemnation machinery on, lazy rebuild on.
+pub fn redundancy_opts(policy: RedundancyPolicy) -> RedundancyOpts {
+    RedundancyOpts::with_policy(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_build_for_small_and_large_machines() {
+        for sc in RedundancyScenario::matrix() {
+            for osts in [4, 12, 672] {
+                let s = sc.script(osts);
+                assert_eq!(s.is_empty(), !sc.is_faulted(), "{} @ {osts}", sc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_policies_are_valid_and_equally_tolerant() {
+        for (name, p) in policy_ladder() {
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(p.tolerates() >= 1, "{name} survives at least one loss");
+            assert_eq!(p.label(), name);
+        }
+        // More tolerance at cheaper storage: the ladder's point.
+        let [(_, rep), (_, wide), (_, narrow)] = policy_ladder();
+        assert_eq!(rep.tolerates(), 1);
+        assert_eq!(wide.tolerates(), 2);
+        assert_eq!(narrow.tolerates(), 2);
+        assert!(wide.storage_overhead() < narrow.storage_overhead());
+        assert!(narrow.storage_overhead() < rep.storage_overhead());
+    }
+}

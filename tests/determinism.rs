@@ -373,3 +373,65 @@ fn campaign_summaries_identical_across_thread_counts() {
     std::env::remove_var(THREADS_ENV);
     assert_eq!(serial, parallel, "MANAGED_IO_THREADS changed the artifact");
 }
+
+/// A disabled redundancy plane is free, exactly: however aggressive the
+/// knobs, `enabled: false` delegates verbatim to the plain faulted run —
+/// no shard campaign, no extra RNG draws, byte-identical artifacts. And
+/// the enabled plane is itself deterministic run-to-run.
+#[test]
+fn redundancy_off_is_byte_identical_to_default() {
+    use managed_io::adios::redundancy::RedundancyOpts;
+    use managed_io::adios::run_with_redundancy;
+    use managed_io::bpfmt::RedundancyPolicy;
+    use managed_io::storesim::fault::{FailMode, FaultScript};
+
+    let spec = || RunSpec {
+        machine: testbed(),
+        nprocs: 24,
+        data: DataSpec::Uniform(8 * MIB),
+        method: Method::Adaptive {
+            targets: 6,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed: SEED ^ 0xEC,
+    };
+    let faults = || FaultConfig {
+        storage: FaultScript::none().fail_ost(1.0, 2, FailMode::Error, None),
+        ..FaultConfig::none()
+    };
+    let aggressive_but_off = RedundancyOpts {
+        enabled: false,
+        policy: RedundancyPolicy::Ec { k: 8, m: 2 },
+        rebuild: true,
+        avoid_osts: vec![0, 1],
+        rebuild_workers: 16,
+        ..RedundancyOpts::off()
+    };
+    let base = run_with_faults(spec(), faults());
+    let (off, off_report) = run_with_redundancy(spec(), faults(), &aggressive_but_off);
+    assert!(off_report.is_none(), "a disabled plane must not run a campaign");
+    assert_eq!(
+        artifact(std::slice::from_ref(&base.result)),
+        artifact(std::slice::from_ref(&off.result)),
+        "a disabled redundancy plane changed the timeline"
+    );
+    let on_opts = RedundancyOpts::with_policy(RedundancyPolicy::Ec { k: 4, m: 2 });
+    let (on1, rep1) = run_with_redundancy(spec(), faults(), &on_opts);
+    let (on2, rep2) = run_with_redundancy(spec(), faults(), &on_opts);
+    assert_eq!(
+        artifact(std::slice::from_ref(&on1.result)),
+        artifact(std::slice::from_ref(&on2.result)),
+        "the base run must not feel the shard plane"
+    );
+    assert_eq!(
+        artifact(std::slice::from_ref(&base.result)),
+        artifact(std::slice::from_ref(&on1.result)),
+        "the shard plane must ride alongside, not perturb, the base run"
+    );
+    assert_eq!(
+        format!("{:?}", rep1.expect("enabled plane reports")),
+        format!("{:?}", rep2.expect("enabled plane reports")),
+        "the shard campaign is nondeterministic"
+    );
+}

@@ -789,3 +789,161 @@ fn scrub_leaves_no_silent_corruption() {
         assert_eq!(unrepaired, loud, "case {case}: every unrepaired block reported");
     }
 }
+
+/// EC round-trip totality: for random geometries and payloads, the
+/// original payload is recoverable from *every* k-subset of shards —
+/// not just the systematic prefix — and through the checksummed shard-PG
+/// framing.
+#[test]
+fn ec_roundtrips_from_every_k_subset() {
+    use managed_io::bpfmt::{decode_shard_pg, encode_shard_pg, RsCode, ShardMeta};
+
+    for case in 0..40 {
+        let mut rng = case_rng(20, case);
+        let k = 1 + rng.below(6) as usize;
+        let m = 1 + rng.below(3) as usize;
+        let n = k + m;
+        let len = 1 + rng.below(4096) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let code = RsCode::new(k, m).expect("valid geometry");
+        let shards = code.encode(&payload);
+        // Frame every shard through the checked PG envelope and back.
+        let pgs: Vec<Vec<u8>> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let meta = ShardMeta {
+                    index: i as u32,
+                    k: k as u32,
+                    m: m as u32,
+                    shard_len: s.len() as u64,
+                    payload_len: len as u64,
+                };
+                encode_shard_pg(0, 0, meta, s)
+            })
+            .collect();
+        // Every k-subset of the n shards (n ≤ 9 here, so exhaustive).
+        let masks = (0..1u64 << n).filter(|mask| mask.count_ones() as usize == k);
+        for mask in masks {
+            let mut have: Vec<Option<Vec<u8>>> = (0..n)
+                .map(|i| {
+                    if mask & (1 << i) != 0 {
+                        let (_, _, meta, shard) =
+                            decode_shard_pg(&pgs[i]).expect("framed shard decodes");
+                        assert_eq!(meta.index, i as u32);
+                        Some(shard)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            code.reconstruct(&mut have).unwrap_or_else(|e| {
+                panic!("case {case}: k={k} m={m} mask={mask:b}: {e}")
+            });
+            let out = code
+                .decode_payload(&have, len)
+                .expect("payload decodes after reconstruct");
+            assert_eq!(out, payload, "case {case}: k={k} m={m} mask={mask:b}");
+        }
+    }
+}
+
+/// Fuzzed shard envelopes: bit-flipped, truncated, or pure-noise shard
+/// PGs must never panic — decoding returns a structured error or (for a
+/// surviving checksum) the original bytes, never garbage.
+#[test]
+fn mangled_shard_pgs_never_panic_or_lie() {
+    use managed_io::bpfmt::{decode_shard_pg, encode_shard_pg, ShardMeta};
+
+    for case in 0..200 {
+        let mut rng = case_rng(21, case);
+        let buf: Vec<u8> = match case % 3 {
+            // Pure noise.
+            0 => {
+                let n = rng.below(800) as usize;
+                (0..n).map(|_| rng.below(256) as u8).collect()
+            }
+            // A valid shard PG with random bit flips.
+            1 => {
+                let len = 1 + rng.below(2048) as usize;
+                let shard: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+                let meta = ShardMeta {
+                    index: rng.below(6) as u32,
+                    k: 4,
+                    m: 2,
+                    shard_len: len as u64,
+                    payload_len: (len * 4) as u64,
+                };
+                let mut pg = encode_shard_pg(rng.below(8) as u32, 0, meta, &shard);
+                for _ in 0..(1 + rng.below(8)) {
+                    let at = rng.below(pg.len() as u64) as usize;
+                    pg[at] ^= 1 << rng.below(8);
+                }
+                pg
+            }
+            // A valid shard PG truncated at a random point.
+            _ => {
+                let len = 1 + rng.below(2048) as usize;
+                let shard: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+                let meta = ShardMeta {
+                    index: rng.below(2) as u32,
+                    k: 1,
+                    m: 1,
+                    shard_len: len as u64,
+                    payload_len: len as u64,
+                };
+                let pg = encode_shard_pg(0, 0, meta, &shard);
+                let cut = rng.below(pg.len() as u64) as usize;
+                pg[..cut].to_vec()
+            }
+        };
+        // Must return, not panic; a success must carry a self-consistent
+        // envelope (the CRC layer caught everything else).
+        if let Ok((_, _, meta, shard)) = decode_shard_pg(&buf) {
+            assert_eq!(shard.len() as u64, meta.shard_len);
+            assert!(meta.index < meta.k + meta.m);
+        }
+    }
+}
+
+/// Loss beyond the parity budget is loud and structured: for every
+/// geometry, erasing more than `m` shards makes reconstruction fail
+/// with `Unrecoverable { have, need }` — exact counts, no panic, no
+/// partial output.
+#[test]
+fn ec_overbudget_loss_is_structured_unrecoverable() {
+    use managed_io::bpfmt::{EcError, RsCode};
+
+    for case in 0..60 {
+        let mut rng = case_rng(22, case);
+        let k = 1 + rng.below(6) as usize;
+        let m = 1 + rng.below(3) as usize;
+        let n = k + m;
+        let len = 1 + rng.below(2048) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        let code = RsCode::new(k, m).expect("valid geometry");
+        let shards = code.encode(&payload);
+        // Erase a uniformly random number of shards strictly above m.
+        let losses = m + 1 + rng.below((n - m) as u64) as usize;
+        let mut have: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        let mut erased = 0usize;
+        while erased < losses {
+            let at = rng.below(n as u64) as usize;
+            if have[at].is_some() {
+                have[at] = None;
+                erased += 1;
+            }
+        }
+        let before: Vec<bool> = have.iter().map(Option::is_some).collect();
+        match code.reconstruct(&mut have) {
+            Err(EcError::Unrecoverable { have: h, need }) => {
+                assert_eq!(h, n - losses, "case {case}: surviving count is exact");
+                assert_eq!(need, k, "case {case}");
+            }
+            other => panic!("case {case}: k={k} m={m} losses={losses}: {other:?}"),
+        }
+        // No partial output: the shard set is untouched on failure.
+        let after: Vec<bool> = have.iter().map(Option::is_some).collect();
+        assert_eq!(before, after, "case {case}: failed reconstruct must not mutate");
+    }
+}
