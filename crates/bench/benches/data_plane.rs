@@ -154,10 +154,7 @@ fn campaign_digest(out: &adios_core::RunOutput) -> u64 {
 /// plus recomputed `speedups` (baseline min / optimized min) where both
 /// variants are present.
 fn merge_into_artifact(rows: Vec<(String, &str, Timing, Option<u64>)>) {
-    let mut root = std::fs::read_to_string(BENCH_PATH)
-        .ok()
-        .and_then(|s| Value::parse(&s).ok())
-        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let mut root = managed_io_bench::load_artifact(BENCH_PATH);
     let Value::Obj(entries) = &mut root else {
         return;
     };
@@ -197,7 +194,7 @@ fn merge_into_artifact(rows: Vec<(String, &str, Timing, Option<u64>)>) {
     if !speedups.is_empty() {
         entries.push(("speedups".to_string(), Value::Obj(speedups)));
     }
-    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
+    managed_io_bench::store_artifact(BENCH_PATH, &root);
 }
 
 fn main() {

@@ -99,10 +99,7 @@ fn smoke() -> bool {
 
 /// Merge `rows` into BENCH_sweep.json: `{bench: {variant: value}}`.
 fn merge_into_artifact(rows: Vec<(String, Value)>) {
-    let mut root = std::fs::read_to_string(BENCH_PATH)
-        .ok()
-        .and_then(|s| Value::parse(&s).ok())
-        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let mut root = managed_io_bench::load_artifact(BENCH_PATH);
     let Value::Obj(entries) = &mut root else {
         return;
     };
@@ -119,7 +116,7 @@ fn merge_into_artifact(rows: Vec<(String, Value)>) {
             pairs.push((VARIANT.to_string(), row));
         }
     }
-    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
+    managed_io_bench::store_artifact(BENCH_PATH, &root);
 }
 
 fn main() {

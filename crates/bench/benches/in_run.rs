@@ -1,0 +1,290 @@
+//! **In-run sharding** — deterministic parallel OST advancement inside a
+//! single campaign, measured two ways and byte-checked on every rep:
+//!
+//!  1. `storage_inrun`: a storage-only campaign driven with coarse
+//!     advance windows (the batch/sweep shape). Macro-step windows span
+//!     many lane events across many shards, so shard draining
+//!     parallelizes; this is where the speedup lives.
+//!  2. `coupled_inrun`: a full cluster-coupled run (conservative
+//!     co-simulation). The driver advances to the very next event, so
+//!     windows hold one lane event and sharding can only cost — recorded
+//!     honestly for the Amdahl ledger in EXPERIMENTS.md.
+//!
+//! Results merge keep-min into `BENCH_inrun.json` at the workspace root,
+//! keyed `{bench: {variant: {shards<N>: ...}}}`, stamped with
+//! `{threads, engine, git_commit}` provenance (mismatched stamps discard
+//! the recorded rows). The ≥1.5× gate at 8 shard threads is enforced
+//! only on hosts with ≥8 cores and outside `MANAGED_IO_SMOKE=1`.
+
+use std::time::Instant;
+
+use adios_core::fault::FaultConfig;
+use adios_core::{AdaptiveOpts, DataSpec, Interference, Method, RunBase, RunScratch, RunSpec};
+use managed_io_bench::{base_seed, engine_variant, load_artifact, store_artifact};
+use minijson::{json, Value};
+use simcore::units::MIB;
+use simcore::{Rng, SimTime};
+use storesim::params::franklin;
+use storesim::{FileId, OstId, StorageSystem, StripeSpec};
+
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inrun.json");
+const SHARDS: [usize; 3] = [1, 2, 8];
+
+fn smoke() -> bool {
+    std::env::var("MANAGED_IO_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn t(secs: f64) -> SimTime {
+    SimTime::from_secs_f64(secs)
+}
+
+/// FNV-1a over the full completion stream: cheap byte-identity witness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn mix(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// The storage-only campaign: randomized submissions against a loaded
+/// Franklin-sized system, advanced in coarse windows. Identical external
+/// history at every shard count; returns (wall seconds, stream hash,
+/// profile counters).
+fn storage_campaign(ops_n: usize, shards: usize) -> (f64, Fnv, Value) {
+    let horizon = 40.0;
+    let mut rng = Rng::new(0x1218_2010);
+    let mut times: Vec<f64> = (0..ops_n).map(|_| rng.uniform(0.05, horizon)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ops: Vec<(f64, u64, u64)> = times
+        .into_iter()
+        .map(|at| (at, rng.next_u64(), rng.next_u64()))
+        .collect();
+
+    let started = Instant::now();
+    let mut sys = StorageSystem::new(franklin(), 0x2010);
+    sys.set_shard_threads(shards);
+    sys.enable_profiling();
+    let n = sys.config().ost_count;
+    let files: Vec<FileId> = (0..4)
+        .map(|i| {
+            sys.fs_mut().create(
+                format!("inrun/{i}"),
+                StripeSpec::Pinned((0..16).map(|j| OstId((i * 16 + j * 5) % n)).collect()),
+            )
+        })
+        .collect();
+    for i in 0..24 {
+        sys.add_background_stream(SimTime::ZERO, OstId((i * 7 + 1) % n), 64 * MIB);
+    }
+    for i in 0..8 {
+        sys.add_bursty_stream(SimTime::ZERO, OstId((i * 13 + 3) % n), 16 * MIB, 0.3);
+    }
+    let mut out = Vec::new();
+    let mut hash = Fnv::new();
+    let harvest = |out: &mut Vec<storesim::StorageCompletion>, hash: &mut Fnv| {
+        for c in out.drain(..) {
+            hash.mix(c.tag);
+            hash.mix(c.bytes);
+            hash.mix(c.submitted.as_nanos() as u64);
+            hash.mix(c.finished.as_nanos() as u64);
+            hash.mix(c.error as u64);
+        }
+    };
+    for (i, &(at, a, b)) in ops.iter().enumerate() {
+        sys.advance_into(t(at), &mut out);
+        harvest(&mut out, &mut hash);
+        let tag = i as u64;
+        match a % 4 {
+            0 => {
+                let f = files[(b % files.len() as u64) as usize];
+                sys.submit_file_write(t(at), f, (b % 64) * MIB, (1 + a % 16) * MIB, tag);
+            }
+            1 => {
+                let f = files[(b % files.len() as u64) as usize];
+                sys.submit_file_read(t(at), f, (b % 64) * MIB, (1 + a % 16) * MIB, tag);
+            }
+            _ => {
+                sys.submit_ost_write(t(at), OstId((a % n as u64) as usize), (1 + b % 24) * MIB, tag);
+            }
+        }
+    }
+    sys.advance_into(t(horizon + 10.0), &mut out);
+    harvest(&mut out, &mut hash);
+    let wall = started.elapsed().as_secs_f64();
+    let p = sys.profile().expect("profiling enabled");
+    let prof = json!({
+        "windows": p.windows,
+        "parallel_windows": p.parallel_windows,
+        "shard_events": p.shard_events,
+        "global_events": p.global_events,
+        "ost_advance_s": p.ost_advance_s,
+        "harvest_merge_s": p.harvest_merge_s,
+    });
+    (wall, hash, prof)
+}
+
+/// The cluster-coupled campaign at a given shard count: same RunBase,
+/// explicit per-run scratch. Returns (wall seconds, artifact hash).
+fn coupled_campaign(base: &RunBase, seeds: &[u64], shards: usize) -> (f64, Fnv) {
+    let faults = FaultConfig::none();
+    let started = Instant::now();
+    let mut hash = Fnv::new();
+    for &seed in seeds {
+        let mut scratch = RunScratch::with_shard_threads(shards);
+        let out = base.run_seed_scratch(seed, &faults, &mut scratch);
+        for w in &out.result.records {
+            hash.mix(w.rank as u64);
+            hash.mix(w.bytes);
+            hash.mix(w.start.as_nanos() as u64);
+            hash.mix(w.end.as_nanos() as u64);
+            hash.mix(w.ost.0 as u64);
+        }
+        hash.mix(out.result.end.as_nanos() as u64);
+        hash.mix(out.outcome.lost_bytes);
+    }
+    (started.elapsed().as_secs_f64(), hash)
+}
+
+/// Keep-min merge of one `{bench: {variant: row}}` cell; `min_s` keys
+/// inside the row keep the smaller recorded value.
+fn merge_cell(entries: &mut Vec<(String, Value)>, bench: &str, mut row: Value) {
+    let by_variant = match entries.iter_mut().find(|(k, _)| k == bench) {
+        Some((_, v)) => v,
+        None => {
+            entries.push((bench.to_string(), Value::Obj(Vec::new())));
+            &mut entries.last_mut().unwrap().1
+        }
+    };
+    let Value::Obj(pairs) = by_variant else { return };
+    if let Some((_, old)) = pairs.iter().find(|(k, _)| k == engine_variant()) {
+        keep_min(&mut row, old);
+    }
+    pairs.retain(|(k, _)| k != engine_variant());
+    pairs.push((engine_variant().to_string(), row));
+}
+
+/// Recursively keep the smaller of recorded/new for every `*_s` timing.
+fn keep_min(new: &mut Value, old: &Value) {
+    if let (Value::Obj(np), Value::Obj(op)) = (new, old) {
+        for (k, v) in np.iter_mut() {
+            let Some((_, o)) = op.iter().find(|(ok, _)| ok == k) else {
+                continue;
+            };
+            match (&mut *v, o) {
+                (Value::Num(n), Value::Num(prev)) if k.ends_with("_s") && *prev < *n => {
+                    *v = Value::Num(*prev);
+                }
+                (v @ Value::Obj(_), o @ Value::Obj(_)) => keep_min(v, o),
+                _ => {}
+            }
+        }
+    }
+}
+
+fn main() {
+    let smoke = smoke();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (ops_n, reps, seeds_n) = if smoke { (400, 1, 1) } else { (2500, 3, 3) };
+    println!(
+        "in_run — variant: {}, {cores} cores, smoke: {smoke}\n",
+        engine_variant()
+    );
+
+    // --- storage-only coarse-window campaign -------------------------
+    let mut storage_row: Vec<(String, Value)> = Vec::new();
+    let mut mins = Vec::new();
+    let mut reference: Option<Fnv> = None;
+    for &shards in &SHARDS {
+        let mut best = f64::INFINITY;
+        let mut prof = Value::Obj(Vec::new());
+        for _ in 0..reps {
+            let (wall, hash, p) = storage_campaign(ops_n, shards);
+            match reference {
+                None => reference = Some(hash),
+                Some(r) => assert_eq!(
+                    r, hash,
+                    "storage campaign diverged at {shards} shard threads"
+                ),
+            }
+            if wall < best {
+                best = wall;
+                prof = p;
+            }
+        }
+        println!("storage_inrun   x{shards}: min {:>8.3} ms   {prof}", best * 1e3);
+        mins.push((shards, best));
+        storage_row.push((
+            format!("shards{shards}"),
+            json!({ "min_s": best, "profile": prof }),
+        ));
+    }
+    let base_s = mins[0].1;
+    let best8 = mins.iter().find(|(s, _)| *s == 8).unwrap().1;
+    let speedup = base_s / best8;
+    let enforced = cores >= 8 && !smoke;
+    println!("\nstorage_inrun speedup x8 vs x1: {speedup:.2} (gate enforced: {enforced})");
+    storage_row.push(("speedup_8".to_string(), Value::Num(speedup)));
+    storage_row.push((
+        "gate".to_string(),
+        json!({
+            "required": 1.5,
+            "measured": speedup,
+            "enforced": enforced,
+            "cores": cores as u64,
+        }),
+    ));
+
+    // --- cluster-coupled campaign ------------------------------------
+    let base = RunBase::prepare(RunSpec {
+        machine: franklin(),
+        nprocs: if smoke { 32 } else { 96 },
+        data: DataSpec::Uniform(8 * MIB),
+        method: Method::Adaptive {
+            targets: 24,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::paper_default(),
+        seed: 0,
+    });
+    let seeds: Vec<u64> = (0..seeds_n).map(|i| base_seed() + i).collect();
+    let mut coupled_row: Vec<(String, Value)> = Vec::new();
+    let mut coupled_ref: Option<Fnv> = None;
+    for &shards in &SHARDS {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let (wall, hash) = coupled_campaign(&base, &seeds, shards);
+            match coupled_ref {
+                None => coupled_ref = Some(hash),
+                Some(r) => assert_eq!(
+                    r, hash,
+                    "coupled campaign diverged at {shards} shard threads"
+                ),
+            }
+            best = best.min(wall);
+        }
+        println!("coupled_inrun   x{shards}: min {:>8.3} ms", best * 1e3);
+        coupled_row.push((format!("shards{shards}"), json!({ "min_s": best })));
+    }
+
+    // --- artifact -----------------------------------------------------
+    let mut root = load_artifact(BENCH_PATH);
+    if let Value::Obj(entries) = &mut root {
+        merge_cell(entries, "storage_inrun", Value::Obj(storage_row));
+        merge_cell(entries, "coupled_inrun", Value::Obj(coupled_row));
+    }
+    store_artifact(BENCH_PATH, &root);
+    println!("\nresults merged into {BENCH_PATH}");
+
+    assert!(
+        !enforced || speedup >= 1.5,
+        "in-run sharding gate: {speedup:.2}x at 8 threads on {cores} cores (need 1.5x)"
+    );
+}

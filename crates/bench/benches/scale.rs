@@ -133,10 +133,7 @@ fn run_campaign(c: &ScaleCampaign, samples: usize, seed: u64) -> u64 {
 /// the artifact. Delete a row by hand after a change that genuinely
 /// slows an engine down.
 fn merge_into_artifact(rows: Vec<(String, &str, Timing)>) {
-    let mut root = std::fs::read_to_string(BENCH_PATH)
-        .ok()
-        .and_then(|s| Value::parse(&s).ok())
-        .unwrap_or_else(|| Value::Obj(Vec::new()));
+    let mut root = managed_io_bench::load_artifact(BENCH_PATH);
     let Value::Obj(entries) = &mut root else {
         return;
     };
@@ -180,7 +177,7 @@ fn merge_into_artifact(rows: Vec<(String, &str, Timing)>) {
     if !speedups.is_empty() {
         entries.push(("speedups".to_string(), Value::Obj(speedups)));
     }
-    let _ = std::fs::write(BENCH_PATH, format!("{root}\n"));
+    managed_io_bench::store_artifact(BENCH_PATH, &root);
 }
 
 fn main() {

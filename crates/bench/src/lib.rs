@@ -99,6 +99,105 @@ where
     simcore::par::par_map_with(shared, configs, run)
 }
 
+/// Which engine variant this harness was compiled against.
+pub fn engine_variant() -> &'static str {
+    if cfg!(feature = "baseline") {
+        "baseline"
+    } else {
+        "optimized"
+    }
+}
+
+/// Short git commit of the working tree, or `"unknown"` outside a
+/// checkout.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Provenance stamp for `BENCH_*.json` artifacts. Keep-min merging is
+/// only sound while the recorded numbers came from the same build and
+/// host shape; this is what "same" means. `engine` records which
+/// variants have contributed rows since the stamp was last fresh —
+/// variants live side by side under per-variant keys (that's how the
+/// before/after speedups are computed), so a variant switch must *not*
+/// discard the other variant's rows, while a commit or thread-count
+/// change must discard everything.
+pub fn artifact_meta() -> minijson::Value {
+    minijson::json!({
+        "threads": simcore::par::threads() as u64,
+        "engine": engine_variant(),
+        "git_commit": git_commit(),
+    })
+}
+
+/// Load a `BENCH_*.json` artifact for merging, enforcing the provenance
+/// stamp: if the recorded `meta`'s `threads` or `git_commit` does not
+/// match [`artifact_meta`] (older commit, different thread count), the
+/// recorded rows are discarded and a fresh root is returned — keep-min
+/// must never mix timings across incomparable builds. On a match the
+/// stamp's `engine` field grows to include the current variant. Never
+/// panics; a missing or unparsable artifact also starts fresh.
+pub fn load_artifact(path: &str) -> minijson::Value {
+    use minijson::Value;
+    let meta = artifact_meta();
+    let fresh = || Value::Obj(vec![("meta".to_string(), meta.clone())]);
+    let Some(mut root) = fs::read_to_string(path)
+        .ok()
+        .and_then(|s| Value::parse(&s).ok())
+    else {
+        return fresh();
+    };
+    let Value::Obj(entries) = &mut root else {
+        return fresh();
+    };
+    let field = |m: &Value, key: &str| -> Option<String> {
+        let Value::Obj(pairs) = m else { return None };
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.to_string())
+    };
+    let Some(recorded) = entries.iter().find(|(k, _)| k == "meta").map(|(_, v)| v.clone()) else {
+        eprintln!("note: {path} has no provenance stamp; starting fresh");
+        return fresh();
+    };
+    let comparable = ["threads", "git_commit"]
+        .iter()
+        .all(|key| field(&recorded, key) == field(&meta, key));
+    if !comparable {
+        eprintln!(
+            "note: {path} was recorded under different meta \
+             (recorded {recorded}, current {meta}); starting fresh"
+        );
+        return fresh();
+    }
+    // Same build and host shape: keep the rows, widen the engine set.
+    let mut engines: Vec<String> = field(&recorded, "engine")
+        .map(|s| s.trim_matches('"').split('+').map(str::to_string).collect())
+        .unwrap_or_default();
+    if !engines.iter().any(|e| e == engine_variant()) {
+        engines.push(engine_variant().to_string());
+        engines.sort();
+    }
+    if let Some((_, m)) = entries.iter_mut().find(|(k, _)| k == "meta") {
+        if let Value::Obj(pairs) = m {
+            pairs.retain(|(k, _)| k != "engine");
+            pairs.push(("engine".to_string(), Value::Str(engines.join("+"))));
+        }
+    }
+    root
+}
+
+/// Write a merged artifact back, newline-terminated.
+pub fn store_artifact(path: &str, root: &minijson::Value) {
+    let _ = fs::write(path, format!("{root}\n"));
+}
+
 /// Append JSON rows for experiment `id` under `target/experiments/`.
 pub struct ExperimentLog {
     path: PathBuf,
@@ -151,5 +250,63 @@ mod tests {
     #[test]
     fn scaled_respects_minimum() {
         assert!(scaled(512, 16) >= 16);
+    }
+
+    #[test]
+    fn artifact_meta_guard_discards_incomparable_rows() {
+        use minijson::Value;
+        let dir = std::env::temp_dir().join("managed-io-bench-meta-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_meta_guard.json");
+        let path = path.to_str().unwrap();
+
+        // Fresh load stamps current meta and nothing else.
+        let _ = fs::remove_file(path);
+        let root = load_artifact(path);
+        let Value::Obj(entries) = &root else { panic!("root is an object") };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "meta");
+
+        // A row recorded under the same stamp survives a reload.
+        let mut root = root;
+        if let Value::Obj(entries) = &mut root {
+            entries.push(("bench".to_string(), minijson::json!({ "min_s": 1.0 })));
+        }
+        store_artifact(path, &root);
+        let reloaded = load_artifact(path);
+        let Value::Obj(entries) = &reloaded else { panic!() };
+        assert!(entries.iter().any(|(k, _)| k == "bench"), "same stamp keeps rows");
+
+        // Tampering with git_commit discards the rows (stale build).
+        let stale = fs::read_to_string(path)
+            .unwrap()
+            .replace(&git_commit(), "0000000");
+        fs::write(path, stale).unwrap();
+        let fresh = load_artifact(path);
+        let Value::Obj(entries) = &fresh else { panic!() };
+        assert!(
+            !entries.iter().any(|(k, _)| k == "bench"),
+            "commit mismatch must discard recorded rows"
+        );
+
+        // A different engine variant keeps rows and widens the stamp.
+        store_artifact(path, &reloaded);
+        let other = if engine_variant() == "optimized" { "baseline" } else { "optimized" };
+        let widened = fs::read_to_string(path)
+            .unwrap()
+            .replace(engine_variant(), other);
+        fs::write(path, widened).unwrap();
+        let cross = load_artifact(path);
+        let Value::Obj(entries) = &cross else { panic!() };
+        assert!(
+            entries.iter().any(|(k, _)| k == "bench"),
+            "engine switch must keep the other variant's rows"
+        );
+        let (_, meta) = entries.iter().find(|(k, _)| k == "meta").unwrap();
+        assert!(
+            meta.to_string().contains("baseline+optimized"),
+            "stamp records both variants: {meta}"
+        );
+        let _ = fs::remove_file(path);
     }
 }

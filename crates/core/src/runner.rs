@@ -282,6 +282,9 @@ impl RunOutput {
 #[derive(Default)]
 pub struct RunScratch {
     pooled: Option<(Arc<OutputPlan>, StorageSystem)>,
+    /// Explicit in-run shard-thread budget; `None` follows
+    /// `MANAGED_IO_SHARDS`.
+    shards: Option<usize>,
 }
 
 impl RunScratch {
@@ -290,27 +293,85 @@ impl RunScratch {
         RunScratch::default()
     }
 
+    /// A scratch whose storage systems advance their OST shards on
+    /// `threads` threads, ignoring `MANAGED_IO_SHARDS`. Byte-identical
+    /// to the serial default at any setting — this is how the sharded
+    /// differential tests pin thread counts without env races.
+    pub fn with_shard_threads(threads: usize) -> Self {
+        RunScratch {
+            pooled: None,
+            shards: Some(threads),
+        }
+    }
+
     /// Take a storage system for one `(base, seed)` replicate: reset the
     /// pooled one in place when it belongs to this `base`, else build
     /// fresh. Returns the system and whether it came back warm (file
     /// table already populated).
     fn storage_for(&mut self, base: &RunBase, seed: u64) -> (StorageSystem, bool) {
-        if let Some((plan, mut sys)) = self.pooled.take() {
-            if Arc::ptr_eq(&plan, &base.plan) {
+        let (mut sys, warm) = match self.pooled.take() {
+            Some((plan, mut sys)) if Arc::ptr_eq(&plan, &base.plan) => {
                 sys.reset(seed);
-                return (sys, true);
+                (sys, true)
             }
+            _ => (StorageSystem::new(Arc::clone(&base.machine), seed), false),
+        };
+        // In-run sharding: a warm system keeps its shard layout and pool,
+        // so this is a no-op on every seed after the first.
+        sys.set_shard_threads(self.shards.unwrap_or_else(shard_threads));
+        if profiling() {
+            sys.enable_profiling();
         }
-        (
-            StorageSystem::new(Arc::clone(&base.machine), seed),
-            false,
-        )
+        (sys, warm)
     }
 
     /// Return a run's storage system to the pool for the next seed.
     fn put_back(&mut self, base: &RunBase, sys: StorageSystem) {
         self.pooled = Some((Arc::clone(&base.plan), sys));
     }
+}
+
+/// In-run shard-thread budget from `MANAGED_IO_SHARDS` (default 1 =
+/// serial). Composes with the sweep's `MANAGED_IO_THREADS`: the outer
+/// sweep fans seeds across workers, and each worker's storage system
+/// advances its OST shards on this many threads between decision points.
+/// Results are byte-identical at any setting; only wall-clock changes.
+fn shard_threads() -> usize {
+    static SHARDS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SHARDS.get_or_init(|| match std::env::var("MANAGED_IO_SHARDS") {
+        Ok(raw) => simcore::par::parse_threads(&raw).unwrap_or_else(|err| {
+            eprintln!("managed-io: ignoring MANAGED_IO_SHARDS={raw:?}: {err}; running serial");
+            1
+        }),
+        Err(_) => 1,
+    })
+}
+
+/// True when `MANAGED_IO_PROFILE=1`: every run prints a wall-time phase
+/// breakdown (client protocol / OST advance / harvest merge / stats) as
+/// one minijson object on stdout.
+fn profiling() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("MANAGED_IO_PROFILE").is_ok_and(|v| v == "1"))
+}
+
+thread_local! {
+    /// Wall time this thread spent in post-run stats accounting during the
+    /// current profiled run (see [`timed_stats`]).
+    static STATS_TIME: std::cell::Cell<std::time::Duration> =
+        const { std::cell::Cell::new(std::time::Duration::ZERO) };
+}
+
+/// Attribute `f`'s wall time to the profile's `stats` phase (byte/loss
+/// accounting, integrity oracle diffing). Free when profiling is off.
+fn timed_stats<T>(f: impl FnOnce() -> T) -> T {
+    if !profiling() {
+        return f();
+    }
+    let t0 = std::time::Instant::now();
+    let r = f();
+    STATS_TIME.with(|c| c.set(c.get() + t0.elapsed()));
+    r
 }
 
 fn rank_bytes_of(data: &DataSpec, nprocs: usize, integrity: IntegrityOpts) -> Vec<u64> {
@@ -523,6 +584,47 @@ impl RunBase {
     /// instead of rebuilt, so steady-state sweep seeds run without
     /// reallocating the storage layer. Byte-identical to the cold path.
     pub fn run_seed_scratch(
+        &self,
+        seed: u64,
+        faults: &FaultConfig,
+        scratch: &mut RunScratch,
+    ) -> RunOutput {
+        if !profiling() {
+            return self.run_seed_inner(seed, faults, scratch);
+        }
+        STATS_TIME.with(|c| c.set(std::time::Duration::ZERO));
+        let t0 = std::time::Instant::now();
+        let out = self.run_seed_inner(seed, faults, scratch);
+        let total = t0.elapsed().as_secs_f64();
+        let stats = STATS_TIME.with(std::cell::Cell::get).as_secs_f64();
+        if let Some((_, sys)) = &scratch.pooled {
+            if let Some(p) = sys.profile() {
+                // Everything not spent advancing OST shards, merging
+                // their harvests, or computing stats is the serialized
+                // client protocol (actors, MDS, global events) — the
+                // Amdahl residual of in-run sharding.
+                let client = (total - p.ost_advance_s - p.harvest_merge_s - stats).max(0.0);
+                let row = minijson::json!({
+                    "profile": "in_run",
+                    "seed": seed,
+                    "shards": sys.shard_threads() as u64,
+                    "total_s": total,
+                    "client_s": client,
+                    "ost_advance_s": p.ost_advance_s,
+                    "harvest_merge_s": p.harvest_merge_s,
+                    "stats_s": stats,
+                    "windows": p.windows,
+                    "parallel_windows": p.parallel_windows,
+                    "shard_events": p.shard_events,
+                    "global_events": p.global_events,
+                });
+                println!("{row}");
+            }
+        }
+        out
+    }
+
+    fn run_seed_inner(
         &self,
         seed: u64,
         faults: &FaultConfig,
@@ -753,10 +855,12 @@ fn run_posix(base: &RunBase, seed: u64, faults: &FaultConfig, scratch: &mut RunS
         full_end = stats.end_time;
     }
     records.sort_by_key(|r| r.rank);
-    let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
+    let (mut outcome, account_errors) =
+        timed_stats(|| account(sim.storage(), &plan.rank_bytes, &records));
     outcome.complete &= errors.is_empty();
     errors.extend(account_errors);
-    let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
+    let (oracle, integrity, integrity_errors) =
+        timed_stats(|| integrity_account(sim.storage(), &records));
     errors.extend(integrity_errors);
     let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     scratch.put_back(base, sim.into_storage());
@@ -831,10 +935,12 @@ fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig, scratch: &mut RunS
         full_end = stats.end_time;
     }
     records.sort_by_key(|r| r.rank);
-    let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
+    let (mut outcome, account_errors) =
+        timed_stats(|| account(sim.storage(), &plan.rank_bytes, &records));
     outcome.complete &= errors.is_empty();
     errors.extend(account_errors);
-    let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
+    let (oracle, integrity, integrity_errors) =
+        timed_stats(|| integrity_account(sim.storage(), &records));
     errors.extend(integrity_errors);
     let result = OutputResult::from_partial(records, full_end.as_secs_f64());
     scratch.put_back(base, sim.into_storage());
@@ -989,10 +1095,12 @@ fn run_adaptive(
         bytes_rewritten,
         bytes_reconstructed: 0,
     });
-    let (mut outcome, account_errors) = account(sim.storage(), &plan.rank_bytes, &records);
+    let (mut outcome, account_errors) =
+        timed_stats(|| account(sim.storage(), &plan.rank_bytes, &records));
     outcome.complete &= errors.is_empty();
     errors.extend(account_errors);
-    let (oracle, integrity, integrity_errors) = integrity_account(sim.storage(), &records);
+    let (oracle, integrity, integrity_errors) =
+        timed_stats(|| integrity_account(sim.storage(), &records));
     errors.extend(integrity_errors);
     scratch.put_back(base, sim.into_storage());
     // Materialise subfile bytes for read-back verification.

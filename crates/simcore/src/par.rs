@@ -554,6 +554,85 @@ mod tests {
         assert!(res.is_err(), "worker panic must reach the caller");
     }
 
+    /// Contention stress: far more workers than items, so most workers
+    /// race straight past the claim counter to the exit while a few do
+    /// all the work. Every result slot must still be filled exactly
+    /// once and arrive in input order — no deadlock, no drops.
+    #[test]
+    fn par_fold_contention_more_workers_than_items() {
+        for _ in 0..50 {
+            let mut got = Vec::new();
+            par_fold_threads(
+                24,
+                (0..5u32).collect::<Vec<_>>(),
+                || (),
+                |_, x| x * 3,
+                |x| got.push(x),
+            );
+            assert_eq!(got, vec![0, 3, 6, 9, 12]);
+        }
+        let mut got = Vec::new();
+        par_fold_threads(24, vec![7u32, 8], || (), |_, x| x, |x| got.push(x));
+        assert_eq!(got, vec![7, 8]);
+    }
+
+    /// Contention stress: items panic mid-claim while worker count
+    /// exceeds the item count. The pool must neither deadlock (folder
+    /// waiting on a slot no one will fill, workers waiting on ring
+    /// space no one will free) nor lose the panic; and after the dust
+    /// settles the primitives must still work for a clean follow-up
+    /// run — no poisoned global state.
+    #[test]
+    fn par_fold_contention_panics_mid_claim_no_deadlock_no_drops() {
+        for panic_at in [0u32, 1, 4] {
+            let res = std::panic::catch_unwind(|| {
+                par_fold_threads(
+                    16,
+                    (0..5u32).collect::<Vec<_>>(),
+                    || (),
+                    move |_, i| {
+                        if i == panic_at {
+                            panic!("mid-claim boom at {i}");
+                        }
+                        i
+                    },
+                    |_| {},
+                );
+            });
+            assert!(res.is_err(), "panic at item {panic_at} must propagate");
+        }
+        // Clean run afterwards: every slot filled, in order.
+        let mut got = Vec::new();
+        par_fold_threads(
+            16,
+            (0..5u32).collect::<Vec<_>>(),
+            || (),
+            |_, x| x,
+            |x| got.push(x),
+        );
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Same contention shape for the map primitive: a panicking item
+    /// among racing surplus workers must propagate, and non-panicking
+    /// runs at that worker surplus never drop a slot.
+    #[test]
+    fn par_map_contention_with_panics() {
+        let res = std::panic::catch_unwind(|| {
+            par_map_threads(16, (0..4u32).collect::<Vec<_>>(), |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            });
+        });
+        assert!(res.is_err());
+        for _ in 0..50 {
+            let got = par_map_threads(16, (0..3u32).collect::<Vec<_>>(), |i| i + 1);
+            assert_eq!(got, vec![1, 2, 3]);
+        }
+    }
+
     #[test]
     fn par_fold_workers_covers_every_item_exactly_once() {
         // Sum and count are order-independent accumulators; the merged

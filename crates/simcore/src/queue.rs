@@ -152,6 +152,20 @@ pub mod slab {
             self.now = SimTime::ZERO;
         }
 
+        /// Pre-size the slab and heap for at least `n` concurrently live
+        /// events, so steady-state workloads that stay under `n` never
+        /// grow the queue mid-run (the fleet sweep's zero-allocation
+        /// contract).
+        pub fn reserve(&mut self, n: usize) {
+            if let Some(extra) = n.checked_sub(self.slots.len()) {
+                self.slots.reserve(extra);
+                self.free.reserve(extra);
+            }
+            if let Some(extra) = n.checked_sub(self.heap.len()) {
+                self.heap.reserve(extra);
+            }
+        }
+
         /// Current simulated time: the timestamp of the most recently
         /// popped event (or zero before the first pop).
         pub fn now(&self) -> SimTime {
@@ -434,6 +448,15 @@ pub mod baseline {
             self.pending.clear();
             self.next_seq = 0;
             self.now = SimTime::ZERO;
+        }
+
+        /// Pre-size the heap for at least `n` concurrently live events
+        /// (capacity parity with the slab queue's `reserve`).
+        pub fn reserve(&mut self, n: usize) {
+            if let Some(extra) = n.checked_sub(self.heap.len()) {
+                self.heap.reserve(extra);
+            }
+            self.pending.reserve(n);
         }
 
         /// Current simulated time.

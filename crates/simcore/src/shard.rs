@@ -1,0 +1,323 @@
+//! Persistent scoped worker pool for sharded in-run parallelism.
+//!
+//! [`crate::par`] fans independent *replicates* out by spawning scoped
+//! threads per call — fine when each item is a whole simulation run, far
+//! too slow for the sharded storage engine, which dispatches a parallel
+//! region once per macro-step (tens of thousands of times per run, each
+//! a few microseconds of work). [`ShardPool`] keeps its workers parked
+//! on a condvar between regions so a dispatch is one mutex round-trip
+//! plus wake-ups, not thread creation.
+//!
+//! The contract mirrors `par`'s determinism story: a region is a closure
+//! `job(shard_index)` over disjoint shard indices `0..nshards`, workers
+//! claim indices from a shared atomic counter, and the pool guarantees
+//! every index runs **exactly once** before [`ShardPool::run`] returns.
+//! Which thread runs which shard is unspecified — callers must make
+//! shard work side-effect-independent (each shard owns disjoint state),
+//! which is precisely what makes serial and parallel execution
+//! byte-identical.
+//!
+//! A panic inside any shard job poisons the region: remaining indices
+//! may be skipped, every worker returns to its parked state, and
+//! `run` panics on the caller thread once the region has quiesced (so
+//! the borrowed job closure is never used after `run` unwinds).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the caller's region closure. Only dereferenced
+/// between region start and quiesce, while `run`'s borrow is live.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are the
+// point) and the pointer only crosses threads inside a region, during
+// which `run` keeps the referent alive.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Monotone region counter; workers park until it moves.
+    epoch: u64,
+    /// Current region's job, present only while a region is active.
+    job: Option<JobPtr>,
+    /// Shard count of the current region.
+    nshards: usize,
+    /// Pool workers still inside the current region (excludes caller).
+    active: usize,
+    /// Set when any shard job panicked in the current region.
+    panicked: bool,
+    /// Tells parked workers to exit (pool drop).
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new region starts or the pool shuts down.
+    go: Condvar,
+    /// Signalled when the last pool worker leaves a region.
+    quiet: Condvar,
+    /// Next unclaimed shard index of the current region.
+    next: AtomicUsize,
+}
+
+/// Persistent pool of parked workers for repeated fork-join regions over
+/// shard indices. Created with a total thread budget `n`: `n - 1` pool
+/// workers are spawned and the **caller participates** in every region,
+/// so `n = 1` means a plain serial loop with no threads at all.
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl ShardPool {
+    /// Build a pool with a total budget of `threads` (caller included).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                nshards: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            quiet: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let workers = (1..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ShardPool { shared, workers }
+    }
+
+    /// Total thread budget (pool workers + the participating caller).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Run `job(i)` exactly once for every `i in 0..nshards`, in
+    /// parallel across the pool plus the calling thread. Returns once
+    /// every index has run. Panics (after the region quiesces) if any
+    /// shard job panicked.
+    pub fn run(&self, nshards: usize, job: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() || nshards <= 1 {
+            for i in 0..nshards {
+                job(i);
+            }
+            return;
+        }
+
+        // SAFETY: erase the borrow's lifetime to park it in shared
+        // state. `run` does not return (or unwind) until every worker
+        // has left the region, so the pointee outlives all uses.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                job as *const _,
+            )
+        });
+
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.job.is_none(), "ShardPool::run is not reentrant");
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.job = Some(ptr);
+            st.nshards = nshards;
+            st.active = self.workers.len();
+            st.panicked = false;
+            st.epoch += 1;
+            self.shared.go.notify_all();
+        }
+
+        // Caller participates; a panicking shard is recorded, not
+        // propagated mid-region (the pool must quiesce first).
+        let caller_result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                claim_loop(&self.shared, nshards, job)
+            }));
+
+        let mut st = self.shared.state.lock().unwrap();
+        if caller_result.is_err() {
+            st.panicked = true;
+            // Park the claim counter past the end so workers stop
+            // starting new shards from a poisoned region.
+            self.shared.next.store(nshards, Ordering::Relaxed);
+        }
+        while st.active > 0 {
+            st = self.shared.quiet.wait(st).unwrap();
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!panicked, "ShardPool worker panicked");
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            // A worker that panicked outside `catch_unwind` (impossible
+            // today) would surface here; ignore so drop never panics.
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, nshards) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                st = shared.go.wait(st).unwrap();
+            }
+            seen_epoch = st.epoch;
+            (st.job.expect("active region has a job"), st.nshards)
+        };
+        // SAFETY: the caller is blocked in `run` until `active` drops to
+        // zero, keeping the closure alive for the whole region.
+        let job = unsafe { &*job.0 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            claim_loop(shared, nshards, job)
+        }));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+            shared.next.store(nshards, Ordering::Relaxed);
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.quiet.notify_all();
+        }
+    }
+}
+
+fn claim_loop(shared: &Shared, nshards: usize, job: &(dyn Fn(usize) + Sync)) {
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= nshards {
+            return;
+        }
+        job(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_shard_exactly_once() {
+        let pool = ShardPool::new(4);
+        for nshards in [0usize, 1, 2, 3, 7, 64] {
+            let hits: Vec<AtomicUsize> = (0..nshards).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(nshards, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "shard {i} of {nshards}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_budget_runs_inline() {
+        let pool = ShardPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let sum = AtomicU64::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn reusable_across_many_regions() {
+        // The macro-step loop dispatches thousands of tiny regions on
+        // one pool; totals must stay exact across all of them.
+        let pool = ShardPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..2000 {
+            pool.run(5, &|i| {
+                total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2000 * 15);
+    }
+
+    #[test]
+    fn more_shards_than_threads_and_vice_versa() {
+        let pool = ShardPool::new(8);
+        let count = AtomicUsize::new(0);
+        pool.run(3, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+        pool.run(100, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 103);
+    }
+
+    #[test]
+    fn shard_panic_propagates_and_pool_survives() {
+        let pool = ShardPool::new(4);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 5 {
+                    panic!("shard boom");
+                }
+            });
+        }));
+        assert!(res.is_err(), "shard panic must reach the caller");
+        // The pool is still usable after a poisoned region.
+        let count = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn pool_is_send() {
+        // Sweeps move pooled engines across worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<ShardPool>();
+        let pool = ShardPool::new(2);
+        let handle = std::thread::spawn(move || {
+            let count = AtomicUsize::new(0);
+            pool.run(4, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            count.load(Ordering::Relaxed)
+        });
+        assert_eq!(handle.join().unwrap(), 4);
+    }
+}

@@ -142,9 +142,9 @@ impl<T: Keyed> MinHeap<T> {
     /// Largest population served by the unsorted linear-scan mode.
     const SMALL_MAX: usize = 16;
 
-    fn new() -> Self {
+    fn with_capacity(cap: usize) -> Self {
         MinHeap {
-            items: Vec::new(),
+            items: Vec::with_capacity(cap),
             heapified: false,
         }
     }
@@ -276,7 +276,11 @@ impl LaneState {
     fn new() -> Self {
         LaneState {
             clock: 0.0,
-            heap: MinHeap::new(),
+            // Pre-sized past the small-mode threshold: per-target stream
+            // populations are workload- and seed-dependent, and a sweep's
+            // steady-state seeds must not grow the heap past its warmup
+            // high-water mark (the fleet zero-allocation contract).
+            heap: MinHeap::with_capacity(2 * MinHeap::<TaggedStream>::SMALL_MAX),
         }
     }
 }
@@ -345,7 +349,7 @@ impl VtOst {
             disk_eff_memo: Vec::new(),
             disk: LaneState::new(),
             cache: LaneState::new(),
-            pending: MinHeap::new(),
+            pending: MinHeap::with_capacity(2 * MinHeap::<PendingStream>::SMALL_MAX),
             seq: 0,
         };
         ost.refresh_rates();
@@ -705,7 +709,7 @@ mod tests {
 
     #[test]
     fn min_heap_pops_in_key_order() {
-        let mut h: MinHeap<TaggedStream> = MinHeap::new();
+        let mut h: MinHeap<TaggedStream> = MinHeap::with_capacity(0);
         let mut keys: Vec<u64> = (0..100).map(|i| (i * 7919) % 101).collect();
         for (i, &k) in keys.iter().enumerate() {
             h.push(TaggedStream {
@@ -725,7 +729,7 @@ mod tests {
 
     #[test]
     fn equal_tags_break_ties_by_sequence() {
-        let mut h: MinHeap<TaggedStream> = MinHeap::new();
+        let mut h: MinHeap<TaggedStream> = MinHeap::with_capacity(0);
         for seq in [3u64, 1, 2, 0] {
             h.push(TaggedStream {
                 key: pack(42.0, seq),
@@ -743,7 +747,7 @@ mod tests {
         // Push past SMALL_MAX (forcing the one-time heapify), drain to
         // empty (reverting to small mode), then exercise small mode again:
         // pops must be globally key-ordered throughout.
-        let mut h: MinHeap<TaggedStream> = MinHeap::new();
+        let mut h: MinHeap<TaggedStream> = MinHeap::with_capacity(0);
         let n = MinHeap::<TaggedStream>::SMALL_MAX * 3;
         let mut keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 977).collect();
         for (i, &k) in keys.iter().enumerate() {
@@ -772,6 +776,68 @@ mod tests {
         assert!(!h.heapified);
         let small: Vec<u64> = std::iter::from_fn(|| h.pop().map(|s| s.tag() as u64)).collect();
         assert_eq!(small, vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn min_heap_boundary_oscillation_matches_model() {
+        // Satellite regression: oscillate the population across SMALL_MAX
+        // *mid-run* with interleaved pushes and pops (grow to 1.5x the
+        // threshold, shrink below half, many cycles). Every pop must match
+        // a brute-force model regardless of which side of the unsorted-vec
+        // <-> heap boundary the structure is on, and both transitions must
+        // actually occur.
+        let mut h: MinHeap<TaggedStream> = MinHeap::with_capacity(0);
+        let mut model: Vec<u128> = Vec::new();
+        let mut rng = simcore::Rng::new(0xB0DA_5C17);
+        let small_max = MinHeap::<TaggedStream>::SMALL_MAX;
+        let hi = small_max + small_max / 2;
+        let (mut seq, mut growing, mut cycle) = (0u64, true, 0u32);
+        let (mut crossed_up, mut crossed_down) = (0u32, 0u32);
+        for _ in 0..6000 {
+            // Heap mode only reverts on a full drain, so alternate the
+            // shrink floor between "hover just under the threshold" and
+            // "drain to empty" to hit both transition directions often.
+            let lo = if cycle % 2 == 0 { small_max / 2 } else { 0 };
+            if growing && h.len() >= hi {
+                growing = false;
+            } else if !growing && h.len() <= lo {
+                growing = true;
+                cycle += 1;
+            }
+            let push = h.is_empty() || if growing { !rng.chance(0.25) } else { rng.chance(0.25) };
+            let was_heapified = h.heapified;
+            if push {
+                let key = pack(rng.uniform(0.0, 1000.0), seq);
+                h.push(TaggedStream {
+                    key,
+                    id: RequestId(seq),
+                    bytes: 1,
+                    submitted: SimTime::ZERO,
+                });
+                model.push(key);
+                seq += 1;
+                if !was_heapified && h.heapified {
+                    crossed_up += 1;
+                }
+            } else {
+                let min = model.iter().copied().min().expect("model non-empty");
+                model.swap_remove(model.iter().position(|&k| k == min).unwrap());
+                let got = h.pop().expect("heap non-empty").key;
+                assert_eq!(got, min, "pop diverged from model at seq {seq}");
+                if was_heapified && !h.heapified {
+                    crossed_down += 1;
+                }
+            }
+            assert_eq!(h.len(), model.len());
+        }
+        assert!(crossed_up >= 3, "crossed into heap mode only {crossed_up}x");
+        assert!(crossed_down >= 3, "reverted to small mode only {crossed_down}x");
+        while let Some(s) = h.pop() {
+            let min = model.iter().copied().min().unwrap();
+            model.swap_remove(model.iter().position(|&k| k == min).unwrap());
+            assert_eq!(s.key, min);
+        }
+        assert!(!h.heapified && h.is_empty() && model.is_empty());
     }
 
     #[test]

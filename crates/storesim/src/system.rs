@@ -5,22 +5,38 @@
 //! The owning driver (the cluster simulator) holds global time. It asks
 //! [`StorageSystem::next_event_time`] when the storage system next changes
 //! state, and calls [`StorageSystem::advance_to`] to move it forward and
-//! collect finished operations. Internally the system keeps its own event
-//! queue for noise transitions, competing-job arrivals/departures and
-//! re-planned completion wake-ups (OST completion times shift whenever
-//! load or noise changes; stale wake-ups are cancelled).
+//! collect finished operations.
+//!
+//! Internally the system is **sharded**: the per-OST lanes (target engine,
+//! micro-noise process, background interference streams and their wake
+//! planning) are partitioned into contiguous shards, each with its own
+//! event heap and scratch arenas. Purely lane-local events — OST wakes,
+//! micro-noise flips, background-burst renewals — live in the shard heaps
+//! and are drained up to a conservative horizon (the next *global* decision
+//! point: MDS wakes, job churn, fault-script edits, or the driver's
+//! deadline) either serially or in parallel on a [`simcore::ShardPool`].
+//! Foreground chunk completions are deferred into per-shard buffers and
+//! merged in deterministic `(time, target, submission)` order before any
+//! global event runs, so the serialized client protocol observes exactly
+//! the same completion stream at any shard/thread count: serial and
+//! sharded execution are byte-identical by construction, because both run
+//! the same per-shard drain over the same intrinsically-keyed heaps.
 //!
 //! Operations are submitted with a caller-chosen `tag`; completions carry
 //! the tag back so the driver can route them to the right simulated rank.
 
-use simcore::{EventQueue, EventToken, FxHashMap, Rng, SimDuration, SimTime, SplitMix64};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+use simcore::{EventQueue, EventToken, FxHashMap, Rng, ShardPool, SimDuration, SimTime, SplitMix64};
 
 use crate::fault::{CorruptionOracle, FailMode, FaultEvent, FaultScript};
 use crate::jobs::{combined_factor, CompetingLoad, JobLoadModel};
 use crate::layout::{FileId, FileSystem, OstId, StripeSpec};
 use crate::mds::{Mds, MetaOp};
 use crate::noise::NoiseProcess;
-use crate::ost::{OpKind, Ost, RequestId};
+use crate::ost::{OpKind, Ost, OstCompletion, RequestId};
 use crate::params::MachineConfig;
 
 /// A finished storage operation, surfaced to the driver.
@@ -54,14 +70,13 @@ pub enum CompletionKind {
     Close,
 }
 
+/// Global (cross-lane) events. Everything lane-local — OST wakes, noise
+/// flips, background renewals — lives in the shard heaps instead.
 #[derive(Clone, Copy, Debug)]
 enum Internal {
-    OstWake(usize),
     MdsWake,
-    MicroFlip(usize),
     JobArrival,
     JobDeparture(u64),
-    RenewStream(u64),
     /// A scheduled fault (index into `fault_events`) begins.
     FaultStart(usize),
     /// A brownout on OST `.0` ends; divide its factor `.1` back out.
@@ -107,49 +122,336 @@ struct BgSpec {
     mean_gap: Option<f64>,
 }
 
+/// High bit of a request id marks lane-local background streams, so a
+/// harvested completion (or a `fail_all` abort list) can be routed
+/// without consulting any shared map. Foreground ids come from a plain
+/// counter and never reach this bit.
+const BG_BIT: u64 = 1 << 63;
+
+/// Shard-event classes, in tie-break order at equal `(time, ost)`.
+const CLASS_WAKE: u8 = 0;
+const CLASS_FLIP: u8 = 1;
+const CLASS_RENEW: u8 = 2;
+
+/// One lane-local event. The key is **intrinsic** — time, target, class,
+/// and a validation stamp — so the pop order of a shard heap is a pure
+/// function of its contents, independent of insertion history. That is
+/// what lets the serial engine and every sharded layout replay the exact
+/// same per-lane event order (the old global queue broke ties by
+/// insertion sequence, which a sharded drain cannot reproduce).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ShardEv {
+    /// Event time in nanoseconds.
+    t: u64,
+    /// Global OST index.
+    ost: u32,
+    /// `CLASS_*` tie-break.
+    class: u8,
+    /// Wake generation (`CLASS_WAKE`) or renewal token (`CLASS_RENEW`).
+    aux: u64,
+}
+
+type EvHeap = BinaryHeap<Reverse<ShardEv>>;
+
+/// A deferred foreground chunk completion, merged and applied serially
+/// between shard windows.
+#[derive(Clone, Copy, Debug)]
+struct FgDone {
+    t: u64,
+    ost: u32,
+    rid: u64,
+}
+
+/// Everything one OST lane owns: target engine, noise, health, wake
+/// planning and background streams. Shards get disjoint `&mut [Lane]`
+/// ranges, which is the whole safety argument for the parallel drain.
+#[derive(Debug)]
+struct Lane {
+    ost: Ost,
+    micro: NoiseProcess,
+    micro_factor: f64,
+    /// Lane-isolated RNG stream (micro-noise transitions, bursty
+    /// background gaps): keeps every stochastic draw a shard can make
+    /// independent of cross-lane event interleaving.
+    noise_rng: Rng,
+    /// Injected permanent degradation factor (1.0 = healthy).
+    degraded: f64,
+    /// Composed transient brownout factor (1.0 = none active).
+    brownout: f64,
+    health: OstHealth,
+    /// Bumped on every fault transition so stale recovery events are
+    /// ignored when scripts overlap faults on one target.
+    health_gen: u64,
+    /// Start times of error-mode failures: data completed at or before
+    /// such an instant was destroyed.
+    error_fail_times: Vec<SimTime>,
+    /// The currently planned wake instant (nanos), if any. Wake events
+    /// are never cancelled; a popped wake is valid only if its time and
+    /// generation both still match (lazy invalidation).
+    planned_wake: Option<u64>,
+    wake_gen: u64,
+    /// Background streams in flight on this lane: (request id, spec).
+    bg_active: Vec<(u64, BgSpec)>,
+    /// Bursty streams waiting out a gap: (renewal token, spec).
+    bg_pending: Vec<(u64, BgSpec)>,
+    /// Lane-local id counter for background rids and renewal tokens.
+    bg_next: u64,
+}
+
+impl Lane {
+    fn alloc_bg_id(&mut self, i: usize) -> u64 {
+        let id = BG_BIT | ((i as u64) << 40) | self.bg_next;
+        self.bg_next += 1;
+        id
+    }
+}
+
+/// Per-shard event heap and scratch arenas.
+#[derive(Debug, Default)]
+struct Shard {
+    heap: EvHeap,
+    /// Reusable harvest buffer for `Ost::advance_into`.
+    scratch: Vec<OstCompletion>,
+    /// Deferred foreground completions of the current window.
+    fg_buf: Vec<FgDone>,
+    /// Lane-local events processed (profiling).
+    events: u64,
+}
+
+impl Shard {
+    /// Build a shard with its arenas pre-sized for `lanes` lanes, so
+    /// steady-state reset-and-replay cycles never touch the allocator
+    /// (lazy invalidation makes the heap's high-water mark mildly
+    /// seed-dependent; the slack absorbs it).
+    fn with_capacity(lanes: usize) -> Self {
+        Shard {
+            heap: BinaryHeap::with_capacity(2 * lanes + 128),
+            scratch: Vec::with_capacity(64),
+            fg_buf: Vec::with_capacity(128),
+            events: 0,
+        }
+    }
+}
+
+/// Shared read-only context for a shard drain. Only state that is
+/// guaranteed frozen between global decision points may appear here.
+struct ShardCtx<'a> {
+    jobs: &'a [(u64, CompetingLoad)],
+    ost_count: usize,
+    /// Drain horizon in nanoseconds (inclusive).
+    horizon: u64,
+    elision: bool,
+}
+
+/// Wall-time breakdown of a run, captured when profiling is enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Seconds spent draining shard heaps (OST advancement) — the
+    /// parallelizable phase.
+    pub ost_advance_s: f64,
+    /// Seconds spent merging and applying deferred foreground
+    /// completions — serial by design.
+    pub harvest_merge_s: f64,
+    /// Macro-step windows executed.
+    pub windows: u64,
+    /// Windows dispatched on the shard pool (vs drained inline).
+    pub parallel_windows: u64,
+    /// Lane-local events processed across all shards.
+    pub shard_events: u64,
+    /// Global events processed.
+    pub global_events: u64,
+}
+
+#[derive(Debug, Default)]
+struct Prof {
+    drain: std::time::Duration,
+    flush: std::time::Duration,
+    windows: u64,
+    par_windows: u64,
+    global_events: u64,
+}
+
+/// Current combined slowdown factor of one lane.
+fn lane_combined(lane: &Lane, i: usize, jobs: &[(u64, CompetingLoad)], ost_count: usize) -> f64 {
+    let micro = lane.micro_factor * lane.degraded * lane.brownout;
+    combined_factor(
+        jobs.iter()
+            .filter(|(_, j)| j.covers(i, ost_count))
+            .map(|(_, j)| j.factor),
+        micro,
+    )
+}
+
+/// Re-plan one lane's wake after its predicted completion time moved.
+/// Nothing is cancelled: a new `(time, gen)` stamp is pushed and any
+/// previously pushed wake goes stale (its generation no longer matches).
+/// With `elision` (the default engine), an unchanged prediction keeps the
+/// already-pushed wake — the single hottest event-queue interaction, as
+/// most re-plans are no-ops.
+fn replan_lane(lane: &mut Lane, i: usize, now: SimTime, heap: &mut EvHeap, elision: bool) {
+    match lane.ost.next_completion().map(|t| t.max(now)) {
+        Some(t) => {
+            let tn = t.as_nanos();
+            if elision && lane.planned_wake == Some(tn) {
+                return;
+            }
+            lane.wake_gen += 1;
+            lane.planned_wake = Some(tn);
+            heap.push(Reverse(ShardEv {
+                t: tn,
+                ost: i as u32,
+                class: CLASS_WAKE,
+                aux: lane.wake_gen,
+            }));
+        }
+        None => lane.planned_wake = None,
+    }
+}
+
+/// (Re)start a background stream on its lane: allocate a lane-local id,
+/// submit, re-plan. A failed target swallows the stream (competing jobs
+/// see the failure too).
+fn lane_start_background(
+    lane: &mut Lane,
+    i: usize,
+    now: SimTime,
+    spec: BgSpec,
+    heap: &mut EvHeap,
+    elision: bool,
+) {
+    if lane.health == OstHealth::Failed {
+        return;
+    }
+    let rid = lane.alloc_bg_id(i);
+    lane.bg_active.push((rid, spec));
+    lane.ost.submit(now, RequestId(rid), spec.bytes, OpKind::WriteDirect);
+    replan_lane(lane, i, now, heap, elision);
+}
+
+/// Drain every lane-local event with `time <= ctx.horizon` from one
+/// shard. This is THE engine loop, shared verbatim by the serial path
+/// (shards drained one after another) and the parallel path (shards
+/// drained concurrently): it touches only the shard's own lanes, heap and
+/// scratch plus the read-only context, so cross-shard interleaving cannot
+/// influence any outcome.
+fn drain_shard(lanes: &mut [Lane], base: usize, shard: &mut Shard, ctx: &ShardCtx) {
+    while let Some(&Reverse(ev)) = shard.heap.peek() {
+        if ev.t > ctx.horizon {
+            break;
+        }
+        shard.heap.pop();
+        shard.events += 1;
+        let t = SimTime::from_nanos(ev.t);
+        let i = ev.ost as usize;
+        let lane = &mut lanes[i - base];
+        match ev.class {
+            CLASS_WAKE => {
+                if lane.planned_wake != Some(ev.t) || lane.wake_gen != ev.aux {
+                    continue; // stale wake, superseded by a later re-plan
+                }
+                lane.planned_wake = None;
+                let mut done = std::mem::take(&mut shard.scratch);
+                done.clear();
+                lane.ost.advance_into(t, &mut done);
+                for c in done.drain(..) {
+                    if c.id.0 & BG_BIT != 0 {
+                        let pos = lane
+                            .bg_active
+                            .iter()
+                            .position(|&(r, _)| r == c.id.0)
+                            .expect("background stream known");
+                        let (_, spec) = lane.bg_active.swap_remove(pos);
+                        match spec.mean_gap {
+                            None => {
+                                lane_start_background(lane, i, t, spec, &mut shard.heap, ctx.elision)
+                            }
+                            Some(gap) => {
+                                let token = lane.alloc_bg_id(i);
+                                lane.bg_pending.push((token, spec));
+                                let delay = SimDuration::from_secs_f64(lane.noise_rng.exp(gap));
+                                shard.heap.push(Reverse(ShardEv {
+                                    t: (t + delay).as_nanos(),
+                                    ost: ev.ost,
+                                    class: CLASS_RENEW,
+                                    aux: token,
+                                }));
+                            }
+                        }
+                    } else {
+                        // Foreground chunk: defer — op accounting, the
+                        // corruption draw and the completion stream are
+                        // serial, merged between windows.
+                        shard.fg_buf.push(FgDone {
+                            t: ev.t,
+                            ost: ev.ost,
+                            rid: c.id.0,
+                        });
+                    }
+                }
+                shard.scratch = done;
+                replan_lane(lane, i, t, &mut shard.heap, ctx.elision);
+            }
+            CLASS_FLIP => {
+                let (factor, delay) = lane.micro.transition(&mut lane.noise_rng);
+                lane.micro_factor = factor;
+                shard.heap.push(Reverse(ShardEv {
+                    t: (t + delay).as_nanos(),
+                    ost: ev.ost,
+                    class: CLASS_FLIP,
+                    aux: 0,
+                }));
+                let f = lane_combined(lane, i, ctx.jobs, ctx.ost_count);
+                lane.ost.set_noise(t, f);
+                replan_lane(lane, i, t, &mut shard.heap, ctx.elision);
+            }
+            _ => {
+                // CLASS_RENEW: a bursty stream's gap expired. The token
+                // vanishes from `bg_pending` if the stream was torn down
+                // meanwhile (target failure) — then the renewal is stale.
+                if let Some(pos) = lane.bg_pending.iter().position(|&(tok, _)| tok == ev.aux) {
+                    let (_, spec) = lane.bg_pending.swap_remove(pos);
+                    lane_start_background(lane, i, t, spec, &mut shard.heap, ctx.elision);
+                }
+            }
+        }
+    }
+}
+
+/// First global OST index of shard `s` when `n` lanes split `nshards`
+/// ways (contiguous ranges; the inverse of `i * nshards / n`).
+fn shard_bound(s: usize, n: usize, nshards: usize) -> usize {
+    (s * n).div_ceil(nshards)
+}
+
 /// The storage half of the co-simulation.
 pub struct StorageSystem {
     /// Machine parameters, shared: campaign sweeps hand every replicate
     /// the same `Arc` instead of deep-cloning the config per run.
     cfg: std::sync::Arc<MachineConfig>,
-    osts: Vec<Ost>,
+    /// Per-OST lanes, partitioned contiguously across `shards`.
+    lanes: Vec<Lane>,
+    /// Per-shard event heaps and arenas (`shards.len()` == shard count;
+    /// 1 = serial).
+    shards: Vec<Shard>,
+    /// Parked workers for parallel windows (`None` below 2 threads).
+    pool: Option<ShardPool>,
     fs: FileSystem,
     mds: Mds,
-    micro: Vec<NoiseProcess>,
-    micro_factor: Vec<f64>,
     jobs_model: JobLoadModel,
     /// Active competing jobs, sorted by id (ids are handed out
     /// monotonically, so pushes keep the order). A sorted vector instead
-    /// of a hash map: [`StorageSystem::combined`] folds an f64 product
-    /// over this collection, and hash-map iteration order depends on the
-    /// map's capacity history — a reset-and-reused map could disagree
-    /// with a fresh one in the last ulp. Id order is history-independent.
+    /// of a hash map: [`lane_combined`] folds an f64 product over this
+    /// collection, and hash-map iteration order depends on the map's
+    /// capacity history — a reset-and-reused map could disagree with a
+    /// fresh one in the last ulp. Id order is history-independent.
     active_jobs: Vec<(u64, CompetingLoad)>,
     next_job_id: u64,
+    /// Global decision points only; lane-local traffic lives in shards.
     queue: EventQueue<Internal>,
-    /// Per-OST planned wake-up: token plus the instant it fires at, so an
-    /// unchanged re-plan can be elided instead of cancelled + rescheduled.
-    ost_token: Vec<Option<(EventToken, SimTime)>>,
     mds_token: Option<(EventToken, SimTime)>,
     ops: FxHashMap<u64, OpState>,
     req_to_op: FxHashMap<u64, u64>,
-    /// Background streams currently in flight: request id -> spec.
-    background: FxHashMap<u64, BgSpec>,
-    /// Background streams waiting out a burst gap: token -> spec.
-    pending_renew: FxHashMap<u64, BgSpec>,
-    /// Injected permanent degradation factor per OST (1.0 = healthy).
-    degraded: Vec<f64>,
-    /// Composed transient brownout factor per OST (1.0 = none active).
-    brownout: Vec<f64>,
-    /// Fault status per OST.
-    health: Vec<OstHealth>,
-    /// Bumped on every OST fault transition so stale recovery events are
-    /// ignored when scripts overlap faults on one target.
-    health_gen: Vec<u64>,
-    /// Start times of error-mode failures per OST: data completed at or
-    /// before such an instant was destroyed.
-    error_fail_times: Vec<Vec<SimTime>>,
-    /// Bumped per MDS outage, for the same stale-recovery reason.
+    /// Bumped per MDS outage, for stale-recovery filtering.
     mds_gen: u64,
     /// Installed fault events (referenced by queue index).
     fault_events: Vec<FaultEvent>,
@@ -167,11 +469,10 @@ pub struct StorageSystem {
     corrupt_log: Vec<(OstId, SimTime)>,
     /// Torn-write abort instants: (target, tear time).
     torn_log: Vec<(OstId, SimTime)>,
-    /// Reusable harvest buffer for OST wakes: the hot loop hands the same
-    /// allocation to `Ost::advance_into` on every event.
-    ost_scratch: Vec<crate::ost::OstCompletion>,
     /// Reusable harvest buffer for MDS wakes.
     mds_scratch: Vec<crate::mds::MdsCompletion>,
+    /// Reusable merge buffer for deferred foreground completions.
+    fg_merge: Vec<FgDone>,
     /// Reusable buffer for the OST indices a competing job covers
     /// (arrival/departure noise re-application).
     covered_scratch: Vec<usize>,
@@ -179,6 +480,9 @@ pub struct StorageSystem {
     stripe_counts: Vec<u64>,
     /// Reusable chunk list for file range mapping.
     chunk_scratch: Vec<(OstId, u64)>,
+    /// Wall-time phase profile (enabled via
+    /// [`StorageSystem::enable_profiling`]).
+    prof: Option<Box<Prof>>,
     out: Vec<StorageCompletion>,
 }
 
@@ -190,21 +494,38 @@ impl StorageSystem {
     pub fn new(cfg: impl Into<std::sync::Arc<MachineConfig>>, seed: u64) -> Self {
         let cfg = cfg.into();
         let mut seeder = SplitMix64::new(seed);
-        let mut rng = seeder.stream();
+        let rng = seeder.stream();
         let corrupt_rng = seeder.stream();
-        let mut queue = EventQueue::new();
-        let mut osts = Vec::with_capacity(cfg.ost_count);
-        let mut micro = Vec::with_capacity(cfg.ost_count);
-        let mut micro_factor = Vec::with_capacity(cfg.ost_count);
+        let mut shard = Shard::with_capacity(cfg.ost_count);
+        let mut lanes = Vec::with_capacity(cfg.ost_count);
         for i in 0..cfg.ost_count {
-            let ost = Ost::new(cfg.ost.clone());
-            let (proc_, first) = NoiseProcess::new(&cfg.noise.micro, &mut rng);
-            micro_factor.push(proc_.factor());
+            let mut noise_rng = seeder.stream();
+            let (proc_, first) = NoiseProcess::new(&cfg.noise.micro, &mut noise_rng);
+            let micro_factor = proc_.factor();
             if let Some(delay) = first {
-                queue.schedule(SimTime::ZERO + delay, Internal::MicroFlip(i));
+                shard.heap.push(Reverse(ShardEv {
+                    t: (SimTime::ZERO + delay).as_nanos(),
+                    ost: i as u32,
+                    class: CLASS_FLIP,
+                    aux: 0,
+                }));
             }
-            osts.push(ost);
-            micro.push(proc_);
+            lanes.push(Lane {
+                ost: Ost::new(cfg.ost.clone()),
+                micro: proc_,
+                micro_factor,
+                noise_rng,
+                degraded: 1.0,
+                brownout: 1.0,
+                health: OstHealth::Healthy,
+                health_gen: 0,
+                error_fail_times: Vec::new(),
+                planned_wake: None,
+                wake_gen: 0,
+                bg_active: Vec::new(),
+                bg_pending: Vec::new(),
+                bg_next: 0,
+            });
         }
         let jobs_model = JobLoadModel::new(cfg.noise.jobs.clone(), cfg.ost_count);
         let fs = FileSystem::new(
@@ -214,34 +535,20 @@ impl StorageSystem {
             cfg.stripe_size,
         );
         let mds = Mds::new(cfg.mds.clone());
-        let ost_token = vec![None; cfg.ost_count];
-        let degraded = vec![1.0; cfg.ost_count];
-        let brownout = vec![1.0; cfg.ost_count];
-        let health = vec![OstHealth::Healthy; cfg.ost_count];
-        let health_gen = vec![0; cfg.ost_count];
-        let error_fail_times = vec![Vec::new(); cfg.ost_count];
         let mut sys = StorageSystem {
             cfg,
-            osts,
+            lanes,
+            shards: vec![shard],
+            pool: None,
             fs,
             mds,
-            micro,
-            micro_factor,
             jobs_model,
             active_jobs: Vec::new(),
             next_job_id: 0,
-            queue,
-            ost_token,
+            queue: EventQueue::new(),
             mds_token: None,
             ops: FxHashMap::default(),
             req_to_op: FxHashMap::default(),
-            background: FxHashMap::default(),
-            pending_renew: FxHashMap::default(),
-            degraded,
-            brownout,
-            health,
-            health_gen,
-            error_fail_times,
             mds_gen: 0,
             fault_events: Vec::new(),
             next_req: 0,
@@ -251,18 +558,29 @@ impl StorageSystem {
             corrupt_windows: Vec::new(),
             corrupt_log: Vec::new(),
             torn_log: Vec::new(),
-            ost_scratch: Vec::new(),
-            mds_scratch: Vec::new(),
+            mds_scratch: Vec::with_capacity(32),
+            fg_merge: Vec::with_capacity(256),
             covered_scratch: Vec::new(),
             stripe_counts: Vec::new(),
             chunk_scratch: Vec::new(),
+            prof: None,
             out: Vec::new(),
         };
+        // The global queue only holds decision points now (MDS wakes, job
+        // churn, fault edits) — small, but its live count is mildly
+        // seed-dependent, and steady-state sweep seeds must never grow it.
+        // Same story for the op-accounting maps and the job population:
+        // concurrent high-water marks vary a little per seed, and the
+        // fleet sweep's zero-allocation contract covers all of them.
+        sys.queue.reserve(64);
+        sys.ops.reserve(256);
+        sys.req_to_op.reserve(512);
+        sys.active_jobs.reserve(64);
         sys.init_jobs();
         // Apply initial noise to every OST.
-        for i in 0..sys.osts.len() {
-            let f = sys.combined(i);
-            sys.osts[i].set_noise(SimTime::ZERO, f);
+        for i in 0..sys.lanes.len() {
+            let f = lane_combined(&sys.lanes[i], i, &sys.active_jobs, sys.lanes.len());
+            sys.lanes[i].ost.set_noise(SimTime::ZERO, f);
         }
         sys
     }
@@ -271,23 +589,48 @@ impl StorageSystem {
     /// stochastic element is rebuilt in the exact construction order of
     /// [`StorageSystem::new`] (so a reset system is byte-identical to a
     /// fresh one for the same seed), while queues, heaps, maps and scratch
-    /// buffers keep their capacity. The file *table* survives with sizes
-    /// zeroed — sweep runs replay an identical per-seed workload, so
-    /// existing `FileId`s stay valid and the per-seed create path can be
-    /// skipped. Fault scripts are cleared; re-install per run if needed.
+    /// buffers keep their capacity — as does the shard layout and its
+    /// worker pool. The file *table* survives with sizes zeroed — sweep
+    /// runs replay an identical per-seed workload, so existing `FileId`s
+    /// stay valid and the per-seed create path can be skipped. Fault
+    /// scripts are cleared; re-install per run if needed.
     pub fn reset(&mut self, seed: u64) {
         let mut seeder = SplitMix64::new(seed);
         self.rng = seeder.stream();
         self.corrupt_rng = seeder.stream();
         self.queue.reset();
-        for i in 0..self.cfg.ost_count {
-            self.osts[i].reset();
-            let (proc_, first) = NoiseProcess::new(&self.cfg.noise.micro, &mut self.rng);
-            self.micro_factor[i] = proc_.factor();
+        let nshards = self.shards.len();
+        let n = self.lanes.len();
+        for sh in &mut self.shards {
+            sh.heap.clear();
+            sh.scratch.clear();
+            sh.fg_buf.clear();
+            sh.events = 0;
+        }
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            lane.ost.reset();
+            lane.noise_rng = seeder.stream();
+            let (proc_, first) = NoiseProcess::new(&self.cfg.noise.micro, &mut lane.noise_rng);
+            lane.micro_factor = proc_.factor();
+            lane.micro = proc_;
             if let Some(delay) = first {
-                self.queue.schedule(SimTime::ZERO + delay, Internal::MicroFlip(i));
+                self.shards[i * nshards / n].heap.push(Reverse(ShardEv {
+                    t: (SimTime::ZERO + delay).as_nanos(),
+                    ost: i as u32,
+                    class: CLASS_FLIP,
+                    aux: 0,
+                }));
             }
-            self.micro[i] = proc_;
+            lane.degraded = 1.0;
+            lane.brownout = 1.0;
+            lane.health = OstHealth::Healthy;
+            lane.health_gen = 0;
+            lane.error_fail_times.clear();
+            lane.planned_wake = None;
+            lane.wake_gen = 0;
+            lane.bg_active.clear();
+            lane.bg_pending.clear();
+            lane.bg_next = 0;
         }
         // `jobs_model` is seed-independent (all randomness flows through
         // `rng` at spawn time), so it is retained as-is.
@@ -295,17 +638,9 @@ impl StorageSystem {
         self.mds.reset();
         self.active_jobs.clear();
         self.next_job_id = 0;
-        self.ost_token.iter_mut().for_each(|t| *t = None);
         self.mds_token = None;
         self.ops.clear();
         self.req_to_op.clear();
-        self.background.clear();
-        self.pending_renew.clear();
-        self.degraded.fill(1.0);
-        self.brownout.fill(1.0);
-        self.health.fill(OstHealth::Healthy);
-        self.health_gen.fill(0);
-        self.error_fail_times.iter_mut().for_each(|v| v.clear());
         self.mds_gen = 0;
         self.fault_events.clear();
         self.next_req = 0;
@@ -313,14 +648,68 @@ impl StorageSystem {
         self.corrupt_windows.clear();
         self.corrupt_log.clear();
         self.torn_log.clear();
-        self.ost_scratch.clear();
         self.mds_scratch.clear();
+        self.fg_merge.clear();
         self.out.clear();
-        self.init_jobs();
-        for i in 0..self.osts.len() {
-            let f = self.combined(i);
-            self.osts[i].set_noise(SimTime::ZERO, f);
+        if let Some(p) = &mut self.prof {
+            **p = Prof::default();
         }
+        self.init_jobs();
+        for i in 0..self.lanes.len() {
+            let f = lane_combined(&self.lanes[i], i, &self.active_jobs, self.lanes.len());
+            self.lanes[i].ost.set_noise(SimTime::ZERO, f);
+        }
+    }
+
+    /// Partition the lanes into shards advanced by `threads` threads
+    /// (caller included; 1 = fully serial, the default). Pending
+    /// lane-local events are redistributed to the new layout, so this is
+    /// safe to call between runs *or* mid-run at a global decision point.
+    /// The completion stream is byte-identical at any setting.
+    pub fn set_shard_threads(&mut self, threads: usize) {
+        let threads = threads.max(1).min(self.lanes.len().max(1));
+        if threads == self.shards.len() {
+            return;
+        }
+        let mut evs: Vec<ShardEv> = Vec::new();
+        let mut events = 0u64;
+        for sh in &mut self.shards {
+            debug_assert!(sh.fg_buf.is_empty(), "reshard inside a window");
+            evs.extend(sh.heap.drain().map(|Reverse(e)| e));
+            events += sh.events;
+        }
+        let n = self.lanes.len();
+        self.shards.truncate(threads);
+        let per_shard = n.div_ceil(threads);
+        self.shards.resize_with(threads, || Shard::with_capacity(per_shard));
+        self.shards[0].events = events;
+        for e in evs {
+            self.shards[e.ost as usize * threads / n].heap.push(Reverse(e));
+        }
+        self.pool = (threads > 1).then(|| ShardPool::new(threads));
+    }
+
+    /// Current shard count (1 = serial).
+    pub fn shard_threads(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Start collecting a wall-time phase breakdown (see
+    /// [`StorageSystem::profile`]). Zero overhead unless enabled.
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(Box::default());
+    }
+
+    /// The phase profile collected so far, if profiling is enabled.
+    pub fn profile(&self) -> Option<ProfileReport> {
+        self.prof.as_ref().map(|p| ProfileReport {
+            ost_advance_s: p.drain.as_secs_f64(),
+            harvest_merge_s: p.flush.as_secs_f64(),
+            windows: p.windows,
+            parallel_windows: p.par_windows,
+            shard_events: self.shards.iter().map(|s| s.events).sum(),
+            global_events: p.global_events,
+        })
     }
 
     /// Seed the stationary competing-job population (memoryless residual
@@ -356,35 +745,18 @@ impl StorageSystem {
         self.queue.schedule(SimTime::ZERO + first, Internal::JobArrival);
     }
 
-    /// Current combined slowdown factor of one OST.
-    fn combined(&self, i: usize) -> f64 {
-        let micro = self.micro_factor[i] * self.degraded[i] * self.brownout[i];
-        combined_factor(
-            self.active_jobs
-                .iter()
-                .filter(|(_, j)| j.covers(i, self.cfg.ost_count))
-                .map(|(_, j)| j.factor),
-            micro,
-        )
+    fn shard_of(&self, i: usize) -> usize {
+        i * self.shards.len() / self.lanes.len()
     }
 
+    /// Re-apply the combined noise factor to one lane and re-plan its
+    /// wake (serial contexts: global events, submissions, fault edits).
     fn apply_noise(&mut self, i: usize, now: SimTime) {
-        let f = self.combined(i);
-        self.osts[i].set_noise(now, f);
-        self.replan_ost(i, now);
-    }
-
-    /// Like [`Self::apply_noise`], but first force-invalidates the
-    /// remembered wake for the OST. Internal (time-ordered) noise events
-    /// may rely on replan elision, but *external* state changes —
-    /// `degrade_ost` / `restore_ost` calls and fault transitions — must
-    /// never leave a stale pending wake behind: a wake scheduled before
-    /// `now` would otherwise later drive `Ost::advance` backwards in time.
-    fn apply_noise_forced(&mut self, i: usize, now: SimTime) {
-        if let Some((tok, _)) = self.ost_token[i].take() {
-            self.queue.cancel(tok);
-        }
-        self.apply_noise(i, now);
+        let f = lane_combined(&self.lanes[i], i, &self.active_jobs, self.lanes.len());
+        let s = self.shard_of(i);
+        let lane = &mut self.lanes[i];
+        lane.ost.set_noise(now, f);
+        replan_lane(lane, i, now, &mut self.shards[s].heap, Self::REPLAN_ELISION);
     }
 
     /// The machine configuration this system was built from.
@@ -410,12 +782,12 @@ impl StorageSystem {
 
     /// Current external-noise factor of one OST (diagnostics).
     pub fn ost_noise(&self, ost: OstId) -> f64 {
-        self.osts[ost.0].noise_factor()
+        self.lanes[ost.0].ost.noise_factor()
     }
 
     /// In-flight stream count on one OST (diagnostics).
     pub fn ost_streams(&self, ost: OstId) -> usize {
-        self.osts[ost.0].active_streams()
+        self.lanes[ost.0].ost.active_streams()
     }
 
     /// Number of competing jobs currently active (diagnostics).
@@ -430,33 +802,23 @@ impl StorageSystem {
     }
 
     /// Re-plan elision: when a load or noise change leaves the predicted
-    /// wake-up instant where it already is, keep the scheduled event
-    /// instead of cancel + reschedule. Replan storms (every submit,
+    /// wake-up instant where it already is, keep the pushed wake event
+    /// instead of stamping a new generation. Replan storms (every submit,
     /// completion and noise flip on a shared OST re-plans it) make this
-    /// the single hottest queue interaction; most re-plans are no-ops.
+    /// the single hottest heap interaction; most re-plans are no-ops.
     /// Disabled under `baseline-engine` so before/after benchmarks
     /// measure the pre-optimization behaviour faithfully.
     const REPLAN_ELISION: bool = !cfg!(feature = "baseline-engine");
 
     fn replan_ost(&mut self, i: usize, now: SimTime) {
-        let next = self.osts[i].next_completion().map(|t| t.max(now));
-        match (next, self.ost_token[i]) {
-            (Some(t), Some((tok, planned))) => {
-                if Self::REPLAN_ELISION && planned == t {
-                    return;
-                }
-                self.queue.cancel(tok);
-                self.ost_token[i] = Some((self.queue.schedule(t, Internal::OstWake(i)), t));
-            }
-            (Some(t), None) => {
-                self.ost_token[i] = Some((self.queue.schedule(t, Internal::OstWake(i)), t));
-            }
-            (None, Some((tok, _))) => {
-                self.queue.cancel(tok);
-                self.ost_token[i] = None;
-            }
-            (None, None) => {}
-        }
+        let s = self.shard_of(i);
+        replan_lane(
+            &mut self.lanes[i],
+            i,
+            now,
+            &mut self.shards[s].heap,
+            Self::REPLAN_ELISION,
+        );
     }
 
     fn replan_mds(&mut self, now: SimTime) {
@@ -559,13 +921,13 @@ impl StorageSystem {
         for &(ost, bytes) in chunks {
             let rid = self.fresh_req();
             self.req_to_op.insert(rid.0, op_id);
-            if self.health[ost.0] == OstHealth::Failed {
+            if self.lanes[ost.0].health == OstHealth::Failed {
                 // Error-mode target: the request bounces promptly instead
                 // of reaching the server (one RPC round of latency).
                 let at = now + SimDuration::from_secs_f64(self.cfg.ost.request_overhead);
                 self.queue.schedule(at, Internal::FailFast(rid.0));
             } else {
-                self.osts[ost.0].submit(now, rid, bytes, kind);
+                self.lanes[ost.0].ost.submit(now, rid, bytes, kind);
                 self.replan_ost(ost.0, now);
             }
         }
@@ -610,15 +972,15 @@ impl StorageSystem {
     pub fn degrade_ost(&mut self, now: SimTime, ost: OstId, factor: f64) {
         assert!(factor > 0.0 && factor <= 1.0);
         self.process_due(now);
-        self.degraded[ost.0] = factor;
-        self.apply_noise_forced(ost.0, now);
+        self.lanes[ost.0].degraded = factor;
+        self.apply_noise(ost.0, now);
     }
 
     /// Lift a previous [`StorageSystem::degrade_ost`].
     pub fn restore_ost(&mut self, now: SimTime, ost: OstId) {
         self.process_due(now);
-        self.degraded[ost.0] = 1.0;
-        self.apply_noise_forced(ost.0, now);
+        self.lanes[ost.0].degraded = 1.0;
+        self.apply_noise(ost.0, now);
     }
 
     /// Install a fault script: every event is scheduled through the
@@ -634,14 +996,14 @@ impl StorageSystem {
 
     /// Whether `ost` is currently down (either failure mode).
     pub fn ost_failed(&self, ost: OstId) -> bool {
-        self.health[ost.0] != OstHealth::Healthy
+        self.lanes[ost.0].health != OstHealth::Healthy
     }
 
     /// Whether data that finished landing on `ost` at time `t` was later
     /// (or at `t`) destroyed by an error-mode failure. Stall-mode outages
     /// never destroy data.
     pub fn ost_lost_data_since(&self, ost: OstId, t: SimTime) -> bool {
-        self.error_fail_times[ost.0].iter().any(|&s| s >= t)
+        self.lanes[ost.0].error_fail_times.iter().any(|&s| s >= t)
     }
 
     /// Snapshot the ground truth about quiet damage: silently corrupted
@@ -651,15 +1013,15 @@ impl StorageSystem {
         CorruptionOracle {
             corrupt: self.corrupt_log.clone(),
             torn: self.torn_log.clone(),
-            dead: (0..self.health.len())
-                .filter(|&i| self.health[i] == OstHealth::Failed)
+            dead: (0..self.lanes.len())
+                .filter(|&i| self.lanes[i].health == OstHealth::Failed)
                 .map(OstId)
                 .collect(),
             lost: self
-                .error_fail_times
+                .lanes
                 .iter()
                 .enumerate()
-                .flat_map(|(i, ts)| ts.iter().map(move |&t| (OstId(i), t)))
+                .flat_map(|(i, l)| l.error_fail_times.iter().map(move |&t| (OstId(i), t)))
                 .collect(),
         }
     }
@@ -690,20 +1052,31 @@ impl StorageSystem {
     }
 
     fn start_background(&mut self, now: SimTime, spec: BgSpec) {
-        if self.health[spec.ost.0] == OstHealth::Failed {
-            // The interference stream's target is gone; the stream dies
-            // with it (competing jobs see the failure too).
-            return;
-        }
-        let rid = self.fresh_req();
-        self.background.insert(rid.0, spec);
-        self.osts[spec.ost.0].submit(now, rid, spec.bytes, OpKind::WriteDirect);
-        self.replan_ost(spec.ost.0, now);
+        let i = spec.ost.0;
+        let s = self.shard_of(i);
+        lane_start_background(
+            &mut self.lanes[i],
+            i,
+            now,
+            spec,
+            &mut self.shards[s].heap,
+            Self::REPLAN_ELISION,
+        );
     }
 
-    /// When the storage system next changes state on its own.
+    /// When the storage system next changes state on its own. May report
+    /// a stale (superseded) lane wake; advancing to it is harmless — the
+    /// wake is discarded on pop — and both execution modes see the same
+    /// heads, so the driver's loop stays byte-identical.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek_time()
+        let mut best = self.queue.peek_time();
+        for sh in &self.shards {
+            if let Some(&Reverse(ev)) = sh.heap.peek() {
+                let t = SimTime::from_nanos(ev.t);
+                best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        }
+        best
     }
 
     /// Advance internal state to `deadline` (inclusive), returning every
@@ -722,105 +1095,210 @@ impl StorageSystem {
         out.append(&mut self.out);
     }
 
-    /// Process every internal event with `time <= deadline`. Called from
-    /// [`Self::advance_to`] and from every external entry point
-    /// (submissions, degrade/restore), so state mutations at `now` can
-    /// never observe an OST that still owes progress to an earlier queued
-    /// wake — that would drive `Ost::settle` backwards in time.
+    /// Process every internal event with `time <= deadline`: the
+    /// **macro-step loop**. Each iteration computes the conservative
+    /// horizon — the earlier of the next global event and `deadline` —
+    /// drains every shard's lane-local events up to it (in parallel when
+    /// the pool is on and at least two shards have due work), merges the
+    /// deferred foreground completions in `(time, target, submission)`
+    /// order, then handles at most one global event. Shard events win
+    /// time ties against global events by construction, identically in
+    /// both modes.
+    ///
+    /// Called from [`Self::advance_to`] and from every external entry
+    /// point (submissions, degrade/restore), so state mutations at `now`
+    /// can never observe an OST that still owes progress to an earlier
+    /// queued wake — that would drive `Ost::settle` backwards in time.
     fn process_due(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
+        loop {
+            let gt = self.queue.peek_time();
+            let horizon = match gt {
+                Some(t) if t <= deadline => t,
+                _ => deadline,
+            };
+            if self.prof.is_some() {
+                let t0 = std::time::Instant::now();
+                self.drain_shards(horizon);
+                let t1 = std::time::Instant::now();
+                self.flush_foreground();
+                let t2 = std::time::Instant::now();
+                let p = self.prof.as_mut().expect("profiling enabled");
+                p.drain += t1 - t0;
+                p.flush += t2 - t1;
+                p.windows += 1;
+            } else {
+                self.drain_shards(horizon);
+                self.flush_foreground();
             }
-            let (t, ev) = self.queue.pop().expect("peeked event exists");
-            match ev {
-                Internal::OstWake(i) => {
-                    self.ost_token[i] = None;
-                    // Harvest into the reusable scratch buffer (taken out of
-                    // `self` so `finish_request` can borrow freely).
-                    let mut done = std::mem::take(&mut self.ost_scratch);
-                    self.osts[i].advance_into(t, &mut done);
-                    for c in done.drain(..) {
-                        self.finish_request(t, c.id, Some(i));
+            match gt {
+                Some(t) if t <= deadline => {
+                    let (t, ev) = self.queue.pop().expect("peeked event exists");
+                    if let Some(p) = &mut self.prof {
+                        p.global_events += 1;
                     }
-                    self.ost_scratch = done;
-                    self.replan_ost(i, t);
+                    self.handle_global(t, ev);
                 }
-                Internal::MdsWake => {
-                    self.mds_token = None;
-                    let mut done = std::mem::take(&mut self.mds_scratch);
-                    self.mds.advance_into(t, &mut done);
-                    for c in done.drain(..) {
-                        self.finish_request(t, c.id, None);
-                    }
-                    self.mds_scratch = done;
-                    self.replan_mds(t);
+                _ => break,
+            }
+        }
+    }
+
+    /// Drain every shard's lane-local events up to `horizon`, inline or
+    /// on the pool. The two dispatch modes run the identical
+    /// [`drain_shard`] body over the identical per-shard state, so the
+    /// choice (and the thread count) cannot affect any simulation
+    /// outcome — only wall-clock time.
+    fn drain_shards(&mut self, horizon: SimTime) {
+        let hn = horizon.as_nanos();
+        let n = self.lanes.len();
+        let ctx = ShardCtx {
+            jobs: &self.active_jobs,
+            ost_count: n,
+            horizon: hn,
+            elision: Self::REPLAN_ELISION,
+        };
+        let nshards = self.shards.len();
+        if nshards == 1 {
+            drain_shard(&mut self.lanes, 0, &mut self.shards[0], &ctx);
+            return;
+        }
+        let due = self
+            .shards
+            .iter()
+            .filter(|s| s.heap.peek().is_some_and(|&Reverse(e)| e.t <= hn))
+            .count();
+        if due == 0 {
+            return;
+        }
+        struct Task<'a> {
+            lanes: &'a mut [Lane],
+            base: usize,
+            shard: &'a mut Shard,
+        }
+        let mut tasks: Vec<Task> = Vec::with_capacity(nshards);
+        let mut rest: &mut [Lane] = &mut self.lanes;
+        let mut base = 0usize;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let end = shard_bound(s + 1, n, nshards);
+            let (head, tail) = rest.split_at_mut(end - base);
+            tasks.push(Task { lanes: head, base, shard });
+            rest = tail;
+            base = end;
+        }
+        match &self.pool {
+            // Parallel dispatch pays a fixed synchronization toll; a
+            // window with work in a single shard runs inline instead
+            // (identical results either way — see above).
+            Some(pool) if due >= 2 => {
+                if let Some(p) = &mut self.prof {
+                    p.par_windows += 1;
                 }
-                Internal::MicroFlip(i) => {
-                    let (factor, delay) = self.micro[i].transition(&mut self.rng);
-                    self.micro_factor[i] = factor;
-                    self.queue.schedule(t + delay, Internal::MicroFlip(i));
+                let ctx = &ctx;
+                let slots: Vec<Mutex<Option<Task>>> =
+                    tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+                pool.run(slots.len(), &|s| {
+                    let task = slots[s].lock().unwrap().take();
+                    let task = task.expect("shard task claimed once");
+                    drain_shard(task.lanes, task.base, task.shard, ctx);
+                });
+            }
+            _ => {
+                for task in tasks {
+                    drain_shard(task.lanes, task.base, task.shard, &ctx);
+                }
+            }
+        }
+    }
+
+    /// Merge the shards' deferred foreground completions and apply them
+    /// serially in `(time, target)` order (stable, so same-lane
+    /// completions keep their in-shard order — which is submission order
+    /// at equal times). Runs before every global event, so the out stream
+    /// and the op/corruption accounting observe exactly the serial event
+    /// order regardless of how the window was executed.
+    fn flush_foreground(&mut self) {
+        if self.shards.iter().all(|s| s.fg_buf.is_empty()) {
+            return;
+        }
+        let mut merge = std::mem::take(&mut self.fg_merge);
+        for sh in &mut self.shards {
+            merge.append(&mut sh.fg_buf);
+        }
+        merge.sort_by_key(|f| (f.t, f.ost));
+        for f in merge.drain(..) {
+            let time = SimTime::from_nanos(f.t);
+            self.maybe_corrupt(time, RequestId(f.rid), f.ost as usize);
+            self.complete_part(time, RequestId(f.rid), false);
+        }
+        self.fg_merge = merge;
+    }
+
+    /// Apply one global event at its scheduled instant.
+    fn handle_global(&mut self, t: SimTime, ev: Internal) {
+        match ev {
+            Internal::MdsWake => {
+                self.mds_token = None;
+                let mut done = std::mem::take(&mut self.mds_scratch);
+                self.mds.advance_into(t, &mut done);
+                for c in done.drain(..) {
+                    self.complete_part(t, c.id, false);
+                }
+                self.mds_scratch = done;
+                self.replan_mds(t);
+            }
+            Internal::JobArrival => {
+                let (job, dur) = self.jobs_model.spawn(&mut self.rng);
+                let id = self.next_job_id;
+                self.next_job_id += 1;
+                let mut covered = std::mem::take(&mut self.covered_scratch);
+                covered.clear();
+                covered.extend(job.osts(self.cfg.ost_count));
+                self.active_jobs.push((id, job));
+                self.queue.schedule(t + dur, Internal::JobDeparture(id));
+                let next = self.jobs_model.next_arrival(&mut self.rng);
+                self.queue.schedule(t + next, Internal::JobArrival);
+                for &i in &covered {
                     self.apply_noise(i, t);
                 }
-                Internal::JobArrival => {
-                    let (job, dur) = self.jobs_model.spawn(&mut self.rng);
-                    let id = self.next_job_id;
-                    self.next_job_id += 1;
+                self.covered_scratch = covered;
+            }
+            Internal::JobDeparture(id) => {
+                if let Ok(pos) = self.active_jobs.binary_search_by_key(&id, |&(i, _)| i) {
+                    let (_, job) = self.active_jobs.remove(pos);
                     let mut covered = std::mem::take(&mut self.covered_scratch);
                     covered.clear();
                     covered.extend(job.osts(self.cfg.ost_count));
-                    self.active_jobs.push((id, job));
-                    self.queue.schedule(t + dur, Internal::JobDeparture(id));
-                    let next = self.jobs_model.next_arrival(&mut self.rng);
-                    self.queue.schedule(t + next, Internal::JobArrival);
                     for &i in &covered {
                         self.apply_noise(i, t);
                     }
                     self.covered_scratch = covered;
                 }
-                Internal::JobDeparture(id) => {
-                    if let Ok(pos) = self.active_jobs.binary_search_by_key(&id, |&(i, _)| i) {
-                        let (_, job) = self.active_jobs.remove(pos);
-                        let mut covered = std::mem::take(&mut self.covered_scratch);
-                        covered.clear();
-                        covered.extend(job.osts(self.cfg.ost_count));
-                        for &i in &covered {
-                            self.apply_noise(i, t);
-                        }
-                        self.covered_scratch = covered;
+            }
+            Internal::FaultStart(idx) => {
+                let ev = self.fault_events[idx];
+                self.start_fault(t, ev);
+            }
+            Internal::BrownoutEnd(i, factor) => {
+                self.lanes[i].brownout = (self.lanes[i].brownout / factor).min(1.0);
+                self.apply_noise(i, t);
+            }
+            Internal::OstRecover(i, gen) => {
+                if self.lanes[i].health_gen == gen && self.lanes[i].health != OstHealth::Healthy {
+                    if self.lanes[i].ost.is_frozen() {
+                        self.lanes[i].ost.unfreeze(t);
                     }
+                    self.lanes[i].health = OstHealth::Healthy;
+                    self.apply_noise(i, t);
                 }
-                Internal::RenewStream(token) => {
-                    if let Some(spec) = self.pending_renew.remove(&token) {
-                        self.start_background(t, spec);
-                    }
+            }
+            Internal::MdsRecover(gen) => {
+                if gen == self.mds_gen && self.mds.is_frozen() {
+                    self.mds.unfreeze(t);
+                    self.replan_mds(t);
                 }
-                Internal::FaultStart(idx) => {
-                    let ev = self.fault_events[idx];
-                    self.start_fault(t, ev);
-                }
-                Internal::BrownoutEnd(i, factor) => {
-                    self.brownout[i] = (self.brownout[i] / factor).min(1.0);
-                    self.apply_noise_forced(i, t);
-                }
-                Internal::OstRecover(i, gen) => {
-                    if self.health_gen[i] == gen && self.health[i] != OstHealth::Healthy {
-                        if self.osts[i].is_frozen() {
-                            self.osts[i].unfreeze(t);
-                        }
-                        self.health[i] = OstHealth::Healthy;
-                        self.apply_noise_forced(i, t);
-                    }
-                }
-                Internal::MdsRecover(gen) => {
-                    if gen == self.mds_gen && self.mds.is_frozen() {
-                        self.mds.unfreeze(t);
-                        self.replan_mds(t);
-                    }
-                }
-                Internal::FailFast(rid) => {
-                    self.complete_part(t, RequestId(rid), true);
-                }
+            }
+            Internal::FailFast(rid) => {
+                self.complete_part(t, RequestId(rid), true);
             }
         }
     }
@@ -835,8 +1313,8 @@ impl StorageSystem {
                 ..
             } => {
                 let i = ost.0;
-                self.brownout[i] = (self.brownout[i] * factor).max(1e-9);
-                self.apply_noise_forced(i, t);
+                self.lanes[i].brownout = (self.lanes[i].brownout * factor).max(1e-9);
+                self.apply_noise(i, t);
                 if let Some(d) = duration {
                     self.queue.schedule(t + d, Internal::BrownoutEnd(i, factor));
                 }
@@ -848,33 +1326,40 @@ impl StorageSystem {
                 ..
             } => {
                 let i = ost.0;
-                self.health_gen[i] += 1;
-                if self.osts[i].is_frozen() {
+                self.lanes[i].health_gen += 1;
+                if self.lanes[i].ost.is_frozen() {
                     // A new fault supersedes a previous stall.
-                    self.osts[i].unfreeze(t);
+                    self.lanes[i].ost.unfreeze(t);
                 }
                 match mode {
                     FailMode::Stall => {
-                        self.health[i] = OstHealth::Stalled;
-                        self.osts[i].freeze(t);
+                        self.lanes[i].health = OstHealth::Stalled;
+                        self.lanes[i].ost.freeze(t);
                     }
                     FailMode::Error => {
-                        self.health[i] = OstHealth::Failed;
-                        self.error_fail_times[i].push(t);
-                        for rid in self.osts[i].fail_all(t) {
-                            if self.background.remove(&rid.0).is_some() {
-                                continue; // interference stream dies with the target
+                        self.lanes[i].health = OstHealth::Failed;
+                        self.lanes[i].error_fail_times.push(t);
+                        for rid in self.lanes[i].ost.fail_all(t) {
+                            if rid.0 & BG_BIT != 0 {
+                                // Interference stream dies with the target.
+                                let lane = &mut self.lanes[i];
+                                if let Some(pos) =
+                                    lane.bg_active.iter().position(|&(r, _)| r == rid.0)
+                                {
+                                    lane.bg_active.swap_remove(pos);
+                                }
+                                continue;
                             }
                             self.complete_part(t, rid, true);
                         }
                     }
                 }
                 if let Some(r) = recover_at {
-                    let gen = self.health_gen[i];
+                    let gen = self.lanes[i].health_gen;
                     self.queue
                         .schedule(if r > t { r } else { t }, Internal::OstRecover(i, gen));
                 }
-                self.apply_noise_forced(i, t);
+                self.apply_noise(i, t);
             }
             FaultEvent::MdsOutage { duration, .. } => {
                 self.mds_gen += 1;
@@ -897,12 +1382,17 @@ impl StorageSystem {
             FaultEvent::TornWrite { ost, .. } => {
                 let i = ost.0;
                 let mut torn_any = false;
-                for rid in self.osts[i].fail_all(t) {
-                    if let Some(spec) = self.background.remove(&rid.0) {
-                        // The target stays healthy, so the interference
-                        // stream restarts immediately (its burst begins
-                        // over — only its own prefix was torn).
-                        self.start_background(t, spec);
+                for rid in self.lanes[i].ost.fail_all(t) {
+                    if rid.0 & BG_BIT != 0 {
+                        let lane = &mut self.lanes[i];
+                        let pos = lane.bg_active.iter().position(|&(r, _)| r == rid.0);
+                        if let Some(pos) = pos {
+                            // The target stays healthy, so the interference
+                            // stream restarts immediately (its burst begins
+                            // over — only its own prefix was torn).
+                            let (_, spec) = lane.bg_active.swap_remove(pos);
+                            self.start_background(t, spec);
+                        }
                         continue;
                     }
                     torn_any = true;
@@ -914,26 +1404,6 @@ impl StorageSystem {
                 self.replan_ost(i, t);
             }
         }
-    }
-
-    fn finish_request(&mut self, now: SimTime, rid: RequestId, ost: Option<usize>) {
-        if let Some(spec) = self.background.remove(&rid.0) {
-            match spec.mean_gap {
-                None => self.start_background(now, spec),
-                Some(gap) => {
-                    let token = self.next_req;
-                    self.next_req += 1;
-                    self.pending_renew.insert(token, spec);
-                    let delay = SimDuration::from_secs_f64(self.rng.exp(gap));
-                    self.queue.schedule(now + delay, Internal::RenewStream(token));
-                }
-            }
-            return;
-        }
-        if let Some(i) = ost {
-            self.maybe_corrupt(now, rid, i);
-        }
-        self.complete_part(now, rid, false);
     }
 
     /// Silent-corruption decision for one data-write chunk completing on
@@ -1032,7 +1502,6 @@ impl StorageSystem {
         id
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,240 @@
+//! Sharded-vs-serial differential suite at the storage layer.
+//!
+//! Drives a loaded [`StorageSystem`] through identical randomized
+//! schedules at 1, 2, and 8 shard threads and demands byte-identical
+//! completion streams and integrity oracles. Unlike the cluster-coupled
+//! driver (which advances to the very next event, so every macro-step
+//! window holds a single lane event), this harness advances in coarse
+//! steps between submissions — windows span many lane events across many
+//! shards, so the parallel dispatch path genuinely engages, which the
+//! profiling hook asserts.
+
+use simcore::units::MIB;
+use simcore::{Rng, SimTime};
+use storesim::params::{franklin, xtp, MachineConfig};
+use storesim::{FailMode, FaultScript, FileId, OstId, StorageCompletion, StorageSystem, StripeSpec};
+
+fn t(secs: f64) -> SimTime {
+    SimTime::from_secs_f64(secs)
+}
+
+/// One randomized submission, generated outside the system so every
+/// shard count replays the exact same driver behaviour.
+struct Op {
+    at: SimTime,
+    kind: u32,
+    a: u64,
+    b: u64,
+}
+
+fn schedule(seed: u64, count: usize, horizon: f64) -> Vec<Op> {
+    let mut rng = Rng::new(seed);
+    // Submissions must be time-ordered (the co-simulation driver
+    // guarantees this); draw random times, then sort.
+    let mut times: Vec<f64> = (0..count).map(|_| rng.uniform(0.05, horizon)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times
+        .into_iter()
+        .map(|secs| Op {
+            at: t(secs),
+            kind: rng.uniform(0.0, 6.0) as u32,
+            a: rng.next_u64(),
+            b: rng.next_u64(),
+        })
+        .collect()
+}
+
+/// Shared pre-run setup: files striped across disjoint OST ranges plus
+/// background and bursty interference spread over the machine so several
+/// shards carry lane-local events in every window.
+fn setup(sys: &mut StorageSystem) -> Vec<FileId> {
+    let n = sys.config().ost_count;
+    let wide = sys.fs_mut().create(
+        "diff/wide",
+        StripeSpec::Pinned((0..8).map(|i| OstId(i * n / 8)).collect()),
+    );
+    let deep = sys.fs_mut().create("diff/deep", StripeSpec::Count(16));
+    let small = sys.create_file_with_stripe_size("diff/small", StripeSpec::Count(4), 2 * MIB);
+    for i in 0..10 {
+        sys.add_background_stream(SimTime::ZERO, OstId((i * 7 + 1) % n), 64 * MIB);
+    }
+    for i in 0..6 {
+        sys.add_bursty_stream(SimTime::ZERO, OstId((i * 11 + 3) % n), 16 * MIB, 0.4);
+    }
+    vec![wide, deep, small]
+}
+
+fn apply(sys: &mut StorageSystem, op: &Op, tag: u64, files: &[FileId]) {
+    let n = sys.config().ost_count;
+    match op.kind {
+        0 | 1 => {
+            let f = files[(op.a % files.len() as u64) as usize];
+            let offset = (op.b % 64) * MIB;
+            let len = (1 + op.a % 24) * MIB;
+            if op.kind == 0 {
+                sys.submit_file_write(op.at, f, offset, len, tag);
+            } else {
+                sys.submit_file_read(op.at, f, offset, len, tag);
+            }
+        }
+        2 => {
+            let ost = OstId((op.a % n as u64) as usize);
+            sys.submit_ost_write(op.at, ost, (1 + op.b % 32) * MIB, tag);
+        }
+        3 => sys.submit_open(op.at, tag),
+        4 => sys.submit_close(op.at, tag),
+        _ => {
+            let ost = OstId((op.a % n as u64) as usize);
+            if op.b % 2 == 0 {
+                sys.degrade_ost(op.at, ost, 0.4);
+            } else {
+                sys.restore_ost(op.at, ost);
+            }
+        }
+    }
+}
+
+/// Run the whole scenario at a given shard count; returns the completion
+/// stream and the system for oracle/profile inspection. `reshard` maps an
+/// op index to a new shard count applied at that decision point.
+fn drive(
+    cfg: MachineConfig,
+    seed: u64,
+    shards: usize,
+    script: &FaultScript,
+    ops: &[Op],
+    horizon: f64,
+    reshard: &[(usize, usize)],
+) -> (Vec<StorageCompletion>, StorageSystem) {
+    let mut sys = StorageSystem::new(cfg, seed);
+    sys.set_shard_threads(shards);
+    sys.enable_profiling();
+    if !script.is_empty() {
+        sys.install_faults(script);
+    }
+    let files = setup(&mut sys);
+    let mut out = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(&(_, to)) = reshard.iter().find(|&&(at, _)| at == i) {
+            sys.set_shard_threads(to);
+        }
+        sys.advance_into(op.at, &mut out);
+        apply(&mut sys, op, i as u64, &files);
+    }
+    sys.advance_into(t(horizon + 10.0), &mut out);
+    (out, sys)
+}
+
+fn assert_same(
+    label: &str,
+    (base_out, base_sys): &(Vec<StorageCompletion>, StorageSystem),
+    (out, sys): &(Vec<StorageCompletion>, StorageSystem),
+) {
+    assert_eq!(
+        base_out.len(),
+        out.len(),
+        "{label}: completion count diverged"
+    );
+    for (i, (a, b)) in base_out.iter().zip(out.iter()).enumerate() {
+        assert_eq!(a, b, "{label}: completion {i} diverged");
+    }
+    assert_eq!(
+        base_sys.integrity_oracle(),
+        sys.integrity_oracle(),
+        "{label}: integrity oracle diverged"
+    );
+    assert_eq!(
+        base_sys.next_event_time(),
+        sys.next_event_time(),
+        "{label}: pending-event horizon diverged"
+    );
+}
+
+#[test]
+fn clean_sharded_matches_serial_and_engages_pool() {
+    let ops = schedule(0xC1EA_0001, 400, 20.0);
+    let script = FaultScript::none();
+    let serial = drive(xtp(), 0xD1FF, 1, &script, &ops, 20.0, &[]);
+    assert!(
+        serial.0.len() > 200,
+        "scenario too quiet: {} completions",
+        serial.0.len()
+    );
+    for shards in [2usize, 8] {
+        let run = drive(xtp(), 0xD1FF, shards, &script, &ops, 20.0, &[]);
+        assert_same(&format!("clean x{shards}"), &serial, &run);
+        let prof = run.1.profile().expect("profiling enabled");
+        assert!(prof.shard_events > 0, "no lane events at x{shards}?");
+        assert!(
+            prof.parallel_windows > 0,
+            "x{shards}: coarse windows never dispatched on the pool \
+             ({} windows, {} shard events)",
+            prof.windows,
+            prof.shard_events
+        );
+    }
+}
+
+#[test]
+fn faulted_sharded_matches_serial() {
+    // Every fault family at once: slowdowns, both failure modes, MDS
+    // outage, silent corruption, torn writes, a limping straggler.
+    let script = FaultScript::none()
+        .degrade(1.0, 7, 0.5)
+        .brownout(2.0, 3, 0.3, 4.0)
+        .silent_corruption(2.5, 5, Some(6.0), 0.4)
+        .fail_ost(3.0, 11, FailMode::Stall, Some(8.0))
+        .torn_write(4.0, 17)
+        .mds_outage(5.0, 1.5)
+        .limping(6.0, 23, 0.2)
+        .fail_ost(7.0, 29, FailMode::Error, Some(12.0));
+    let ops = schedule(0xFA17_0002, 400, 20.0);
+    let serial = drive(xtp(), 0xBEEF, 1, &script, &ops, 20.0, &[]);
+    for shards in [2usize, 8] {
+        let run = drive(xtp(), 0xBEEF, shards, &script, &ops, 20.0, &[]);
+        assert_same(&format!("faulted x{shards}"), &serial, &run);
+    }
+    // The corruption window must actually have bitten for this test to
+    // mean anything.
+    assert!(serial.1.integrity_oracle().corrupt_count() > 0);
+}
+
+#[test]
+fn random_fault_scripts_match() {
+    for seed in [11u64, 12, 13] {
+        let script = FaultScript::random(seed, 40, 15.0, 6);
+        let ops = schedule(0x5EED ^ seed, 250, 15.0);
+        let serial = drive(xtp(), seed, 1, &script, &ops, 15.0, &[]);
+        let sharded = drive(xtp(), seed, 8, &script, &ops, 15.0, &[]);
+        assert_same(&format!("random script {seed}"), &serial, &sharded);
+    }
+}
+
+#[test]
+fn job_noise_globals_interleave_with_shard_windows() {
+    // Franklin has job noise enabled: JobArrival/JobDeparture are global
+    // events landing *inside* coarse windows, so this exercises the
+    // macro-step horizon rule (drain shards to the global event, handle
+    // it, re-extend) rather than pure shard-only traffic.
+    let ops = schedule(0x0B5_0003, 250, 15.0);
+    let script = FaultScript::none();
+    let serial = drive(franklin(), 0xF4A2, 1, &script, &ops, 15.0, &[]);
+    let sharded = drive(franklin(), 0xF4A2, 8, &script, &ops, 15.0, &[]);
+    assert_same("franklin jobs", &serial, &sharded);
+    let prof = sharded.1.profile().expect("profiling enabled");
+    assert!(
+        prof.global_events > 0,
+        "job noise should produce global events"
+    );
+}
+
+#[test]
+fn mid_run_reshard_is_transparent() {
+    let ops = schedule(0x4E54_0004, 300, 15.0);
+    let script = FaultScript::random(77, 40, 12.0, 4);
+    let serial = drive(xtp(), 0xACE, 1, &script, &ops, 15.0, &[]);
+    // Reshard twice mid-campaign: serial -> wide -> narrow.
+    let resharded = drive(xtp(), 0xACE, 1, &script, &ops, 15.0, &[(100, 8), (200, 2)]);
+    assert_same("mid-run reshard", &serial, &resharded);
+    assert_eq!(resharded.1.shard_threads(), 2);
+}

@@ -334,3 +334,44 @@ fn far_future_wake_still_converges_after_recovery() {
     let dt = (ref_at.as_secs_f64() - vt_at.as_secs_f64()).abs();
     assert!(dt <= 1e-9 + 1e-15, "post-recovery divergence {dt} s");
 }
+
+#[test]
+fn small_width_threshold_crossing_agrees() {
+    // Satellite regression for the lane heap's small-width mode: the VT
+    // engine keeps <= 16 tagged streams as an unsorted vec and switches
+    // to a d-ary heap above that. Ramp one lane to ~24 concurrent
+    // streams, drain below the threshold, and ramp again — with
+    // completions, a noise flip and a freeze landing while the
+    // population sits right at the boundary. Any representation-switch
+    // bug shows up as a divergence from the reference engine.
+    let params = jaguar().ost;
+    let mut schedule: Vec<(f64, Step)> = Vec::new();
+    let mut id = 0u64;
+    let mut burst = |at: f64, n: u64, base: u64| {
+        let subs = (0..n)
+            .map(|i| {
+                let r = RequestId(id);
+                id += 1;
+                (r, base + i * 192 * 1024, OpKind::WriteDirect)
+            })
+            .collect();
+        (at, Step::Submit(subs))
+    };
+    // Cycle 1: 18 at once (crosses 16 immediately), then trickle 6 more
+    // while the first wave drains back under the threshold.
+    schedule.push(burst(0.001, 18, 2 * MIB));
+    schedule.push(burst(0.10, 3, MIB));
+    schedule.push(burst(0.15, 3, 3 * MIB));
+    schedule.push((0.20, Step::SetNoise(0.35)));
+    // Cycle 2: refill exactly to the boundary, then one past it.
+    schedule.push(burst(0.60, 16, 4 * MIB));
+    schedule.push(burst(0.70, 1, MIB / 2));
+    schedule.push((0.75, Step::ToggleFreeze));
+    schedule.push((0.95, Step::ToggleFreeze));
+    schedule.push((1.00, Step::SetNoise(1.0)));
+    // Cycle 3: a deep pile-up well past the threshold under low noise.
+    schedule.push((1.10, Step::SetNoise(0.1)));
+    schedule.push(burst(1.15, 30, MIB));
+    schedule.push((1.60, Step::SetNoise(1.0)));
+    assert_equivalent(4242, RefOst::new(params.clone()), VtOst::new(params), &schedule);
+}

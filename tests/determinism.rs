@@ -374,6 +374,95 @@ fn campaign_summaries_identical_across_thread_counts() {
     assert_eq!(serial, parallel, "MANAGED_IO_THREADS changed the artifact");
 }
 
+/// The tentpole contract of in-run sharding: a replicate advanced with
+/// 1, 2 or 8 shard threads produces byte-identical artifacts. The shard
+/// pool only changes which thread drains which lane heap — the drained
+/// events, the deterministic `(time, target, submission)` harvest merge
+/// and every downstream stat are invariant.
+#[test]
+fn sharded_replicates_match_serial_bytes() {
+    use managed_io::adios::{RunBase, RunScratch};
+    let base = RunBase::prepare(RunSpec {
+        machine: testbed(),
+        nprocs: 24,
+        data: DataSpec::Uniform(4 * MIB),
+        method: Method::Adaptive {
+            targets: 6,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::paper_default(),
+        seed: 0,
+    });
+    let faults = FaultConfig::none();
+    let run_at = |shards: usize| {
+        let mut scratch = RunScratch::with_shard_threads(shards);
+        let results: Vec<OutputResult> = (0..3)
+            .map(|i| {
+                base.run_seed_scratch(SEED ^ 0x54AD ^ i, &faults, &mut scratch)
+                    .result
+            })
+            .collect();
+        artifact(&results)
+    };
+    let serial = run_at(1);
+    assert!(!serial.is_empty());
+    for shards in [2usize, 8] {
+        assert_eq!(
+            serial,
+            run_at(shards),
+            "{shards} shard threads changed the artifact"
+        );
+    }
+}
+
+/// Sharded advancement under a full fault cocktail (random storage
+/// script, lossy network, mid-run rank kill): faults are global decision
+/// points and shard cleanly, so the byte-identity contract holds on
+/// damaged timelines too.
+#[test]
+fn sharded_faulted_replicates_match_serial_bytes() {
+    use managed_io::adios::{RunBase, RunScratch};
+    let base = RunBase::prepare(RunSpec {
+        machine: testbed(),
+        nprocs: 24,
+        data: DataSpec::Uniform(32 * MIB),
+        method: Method::Adaptive {
+            targets: 6,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed: 0,
+    });
+    let faults = FaultConfig {
+        storage: managed_io::storesim::FaultScript::random(0x5EED_FA17, 6, 2.0, 3),
+        network: Some(NetFaults {
+            dup_p: 0.15,
+            delay_p: 0.15,
+            delay_mean_secs: 0.03,
+        }),
+        kills: vec![(0.8, 9)],
+    };
+    let run_at = |shards: usize| {
+        let mut scratch = RunScratch::with_shard_threads(shards);
+        let results: Vec<OutputResult> = (0..2)
+            .map(|i| {
+                base.run_seed_scratch(SEED ^ 0xFA57 ^ i, &faults, &mut scratch)
+                    .result
+            })
+            .collect();
+        artifact(&results)
+    };
+    let serial = run_at(1);
+    assert!(!serial.is_empty());
+    for shards in [2usize, 8] {
+        assert_eq!(
+            serial,
+            run_at(shards),
+            "{shards} shard threads changed the faulted artifact"
+        );
+    }
+}
+
 /// A disabled redundancy plane is free, exactly: however aggressive the
 /// knobs, `enabled: false` delegates verbatim to the plain faulted run —
 /// no shard campaign, no extra RNG draws, byte-identical artifacts. And
