@@ -93,8 +93,8 @@ fn storage_campaign(ops_n: usize, shards: usize) -> (f64, Fnv, Value) {
         for c in out.drain(..) {
             hash.mix(c.tag);
             hash.mix(c.bytes);
-            hash.mix(c.submitted.as_nanos() as u64);
-            hash.mix(c.finished.as_nanos() as u64);
+            hash.mix(c.submitted.as_nanos());
+            hash.mix(c.finished.as_nanos());
             hash.mix(c.error as u64);
         }
     };
@@ -143,11 +143,11 @@ fn coupled_campaign(base: &RunBase, seeds: &[u64], shards: usize) -> (f64, Fnv) 
         for w in &out.result.records {
             hash.mix(w.rank as u64);
             hash.mix(w.bytes);
-            hash.mix(w.start.as_nanos() as u64);
-            hash.mix(w.end.as_nanos() as u64);
+            hash.mix(w.start.as_nanos());
+            hash.mix(w.end.as_nanos());
             hash.mix(w.ost.0 as u64);
         }
-        hash.mix(out.result.end.as_nanos() as u64);
+        hash.mix(out.result.end.as_nanos());
         hash.mix(out.outcome.lost_bytes);
     }
     (started.elapsed().as_secs_f64(), hash)

@@ -184,11 +184,9 @@ pub fn load_artifact(path: &str) -> minijson::Value {
         engines.push(engine_variant().to_string());
         engines.sort();
     }
-    if let Some((_, m)) = entries.iter_mut().find(|(k, _)| k == "meta") {
-        if let Value::Obj(pairs) = m {
-            pairs.retain(|(k, _)| k != "engine");
-            pairs.push(("engine".to_string(), Value::Str(engines.join("+"))));
-        }
+    if let Some((_, Value::Obj(pairs))) = entries.iter_mut().find(|(k, _)| k == "meta") {
+        pairs.retain(|(k, _)| k != "engine");
+        pairs.push(("engine".to_string(), Value::Str(engines.join("+"))));
     }
     root
 }

@@ -98,6 +98,42 @@ pub struct RunStats {
     pub cluster_events: u64,
     /// Number of storage completions delivered to actors.
     pub io_completions: u64,
+    /// Storage completions addressed to killed ranks, dropped instead of
+    /// delivered. Counted separately — they were never observed by any
+    /// actor, so folding them into `io_completions` (as an earlier
+    /// version did) over-reported delivered IO under rank-kill faults.
+    pub io_evaporated: u64,
+}
+
+/// Wall-time phase breakdown of the coupled driver loop, captured when
+/// [`Simulation::enable_driver_profiling`] is on.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DriverProfile {
+    /// Seconds dispatching cluster events (messages, timers, kills) into
+    /// actors.
+    pub cluster_dispatch_s: f64,
+    /// Seconds advancing the storage system (the parallelizable half).
+    pub storage_drain_s: f64,
+    /// Seconds delivering harvested storage completions into actors.
+    pub harvest_deliver_s: f64,
+    /// Driver loop rounds executed.
+    pub rounds: u64,
+}
+
+#[derive(Debug, Default)]
+struct DriverProf {
+    cluster: std::time::Duration,
+    drain: std::time::Duration,
+    deliver: std::time::Duration,
+    rounds: u64,
+}
+
+/// Process-wide default for the driver loop choice: protocol lookahead
+/// is ON unless `MANAGED_IO_LOOKAHEAD=0`. Read once; per-simulation
+/// overrides go through [`Simulation::set_lookahead`].
+fn lookahead_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("MANAGED_IO_LOOKAHEAD").map_or(true, |v| v != "0"))
 }
 
 /// The simulation: actors + storage under one clock.
@@ -120,6 +156,11 @@ pub struct Simulation<A: Actor> {
     /// Reusable harvest buffer handed to `StorageSystem::advance_into` on
     /// every storage wake (the hot loop allocates nothing).
     io_buf: Vec<storesim::system::StorageCompletion>,
+    /// Per-simulation driver loop choice; `None` follows the
+    /// `MANAGED_IO_LOOKAHEAD` environment default (on).
+    lookahead: Option<bool>,
+    /// Driver phase profile, `None` (zero overhead) unless enabled.
+    dprof: Option<Box<DriverProf>>,
 }
 
 impl<A: Actor> Simulation<A> {
@@ -160,7 +201,41 @@ impl<A: Actor> Simulation<A> {
             dead,
             trace: None,
             io_buf: Vec::new(),
+            lookahead: None,
+            dprof: None,
         }
+    }
+
+    /// Force the driver loop for this simulation: `true` = protocol
+    /// lookahead (wide coupled macro-windows), `false` = the
+    /// one-event-at-a-time stepwise loop. Overrides the
+    /// `MANAGED_IO_LOOKAHEAD` environment default. Both loops produce
+    /// byte-identical runs; the choice only affects wall-clock time.
+    pub fn set_lookahead(&mut self, on: bool) {
+        self.lookahead = Some(on);
+    }
+
+    /// Which driver loop this simulation will run: the explicit
+    /// [`Simulation::set_lookahead`] override if set, else the
+    /// `MANAGED_IO_LOOKAHEAD` environment default (on unless `=0`).
+    pub fn lookahead_enabled(&self) -> bool {
+        self.lookahead.unwrap_or_else(lookahead_default)
+    }
+
+    /// Start collecting a wall-time phase breakdown of the driver loop
+    /// (see [`Simulation::driver_profile`]).
+    pub fn enable_driver_profiling(&mut self) {
+        self.dprof = Some(Box::default());
+    }
+
+    /// The driver phase profile collected so far, if enabled.
+    pub fn driver_profile(&self) -> Option<DriverProfile> {
+        self.dprof.as_ref().map(|p| DriverProfile {
+            cluster_dispatch_s: p.cluster.as_secs_f64(),
+            storage_drain_s: p.drain.as_secs_f64(),
+            harvest_deliver_s: p.deliver.as_secs_f64(),
+            rounds: p.rounds,
+        })
     }
 
     /// Tear down the simulation, recovering the storage system (with all
@@ -290,25 +365,161 @@ impl<A: Actor> Simulation<A> {
             self.started = true;
             self.dispatch_start();
         }
-        if let Some(t) = finish_target {
-            if self.finished >= t {
-                return RunStats {
-                    end_time: SimTime::ZERO,
-                    cluster_events: 0,
-                    io_completions: 0,
-                };
-            }
-        }
         let mut stats = RunStats {
             end_time: SimTime::ZERO,
             cluster_events: 0,
             io_completions: 0,
+            io_evaporated: 0,
         };
+        if let Some(t) = finish_target {
+            if self.finished >= t {
+                return stats;
+            }
+        }
+        if self.lookahead_enabled() {
+            self.run_lookahead(finish_target, deadline, &mut stats);
+        } else {
+            self.run_stepwise(finish_target, deadline, &mut stats);
+        }
+        stats
+    }
+
+    /// Deliver one harvested storage completion to its rank (or count it
+    /// as evaporated if the rank is dead). Shared by both driver loops.
+    fn dispatch_completion(
+        &mut self,
+        c: storesim::system::StorageCompletion,
+        stats: &mut RunStats,
+    ) {
+        let rank = Rank((c.tag >> 32) as u32);
+        if self.dead[rank.0 as usize] {
+            // Completions for killed ranks evaporate, undelivered.
+            stats.io_evaporated += 1;
+            return;
+        }
+        stats.io_completions += 1;
+        let done = IoComplete {
+            tag: (c.tag & 0xFFFF_FFFF) as u32,
+            bytes: c.bytes,
+            submitted: c.submitted,
+            finished: c.finished,
+            kind: c.kind,
+            error: c.error,
+        };
+        let Simulation {
+            actors,
+            storage,
+            queue,
+            rng,
+            msg_latency,
+            msg_bandwidth,
+            finished,
+            faults,
+            trace,
+            ..
+        } = self;
+        Self::record(
+            trace,
+            c.finished,
+            rank,
+            format!("io-complete {:?} {} B (tag {})", done.kind, done.bytes, done.tag),
+        );
+        let mut ctx = Ctx {
+            now: c.finished,
+            rank,
+            storage,
+            queue,
+            rng,
+            msg_latency: *msg_latency,
+            msg_bandwidth: *msg_bandwidth,
+            finished,
+            faults,
+        };
+        actors[rank.0 as usize].on_io_complete(done, &mut ctx);
+    }
+
+    /// Dispatch one popped cluster event into its actor. Shared by both
+    /// driver loops.
+    fn dispatch_cluster_event(
+        &mut self,
+        at: SimTime,
+        ev: PendingEvent<A::Msg>,
+        stats: &mut RunStats,
+    ) {
+        stats.cluster_events += 1;
+        let Simulation {
+            actors,
+            storage,
+            queue,
+            rng,
+            msg_latency,
+            msg_bandwidth,
+            finished,
+            faults,
+            dead,
+            trace,
+            ..
+        } = self;
+        match ev {
+            PendingEvent::Deliver { from, to, msg } => {
+                if dead[to.0 as usize] {
+                    // Killed ranks receive nothing.
+                } else {
+                    if let Some(t) = trace.as_ref() {
+                        let label = t.label(&msg);
+                        Self::record(trace, at, to, format!("recv from {}: {label}", from.0));
+                    }
+                    let mut ctx = Ctx {
+                        now: at,
+                        rank: to,
+                        storage,
+                        queue,
+                        rng,
+                        msg_latency: *msg_latency,
+                        msg_bandwidth: *msg_bandwidth,
+                        finished,
+                        faults,
+                    };
+                    actors[to.0 as usize].on_message(from, msg, &mut ctx);
+                }
+            }
+            PendingEvent::Timer { rank, tag } => {
+                if !dead[rank.0 as usize] {
+                    Self::record(trace, at, rank, format!("timer {tag}"));
+                    let mut ctx = Ctx {
+                        now: at,
+                        rank,
+                        storage,
+                        queue,
+                        rng,
+                        msg_latency: *msg_latency,
+                        msg_bandwidth: *msg_bandwidth,
+                        finished,
+                        faults,
+                    };
+                    actors[rank.0 as usize].on_timer(tag, &mut ctx);
+                }
+            }
+            PendingEvent::Kill { rank } => {
+                Self::record(trace, at, rank, "killed".to_string());
+                dead[rank.0 as usize] = true;
+            }
+        }
+    }
+
+    /// The pre-lookahead driver loop: advance to the earlier of the two
+    /// event sources, one instant at a time. Kept as the pinning
+    /// reference for the lookahead loop (and selectable via
+    /// `MANAGED_IO_LOOKAHEAD=0` / [`Simulation::set_lookahead`]).
+    fn run_stepwise(&mut self, finish_target: Option<u64>, deadline: SimTime, stats: &mut RunStats) {
         loop {
             if let Some(t) = finish_target {
                 if self.finished >= t {
                     break;
                 }
+            }
+            if let Some(p) = &mut self.dprof {
+                p.rounds += 1;
             }
             let tq = self.queue.peek_time();
             let ts = self.storage.next_event_time();
@@ -326,51 +537,17 @@ impl<A: Actor> Simulation<A> {
             if ts.is_some_and(|s| s <= t) {
                 let mut completions = std::mem::take(&mut self.io_buf);
                 completions.clear();
+                let t0 = self.dprof.as_ref().map(|_| std::time::Instant::now());
                 self.storage.advance_into(t, &mut completions);
+                if let (Some(t0), Some(p)) = (t0, self.dprof.as_mut()) {
+                    p.drain += t0.elapsed();
+                }
+                let t1 = self.dprof.as_ref().map(|_| std::time::Instant::now());
                 for c in completions.drain(..) {
-                    stats.io_completions += 1;
-                    let rank = Rank((c.tag >> 32) as u32);
-                    if self.dead[rank.0 as usize] {
-                        continue; // completions for killed ranks evaporate
-                    }
-                    let done = IoComplete {
-                        tag: (c.tag & 0xFFFF_FFFF) as u32,
-                        bytes: c.bytes,
-                        submitted: c.submitted,
-                        finished: c.finished,
-                        kind: c.kind,
-                        error: c.error,
-                    };
-                    let Simulation {
-                        actors,
-                        storage,
-                        queue,
-                        rng,
-                        msg_latency,
-                        msg_bandwidth,
-                        finished,
-                        faults,
-                        trace,
-                        ..
-                    } = self;
-                    Self::record(
-                        trace,
-                        c.finished,
-                        rank,
-                        format!("io-complete {:?} {} B (tag {})", done.kind, done.bytes, done.tag),
-                    );
-                    let mut ctx = Ctx {
-                        now: c.finished,
-                        rank,
-                        storage,
-                        queue,
-                        rng,
-                        msg_latency: *msg_latency,
-                        msg_bandwidth: *msg_bandwidth,
-                        finished,
-                        faults,
-                    };
-                    actors[rank.0 as usize].on_io_complete(done, &mut ctx);
+                    self.dispatch_completion(c, stats);
+                }
+                if let (Some(t1), Some(p)) = (t1, self.dprof.as_mut()) {
+                    p.deliver += t1.elapsed();
                 }
                 self.io_buf = completions;
                 // Re-evaluate sources; the storage advance may have been a
@@ -382,68 +559,104 @@ impl<A: Actor> Simulation<A> {
             // Deliver at most one cluster event per iteration if it is due.
             if tq == Some(t) {
                 let (at, ev) = self.queue.pop().expect("peeked event exists");
-                stats.cluster_events += 1;
-                let Simulation {
-                    actors,
-                    storage,
-                    queue,
-                    rng,
-                    msg_latency,
-                    msg_bandwidth,
-                    finished,
-                    faults,
-                    dead,
-                    trace,
-                    ..
-                } = self;
-                match ev {
-                    PendingEvent::Deliver { from, to, msg } => {
-                        if dead[to.0 as usize] {
-                            // Killed ranks receive nothing.
-                        } else {
-                            if let Some(t) = trace.as_ref() {
-                                let label = t.label(&msg);
-                                Self::record(trace, at, to, format!("recv from {}: {label}", from.0));
-                            }
-                            let mut ctx = Ctx {
-                                now: at,
-                                rank: to,
-                                storage,
-                                queue,
-                                rng,
-                                msg_latency: *msg_latency,
-                                msg_bandwidth: *msg_bandwidth,
-                                finished,
-                                faults,
-                            };
-                            actors[to.0 as usize].on_message(from, msg, &mut ctx);
+                let t0 = self.dprof.as_ref().map(|_| std::time::Instant::now());
+                self.dispatch_cluster_event(at, ev, stats);
+                if let (Some(t0), Some(p)) = (t0, self.dprof.as_mut()) {
+                    p.cluster += t0.elapsed();
+                }
+            }
+        }
+    }
+
+    /// **Protocol lookahead loop.** Between `now` and the next cluster
+    /// event no actor can run, so `min(next cluster event, deadline)` is
+    /// a sound lookahead horizon for the storage system:
+    /// [`StorageSystem::advance_until_completion`] bulk-drains lane-local
+    /// events (noise flips, background renewals, stream wakes) across the
+    /// whole window — in parallel on the shard pool — and stops only at
+    /// the first instant foreground completions surface. Delivery order,
+    /// every stochastic draw, `end_time` and all statistics are
+    /// byte-identical to [`Self::run_stepwise`]; only wall-clock time
+    /// changes.
+    fn run_lookahead(
+        &mut self,
+        finish_target: Option<u64>,
+        deadline: SimTime,
+        stats: &mut RunStats,
+    ) {
+        loop {
+            if let Some(t) = finish_target {
+                if self.finished >= t {
+                    break;
+                }
+            }
+            if let Some(p) = &mut self.dprof {
+                p.rounds += 1;
+            }
+            let tq = self.queue.peek_time();
+            let horizon = match tq {
+                Some(t) if t <= deadline => t,
+                _ => deadline,
+            };
+            let mut completions = std::mem::take(&mut self.io_buf);
+            completions.clear();
+            // O(1) cached probe first: in message-dense stretches the
+            // storage system is quiet until past the horizon, and the
+            // round must cost what a stepwise round costs — one compare —
+            // not a full window-machinery entry.
+            let ret = if self.storage.next_event_time().is_some_and(|s| s <= horizon) {
+                let t0 = self.dprof.as_ref().map(|_| std::time::Instant::now());
+                let ret = self.storage.advance_until_completion(horizon, &mut completions);
+                if let (Some(t0), Some(p)) = (t0, self.dprof.as_mut()) {
+                    p.drain += t0.elapsed();
+                }
+                ret
+            } else {
+                None
+            };
+            if let Some(t) = ret {
+                stats.end_time = t;
+            }
+            if completions.is_empty() {
+                self.io_buf = completions;
+                // Storage is quiet until past the horizon: the cluster
+                // event (if due) is next, else the run is over.
+                match tq {
+                    Some(t) if t <= deadline => {
+                        stats.end_time = t;
+                        let (at, ev) = self.queue.pop().expect("peeked event exists");
+                        let t0 = self.dprof.as_ref().map(|_| std::time::Instant::now());
+                        self.dispatch_cluster_event(at, ev, stats);
+                        if let (Some(t0), Some(p)) = (t0, self.dprof.as_mut()) {
+                            p.cluster += t0.elapsed();
                         }
                     }
-                    PendingEvent::Timer { rank, tag } => {
-                        if !dead[rank.0 as usize] {
-                            Self::record(trace, at, rank, format!("timer {tag}"));
-                            let mut ctx = Ctx {
-                                now: at,
-                                rank,
-                                storage,
-                                queue,
-                                rng,
-                                msg_latency: *msg_latency,
-                                msg_bandwidth: *msg_bandwidth,
-                                finished,
-                                faults,
-                            };
-                            actors[rank.0 as usize].on_timer(tag, &mut ctx);
-                        }
-                    }
-                    PendingEvent::Kill { rank } => {
-                        Self::record(trace, at, rank, "killed".to_string());
-                        dead[rank.0 as usize] = true;
+                    _ => break,
+                }
+            } else {
+                let t1 = self.dprof.as_ref().map(|_| std::time::Instant::now());
+                for c in completions.drain(..) {
+                    self.dispatch_completion(c, stats);
+                }
+                if let (Some(t1), Some(p)) = (t1, self.dprof.as_mut()) {
+                    p.deliver += t1.elapsed();
+                }
+                self.io_buf = completions;
+                // Stepwise parity: a cluster event due at exactly the
+                // delivery instant — with the queue head unmoved by the
+                // handlers — dispatches in the same round, *before* any
+                // storage event a handler may have scheduled at that
+                // same instant.
+                if tq.is_some() && tq == ret && self.queue.peek_time() == tq {
+                    let (at, ev) = self.queue.pop().expect("peeked event exists");
+                    let t0 = self.dprof.as_ref().map(|_| std::time::Instant::now());
+                    self.dispatch_cluster_event(at, ev, stats);
+                    if let (Some(t0), Some(p)) = (t0, self.dprof.as_mut()) {
+                        p.cluster += t0.elapsed();
                     }
                 }
             }
         }
-        stats
     }
 
     /// Run with a generous default deadline (10^7 simulated seconds) —
@@ -685,6 +898,87 @@ mod tests {
         );
         sim.run_to_completion();
         assert_eq!(sim.actor(Rank(1)).seen, 2, "dup_p=1 must deliver twice");
+    }
+
+    #[test]
+    fn killed_rank_completions_evaporate_not_complete() {
+        // Rank 0 issues a slow 1 GiB write and is killed long before it
+        // finishes. The completion must be counted as evaporated, not as
+        // delivered — the old driver bumped `io_completions` *before* the
+        // dead-rank check and over-reported. Both driver loops must agree.
+        for lookahead in [false, true] {
+            let actors = vec![OneWrite {
+                bytes: 1024 * MIB,
+                done: None,
+            }];
+            let mut sim = Simulation::new(testbed(), actors, 11);
+            sim.set_lookahead(lookahead);
+            sim.install_fault_plane(crate::FaultPlane::new(11).kill_at(0.001, 0));
+            let stats = sim.run(SimTime::from_secs_f64(1.0e4));
+            assert!(sim.is_dead(Rank(0)));
+            assert_eq!(
+                stats.io_completions, 0,
+                "lookahead={lookahead}: a dead rank's completion was counted as delivered"
+            );
+            assert_eq!(
+                stats.io_evaporated, 1,
+                "lookahead={lookahead}: the evaporated completion went untallied"
+            );
+            assert!(sim.actor(Rank(0)).done.is_none());
+        }
+    }
+
+    #[test]
+    fn lookahead_driver_matches_stepwise_driver() {
+        // Same workload, both driver loops: every per-rank completion
+        // instant and every statistic must be byte-identical. Includes
+        // messaging (Chained) so cluster events and IO interleave.
+        let run = |lookahead: bool| {
+            let mut actors: Vec<OneWrite> = (0..24)
+                .map(|i| OneWrite {
+                    bytes: (i % 9 + 1) * MIB,
+                    done: None,
+                })
+                .collect();
+            actors.push(OneWrite {
+                bytes: 64 * MIB,
+                done: None,
+            });
+            let mut sim = Simulation::new(testbed(), actors, 13);
+            sim.set_lookahead(lookahead);
+            let stats = sim.run_to_completion();
+            let times: Vec<u64> = sim
+                .actors()
+                .map(|a| a.done.unwrap().finished.as_nanos())
+                .collect();
+            (times, stats.end_time.as_nanos(), stats.cluster_events, stats.io_completions)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn lookahead_matches_stepwise_with_messaging_and_kills() {
+        // Interleaved IO + messaging + a mid-run kill: the tie-dispatch
+        // rule (cluster event due at exactly a delivery instant) and the
+        // evaporation path both get exercised.
+        let run = |lookahead: bool| {
+            let mk = || Chained {
+                wrote: false,
+                finished_at: None,
+            };
+            let mut sim = Simulation::new(testbed(), vec![mk(), mk()], 17);
+            sim.set_lookahead(lookahead);
+            let stats = sim.run_to_completion();
+            (
+                sim.actor(Rank(0)).finished_at.map(|t| t.as_nanos()),
+                sim.actor(Rank(1)).finished_at.map(|t| t.as_nanos()),
+                stats.end_time.as_nanos(),
+                stats.cluster_events,
+                stats.io_completions,
+                stats.io_evaporated,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -285,6 +285,9 @@ pub struct RunScratch {
     /// Explicit in-run shard-thread budget; `None` follows
     /// `MANAGED_IO_SHARDS`.
     shards: Option<usize>,
+    /// Explicit driver-loop choice; `None` follows
+    /// `MANAGED_IO_LOOKAHEAD` (on unless `=0`).
+    lookahead: Option<bool>,
 }
 
 impl RunScratch {
@@ -301,7 +304,17 @@ impl RunScratch {
         RunScratch {
             pooled: None,
             shards: Some(threads),
+            lookahead: None,
         }
+    }
+
+    /// Pin the coupled driver loop for every run through this scratch:
+    /// `true` = protocol lookahead (wide macro-windows), `false` = the
+    /// stepwise one-event-per-iteration reference loop. Overrides
+    /// `MANAGED_IO_LOOKAHEAD`. Byte-identical either way — this is how
+    /// the coupled differential tests pin the loop without env races.
+    pub fn set_lookahead(&mut self, on: bool) {
+        self.lookahead = Some(on);
     }
 
     /// Take a storage system for one `(base, seed)` replicate: reset the
@@ -372,6 +385,37 @@ fn timed_stats<T>(f: impl FnOnce() -> T) -> T {
     let r = f();
     STATS_TIME.with(|c| c.set(c.get() + t0.elapsed()));
     r
+}
+
+/// Apply the scratch's driver-loop choice to a freshly-built simulation
+/// and arm the coupled driver profile when `MANAGED_IO_PROFILE=1`.
+fn configure_driver<A: Actor>(sim: &mut Simulation<A>, scratch: &RunScratch) {
+    if let Some(on) = scratch.lookahead {
+        sim.set_lookahead(on);
+    }
+    if profiling() {
+        sim.enable_driver_profiling();
+    }
+}
+
+/// Print one `coupled_driver` minijson row: where a coupled run's driver
+/// wall time went (cluster dispatch / storage drain / harvest delivery)
+/// and how many driver rounds the loop took — the coupled counterpart of
+/// the storage-side `in_run` row.
+fn emit_driver_profile<A: Actor>(sim: &Simulation<A>, seed: u64) {
+    if let Some(p) = sim.driver_profile() {
+        let row = minijson::json!({
+            "profile": "coupled_driver",
+            "seed": seed,
+            "shards": sim.storage().shard_threads() as u64,
+            "lookahead": sim.lookahead_enabled(),
+            "cluster_dispatch_s": p.cluster_dispatch_s,
+            "storage_drain_s": p.storage_drain_s,
+            "harvest_deliver_s": p.harvest_deliver_s,
+            "rounds": p.rounds,
+        });
+        println!("{row}");
+    }
 }
 
 fn rank_bytes_of(data: &DataSpec, nprocs: usize, integrity: IntegrityOpts) -> Vec<u64> {
@@ -826,7 +870,9 @@ fn run_posix(base: &RunBase, seed: u64, faults: &FaultConfig, scratch: &mut RunS
     let mut sim = Simulation::with_storage(Arc::clone(&base.machine), actors, seed, storage);
     apply_interference(sim.storage_mut(), &base.interference);
     install_faults(&mut sim, seed, faults);
+    configure_driver(&mut sim, scratch);
     let stats = sim.run_until(base.nprocs as u64, RUN_DEADLINE);
+    emit_driver_profile(&sim, seed);
     let mut errors = Vec::new();
     if sim.finish_count() < base.nprocs as u64 {
         let pending: Vec<u32> = sim
@@ -906,7 +952,9 @@ fn run_mpiio(base: &RunBase, seed: u64, faults: &FaultConfig, scratch: &mut RunS
     let mut sim = Simulation::with_storage(Arc::clone(&base.machine), actors, seed, storage);
     apply_interference(sim.storage_mut(), &base.interference);
     install_faults(&mut sim, seed, faults);
+    configure_driver(&mut sim, scratch);
     let stats = sim.run_until(base.nprocs as u64, RUN_DEADLINE);
+    emit_driver_profile(&sim, seed);
     let mut errors = Vec::new();
     if sim.finish_count() < base.nprocs as u64 {
         let pending: Vec<u32> = sim
@@ -1037,9 +1085,11 @@ fn run_adaptive(
     let mut sim = Simulation::with_storage(Arc::clone(&base.machine), actors, seed, storage);
     apply_interference(sim.storage_mut(), &base.interference);
     install_faults(&mut sim, seed, faults);
+    configure_driver(&mut sim, scratch);
     // The coordinator's single finish signal marks the whole operation
     // (data + local indices + global index) durable.
     let stats = sim.run_until(1, RUN_DEADLINE);
+    emit_driver_profile(&sim, seed);
     let coordinator = sim.actor(clustersim::Rank(0));
     let finished = coordinator.finished_at();
     if faults.is_empty() || silent_only {

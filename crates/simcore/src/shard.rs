@@ -113,7 +113,27 @@ impl ShardPool {
     /// every index has run. Panics (after the region quiesces) if any
     /// shard job panicked.
     pub fn run(&self, nshards: usize, job: &(dyn Fn(usize) + Sync)) {
+        self.run_with_serial(nshards, job, &mut || {});
+    }
+
+    /// [`ShardPool::run`] with a pipelined serial stage: `serial` runs on
+    /// the calling thread *while* the pool workers are already claiming
+    /// shards, and the caller joins the claim loop only once `serial`
+    /// returns. This overlaps a serial tail of the previous region (e.g.
+    /// applying its harvested completions) with the parallel body of the
+    /// next one — sound only when `serial` touches state disjoint from
+    /// every shard job. Falls back to `serial()` followed by an inline
+    /// loop when the pool has no workers or the region is trivial, so the
+    /// observable effects are identical in every mode. A panic in
+    /// `serial` poisons the region exactly like a shard-job panic.
+    pub fn run_with_serial(
+        &self,
+        nshards: usize,
+        job: &(dyn Fn(usize) + Sync),
+        serial: &mut dyn FnMut(),
+    ) {
         if self.workers.is_empty() || nshards <= 1 {
+            serial();
             for i in 0..nshards {
                 job(i);
             }
@@ -141,10 +161,13 @@ impl ShardPool {
             self.shared.go.notify_all();
         }
 
-        // Caller participates; a panicking shard is recorded, not
-        // propagated mid-region (the pool must quiesce first).
+        // The serial stage runs first on the caller (workers are already
+        // claiming shards); then the caller participates in the claim
+        // loop. A panic in either is recorded, not propagated mid-region
+        // (the pool must quiesce first).
         let caller_result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serial();
                 claim_loop(&self.shared, nshards, job)
             }));
 
@@ -298,6 +321,45 @@ mod tests {
         }));
         assert!(res.is_err(), "shard panic must reach the caller");
         // The pool is still usable after a poisoned region.
+        let count = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn serial_stage_overlaps_but_always_completes_first_on_caller() {
+        // The serial closure must run exactly once per region, finish
+        // before `run_with_serial` returns, and work in every dispatch
+        // mode (pooled, trivial region, workerless pool).
+        for threads in [1usize, 4] {
+            let pool = ShardPool::new(threads);
+            for nshards in [1usize, 8] {
+                let serial_runs = AtomicUsize::new(0);
+                let shard_runs = AtomicUsize::new(0);
+                pool.run_with_serial(
+                    nshards,
+                    &|_| {
+                        shard_runs.fetch_add(1, Ordering::Relaxed);
+                    },
+                    &mut || {
+                        serial_runs.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+                assert_eq!(serial_runs.load(Ordering::Relaxed), 1);
+                assert_eq!(shard_runs.load(Ordering::Relaxed), nshards);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_stage_panic_poisons_region_and_pool_survives() {
+        let pool = ShardPool::new(4);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_with_serial(8, &|_| {}, &mut || panic!("serial boom"));
+        }));
+        assert!(res.is_err(), "serial panic must reach the caller");
         let count = AtomicUsize::new(0);
         pool.run(8, &|_| {
             count.fetch_add(1, Ordering::Relaxed);

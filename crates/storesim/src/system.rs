@@ -25,6 +25,7 @@
 //! Operations are submitted with a caller-chosen `tag`; completions carry
 //! the tag back so the driver can route them to the right simulated rank.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Mutex;
@@ -36,7 +37,7 @@ use crate::jobs::{combined_factor, CompetingLoad, JobLoadModel};
 use crate::layout::{FileId, FileSystem, OstId, StripeSpec};
 use crate::mds::{Mds, MetaOp};
 use crate::noise::NoiseProcess;
-use crate::ost::{OpKind, Ost, OstCompletion, RequestId};
+use crate::ost::{OpKind, Ost, OstCompletion, RequestId, BG_BIT};
 use crate::params::MachineConfig;
 
 /// A finished storage operation, surfaced to the driver.
@@ -122,12 +123,6 @@ struct BgSpec {
     mean_gap: Option<f64>,
 }
 
-/// High bit of a request id marks lane-local background streams, so a
-/// harvested completion (or a `fail_all` abort list) can be routed
-/// without consulting any shared map. Foreground ids come from a plain
-/// counter and never reach this bit.
-const BG_BIT: u64 = 1 << 63;
-
 /// Shard-event classes, in tie-break order at equal `(time, ost)`.
 const CLASS_WAKE: u8 = 0;
 const CLASS_FLIP: u8 = 1;
@@ -196,6 +191,11 @@ struct Lane {
     bg_pending: Vec<(u64, BgSpec)>,
     /// Lane-local id counter for background rids and renewal tokens.
     bg_next: u64,
+    /// Foreground chunks in flight on this lane. Maintained so the
+    /// lookahead bound ([`StorageSystem::fg_bound`]) can skip the (many)
+    /// lanes that carry only background interference without scanning
+    /// their stream sets.
+    fg_count: u32,
 }
 
 impl Lane {
@@ -216,6 +216,11 @@ struct Shard {
     fg_buf: Vec<FgDone>,
     /// Lane-local events processed (profiling).
     events: u64,
+    /// Time (nanos) of the last event popped in the current drain call,
+    /// `u64::MAX` when the shard popped nothing. Folded across shards
+    /// this reconstructs the chronologically last event a macro-step
+    /// processed — the serial driver's `end_time` — without replaying.
+    last_pop: u64,
 }
 
 impl Shard {
@@ -229,6 +234,7 @@ impl Shard {
             scratch: Vec::with_capacity(64),
             fg_buf: Vec::with_capacity(128),
             events: 0,
+            last_pop: u64::MAX,
         }
     }
 }
@@ -341,6 +347,7 @@ fn drain_shard(lanes: &mut [Lane], base: usize, shard: &mut Shard, ctx: &ShardCt
         }
         shard.heap.pop();
         shard.events += 1;
+        shard.last_pop = ev.t;
         let t = SimTime::from_nanos(ev.t);
         let i = ev.ost as usize;
         let lane = &mut lanes[i - base];
@@ -381,6 +388,7 @@ fn drain_shard(lanes: &mut [Lane], base: usize, shard: &mut Shard, ctx: &ShardCt
                         // Foreground chunk: defer — op accounting, the
                         // corruption draw and the completion stream are
                         // serial, merged between windows.
+                        lane.fg_count -= 1;
                         shard.fg_buf.push(FgDone {
                             t: ev.t,
                             ost: ev.ost,
@@ -421,6 +429,109 @@ fn drain_shard(lanes: &mut [Lane], base: usize, shard: &mut Shard, ctx: &ShardCt
 /// ways (contiguous ranges; the inverse of `i * nshards / n`).
 fn shard_bound(s: usize, n: usize, nshards: usize) -> usize {
     (s * n).div_ceil(nshards)
+}
+
+/// Globals that never read or write op accounting, the completion
+/// stream, or corruption state (they touch lanes, the job population,
+/// the queue, or the MDS freeze flag only). The serial foreground apply
+/// commutes exactly with such an event, so it may be deferred past it
+/// onto the next window — where it overlaps the parallel shard drain.
+fn op_neutral(ev: &Internal) -> bool {
+    matches!(
+        ev,
+        Internal::JobArrival
+            | Internal::JobDeparture(_)
+            | Internal::BrownoutEnd(..)
+            | Internal::OstRecover(..)
+            | Internal::MdsRecover(_)
+    )
+}
+
+/// Silent-corruption decision for one data-write chunk completing on OST
+/// `i` at `now` (free-function form so the pipelined apply can run while
+/// `lanes`/`shards` are mutably borrowed by a drain in flight).
+fn corrupt_part(
+    req_to_op: &FxHashMap<u64, u64>,
+    ops: &mut FxHashMap<u64, OpState>,
+    corrupt_windows: &[(usize, SimTime, Option<SimTime>, f64)],
+    corrupt_rng: &mut Rng,
+    now: SimTime,
+    rid: RequestId,
+    i: usize,
+) {
+    let Some(&op_id) = req_to_op.get(&rid.0) else {
+        return;
+    };
+    let Some(op) = ops.get(&op_id) else {
+        return;
+    };
+    if op.kind != CompletionKind::Write {
+        return;
+    }
+    let rate = corrupt_windows
+        .iter()
+        .filter(|&&(ost, start, end, _)| {
+            ost == i && start <= now && end.map(|e| now <= e).unwrap_or(true)
+        })
+        .map(|&(_, _, _, r)| r)
+        .fold(0.0f64, f64::max);
+    if rate > 0.0 && corrupt_rng.chance(rate) {
+        ops.get_mut(&op_id).expect("op state exists").corrupt_ost = Some(OstId(i));
+    }
+}
+
+/// Account one finished (or aborted) constituent request against its
+/// operation (free-function form — see [`corrupt_part`]).
+fn finish_part(
+    req_to_op: &mut FxHashMap<u64, u64>,
+    ops: &mut FxHashMap<u64, OpState>,
+    corrupt_log: &mut Vec<(OstId, SimTime)>,
+    out: &mut Vec<StorageCompletion>,
+    now: SimTime,
+    rid: RequestId,
+    error: bool,
+) {
+    let op_id = req_to_op.remove(&rid.0).expect("completion for unknown request");
+    let op = ops.get_mut(&op_id).expect("op state exists");
+    op.pending -= 1;
+    op.error |= error;
+    if op.pending == 0 {
+        let op = ops.remove(&op_id).expect("op state exists");
+        if let (Some(ost), false) = (op.corrupt_ost, op.error) {
+            // The write took effect but carries a silent bit-flip;
+            // key the log by completion time so it correlates with
+            // the protocol's write records.
+            corrupt_log.push((ost, now));
+        }
+        out.push(StorageCompletion {
+            tag: op.tag,
+            bytes: op.total_bytes,
+            submitted: op.submitted,
+            finished: now,
+            kind: op.kind,
+            error: op.error,
+        });
+    }
+}
+
+/// Drain a collected (sorted) foreground merge buffer through the op,
+/// corruption and completion accounting. Touches none of the lane or
+/// shard state, so a deferred apply may overlap a parallel drain.
+#[allow(clippy::too_many_arguments)]
+fn apply_fg_merge(
+    fg_merge: &mut Vec<FgDone>,
+    req_to_op: &mut FxHashMap<u64, u64>,
+    ops: &mut FxHashMap<u64, OpState>,
+    corrupt_windows: &[(usize, SimTime, Option<SimTime>, f64)],
+    corrupt_rng: &mut Rng,
+    corrupt_log: &mut Vec<(OstId, SimTime)>,
+    out: &mut Vec<StorageCompletion>,
+) {
+    for f in fg_merge.drain(..) {
+        let time = SimTime::from_nanos(f.t);
+        corrupt_part(req_to_op, ops, corrupt_windows, corrupt_rng, time, RequestId(f.rid), f.ost as usize);
+        finish_part(req_to_op, ops, corrupt_log, out, time, RequestId(f.rid), false);
+    }
 }
 
 /// The storage half of the co-simulation.
@@ -473,6 +584,16 @@ pub struct StorageSystem {
     mds_scratch: Vec<crate::mds::MdsCompletion>,
     /// Reusable merge buffer for deferred foreground completions.
     fg_merge: Vec<FgDone>,
+    /// True while `fg_merge` holds collected-but-unapplied completions:
+    /// the apply was deferred past an op-neutral global so the next
+    /// window's parallel drain can overlap it. Always false when control
+    /// returns to the driver.
+    fg_deferred: bool,
+    /// Memoized [`StorageSystem::next_event_time`] (`None` = dirty).
+    /// The driver probes the next storage instant once per loop turn;
+    /// without the cache that probe re-scans every shard heap head even
+    /// when nothing moved.
+    next_cache: Cell<Option<Option<SimTime>>>,
     /// Reusable buffer for the OST indices a competing job covers
     /// (arrival/departure noise re-application).
     covered_scratch: Vec<usize>,
@@ -525,6 +646,7 @@ impl StorageSystem {
                 bg_active: Vec::new(),
                 bg_pending: Vec::new(),
                 bg_next: 0,
+                fg_count: 0,
             });
         }
         let jobs_model = JobLoadModel::new(cfg.noise.jobs.clone(), cfg.ost_count);
@@ -560,6 +682,8 @@ impl StorageSystem {
             torn_log: Vec::new(),
             mds_scratch: Vec::with_capacity(32),
             fg_merge: Vec::with_capacity(256),
+            fg_deferred: false,
+            next_cache: Cell::new(None),
             covered_scratch: Vec::new(),
             stripe_counts: Vec::new(),
             chunk_scratch: Vec::new(),
@@ -606,6 +730,7 @@ impl StorageSystem {
             sh.scratch.clear();
             sh.fg_buf.clear();
             sh.events = 0;
+            sh.last_pop = u64::MAX;
         }
         for (i, lane) in self.lanes.iter_mut().enumerate() {
             lane.ost.reset();
@@ -631,6 +756,7 @@ impl StorageSystem {
             lane.bg_active.clear();
             lane.bg_pending.clear();
             lane.bg_next = 0;
+            lane.fg_count = 0;
         }
         // `jobs_model` is seed-independent (all randomness flows through
         // `rng` at spawn time), so it is retained as-is.
@@ -650,6 +776,8 @@ impl StorageSystem {
         self.torn_log.clear();
         self.mds_scratch.clear();
         self.fg_merge.clear();
+        self.fg_deferred = false;
+        self.touch();
         self.out.clear();
         if let Some(p) = &mut self.prof {
             **p = Prof::default();
@@ -671,6 +799,8 @@ impl StorageSystem {
         if threads == self.shards.len() {
             return;
         }
+        debug_assert!(!self.fg_deferred, "reshard with a deferred foreground apply");
+        self.touch();
         let mut evs: Vec<ShardEv> = Vec::new();
         let mut events = 0u64;
         for sh in &mut self.shards {
@@ -927,10 +1057,12 @@ impl StorageSystem {
                 let at = now + SimDuration::from_secs_f64(self.cfg.ost.request_overhead);
                 self.queue.schedule(at, Internal::FailFast(rid.0));
             } else {
+                self.lanes[ost.0].fg_count += 1;
                 self.lanes[ost.0].ost.submit(now, rid, bytes, kind);
                 self.replan_ost(ost.0, now);
             }
         }
+        self.touch();
     }
 
     /// Submit an open/create to the metadata server.
@@ -963,6 +1095,7 @@ impl StorageSystem {
         self.req_to_op.insert(rid.0, op_id);
         self.mds.submit(now, rid, op);
         self.replan_mds(now);
+        self.touch();
     }
 
     /// Degrade one OST to a fixed fraction of its capability from `now`
@@ -974,6 +1107,7 @@ impl StorageSystem {
         self.process_due(now);
         self.lanes[ost.0].degraded = factor;
         self.apply_noise(ost.0, now);
+        self.touch();
     }
 
     /// Lift a previous [`StorageSystem::degrade_ost`].
@@ -981,6 +1115,7 @@ impl StorageSystem {
         self.process_due(now);
         self.lanes[ost.0].degraded = 1.0;
         self.apply_noise(ost.0, now);
+        self.touch();
     }
 
     /// Install a fault script: every event is scheduled through the
@@ -992,6 +1127,7 @@ impl StorageSystem {
             self.fault_events.push(*ev);
             self.queue.schedule(ev.at(), Internal::FaultStart(idx));
         }
+        self.touch();
     }
 
     /// Whether `ost` is currently down (either failure mode).
@@ -1037,6 +1173,7 @@ impl StorageSystem {
             bytes,
             mean_gap: None,
         });
+        self.touch();
     }
 
     /// Install a bursty background stream: after each completed burst the
@@ -1049,6 +1186,7 @@ impl StorageSystem {
             bytes,
             mean_gap: Some(mean_gap_secs),
         });
+        self.touch();
     }
 
     fn start_background(&mut self, now: SimTime, spec: BgSpec) {
@@ -1068,12 +1206,50 @@ impl StorageSystem {
     /// a stale (superseded) lane wake; advancing to it is harmless — the
     /// wake is discarded on pop — and both execution modes see the same
     /// heads, so the driver's loop stays byte-identical.
+    ///
+    /// O(1) when nothing has moved since the last probe: the scan result
+    /// is memoized and invalidated ([`Self::touch`]) by every mutating
+    /// entry point. Debug builds cross-check the cache against a fresh
+    /// scan on every hit.
     pub fn next_event_time(&self) -> Option<SimTime> {
+        if let Some(cached) = self.next_cache.get() {
+            debug_assert_eq!(
+                cached,
+                self.scan_next_event_time(),
+                "stale next_event_time cache"
+            );
+            return cached;
+        }
+        let t = self.scan_next_event_time();
+        self.next_cache.set(Some(t));
+        t
+    }
+
+    /// The uncached scan behind [`Self::next_event_time`].
+    fn scan_next_event_time(&self) -> Option<SimTime> {
         let mut best = self.queue.peek_time();
         for sh in &self.shards {
             if let Some(&Reverse(ev)) = sh.heap.peek() {
                 let t = SimTime::from_nanos(ev.t);
                 best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        }
+        best
+    }
+
+    /// Invalidate the memoized [`Self::next_event_time`]. Called by every
+    /// entry point that can move the earliest pending event (schedules,
+    /// pops, re-plans).
+    fn touch(&self) {
+        self.next_cache.set(None);
+    }
+
+    /// Earliest pending lane-local event across all shards, in nanos.
+    fn next_shard_time(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for sh in &self.shards {
+            if let Some(&Reverse(ev)) = sh.heap.peek() {
+                best = Some(best.map_or(ev.t, |b| b.min(ev.t)));
             }
         }
         best
@@ -1095,6 +1271,183 @@ impl StorageSystem {
         out.append(&mut self.out);
     }
 
+    /// Safety margin (nanos) subtracted from the engines' foreground
+    /// completion bounds: covers the nanosecond rounding of `SimTime`
+    /// plus last-ulp float drift between the bound arithmetic and the
+    /// settle arithmetic. The bound must be a *true* lower bound — a
+    /// completion strictly inside a drained window would surface with
+    /// later lane events already processed, which the one-event-at-a-time
+    /// driver could never produce.
+    const FG_BOUND_GUARD_NANOS: u64 = 2;
+
+    /// A conservative lower bound (nanos) on the earliest instant any
+    /// in-flight *foreground* chunk can finish, or `None` when no healthy
+    /// lane holds foreground work. Frozen lanes contribute nothing: they
+    /// can only thaw at a global event, which bounds every drain window
+    /// anyway.
+    fn fg_bound(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for lane in &self.lanes {
+            if lane.fg_count == 0 {
+                continue;
+            }
+            if let Some(t) = lane.ost.fg_completion_bound() {
+                let tn = t.as_nanos().saturating_sub(Self::FG_BOUND_GUARD_NANOS);
+                best = Some(best.map_or(tn, |b| b.min(tn)));
+            }
+        }
+        best
+    }
+
+    /// **Protocol lookahead.** Advance internal state up to `horizon`
+    /// (inclusive) in wide, bound-steered windows, stopping at the first
+    /// instant `c` at which one or more operation completions surface;
+    /// all completions with `finished <= c` are appended to `out` in
+    /// completion order.
+    ///
+    /// Soundness: the driver guarantees no cluster actor runs before its
+    /// next queued event, so `horizon = min(next cluster event, deadline)`
+    /// is a sound lookahead horizon; within it, [`Self::fg_bound`] proves
+    /// windows free of foreground completions, which are therefore safe
+    /// to bulk-drain (noise flips, background renewals, stream wakes)
+    /// without ever processing a lane event past an undelivered
+    /// completion. The completion stream, every stochastic draw and the
+    /// returned last-event time are byte-identical to driving the system
+    /// one [`Self::next_event_time`] probe at a time.
+    ///
+    /// Returns the time of the chronologically last event processed in
+    /// this call (the serial driver's `end_time` fold), or `None` when
+    /// nothing was due by `horizon`.
+    pub fn advance_until_completion(
+        &mut self,
+        horizon: SimTime,
+        out: &mut Vec<StorageCompletion>,
+    ) -> Option<SimTime> {
+        let fold = |last: Option<u64>, t: u64| -> Option<u64> {
+            Some(last.map_or(t, |l| l.max(t)))
+        };
+        // Residue: an actor submission at delivery time ran `process_due`
+        // internally and left completions in `self.out`. The serial
+        // driver hands those over at its *next* storage advance — i.e. at
+        // the earliest pending storage instant, and only if that instant
+        // wins the race against the cluster queue. Mirror that exactly.
+        if !self.out.is_empty() {
+            let ts = self.next_event_time();
+            match ts {
+                Some(ts) if ts <= horizon => {
+                    let last = self.process_due(ts);
+                    out.append(&mut self.out);
+                    return last.map(SimTime::from_nanos).or(Some(ts));
+                }
+                _ => return None,
+            }
+        }
+        let mut last: Option<u64> = None;
+        loop {
+            let gt = self.queue.peek_time();
+            let win = match gt {
+                Some(t) if t <= horizon => t,
+                _ => horizon,
+            };
+            let win_n = win.as_nanos();
+            // Foreground-bound state for this window. The bound scan is
+            // O(foreground streams), so it is managed adaptively:
+            //
+            //  * `Unscanned` — pay nothing until a completion-free step
+            //    proves there is a noise run to amortize a scan over; a
+            //    call whose first instant already delivers never scans.
+            //  * `NoFg` — no foreground work in flight: the whole window
+            //    is completion-free (op completions need a foreground
+            //    chunk; metadata ops finish at global MDS wakes).
+            //  * `Slack(b)` — a computed bound with room to batch. Valid
+            //    for the rest of the window (no foreground submission or
+            //    fault can occur between globals, and the engines bound
+            //    remaining bytes at peak rate, so lane-local drains never
+            //    pull a completion below an earlier bound); refreshed
+            //    when a batch consumes it.
+            //  * `Exhausted` — the bound stopped offering slack
+            //    (completion-dense stretch): degrade to bound-free
+            //    single-instant steps, which cost what a stepwise
+            //    advance costs, instead of rescanning per event.
+            #[derive(Clone, Copy)]
+            enum Bound {
+                Unscanned,
+                NoFg,
+                Slack(u64),
+                Exhausted,
+            }
+            let mut bound = Bound::Unscanned;
+            // Inner loop: bulk-drain lane-local events in windows proven
+            // completion-free, collapsing to single-event steps only when
+            // the bound offers no slack.
+            while let Some(ne) = self.next_shard_time().filter(|&t| t <= win_n) {
+                let target = match bound {
+                    Bound::Unscanned | Bound::Exhausted => ne,
+                    Bound::NoFg => win_n,
+                    Bound::Slack(b) if b > ne => b.min(win_n),
+                    Bound::Slack(_) => {
+                        bound = Bound::Exhausted;
+                        ne
+                    }
+                };
+                let popped = self.timed_drain(SimTime::from_nanos(target));
+                if popped != u64::MAX {
+                    last = fold(last, popped);
+                }
+                // Must apply (not defer): only op accounting can tell
+                // whether a harvested chunk finished an operation.
+                self.timed_flush();
+                if !self.out.is_empty() {
+                    // Complete the instant: drain time-ties (including
+                    // any global at exactly `target`) before delivering,
+                    // exactly as the serial loop's advance would.
+                    if let Some(t2) = self.process_due(SimTime::from_nanos(target)) {
+                        last = fold(last, t2);
+                    }
+                    out.append(&mut self.out);
+                    self.touch();
+                    return last.map(SimTime::from_nanos);
+                }
+                let rescan = match bound {
+                    Bound::Unscanned => true,
+                    Bound::Slack(b) => b <= target,
+                    Bound::NoFg | Bound::Exhausted => false,
+                };
+                if rescan {
+                    bound = match self.fg_bound() {
+                        None => Bound::NoFg,
+                        Some(b) if b > target => Bound::Slack(b),
+                        Some(_) => Bound::Exhausted,
+                    };
+                }
+            }
+            // No lane event remains at or before `win`: handle one global
+            // if it is due, then re-derive the window.
+            match gt {
+                Some(t) if t <= horizon => {
+                    let (t, ev) = self.queue.pop().expect("peeked event exists");
+                    if let Some(p) = &mut self.prof {
+                        p.global_events += 1;
+                    }
+                    self.handle_global(t, ev);
+                    last = fold(last, t.as_nanos());
+                    if !self.out.is_empty() {
+                        if let Some(t2) = self.process_due(t) {
+                            last = fold(last, t2);
+                        }
+                        out.append(&mut self.out);
+                        self.touch();
+                        return last.map(SimTime::from_nanos);
+                    }
+                }
+                _ => {
+                    self.touch();
+                    return last.map(SimTime::from_nanos);
+                }
+            }
+        }
+    }
+
     /// Process every internal event with `time <= deadline`: the
     /// **macro-step loop**. Each iteration computes the conservative
     /// horizon — the earlier of the next global event and `deadline` —
@@ -1109,26 +1462,23 @@ impl StorageSystem {
     /// point (submissions, degrade/restore), so state mutations at `now`
     /// can never observe an OST that still owes progress to an earlier
     /// queued wake — that would drive `Ost::settle` backwards in time.
-    fn process_due(&mut self, deadline: SimTime) {
+    /// Returns the time (nanos) of the chronologically last event this
+    /// call processed — shard pops (stale wakes included) and global
+    /// events alike — or `None` when nothing was due. That is exactly
+    /// the last instant the serial one-event-at-a-time driver would have
+    /// advanced to, so the lookahead driver can reproduce its `end_time`
+    /// without replaying the event sequence.
+    fn process_due(&mut self, deadline: SimTime) -> Option<u64> {
+        let mut last: Option<u64> = None;
         loop {
             let gt = self.queue.peek_time();
             let horizon = match gt {
                 Some(t) if t <= deadline => t,
                 _ => deadline,
             };
-            if self.prof.is_some() {
-                let t0 = std::time::Instant::now();
-                self.drain_shards(horizon);
-                let t1 = std::time::Instant::now();
-                self.flush_foreground();
-                let t2 = std::time::Instant::now();
-                let p = self.prof.as_mut().expect("profiling enabled");
-                p.drain += t1 - t0;
-                p.flush += t2 - t1;
-                p.windows += 1;
-            } else {
-                self.drain_shards(horizon);
-                self.flush_foreground();
+            let popped = self.timed_drain(horizon);
+            if popped != u64::MAX {
+                last = Some(last.map_or(popped, |l| l.max(popped)));
             }
             match gt {
                 Some(t) if t <= deadline => {
@@ -1136,10 +1486,71 @@ impl StorageSystem {
                     if let Some(p) = &mut self.prof {
                         p.global_events += 1;
                     }
+                    // Pipelining: past an op-neutral global the serial
+                    // foreground apply commutes exactly, so it is only
+                    // *collected* (merged + sorted) here and applied
+                    // overlapped with the next window's parallel drain.
+                    if self.pool.is_some() && op_neutral(&ev) {
+                        self.timed_collect();
+                    } else {
+                        self.timed_flush();
+                    }
                     self.handle_global(t, ev);
+                    let tn = t.as_nanos();
+                    last = Some(last.map_or(tn, |l| l.max(tn)));
                 }
-                _ => break,
+                _ => {
+                    self.timed_flush();
+                    break;
+                }
             }
+        }
+        debug_assert!(!self.fg_deferred, "deferred apply leaked past process_due");
+        self.touch();
+        last
+    }
+
+    /// [`Self::drain_shards`] under the profiling clock. Returns the
+    /// latest event time popped (nanos; `u64::MAX` when nothing was due).
+    fn timed_drain(&mut self, horizon: SimTime) -> u64 {
+        if self.prof.is_some() {
+            let t0 = std::time::Instant::now();
+            let popped = self.drain_shards(horizon);
+            let dt = t0.elapsed();
+            let p = self.prof.as_mut().expect("profiling enabled");
+            p.drain += dt;
+            p.windows += 1;
+            popped
+        } else {
+            self.drain_shards(horizon)
+        }
+    }
+
+    /// Collect + apply the deferred foreground completions (the full
+    /// serial harvest) under the profiling clock.
+    fn timed_flush(&mut self) {
+        if self.prof.is_some() {
+            let t0 = std::time::Instant::now();
+            self.collect_foreground();
+            self.apply_foreground();
+            let dt = t0.elapsed();
+            self.prof.as_mut().expect("profiling enabled").flush += dt;
+        } else {
+            self.collect_foreground();
+            self.apply_foreground();
+        }
+    }
+
+    /// Collect-only half of [`Self::timed_flush`]: merge + sort now,
+    /// leave the apply for the next window's drain to overlap.
+    fn timed_collect(&mut self) {
+        if self.prof.is_some() {
+            let t0 = std::time::Instant::now();
+            self.collect_foreground();
+            let dt = t0.elapsed();
+            self.prof.as_mut().expect("profiling enabled").flush += dt;
+        } else {
+            self.collect_foreground();
         }
     }
 
@@ -1148,27 +1559,61 @@ impl StorageSystem {
     /// [`drain_shard`] body over the identical per-shard state, so the
     /// choice (and the thread count) cannot affect any simulation
     /// outcome — only wall-clock time.
-    fn drain_shards(&mut self, horizon: SimTime) {
+    ///
+    /// A foreground apply deferred by the previous window runs here
+    /// first — on the caller thread, *overlapped* with the parallel
+    /// dispatch when the pool is engaged (sound because the apply
+    /// touches only op/completion state and the drains touch only
+    /// lane/shard state; the borrow split below proves the disjointness).
+    ///
+    /// Returns the latest event time (nanos) any shard popped, or
+    /// `u64::MAX` when no shard had due work.
+    fn drain_shards(&mut self, horizon: SimTime) -> u64 {
+        let StorageSystem {
+            lanes,
+            shards,
+            pool,
+            prof,
+            active_jobs,
+            fg_merge,
+            fg_deferred,
+            ops,
+            req_to_op,
+            out,
+            corrupt_rng,
+            corrupt_windows,
+            corrupt_log,
+            ..
+        } = self;
         let hn = horizon.as_nanos();
-        let n = self.lanes.len();
+        let n = lanes.len();
         let ctx = ShardCtx {
-            jobs: &self.active_jobs,
+            jobs: active_jobs,
             ost_count: n,
             horizon: hn,
             elision: Self::REPLAN_ELISION,
         };
-        let nshards = self.shards.len();
+        let mut apply = || {
+            if *fg_deferred {
+                *fg_deferred = false;
+                apply_fg_merge(fg_merge, req_to_op, ops, corrupt_windows, corrupt_rng, corrupt_log, out);
+            }
+        };
+        let nshards = shards.len();
         if nshards == 1 {
-            drain_shard(&mut self.lanes, 0, &mut self.shards[0], &ctx);
-            return;
+            apply();
+            let sh = &mut shards[0];
+            sh.last_pop = u64::MAX;
+            drain_shard(lanes, 0, sh, &ctx);
+            return sh.last_pop;
         }
-        let due = self
-            .shards
+        let due = shards
             .iter()
             .filter(|s| s.heap.peek().is_some_and(|&Reverse(e)| e.t <= hn))
             .count();
         if due == 0 {
-            return;
+            apply();
+            return u64::MAX;
         }
         struct Task<'a> {
             lanes: &'a mut [Lane],
@@ -1176,61 +1621,93 @@ impl StorageSystem {
             shard: &'a mut Shard,
         }
         let mut tasks: Vec<Task> = Vec::with_capacity(nshards);
-        let mut rest: &mut [Lane] = &mut self.lanes;
+        let mut rest: &mut [Lane] = lanes;
         let mut base = 0usize;
-        for (s, shard) in self.shards.iter_mut().enumerate() {
+        for (s, shard) in shards.iter_mut().enumerate() {
+            shard.last_pop = u64::MAX;
             let end = shard_bound(s + 1, n, nshards);
             let (head, tail) = rest.split_at_mut(end - base);
             tasks.push(Task { lanes: head, base, shard });
             rest = tail;
             base = end;
         }
-        match &self.pool {
+        match pool {
             // Parallel dispatch pays a fixed synchronization toll; a
             // window with work in a single shard runs inline instead
             // (identical results either way — see above).
             Some(pool) if due >= 2 => {
-                if let Some(p) = &mut self.prof {
+                if let Some(p) = prof {
                     p.par_windows += 1;
                 }
                 let ctx = &ctx;
                 let slots: Vec<Mutex<Option<Task>>> =
                     tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
-                pool.run(slots.len(), &|s| {
-                    let task = slots[s].lock().unwrap().take();
-                    let task = task.expect("shard task claimed once");
-                    drain_shard(task.lanes, task.base, task.shard, ctx);
-                });
+                pool.run_with_serial(
+                    slots.len(),
+                    &|s| {
+                        let task = slots[s].lock().unwrap().take();
+                        let task = task.expect("shard task claimed once");
+                        drain_shard(task.lanes, task.base, task.shard, ctx);
+                    },
+                    &mut apply,
+                );
             }
             _ => {
+                apply();
                 for task in tasks {
                     drain_shard(task.lanes, task.base, task.shard, &ctx);
                 }
             }
         }
+        shards
+            .iter()
+            .map(|s| s.last_pop)
+            .filter(|&t| t != u64::MAX)
+            .max()
+            .unwrap_or(u64::MAX)
     }
 
-    /// Merge the shards' deferred foreground completions and apply them
-    /// serially in `(time, target)` order (stable, so same-lane
-    /// completions keep their in-shard order — which is submission order
-    /// at equal times). Runs before every global event, so the out stream
-    /// and the op/corruption accounting observe exactly the serial event
-    /// order regardless of how the window was executed.
-    fn flush_foreground(&mut self) {
+    /// Merge the shards' deferred foreground completions into `fg_merge`
+    /// in `(time, target)` order (stable, so same-lane completions keep
+    /// their in-shard order — which is submission order at equal times)
+    /// without applying them yet.
+    fn collect_foreground(&mut self) {
+        debug_assert!(!self.fg_deferred, "collect over an unapplied merge buffer");
         if self.shards.iter().all(|s| s.fg_buf.is_empty()) {
             return;
         }
-        let mut merge = std::mem::take(&mut self.fg_merge);
+        let merge = &mut self.fg_merge;
         for sh in &mut self.shards {
             merge.append(&mut sh.fg_buf);
         }
         merge.sort_by_key(|f| (f.t, f.ost));
-        for f in merge.drain(..) {
-            let time = SimTime::from_nanos(f.t);
-            self.maybe_corrupt(time, RequestId(f.rid), f.ost as usize);
-            self.complete_part(time, RequestId(f.rid), false);
+        self.fg_deferred = true;
+    }
+
+    /// Apply a collected merge buffer through op accounting, the
+    /// corruption draw and the completion stream. Together with
+    /// [`Self::collect_foreground`] this is the old `flush_foreground`,
+    /// split so the apply half can be deferred past op-neutral globals
+    /// (and run overlapped inside [`Self::drain_shards`]). Runs before
+    /// every op-touching global, so the out stream and the op/corruption
+    /// accounting observe exactly the serial event order regardless of
+    /// how the window was executed.
+    fn apply_foreground(&mut self) {
+        if !self.fg_deferred {
+            return;
         }
-        self.fg_merge = merge;
+        self.fg_deferred = false;
+        let StorageSystem {
+            fg_merge,
+            ops,
+            req_to_op,
+            out,
+            corrupt_rng,
+            corrupt_windows,
+            corrupt_log,
+            ..
+        } = self;
+        apply_fg_merge(fg_merge, req_to_op, ops, corrupt_windows, corrupt_rng, corrupt_log, out);
     }
 
     /// Apply one global event at its scheduled instant.
@@ -1352,6 +1829,7 @@ impl StorageSystem {
                             }
                             self.complete_part(t, rid, true);
                         }
+                        self.lanes[i].fg_count = 0;
                     }
                 }
                 if let Some(r) = recover_at {
@@ -1398,6 +1876,7 @@ impl StorageSystem {
                     torn_any = true;
                     self.complete_part(t, rid, true);
                 }
+                self.lanes[i].fg_count = 0;
                 if torn_any {
                     self.torn_log.push((ost, t));
                 }
@@ -1406,61 +1885,19 @@ impl StorageSystem {
         }
     }
 
-    /// Silent-corruption decision for one data-write chunk completing on
-    /// OST `i` at `now`. Draws from the isolated corruption stream only
-    /// when a window is active, so corruption-free runs (and non-write
-    /// completions) consume nothing from it.
-    fn maybe_corrupt(&mut self, now: SimTime, rid: RequestId, i: usize) {
-        let Some(&op_id) = self.req_to_op.get(&rid.0) else {
-            return;
-        };
-        let Some(op) = self.ops.get(&op_id) else {
-            return;
-        };
-        if op.kind != CompletionKind::Write {
-            return;
-        }
-        let rate = self
-            .corrupt_windows
-            .iter()
-            .filter(|&&(ost, start, end, _)| {
-                ost == i && start <= now && end.map(|e| now <= e).unwrap_or(true)
-            })
-            .map(|&(_, _, _, r)| r)
-            .fold(0.0f64, f64::max);
-        if rate > 0.0 && self.corrupt_rng.chance(rate) {
-            self.ops.get_mut(&op_id).expect("op state exists").corrupt_ost = Some(OstId(i));
-        }
-    }
-
     /// Account one finished (or aborted) constituent request against its
     /// operation, surfacing the operation completion when the last part
     /// resolves.
     fn complete_part(&mut self, now: SimTime, rid: RequestId, error: bool) {
-        let op_id = self
-            .req_to_op
-            .remove(&rid.0)
-            .expect("completion for unknown request");
-        let op = self.ops.get_mut(&op_id).expect("op state exists");
-        op.pending -= 1;
-        op.error |= error;
-        if op.pending == 0 {
-            let op = self.ops.remove(&op_id).expect("op state exists");
-            if let (Some(ost), false) = (op.corrupt_ost, op.error) {
-                // The write took effect but carries a silent bit-flip;
-                // key the log by completion time so it correlates with
-                // the protocol's write records.
-                self.corrupt_log.push((ost, now));
-            }
-            self.out.push(StorageCompletion {
-                tag: op.tag,
-                bytes: op.total_bytes,
-                submitted: op.submitted,
-                finished: now,
-                kind: op.kind,
-                error: op.error,
-            });
-        }
+        finish_part(
+            &mut self.req_to_op,
+            &mut self.ops,
+            &mut self.corrupt_log,
+            &mut self.out,
+            now,
+            rid,
+            error,
+        );
     }
 
     /// Convenience for non-cluster experiments (pure storage tests): run
@@ -1878,6 +2315,153 @@ mod tests {
         assert_eq!(done.len(), 20);
         for w in done.windows(2) {
             assert!(w[0].finished <= w[1].finished);
+        }
+    }
+
+    /// Every mutating entry point must invalidate the memoized
+    /// `next_event_time`. The accessor cross-checks its cache against a
+    /// fresh scan in debug builds, so probing after each mutation turns
+    /// any missing invalidation into a panic here.
+    #[test]
+    fn next_event_time_cache_survives_every_mutating_entry_point() {
+        let mut sys = StorageSystem::new(testbed(), 21);
+        let f = sys.fs_mut().create("probe", StripeSpec::Pinned(vec![OstId(0), OstId(1)]));
+        sys.next_event_time();
+        sys.install_faults(&FaultScript::none().brownout(5.0, 3, 0.5, 1.0));
+        sys.next_event_time();
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), 4 * MIB, 0);
+        assert!(sys.next_event_time().is_some(), "pending write must schedule a wake");
+        sys.submit_file_write(SimTime::ZERO, f, 0, 4 * MIB, 1);
+        sys.next_event_time();
+        sys.submit_open(SimTime::ZERO, 2);
+        sys.next_event_time();
+        sys.submit_close(SimTime::ZERO, 3);
+        sys.next_event_time();
+        sys.degrade_ost(t(0.001), OstId(2), 0.5);
+        sys.next_event_time();
+        sys.restore_ost(t(0.002), OstId(2));
+        sys.next_event_time();
+        sys.add_background_stream(t(0.003), OstId(4), 8 * MIB);
+        sys.next_event_time();
+        sys.add_bursty_stream(t(0.004), OstId(5), 8 * MIB, 2.0);
+        sys.next_event_time();
+        let _ = sys.advance_to(t(0.01));
+        sys.next_event_time();
+        let mut out = Vec::new();
+        let _ = sys.advance_until_completion(t(100.0), &mut out);
+        sys.next_event_time();
+        sys.set_shard_threads(2);
+        sys.next_event_time();
+        let _ = sys.run_until_quiet(t(1e6));
+        sys.next_event_time();
+        sys.reset(22);
+        assert_eq!(
+            sys.next_event_time(),
+            sys.next_event_time(),
+            "cached probe must be stable when nothing moves"
+        );
+    }
+
+    /// The lookahead advance must stop at each completion instant in
+    /// turn, returning exactly that instant.
+    #[test]
+    fn lookahead_stops_at_each_completion_instant() {
+        let mut sys = StorageSystem::new(testbed(), 30);
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), 8 * MIB, 0);
+        sys.submit_ost_write(SimTime::ZERO, OstId(1), 64 * MIB, 1);
+        let mut out = Vec::new();
+        let first = sys.advance_until_completion(t(1e6), &mut out);
+        assert_eq!(out.len(), 1, "one completion per stop: {out:?}");
+        assert_eq!(out[0].tag, 0);
+        assert_eq!(first, Some(out[0].finished));
+        let second = sys.advance_until_completion(t(1e6), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].tag, 1);
+        assert_eq!(second, Some(out[1].finished));
+    }
+
+    /// A horizon before the first completion advances background state
+    /// but delivers nothing.
+    #[test]
+    fn lookahead_respects_the_horizon() {
+        let mut sys = StorageSystem::new(testbed(), 31);
+        sys.submit_ost_write(SimTime::ZERO, OstId(0), 256 * MIB, 0);
+        let mut out = Vec::new();
+        let r = sys.advance_until_completion(t(0.001), &mut out);
+        assert!(out.is_empty(), "no completion inside 1 ms: {out:?}");
+        if let Some(tm) = r {
+            assert!(tm <= t(0.001));
+        }
+        let r = sys.advance_until_completion(t(1e6), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(r, Some(out[0].finished));
+    }
+
+    /// The tentpole differential: `advance_until_completion` must
+    /// reproduce the stepwise `next_event_time`/`advance_into` driver
+    /// byte-for-byte — completion stream, corruption/torn logs and final
+    /// event time — across shard counts and under a fault script
+    /// exercising brownout, error-mode failure with recovery, torn
+    /// writes, silent corruption and an MDS outage, with background
+    /// interference running throughout.
+    #[test]
+    fn lookahead_advance_matches_stepwise_advance_under_faults() {
+        let script = FaultScript::none()
+            .brownout(0.5, 1, 0.3, 2.0)
+            .fail_ost(2.0, 2, FailMode::Error, Some(4.0))
+            .torn_write(1.0, 3)
+            .silent_corruption(0.0, 0, None, 0.5)
+            .mds_outage(0.2, 0.3);
+        let build = |threads: usize| {
+            let mut sys = StorageSystem::new(testbed(), 77);
+            sys.set_shard_threads(threads);
+            sys.install_faults(&script);
+            for i in 0..8 {
+                sys.add_background_stream(SimTime::ZERO, OstId(i % 8), 32 * MIB);
+            }
+            sys.add_bursty_stream(SimTime::ZERO, OstId(2), 16 * MIB, 1.0);
+            let mut tag = 0u64;
+            for step in 0..6u64 {
+                let now = SimTime::ZERO + SimDuration::from_millis(step * 700);
+                for o in 0..8usize {
+                    sys.submit_ost_write(now, OstId(o), (4 + step) * MIB, tag);
+                    tag += 1;
+                }
+                sys.submit_open(now, tag);
+                tag += 1;
+                sys.submit_close(now, tag);
+                tag += 1;
+            }
+            (sys, tag as usize)
+        };
+        let (mut reference, expected) = build(1);
+        let serial = reference.run_until_quiet(t(1e6));
+        assert_eq!(serial.len(), expected, "reference must resolve every op");
+        let ref_oracle = reference.integrity_oracle();
+        for threads in [1usize, 2, 4] {
+            let (mut sys, _) = build(threads);
+            let mut got: Vec<StorageCompletion> = Vec::new();
+            let mut last = None;
+            let mut stalled = 0;
+            while got.len() < expected && stalled < 3 {
+                let before = got.len();
+                let r = sys.advance_until_completion(t(1e6), &mut got);
+                if let Some(tm) = r {
+                    last = Some(tm);
+                }
+                stalled = if got.len() == before { stalled + 1 } else { 0 };
+            }
+            assert_eq!(got, serial, "lookahead diverged at {threads} shard threads");
+            assert_eq!(
+                last,
+                Some(serial.last().expect("nonempty").finished),
+                "final event time diverged at {threads} shard threads"
+            );
+            let oracle = sys.integrity_oracle();
+            assert_eq!(oracle.corrupt, ref_oracle.corrupt);
+            assert_eq!(oracle.torn, ref_oracle.torn);
+            assert_eq!(oracle.dead, ref_oracle.dead);
+            assert_eq!(oracle.lost, ref_oracle.lost);
         }
     }
 }

@@ -85,7 +85,7 @@ fn apply(sys: &mut StorageSystem, op: &Op, tag: u64, files: &[FileId]) {
         4 => sys.submit_close(op.at, tag),
         _ => {
             let ost = OstId((op.a % n as u64) as usize);
-            if op.b % 2 == 0 {
+            if op.b.is_multiple_of(2) {
                 sys.degrade_ost(op.at, ost, 0.4);
             } else {
                 sys.restore_ost(op.at, ost);

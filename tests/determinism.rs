@@ -463,6 +463,56 @@ fn sharded_faulted_replicates_match_serial_bytes() {
     }
 }
 
+/// The coupled lookahead pin: sharded macro-window drains through the
+/// lookahead driver produce artifacts byte-identical to the stepwise
+/// serial reference, on a faulted timeline. The full per-family matrix
+/// lives in `tests/coupled_lookahead.rs`; this is the campaign-level
+/// cross-check riding next to the in-run sharding pins above.
+#[test]
+fn lookahead_sharded_replicates_match_stepwise_serial_bytes() {
+    use managed_io::adios::{RunBase, RunScratch};
+    let base = RunBase::prepare(RunSpec {
+        machine: testbed(),
+        nprocs: 24,
+        data: DataSpec::Uniform(32 * MIB),
+        method: Method::Adaptive {
+            targets: 6,
+            opts: AdaptiveOpts::default(),
+        },
+        interference: Interference::None,
+        seed: 0,
+    });
+    let faults = FaultConfig {
+        storage: managed_io::storesim::FaultScript::random(0x1_00CA_4EAD, 6, 2.0, 3),
+        network: Some(NetFaults {
+            dup_p: 0.15,
+            delay_p: 0.15,
+            delay_mean_secs: 0.03,
+        }),
+        kills: vec![(0.8, 9)],
+    };
+    let run_at = |lookahead: bool, shards: usize| {
+        let mut scratch = RunScratch::with_shard_threads(shards);
+        scratch.set_lookahead(lookahead);
+        let results: Vec<OutputResult> = (0..2)
+            .map(|i| {
+                base.run_seed_scratch(SEED ^ 0x10CA ^ i, &faults, &mut scratch)
+                    .result
+            })
+            .collect();
+        artifact(&results)
+    };
+    let reference = run_at(false, 1);
+    assert!(!reference.is_empty());
+    for shards in [1usize, 2, 8] {
+        assert_eq!(
+            reference,
+            run_at(true, shards),
+            "lookahead at {shards} shard threads changed the faulted artifact"
+        );
+    }
+}
+
 /// A disabled redundancy plane is free, exactly: however aggressive the
 /// knobs, `enabled: false` delegates verbatim to the plain faulted run —
 /// no shard campaign, no extra RNG draws, byte-identical artifacts. And
